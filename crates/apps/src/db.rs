@@ -1,0 +1,170 @@
+//! Mini-SQLite (§VI): an in-memory sorted table behind one global lock.
+//!
+//! Two properties drive the paper's SQLite results: the engine is
+//! "thread-safe but not concurrent" (every operation takes the global
+//! mutex, so throughput *decreases* with threads), and lookups go through
+//! comparator function calls (sqlite's dispatch), which are exactly the
+//! call-wrapper-heavy code ELZAR handles worst (20–30% of native).
+
+use crate::ycsb::{encode, generate};
+use crate::{AppParams, BuiltApp};
+use elzar_ir::builder::{c64, FuncBuilder};
+use elzar_ir::{BinOp, Builtin, CmpPred, Const, Module, Operand, Ty};
+use elzar_vm::GLOBAL_BASE;
+use elzar_workloads::common::{chunk_bounds, fork_join_main};
+
+const GOLD: i64 = 0x9E3779B97F4A7C15u64 as i64;
+
+fn cptr(addr: u64) -> Operand {
+    Operand::Imm(Const::Ptr(addr))
+}
+
+/// Build the mini-SQLite engine processing a YCSB trace.
+pub fn build(p: &AppParams) -> BuiltApp {
+    let n_keys: u64 = p.scale.pick(1_024, 4_096, 8_192);
+    let n_ops: usize = p.scale.pick(1_000, 8_000, 50_000);
+    let w = p.workload;
+    let mut m = Module::new(format!("sqlite_{}", w.label()));
+    // Sorted key column + value column (keys are just 0..n, kept sorted).
+    let keys_col = GLOBAL_BASE + m.alloc_global(n_keys as usize * 8) as u64;
+    let vals_col = GLOBAL_BASE + m.alloc_global(n_keys as usize * 8) as u64;
+    let mutex = GLOBAL_BASE + m.alloc_global(8) as u64;
+    let acc_slots = GLOBAL_BASE + m.alloc_global(8 * p.threads as usize) as u64;
+
+    // Comparator as a separate function — models sqlite's collation
+    // dispatch. cmp(row_ptr, key) -> -1/0/1.
+    let mut cb = FuncBuilder::new("row_cmp", vec![Ty::Ptr, Ty::I64], Ty::I64);
+    let rp = cb.param(0);
+    let target = cb.param(1);
+    let k = cb.load(Ty::I64, rp);
+    let lt = cb.icmp(CmpPred::Slt, k, target);
+    let gt = cb.icmp(CmpPred::Sgt, k, target);
+    let gtv = cb.select(gt, c64(1), c64(0));
+    let out = cb.select(lt, c64(-1), gtv);
+    cb.ret(out);
+    let cmp_f = m.add_func(cb.finish());
+
+    let mut wk = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+    let tid = wk.param(0);
+    let inp = wk.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+    let acc = wk.alloca(Ty::I64, c64(1));
+    wk.store(Ty::I64, c64(0), acc);
+    let lo = wk.alloca(Ty::I64, c64(1));
+    let hi = wk.alloca(Ty::I64, c64(1));
+    let pos = wk.alloca(Ty::I64, c64(1));
+    let (start, end) = chunk_bounds(&mut wk, tid, n_ops as i64, p.threads);
+    wk.counted_loop(start, end, |b, i| {
+        let pw = b.gep(inp, i, 8);
+        let word = b.load(Ty::I64, pw);
+        let key = b.bin(BinOp::And, Ty::I64, word, c64(!(1i64 << 63)));
+        let is_read = b.bin(BinOp::LShr, Ty::I64, word, c64(63));
+        // The whole operation holds the global lock (sqlite semantics).
+        b.critical_section(cptr(mutex), |b| {
+            // Binary search with comparator calls.
+            b.store(Ty::I64, c64(0), lo);
+            b.store(Ty::I64, c64(n_keys as i64), hi);
+            b.store(Ty::I64, c64(-1), pos);
+            let iters = (64 - (n_keys as u64).leading_zeros()) as i64 + 1;
+            b.counted_loop(c64(0), c64(iters), |b, _| {
+                let l = b.load(Ty::I64, lo);
+                let h = b.load(Ty::I64, hi);
+                let open = b.icmp(CmpPred::Slt, l, h);
+                let go_bb = b.block("db.probe");
+                let skip_bb = b.block("db.skip");
+                b.cond_br(open, go_bb, skip_bb);
+                b.switch_to(go_bb);
+                {
+                    let sum = b.add(l, h);
+                    let mid = b.bin(BinOp::LShr, Ty::I64, sum, c64(1));
+                    let rp = b.gep(cptr(keys_col), mid, 8);
+                    let c = b.call(cmp_f, vec![rp.into(), key.into()], Ty::I64).unwrap();
+                    let less = b.icmp(CmpPred::Slt, c, c64(0));
+                    let eq = b.icmp(CmpPred::Eq, c, c64(0));
+                    // if eq: pos = mid, close the range.
+                    let eq_bb = b.block("db.eq");
+                    let ne_bb = b.block("db.ne");
+                    b.cond_br(eq, eq_bb, ne_bb);
+                    b.switch_to(eq_bb);
+                    {
+                        b.store(Ty::I64, mid, pos);
+                        b.store(Ty::I64, c64(0), lo);
+                        b.store(Ty::I64, c64(0), hi);
+                        b.br(skip_bb);
+                    }
+                    b.switch_to(ne_bb);
+                    {
+                        let mid1 = b.add(mid, c64(1));
+                        let nl = b.select(less, mid1, l);
+                        let nh = b.select(less, h, mid);
+                        b.store(Ty::I64, nl, lo);
+                        b.store(Ty::I64, nh, hi);
+                        b.br(skip_bb);
+                    }
+                }
+                b.switch_to(skip_bb);
+            });
+            let found = b.load(Ty::I64, pos);
+            let ok = b.icmp(CmpPred::Sge, found, c64(0));
+            let hit_bb = b.block("db.hit");
+            let out_bb = b.block("db.out");
+            b.cond_br(ok, hit_bb, out_bb);
+            b.switch_to(hit_bb);
+            {
+                let pv = b.gep(cptr(vals_col), found, 8);
+                let rd = b.icmp(CmpPred::Ne, is_read, c64(0));
+                let rd_bb = b.block("db.read");
+                let wr_bb = b.block("db.write");
+                b.cond_br(rd, rd_bb, wr_bb);
+                b.switch_to(rd_bb);
+                {
+                    let v = b.load(Ty::I64, pv);
+                    let a = b.load(Ty::I64, acc);
+                    let a2 = b.add(a, v);
+                    b.store(Ty::I64, a2, acc);
+                    b.br(out_bb);
+                }
+                b.switch_to(wr_bb);
+                {
+                    let nv = b.mul(key, c64(GOLD));
+                    b.store(Ty::I64, nv, pv);
+                    b.br(out_bb);
+                }
+            }
+            b.switch_to(out_bb);
+        });
+    });
+    let myacc = wk.load(Ty::I64, acc);
+    let slot = wk.gep(cptr(acc_slots), tid, 8);
+    wk.store(Ty::I64, myacc, slot);
+    wk.ret(c64(0));
+    let wid = m.add_func(wk.finish());
+
+    let threads = p.threads;
+    fork_join_main(
+        &mut m,
+        wid,
+        threads,
+        move |b| {
+            // Populate the sorted table: key i at row i, value i*GOLD.
+            b.counted_loop(c64(0), c64(n_keys as i64), |b, i| {
+                let pk = b.gep(cptr(keys_col), i, 8);
+                b.store(Ty::I64, i, pk);
+                let pv = b.gep(cptr(vals_col), i, 8);
+                let v = b.mul(i, c64(GOLD));
+                b.store(Ty::I64, v, pv);
+            });
+        },
+        move |b, _| {
+            let mut total: Operand = c64(0);
+            for t in 0..threads {
+                let pa = b.gep(cptr(acc_slots + u64::from(t) * 8), c64(0), 8);
+                let v = b.load(Ty::I64, pa);
+                total = b.add(total, v).into();
+            }
+            b.call_builtin(Builtin::OutputI64, vec![total], Ty::Void);
+            b.ret(c64(0));
+        },
+    );
+    let ops = generate(w, n_ops, n_keys, 0xDB5EED);
+    BuiltApp { module: m, input: encode(&ops), ops: n_ops as u64 }
+}

@@ -1,0 +1,173 @@
+//! Mini-memcached (§VI): a bucket-locked in-memory hash table serving
+//! YCSB operations.
+//!
+//! The structure mirrors what makes the real Memcached result favourable
+//! to ELZAR in the paper: a multi-megabyte table with random access (poor
+//! memory locality amortizes wrapper overhead) and fine-grained per-bucket
+//! locks (scales with threads).
+
+use crate::ycsb::{encode, generate};
+use crate::{AppParams, BuiltApp};
+use elzar_ir::builder::{c64, FuncBuilder};
+use elzar_ir::{BinOp, Builtin, CmpPred, Const, Module, Operand, Ty};
+use elzar_vm::GLOBAL_BASE;
+use elzar_workloads::common::{chunk_bounds, fork_join_main};
+
+const BUCKETS: i64 = 4096;
+const SLOTS: i64 = 8;
+const ENTRY: i64 = 16; // key u64 + value u64
+const GOLD: i64 = 0x9E3779B97F4A7C15u64 as i64;
+
+fn cptr(addr: u64) -> Operand {
+    Operand::Imm(Const::Ptr(addr))
+}
+
+/// Build the mini-memcached server processing a YCSB trace.
+pub fn build(p: &AppParams) -> BuiltApp {
+    let n_keys: u64 = p.scale.pick(1_024, 4_096, 8_192);
+    let n_ops: usize = p.scale.pick(2_000, 20_000, 120_000);
+    let w = p.workload;
+    let mut m = Module::new(format!("memcached_{}", w.label()));
+    let table = GLOBAL_BASE + m.alloc_global((BUCKETS * SLOTS * ENTRY) as usize) as u64;
+    let locks = GLOBAL_BASE + m.alloc_global((BUCKETS * 8) as usize) as u64;
+    let misses = GLOBAL_BASE + m.alloc_global(8) as u64;
+    let acc_slots = GLOBAL_BASE + m.alloc_global(8 * p.threads as usize) as u64;
+
+    // Shared op-processing routine: worker(tid).
+    let mut wk = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+    let tid = wk.param(0);
+    let inp = wk.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+    let acc = wk.alloca(Ty::I64, c64(1));
+    wk.store(Ty::I64, c64(0), acc);
+    let found = wk.alloca(Ty::I64, c64(1));
+    let (start, end) = chunk_bounds(&mut wk, tid, n_ops as i64, p.threads);
+    wk.counted_loop(start, end, |b, i| {
+        let pw = b.gep(inp, i, 8);
+        let word = b.load(Ty::I64, pw);
+        let key = b.bin(BinOp::And, Ty::I64, word, c64(!(1i64 << 63)));
+        let is_read = b.bin(BinOp::LShr, Ty::I64, word, c64(63));
+        // Multiplicative hash into a bucket.
+        let h = b.mul(key, c64(GOLD));
+        let h2 = b.bin(BinOp::LShr, Ty::I64, h, c64(48));
+        let bucket = b.bin(BinOp::And, Ty::I64, h2, c64(BUCKETS - 1));
+        let lock_addr = b.gep(cptr(locks), bucket, 8);
+        b.call_builtin(Builtin::Lock, vec![lock_addr.into()], Ty::Void);
+        {
+            let base_idx = b.mul(bucket, c64(SLOTS * ENTRY));
+            let bucket_ptr = b.gep(cptr(table), base_idx, 1);
+            b.store(Ty::I64, c64(0), found);
+            b.counted_loop(c64(0), c64(SLOTS), |b, s| {
+                let off = b.mul(s, c64(ENTRY));
+                let pk = b.gep(bucket_ptr, off, 1);
+                let k = b.load(Ty::I64, pk);
+                // Stored keys are key+1 so that 0 means empty.
+                let kk = b.add(key, c64(1));
+                let hit = b.icmp(CmpPred::Eq, k, kk);
+                let hit_bb = b.block("kv.hit");
+                let next_bb = b.block("kv.next");
+                b.cond_br(hit, hit_bb, next_bb);
+                b.switch_to(hit_bb);
+                {
+                    b.store(Ty::I64, c64(1), found);
+                    let pv = b.gep(pk, c64(1), 8);
+                    let rd = b.icmp(CmpPred::Ne, is_read, c64(0));
+                    let rd_bb = b.block("kv.read");
+                    let wr_bb = b.block("kv.write");
+                    b.cond_br(rd, rd_bb, wr_bb);
+                    b.switch_to(rd_bb);
+                    {
+                        let v = b.load(Ty::I64, pv);
+                        let a = b.load(Ty::I64, acc);
+                        let a2 = b.add(a, v);
+                        b.store(Ty::I64, a2, acc);
+                        b.br(next_bb);
+                    }
+                    b.switch_to(wr_bb);
+                    {
+                        // Deterministic value: independent of op order.
+                        let nv = b.mul(key, c64(GOLD));
+                        b.store(Ty::I64, nv, pv);
+                        b.br(next_bb);
+                    }
+                }
+                b.switch_to(next_bb);
+            });
+            let f = b.load(Ty::I64, found);
+            let missed = b.icmp(CmpPred::Eq, f, c64(0));
+            let miss_bb = b.block("kv.miss");
+            let done_bb = b.block("kv.done");
+            b.cond_br(missed, miss_bb, done_bb);
+            b.switch_to(miss_bb);
+            b.atomic_rmw(elzar_ir::RmwOp::Add, Ty::I64, cptr(misses), c64(1));
+            b.br(done_bb);
+            b.switch_to(done_bb);
+        }
+        b.call_builtin(Builtin::Unlock, vec![lock_addr.into()], Ty::Void);
+    });
+    // Publish this thread's read-sum.
+    let myacc = wk.load(Ty::I64, acc);
+    let slot = wk.gep(cptr(acc_slots), tid, 8);
+    wk.store(Ty::I64, myacc, slot);
+    wk.ret(c64(0));
+    let wid = m.add_func(wk.finish());
+
+    let threads = p.threads;
+    fork_join_main(
+        &mut m,
+        wid,
+        threads,
+        move |b| {
+            // Preload: insert every key (values = key * GOLD).
+            let placed = b.alloca(Ty::I64, c64(1));
+            b.counted_loop(c64(0), c64(n_keys as i64), |b, key| {
+                let h = b.mul(key, c64(GOLD));
+                let h2 = b.bin(BinOp::LShr, Ty::I64, h, c64(48));
+                let bucket = b.bin(BinOp::And, Ty::I64, h2, c64(BUCKETS - 1));
+                let base_idx = b.mul(bucket, c64(SLOTS * ENTRY));
+                let bucket_ptr = b.gep(cptr(table), base_idx, 1);
+                b.store(Ty::I64, c64(0), placed);
+                b.counted_loop(c64(0), c64(SLOTS), |b, s| {
+                    let off = b.mul(s, c64(ENTRY));
+                    let pk = b.gep(bucket_ptr, off, 1);
+                    let k = b.load(Ty::I64, pk);
+                    let empty = b.icmp(CmpPred::Eq, k, c64(0));
+                    let pl = b.load(Ty::I64, placed);
+                    let todo = b.icmp(CmpPred::Eq, pl, c64(0));
+                    let we = b.cast(elzar_ir::CastOp::ZExt, empty, Ty::I64);
+                    let wt = b.cast(elzar_ir::CastOp::ZExt, todo, Ty::I64);
+                    let both = b.bin(BinOp::And, Ty::I64, we, wt);
+                    let go = b.icmp(CmpPred::Ne, both, c64(0));
+                    let ins_bb = b.block("pre.ins");
+                    let skip_bb = b.block("pre.skip");
+                    b.cond_br(go, ins_bb, skip_bb);
+                    b.switch_to(ins_bb);
+                    {
+                        let kk = b.add(key, c64(1));
+                        b.store(Ty::I64, kk, pk);
+                        let pv = b.gep(pk, c64(1), 8);
+                        let v = b.mul(key, c64(GOLD));
+                        b.store(Ty::I64, v, pv);
+                        b.store(Ty::I64, c64(1), placed);
+                        b.br(skip_bb);
+                    }
+                    b.switch_to(skip_bb);
+                });
+            });
+        },
+        move |b, _| {
+            // Merge per-thread read sums in tid order + miss count.
+            let mut total: Operand = c64(0);
+            for t in 0..threads {
+                let pa = b.gep(cptr(acc_slots + u64::from(t) * 8), c64(0), 8);
+                let v = b.load(Ty::I64, pa);
+                total = b.add(total, v).into();
+            }
+            b.call_builtin(Builtin::OutputI64, vec![total], Ty::Void);
+            let mi = b.load(Ty::I64, cptr(misses));
+            b.call_builtin(Builtin::OutputI64, vec![mi.into()], Ty::Void);
+            b.ret(c64(0));
+        },
+    );
+    let ops = generate(w, n_ops, n_keys, 0x5EED ^ n_keys);
+    BuiltApp { module: m, input: encode(&ops), ops: n_ops as u64 }
+}

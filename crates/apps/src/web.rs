@@ -1,0 +1,102 @@
+//! Mini-Apache (§VI): a thread-pool web server repeatedly serving one
+//! static page.
+//!
+//! The paper attributes Apache's good ELZAR result (~85% of native
+//! throughput) to the server spending most of its time in *unhardened
+//! third-party libraries*: here, request parsing is hardened application
+//! code, while the page copy goes through the runtime's `memcpy` —
+//! exactly the split the real build had.
+
+use crate::{AppParams, BuiltApp};
+use elzar_ir::builder::{c64, FuncBuilder};
+use elzar_ir::{BinOp, Builtin, Const, Module, Operand, Ty};
+use elzar_vm::GLOBAL_BASE;
+use elzar_workloads::common::{chunk_bounds, fork_join_main, gen_bytes};
+
+const REQ_BYTES: i64 = 64;
+
+fn cptr(addr: u64) -> Operand {
+    Operand::Imm(Const::Ptr(addr))
+}
+
+/// Build the mini web server.
+pub fn build(p: &AppParams) -> BuiltApp {
+    let page_bytes: i64 = p.scale.pick(16 * 1024, 32 * 1024, 64 * 1024);
+    let n_req: usize = p.scale.pick(100, 600, 3_000);
+    let mut m = Module::new("apache");
+    let page = GLOBAL_BASE + m.add_global_data(&gen_bytes(0xAB, page_bytes as usize)) as u64;
+    let hash_slots = GLOBAL_BASE + m.alloc_global(8 * p.threads as usize) as u64;
+
+    let mut wk = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+    let tid = wk.param(0);
+    let inp = wk.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+    // Per-thread response buffer.
+    let resp = wk.call_builtin(Builtin::Malloc, vec![c64(page_bytes)], Ty::Ptr).unwrap();
+    let hacc = wk.alloca(Ty::I64, c64(1));
+    wk.store(Ty::I64, c64(0), hacc);
+    let (start, end) = chunk_bounds(&mut wk, tid, n_req as i64, p.threads);
+    wk.counted_loop(start, end, |b, r| {
+        // Parse the request line (hardened application code): FNV over
+        // the 16-byte method/path prefix, hash carried in a register.
+        let roff = b.mul(r, c64(REQ_BYTES));
+        let req = b.gep(inp, roff, 1);
+        let pre = b.current();
+        let header = b.block("web.ph");
+        let body = b.block("web.pb");
+        let latch = b.block("web.pl");
+        let exit = b.block("web.pe");
+        b.br(header);
+        b.switch_to(header);
+        let i = b.phi(Ty::I64);
+        let hphi = b.phi(Ty::I64);
+        b.phi_add_incoming(i, pre, c64(0));
+        b.phi_add_incoming(hphi, pre, c64(0xcbf29ce484222325u64 as i64));
+        let c = b.icmp(elzar_ir::CmpPred::Slt, i, c64(16));
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        let pb = b.gep(req, i, 1);
+        let byte = b.load(Ty::I8, pb);
+        let wbyte = b.cast(elzar_ir::CastOp::ZExt, byte, Ty::I64);
+        let x = b.bin(BinOp::Xor, Ty::I64, hphi, wbyte);
+        let nx = b.mul(x, c64(0x100000001b3));
+        b.br(latch);
+        b.switch_to(latch);
+        let i1 = b.add(i, c64(1));
+        b.phi_add_incoming(i, latch, i1);
+        b.phi_add_incoming(hphi, latch, nx);
+        b.br(header);
+        b.switch_to(exit);
+        let a = b.load(Ty::I64, hacc);
+        let a2 = b.add(a, hphi);
+        b.store(Ty::I64, a2, hacc);
+        // Serve the page (unhardened library copy — sendfile/memcpy).
+        b.call_builtin(
+            Builtin::Memcpy,
+            vec![resp.into(), cptr(page), c64(page_bytes)],
+            Ty::Void,
+        );
+        b.call_builtin(Builtin::Heartbeat, vec![], Ty::Void);
+    });
+    let hv = wk.load(Ty::I64, hacc);
+    let slot = wk.gep(cptr(hash_slots), tid, 8);
+    wk.store(Ty::I64, hv, slot);
+    wk.ret(c64(0));
+    let wid = m.add_func(wk.finish());
+
+    let threads = p.threads;
+    fork_join_main(&mut m, wid, threads, |_b| {}, move |b, _| {
+        let mut total: Operand = c64(0);
+        for t in 0..threads {
+            let pa = b.gep(cptr(hash_slots + u64::from(t) * 8), c64(0), 8);
+            let v = b.load(Ty::I64, pa);
+            total = b.add(total, v).into();
+        }
+        b.call_builtin(Builtin::OutputI64, vec![total], Ty::Void);
+        b.ret(c64(0));
+    });
+    BuiltApp {
+        module: m,
+        input: gen_bytes(0xAC, n_req * REQ_BYTES as usize),
+        ops: n_req as u64,
+    }
+}

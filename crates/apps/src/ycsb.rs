@@ -1,0 +1,157 @@
+//! YCSB-style workload generation (§VI): workload A (50% reads, 50%
+//! updates, Zipf key distribution) and workload D (95% reads, 5% updates,
+//! "latest" distribution — reads skew to recently inserted keys).
+
+use crate::common_rng::lcg;
+
+/// The two extreme YCSB workloads the paper evaluates.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum YcsbWorkload {
+    /// 50% reads / 50% updates, Zipfian.
+    A,
+    /// 95% reads / 5% updates, latest-skewed.
+    D,
+}
+
+impl YcsbWorkload {
+    /// Label used in Figure 15.
+    pub fn label(self) -> &'static str {
+        match self {
+            YcsbWorkload::A => "A",
+            YcsbWorkload::D => "D",
+        }
+    }
+}
+
+/// One key-value operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct YcsbOp {
+    /// Read (true) or update (false).
+    pub read: bool,
+    /// Key index in `[0, n_keys)`.
+    pub key: u64,
+}
+
+/// Zipf(θ=0.99) sampler over `n` items using an inverse-CDF table.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution for `n` items.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Zipf {
+        assert!(n > 0);
+        const THETA: f64 = 0.99;
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(THETA);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `[0, n)` (0 = most popular) from a uniform `u64`.
+    pub fn sample(&self, r: u64) -> u64 {
+        let u = (r >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// Generate `n_ops` operations over `n_keys` keys.
+pub fn generate(w: YcsbWorkload, n_ops: usize, n_keys: u64, seed: u64) -> Vec<YcsbOp> {
+    let zipf = Zipf::new(n_keys.min(1 << 16) as usize);
+    let mut s = seed | 1;
+    let mut ops = Vec::with_capacity(n_ops);
+    for _ in 0..n_ops {
+        let r1 = lcg(&mut s);
+        let r2 = lcg(&mut s);
+        let read = match w {
+            YcsbWorkload::A => r1 % 100 < 50,
+            YcsbWorkload::D => r1 % 100 < 95,
+        };
+        let rank = zipf.sample(r2) % n_keys;
+        let key = match w {
+            // Zipf over the whole key space.
+            YcsbWorkload::A => rank,
+            // "Latest": popularity decreasing from the newest key.
+            YcsbWorkload::D => n_keys - 1 - rank,
+        };
+        ops.push(YcsbOp { read, key });
+    }
+    ops
+}
+
+/// Encode operations into the VM input segment: 8 bytes per op, the key
+/// in the low 63 bits, the read flag in the top bit.
+pub fn encode(ops: &[YcsbOp]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ops.len() * 8);
+    for op in ops {
+        let word = op.key | (u64::from(op.read) << 63);
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(1000);
+        let mut s = 42u64;
+        let mut head = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let r = z.sample(lcg(&mut s));
+            assert!(r < 1000);
+            if r < 10 {
+                head += 1;
+            }
+        }
+        // With θ=0.99, the top-10 of 1000 keys draw ~30%+ of accesses.
+        assert!(head as f64 / n as f64 > 0.2, "head share {}", head as f64 / n as f64);
+    }
+
+    #[test]
+    fn workload_mixes_match_spec() {
+        let a = generate(YcsbWorkload::A, 10_000, 500, 1);
+        let reads_a = a.iter().filter(|o| o.read).count() as f64 / a.len() as f64;
+        assert!((0.45..0.55).contains(&reads_a), "A read ratio {reads_a}");
+        let d = generate(YcsbWorkload::D, 10_000, 500, 1);
+        let reads_d = d.iter().filter(|o| o.read).count() as f64 / d.len() as f64;
+        assert!((0.92..0.98).contains(&reads_d), "D read ratio {reads_d}");
+    }
+
+    #[test]
+    fn latest_skews_to_high_keys() {
+        let d = generate(YcsbWorkload::D, 10_000, 1000, 2);
+        let high = d.iter().filter(|o| o.key >= 900).count() as f64 / d.len() as f64;
+        assert!(high > 0.3, "latest high-key share {high}");
+    }
+
+    #[test]
+    fn encode_roundtrip() {
+        let ops = vec![YcsbOp { read: true, key: 7 }, YcsbOp { read: false, key: 123 }];
+        let bytes = encode(&ops);
+        assert_eq!(bytes.len(), 16);
+        let w0 = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        assert_eq!(w0 & (1 << 63), 1 << 63);
+        assert_eq!(w0 & !(1 << 63), 7);
+        let w1 = u64::from_le_bytes(bytes[8..].try_into().unwrap());
+        assert_eq!(w1, 123);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate(YcsbWorkload::A, 100, 50, 9), generate(YcsbWorkload::A, 100, 50, 9));
+    }
+}

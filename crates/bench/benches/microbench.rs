@@ -1,0 +1,97 @@
+//! Criterion microbenchmarks for the reproduction's own infrastructure:
+//! YMM lane operations, the cache simulator, the hardening passes, and
+//! interpreter throughput under each execution mode.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use elzar::{build, prepare, Mode};
+use elzar_avx::{LaneWidth, Ymm};
+use elzar_cpu::{CoreCaches, SharedL3};
+use elzar_ir::builder::{c64, FuncBuilder};
+use elzar_ir::{Module, Ty};
+use elzar_vm::{run_program, MachineConfig};
+use elzar_workloads::{by_name, Params, Scale};
+
+fn kernel() -> Module {
+    let mut m = Module::new("bench");
+    let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+    let acc = b.alloca(Ty::I64, c64(1));
+    b.store(Ty::I64, c64(0), acc);
+    b.counted_loop(c64(0), c64(2_000), |b, i| {
+        let v = b.load(Ty::I64, acc);
+        let x = b.mul(v, c64(3));
+        let y = b.add(x, i);
+        b.store(Ty::I64, y, acc);
+    });
+    let v = b.load(Ty::I64, acc);
+    b.ret(v);
+    m.add_func(b.finish());
+    m
+}
+
+fn bench_ymm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ymm");
+    g.bench_function("map2_add_4x64", |b| {
+        let x = Ymm::splat(LaneWidth::B64, 4, 7);
+        let y = Ymm::splat(LaneWidth::B64, 4, 9);
+        b.iter(|| std::hint::black_box(x.map2(&y, LaneWidth::B64, 4, |a, b| a.wrapping_add(b))))
+    });
+    g.bench_function("figure8_check", |b| {
+        let x = Ymm::splat(LaneWidth::B64, 4, 0xABCDEF);
+        b.iter(|| {
+            let r = x.xor(&x.rotate_lanes(LaneWidth::B64, 4));
+            std::hint::black_box(r.ptest(LaneWidth::B64, 4))
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/l1_hit_access", |b| {
+        let mut l3 = SharedL3::haswell();
+        let mut cc = CoreCaches::haswell();
+        cc.access(0x1000, &mut l3);
+        b.iter(|| std::hint::black_box(cc.access(0x1000, &mut l3)))
+    });
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let m = kernel();
+    let mut g = c.benchmark_group("passes");
+    g.bench_function("elzar_harden", |b| {
+        b.iter_batched(|| m.clone(), |m| prepare(&m, &Mode::elzar_default()), BatchSize::SmallInput)
+    });
+    g.bench_function("swiftr_harden", |b| {
+        b.iter_batched(|| m.clone(), |m| prepare(&m, &Mode::SwiftR), BatchSize::SmallInput)
+    });
+    g.finish();
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let m = kernel();
+    let mut g = c.benchmark_group("interp");
+    g.sample_size(20);
+    for mode in [Mode::NativeNoSimd, Mode::elzar_default(), Mode::SwiftR] {
+        let prog = build(&m, &mode);
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| std::hint::black_box(run_program(&prog, "main", &[], MachineConfig::default())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_workload_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.sample_size(10);
+    let w = by_name("histogram").expect("known");
+    let built = w.build(&Params::new(1, Scale::Tiny));
+    let prog = build(&built.module, &Mode::elzar_default());
+    g.bench_function("histogram_tiny_elzar", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_program(&prog, "main", &built.input, MachineConfig::default()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ymm, bench_cache, bench_passes, bench_interp, bench_workload_pipeline);
+criterion_main!(benches);

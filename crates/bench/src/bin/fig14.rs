@@ -1,0 +1,36 @@
+//! Figure 14: ELZAR vs the SWIFT-R instruction-triplication baseline at
+//! the peak thread count, with the per-benchmark delta annotations.
+
+use elzar::{normalized_runtime, Mode};
+use elzar_bench::{banner, max_threads, mean, measure, scale_from_env};
+use elzar_workloads::{all_workloads, short_name, Params};
+
+fn main() {
+    let t = max_threads();
+    banner("Figure 14", "ELZAR vs SWIFT-R normalized runtime");
+    let scale = scale_from_env();
+    println!("{:<12} {:>10} {:>10} {:>12}   ({t} threads)", "benchmark", "SWIFT-R", "ELZAR", "ELZAR vs SR");
+    let (mut es, mut ss) = (vec![], vec![]);
+    for w in all_workloads() {
+        let built = w.build(&Params::new(t, scale));
+        let native = measure(&built.module, &Mode::Native, &built.input);
+        let sw = measure(&built.module, &Mode::SwiftR, &built.input);
+        let el = measure(&built.module, &Mode::elzar_default(), &built.input);
+        let os = normalized_runtime(&sw, &native);
+        let oe = normalized_runtime(&el, &native);
+        es.push(oe);
+        ss.push(os);
+        println!(
+            "{:<12} {:>9.2}x {:>9.2}x {:>+11.0}%",
+            short_name(w.name()),
+            os,
+            oe,
+            (oe / os - 1.0) * 100.0
+        );
+    }
+    println!("{:<12} {:>9.2}x {:>9.2}x {:>+11.0}%", "mean", mean(&ss), mean(&es), (mean(&es) / mean(&ss) - 1.0) * 100.0);
+    println!();
+    println!("Paper shape: SWIFT-R ~2.5x vs ELZAR ~3.7x mean (+46%); ELZAR");
+    println!("wins on kmeans, blackscholes, fluidanimate (FP-heavy, few");
+    println!("memory ops); loses badly on histogram/smatch/wc (memory-bound).");
+}

@@ -1,0 +1,27 @@
+//! Table IV: the §VII-A microbenchmarks — normalized runtime of the
+//! AVX-wrapped variant of each bottleneck class over its native variant.
+
+use elzar_bench::banner;
+use elzar_vm::{run_program, MachineConfig, Program};
+use elzar_workloads::micro::{build, Micro};
+
+fn main() {
+    banner("Table IV", "AVX-wrapper microbenchmarks (normalized runtime)");
+    println!("{:<12} {:>12} {:>12} {:>8}", "class", "native cyc", "AVX cyc", "ratio");
+    for m in Micro::all() {
+        let native = run_program(&Program::lower(&build(m, false)), "main", &[], MachineConfig::default());
+        let avx = run_program(&Program::lower(&build(m, true)), "main", &[], MachineConfig::default());
+        println!(
+            "{:<12} {:>12} {:>12} {:>7.2}x",
+            m.name(),
+            native.cycles,
+            avx.cycles,
+            avx.cycles as f64 / native.cycles.max(1) as f64
+        );
+    }
+    println!();
+    println!("Paper: loads ~1.96-2.06x, stores ~1.00-1.14x (store port is the");
+    println!("bottleneck either way), branches ~1.86-1.89x, truncation ~8x.");
+    println!("Our model lands lower on branches (macro-fusion is modeled for");
+    println!("native cmp+jcc but ptest pressure is approximate).");
+}

@@ -1,0 +1,97 @@
+//! # elzar-bench
+//!
+//! Harnesses that regenerate every table and figure of the ELZAR paper's
+//! evaluation. One binary per artifact:
+//!
+//! | binary   | artifact | content |
+//! |----------|----------|---------|
+//! | `fig01`  | Figure 1 | native-SIMD speedup over no-SIMD |
+//! | `fig11`  | Figure 11 | ELZAR overhead vs threads |
+//! | `fig12`  | Figure 12 | check-cost breakdown |
+//! | `fig13`  | Figure 13 | fault-injection outcomes |
+//! | `fig14`  | Figure 14 | ELZAR vs SWIFT-R |
+//! | `fig15`  | Figure 15 | case-study throughput |
+//! | `fig17`  | Figure 17 | proposed-AVX estimate |
+//! | `table2` | Table II | native runtime statistics |
+//! | `table3` | Table III | ILP + instruction increase |
+//! | `table4` | Table IV | wrapper microbenchmarks |
+//! | `fp_only`| §V-B | FP-only protection overheads |
+//!
+//! Environment knobs: `ELZAR_SCALE` = `tiny`/`small`/`large` (default
+//! `small`), `ELZAR_THREADS` = max thread count for sweeps (default 16),
+//! `ELZAR_FI_RUNS` = injections per benchmark/mode in `fig13` (default
+//! 120; the paper used 2500 on a 25-machine cluster).
+
+#![warn(missing_docs)]
+
+use elzar::Mode;
+use elzar_ir::Module;
+use elzar_vm::{MachineConfig, RunResult};
+use elzar_workloads::Scale;
+
+/// Problem scale from `ELZAR_SCALE` (default `small`).
+pub fn scale_from_env() -> Scale {
+    match std::env::var("ELZAR_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        "tiny" => Scale::Tiny,
+        "large" => Scale::Large,
+        _ => Scale::Small,
+    }
+}
+
+/// Thread sweep from `ELZAR_THREADS` (default up to 16): `1,2,4,8,16`.
+pub fn thread_sweep() -> Vec<u32> {
+    let max: u32 = std::env::var("ELZAR_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(16);
+    [1u32, 2, 4, 8, 16].into_iter().filter(|t| *t <= max.max(1)).collect()
+}
+
+/// Peak thread count of the sweep.
+pub fn max_threads() -> u32 {
+    *thread_sweep().last().expect("sweep is never empty")
+}
+
+/// FI runs per benchmark/mode from `ELZAR_FI_RUNS` (default 120).
+pub fn fi_runs_from_env() -> u32 {
+    std::env::var("ELZAR_FI_RUNS").ok().and_then(|s| s.parse().ok()).unwrap_or(120)
+}
+
+/// Machine configuration for benchmark runs (generous step budget).
+pub fn bench_machine() -> MachineConfig {
+    MachineConfig { step_limit: 200_000_000_000, ..MachineConfig::default() }
+}
+
+/// Execute one module under a mode.
+pub fn measure(module: &Module, mode: &Mode, input: &[u8]) -> RunResult {
+    elzar::execute(module, mode, input, bench_machine())
+}
+
+/// Print a standard experiment header.
+pub fn banner(id: &str, what: &str) {
+    println!("==============================================================");
+    println!("{id}: {what}");
+    println!("(scale={:?}, see EXPERIMENTS.md for paper-vs-measured notes)", scale_from_env());
+    println!("==============================================================");
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_defaults() {
+        // Not setting the vars yields the defaults.
+        assert!(matches!(scale_from_env(), Scale::Small | Scale::Tiny | Scale::Large));
+        assert!(!thread_sweep().is_empty());
+        assert!(fi_runs_from_env() > 0);
+        assert!(mean(&[1.0, 3.0]) == 2.0);
+        assert!(mean(&[]) == 0.0);
+    }
+}

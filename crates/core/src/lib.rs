@@ -1,0 +1,225 @@
+//! # elzar
+//!
+//! Public API of the ELZAR reproduction — *Triple Modular Redundancy
+//! using Intel AVX* (Kuvaiskii et al., DSN 2016).
+//!
+//! ELZAR hardens unmodified programs against transient CPU faults by
+//! replicating **data** across the lanes of 256-bit AVX registers instead
+//! of replicating **instructions** (SWIFT-R-style ILR). This crate ties
+//! the pieces together:
+//!
+//! * build a program against [`elzar_ir`]'s builder,
+//! * pick a [`Mode`] — plain builds, ELZAR hardening with any
+//!   configuration, the SWIFT-R baseline, or the paper's §VII estimates,
+//! * [`prepare`] (transform + verify), [`build`] (lower), and
+//!   [`execute`] it on the simulated multicore machine.
+//!
+//! ```
+//! use elzar::{execute, Mode};
+//! use elzar_ir::builder::{c64, FuncBuilder};
+//! use elzar_ir::{Module, Ty};
+//! use elzar_vm::{MachineConfig, RunOutcome};
+//!
+//! let mut m = Module::new("demo");
+//! let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+//! let x = b.add(c64(40), c64(2));
+//! b.ret(x);
+//! m.add_func(b.finish());
+//!
+//! let native = execute(&m, &Mode::Native, &[], MachineConfig::default());
+//! let hardened = execute(&m, &Mode::elzar_default(), &[], MachineConfig::default());
+//! assert_eq!(native.outcome, RunOutcome::Exited(42));
+//! assert_eq!(hardened.outcome, RunOutcome::Exited(42));
+//! assert!(hardened.cycles > native.cycles, "TMR is not free");
+//! ```
+
+#![warn(missing_docs)]
+
+use elzar_ir::Module;
+use elzar_passes::elzar::{harden_module as elzar_harden, ElzarConfig};
+use elzar_passes::{decelerate_module, swiftr, vectorize_module};
+use elzar_vm::{run_program, MachineConfig, Program, RunResult};
+
+pub use elzar_passes::elzar::{CheckConfig, ElzarConfig as Config, FutureAvx};
+
+/// Build/hardening mode, mirroring the configurations of the paper's
+/// evaluation (§V).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Mode {
+    /// `-O3` with vectorization: hinted loops are vectorized
+    /// (Figure 1's "native").
+    Native,
+    /// `-O3 -no-sse -no-avx -fno-vectorize`: the baseline every hardened
+    /// build is derived from, and the reference for normalized runtimes.
+    NativeNoSimd,
+    /// ELZAR hardening with the given configuration.
+    Elzar(ElzarConfig),
+    /// SWIFT-R instruction triplication (§V-D baseline).
+    SwiftR,
+    /// Native (vectorized) build slowed by dummy wrapper instructions —
+    /// the §VII-D methodology behind the Figure 17 estimate.
+    DeceleratedNative,
+}
+
+impl Mode {
+    /// ELZAR with all checks on — the paper's default.
+    pub fn elzar_default() -> Mode {
+        Mode::Elzar(ElzarConfig::default())
+    }
+
+    /// ELZAR restricted to floating-point data (§V-B).
+    pub fn elzar_fp_only() -> Mode {
+        Mode::Elzar(ElzarConfig { fp_only: true, ..Default::default() })
+    }
+
+    /// ELZAR under the proposed AVX extensions (§VII-B/C).
+    pub fn elzar_future_avx() -> Mode {
+        Mode::Elzar(ElzarConfig { future: FutureAvx::all(), ..Default::default() })
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Mode::Native => "native".into(),
+            Mode::NativeNoSimd => "native-nosimd".into(),
+            Mode::Elzar(c) => {
+                let mut s = String::from("elzar");
+                if c.fp_only {
+                    s.push_str("-fp");
+                }
+                if c.future != FutureAvx::default() {
+                    s.push_str("-future");
+                }
+                if c.checks != CheckConfig::all() {
+                    s.push_str("-nochk");
+                }
+                s
+            }
+            Mode::SwiftR => "swift-r".into(),
+            Mode::DeceleratedNative => "native-decel".into(),
+        }
+    }
+}
+
+/// Apply the mode's transformation pipeline and verify the result.
+///
+/// # Panics
+/// Panics if the transformed module fails verification — that is a bug in
+/// a pass, never in user code.
+pub fn prepare(m: &Module, mode: &Mode) -> Module {
+    let out = match mode {
+        Mode::Native => {
+            let mut v = m.clone();
+            vectorize_module(&mut v);
+            v
+        }
+        Mode::NativeNoSimd => m.clone(),
+        Mode::Elzar(cfg) => elzar_harden(m, cfg),
+        Mode::SwiftR => swiftr::harden_module(m),
+        Mode::DeceleratedNative => {
+            let mut v = m.clone();
+            vectorize_module(&mut v);
+            decelerate_module(&v)
+        }
+    };
+    if let Err(errs) = elzar_ir::verify::verify_module(&out) {
+        panic!(
+            "pass bug: {} failed verification under {:?}: {:#?}",
+            m.name,
+            mode,
+            &errs[..errs.len().min(5)]
+        );
+    }
+    out
+}
+
+/// Prepare and lower to an executable program.
+pub fn build(m: &Module, mode: &Mode) -> Program {
+    Program::lower(&prepare(m, mode))
+}
+
+/// Prepare, lower and run `main` in one step.
+pub fn execute(m: &Module, mode: &Mode, input: &[u8], cfg: MachineConfig) -> RunResult {
+    let p = build(m, mode);
+    run_program(&p, "main", input, cfg)
+}
+
+/// Normalized runtime of `run` w.r.t. `baseline` (the y-axis of
+/// Figures 11, 12, 14 and 17).
+pub fn normalized_runtime(run: &RunResult, baseline: &RunResult) -> f64 {
+    run.cycles as f64 / baseline.cycles.max(1) as f64
+}
+
+/// Instruction-increase factor w.r.t. a baseline (Table III).
+pub fn instr_increase(run: &RunResult, baseline: &RunResult) -> f64 {
+    run.counters.instrs as f64 / baseline.counters.instrs.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elzar_ir::builder::{c64, FuncBuilder};
+    use elzar_ir::Ty;
+    use elzar_vm::RunOutcome;
+
+    fn memory_loop() -> Module {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let acc = b.alloca(Ty::I64, c64(1));
+        b.store(Ty::I64, c64(0), acc);
+        b.counted_loop(c64(0), c64(500), |b, i| {
+            let a = b.load(Ty::I64, acc);
+            let s = b.add(a, i);
+            b.store(Ty::I64, s, acc);
+        });
+        let v = b.load(Ty::I64, acc);
+        b.ret(v);
+        m.add_func(b.finish());
+        m
+    }
+
+    #[test]
+    fn all_modes_agree_on_results() {
+        let m = memory_loop();
+        let expect = RunOutcome::Exited(500 * 499 / 2);
+        for mode in [
+            Mode::Native,
+            Mode::NativeNoSimd,
+            Mode::elzar_default(),
+            Mode::elzar_fp_only(),
+            Mode::elzar_future_avx(),
+            Mode::SwiftR,
+            Mode::DeceleratedNative,
+        ] {
+            let r = execute(&m, &mode, &[], MachineConfig::default());
+            assert_eq!(r.outcome, expect, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn overhead_ordering_matches_paper_on_memory_heavy_code() {
+        // On a load/store/branch-dominated loop the paper finds:
+        // native <= swift-r <= elzar, and future-AVX ELZAR well below
+        // plain ELZAR (§V, §VII).
+        let m = memory_loop();
+        let cfg = MachineConfig::default();
+        let native = execute(&m, &Mode::NativeNoSimd, &[], cfg);
+        let swiftr = execute(&m, &Mode::SwiftR, &[], cfg);
+        let elz = execute(&m, &Mode::elzar_default(), &[], cfg);
+        let fut = execute(&m, &Mode::elzar_future_avx(), &[], cfg);
+        let os = normalized_runtime(&swiftr, &native);
+        let oe = normalized_runtime(&elz, &native);
+        let of = normalized_runtime(&fut, &native);
+        assert!(os > 1.2, "SWIFT-R must cost something, got {os:.2}");
+        assert!(oe > os, "ELZAR ({oe:.2}x) should exceed SWIFT-R ({os:.2}x) on memory-heavy code");
+        assert!(of < oe, "future AVX ({of:.2}x) must beat plain ELZAR ({oe:.2}x)");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Mode::Native.label(), "native");
+        assert_eq!(Mode::elzar_default().label(), "elzar");
+        assert_eq!(Mode::elzar_future_avx().label(), "elzar-future");
+        assert_eq!(Mode::SwiftR.label(), "swift-r");
+    }
+}

@@ -1,0 +1,276 @@
+//! Set-associative cache hierarchy simulator.
+//!
+//! Models the paper's testbed (§V-A): per-core 32 KB 8-way L1D and 256 KB
+//! 8-way L2, plus a 35 MB 16-way L3 shared by all cores. Latencies are in
+//! core cycles. True LRU within each set.
+
+/// One set-associative cache level.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    sets: Vec<Vec<(u64, u64)>>, // per set: (tag, last_used_tick)
+    ways: usize,
+    line_shift: u32,
+    set_mask: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Build a cache of `size_bytes` with `ways` associativity and
+    /// `line_bytes` lines (both powers of two).
+    ///
+    /// # Panics
+    /// Panics if the geometry is not a power-of-two or is inconsistent.
+    pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> Cache {
+        assert!(line_bytes.is_power_of_two() && size_bytes % (ways * line_bytes) == 0);
+        let n_sets = size_bytes / (ways * line_bytes);
+        assert!(n_sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets: vec![Vec::with_capacity(ways); n_sets],
+            ways,
+            line_shift: line_bytes.trailing_zeros(),
+            set_mask: (n_sets - 1) as u64,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access `addr`; returns true on hit. Misses allocate (LRU evict).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        let ways = self.ways;
+        let entries = &mut self.sets[set];
+        if let Some(e) = entries.iter_mut().find(|(t, _)| *t == tag) {
+            e.1 = self.tick;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if entries.len() < ways {
+            entries.push((tag, self.tick));
+        } else {
+            // Evict true-LRU.
+            let lru = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            entries[lru] = (tag, self.tick);
+        }
+        false
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]` (0 when never accessed).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// Latency parameters of the hierarchy (cycles).
+#[derive(Clone, Copy, Debug)]
+pub struct CacheLatencies {
+    /// L1D hit.
+    pub l1: u32,
+    /// L2 hit.
+    pub l2: u32,
+    /// L3 hit.
+    pub l3: u32,
+    /// DRAM.
+    pub mem: u32,
+}
+
+impl Default for CacheLatencies {
+    fn default() -> CacheLatencies {
+        CacheLatencies { l1: 4, l2: 12, l3: 36, mem: 200 }
+    }
+}
+
+/// The shared last-level cache (one per machine).
+#[derive(Clone, Debug)]
+pub struct SharedL3 {
+    cache: Cache,
+}
+
+impl SharedL3 {
+    /// 35 MB, 16-way, 64-byte lines — the paper's Haswell L3. The size is
+    /// rounded to a power-of-two set count (32 MB effective).
+    pub fn haswell() -> SharedL3 {
+        SharedL3 { cache: Cache::new(32 * 1024 * 1024, 16, 64) }
+    }
+
+    /// Access; true on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.cache.access(addr)
+    }
+
+    /// Miss ratio observed at L3.
+    pub fn miss_ratio(&self) -> f64 {
+        self.cache.miss_ratio()
+    }
+}
+
+/// Per-core L1D + L2 with a handle-free interface: the caller passes the
+/// shared L3 on each access.
+#[derive(Clone, Debug)]
+pub struct CoreCaches {
+    l1: Cache,
+    l2: Cache,
+    lat: CacheLatencies,
+}
+
+impl CoreCaches {
+    /// Haswell-like core caches: 32 KB/8-way L1D, 256 KB/8-way L2.
+    pub fn haswell() -> CoreCaches {
+        CoreCaches {
+            l1: Cache::new(32 * 1024, 8, 64),
+            l2: Cache::new(256 * 1024, 8, 64),
+            lat: CacheLatencies::default(),
+        }
+    }
+
+    /// Access `addr`, returning the load-to-use latency in cycles.
+    pub fn access(&mut self, addr: u64, l3: &mut SharedL3) -> u32 {
+        if self.l1.access(addr) {
+            return self.lat.l1;
+        }
+        if self.l2.access(addr) {
+            return self.lat.l2;
+        }
+        if l3.access(addr) {
+            return self.lat.l3;
+        }
+        self.lat.mem
+    }
+
+    /// L1D miss ratio (Table II's `L1-miss` column).
+    pub fn l1_miss_ratio(&self) -> f64 {
+        self.l1.miss_ratio()
+    }
+
+    /// L1 accesses (≈ memory references).
+    pub fn l1_accesses(&self) -> u64 {
+        self.l1.accesses()
+    }
+
+    /// L1 misses.
+    pub fn l1_misses(&self) -> u64 {
+        self.l1.misses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(32 * 1024, 8, 64);
+        assert!(!c.access(0x1000));
+        for _ in 0..10 {
+            assert!(c.access(0x1000));
+        }
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 10);
+    }
+
+    #[test]
+    fn same_line_different_bytes_hit() {
+        let mut c = Cache::new(32 * 1024, 8, 64);
+        c.access(0x1000);
+        assert!(c.access(0x103F)); // same 64B line
+        assert!(!c.access(0x1040)); // next line
+    }
+
+    #[test]
+    fn lru_eviction_in_one_set() {
+        // Direct a stream of 9 distinct lines into the same set of an
+        // 8-way cache: the first line must be evicted.
+        let mut c = Cache::new(32 * 1024, 8, 64);
+        let n_sets = 32 * 1024 / (8 * 64); // 64 sets
+        let stride = (n_sets * 64) as u64; // same set, new tag
+        for i in 0..9u64 {
+            c.access(i * stride);
+        }
+        // Line 0 was LRU and must now miss.
+        assert!(!c.access(0));
+        // Line 8 is still resident.
+        assert!(c.access(8 * stride));
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = Cache::new(1024, 2, 64); // tiny cache: 16 lines
+        let mut misses0 = 0;
+        for round in 0..3 {
+            for i in 0..64u64 {
+                let hit = c.access(i * 64);
+                if round == 0 && !hit {
+                    misses0 += 1;
+                }
+            }
+        }
+        assert_eq!(misses0, 64);
+        assert!(c.miss_ratio() > 0.9, "LRU + sequential sweep over 4x capacity must thrash");
+    }
+
+    #[test]
+    fn hierarchy_latencies_ordered() {
+        let mut l3 = SharedL3::haswell();
+        let mut cc = CoreCaches::haswell();
+        let first = cc.access(0x10000, &mut l3);
+        let second = cc.access(0x10000, &mut l3);
+        assert_eq!(first, CacheLatencies::default().mem);
+        assert_eq!(second, CacheLatencies::default().l1);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut l3 = SharedL3::haswell();
+        let mut cc = CoreCaches::haswell();
+        // Touch a line, then sweep 64 KB (evicts it from 32 KB L1 but not
+        // from 256 KB L2), then touch it again.
+        cc.access(0, &mut l3);
+        for i in 0..1024u64 {
+            cc.access(0x100000 + i * 64, &mut l3);
+        }
+        let lat = cc.access(0, &mut l3);
+        assert_eq!(lat, CacheLatencies::default().l2);
+    }
+
+    #[test]
+    fn shared_l3_is_shared() {
+        let mut l3 = SharedL3::haswell();
+        let mut core_a = CoreCaches::haswell();
+        let mut core_b = CoreCaches::haswell();
+        core_a.access(0x5000, &mut l3);
+        // Core B misses its private caches but hits the line Core A
+        // brought into the shared L3.
+        let lat = core_b.access(0x5000, &mut l3);
+        assert_eq!(lat, CacheLatencies::default().l3);
+    }
+}

@@ -1,0 +1,293 @@
+//! Instruction classes and their port/latency cost table.
+//!
+//! The table is a Haswell-flavoured approximation (the paper's testbed,
+//! §V-A): four-wide issue; scalar ALU on ports 0/1/5/6; vector execution
+//! restricted to ports 0/1/5 with generally higher latencies; loads on
+//! ports 2/3; store data on port 4; branches on port 6. The *relative*
+//! numbers are what matters for reproducing the paper's ratios: AVX ops
+//! are served by fewer ports and the `extract`/`broadcast` wrappers pay a
+//! 3-cycle domain-crossing latency, which is exactly the §VII-A
+//! "loads ≈ 2×, branches ≈ 1.9×" microbenchmark behaviour.
+
+/// Execution port bitmask (bit `i` = port `i`, Haswell has 8).
+pub type PortMask = u8;
+
+/// Scalar integer ALU ports (p0, p1, p5, p6).
+pub const P_ALU: PortMask = 0b0110_0011;
+/// Vector ALU ports (p0, p1, p5).
+pub const P_VEC: PortMask = 0b0010_0011;
+/// Load ports (p2, p3).
+pub const P_LOAD: PortMask = 0b0000_1100;
+/// Store-data port (p4).
+pub const P_STORE: PortMask = 0b0001_0000;
+/// Branch ports (p0 + p6 — Haswell retires predicted-not-taken branches
+/// on port 0 as well).
+pub const P_BRANCH: PortMask = 0b0100_0001;
+/// Divider port (p0).
+pub const P_DIV: PortMask = 0b0000_0001;
+/// Shuffle port (p5) — Haswell has a single shuffle unit.
+pub const P_SHUF: PortMask = 0b0010_0000;
+/// FP multiply ports (p0, p1).
+pub const P_FPMUL: PortMask = 0b0000_0011;
+/// FP add port (p1).
+pub const P_FPADD: PortMask = 0b0000_0010;
+
+/// Classification of one retired instruction, reported by the VM to the
+/// timing model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InstClass {
+    /// Scalar integer add/sub/logic/shift/compare.
+    ScalarAlu,
+    /// Scalar integer multiply.
+    ScalarMul,
+    /// Scalar integer divide/remainder (unpipelined).
+    ScalarDiv,
+    /// Scalar FP add/sub/compare.
+    ScalarFpAdd,
+    /// Scalar FP multiply.
+    ScalarFpMul,
+    /// Scalar FP divide / sqrt (unpipelined).
+    ScalarFpDiv,
+    /// Scalar load (latency supplied by the cache model).
+    Load,
+    /// Scalar store.
+    Store,
+    /// Conditional or unconditional branch (fused cmp+jcc).
+    Branch,
+    /// Call / return overhead.
+    Call,
+    /// AVX integer lane add/sub/logic (`vpadd` …).
+    VecAlu,
+    /// AVX integer multiply (`vpmull`).
+    VecMul,
+    /// AVX FP add/sub.
+    VecFpAdd,
+    /// AVX FP multiply.
+    VecFpMul,
+    /// AVX FP divide (unpipelined, wide).
+    VecFpDiv,
+    /// AVX compare producing a mask (`vpcmpeq`, `vcmpps`).
+    VecCmp,
+    /// `vptest` + flag consumption.
+    Ptest,
+    /// `vpextr`/`vextract` — vector→GPR domain crossing.
+    Extract,
+    /// `vbroadcast`/`vpinsr`+splat — GPR→vector domain crossing.
+    Broadcast,
+    /// Cross-lane shuffle (`vperm`).
+    Shuffle,
+    /// Lane blend (`vblendv`).
+    Blend,
+    /// `vpinsr` single-lane insert.
+    Insert,
+    /// Vector integer divide — absent from AVX (§II-C); legalized by the
+    /// backend into N scalar divides plus extract/insert wrappers.
+    VecIntDiv,
+    /// Vector cast with direct AVX support (`vcvt` family).
+    VecCast,
+    /// Vector cast *without* AVX support (e.g. 64→32 truncation pre
+    /// AVX-512, §VII-A: "our microbenchmark for truncation exhibits
+    /// overheads of 8×"); legalized to scalar sequences.
+    VecCastLegalized,
+    /// Contiguous vector load (native vectorized code only).
+    VecLoad,
+    /// Contiguous vector store (native vectorized code only).
+    VecStore,
+    /// Proposed AVX gather with in-hardware address voting (§VII-B).
+    Gather,
+    /// Proposed AVX scatter with in-hardware voting (§VII-B).
+    Scatter,
+    /// Atomic RMW / cmpxchg (lock-prefixed).
+    Atomic,
+    /// Memory fence.
+    Fence,
+    /// Call into the unhardened runtime (libc/libm/pthreads stand-in).
+    LibCall,
+}
+
+/// Static cost of an instruction class.
+#[derive(Clone, Copy, Debug)]
+pub struct Cost {
+    /// Result latency in cycles (for loads this is *added* to the cache
+    /// access latency).
+    pub latency: u32,
+    /// Ports able to execute the operation.
+    pub ports: PortMask,
+    /// Cycles the chosen port stays busy (1 = fully pipelined).
+    pub occupy: u32,
+    /// Additional retired-instruction count charged on top of 1 (e.g. a
+    /// legalized vector divide really executes ~12 instructions). Affects
+    /// the instruction-increase statistics of Table III, as it did in the
+    /// paper's perf counters.
+    pub extra_instrs: u32,
+}
+
+const fn cost(latency: u32, ports: PortMask, occupy: u32, extra_instrs: u32) -> Cost {
+    Cost { latency, ports, occupy, extra_instrs }
+}
+
+impl InstClass {
+    /// Cost-table lookup.
+    pub fn cost(self) -> Cost {
+        match self {
+            InstClass::ScalarAlu => cost(1, P_ALU, 1, 0),
+            InstClass::ScalarMul => cost(3, 0b0000_0010, 1, 0),
+            InstClass::ScalarDiv => cost(26, P_DIV, 20, 0),
+            InstClass::ScalarFpAdd => cost(3, P_FPADD, 1, 0),
+            InstClass::ScalarFpMul => cost(5, P_FPMUL, 1, 0),
+            InstClass::ScalarFpDiv => cost(14, P_DIV, 12, 0),
+            InstClass::Load => cost(0, P_LOAD, 1, 0), // + cache latency
+            InstClass::Store => cost(1, P_STORE, 1, 0),
+            InstClass::Branch => cost(1, P_BRANCH, 1, 0),
+            InstClass::Call => cost(2, P_BRANCH, 2, 0),
+            InstClass::VecAlu => cost(1, P_VEC, 1, 0),
+            InstClass::VecMul => cost(5, 0b0000_0001, 1, 0),
+            InstClass::VecFpAdd => cost(3, P_FPADD, 1, 0),
+            InstClass::VecFpMul => cost(5, P_FPMUL, 1, 0),
+            InstClass::VecFpDiv => cost(28, P_DIV, 24, 0),
+            InstClass::VecCmp => cost(1, P_VEC, 1, 0),
+            // vptest is 2 uops with ~3c latency into FLAGS on Haswell and
+            // competes with the shuffle-heavy check traffic on p0/p5.
+            InstClass::Ptest => cost(3, 0b0010_0001, 1, 1),
+            // Domain crossing vec<->gpr costs ~3 cycles each way; this is
+            // the wrapper tax of Figure 6. Extracts dual-issue on p0/p5.
+            InstClass::Extract => cost(3, 0b0010_0001, 1, 0),
+            InstClass::Broadcast => cost(3, P_SHUF, 1, 0),
+            InstClass::Shuffle => cost(3, P_SHUF, 1, 0),
+            InstClass::Blend => cost(1, P_VEC, 1, 0),
+            InstClass::Insert => cost(3, P_SHUF, 1, 0),
+            // ~4 scalar divides + 4 extracts + 4 inserts.
+            InstClass::VecIntDiv => cost(48, P_DIV, 40, 12),
+            InstClass::VecCast => cost(3, 0b0010_0001, 1, 0),
+            InstClass::VecCastLegalized => cost(8, P_SHUF, 2, 4),
+            InstClass::VecLoad => cost(1, P_LOAD, 1, 0), // + cache latency
+            InstClass::VecStore => cost(2, P_STORE, 1, 0),
+            // §VII-B gathers: one wide op replacing extract+load+broadcast;
+            // still a memory op (+cache latency) with a small vote cost.
+            InstClass::Gather => cost(2, P_LOAD, 1, 0),
+            InstClass::Scatter => cost(3, P_STORE, 1, 0),
+            InstClass::Atomic => cost(19, P_LOAD, 6, 0),
+            InstClass::Fence => cost(6, P_LOAD, 6, 0),
+            InstClass::LibCall => cost(3, P_BRANCH, 2, 0),
+        }
+    }
+
+    /// True for classes counted as AVX instructions in the perf-style
+    /// statistics (Table II/III).
+    pub fn is_avx(self) -> bool {
+        matches!(
+            self,
+            InstClass::VecAlu
+                | InstClass::VecMul
+                | InstClass::VecFpAdd
+                | InstClass::VecFpMul
+                | InstClass::VecFpDiv
+                | InstClass::VecCmp
+                | InstClass::Ptest
+                | InstClass::Extract
+                | InstClass::Broadcast
+                | InstClass::Shuffle
+                | InstClass::Blend
+                | InstClass::Insert
+                | InstClass::VecIntDiv
+                | InstClass::VecCast
+                | InstClass::VecCastLegalized
+                | InstClass::VecLoad
+                | InstClass::VecStore
+                | InstClass::Gather
+                | InstClass::Scatter
+        )
+    }
+
+    /// True for classes that reference memory (drive the cache model).
+    pub fn is_mem(self) -> bool {
+        matches!(
+            self,
+            InstClass::Load
+                | InstClass::Store
+                | InstClass::VecLoad
+                | InstClass::VecStore
+                | InstClass::Gather
+                | InstClass::Scatter
+                | InstClass::Atomic
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_has_at_least_one_port() {
+        let all = [
+            InstClass::ScalarAlu,
+            InstClass::ScalarMul,
+            InstClass::ScalarDiv,
+            InstClass::ScalarFpAdd,
+            InstClass::ScalarFpMul,
+            InstClass::ScalarFpDiv,
+            InstClass::Load,
+            InstClass::Store,
+            InstClass::Branch,
+            InstClass::Call,
+            InstClass::VecAlu,
+            InstClass::VecMul,
+            InstClass::VecFpAdd,
+            InstClass::VecFpMul,
+            InstClass::VecFpDiv,
+            InstClass::VecCmp,
+            InstClass::Ptest,
+            InstClass::Extract,
+            InstClass::Broadcast,
+            InstClass::Shuffle,
+            InstClass::Blend,
+            InstClass::Insert,
+            InstClass::VecIntDiv,
+            InstClass::VecCast,
+            InstClass::VecCastLegalized,
+            InstClass::VecLoad,
+            InstClass::VecStore,
+            InstClass::Gather,
+            InstClass::Scatter,
+            InstClass::Atomic,
+            InstClass::Fence,
+            InstClass::LibCall,
+        ];
+        for c in all {
+            assert!(c.cost().ports != 0, "{c:?} has no ports");
+            assert!(c.cost().occupy >= 1, "{c:?} occupancy must be >= 1");
+        }
+    }
+
+    #[test]
+    fn scalar_alu_has_more_ports_than_vector() {
+        // The root of the paper's ILP observation (Table III): scalar
+        // instructions are served by 4 ports, AVX by 3.
+        assert_eq!(InstClass::ScalarAlu.cost().ports.count_ones(), 4);
+        assert_eq!(InstClass::VecAlu.cost().ports.count_ones(), 3);
+    }
+
+    #[test]
+    fn wrappers_pay_domain_crossing() {
+        assert!(InstClass::Extract.cost().latency >= 3);
+        assert!(InstClass::Broadcast.cost().latency >= 3);
+    }
+
+    #[test]
+    fn legalized_ops_charge_extra_instructions() {
+        assert!(InstClass::VecIntDiv.cost().extra_instrs >= 8);
+        assert!(InstClass::VecCastLegalized.cost().extra_instrs >= 4);
+        assert_eq!(InstClass::ScalarAlu.cost().extra_instrs, 0);
+    }
+
+    #[test]
+    fn avx_classification() {
+        assert!(InstClass::VecAlu.is_avx());
+        assert!(InstClass::Ptest.is_avx());
+        assert!(!InstClass::ScalarAlu.is_avx());
+        assert!(!InstClass::Load.is_avx());
+        assert!(InstClass::Gather.is_mem());
+        assert!(!InstClass::Branch.is_mem());
+    }
+}

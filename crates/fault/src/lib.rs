@@ -1,0 +1,412 @@
+//! # elzar-fault
+//!
+//! Single-event-upset fault-injection campaigns (§IV-B of the paper).
+//!
+//! A campaign first performs a *golden run* to record the program's
+//! reference output and the number of fault-eligible dynamic instructions
+//! (instructions in hardened code that write a destination register).
+//! Each injection run then flips one uniformly random bit of the
+//! destination register of one uniformly random eligible instruction —
+//! GPR bits for scalars, one YMM lane bit for vectors — and the result is
+//! classified per the paper's Table I:
+//!
+//! | outcome          | meaning                               | class     |
+//! |------------------|---------------------------------------|-----------|
+//! | `Hang`           | program became unresponsive           | Crashed   |
+//! | `OsDetected`     | trap (segfault, div-by-zero, …)       | Crashed   |
+//! | `ElzarCorrected` | recovery fired, output matches golden | Correct   |
+//! | `Masked`         | fault did not affect the output       | Correct   |
+//! | `Sdc`            | silent data corruption in the output  | Corrupted |
+//!
+//! ```
+//! use elzar::{build, Mode};
+//! use elzar_fault::{run_campaign, CampaignConfig};
+//! use elzar_ir::builder::{c64, FuncBuilder};
+//! use elzar_ir::{Builtin, Module, Ty};
+//!
+//! let mut m = Module::new("demo");
+//! let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+//! let acc = b.alloca(Ty::I64, c64(1));
+//! b.store(Ty::I64, c64(0), acc);
+//! b.counted_loop(c64(0), c64(40), |b, i| {
+//!     let v = b.load(Ty::I64, acc);
+//!     let s = b.add(v, i);
+//!     b.store(Ty::I64, s, acc);
+//! });
+//! let v = b.load(Ty::I64, acc);
+//! b.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
+//! b.ret(c64(0));
+//! m.add_func(b.finish());
+//!
+//! let prog = build(&m, &Mode::elzar_default());
+//! let result = run_campaign(&prog, &[], &CampaignConfig { runs: 50, ..Default::default() });
+//! assert_eq!(result.total(), 50);
+//! ```
+
+#![warn(missing_docs)]
+
+use elzar_vm::{run_program, FaultPlan, MachineConfig, Program, RunOutcome, RunResult};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Fault-injection outcome (Table I).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Outcome {
+    /// Program exceeded its step budget ("became unresponsive").
+    Hang,
+    /// A hardware/OS trap terminated the program.
+    OsDetected,
+    /// ELZAR detected and corrected the fault; output correct.
+    ElzarCorrected,
+    /// Fault did not affect the output.
+    Masked,
+    /// Silent data corruption: output differs from the golden run.
+    Sdc,
+}
+
+impl Outcome {
+    /// The coarse system-state class used in Figure 13.
+    pub fn class(self) -> OutcomeClass {
+        match self {
+            Outcome::Hang | Outcome::OsDetected => OutcomeClass::Crashed,
+            Outcome::ElzarCorrected | Outcome::Masked => OutcomeClass::Correct,
+            Outcome::Sdc => OutcomeClass::Corrupted,
+        }
+    }
+
+    /// All outcomes, in Table I order.
+    pub fn all() -> [Outcome; 5] {
+        [Outcome::Hang, Outcome::OsDetected, Outcome::ElzarCorrected, Outcome::Masked, Outcome::Sdc]
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Outcome::Hang => "hang",
+            Outcome::OsDetected => "os-detected",
+            Outcome::ElzarCorrected => "elzar-corrected",
+            Outcome::Masked => "masked",
+            Outcome::Sdc => "SDC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Coarse classes (the stacked bars of Figure 13).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OutcomeClass {
+    /// Hang or OS-detected.
+    Crashed,
+    /// Corrected or masked.
+    Correct,
+    /// Silent data corruption.
+    Corrupted,
+}
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Number of injection runs.
+    pub runs: u32,
+    /// RNG seed for injection-point sampling.
+    pub seed: u64,
+    /// Host worker threads to parallelize runs over.
+    pub workers: u32,
+    /// Hang budget as a multiple of the golden run's retired instructions.
+    pub hang_factor: u64,
+    /// Base machine configuration (threads inside the VM etc.).
+    pub machine: MachineConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            runs: 200,
+            seed: 0xE12A,
+            workers: std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(4),
+            hang_factor: 20,
+            machine: MachineConfig::default(),
+        }
+    }
+}
+
+/// Aggregate campaign result.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignResult {
+    /// Counts per outcome, Table-I order.
+    pub counts: [u64; 5],
+    /// Eligible instructions in the golden run.
+    pub eligible: u64,
+    /// Golden-run cycles.
+    pub golden_cycles: u64,
+}
+
+impl CampaignResult {
+    /// Total runs.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Count for one outcome.
+    pub fn count(&self, o: Outcome) -> u64 {
+        let idx = Outcome::all().iter().position(|x| *x == o).expect("known outcome");
+        self.counts[idx]
+    }
+
+    /// Fraction for one outcome in `[0, 1]`.
+    pub fn rate(&self, o: Outcome) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.count(o) as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction for a coarse class.
+    pub fn class_rate(&self, c: OutcomeClass) -> f64 {
+        Outcome::all().iter().filter(|o| o.class() == c).map(|o| self.rate(*o)).sum()
+    }
+
+    fn record(&mut self, o: Outcome) {
+        let idx = Outcome::all().iter().position(|x| *x == o).expect("known outcome");
+        self.counts[idx] += 1;
+    }
+}
+
+/// Reference execution data.
+#[derive(Clone, Debug)]
+pub struct GoldenRun {
+    /// Observable output.
+    pub output: Vec<u8>,
+    /// Exit outcome.
+    pub outcome: RunOutcome,
+    /// Fault-eligible instruction count.
+    pub eligible: u64,
+    /// Retired instructions (hang budget base).
+    pub steps: u64,
+    /// Cycles.
+    pub cycles: u64,
+}
+
+/// Perform the golden (fault-free) run.
+///
+/// # Panics
+/// Panics if the fault-free program does not exit cleanly — campaigns on
+/// broken programs are meaningless.
+pub fn golden_run(prog: &Program, input: &[u8], machine: &MachineConfig) -> GoldenRun {
+    let mut cfg = *machine;
+    cfg.fault = None;
+    let r = run_program(prog, "main", input, cfg);
+    assert!(
+        matches!(r.outcome, RunOutcome::Exited(_)),
+        "golden run must exit cleanly, got {:?}",
+        r.outcome
+    );
+    assert!(r.eligible > 0, "program has no fault-eligible instructions");
+    GoldenRun { output: r.output, outcome: r.outcome, eligible: r.eligible, steps: r.steps, cycles: r.cycles }
+}
+
+/// Classify one faulty run against the golden reference.
+pub fn classify(golden: &GoldenRun, faulty: &RunResult) -> Outcome {
+    match faulty.outcome {
+        RunOutcome::StepLimit => Outcome::Hang,
+        RunOutcome::Trapped(_) => Outcome::OsDetected,
+        RunOutcome::Exited(_) => {
+            if faulty.outcome == golden.outcome && faulty.output == golden.output {
+                if faulty.corrections > 0 {
+                    Outcome::ElzarCorrected
+                } else {
+                    Outcome::Masked
+                }
+            } else {
+                Outcome::Sdc
+            }
+        }
+    }
+}
+
+/// Inject one fault at eligible instruction `index` (1-based), flipping
+/// raw bit `bit`, and classify the result.
+pub fn inject_once(
+    prog: &Program,
+    input: &[u8],
+    golden: &GoldenRun,
+    index: u64,
+    bit: u32,
+    machine: &MachineConfig,
+    hang_factor: u64,
+) -> Outcome {
+    let mut cfg = *machine;
+    cfg.fault = Some(FaultPlan { index, bit });
+    cfg.step_limit = golden.steps.saturating_mul(hang_factor).saturating_add(100_000);
+    let r = run_program(prog, "main", input, cfg);
+    classify(golden, &r)
+}
+
+/// Run a full campaign: golden run + `cfg.runs` single-SEU injections at
+/// uniformly random eligible instructions and bits, parallelized across
+/// host threads. Deterministic for a fixed seed.
+pub fn run_campaign(prog: &Program, input: &[u8], cfg: &CampaignConfig) -> CampaignResult {
+    let golden = golden_run(prog, input, &cfg.machine);
+    // Pre-sample all injection points so the result does not depend on
+    // worker scheduling.
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let plans: Vec<(u64, u32)> = (0..cfg.runs)
+        .map(|_| (rng.gen_range(1..=golden.eligible), rng.gen_range(0..256u32)))
+        .collect();
+    let workers = cfg.workers.max(1) as usize;
+    let chunk = plans.len().div_ceil(workers).max(1);
+    let mut result = CampaignResult {
+        counts: [0; 5],
+        eligible: golden.eligible,
+        golden_cycles: golden.cycles,
+    };
+    if plans.is_empty() {
+        return result;
+    }
+    let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
+        let mut handles = vec![];
+        for part in plans.chunks(chunk) {
+            let golden = &golden;
+            let machine = &cfg.machine;
+            let hang = cfg.hang_factor;
+            handles.push(scope.spawn(move || {
+                part.iter()
+                    .map(|&(index, bit)| inject_once(prog, input, golden, index, bit, machine, hang))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+    });
+    for o in outcomes {
+        result.record(o);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elzar::{build, Mode};
+    use elzar_ir::builder::{c64, FuncBuilder};
+    use elzar_ir::{Builtin, Module, Ty};
+
+    /// A small compute kernel with observable output.
+    fn kernel() -> Module {
+        let mut m = Module::new("fi");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let buf = b.call_builtin(Builtin::Malloc, vec![c64(64 * 8)], Ty::Ptr).unwrap();
+        b.counted_loop(c64(0), c64(64), |b, i| {
+            let v = b.mul(i, c64(0x9E37));
+            let x = b.bin(elzar_ir::BinOp::Xor, Ty::I64, v, c64(0x5A5A));
+            let p = b.gep(buf, i, 8);
+            b.store(Ty::I64, x, p);
+        });
+        let acc = b.alloca(Ty::I64, c64(1));
+        b.store(Ty::I64, c64(0), acc);
+        b.counted_loop(c64(0), c64(64), |b, i| {
+            let p = b.gep(buf, i, 8);
+            let v = b.load(Ty::I64, p);
+            let a = b.load(Ty::I64, acc);
+            let s = b.add(a, v);
+            b.store(Ty::I64, s, acc);
+        });
+        let v = b.load(Ty::I64, acc);
+        b.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
+        b.ret(c64(0));
+        m.add_func(b.finish());
+        m
+    }
+
+    fn campaign(mode: &Mode, runs: u32, seed: u64) -> CampaignResult {
+        let prog = build(&kernel(), mode);
+        run_campaign(&prog, &[], &CampaignConfig { runs, seed, ..Default::default() })
+    }
+
+    #[test]
+    fn native_suffers_sdc_elzar_mostly_does_not() {
+        let native = campaign(&Mode::NativeNoSimd, 150, 7);
+        let elzar = campaign(&Mode::elzar_default(), 150, 7);
+        assert!(native.rate(Outcome::Sdc) > 0.10, "native SDC {:.2}", native.rate(Outcome::Sdc));
+        assert!(
+            elzar.rate(Outcome::Sdc) < native.rate(Outcome::Sdc) / 2.0,
+            "ELZAR SDC {:.2} vs native {:.2}",
+            elzar.rate(Outcome::Sdc),
+            native.rate(Outcome::Sdc)
+        );
+        assert!(elzar.count(Outcome::ElzarCorrected) > 0, "no corrections observed");
+        // Native runs can never be classified as corrected.
+        assert_eq!(native.count(Outcome::ElzarCorrected), 0);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let a = campaign(&Mode::elzar_default(), 40, 99);
+        let b = campaign(&Mode::elzar_default(), 40, 99);
+        assert_eq!(a.counts, b.counts);
+    }
+
+    #[test]
+    fn exhaustive_bit_flips_on_replicated_add_never_corrupt() {
+        // TMR invariant: corrupting one lane of a replicated arithmetic
+        // destination is always detected-and-corrected or masked —
+        // the checks guard every path to memory/output.
+        let prog = build(&kernel(), &Mode::elzar_default());
+        let golden = golden_run(&prog, &[], &MachineConfig::default());
+        // Eligible index 5 is inside the hardened init loop.
+        for bit in (0..256).step_by(13) {
+            let o = inject_once(&prog, &[], &golden, 5, bit, &MachineConfig::default(), 20);
+            assert_ne!(o, Outcome::Sdc, "bit {bit} caused SDC through TMR");
+        }
+    }
+
+    #[test]
+    fn classify_covers_all_paths() {
+        let g = GoldenRun {
+            output: vec![1, 2, 3],
+            outcome: RunOutcome::Exited(0),
+            eligible: 10,
+            steps: 100,
+            cycles: 100,
+        };
+        let mk = |outcome, output: Vec<u8>, corrections| RunResult {
+            outcome,
+            output,
+            cycles: 1,
+            counters: Default::default(),
+            corrections,
+            eligible: 10,
+            steps: 1,
+            thread_cycles: vec![],
+            heartbeats: 0,
+        };
+        assert_eq!(classify(&g, &mk(RunOutcome::StepLimit, vec![], 0)), Outcome::Hang);
+        assert_eq!(
+            classify(&g, &mk(RunOutcome::Trapped(elzar_vm::Trap::DivByZero), vec![], 0)),
+            Outcome::OsDetected
+        );
+        assert_eq!(classify(&g, &mk(RunOutcome::Exited(0), vec![1, 2, 3], 0)), Outcome::Masked);
+        assert_eq!(classify(&g, &mk(RunOutcome::Exited(0), vec![1, 2, 3], 2)), Outcome::ElzarCorrected);
+        assert_eq!(classify(&g, &mk(RunOutcome::Exited(0), vec![9, 9, 9], 0)), Outcome::Sdc);
+        assert_eq!(classify(&g, &mk(RunOutcome::Exited(7), vec![1, 2, 3], 0)), Outcome::Sdc);
+    }
+
+    #[test]
+    fn outcome_classes_match_figure13_grouping() {
+        assert_eq!(Outcome::Hang.class(), OutcomeClass::Crashed);
+        assert_eq!(Outcome::OsDetected.class(), OutcomeClass::Crashed);
+        assert_eq!(Outcome::ElzarCorrected.class(), OutcomeClass::Correct);
+        assert_eq!(Outcome::Masked.class(), OutcomeClass::Correct);
+        assert_eq!(Outcome::Sdc.class(), OutcomeClass::Corrupted);
+        let mut r = CampaignResult::default();
+        r.record(Outcome::Hang);
+        r.record(Outcome::Sdc);
+        r.record(Outcome::Masked);
+        r.record(Outcome::Masked);
+        assert_eq!(r.total(), 4);
+        assert!((r.class_rate(OutcomeClass::Correct) - 0.5).abs() < 1e-9);
+        assert!((r.class_rate(OutcomeClass::Crashed) - 0.25).abs() < 1e-9);
+    }
+}

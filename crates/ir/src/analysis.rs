@@ -1,0 +1,239 @@
+//! Control-flow analyses: reverse post-order, dominators, natural loops.
+//!
+//! Used by the verifier (SSA dominance checking) and the loop vectorizer.
+
+use crate::module::Function;
+use crate::value::BlockId;
+
+/// Reverse post-order of reachable blocks starting at the entry.
+pub fn reverse_post_order(f: &Function) -> Vec<BlockId> {
+    let n = f.blocks.len();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with explicit stack of (block, next-successor-index).
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    visited[0] = true;
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        let succs = f.blocks[b].term.successors();
+        if *next < succs.len() {
+            let s = succs[*next].0 as usize;
+            *next += 1;
+            if !visited[s] {
+                visited[s] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(BlockId(b as u32));
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Immediate-dominator table computed with the Cooper–Harvey–Kennedy
+/// iterative algorithm. `idom[entry] == entry`; unreachable blocks get
+/// `None`.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    idom: Vec<Option<BlockId>>,
+    /// RPO index per block (used for intersection); `usize::MAX` if
+    /// unreachable.
+    rpo_index: Vec<usize>,
+}
+
+impl Dominators {
+    /// Compute dominators for `f`.
+    pub fn compute(f: &Function) -> Dominators {
+        let rpo = reverse_post_order(f);
+        let n = f.blocks.len();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+        let preds = f.predecessors();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[0] = Some(BlockId(0));
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let bi = b.0 as usize;
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[bi] {
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if new_idom.is_some() && idom[bi] != new_idom {
+                    idom[bi] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { idom, rpo_index }
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry and unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b.0 == 0 {
+            return None;
+        }
+        self.idom[b.0 as usize]
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_index[b.0 as usize] == usize::MAX {
+            return false; // unreachable
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur.0 == 0 {
+                return a.0 == 0;
+            }
+            match self.idom[cur.0 as usize] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.0 as usize] != usize::MAX
+    }
+}
+
+fn intersect(idom: &[Option<BlockId>], rpo_index: &[usize], mut a: BlockId, mut b: BlockId) -> BlockId {
+    while a != b {
+        while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+            a = idom[a.0 as usize].expect("processed");
+        }
+        while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+            b = idom[b.0 as usize].expect("processed");
+        }
+    }
+    a
+}
+
+/// A natural loop: header plus body blocks (header included).
+#[derive(Clone, Debug)]
+pub struct NaturalLoop {
+    /// Loop header (target of the back edge).
+    pub header: BlockId,
+    /// The latch (source of the back edge).
+    pub latch: BlockId,
+    /// All blocks in the loop, header first.
+    pub blocks: Vec<BlockId>,
+}
+
+/// Find natural loops via back edges (`latch -> header` where `header`
+/// dominates `latch`).
+pub fn find_loops(f: &Function) -> Vec<NaturalLoop> {
+    let doms = Dominators::compute(f);
+    let mut loops = vec![];
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let latch = BlockId(bi as u32);
+        if !doms.is_reachable(latch) {
+            continue;
+        }
+        for succ in b.term.successors() {
+            if doms.dominates(succ, latch) {
+                // Back edge latch -> succ; collect the loop body by
+                // walking predecessors from the latch up to the header.
+                let header = succ;
+                let preds = f.predecessors();
+                let mut body = vec![header];
+                let mut stack = vec![latch];
+                while let Some(x) = stack.pop() {
+                    if body.contains(&x) {
+                        continue;
+                    }
+                    body.push(x);
+                    for &p in &preds[x.0 as usize] {
+                        stack.push(p);
+                    }
+                }
+                loops.push(NaturalLoop { header, latch, blocks: body });
+            }
+        }
+    }
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{c64, FuncBuilder};
+    use crate::types::Ty;
+
+    fn loop_func() -> Function {
+        let mut b = FuncBuilder::new("f", vec![Ty::I64], Ty::Void);
+        let n = b.param(0);
+        b.counted_loop(c64(0), n, |_b, _i| {});
+        b.ret_void();
+        b.finish()
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = loop_func();
+        let rpo = reverse_post_order(&f);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 5);
+    }
+
+    #[test]
+    fn entry_dominates_everything() {
+        let f = loop_func();
+        let d = Dominators::compute(&f);
+        for i in 0..f.blocks.len() as u32 {
+            assert!(d.dominates(BlockId(0), BlockId(i)), "entry should dominate bb{i}");
+        }
+    }
+
+    #[test]
+    fn header_dominates_body_and_latch() {
+        let f = loop_func();
+        let d = Dominators::compute(&f);
+        // blocks: 0 entry, 1 header, 2 body, 3 latch, 4 exit
+        assert!(d.dominates(BlockId(1), BlockId(2)));
+        assert!(d.dominates(BlockId(1), BlockId(3)));
+        assert!(d.dominates(BlockId(1), BlockId(4)));
+        assert!(!d.dominates(BlockId(2), BlockId(4)));
+    }
+
+    #[test]
+    fn finds_the_natural_loop() {
+        let f = loop_func();
+        let loops = find_loops(&f);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.latch, BlockId(3));
+        assert!(l.blocks.contains(&BlockId(2)));
+        assert!(!l.blocks.contains(&BlockId(4)));
+    }
+
+    #[test]
+    fn unreachable_blocks_ignored() {
+        let mut b = FuncBuilder::new("f", vec![], Ty::Void);
+        let dead = b.block("dead");
+        b.ret_void();
+        b.switch_to(dead);
+        b.ret_void();
+        let f = b.finish();
+        let d = Dominators::compute(&f);
+        assert!(!d.is_reachable(dead));
+        assert!(!d.dominates(BlockId(0), dead));
+    }
+}

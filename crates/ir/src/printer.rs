@@ -1,0 +1,160 @@
+//! Textual printer (LLVM-flavoured) used in diagnostics and golden tests.
+
+use crate::inst::{Callee, Inst, Terminator};
+use crate::module::{Function, Module};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Render a module to text.
+pub fn print_module(m: &Module) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "; module {}", m.name);
+    if !m.globals.is_empty() {
+        let _ = writeln!(s, "; globals: {} bytes", m.globals.len());
+    }
+    for f in &m.funcs {
+        s.push('\n');
+        s.push_str(&print_function(m, f));
+    }
+    s
+}
+
+/// Render one function to text.
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut s = String::new();
+    let params: Vec<String> =
+        f.params.iter().enumerate().map(|(i, t)| format!("{t} %{i}")).collect();
+    let hardened = if f.hardened { "" } else { " unhardened" };
+    let _ = writeln!(s, "define {} @{}({}){hardened} {{", f.ret_ty, f.name, params.join(", "));
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let _ = writeln!(s, "bb{bi}: ; {}", b.name);
+        for &iid in &b.insts {
+            let data = &f.insts[iid.0 as usize];
+            let mut line = String::from("  ");
+            if let Some(r) = data.result {
+                let _ = write!(line, "%{} = ", r.0);
+            }
+            line.push_str(&format_inst(m, &data.inst));
+            s.push_str(&line);
+            s.push('\n');
+        }
+        let _ = writeln!(s, "  {}", format_term(&b.term));
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn format_inst(m: &Module, inst: &Inst) -> String {
+    match inst {
+        Inst::Bin { op, ty, a, b } => format!("{} {ty} {a}, {b}", op.mnemonic()),
+        Inst::Cmp { pred, ty, a, b } => format!("cmp {} {ty} {a}, {b}", pred.mnemonic()),
+        Inst::Cast { op, to, val } => format!("{} {val} to {to}", op.mnemonic()),
+        Inst::Load { ty, addr } => format!("load {ty}, {addr}"),
+        Inst::Store { ty, val, addr } => format!("store {ty} {val}, {addr}"),
+        Inst::Gep { base, index, scale } => format!("gep {base}, {index}, x{scale}"),
+        Inst::Alloca { ty, count } => format!("alloca {ty}, {count}"),
+        Inst::Select { cond, ty, a, b } => format!("select {cond}, {ty} {a}, {b}"),
+        Inst::Phi { ty, incomings } => {
+            let parts: Vec<String> =
+                incomings.iter().map(|(b, v)| format!("[bb{}: {v}]", b.0)).collect();
+            format!("phi {ty} {}", parts.join(", "))
+        }
+        Inst::Call { callee, args, ret_ty } => {
+            let name = match callee {
+                Callee::Func(fid) => format!("@{}", m.funcs.get(fid.0 as usize).map(|f| f.name.as_str()).unwrap_or("?")),
+                Callee::Builtin(b) => format!("@{}", b.name()),
+            };
+            let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+            format!("call {ret_ty} {name}({})", args.join(", "))
+        }
+        Inst::ExtractElement { vec, idx, .. } => format!("extractelement {vec}, {idx}"),
+        Inst::InsertElement { vec, val, idx, .. } => format!("insertelement {vec}, {val}, {idx}"),
+        Inst::Shuffle { a, mask, .. } => format!("shufflevector {a}, {mask:?}"),
+        Inst::Splat { val, ty } => format!("splat {val} to {ty}"),
+        Inst::Ptest { mask, .. } => format!("ptest {mask}"),
+        Inst::Gather { ty, addrs } => format!("gather {ty}, {addrs}"),
+        Inst::Scatter { val, addrs, .. } => format!("scatter {val}, {addrs}"),
+        Inst::AtomicRmw { op, ty, addr, val } => format!("atomicrmw {op:?} {ty} {addr}, {val}"),
+        Inst::CmpXchg { ty, addr, expected, new } => format!("cmpxchg {ty} {addr}, {expected}, {new}"),
+        Inst::Fence => "fence".to_string(),
+    }
+}
+
+fn format_term(t: &Terminator) -> String {
+    match t {
+        Terminator::Br { target } => format!("br bb{}", target.0),
+        Terminator::CondBr { cond, then_bb, else_bb } => {
+            format!("br {cond}, bb{}, bb{}", then_bb.0, else_bb.0)
+        }
+        Terminator::PtestBr { flags, all_false, all_true, mixed } => format!(
+            "ptest_br {flags}, false->bb{}, true->bb{}, mixed->bb{}",
+            all_false.0, all_true.0, mixed.0
+        ),
+        Terminator::Ret { val: Some(v) } => format!("ret {v}"),
+        Terminator::Ret { val: None } => "ret void".to_string(),
+        Terminator::Unreachable => "unreachable".to_string(),
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&print_module(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{c64, FuncBuilder};
+    use crate::inst::Builtin;
+    use crate::types::Ty;
+
+    #[test]
+    fn prints_readable_text() {
+        let mut m = Module::new("demo");
+        let mut b = FuncBuilder::new("main", vec![Ty::I64], Ty::I64);
+        let n = b.param(0);
+        let x = b.add(n, c64(1));
+        b.call_builtin(Builtin::OutputI64, vec![x.into()], Ty::Void);
+        b.ret(x);
+        m.add_func(b.finish());
+        let text = print_module(&m);
+        assert!(text.contains("define i64 @main(i64 %0)"));
+        assert!(text.contains("%1 = add i64 %0, i64 1"));
+        assert!(text.contains("call void @output_i64(%1)"));
+        assert!(text.contains("ret %1"));
+    }
+
+    #[test]
+    fn prints_vector_forms() {
+        let mut m = Module::new("demo");
+        let mut b = FuncBuilder::new("v", vec![Ty::I64], Ty::Void);
+        let p = b.param(0);
+        let v = b.splat(p, 4);
+        let s = b.shuffle(v, vec![1, 2, 3, 0]);
+        let t = b.ptest(s);
+        let done = b.block("done");
+        let rec = b.block("rec");
+        b.ptest_br(t, done, done, rec);
+        b.switch_to(done);
+        b.ret_void();
+        b.switch_to(rec);
+        b.ret_void();
+        m.add_func(b.finish());
+        let text = print_module(&m);
+        assert!(text.contains("splat %0 to <4 x i64>"));
+        assert!(text.contains("shufflevector %1, [1, 2, 3, 0]"));
+        assert!(text.contains("ptest_br"));
+    }
+
+    #[test]
+    fn unhardened_marker_printed() {
+        let mut m = Module::new("demo");
+        let mut b = FuncBuilder::new("lib", vec![], Ty::Void);
+        b.ret_void();
+        let mut f = b.finish();
+        f.hardened = false;
+        m.add_func(f);
+        assert!(print_module(&m).contains("unhardened"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Type system for the ELZAR IR.
+//!
+//! Mirrors the subset of LLVM types that the paper's pass manipulates:
+//! arbitrary-width integers (`i1`..`i64`, §III-D "esoteric" widths included),
+//! `f32`/`f64`, 64-bit pointers, and fixed-width vectors used to model AVX
+//! YMM registers.
+
+use std::fmt;
+
+/// An IR type.
+///
+/// Vectors are always vectors of scalar elements (no nested vectors), which
+/// matches both LLVM's first-class vectors and the AVX register model.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Ty {
+    /// The unit/empty type, only valid as a function return type.
+    Void,
+    /// Integer with an explicit bit width in `1..=64`.
+    Int(u8),
+    /// IEEE-754 single precision.
+    F32,
+    /// IEEE-754 double precision.
+    F64,
+    /// 64-bit pointer into the flat VM address space.
+    Ptr,
+    /// Fixed vector of `lanes` scalar elements.
+    Vec {
+        /// Element type; must be scalar.
+        elem: Box<Ty>,
+        /// Number of lanes (1..=64).
+        lanes: u8,
+    },
+}
+
+impl Ty {
+    /// 1-bit integer (booleans).
+    pub const I1: Ty = Ty::Int(1);
+    /// 8-bit integer.
+    pub const I8: Ty = Ty::Int(8);
+    /// 16-bit integer.
+    pub const I16: Ty = Ty::Int(16);
+    /// 32-bit integer.
+    pub const I32: Ty = Ty::Int(32);
+    /// 64-bit integer.
+    pub const I64: Ty = Ty::Int(64);
+
+    /// Integer type of the given bit width.
+    ///
+    /// # Panics
+    /// Panics if `bits` is 0 or greater than 64.
+    pub fn int(bits: u8) -> Ty {
+        assert!((1..=64).contains(&bits), "integer width {bits} out of range");
+        Ty::Int(bits)
+    }
+
+    /// Vector of `lanes` copies of scalar `elem`.
+    ///
+    /// # Panics
+    /// Panics if `elem` is not scalar or `lanes` is 0.
+    pub fn vec(elem: Ty, lanes: u8) -> Ty {
+        assert!(elem.is_scalar(), "vector element must be scalar, got {elem}");
+        assert!(lanes >= 1, "vector must have at least one lane");
+        Ty::Vec { elem: Box::new(elem), lanes }
+    }
+
+    /// True for `Int`, `F32`, `F64`, and `Ptr`.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Ty::Int(_) | Ty::F32 | Ty::F64 | Ty::Ptr)
+    }
+
+    /// True for any integer width.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Ty::Int(_))
+    }
+
+    /// True for `F32` or `F64`.
+    pub fn is_float(&self) -> bool {
+        matches!(self, Ty::F32 | Ty::F64)
+    }
+
+    /// True for `Ptr`.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Ty::Ptr)
+    }
+
+    /// True for vector types.
+    pub fn is_vector(&self) -> bool {
+        matches!(self, Ty::Vec { .. })
+    }
+
+    /// True for `Void`.
+    pub fn is_void(&self) -> bool {
+        matches!(self, Ty::Void)
+    }
+
+    /// Element type: the scalar element for vectors, `self` otherwise.
+    pub fn elem(&self) -> &Ty {
+        match self {
+            Ty::Vec { elem, .. } => elem,
+            other => other,
+        }
+    }
+
+    /// Lane count: `lanes` for vectors, 1 for scalars.
+    ///
+    /// # Panics
+    /// Panics on `Void`.
+    pub fn lanes(&self) -> u8 {
+        match self {
+            Ty::Void => panic!("void has no lanes"),
+            Ty::Vec { lanes, .. } => *lanes,
+            _ => 1,
+        }
+    }
+
+    /// Logical bit width of a scalar element (ints report their exact
+    /// width; `Ptr` is 64).
+    ///
+    /// # Panics
+    /// Panics on `Void` and vectors.
+    pub fn scalar_bits(&self) -> u32 {
+        match self {
+            Ty::Int(b) => u32::from(*b),
+            Ty::F32 => 32,
+            Ty::F64 => 64,
+            Ty::Ptr => 64,
+            Ty::Void | Ty::Vec { .. } => panic!("scalar_bits on {self}"),
+        }
+    }
+
+    /// Storage size in bytes of one element when held in memory.
+    ///
+    /// Integer widths round up to the next power-of-two byte size
+    /// (`i1`..`i8` → 1, `i9`..`i16` → 2, …), matching typical ABI layout.
+    ///
+    /// # Panics
+    /// Panics on `Void`.
+    pub fn elem_bytes(&self) -> u32 {
+        let bits = self.elem().scalar_bits();
+        match bits {
+            1..=8 => 1,
+            9..=16 => 2,
+            17..=32 => 4,
+            _ => 8,
+        }
+    }
+
+    /// Total in-memory size in bytes (element size × lanes).
+    pub fn bytes(&self) -> u32 {
+        self.elem_bytes() * u32::from(self.lanes())
+    }
+
+    /// This type widened to a vector with `lanes` lanes (element preserved).
+    ///
+    /// # Panics
+    /// Panics if `self` is not scalar.
+    pub fn with_lanes(&self, lanes: u8) -> Ty {
+        Ty::vec(self.clone(), lanes)
+    }
+
+    /// The number of lanes this scalar type occupies when replicated to
+    /// fill one 256-bit YMM register — the paper's §III-D option (3):
+    /// 8-bit ints → 32-way, 16-bit → 16-way, 32-bit → 8-way,
+    /// 64-bit/ptr → 4-way. Esoteric widths use their storage width.
+    ///
+    /// # Panics
+    /// Panics on `Void` and vectors.
+    pub fn ymm_lanes(&self) -> u8 {
+        assert!(self.is_scalar(), "ymm_lanes on {self}");
+        (32 / self.elem_bytes()) as u8
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Void => write!(f, "void"),
+            Ty::Int(b) => write!(f, "i{b}"),
+            Ty::F32 => write!(f, "f32"),
+            Ty::F64 => write!(f, "f64"),
+            Ty::Ptr => write!(f, "ptr"),
+            Ty::Vec { elem, lanes } => write!(f, "<{lanes} x {elem}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_predicates() {
+        assert!(Ty::I32.is_int());
+        assert!(Ty::I32.is_scalar());
+        assert!(!Ty::I32.is_vector());
+        assert!(Ty::F64.is_float());
+        assert!(Ty::Ptr.is_ptr());
+        assert!(Ty::Void.is_void());
+    }
+
+    #[test]
+    fn vector_shape() {
+        let v = Ty::vec(Ty::I64, 4);
+        assert!(v.is_vector());
+        assert_eq!(v.lanes(), 4);
+        assert_eq!(*v.elem(), Ty::I64);
+        assert_eq!(v.bytes(), 32);
+        assert_eq!(v.to_string(), "<4 x i64>");
+    }
+
+    #[test]
+    fn ymm_lane_counts_match_paper() {
+        // §III-D: fill the whole YMM register.
+        assert_eq!(Ty::I8.ymm_lanes(), 32);
+        assert_eq!(Ty::I16.ymm_lanes(), 16);
+        assert_eq!(Ty::I32.ymm_lanes(), 8);
+        assert_eq!(Ty::F32.ymm_lanes(), 8);
+        assert_eq!(Ty::I64.ymm_lanes(), 4);
+        assert_eq!(Ty::F64.ymm_lanes(), 4);
+        assert_eq!(Ty::Ptr.ymm_lanes(), 4);
+        // Esoteric widths promote to their storage width (i9 -> 16 bits).
+        assert_eq!(Ty::int(9).ymm_lanes(), 16);
+        assert_eq!(Ty::I1.ymm_lanes(), 32);
+    }
+
+    #[test]
+    fn storage_rounding() {
+        assert_eq!(Ty::I1.elem_bytes(), 1);
+        assert_eq!(Ty::int(9).elem_bytes(), 2);
+        assert_eq!(Ty::int(33).elem_bytes(), 8);
+        assert_eq!(Ty::int(17).elem_bytes(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_int_rejected() {
+        let _ = Ty::int(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nested_vector_rejected() {
+        let _ = Ty::vec(Ty::vec(Ty::I8, 4), 4);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ty::I1.to_string(), "i1");
+        assert_eq!(Ty::int(9).to_string(), "i9");
+        assert_eq!(Ty::F32.to_string(), "f32");
+        assert_eq!(Ty::Ptr.to_string(), "ptr");
+        assert_eq!(Ty::Void.to_string(), "void");
+    }
+}

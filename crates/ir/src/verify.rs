@@ -1,0 +1,605 @@
+//! IR verifier.
+//!
+//! Checks structural and type well-formedness before a module is lowered or
+//! transformed, catching pass bugs early: SSA dominance, operand/result
+//! types, terminator targets, phi/predecessor agreement, and lane-shape
+//! rules for the AVX-style vector operations.
+
+use crate::analysis::Dominators;
+use crate::inst::{CastOp, Inst, Terminator};
+use crate::module::{Function, Module, ValueDef};
+use crate::types::Ty;
+use crate::value::{BlockId, Operand, ValueId};
+use std::error::Error;
+use std::fmt;
+
+/// A verifier diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function name.
+    pub func: String,
+    /// Block where the problem was found (if applicable).
+    pub block: Option<BlockId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.block {
+            Some(b) => write!(f, "verify: {}/bb{}: {}", self.func, b.0, self.message),
+            None => write!(f, "verify: {}: {}", self.func, self.message),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verify a whole module.
+///
+/// # Errors
+/// Returns the first (few) problems found; an empty `Ok(())` means the
+/// module is well-formed.
+pub fn verify_module(m: &Module) -> Result<(), Vec<VerifyError>> {
+    let mut errs = vec![];
+    for f in &m.funcs {
+        if let Err(mut e) = verify_function(m, f) {
+            errs.append(&mut e);
+        }
+        if errs.len() > 20 {
+            break;
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Verify a single function against its module context.
+///
+/// # Errors
+/// Returns all diagnostics found in this function.
+pub fn verify_function(m: &Module, f: &Function) -> Result<(), Vec<VerifyError>> {
+    let mut v = Verifier { m, f, errs: vec![], block: None };
+    v.run();
+    if v.errs.is_empty() {
+        Ok(())
+    } else {
+        Err(v.errs)
+    }
+}
+
+struct Verifier<'a> {
+    m: &'a Module,
+    f: &'a Function,
+    errs: Vec<VerifyError>,
+    block: Option<BlockId>,
+}
+
+impl<'a> Verifier<'a> {
+    fn err(&mut self, msg: impl Into<String>) {
+        self.errs.push(VerifyError { func: self.f.name.clone(), block: self.block, message: msg.into() });
+    }
+
+    fn run(&mut self) {
+        self.check_structure();
+        if !self.errs.is_empty() {
+            return; // structural breakage makes later checks panic-prone
+        }
+        self.check_types();
+        self.check_dominance();
+        self.check_phis();
+    }
+
+    fn check_structure(&mut self) {
+        if self.f.blocks.is_empty() {
+            self.err("function has no blocks");
+            return;
+        }
+        let nblocks = self.f.blocks.len() as u32;
+        let ninsts = self.f.insts.len() as u32;
+        let nvals = self.f.vals.len() as u32;
+        let mut seen_inst = vec![false; ninsts as usize];
+        for (bi, b) in self.f.blocks.iter().enumerate() {
+            self.block = Some(BlockId(bi as u32));
+            for &iid in &b.insts {
+                if iid.0 >= ninsts {
+                    self.err(format!("instruction id {} out of range", iid.0));
+                    return;
+                }
+                if seen_inst[iid.0 as usize] {
+                    self.err(format!("instruction {} appears in more than one block", iid.0));
+                }
+                seen_inst[iid.0 as usize] = true;
+            }
+            for s in b.term.successors() {
+                if s.0 >= nblocks {
+                    self.err(format!("terminator targets nonexistent block bb{}", s.0));
+                }
+            }
+        }
+        self.block = None;
+        // Every operand's value id must be in range.
+        for b in &self.f.blocks {
+            for &iid in &b.insts {
+                self.f.insts[iid.0 as usize].inst.for_each_operand(|o| {
+                    if let Operand::Val(v) = o {
+                        if v.0 >= nvals {
+                            self.errs.push(VerifyError {
+                                func: self.f.name.clone(),
+                                block: None,
+                                message: format!("operand {} out of range", v.0),
+                            });
+                        }
+                    }
+                });
+            }
+        }
+    }
+
+    fn operand_ty(&self, o: &Operand) -> Ty {
+        self.f.operand_ty(o)
+    }
+
+    fn expect_ty(&mut self, what: &str, got: &Ty, want: &Ty) {
+        if got != want {
+            self.err(format!("{what}: expected {want}, got {got}"));
+        }
+    }
+
+    fn check_types(&mut self) {
+        for (bi, b) in self.f.blocks.iter().enumerate() {
+            self.block = Some(BlockId(bi as u32));
+            for &iid in &b.insts {
+                let inst = &self.f.insts[iid.0 as usize].inst;
+                match inst {
+                    Inst::Bin { op, ty, a, b } => {
+                        let (ta, tb) = (self.operand_ty(a), self.operand_ty(b));
+                        self.expect_ty("bin lhs", &ta, ty);
+                        self.expect_ty("bin rhs", &tb, ty);
+                        let elem_is_float = ty.elem().is_float();
+                        if op.is_float() != elem_is_float {
+                            self.err(format!("bin {}: float/int domain mismatch with {ty}", op.mnemonic()));
+                        }
+                    }
+                    Inst::Cmp { pred, ty, a, b } => {
+                        let (ta, tb) = (self.operand_ty(a), self.operand_ty(b));
+                        self.expect_ty("cmp lhs", &ta, ty);
+                        self.expect_ty("cmp rhs", &tb, ty);
+                        if pred.is_float() != ty.elem().is_float() {
+                            self.err(format!("cmp {}: domain mismatch with {ty}", pred.mnemonic()));
+                        }
+                    }
+                    Inst::Cast { op, to, val } => self.check_cast(*op, to, val),
+                    Inst::Load { addr, .. } => {
+                        let t = self.operand_ty(addr);
+                        self.expect_ty("load address", &t, &Ty::Ptr);
+                    }
+                    Inst::Store { ty, val, addr } => {
+                        let tv = self.operand_ty(val);
+                        self.expect_ty("store value", &tv, ty);
+                        let t = self.operand_ty(addr);
+                        self.expect_ty("store address", &t, &Ty::Ptr);
+                    }
+                    Inst::Gep { base, index, .. } => {
+                        let tb = self.operand_ty(base);
+                        self.expect_ty("gep base", &tb, &Ty::Ptr);
+                        let ti = self.operand_ty(index);
+                        if !ti.is_int() {
+                            self.err(format!("gep index must be integer, got {ti}"));
+                        }
+                    }
+                    Inst::Alloca { count, .. } => {
+                        let tc = self.operand_ty(count);
+                        if !tc.is_int() {
+                            self.err(format!("alloca count must be integer, got {tc}"));
+                        }
+                    }
+                    Inst::Select { cond, ty, a, b } => {
+                        let (ta, tb) = (self.operand_ty(a), self.operand_ty(b));
+                        self.expect_ty("select true value", &ta, ty);
+                        self.expect_ty("select false value", &tb, ty);
+                        let tc = self.operand_ty(cond);
+                        let ok = tc == Ty::I1
+                            || (tc.is_vector() && ty.is_vector() && tc.lanes() == ty.lanes());
+                        if !ok {
+                            self.err(format!("select condition {tc} incompatible with {ty}"));
+                        }
+                    }
+                    Inst::Phi { .. } => {} // checked in check_phis
+                    Inst::Call { callee, args, ret_ty } => {
+                        if let crate::inst::Callee::Func(fid) = callee {
+                            if fid.0 as usize >= self.m.funcs.len() {
+                                self.err(format!("call to nonexistent function {}", fid.0));
+                            } else {
+                                let callee_f = &self.m.funcs[fid.0 as usize];
+                                if callee_f.params.len() != args.len() {
+                                    self.err(format!(
+                                        "call to {} with {} args, expected {}",
+                                        callee_f.name,
+                                        args.len(),
+                                        callee_f.params.len()
+                                    ));
+                                } else {
+                                    for (i, (a, pt)) in args.iter().zip(&callee_f.params).enumerate() {
+                                        let ta = self.operand_ty(a);
+                                        if &ta != pt {
+                                            self.err(format!("call arg {i}: expected {pt}, got {ta}"));
+                                        }
+                                    }
+                                }
+                                if &callee_f.ret_ty != ret_ty {
+                                    self.err(format!(
+                                        "call to {}: declared return {ret_ty}, function returns {}",
+                                        callee_f.name, callee_f.ret_ty
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    Inst::ExtractElement { vec, ty, .. } => {
+                        let tv = self.operand_ty(vec);
+                        self.expect_ty("extract vector", &tv, ty);
+                        if !ty.is_vector() {
+                            self.err(format!("extract from non-vector {ty}"));
+                        }
+                    }
+                    Inst::InsertElement { vec, val, ty, .. } => {
+                        let tv = self.operand_ty(vec);
+                        self.expect_ty("insert vector", &tv, ty);
+                        let telem = self.operand_ty(val);
+                        self.expect_ty("insert element", &telem, ty.elem());
+                    }
+                    Inst::Shuffle { a, mask, ty } => {
+                        let ta = self.operand_ty(a);
+                        self.expect_ty("shuffle input", &ta, ty);
+                        let lanes = ty.lanes();
+                        if mask.iter().any(|&m| m >= lanes) {
+                            self.err(format!("shuffle mask index out of range for {ty}"));
+                        }
+                    }
+                    Inst::Splat { val, ty } => {
+                        let tv = self.operand_ty(val);
+                        self.expect_ty("splat element", &tv, ty.elem());
+                        if !ty.is_vector() {
+                            self.err(format!("splat result must be vector, got {ty}"));
+                        }
+                    }
+                    Inst::Ptest { mask, ty } => {
+                        let tm = self.operand_ty(mask);
+                        self.expect_ty("ptest mask", &tm, ty);
+                        if !ty.is_vector() {
+                            self.err(format!("ptest on non-vector {ty}"));
+                        }
+                    }
+                    Inst::Gather { ty, addrs } => {
+                        // The address is a replicated pointer (4 lanes);
+                        // the result replication width depends on the
+                        // element type (§III-D), so lane counts may differ.
+                        let ta = self.operand_ty(addrs);
+                        if !ta.is_vector() || !ty.is_vector() || !(ta.elem().is_ptr() || *ta.elem() == Ty::I64) {
+                            self.err(format!("gather shape mismatch: addrs {ta}, result {ty}"));
+                        }
+                    }
+                    Inst::Scatter { val, addrs, ty } => {
+                        let tv = self.operand_ty(val);
+                        self.expect_ty("scatter value", &tv, ty);
+                        let ta = self.operand_ty(addrs);
+                        if !ta.is_vector() || !(ta.elem().is_ptr() || *ta.elem() == Ty::I64) {
+                            self.err(format!("scatter shape mismatch: addrs {ta}, value {ty}"));
+                        }
+                    }
+                    Inst::AtomicRmw { ty, addr, val, .. } => {
+                        if !ty.is_int() {
+                            self.err(format!("atomicrmw on non-integer {ty}"));
+                        }
+                        let t = self.operand_ty(addr);
+                        self.expect_ty("atomicrmw address", &t, &Ty::Ptr);
+                        let tv = self.operand_ty(val);
+                        self.expect_ty("atomicrmw value", &tv, ty);
+                    }
+                    Inst::CmpXchg { ty, addr, expected, new } => {
+                        let t = self.operand_ty(addr);
+                        self.expect_ty("cmpxchg address", &t, &Ty::Ptr);
+                        let te = self.operand_ty(expected);
+                        self.expect_ty("cmpxchg expected", &te, ty);
+                        let tn = self.operand_ty(new);
+                        self.expect_ty("cmpxchg new", &tn, ty);
+                    }
+                    Inst::Fence => {}
+                }
+            }
+            // Terminator types.
+            match &b.term {
+                Terminator::CondBr { cond, .. } => {
+                    let tc = self.operand_ty(cond);
+                    self.expect_ty("cond_br condition", &tc, &Ty::I1);
+                }
+                Terminator::PtestBr { flags, .. } => {
+                    // Accepts the i8 produced by `ptest`, or a raw mask
+                    // vector under the §VII flag-setting-compare extension.
+                    let tf = self.operand_ty(flags);
+                    if tf != Ty::I8 && !tf.is_vector() {
+                        self.err(format!("ptest_br flags must be i8 or a mask vector, got {tf}"));
+                    }
+                }
+                Terminator::Ret { val } => match (val, &self.f.ret_ty) {
+                    (None, Ty::Void) => {}
+                    (None, t) => self.err(format!("ret void in function returning {t}")),
+                    (Some(v), t) => {
+                        let tv = self.operand_ty(v);
+                        if &tv != t {
+                            self.err(format!("ret {tv} in function returning {t}"));
+                        }
+                    }
+                },
+                _ => {}
+            }
+        }
+        self.block = None;
+    }
+
+    fn check_cast(&mut self, op: CastOp, to: &Ty, val: &Operand) {
+        let from = self.operand_ty(val);
+        let (fe, te) = (from.elem().clone(), to.elem().clone());
+        let ok = match op {
+            CastOp::Trunc => fe.is_int() && te.is_int() && te.scalar_bits() < fe.scalar_bits(),
+            CastOp::ZExt | CastOp::SExt => fe.is_int() && te.is_int() && te.scalar_bits() > fe.scalar_bits(),
+            CastOp::FpTrunc => fe == Ty::F64 && te == Ty::F32,
+            CastOp::FpExt => fe == Ty::F32 && te == Ty::F64,
+            CastOp::FpToSi | CastOp::FpToUi => fe.is_float() && te.is_int(),
+            CastOp::SiToFp | CastOp::UiToFp => fe.is_int() && te.is_float(),
+            CastOp::Bitcast => fe.scalar_bits() == te.scalar_bits(),
+            CastOp::PtrToInt => fe.is_ptr() && te == Ty::I64,
+            CastOp::IntToPtr => fe == Ty::I64 && te.is_ptr(),
+        };
+        if !ok {
+            self.err(format!("invalid cast {} from {from} to {to}", op.mnemonic()));
+        }
+        // Scalar-ness must agree (both scalar or both vector); lane counts
+        // may differ (ELZAR re-replication semantics, §III-D).
+        if from.is_vector() != to.is_vector() {
+            self.err(format!("cast {}: mixed scalar/vector {from} -> {to}", op.mnemonic()));
+        }
+    }
+
+    fn check_dominance(&mut self) {
+        let doms = Dominators::compute(self.f);
+        // Map each instruction to (block, index).
+        let mut pos = vec![None; self.f.insts.len()];
+        for (bi, b) in self.f.blocks.iter().enumerate() {
+            for (k, &iid) in b.insts.iter().enumerate() {
+                pos[iid.0 as usize] = Some((BlockId(bi as u32), k));
+            }
+        }
+        let use_ok = |v: ValueId, ublock: BlockId, uidx: usize| -> bool {
+            match self.f.vals[v.0 as usize].def {
+                ValueDef::Param(_) => true,
+                ValueDef::Inst(di) => match pos[di.0 as usize] {
+                    None => false, // defined by an instruction not in any block
+                    Some((dblock, didx)) => {
+                        if dblock == ublock {
+                            didx < uidx
+                        } else {
+                            doms.dominates(dblock, ublock)
+                        }
+                    }
+                },
+            }
+        };
+        for (bi, b) in self.f.blocks.iter().enumerate() {
+            let ub = BlockId(bi as u32);
+            if !doms.is_reachable(ub) {
+                continue;
+            }
+            for (k, &iid) in b.insts.iter().enumerate() {
+                let inst = &self.f.insts[iid.0 as usize].inst;
+                if let Inst::Phi { incomings, .. } = inst {
+                    // Phi uses are checked against the incoming edge.
+                    for (pred, opnd) in incomings {
+                        if let Operand::Val(v) = opnd {
+                            let plen = self.f.blocks[pred.0 as usize].insts.len();
+                            if !use_ok(*v, *pred, plen) {
+                                self.errs.push(VerifyError {
+                                    func: self.f.name.clone(),
+                                    block: Some(ub),
+                                    message: format!("phi incoming %{} does not dominate edge from bb{}", v.0, pred.0),
+                                });
+                            }
+                        }
+                    }
+                    continue;
+                }
+                let mut bad = vec![];
+                inst.for_each_operand(|o| {
+                    if let Operand::Val(v) = o {
+                        if !use_ok(*v, ub, k) {
+                            bad.push(*v);
+                        }
+                    }
+                });
+                for v in bad {
+                    self.errs.push(VerifyError {
+                        func: self.f.name.clone(),
+                        block: Some(ub),
+                        message: format!("use of %{} not dominated by its definition", v.0),
+                    });
+                }
+            }
+            let mut bad = vec![];
+            b.term.for_each_operand(|o| {
+                if let Operand::Val(v) = o {
+                    if !use_ok(*v, ub, b.insts.len()) {
+                        bad.push(*v);
+                    }
+                }
+            });
+            for v in bad {
+                self.errs.push(VerifyError {
+                    func: self.f.name.clone(),
+                    block: Some(ub),
+                    message: format!("terminator use of %{} not dominated by its definition", v.0),
+                });
+            }
+        }
+    }
+
+    fn check_phis(&mut self) {
+        let preds = self.f.predecessors();
+        let doms = Dominators::compute(self.f);
+        for (bi, b) in self.f.blocks.iter().enumerate() {
+            let bid = BlockId(bi as u32);
+            if !doms.is_reachable(bid) {
+                continue;
+            }
+            self.block = Some(bid);
+            let mut past_phis = false;
+            for &iid in &b.insts {
+                let inst = &self.f.insts[iid.0 as usize].inst;
+                if let Inst::Phi { ty, incomings } = inst {
+                    if past_phis {
+                        self.err("phi after non-phi instruction");
+                    }
+                    let mut want: Vec<BlockId> = preds[bi].clone();
+                    want.sort();
+                    want.dedup();
+                    let mut got: Vec<BlockId> = incomings.iter().map(|(p, _)| *p).collect();
+                    got.sort();
+                    got.dedup();
+                    if want != got {
+                        self.err(format!("phi incoming blocks {got:?} do not match predecessors {want:?}"));
+                    }
+                    for (_, o) in incomings {
+                        let t = self.operand_ty(o);
+                        if &t != ty {
+                            self.err(format!("phi incoming type {t}, expected {ty}"));
+                        }
+                    }
+                } else {
+                    past_phis = true;
+                }
+            }
+        }
+        self.block = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{c64, FuncBuilder};
+    use crate::inst::BinOp;
+    use crate::value::Const;
+
+    fn module_with(f: Function) -> Module {
+        let mut m = Module::new("t");
+        m.add_func(f);
+        m
+    }
+
+    #[test]
+    fn accepts_well_formed_loop() {
+        let mut b = FuncBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let n = b.param(0);
+        let (_, _, _) = b.counted_loop(c64(0), n, |b, i| {
+            let _ = b.add(i, c64(1));
+        });
+        b.ret(c64(0));
+        let m = module_with(b.finish());
+        verify_module(&m).expect("loop should verify");
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut b = FuncBuilder::new("f", vec![Ty::I32], Ty::Void);
+        let p = b.param(0);
+        // i32 param used as i64 operand.
+        b.bin(BinOp::Add, Ty::I64, p, c64(1));
+        b.ret_void();
+        let m = module_with(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("expected i64")));
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut f = Function::new("f", vec![], Ty::Void);
+        // Manually create a use of a value defined later in the same block.
+        let entry = BlockId(0);
+        // First push the add that uses value 1 (not yet defined).
+        f.push_inst(entry, Inst::Bin { op: BinOp::Add, ty: Ty::I64, a: Operand::Val(ValueId(1)), b: Operand::Imm(Const::i64(1)) });
+        f.push_inst(entry, Inst::Bin { op: BinOp::Add, ty: Ty::I64, a: Operand::Imm(Const::i64(2)), b: Operand::Imm(Const::i64(3)) });
+        f.set_term(entry, Terminator::Ret { val: None });
+        let m = module_with(f);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("not dominated")));
+    }
+
+    #[test]
+    fn rejects_bad_branch_target() {
+        let mut f = Function::new("f", vec![], Ty::Void);
+        f.set_term(BlockId(0), Terminator::Br { target: BlockId(7) });
+        let m = module_with(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_phi_pred_mismatch() {
+        let mut b = FuncBuilder::new("f", vec![], Ty::Void);
+        let other = b.block("other");
+        let p = b.phi(Ty::I64);
+        // Entry has no predecessors, but the phi claims one.
+        b.phi_add_incoming(p, other, c64(1));
+        b.ret_void();
+        b.switch_to(other);
+        b.ret_void();
+        let m = module_with(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("do not match predecessors")));
+    }
+
+    #[test]
+    fn rejects_invalid_cast() {
+        let mut b = FuncBuilder::new("f", vec![Ty::I64], Ty::Void);
+        let p = b.param(0);
+        b.cast(CastOp::Trunc, p, Ty::I64); // trunc to same width
+        b.ret_void();
+        let m = module_with(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("invalid cast")));
+    }
+
+    #[test]
+    fn rejects_wrong_ret_type() {
+        let mut b = FuncBuilder::new("f", vec![], Ty::I64);
+        b.ret(Operand::Imm(Const::f64(1.0)));
+        let m = module_with(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("ret")));
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut m = Module::new("t");
+        let callee = m.add_func(Function::new("g", vec![Ty::I64], Ty::Void));
+        let mut b = FuncBuilder::new("f", vec![], Ty::Void);
+        b.call(callee, vec![], Ty::Void);
+        b.ret_void();
+        m.add_func(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("expected 1")));
+    }
+
+    #[test]
+    fn rejects_shuffle_mask_out_of_range() {
+        let mut b = FuncBuilder::new("f", vec![Ty::vec(Ty::I64, 4)], Ty::Void);
+        let p = b.param(0);
+        b.shuffle(p, vec![0, 1, 2, 9]);
+        b.ret_void();
+        let m = module_with(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("mask index out of range")));
+    }
+}

@@ -1,0 +1,108 @@
+//! Dead-code elimination for pure instructions.
+//!
+//! Mark-and-sweep over a function: instructions with side effects
+//! (synchronization instructions per §III-B plus terminator operands) are
+//! roots; unused pure computations are deleted. Used as a hygiene pass
+//! after other transformations.
+
+use elzar_ir::inst::Inst;
+use elzar_ir::module::{Function, Module};
+use elzar_ir::value::{Operand, ValueId};
+
+/// Remove dead pure instructions from every function.
+/// Returns the number of instructions removed.
+pub fn dce_module(m: &mut Module) -> usize {
+    m.funcs.iter_mut().map(dce_function).sum()
+}
+
+/// Remove dead pure instructions from one function.
+pub fn dce_function(f: &mut Function) -> usize {
+    let n_vals = f.vals.len();
+    let mut live = vec![false; n_vals];
+    let mut work: Vec<ValueId> = vec![];
+    let mark = |o: &Operand, live: &mut Vec<bool>, work: &mut Vec<ValueId>| {
+        if let Operand::Val(v) = o {
+            if !live[v.0 as usize] {
+                live[v.0 as usize] = true;
+                work.push(*v);
+            }
+        }
+    };
+    // Roots: operands of side-effecting instructions and terminators.
+    for b in &f.blocks {
+        for &iid in &b.insts {
+            let inst = &f.insts[iid.0 as usize].inst;
+            if inst.is_sync() || matches!(inst, Inst::Fence) {
+                inst.for_each_operand(|o| mark(o, &mut live, &mut work));
+                // The instruction itself is kept; its result is live.
+                if let Some(r) = f.insts[iid.0 as usize].result {
+                    live[r.0 as usize] = true;
+                }
+            }
+        }
+        b.term.for_each_operand(|o| mark(o, &mut live, &mut work));
+    }
+    // Propagate.
+    while let Some(v) = work.pop() {
+        if let Some(iid) = f.def_inst(v) {
+            let inst = f.insts[iid.0 as usize].inst.clone();
+            inst.for_each_operand(|o| mark(o, &mut live, &mut work));
+        }
+    }
+    // Sweep: drop pure instructions whose results are dead.
+    let mut removed = 0;
+    for b in &mut f.blocks {
+        b.insts.retain(|&iid| {
+            let data = &f.insts[iid.0 as usize];
+            let keep = match data.result {
+                None => true, // side-effecting or void
+                Some(r) => data.inst.is_sync() || live[r.0 as usize],
+            };
+            if !keep {
+                removed += 1;
+            }
+            keep
+        });
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elzar_ir::builder::{c64, FuncBuilder};
+    use elzar_ir::types::Ty;
+    use elzar_ir::verify::verify_module;
+
+    #[test]
+    fn removes_unused_arithmetic_keeps_stores() {
+        let mut m = elzar_ir::Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let p = b.alloca(Ty::I64, c64(1));
+        let dead = b.add(c64(1), c64(2));
+        let _dead2 = b.mul(dead, c64(3));
+        let kept = b.add(c64(4), c64(5));
+        b.store(Ty::I64, kept, p);
+        let v = b.load(Ty::I64, p);
+        b.ret(v);
+        m.add_func(b.finish());
+        let removed = dce_module(&mut m);
+        assert_eq!(removed, 2);
+        verify_module(&m).expect("still valid after DCE");
+        assert_eq!(m.funcs[0].num_insts(), 4); // alloca, add, store, load
+    }
+
+    #[test]
+    fn keeps_values_reachable_through_phis() {
+        let mut m = elzar_ir::Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let (_h, _e, _i) = b.counted_loop(c64(0), c64(3), |_b, _i| {});
+        b.ret(c64(0));
+        m.add_func(b.finish());
+        let before = m.num_insts();
+        // The loop's phi/cmp/increment are all live via the terminator.
+        let removed = dce_module(&mut m);
+        assert_eq!(removed, 0);
+        assert_eq!(m.num_insts(), before);
+    }
+}

@@ -1,0 +1,145 @@
+//! The §VII-D estimation methodology: "instead of accelerating ELZAR, we
+//! decelerate the native versions by adding dummy inline assembly around
+//! loads, stores, and branches" — the wrapper instructions ELZAR would
+//! *keep* even with the proposed AVX extensions.
+//!
+//! The overhead of plain ELZAR relative to this decelerated native build
+//! approximates the overhead ELZAR would retain after gathers/scatters,
+//! flag-setting compares and FPGA-offloaded checks remove the wrappers —
+//! the Figure 17 estimate.
+
+use elzar_ir::inst::{Inst, Terminator};
+use elzar_ir::module::{Function, Module};
+use elzar_ir::types::Ty;
+use elzar_ir::value::{Const, Operand};
+use elzar_ir::CastOp;
+
+/// Add the dummy wrapper instructions to every hardened function.
+pub fn decelerate_module(m: &Module) -> Module {
+    let mut out = m.clone();
+    out.name = format!("{}.decel", m.name);
+    for f in &mut out.funcs {
+        if f.hardened {
+            decelerate_function(f);
+        }
+    }
+    out
+}
+
+fn decelerate_function(f: &mut Function) {
+    // Rebuild each block's instruction list, inserting dummies. New
+    // instructions are appended to the arena; blocks keep their ids, so
+    // control flow and phis stay valid.
+    for bi in 0..f.blocks.len() {
+        let old: Vec<_> = std::mem::take(&mut f.blocks[bi].insts);
+        let block = elzar_ir::BlockId(bi as u32);
+        for iid in old {
+            let inst = f.insts[iid.0 as usize].inst.clone();
+            let result = f.insts[iid.0 as usize].result;
+            match &inst {
+                Inst::Load { ty, .. } if !ty.is_vector() => {
+                    // dummy extract before, dummy broadcast after.
+                    let d = f.push_inst(block, dummy_splat()).expect("yields");
+                    f.push_inst(block, Inst::ExtractElement {
+                        vec: d.into(),
+                        idx: Operand::imm_i64(0),
+                        ty: Ty::vec(Ty::I64, 4),
+                    });
+                    f.blocks[bi].insts.push(iid);
+                    if let Some(r) = result {
+                        let ty = f.val_ty(r).clone();
+                        if ty.is_int() || ty.is_ptr() {
+                            let as64: Operand = if ty == Ty::I64 {
+                                r.into()
+                            } else if ty.is_ptr() {
+                                f.push_inst(block, Inst::Cast { op: CastOp::PtrToInt, to: Ty::I64, val: r.into() })
+                                    .expect("yields")
+                                    .into()
+                            } else {
+                                f.push_inst(block, Inst::Cast { op: CastOp::ZExt, to: Ty::I64, val: r.into() })
+                                    .expect("yields")
+                                    .into()
+                            };
+                            f.push_inst(block, Inst::Splat { val: as64, ty: Ty::vec(Ty::I64, 4) });
+                        } else {
+                            f.push_inst(block, dummy_splat());
+                        }
+                    }
+                }
+                Inst::Store { ty, .. } if !ty.is_vector() => {
+                    // Two dummy extracts (address + value).
+                    let d = f.push_inst(block, dummy_splat()).expect("yields");
+                    f.push_inst(block, Inst::ExtractElement {
+                        vec: d.into(),
+                        idx: Operand::imm_i64(0),
+                        ty: Ty::vec(Ty::I64, 4),
+                    });
+                    f.push_inst(block, Inst::ExtractElement {
+                        vec: d.into(),
+                        idx: Operand::imm_i64(1),
+                        ty: Ty::vec(Ty::I64, 4),
+                    });
+                    f.blocks[bi].insts.push(iid);
+                }
+                _ => f.blocks[bi].insts.push(iid),
+            }
+        }
+        // Dummy ptest before every conditional branch (Figure 7's cost).
+        if matches!(f.blocks[bi].term, Terminator::CondBr { .. }) {
+            let d = f.push_inst(block, dummy_splat()).expect("yields");
+            f.push_inst(block, Inst::Ptest { mask: d.into(), ty: Ty::vec(Ty::I64, 4) });
+        }
+    }
+}
+
+fn dummy_splat() -> Inst {
+    Inst::Splat { val: Operand::Imm(Const::i64(0)), ty: Ty::vec(Ty::I64, 4) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elzar_ir::builder::{c64, FuncBuilder};
+    use elzar_ir::verify::verify_module;
+    use elzar_vm::{run_program, MachineConfig, Program};
+
+    fn module() -> Module {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let buf = b.alloca(Ty::I64, c64(4));
+        b.store(Ty::I64, c64(3), buf);
+        let mut_acc = b.alloca(Ty::I64, c64(1));
+        b.store(Ty::I64, c64(0), mut_acc);
+        b.counted_loop(c64(0), c64(200), |b, _i| {
+            let v = b.load(Ty::I64, buf);
+            let a = b.load(Ty::I64, mut_acc);
+            let s = b.add(a, v);
+            b.store(Ty::I64, s, mut_acc);
+        });
+        let v = b.load(Ty::I64, mut_acc);
+        b.ret(v);
+        m.add_func(b.finish());
+        m
+    }
+
+    #[test]
+    fn decelerated_verifies_and_preserves_output() {
+        let m = module();
+        let d = decelerate_module(&m);
+        verify_module(&d).unwrap_or_else(|e| panic!("{:#?}", &e[..e.len().min(5)]));
+        let r0 = run_program(&Program::lower(&m), "main", &[], MachineConfig::default());
+        let r1 = run_program(&Program::lower(&d), "main", &[], MachineConfig::default());
+        assert_eq!(r0.outcome, r1.outcome);
+    }
+
+    #[test]
+    fn decelerated_is_slower_with_more_instructions() {
+        let m = module();
+        let d = decelerate_module(&m);
+        let r0 = run_program(&Program::lower(&m), "main", &[], MachineConfig::default());
+        let r1 = run_program(&Program::lower(&d), "main", &[], MachineConfig::default());
+        assert!(r1.counters.instrs > r0.counters.instrs);
+        assert!(r1.cycles > r0.cycles, "{} !> {}", r1.cycles, r0.cycles);
+        assert!(r1.counters.avx_instrs > 0);
+    }
+}

@@ -1,0 +1,907 @@
+//! The ELZAR transformation (§III of the paper): triple-modular redundancy
+//! by *data* replication across AVX lanes.
+//!
+//! Every scalar SSA value is widened to a vector filling a 256-bit YMM
+//! register (§III-D option 3: `i8`→32 lanes … `i64`/`f64`/`ptr`→4 lanes;
+//! `i1` values are canonical `<4 x i64>` masks — the `sext` boilerplate of
+//! Figure 10). Arithmetic maps 1:1 onto vector instructions.
+//! Synchronization instructions (§III-B: loads, stores, atomics, calls,
+//! returns, branches) are *not* replicated: their operands are checked
+//! (Figure 8: `shuffle`+`xor`+`ptest`), extracted from lane 0, executed
+//! once, and results broadcast back (Figure 6). Branches reuse the
+//! `ptest` they already need, so their check is a single extra jump
+//! (Figure 9). Detected divergence jumps to a majority-vote recovery
+//! routine (§III-C step 3) implemented by the runtime's `recover` builtin.
+//!
+//! Options reproduce the paper's studies: [`CheckConfig`] toggles check
+//! sites (Figure 12), `fp_only` replicates only floating-point data
+//! (§V-B), and [`FutureAvx`] implements the §VII ISA proposals
+//! (gather/scatter wrappers, flag-setting compares, FPGA-offloaded
+//! checks).
+
+use elzar_ir::inst::{Builtin, Callee, Inst, Terminator};
+use elzar_ir::module::{Function, Module};
+use elzar_ir::types::Ty;
+use elzar_ir::value::{BlockId, Const, Operand, ValueId};
+use elzar_ir::{BinOp, CastOp, CmpPred};
+
+/// Which synchronization-instruction sites receive Figure-8 checks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CheckConfig {
+    /// Check load addresses.
+    pub loads: bool,
+    /// Check store addresses and values.
+    pub stores: bool,
+    /// Branch checks (the third `ptest_br` outcome, Figure 9).
+    pub branches: bool,
+    /// Checks on everything else: call arguments, return values, atomics.
+    pub others: bool,
+}
+
+impl CheckConfig {
+    /// All checks on (the paper's default configuration).
+    pub fn all() -> CheckConfig {
+        CheckConfig { loads: true, stores: true, branches: true, others: true }
+    }
+
+    /// All checks off (Figure 12's "all checks disabled" bar).
+    pub fn none() -> CheckConfig {
+        CheckConfig { loads: false, stores: false, branches: false, others: false }
+    }
+}
+
+impl Default for CheckConfig {
+    fn default() -> CheckConfig {
+        CheckConfig::all()
+    }
+}
+
+/// The §VII proposed AVX extensions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FutureAvx {
+    /// Replace extract/load/broadcast and extract/store wrappers with
+    /// hardware gather/scatter that majority-vote their address (and
+    /// value) lanes (§VII-B "loads and stores").
+    pub gather_scatter: bool,
+    /// Vector compares toggle FLAGS directly — no `ptest` before
+    /// branches (§VII-B "comparisons affecting FLAGS").
+    pub cmp_flags: bool,
+    /// Checks offloaded to an on-die FPGA (§VII-C) — Figure-8 sequences
+    /// disappear from the instruction stream.
+    pub offload_checks: bool,
+}
+
+impl FutureAvx {
+    /// Enable every proposed extension (the Figure 17 estimate).
+    pub fn all() -> FutureAvx {
+        FutureAvx { gather_scatter: true, cmp_flags: true, offload_checks: true }
+    }
+}
+
+/// Full transformation configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ElzarConfig {
+    /// Check-site selection.
+    pub checks: CheckConfig,
+    /// Replicate only floating-point data flow (§V-B).
+    pub fp_only: bool,
+    /// Proposed-ISA mode.
+    pub future: FutureAvx,
+}
+
+/// The canonical mask shape all `i1` values take (Figure 10's
+/// `sext ... to <4 x i64>`).
+fn canon_mask() -> Ty {
+    Ty::vec(Ty::I64, 4)
+}
+
+/// Replicated type of a scalar type.
+fn repl_ty(t: &Ty) -> Ty {
+    if *t == Ty::I1 {
+        canon_mask()
+    } else {
+        Ty::vec(t.clone(), t.ymm_lanes())
+    }
+}
+
+/// Harden every `hardened` function of a module with ELZAR.
+///
+/// Unhardened (library) functions are copied verbatim, mirroring the
+/// paper's treatment of I/O, OS and pthreads code (§IV-A).
+///
+/// # Panics
+/// Panics if a hardened function already contains vector instructions
+/// (ELZAR requires vectorization disabled in the input, §IV-A).
+pub fn harden_module(m: &Module, cfg: &ElzarConfig) -> Module {
+    let mut out = Module::new(format!("{}.elzar", m.name));
+    out.globals = m.globals.clone();
+    for f in &m.funcs {
+        if f.hardened {
+            out.funcs.push(Xform::new(m, f, cfg).run());
+        } else {
+            out.funcs.push(f.clone());
+        }
+    }
+    out
+}
+
+struct PhiFixup {
+    new_phi: ValueId,
+    ty: Ty,
+    replicated: bool,
+    orig_incomings: Vec<(BlockId, Operand)>,
+}
+
+struct Xform<'a> {
+    orig: &'a Function,
+    cfg: &'a ElzarConfig,
+    nf: Function,
+    cur: BlockId,
+    vmap: Vec<Option<Operand>>,
+    vty: Vec<Option<Ty>>,
+    exits: Vec<Vec<BlockId>>,
+    phis: Vec<PhiFixup>,
+    trap_bb: Option<BlockId>,
+}
+
+impl<'a> Xform<'a> {
+    fn new(_m: &'a Module, orig: &'a Function, cfg: &'a ElzarConfig) -> Xform<'a> {
+        let mut nf = Function::new(orig.name.clone(), orig.params.clone(), orig.ret_ty.clone());
+        nf.hardened = true;
+        // Mirror the original block structure: block i ↔ new block i.
+        for b in orig.blocks.iter().skip(1) {
+            nf.add_block(b.name.clone());
+        }
+        let nvals = orig.vals.len();
+        Xform {
+            orig,
+            cfg,
+            nf,
+            cur: BlockId(0),
+            vmap: vec![None; nvals],
+            vty: vec![None; nvals],
+            exits: vec![vec![]; orig.blocks.len()],
+            phis: vec![],
+            trap_bb: None,
+        }
+    }
+
+    fn emit(&mut self, inst: Inst) -> Option<ValueId> {
+        self.nf.push_inst(self.cur, inst)
+    }
+
+    fn emit_val(&mut self, inst: Inst) -> ValueId {
+        self.emit(inst).expect("instruction yields a value")
+    }
+
+    fn should_replicate(&self, t: &Ty) -> bool {
+        if self.cfg.fp_only {
+            t.is_float()
+        } else {
+            true
+        }
+    }
+
+    #[allow(dead_code)]
+    fn new_ty(&self, op: &Operand) -> Ty {
+        match op {
+            Operand::Val(v) => self.vty[v.0 as usize].clone().expect("mapped value"),
+            Operand::Imm(c) => c.ty(),
+        }
+    }
+
+    /// Fetch the mapped operand resized to `want`.
+    fn use_op(&mut self, o: &Operand, want: &Ty) -> Operand {
+        match o {
+            Operand::Imm(c) => {
+                if want.is_vector() {
+                    if c.ty() == Ty::I1 {
+                        // i1 constants become canonical all-ones / zero masks.
+                        let truth = matches!(c, Const::Int { value: 1, .. });
+                        let lane = if truth { u64::MAX } else { 0 };
+                        Operand::Imm(Const::int(64, lane).splat(want.lanes()))
+                    } else {
+                        Operand::Imm(c.clone().splat(want.lanes()))
+                    }
+                } else {
+                    o.clone()
+                }
+            }
+            Operand::Val(v) => {
+                let have = self.vty[v.0 as usize].clone().expect("mapped value");
+                let mapped = self.vmap[v.0 as usize].clone().expect("mapped value");
+                if &have == want {
+                    return mapped;
+                }
+                self.resize(mapped, &have, want)
+            }
+        }
+    }
+
+    /// Resize a replicated value between vector shapes (mask width
+    /// changes) or bridge scalar↔vector in `fp_only` mode.
+    fn resize(&mut self, v: Operand, have: &Ty, want: &Ty) -> Operand {
+        if have == want {
+            return v;
+        }
+        match (have.is_vector(), want.is_vector()) {
+            (true, true) => {
+                let (hb, wb) = (have.elem().scalar_bits(), want.elem().scalar_bits());
+                let op = if wb > hb {
+                    CastOp::SExt
+                } else if wb < hb {
+                    CastOp::Trunc
+                } else {
+                    CastOp::Bitcast
+                };
+                Operand::Val(self.emit_val(Inst::Cast { op, to: want.clone(), val: v }))
+            }
+            (false, true) => {
+                // Scalar → replicated (rescale).
+                if have == &Ty::I1 {
+                    let wide = self.emit_val(Inst::Cast { op: CastOp::ZExt, to: Ty::I64, val: v });
+                    let spl = self.emit_val(Inst::Splat { val: wide.into(), ty: Ty::vec(Ty::I64, 4) });
+                    let mask = self.emit_val(Inst::Cmp {
+                        pred: CmpPred::Ne,
+                        ty: Ty::vec(Ty::I64, 4),
+                        a: spl.into(),
+                        b: Operand::Imm(Const::i64(0).splat(4)),
+                    });
+                    self.resize(mask.into(), &canon_mask(), want)
+                } else {
+                    Operand::Val(self.emit_val(Inst::Splat { val: v, ty: want.clone() }))
+                }
+            }
+            (true, false) => {
+                // Replicated → scalar (descale): extract lane 0.
+                let e = self.emit_val(Inst::ExtractElement {
+                    vec: v,
+                    idx: Operand::imm_i64(0),
+                    ty: have.clone(),
+                });
+                if want == &Ty::I1 {
+                    // Mask lane → truth value.
+                    let elem = have.elem().clone();
+                    Operand::Val(self.emit_val(Inst::Cmp {
+                        pred: CmpPred::Ne,
+                        ty: elem.clone(),
+                        a: e.into(),
+                        b: Operand::Imm(Const::zero(&elem)),
+                    }))
+                } else if have.elem() == want {
+                    e.into()
+                } else {
+                    // Same storage, different logical type (ptr vs int).
+                    let op = if want.is_ptr() { CastOp::IntToPtr } else { CastOp::PtrToInt };
+                    Operand::Val(self.emit_val(Inst::Cast { op, to: want.clone(), val: e.into() }))
+                }
+            }
+            (false, false) => v,
+        }
+    }
+
+    fn def(&mut self, v: ValueId, op: Operand, ty: Ty) {
+        self.vmap[v.0 as usize] = Some(op);
+        self.vty[v.0 as usize] = Some(ty);
+    }
+
+    fn trap_block(&mut self) -> BlockId {
+        if let Some(b) = self.trap_bb {
+            return b;
+        }
+        let b = self.nf.add_block("elzar.no_majority");
+        self.nf.set_term(b, Terminator::Unreachable);
+        self.trap_bb = Some(b);
+        b
+    }
+
+    /// Figure-8 data check: shuffle-rotate, xor, ptest, branch to a
+    /// recovery block on divergence. Returns the (possibly recovered)
+    /// value, positioned in a fresh continuation block.
+    fn check(&mut self, v: Operand, ty: &Ty) -> Operand {
+        if self.cfg.future.offload_checks {
+            return v; // §VII-C: the FPGA validates loads/stores in-line.
+        }
+        let lanes = ty.lanes();
+        // Bitcast float data to its integer twin so xor/ptest are legal
+        // (vxorps in real AVX).
+        let ity = Ty::vec(Ty::Int(ty.elem().scalar_bits() as u8), lanes);
+        let vi = if ty.elem().is_float() {
+            Operand::Val(self.emit_val(Inst::Cast { op: CastOp::Bitcast, to: ity.clone(), val: v.clone() }))
+        } else if ty.elem().is_ptr() {
+            Operand::Val(self.emit_val(Inst::Cast { op: CastOp::PtrToInt, to: Ty::vec(Ty::I64, lanes), val: v.clone() }))
+        } else {
+            v.clone()
+        };
+        let ity = if ty.elem().is_ptr() { Ty::vec(Ty::I64, lanes) } else { ity };
+        let rot: Vec<u8> = (0..lanes).map(|i| ((i + 1) % lanes) as u8).collect();
+        let sh = self.emit_val(Inst::Shuffle { a: vi.clone(), mask: rot, ty: ity.clone() });
+        let d = self.emit_val(Inst::Bin { op: BinOp::Xor, ty: ity.clone(), a: vi, b: sh.into() });
+        let flags = self.emit_val(Inst::Ptest { mask: d.into(), ty: ity });
+        let pre = self.cur;
+        let ok = self.nf.add_block("elzar.ok");
+        let rec = self.nf.add_block("elzar.recover");
+        self.nf.set_term(pre, Terminator::PtestBr { flags: flags.into(), all_false: ok, all_true: rec, mixed: rec });
+        // Recovery: majority vote in the runtime (slow path).
+        self.cur = rec;
+        let fixed = self
+            .emit(Inst::Call {
+                callee: Callee::Builtin(Builtin::Recover),
+                args: vec![v.clone()],
+                ret_ty: ty.clone(),
+            })
+            .expect("recover returns");
+        self.nf.set_term(rec, Terminator::Br { target: ok });
+        // Continuation: phi of original and recovered value.
+        self.cur = ok;
+        let phi = self.emit_val(Inst::Phi {
+            ty: ty.clone(),
+            incomings: vec![(pre, v), (rec, fixed.into())],
+        });
+        phi.into()
+    }
+
+    /// Check (when enabled) then extract the lane-0 scalar of a
+    /// replicated operand — the Figure-6 wrapper before a sync use.
+    fn checked_scalar(&mut self, o: &Operand, orig_ty: &Ty, do_check: bool) -> Operand {
+        if !self.should_replicate(orig_ty) && !self.new_ty_is_vector(o) {
+            return self.use_op(o, orig_ty);
+        }
+        let want = repl_ty(orig_ty);
+        let mut v = self.use_op(o, &want);
+        if do_check && !self.cfg.future.offload_checks {
+            v = self.check(v, &want);
+        }
+        self.resize(v, &want, orig_ty)
+    }
+
+    fn new_ty_is_vector(&self, o: &Operand) -> bool {
+        match o {
+            Operand::Val(v) => self.vty[v.0 as usize].as_ref().map(|t| t.is_vector()).unwrap_or(false),
+            Operand::Imm(_) => false,
+        }
+    }
+
+    /// Broadcast a scalar result back into the replicated domain.
+    fn rescale_def(&mut self, v: ValueId, scalar: Operand, orig_ty: &Ty) {
+        if self.should_replicate(orig_ty) {
+            let want = repl_ty(orig_ty);
+            let wide = self.resize(scalar, orig_ty, &want);
+            self.def(v, wide, want);
+        } else {
+            self.def(v, scalar, orig_ty.clone());
+        }
+    }
+
+    fn run(mut self) -> Function {
+        // Replicate parameters at entry (§III-B: "ILR replicates all
+        // inputs … function arguments"; signatures stay scalar).
+        self.cur = BlockId(0);
+        for (i, pty) in self.orig.params.clone().iter().enumerate() {
+            let pv = self.orig.param(i);
+            let op: Operand = ValueId(pv.0).into();
+            if self.should_replicate(pty) {
+                let want = repl_ty(pty);
+                let wide = self.resize(op, pty, &want);
+                self.def(pv, wide, want);
+            } else {
+                self.def(pv, op, pty.clone());
+            }
+        }
+        for bi in 0..self.orig.blocks.len() {
+            self.cur = BlockId(bi as u32);
+            // Re-point the cursor to the head block of this original
+            // block's chain; checks will move it forward.
+            let insts: Vec<_> = self.orig.blocks[bi].insts.clone();
+            for iid in insts {
+                let inst = self.orig.insts[iid.0 as usize].inst.clone();
+                let result = self.orig.insts[iid.0 as usize].result;
+                self.xform_inst(&inst, result);
+            }
+            let term = self.orig.blocks[bi].term.clone();
+            self.xform_term(BlockId(bi as u32), &term);
+        }
+        self.fill_phis();
+        self.nf
+    }
+
+    fn fill_phis(&mut self) {
+        let fixups = std::mem::take(&mut self.phis);
+        for fx in fixups {
+            let mut incomings = vec![];
+            for (pred, ov) in &fx.orig_incomings {
+                let mapped = match ov {
+                    Operand::Imm(c) => {
+                        if fx.replicated && fx.ty.is_vector() {
+                            if c.ty() == Ty::I1 {
+                                let truth = matches!(c, Const::Int { value: 1, .. });
+                                Operand::Imm(Const::int(64, if truth { u64::MAX } else { 0 }).splat(4))
+                            } else {
+                                Operand::Imm(c.clone().splat(fx.ty.lanes()))
+                            }
+                        } else {
+                            ov.clone()
+                        }
+                    }
+                    Operand::Val(v) => self.vmap[v.0 as usize].clone().expect("phi incoming mapped"),
+                };
+                for &exit in &self.exits[pred.0 as usize] {
+                    incomings.push((exit, mapped.clone()));
+                }
+            }
+            let iid = self.nf.def_inst(fx.new_phi).expect("phi inst");
+            match &mut self.nf.insts[iid.0 as usize].inst {
+                Inst::Phi { incomings: slot, .. } => *slot = incomings,
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn assert_scalar_input(&self, ty: &Ty) {
+        assert!(
+            !ty.is_vector(),
+            "ELZAR input must be scalar code (disable vectorization, §IV-A); found {ty} in {}",
+            self.orig.name
+        );
+    }
+
+    fn xform_inst(&mut self, inst: &Inst, result: Option<ValueId>) {
+        match inst {
+            Inst::Bin { op, ty, a, b } => {
+                self.assert_scalar_input(ty);
+                let r = result.expect("bin yields");
+                if !self.should_replicate(ty) {
+                    let (na, nb) = (self.use_op(a, ty), self.use_op(b, ty));
+                    let nv = self.emit_val(Inst::Bin { op: *op, ty: ty.clone(), a: na, b: nb });
+                    self.def(r, nv.into(), ty.clone());
+                    return;
+                }
+                let want = if *ty == Ty::I1 { canon_mask() } else { repl_ty(ty) };
+                let (na, nb) = (self.use_op(a, &want), self.use_op(b, &want));
+                let nv = self.emit_val(Inst::Bin { op: *op, ty: want.clone(), a: na, b: nb });
+                self.def(r, nv.into(), want);
+            }
+            Inst::Cmp { pred, ty, a, b } => {
+                self.assert_scalar_input(ty);
+                let r = result.expect("cmp yields");
+                if !self.should_replicate(ty) {
+                    let (na, nb) = (self.use_op(a, ty), self.use_op(b, ty));
+                    let nv = self.emit_val(Inst::Cmp { pred: *pred, ty: ty.clone(), a: na, b: nb });
+                    self.def(r, nv.into(), Ty::I1);
+                    return;
+                }
+                let want = repl_ty(ty);
+                let (na, nb) = (self.use_op(a, &want), self.use_op(b, &want));
+                let mask = self.emit_val(Inst::Cmp { pred: *pred, ty: want.clone(), a: na, b: nb });
+                let natural = Ty::vec(Ty::Int(want.elem().scalar_bits() as u8), want.lanes());
+                if self.cfg.fp_only {
+                    // §V-B: fold the mask back to a scalar i1 so control
+                    // flow stays scalar; check it first if enabled.
+                    let mut m: Operand = mask.into();
+                    if self.cfg.checks.branches {
+                        m = self.check(m, &natural);
+                    }
+                    let s = self.resize(m, &natural, &Ty::I1);
+                    self.def(r, s, Ty::I1);
+                } else {
+                    // Canonicalize to <4 x i64> (Figure 10's sext).
+                    let canon = self.resize(mask.into(), &natural, &canon_mask());
+                    self.def(r, canon, canon_mask());
+                }
+            }
+            Inst::Cast { op, to, val } => {
+                self.assert_scalar_input(to);
+                let r = result.expect("cast yields");
+                let from_ty = self.orig.operand_ty(val);
+                if !self.should_replicate(to) || !self.should_replicate(&from_ty) {
+                    // At least one side stays scalar (fp_only boundaries).
+                    let s = self.checked_scalar(val, &from_ty, false);
+                    let nv = self.emit_val(Inst::Cast { op: *op, to: to.clone(), val: s });
+                    self.rescale_def(r, nv.into(), to);
+                    return;
+                }
+                if from_ty == Ty::I1 {
+                    // zext/sext from a mask: the mask *is* the sext.
+                    let m = self.use_op(val, &canon_mask());
+                    let want = repl_ty(to);
+                    let resized = self.resize(m, &canon_mask(), &want);
+                    let nv = match op {
+                        CastOp::SExt => resized,
+                        _ => {
+                            // zext: mask & 1.
+                            Operand::Val(self.emit_val(Inst::Bin {
+                                op: BinOp::And,
+                                ty: want.clone(),
+                                a: resized,
+                                b: Operand::Imm(Const::int(to.scalar_bits() as u8, 1).splat(want.lanes())),
+                            }))
+                        }
+                    };
+                    self.def(r, nv, want);
+                    return;
+                }
+                if *to == Ty::I1 {
+                    // trunc to i1 == (x & 1) != 0, kept as a mask.
+                    let want = repl_ty(&from_ty);
+                    let x = self.use_op(val, &want);
+                    let one = self.emit_val(Inst::Bin {
+                        op: BinOp::And,
+                        ty: want.clone(),
+                        a: x,
+                        b: Operand::Imm(Const::int(from_ty.scalar_bits() as u8, 1).splat(want.lanes())),
+                    });
+                    let mask = self.emit_val(Inst::Cmp {
+                        pred: CmpPred::Ne,
+                        ty: want.clone(),
+                        a: one.into(),
+                        b: Operand::Imm(Const::zero(&from_ty).splat(want.lanes())),
+                    });
+                    let natural = Ty::vec(Ty::Int(want.elem().scalar_bits() as u8), want.lanes());
+                    let canon = self.resize(mask.into(), &natural, &canon_mask());
+                    self.def(r, canon, canon_mask());
+                    return;
+                }
+                let fw = repl_ty(&from_ty);
+                let tw = repl_ty(to);
+                let x = self.use_op(val, &fw);
+                let nv = self.emit_val(Inst::Cast { op: *op, to: tw.clone(), val: x });
+                self.def(r, nv.into(), tw);
+            }
+            Inst::Load { ty, addr } => {
+                self.assert_scalar_input(ty);
+                let r = result.expect("load yields");
+                if self.cfg.future.gather_scatter && self.should_replicate(&Ty::Ptr) {
+                    // §VII-B gather: address lanes voted in hardware.
+                    let av = self.use_op(addr, &repl_ty(&Ty::Ptr));
+                    let want = repl_ty(ty);
+                    if *ty == Ty::I1 {
+                        let g = self.emit_val(Inst::Gather { ty: Ty::vec(Ty::I1, Ty::I1.ymm_lanes()), addrs: av });
+                        let canon = self.resize(g.into(), &Ty::vec(Ty::I1, Ty::I1.ymm_lanes()), &canon_mask());
+                        self.def(r, canon, canon_mask());
+                    } else {
+                        let g = self.emit_val(Inst::Gather { ty: want.clone(), addrs: av });
+                        self.def(r, g.into(), want);
+                    }
+                    return;
+                }
+                let a = self.checked_scalar(addr, &Ty::Ptr, self.cfg.checks.loads);
+                let lv = self.emit_val(Inst::Load { ty: ty.clone(), addr: a });
+                self.rescale_def(r, lv.into(), ty);
+            }
+            Inst::Store { ty, val, addr } => {
+                self.assert_scalar_input(ty);
+                if self.cfg.future.gather_scatter && self.should_replicate(ty) && *ty != Ty::I1 {
+                    let vv = self.use_op(val, &repl_ty(ty));
+                    let av = self.use_op(addr, &repl_ty(&Ty::Ptr));
+                    self.emit(Inst::Scatter { val: vv, addrs: av, ty: repl_ty(ty) });
+                    return;
+                }
+                let v = self.checked_scalar(val, ty, self.cfg.checks.stores);
+                let a = self.checked_scalar(addr, &Ty::Ptr, self.cfg.checks.stores);
+                self.emit(Inst::Store { ty: ty.clone(), val: v, addr: a });
+            }
+            Inst::Gep { base, index, scale } => {
+                // Address arithmetic is ordinary data flow — replicated.
+                let r = result.expect("gep yields");
+                if !self.should_replicate(&Ty::Ptr) {
+                    let nb = self.checked_scalar(base, &Ty::Ptr, false);
+                    let idx_ty = self.orig.operand_ty(index);
+                    let ni = self.checked_scalar(index, &idx_ty, false);
+                    let nv = self.emit_val(Inst::Gep { base: nb, index: ni, scale: *scale });
+                    self.def(r, nv.into(), Ty::Ptr);
+                    return;
+                }
+                let ity = Ty::vec(Ty::I64, 4);
+                let pty = repl_ty(&Ty::Ptr);
+                let idx_orig_ty = self.orig.operand_ty(index);
+                let idx_wide = {
+                    let w = repl_ty(&idx_orig_ty);
+                    let raw = self.use_op(index, &w);
+                    self.resize(raw, &w, &ity)
+                };
+                let scaled = self.emit_val(Inst::Bin {
+                    op: BinOp::Mul,
+                    ty: ity.clone(),
+                    a: idx_wide,
+                    b: Operand::Imm(Const::i64(i64::from(*scale)).splat(4)),
+                });
+                let basev = self.use_op(base, &pty);
+                let base_i = self.emit_val(Inst::Cast { op: CastOp::PtrToInt, to: ity.clone(), val: basev });
+                let sum = self.emit_val(Inst::Bin { op: BinOp::Add, ty: ity.clone(), a: base_i.into(), b: scaled.into() });
+                let nv = self.emit_val(Inst::Cast { op: CastOp::IntToPtr, to: pty.clone(), val: sum.into() });
+                self.def(r, nv.into(), pty);
+            }
+            Inst::Alloca { ty, count } => {
+                let r = result.expect("alloca yields");
+                let cty = self.orig.operand_ty(count);
+                let c = self.checked_scalar(count, &cty, false);
+                let nv = self.emit_val(Inst::Alloca { ty: ty.clone(), count: c });
+                self.rescale_def(r, nv.into(), &Ty::Ptr);
+            }
+            Inst::Select { cond, ty, a, b } => {
+                self.assert_scalar_input(ty);
+                let r = result.expect("select yields");
+                if !self.should_replicate(ty) {
+                    let c = self.checked_scalar(cond, &Ty::I1, false);
+                    let (na, nb) = (self.use_op(a, ty), self.use_op(b, ty));
+                    let nv = self.emit_val(Inst::Select { cond: c, ty: ty.clone(), a: na, b: nb });
+                    self.def(r, nv.into(), ty.clone());
+                    return;
+                }
+                let want = if *ty == Ty::I1 { canon_mask() } else { repl_ty(ty) };
+                // Blend mask: integer mask of the data's geometry.
+                let mty = Ty::vec(Ty::Int(want.elem().scalar_bits() as u8), want.lanes());
+                let cond_ty = self.orig.operand_ty(cond);
+                let c = if cond_ty == Ty::I1 && self.should_replicate(&Ty::I1) && !self.cfg.fp_only {
+                    let cm = self.use_op(cond, &canon_mask());
+                    self.resize(cm, &canon_mask(), &mty)
+                } else {
+                    // Scalar condition (fp_only): keep a scalar select.
+                    let sc = self.checked_scalar(cond, &Ty::I1, false);
+                    let (na, nb) = (self.use_op(a, &want), self.use_op(b, &want));
+                    let nv = self.emit_val(Inst::Select { cond: sc, ty: want.clone(), a: na, b: nb });
+                    self.def(r, nv.into(), want);
+                    return;
+                };
+                let (na, nb) = (self.use_op(a, &want), self.use_op(b, &want));
+                let nv = self.emit_val(Inst::Select { cond: c, ty: want.clone(), a: na, b: nb });
+                self.def(r, nv.into(), want);
+            }
+            Inst::Phi { ty, incomings } => {
+                self.assert_scalar_input(ty);
+                let r = result.expect("phi yields");
+                let replicated = self.should_replicate(ty);
+                let nty = if replicated {
+                    if *ty == Ty::I1 {
+                        canon_mask()
+                    } else {
+                        repl_ty(ty)
+                    }
+                } else {
+                    ty.clone()
+                };
+                let phi = self.emit_val(Inst::Phi { ty: nty.clone(), incomings: vec![] });
+                self.phis.push(PhiFixup {
+                    new_phi: phi,
+                    ty: nty.clone(),
+                    replicated,
+                    orig_incomings: incomings.clone(),
+                });
+                self.def(r, phi.into(), nty);
+            }
+            Inst::Call { callee, args, ret_ty } => {
+                // Sync instruction: check + extract every argument,
+                // execute once, broadcast the result (§III-C step 1).
+                let mut nargs = vec![];
+                for a in args {
+                    let aty = self.orig.operand_ty(a);
+                    nargs.push(self.checked_scalar(a, &aty, self.cfg.checks.others));
+                }
+                let nv = self.emit(Inst::Call { callee: *callee, args: nargs, ret_ty: ret_ty.clone() });
+                if let (Some(r), Some(nv)) = (result, nv) {
+                    self.rescale_def(r, nv.into(), ret_ty);
+                }
+            }
+            Inst::AtomicRmw { op, ty, addr, val } => {
+                let r = result.expect("atomicrmw yields");
+                let a = self.checked_scalar(addr, &Ty::Ptr, self.cfg.checks.others);
+                let v = self.checked_scalar(val, ty, self.cfg.checks.others);
+                let nv = self.emit_val(Inst::AtomicRmw { op: *op, ty: ty.clone(), addr: a, val: v });
+                self.rescale_def(r, nv.into(), ty);
+            }
+            Inst::CmpXchg { ty, addr, expected, new } => {
+                let r = result.expect("cmpxchg yields");
+                let a = self.checked_scalar(addr, &Ty::Ptr, self.cfg.checks.others);
+                let e = self.checked_scalar(expected, ty, self.cfg.checks.others);
+                let n = self.checked_scalar(new, ty, self.cfg.checks.others);
+                let nv = self.emit_val(Inst::CmpXchg { ty: ty.clone(), addr: a, expected: e, new: n });
+                self.rescale_def(r, nv.into(), ty);
+            }
+            Inst::Fence => {
+                self.emit(Inst::Fence);
+            }
+            Inst::ExtractElement { .. }
+            | Inst::InsertElement { .. }
+            | Inst::Shuffle { .. }
+            | Inst::Splat { .. }
+            | Inst::Ptest { .. }
+            | Inst::Gather { .. }
+            | Inst::Scatter { .. } => {
+                panic!("ELZAR input must be scalar code; found a vector instruction in {}", self.orig.name)
+            }
+        }
+    }
+
+    fn xform_term(&mut self, orig_block: BlockId, term: &Terminator) {
+        match term {
+            Terminator::Br { target } => {
+                self.nf.set_term(self.cur, Terminator::Br { target: *target });
+                self.exits[orig_block.0 as usize].push(self.cur);
+            }
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                let cond_ty = self.orig.operand_ty(cond);
+                let scalar_branch = !self.should_replicate(&Ty::I1)
+                    || self.cfg.fp_only
+                    || !self.new_ty_is_vector(cond) && matches!(cond, Operand::Val(_))
+                    || matches!(cond, Operand::Imm(_));
+                if scalar_branch {
+                    let c = self.checked_scalar(cond, &cond_ty, false);
+                    self.nf.set_term(self.cur, Terminator::CondBr { cond: c, then_bb: *then_bb, else_bb: *else_bb });
+                    self.exits[orig_block.0 as usize].push(self.cur);
+                    return;
+                }
+                let mask = self.use_op(cond, &canon_mask());
+                let flags: Operand = if self.cfg.future.cmp_flags {
+                    // §VII-B: the compare already toggled FLAGS.
+                    mask.clone()
+                } else {
+                    self.emit_val(Inst::Ptest { mask: mask.clone(), ty: canon_mask() }).into()
+                };
+                let pre = self.cur;
+                if self.cfg.checks.branches {
+                    // Figure 9: mixed = fault, branch to recovery.
+                    let rec = self.nf.add_block("elzar.br_recover");
+                    self.nf.set_term(
+                        pre,
+                        Terminator::PtestBr { flags, all_false: *else_bb, all_true: *then_bb, mixed: rec },
+                    );
+                    self.cur = rec;
+                    let fixed = self
+                        .emit(Inst::Call {
+                            callee: Callee::Builtin(Builtin::Recover),
+                            args: vec![mask],
+                            ret_ty: canon_mask(),
+                        })
+                        .expect("recover returns");
+                    let flags2: Operand = if self.cfg.future.cmp_flags {
+                        fixed.into()
+                    } else {
+                        self.emit_val(Inst::Ptest { mask: fixed.into(), ty: canon_mask() }).into()
+                    };
+                    let trap = self.trap_block();
+                    self.nf.set_term(
+                        rec,
+                        Terminator::PtestBr { flags: flags2, all_false: *else_bb, all_true: *then_bb, mixed: trap },
+                    );
+                    self.exits[orig_block.0 as usize].push(pre);
+                    self.exits[orig_block.0 as usize].push(rec);
+                } else {
+                    // Unchecked: a mixed mask falls through like `jne`.
+                    self.nf.set_term(
+                        pre,
+                        Terminator::PtestBr { flags, all_false: *else_bb, all_true: *then_bb, mixed: *then_bb },
+                    );
+                    self.exits[orig_block.0 as usize].push(pre);
+                }
+            }
+            Terminator::PtestBr { .. } => {
+                panic!("ELZAR input must not contain ptest_br (already hardened?)")
+            }
+            Terminator::Ret { val } => {
+                let nv = val.as_ref().map(|v| {
+                    let vt = self.orig.operand_ty(v);
+                    self.checked_scalar(v, &vt, self.cfg.checks.others)
+                });
+                self.nf.set_term(self.cur, Terminator::Ret { val: nv });
+            }
+            Terminator::Unreachable => {
+                self.nf.set_term(self.cur, Terminator::Unreachable);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elzar_ir::builder::{c64, FuncBuilder};
+    use elzar_ir::verify::verify_module;
+
+    fn simple_module() -> Module {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let buf = b.alloca(Ty::I64, c64(8));
+        b.store(Ty::I64, c64(5), buf);
+        let acc = b.alloca(Ty::I64, c64(1));
+        b.store(Ty::I64, c64(0), acc);
+        b.counted_loop(c64(0), c64(10), |b, i| {
+            let p = b.gep(buf, i, 0); // same cell
+            let v = b.load(Ty::I64, p);
+            let a = b.load(Ty::I64, acc);
+            let s = b.add(a, v);
+            b.store(Ty::I64, s, acc);
+        });
+        let v = b.load(Ty::I64, acc);
+        b.ret(v);
+        m.add_func(b.finish());
+        m
+    }
+
+    #[test]
+    fn hardened_module_verifies() {
+        let m = simple_module();
+        let h = harden_module(&m, &ElzarConfig::default());
+        verify_module(&h).unwrap_or_else(|e| panic!("{:#?}", &e[..e.len().min(5)]));
+    }
+
+    #[test]
+    fn hardened_module_verifies_under_all_configs() {
+        let m = simple_module();
+        for checks in [CheckConfig::all(), CheckConfig::none(),
+                       CheckConfig { loads: false, ..CheckConfig::all() },
+                       CheckConfig { loads: false, stores: false, ..CheckConfig::all() }] {
+            for fp_only in [false, true] {
+                for future in [FutureAvx::default(), FutureAvx::all(),
+                               FutureAvx { gather_scatter: true, ..FutureAvx::default() },
+                               FutureAvx { cmp_flags: true, ..FutureAvx::default() }] {
+                    let cfg = ElzarConfig { checks, fp_only, future };
+                    let h = harden_module(&m, &cfg);
+                    verify_module(&h).unwrap_or_else(|e| {
+                        panic!("cfg {cfg:?}: {:#?}", &e[..e.len().min(5)])
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn instruction_blowup_is_moderate() {
+        // ELZAR's selling point vs SWIFT-R: replication adds data width,
+        // not instruction count — but wrappers and checks still add a
+        // multiple on memory-heavy code (Table III: 1.7–10×).
+        let m = simple_module();
+        let h = harden_module(&m, &ElzarConfig::default());
+        let orig = m.num_insts();
+        let hardened = h.num_insts();
+        let factor = hardened as f64 / orig as f64;
+        assert!(factor > 1.5 && factor < 12.0, "factor {factor}");
+    }
+
+    #[test]
+    fn unhardened_functions_pass_through() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("lib", vec![Ty::I64], Ty::I64);
+        let p = b.param(0);
+        let r = b.add(p, c64(1));
+        b.ret(r);
+        let mut f = b.finish();
+        f.hardened = false;
+        m.add_func(f);
+        let h = harden_module(&m, &ElzarConfig::default());
+        assert_eq!(h.funcs[0].num_insts(), m.funcs[0].num_insts());
+    }
+
+    #[test]
+    fn branch_gets_ptest_form() {
+        let m = simple_module();
+        let h = harden_module(&m, &ElzarConfig::default());
+        let f = &h.funcs[0];
+        let has_ptest_br = f.blocks.iter().any(|b| matches!(b.term, Terminator::PtestBr { .. }));
+        assert!(has_ptest_br, "hardened loops must branch through ptest");
+        let has_recover = f
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .any(|&iid| matches!(&f.insts[iid.0 as usize].inst, Inst::Call { callee: Callee::Builtin(Builtin::Recover), .. }));
+        assert!(has_recover, "recovery routine must be reachable");
+    }
+
+    #[test]
+    fn future_avx_removes_wrappers() {
+        let m = simple_module();
+        let base = harden_module(&m, &ElzarConfig::default());
+        let fut = harden_module(
+            &m,
+            &ElzarConfig { future: FutureAvx::all(), ..ElzarConfig::default() },
+        );
+        assert!(fut.num_insts() < base.num_insts(), "{} !< {}", fut.num_insts(), base.num_insts());
+        // Gather/scatter appear, extract wrappers (mostly) disappear.
+        let f = &fut.funcs[0];
+        let has_gather = f
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .any(|&iid| matches!(&f.insts[iid.0 as usize].inst, Inst::Gather { .. }));
+        assert!(has_gather);
+    }
+}

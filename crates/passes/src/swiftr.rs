@@ -1,0 +1,389 @@
+//! SWIFT-R: the classic instruction-triplication ILR baseline
+//! (Reis et al., "Automatic instruction-level software-only recovery";
+//! §II-B and §V-D of the ELZAR paper).
+//!
+//! Every computational instruction is emitted three times, creating three
+//! independent scalar data flows. Before each synchronization instruction
+//! (load/store address, store value, call arguments, return values,
+//! branch conditions, atomics) the three copies of each operand are
+//! majority-voted with a `cmp`+`select` cascade and the voted value is
+//! used by the single executed sync instruction; results flow back into
+//! all three copies via register moves. No extra control flow is added —
+//! voting is branch-free, which is why SWIFT-R enjoys high ILP
+//! (Table III) at the price of a ~3× instruction blow-up.
+
+use elzar_ir::inst::{Inst, Terminator};
+use elzar_ir::module::{Function, Module};
+use elzar_ir::types::Ty;
+use elzar_ir::value::{BlockId, Operand, ValueId};
+use elzar_ir::{BinOp, CmpPred};
+
+/// Harden every `hardened` function by SWIFT-R triplication.
+///
+/// # Panics
+/// Panics if a hardened function contains vector instructions.
+pub fn harden_module(m: &Module) -> Module {
+    let mut out = Module::new(format!("{}.swiftr", m.name));
+    out.globals = m.globals.clone();
+    for f in &m.funcs {
+        if f.hardened {
+            out.funcs.push(transform(f));
+        } else {
+            out.funcs.push(f.clone());
+        }
+    }
+    out
+}
+
+struct PhiFixup {
+    new_phis: [ValueId; 3],
+    orig_incomings: Vec<(BlockId, Operand)>,
+}
+
+struct Xf<'a> {
+    orig: &'a Function,
+    nf: Function,
+    cur: BlockId,
+    /// Three copies per original value.
+    vmap: Vec<Option<[Operand; 3]>>,
+    phis: Vec<PhiFixup>,
+}
+
+fn transform(orig: &Function) -> Function {
+    let mut nf = Function::new(orig.name.clone(), orig.params.clone(), orig.ret_ty.clone());
+    nf.hardened = true;
+    for b in orig.blocks.iter().skip(1) {
+        nf.add_block(b.name.clone());
+    }
+    let mut x = Xf { orig, nf, cur: BlockId(0), vmap: vec![None; orig.vals.len()], phis: vec![] };
+
+    // Parameters: replicate inputs into three flows (two extra moves).
+    for (i, pty) in orig.params.iter().enumerate() {
+        let pv = orig.param(i);
+        let p: Operand = ValueId(pv.0).into();
+        let copies = x.triplicate_input(p, pty);
+        x.vmap[pv.0 as usize] = Some(copies);
+    }
+
+    for bi in 0..orig.blocks.len() {
+        x.cur = BlockId(bi as u32);
+        for &iid in &orig.blocks[bi].insts {
+            let inst = orig.insts[iid.0 as usize].inst.clone();
+            let result = orig.insts[iid.0 as usize].result;
+            x.xform_inst(&inst, result);
+        }
+        x.xform_term(&orig.blocks[bi].term.clone());
+    }
+    x.fill_phis();
+    x.nf
+}
+
+impl<'a> Xf<'a> {
+    fn emit(&mut self, inst: Inst) -> Option<ValueId> {
+        self.nf.push_inst(self.cur, inst)
+    }
+
+    fn emit_val(&mut self, inst: Inst) -> ValueId {
+        self.emit(inst).expect("yields a value")
+    }
+
+    /// Copy a just-produced input value into two shadow registers
+    /// (`or x, 0` — a register move the optimizer must not fold).
+    fn triplicate_input(&mut self, v: Operand, ty: &Ty) -> [Operand; 3] {
+        assert!(!ty.is_vector(), "SWIFT-R input must be scalar code");
+        if ty.is_float() || ty.is_ptr() || *ty == Ty::I1 {
+            // Moves: modeled as selects on a constant-true condition for
+            // pointer/float types (cmov-style copies).
+            let c1 = self.emit_val(Inst::Select {
+                cond: Operand::Imm(elzar_ir::Const::bool(true)),
+                ty: ty.clone(),
+                a: v.clone(),
+                b: v.clone(),
+            });
+            let c2 = self.emit_val(Inst::Select {
+                cond: Operand::Imm(elzar_ir::Const::bool(true)),
+                ty: ty.clone(),
+                a: v.clone(),
+                b: v.clone(),
+            });
+            [v, c1.into(), c2.into()]
+        } else {
+            let zero = Operand::Imm(elzar_ir::Const::int(ty.scalar_bits() as u8, 0));
+            let c1 = self.emit_val(Inst::Bin { op: BinOp::Or, ty: ty.clone(), a: v.clone(), b: zero.clone() });
+            let c2 = self.emit_val(Inst::Bin { op: BinOp::Or, ty: ty.clone(), a: v.clone(), b: zero });
+            [v, c1.into(), c2.into()]
+        }
+    }
+
+    fn copies(&mut self, o: &Operand) -> [Operand; 3] {
+        match o {
+            Operand::Imm(_) => [o.clone(), o.clone(), o.clone()],
+            Operand::Val(v) => self.vmap[v.0 as usize].clone().expect("mapped"),
+        }
+    }
+
+    /// Majority vote: `select(eq(x0, x1), x0, x2)` — 2 instructions
+    /// (Figure 5b's `majority(...)`).
+    fn vote(&mut self, o: &Operand, ty: &Ty) -> Operand {
+        let [x0, x1, x2] = self.copies(o);
+        if matches!(o, Operand::Imm(_)) {
+            return x0;
+        }
+        let pred = if ty.is_float() { CmpPred::FOeq } else { CmpPred::Eq };
+        let cmp_ty = if ty.is_ptr() { Ty::I64 } else { ty.clone() };
+        let (a0, a1) = if ty.is_ptr() {
+            // Compare pointers as integers.
+            let i0 = self.emit_val(Inst::Cast { op: elzar_ir::CastOp::PtrToInt, to: Ty::I64, val: x0.clone() });
+            let i1 = self.emit_val(Inst::Cast { op: elzar_ir::CastOp::PtrToInt, to: Ty::I64, val: x1.clone() });
+            (Operand::Val(i0), Operand::Val(i1))
+        } else {
+            (x0.clone(), x1.clone())
+        };
+        let eq = self.emit_val(Inst::Cmp { pred, ty: cmp_ty, a: a0, b: a1 });
+        let m = self.emit_val(Inst::Select { cond: eq.into(), ty: ty.clone(), a: x0, b: x2 });
+        m.into()
+    }
+
+    fn def3(&mut self, r: ValueId, copies: [Operand; 3]) {
+        self.vmap[r.0 as usize] = Some(copies);
+    }
+
+    fn xform_inst(&mut self, inst: &Inst, result: Option<ValueId>) {
+        match inst {
+            Inst::Bin { op, ty, a, b } => {
+                assert!(!ty.is_vector(), "SWIFT-R input must be scalar");
+                let r = result.expect("yields");
+                let ca = self.copies(a);
+                let cb = self.copies(b);
+                let mut out: Vec<Operand> = vec![];
+                for k in 0..3 {
+                    let v = self.emit_val(Inst::Bin { op: *op, ty: ty.clone(), a: ca[k].clone(), b: cb[k].clone() });
+                    out.push(v.into());
+                }
+                self.def3(r, [out[0].clone(), out[1].clone(), out[2].clone()]);
+            }
+            Inst::Cmp { pred, ty, a, b } => {
+                let r = result.expect("yields");
+                let ca = self.copies(a);
+                let cb = self.copies(b);
+                let mut out: Vec<Operand> = vec![];
+                for k in 0..3 {
+                    let v = self.emit_val(Inst::Cmp { pred: *pred, ty: ty.clone(), a: ca[k].clone(), b: cb[k].clone() });
+                    out.push(v.into());
+                }
+                self.def3(r, [out[0].clone(), out[1].clone(), out[2].clone()]);
+            }
+            Inst::Cast { op, to, val } => {
+                let r = result.expect("yields");
+                let cv = self.copies(val);
+                let mut out: Vec<Operand> = vec![];
+                for item in cv.iter() {
+                    let v = self.emit_val(Inst::Cast { op: *op, to: to.clone(), val: item.clone() });
+                    out.push(v.into());
+                }
+                self.def3(r, [out[0].clone(), out[1].clone(), out[2].clone()]);
+            }
+            Inst::Gep { base, index, scale } => {
+                let r = result.expect("yields");
+                let cb = self.copies(base);
+                let ci = self.copies(index);
+                let mut out: Vec<Operand> = vec![];
+                for k in 0..3 {
+                    let v = self.emit_val(Inst::Gep { base: cb[k].clone(), index: ci[k].clone(), scale: *scale });
+                    out.push(v.into());
+                }
+                self.def3(r, [out[0].clone(), out[1].clone(), out[2].clone()]);
+            }
+            Inst::Load { ty, addr } => {
+                // Vote the address, load once, fan out (Figure 5b).
+                let r = result.expect("yields");
+                let a = self.vote(addr, &Ty::Ptr);
+                let lv = self.emit_val(Inst::Load { ty: ty.clone(), addr: a });
+                let copies = self.triplicate_input(lv.into(), ty);
+                self.def3(r, copies);
+            }
+            Inst::Store { ty, val, addr } => {
+                let v = self.vote(val, ty);
+                let a = self.vote(addr, &Ty::Ptr);
+                self.emit(Inst::Store { ty: ty.clone(), val: v, addr: a });
+            }
+            Inst::Alloca { ty, count } => {
+                let r = result.expect("yields");
+                let c = self.vote(count, &self.orig.operand_ty(count));
+                let p = self.emit_val(Inst::Alloca { ty: ty.clone(), count: c });
+                let copies = self.triplicate_input(p.into(), &Ty::Ptr);
+                self.def3(r, copies);
+            }
+            Inst::Select { cond, ty, a, b } => {
+                let r = result.expect("yields");
+                let cc = self.copies(cond);
+                let ca = self.copies(a);
+                let cb = self.copies(b);
+                let mut out: Vec<Operand> = vec![];
+                for k in 0..3 {
+                    let v = self.emit_val(Inst::Select {
+                        cond: cc[k].clone(),
+                        ty: ty.clone(),
+                        a: ca[k].clone(),
+                        b: cb[k].clone(),
+                    });
+                    out.push(v.into());
+                }
+                self.def3(r, [out[0].clone(), out[1].clone(), out[2].clone()]);
+            }
+            Inst::Phi { ty, incomings } => {
+                let r = result.expect("yields");
+                let p0 = self.emit_val(Inst::Phi { ty: ty.clone(), incomings: vec![] });
+                let p1 = self.emit_val(Inst::Phi { ty: ty.clone(), incomings: vec![] });
+                let p2 = self.emit_val(Inst::Phi { ty: ty.clone(), incomings: vec![] });
+                self.phis.push(PhiFixup { new_phis: [p0, p1, p2], orig_incomings: incomings.clone() });
+                self.def3(r, [p0.into(), p1.into(), p2.into()]);
+            }
+            Inst::Call { callee, args, ret_ty } => {
+                let mut nargs = vec![];
+                for a in args {
+                    let aty = self.orig.operand_ty(a);
+                    nargs.push(self.vote(a, &aty));
+                }
+                let nv = self.emit(Inst::Call { callee: *callee, args: nargs, ret_ty: ret_ty.clone() });
+                if let (Some(r), Some(nv)) = (result, nv) {
+                    let copies = self.triplicate_input(nv.into(), ret_ty);
+                    self.def3(r, copies);
+                }
+            }
+            Inst::AtomicRmw { op, ty, addr, val } => {
+                let r = result.expect("yields");
+                let a = self.vote(addr, &Ty::Ptr);
+                let v = self.vote(val, ty);
+                let nv = self.emit_val(Inst::AtomicRmw { op: *op, ty: ty.clone(), addr: a, val: v });
+                let copies = self.triplicate_input(nv.into(), ty);
+                self.def3(r, copies);
+            }
+            Inst::CmpXchg { ty, addr, expected, new } => {
+                let r = result.expect("yields");
+                let a = self.vote(addr, &Ty::Ptr);
+                let e = self.vote(expected, ty);
+                let n = self.vote(new, ty);
+                let nv = self.emit_val(Inst::CmpXchg { ty: ty.clone(), addr: a, expected: e, new: n });
+                let copies = self.triplicate_input(nv.into(), ty);
+                self.def3(r, copies);
+            }
+            Inst::Fence => {
+                self.emit(Inst::Fence);
+            }
+            Inst::ExtractElement { .. }
+            | Inst::InsertElement { .. }
+            | Inst::Shuffle { .. }
+            | Inst::Splat { .. }
+            | Inst::Ptest { .. }
+            | Inst::Gather { .. }
+            | Inst::Scatter { .. } => {
+                panic!("SWIFT-R input must be scalar code; found vector instruction in {}", self.orig.name)
+            }
+        }
+    }
+
+    fn xform_term(&mut self, term: &Terminator) {
+        match term {
+            Terminator::Br { target } => self.nf.set_term(self.cur, Terminator::Br { target: *target }),
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                // Vote the branch condition (Figure 5b's majority before
+                // the compare-and-jump).
+                let c = self.vote(cond, &Ty::I1);
+                self.nf.set_term(self.cur, Terminator::CondBr { cond: c, then_bb: *then_bb, else_bb: *else_bb });
+            }
+            Terminator::PtestBr { .. } => panic!("SWIFT-R input must not contain ptest_br"),
+            Terminator::Ret { val } => {
+                let nv = val.as_ref().map(|v| {
+                    let ty = self.orig.operand_ty(v);
+                    self.vote(v, &ty)
+                });
+                self.nf.set_term(self.cur, Terminator::Ret { val: nv });
+            }
+            Terminator::Unreachable => self.nf.set_term(self.cur, Terminator::Unreachable),
+        }
+    }
+
+    fn fill_phis(&mut self) {
+        let fixups = std::mem::take(&mut self.phis);
+        for fx in fixups {
+            for k in 0..3 {
+                let incomings: Vec<(BlockId, Operand)> = fx
+                    .orig_incomings
+                    .iter()
+                    .map(|(p, ov)| {
+                        let mapped = match ov {
+                            Operand::Imm(_) => ov.clone(),
+                            Operand::Val(v) => self.vmap[v.0 as usize].clone().expect("mapped")[k].clone(),
+                        };
+                        (*p, mapped)
+                    })
+                    .collect();
+                let iid = self.nf.def_inst(fx.new_phis[k]).expect("phi");
+                match &mut self.nf.insts[iid.0 as usize].inst {
+                    Inst::Phi { incomings: slot, .. } => *slot = incomings,
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elzar_ir::builder::{c64, FuncBuilder};
+    use elzar_ir::verify::verify_module;
+
+    fn simple_module() -> Module {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let acc = b.alloca(Ty::I64, c64(1));
+        b.store(Ty::I64, c64(0), acc);
+        b.counted_loop(c64(0), c64(10), |b, i| {
+            let a = b.load(Ty::I64, acc);
+            let s = b.add(a, i);
+            b.store(Ty::I64, s, acc);
+        });
+        let v = b.load(Ty::I64, acc);
+        b.ret(v);
+        m.add_func(b.finish());
+        m
+    }
+
+    #[test]
+    fn swiftr_module_verifies() {
+        let m = simple_module();
+        let h = harden_module(&m);
+        verify_module(&h).unwrap_or_else(|e| panic!("{:#?}", &e[..e.len().min(5)]));
+    }
+
+    #[test]
+    fn triplication_blows_up_instructions_about_3x() {
+        let m = simple_module();
+        let h = harden_module(&m);
+        let factor = h.num_insts() as f64 / m.num_insts() as f64;
+        // Table III reports 3.4–11.6× for SWIFT-R (voting included).
+        assert!(factor > 2.0 && factor < 8.0, "factor {factor}");
+    }
+
+    #[test]
+    fn no_extra_blocks_added() {
+        // SWIFT-R voting is branch-free (select-based).
+        let m = simple_module();
+        let h = harden_module(&m);
+        assert_eq!(m.funcs[0].blocks.len(), h.funcs[0].blocks.len());
+    }
+
+    #[test]
+    fn unhardened_functions_pass_through() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("lib", vec![], Ty::Void);
+        b.ret_void();
+        let mut f = b.finish();
+        f.hardened = false;
+        m.add_func(f);
+        let h = harden_module(&m);
+        assert_eq!(h.funcs[0].num_insts(), 0);
+    }
+}

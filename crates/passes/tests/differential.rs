@@ -1,0 +1,417 @@
+//! Differential testing of the hardening passes.
+//!
+//! A seeded generator emits random — but trap-free — scalar IR programs.
+//! For every seed, the native program and every hardened variant (ELZAR
+//! under several configurations, SWIFT-R) must produce byte-identical
+//! observable output, and fault-free hardened runs must never invoke the
+//! recovery routine.
+
+use elzar_ir::builder::{c64, cf64, FuncBuilder};
+use elzar_ir::{BinOp, Builtin, CastOp, CmpPred, Const, Module, Operand, Ty, ValueId};
+use elzar_passes::elzar::{harden_module, CheckConfig, ElzarConfig, FutureAvx};
+use elzar_passes::swiftr;
+use elzar_vm::{run_program, MachineConfig, Program, RunOutcome, RunResult};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const BUF_LEN: i64 = 64; // elements per buffer
+
+struct Gen {
+    rng: SmallRng,
+    i64s: Vec<ValueId>,
+    f64s: Vec<ValueId>,
+    bools: Vec<ValueId>,
+}
+
+impl Gen {
+    fn pick_i64(&mut self, b: &mut FuncBuilder) -> Operand {
+        if self.i64s.is_empty() || self.rng.gen_bool(0.2) {
+            c64(self.rng.gen_range(-100..100))
+        } else {
+            let i = self.rng.gen_range(0..self.i64s.len());
+            self.i64s[i].into()
+        }
+    }
+
+    fn pick_f64(&mut self, b: &mut FuncBuilder) -> Operand {
+        let _ = b;
+        if self.f64s.is_empty() || self.rng.gen_bool(0.2) {
+            cf64(self.rng.gen_range(-4.0..4.0))
+        } else {
+            let i = self.rng.gen_range(0..self.f64s.len());
+            self.f64s[i].into()
+        }
+    }
+
+    fn pick_bool(&mut self, b: &mut FuncBuilder) -> Operand {
+        if self.bools.is_empty() {
+            let x = self.pick_i64(b);
+            let y = self.pick_i64(b);
+            let c = b.icmp(CmpPred::Slt, x, y);
+            self.bools.push(c);
+        }
+        let i = self.rng.gen_range(0..self.bools.len());
+        self.bools[i].into()
+    }
+
+    fn safe_index(&mut self, b: &mut FuncBuilder) -> Operand {
+        let raw = self.pick_i64(b);
+        let masked = b.bin(BinOp::And, Ty::I64, raw, c64(BUF_LEN - 1));
+        masked.into()
+    }
+
+    fn emit_random_op(&mut self, b: &mut FuncBuilder, buf: ValueId) {
+        match self.rng.gen_range(0..14) {
+            0..=3 => {
+                // Integer arithmetic.
+                let op = *[
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Xor,
+                    BinOp::Shl,
+                    BinOp::LShr,
+                    BinOp::AShr,
+                    BinOp::SMin,
+                    BinOp::SMax,
+                ]
+                .iter()
+                .nth(self.rng.gen_range(0..11))
+                .unwrap();
+                let x = self.pick_i64(b);
+                let y = self.pick_i64(b);
+                let v = b.bin(op, Ty::I64, x, y);
+                self.i64s.push(v);
+            }
+            4 => {
+                // Guarded unsigned division.
+                let x = self.pick_i64(b);
+                let y = self.pick_i64(b);
+                let safe = b.bin(BinOp::Or, Ty::I64, y, c64(1));
+                let op = if self.rng.gen_bool(0.5) { BinOp::UDiv } else { BinOp::URem };
+                let v = b.bin(op, Ty::I64, x, safe);
+                self.i64s.push(v);
+            }
+            5 => {
+                // Float arithmetic.
+                let op = *[BinOp::FAdd, BinOp::FSub, BinOp::FMul, BinOp::FMin, BinOp::FMax]
+                    .iter()
+                    .nth(self.rng.gen_range(0..5))
+                    .unwrap();
+                let x = self.pick_f64(b);
+                let y = self.pick_f64(b);
+                let v = b.bin(op, Ty::F64, x, y);
+                self.f64s.push(v);
+            }
+            6 => {
+                // Load from the scratch buffer.
+                let idx = self.safe_index(b);
+                let p = b.gep(buf, idx, 8);
+                let v = b.load(Ty::I64, p);
+                self.i64s.push(v);
+            }
+            7 => {
+                // Store into the scratch buffer.
+                let idx = self.safe_index(b);
+                let p = b.gep(buf, idx, 8);
+                let v = self.pick_i64(b);
+                b.store(Ty::I64, v, p);
+            }
+            8 => {
+                // Comparison.
+                let pred = *[CmpPred::Eq, CmpPred::Ne, CmpPred::Slt, CmpPred::Sge, CmpPred::Ult]
+                    .iter()
+                    .nth(self.rng.gen_range(0..5))
+                    .unwrap();
+                let x = self.pick_i64(b);
+                let y = self.pick_i64(b);
+                let v = b.icmp(pred, x, y);
+                self.bools.push(v);
+            }
+            9 => {
+                // Select.
+                let c = self.pick_bool(b);
+                let x = self.pick_i64(b);
+                let y = self.pick_i64(b);
+                let v = b.select(c, x, y);
+                self.i64s.push(v);
+            }
+            10 => {
+                // Casts through narrower widths (incl. esoteric i9).
+                let x = self.pick_i64(b);
+                let bits = *[8u8, 9, 16, 32].iter().nth(self.rng.gen_range(0..4)).unwrap();
+                let narrow = b.cast(CastOp::Trunc, x, Ty::int(bits));
+                let back = if self.rng.gen_bool(0.5) {
+                    b.cast(CastOp::SExt, narrow, Ty::I64)
+                } else {
+                    b.cast(CastOp::ZExt, narrow, Ty::I64)
+                };
+                self.i64s.push(back);
+            }
+            11 => {
+                // Int <-> float casts.
+                if self.rng.gen_bool(0.5) {
+                    let x = self.pick_i64(b);
+                    let lim = b.bin(BinOp::And, Ty::I64, x, c64(0xFFFF));
+                    let v = b.cast(CastOp::SiToFp, lim, Ty::F64);
+                    self.f64s.push(v);
+                } else {
+                    let x = self.pick_f64(b);
+                    let v = b.cast(CastOp::FpToSi, x, Ty::I64);
+                    self.i64s.push(v);
+                }
+            }
+            12 => {
+                // If/else diamond merged by a phi.
+                let c = self.pick_bool(b);
+                let tval = self.pick_i64(b);
+                let fval = self.pick_i64(b);
+                let then_bb = b.block("d.then");
+                let else_bb = b.block("d.else");
+                let join = b.block("d.join");
+                b.cond_br(c, then_bb, else_bb);
+                b.switch_to(then_bb);
+                let tv = b.add(tval, c64(17));
+                b.br(join);
+                b.switch_to(else_bb);
+                let fv = b.mul(fval, c64(3));
+                b.br(join);
+                b.switch_to(join);
+                let phi = b.phi(Ty::I64);
+                b.phi_add_incoming(phi, then_bb, tv);
+                b.phi_add_incoming(phi, else_bb, fv);
+                self.i64s.push(phi);
+                // Value pools survive the diamond (defined before it), but
+                // bools created inside branches would not dominate — none
+                // are.
+            }
+            13 => {
+                // zext of a condition (mask-to-data crossing).
+                let c = self.pick_bool(b);
+                let v = b.cast(CastOp::ZExt, c, Ty::I64);
+                self.i64s.push(v);
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Build a random but deterministic, trap-free program.
+fn random_program(seed: u64) -> Module {
+    let mut g = Gen { rng: SmallRng::seed_from_u64(seed), i64s: vec![], f64s: vec![], bools: vec![] };
+    let mut m = Module::new(format!("rand{seed}"));
+
+    // Helper function: f(x) = x*2 + 7 with an internal branch.
+    let mut hb = FuncBuilder::new("helper", vec![Ty::I64, Ty::F64], Ty::I64);
+    let hx = hb.param(0);
+    let hf = hb.param(1);
+    let d = hb.mul(hx, c64(2));
+    let c = hb.fcmp(CmpPred::FOlt, hf, cf64(0.5));
+    let t_bb = hb.block("t");
+    let f_bb = hb.block("f");
+    let j = hb.block("j");
+    hb.cond_br(c, t_bb, f_bb);
+    hb.switch_to(t_bb);
+    let tv = hb.add(d, c64(7));
+    hb.br(j);
+    hb.switch_to(f_bb);
+    let fv = hb.sub(d, c64(7));
+    hb.br(j);
+    hb.switch_to(j);
+    let phi = hb.phi(Ty::I64);
+    hb.phi_add_incoming(phi, t_bb, tv);
+    hb.phi_add_incoming(phi, f_bb, fv);
+    hb.ret(phi);
+    let helper = m.add_func(hb.finish());
+
+    let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+    let buf = b.call_builtin(Builtin::Malloc, vec![c64(BUF_LEN * 8)], Ty::Ptr).unwrap();
+    // Deterministic fill.
+    b.counted_loop(c64(0), c64(BUF_LEN), |b, i| {
+        let v = b.mul(i, c64(0x9E37));
+        let p = b.gep(buf, i, 8);
+        b.store(Ty::I64, v, p);
+    });
+    let seed_v = b.add(c64(seed as i64 & 0xFFFF), c64(1));
+    g.i64s.push(seed_v);
+
+    // A run of random straight-line-ish ops.
+    let n_ops = 12 + (seed % 20) as usize;
+    for _ in 0..n_ops {
+        g.emit_random_op(&mut b, buf);
+    }
+
+    // An inner loop accumulating into memory.
+    let acc = b.alloca(Ty::I64, Operand::Imm(Const::i64(1)));
+    b.store(Ty::I64, c64(0), acc);
+    let trip = 16 + (seed % 8) as i64;
+    b.counted_loop(c64(0), c64(trip), |b, i| {
+        let idx = b.bin(BinOp::And, Ty::I64, i, c64(BUF_LEN - 1));
+        let p = b.gep(buf, idx, 8);
+        let v = b.load(Ty::I64, p);
+        let a = b.load(Ty::I64, acc);
+        let s = b.add(a, v);
+        let s2 = b.bin(BinOp::Xor, Ty::I64, s, i);
+        b.store(Ty::I64, s2, acc);
+    });
+    let total = b.load(Ty::I64, acc);
+    g.i64s.push(total);
+
+    // A call.
+    let arg_i = g.pick_i64(&mut b);
+    let arg_f = g.pick_f64(&mut b);
+    let r = b.call(helper, vec![arg_i, arg_f], Ty::I64).unwrap();
+    g.i64s.push(r);
+
+    // Emit everything observable.
+    for v in g.i64s.clone() {
+        b.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
+    }
+    for v in g.f64s.clone() {
+        b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
+    }
+    for v in g.bools.clone() {
+        let w = b.cast(CastOp::ZExt, v, Ty::I64);
+        b.call_builtin(Builtin::OutputI64, vec![w.into()], Ty::Void);
+    }
+    let ret = g.pick_i64(&mut b);
+    let ret64 = b.add(ret, c64(0));
+    b.ret(ret64);
+    m.add_func(b.finish());
+    m
+}
+
+fn run(m: &Module) -> RunResult {
+    elzar_ir::verify::verify_module(m)
+        .unwrap_or_else(|e| panic!("verify {}: {:#?}", m.name, &e[..e.len().min(5)]));
+    let p = Program::lower(m);
+    run_program(&p, "main", &[], MachineConfig::default())
+}
+
+fn elzar_configs() -> Vec<(&'static str, ElzarConfig)> {
+    vec![
+        ("default", ElzarConfig::default()),
+        ("no-checks", ElzarConfig { checks: CheckConfig::none(), ..Default::default() }),
+        (
+            "no-loads",
+            ElzarConfig {
+                checks: CheckConfig { loads: false, ..CheckConfig::all() },
+                ..Default::default()
+            },
+        ),
+        (
+            "no-loads-stores",
+            ElzarConfig {
+                checks: CheckConfig { loads: false, stores: false, ..CheckConfig::all() },
+                ..Default::default()
+            },
+        ),
+        ("fp-only", ElzarConfig { fp_only: true, ..Default::default() }),
+        ("future-avx", ElzarConfig { future: FutureAvx::all(), ..Default::default() }),
+        (
+            "future-gather",
+            ElzarConfig {
+                future: FutureAvx { gather_scatter: true, ..Default::default() },
+                ..Default::default()
+            },
+        ),
+        (
+            "future-cmpflags",
+            ElzarConfig {
+                future: FutureAvx { cmp_flags: true, ..Default::default() },
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+#[test]
+fn elzar_preserves_semantics_across_seeds_and_configs() {
+    for seed in 0..25u64 {
+        let m = random_program(seed);
+        let native = run(&m);
+        assert!(
+            matches!(native.outcome, RunOutcome::Exited(_)),
+            "seed {seed}: native must exit cleanly, got {:?}",
+            native.outcome
+        );
+        for (name, cfg) in elzar_configs() {
+            let h = harden_module(&m, &cfg);
+            let r = run(&h);
+            assert_eq!(
+                native.outcome, r.outcome,
+                "seed {seed}, config {name}: outcome diverged"
+            );
+            assert_eq!(
+                native.output, r.output,
+                "seed {seed}, config {name}: output diverged"
+            );
+            assert_eq!(
+                r.corrections, 0,
+                "seed {seed}, config {name}: fault-free run must never recover"
+            );
+        }
+    }
+}
+
+#[test]
+fn swiftr_preserves_semantics_across_seeds() {
+    for seed in 0..25u64 {
+        let m = random_program(seed);
+        let native = run(&m);
+        let h = swiftr::harden_module(&m);
+        let r = run(&h);
+        assert_eq!(native.outcome, r.outcome, "seed {seed}: outcome diverged");
+        assert_eq!(native.output, r.output, "seed {seed}: output diverged");
+    }
+}
+
+#[test]
+fn elzar_instruction_blowup_is_below_swiftr_on_compute_heavy_code() {
+    // The paper's core quantitative claim (Table III): ELZAR's
+    // *instruction* increase is smaller than SWIFT-R's on code that is
+    // dominated by arithmetic rather than memory accesses.
+    let mut m = Module::new("compute");
+    let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+    let acc = b.alloca(Ty::I64, c64(1));
+    b.store(Ty::I64, c64(1), acc);
+    b.counted_loop(c64(0), c64(50), |b, i| {
+        let a = b.load(Ty::I64, acc);
+        // Long arithmetic chain, single load/store pair.
+        let mut v = a;
+        for k in 1..12 {
+            let x = b.mul(v, c64(3));
+            let y = b.add(x, i);
+            v = b.bin(BinOp::Xor, Ty::I64, y, c64(k));
+        }
+        b.store(Ty::I64, v, acc);
+    });
+    let v = b.load(Ty::I64, acc);
+    b.ret(v);
+    m.add_func(b.finish());
+
+    let elzar_m = harden_module(&m, &ElzarConfig::default());
+    let swiftr_m = swiftr::harden_module(&m);
+    let base = run(&m);
+    let re = run(&elzar_m);
+    let rs = run(&swiftr_m);
+    assert_eq!(base.output, re.output);
+    assert_eq!(base.output, rs.output);
+    let fe = re.counters.instrs as f64 / base.counters.instrs as f64;
+    let fs = rs.counters.instrs as f64 / base.counters.instrs as f64;
+    assert!(
+        fe < fs,
+        "ELZAR instruction increase ({fe:.2}x) must undercut SWIFT-R ({fs:.2}x) on compute-heavy code"
+    );
+}
+
+#[test]
+fn fp_only_mode_keeps_integer_flow_scalar() {
+    let m = random_program(3);
+    let h = harden_module(&m, &ElzarConfig { fp_only: true, ..Default::default() });
+    let full = harden_module(&m, &ElzarConfig::default());
+    // FP-only hardening must emit (weakly) fewer instructions than full.
+    assert!(h.num_insts() <= full.num_insts());
+}

@@ -1,0 +1,36 @@
+//! # elzar-vm
+//!
+//! Execution substrate for the ELZAR reproduction: lowers `elzar-ir`
+//! modules to flat code ([`lower`]), executes them on a multi-threaded
+//! interpreter with a flat ECC-protected memory ([`memory`]) and an
+//! integrated Haswell-like timing model ([`machine`]), and exposes the
+//! hooks the fault-injection framework needs (eligible-instruction
+//! counting, destination-register bit flips, Table-I trap taxonomy).
+//!
+//! ```
+//! use elzar_ir::builder::{c64, FuncBuilder};
+//! use elzar_ir::{Module, Ty};
+//! use elzar_vm::{run_program, MachineConfig, Program, RunOutcome};
+//!
+//! let mut m = Module::new("demo");
+//! let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+//! let x = b.add(c64(40), c64(2));
+//! b.ret(x);
+//! m.add_func(b.finish());
+//!
+//! let prog = Program::lower(&m);
+//! let result = run_program(&prog, "main", &[], MachineConfig::default());
+//! assert_eq!(result.outcome, RunOutcome::Exited(42));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lower;
+pub mod machine;
+pub mod memory;
+
+pub use lower::{LBlock, LFunc, LInst, LOp, LPhi, LTerm, Program, VMeta, NO_DST};
+pub use machine::{
+    run_program, FaultPlan, Machine, MachineConfig, RecoveryPolicy, RtVal, RunOutcome, RunResult,
+};
+pub use memory::{Memory, Trap, DEFAULT_MEM_SIZE, GLOBAL_BASE, HEAP_BASE, INPUT_BASE, STACK_SIZE};

@@ -1,0 +1,628 @@
+//! Lowering: IR functions → flat, execution-ready code.
+//!
+//! The interpreter does not walk `elzar_ir` structures directly; each
+//! function is lowered once into dense-slot code with pre-evaluated
+//! constants and per-instruction vector metadata, roughly what an LLVM
+//! backend's instruction selection produces.
+
+use elzar_avx::{LaneWidth, Ymm};
+use elzar_ir::inst::{Builtin, Callee, Inst, Terminator};
+use elzar_ir::module::{Function, Module};
+use elzar_ir::types::Ty;
+use elzar_ir::value::{Const, Operand};
+use elzar_ir::{BinOp, CastOp, CmpPred, RmwOp};
+
+/// Sentinel "no destination slot".
+pub const NO_DST: u32 = u32::MAX;
+
+/// Shape metadata for one operand/result: element width, logical bits,
+/// lane count, domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VMeta {
+    /// True for scalars (lanes == 1 and values held in a GPR).
+    pub scalar: bool,
+    /// True for f32/f64 elements.
+    pub float: bool,
+    /// Logical element width in bits (e.g. 9 for `i9`).
+    pub bits: u8,
+    /// Storage lane width.
+    pub width: LaneWidth,
+    /// Number of lanes (1 for scalars).
+    pub lanes: u8,
+}
+
+impl VMeta {
+    /// Metadata for an IR type.
+    ///
+    /// # Panics
+    /// Panics on `Void`.
+    pub fn of(ty: &Ty) -> VMeta {
+        let elem = ty.elem();
+        VMeta {
+            scalar: !ty.is_vector(),
+            float: elem.is_float(),
+            bits: elem.scalar_bits() as u8,
+            width: LaneWidth::from_bytes(ty.elem_bytes()),
+            lanes: ty.lanes(),
+        }
+    }
+
+    /// Bit mask for the logical element width.
+    pub fn mask(&self) -> u64 {
+        if self.bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        }
+    }
+
+    /// Element storage size in bytes.
+    pub fn elem_bytes(&self) -> u32 {
+        self.width.bits() / 8
+    }
+}
+
+/// A lowered operand.
+#[derive(Clone, Copy, Debug)]
+pub enum LOp {
+    /// Read a frame slot.
+    Slot(u32),
+    /// Scalar constant (canonical bits).
+    CS(u64),
+    /// Vector constant.
+    CV(Ymm),
+}
+
+/// Evaluate a constant to its runtime representation.
+///
+/// # Panics
+/// Panics on nested splats (ruled out at construction).
+pub fn eval_const(c: &Const) -> LOp {
+    match c {
+        Const::Int { value, .. } => LOp::CS(*value),
+        Const::F32(b) => LOp::CS(u64::from(*b)),
+        Const::F64(b) => LOp::CS(*b),
+        Const::Ptr(p) => LOp::CS(*p),
+        Const::Splat { elem, lanes } => {
+            let v = match eval_const(elem) {
+                LOp::CS(v) => v,
+                _ => panic!("nested vector constant"),
+            };
+            let m = VMeta::of(&c.ty());
+            LOp::CV(Ymm::splat(m.width, usize::from(*lanes), v))
+        }
+        Const::Undef(ty) => {
+            if ty.is_vector() {
+                LOp::CV(Ymm::ZERO)
+            } else {
+                LOp::CS(0)
+            }
+        }
+    }
+}
+
+/// One lowered instruction. `dst == NO_DST` means no result.
+#[derive(Clone, Debug)]
+pub enum LInst {
+    /// Binary arithmetic.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Operand shape.
+        m: VMeta,
+        /// Destination slot.
+        dst: u32,
+        /// Left operand.
+        a: LOp,
+        /// Right operand.
+        b: LOp,
+    },
+    /// Compare (scalar → 0/1, vector → lane mask).
+    Cmp {
+        /// Predicate.
+        pred: CmpPred,
+        /// Operand shape.
+        m: VMeta,
+        /// Destination slot.
+        dst: u32,
+        /// Left operand.
+        a: LOp,
+        /// Right operand.
+        b: LOp,
+        /// Macro-fused with the following conditional branch (scalar
+        /// cmp+jcc pairs retire as one uop on Haswell).
+        fused: bool,
+    },
+    /// Cast.
+    Cast {
+        /// Cast kind.
+        op: CastOp,
+        /// Source shape.
+        from: VMeta,
+        /// Destination shape.
+        to: VMeta,
+        /// Destination slot.
+        dst: u32,
+        /// Source.
+        a: LOp,
+    },
+    /// Memory load (scalar or contiguous vector).
+    Load {
+        /// Loaded shape.
+        m: VMeta,
+        /// Destination slot.
+        dst: u32,
+        /// Address.
+        addr: LOp,
+    },
+    /// Memory store.
+    Store {
+        /// Stored shape.
+        m: VMeta,
+        /// Value.
+        val: LOp,
+        /// Address.
+        addr: LOp,
+    },
+    /// Address arithmetic.
+    Gep {
+        /// Destination slot.
+        dst: u32,
+        /// Base pointer.
+        base: LOp,
+        /// Index.
+        index: LOp,
+        /// Scale (bytes).
+        scale: u32,
+    },
+    /// Stack allocation.
+    Alloca {
+        /// Destination slot (pointer).
+        dst: u32,
+        /// Element size in bytes.
+        elem_bytes: u32,
+        /// Element count.
+        count: LOp,
+    },
+    /// Select / blend.
+    Select {
+        /// Value shape.
+        m: VMeta,
+        /// Condition shape is scalar `i1`.
+        cond_scalar: bool,
+        /// Destination slot.
+        dst: u32,
+        /// Condition.
+        cond: LOp,
+        /// If-true value.
+        a: LOp,
+        /// If-false value.
+        b: LOp,
+    },
+    /// Direct call to a module function.
+    CallF {
+        /// Callee function index.
+        func: u32,
+        /// Arguments.
+        args: Vec<LOp>,
+        /// Destination slot.
+        dst: u32,
+    },
+    /// Call into the runtime.
+    CallB {
+        /// Builtin.
+        b: Builtin,
+        /// Arguments.
+        args: Vec<LOp>,
+        /// Per-argument shapes.
+        metas: Vec<VMeta>,
+        /// Destination slot.
+        dst: u32,
+        /// Result shape (when the builtin returns a value).
+        ret_meta: Option<VMeta>,
+    },
+    /// Lane extract.
+    Extract {
+        /// Source vector shape.
+        m: VMeta,
+        /// Destination slot.
+        dst: u32,
+        /// Vector.
+        vec: LOp,
+        /// Lane index.
+        idx: LOp,
+    },
+    /// Lane insert.
+    Insert {
+        /// Vector shape.
+        m: VMeta,
+        /// Destination slot.
+        dst: u32,
+        /// Vector.
+        vec: LOp,
+        /// New value.
+        val: LOp,
+        /// Lane index.
+        idx: LOp,
+    },
+    /// Lane permutation.
+    Shuffle {
+        /// Vector shape.
+        m: VMeta,
+        /// Destination slot.
+        dst: u32,
+        /// Source.
+        a: LOp,
+        /// Result-lane source indices.
+        mask: Vec<u8>,
+    },
+    /// Broadcast.
+    Splat {
+        /// Result shape.
+        m: VMeta,
+        /// Destination slot.
+        dst: u32,
+        /// Scalar source.
+        val: LOp,
+    },
+    /// Mask fold to flags.
+    Ptest {
+        /// Mask shape.
+        m: VMeta,
+        /// Destination slot.
+        dst: u32,
+        /// Mask.
+        mask: LOp,
+    },
+    /// Future-AVX gather.
+    Gather {
+        /// Result shape.
+        m: VMeta,
+        /// Destination slot.
+        dst: u32,
+        /// Address vector.
+        addrs: LOp,
+    },
+    /// Future-AVX scatter.
+    Scatter {
+        /// Value shape.
+        m: VMeta,
+        /// Value.
+        val: LOp,
+        /// Address vector.
+        addrs: LOp,
+    },
+    /// Atomic read-modify-write.
+    AtomicRmw {
+        /// Operation.
+        op: RmwOp,
+        /// Scalar shape.
+        m: VMeta,
+        /// Destination slot (old value).
+        dst: u32,
+        /// Address.
+        addr: LOp,
+        /// Operand.
+        val: LOp,
+    },
+    /// Atomic compare-exchange.
+    CmpXchg {
+        /// Scalar shape.
+        m: VMeta,
+        /// Destination slot (old value).
+        dst: u32,
+        /// Address.
+        addr: LOp,
+        /// Expected value.
+        expected: LOp,
+        /// Replacement.
+        new: LOp,
+    },
+    /// Fence.
+    Fence,
+}
+
+/// A lowered phi: destination slot plus per-predecessor sources.
+#[derive(Clone, Debug)]
+pub struct LPhi {
+    /// Destination slot.
+    pub dst: u32,
+    /// `(pred block index, value)` pairs.
+    pub incomings: Vec<(u32, LOp)>,
+}
+
+/// Lowered terminator.
+#[derive(Clone, Debug)]
+pub enum LTerm {
+    /// Jump.
+    Br(u32),
+    /// Two-way branch on scalar truth.
+    CondBr {
+        /// Condition.
+        cond: LOp,
+        /// If-true block.
+        t: u32,
+        /// If-false block.
+        f: u32,
+    },
+    /// Three-way branch on ptest flags (scalar `i8`) or directly on a
+    /// mask vector (the §VII flag-setting-compare extension).
+    PtestBr {
+        /// Flags or mask.
+        flags: LOp,
+        /// Mask shape when branching on a raw mask.
+        mask_meta: Option<VMeta>,
+        /// Targets: `[all_false, all_true, mixed]`.
+        bbs: [u32; 3],
+    },
+    /// Return.
+    Ret(Option<LOp>),
+    /// Trap.
+    Unreachable,
+}
+
+/// A lowered basic block.
+#[derive(Clone, Debug)]
+pub struct LBlock {
+    /// Leading phi nodes (evaluated on edge entry, in parallel).
+    pub phis: Vec<LPhi>,
+    /// Straight-line instructions.
+    pub insts: Vec<LInst>,
+    /// Terminator.
+    pub term: LTerm,
+}
+
+/// A lowered function.
+#[derive(Clone, Debug)]
+pub struct LFunc {
+    /// Symbol name.
+    pub name: String,
+    /// Parameter count (parameters are slots `0..n_params`).
+    pub n_params: u32,
+    /// Total slot count.
+    pub n_slots: u32,
+    /// Blocks (entry is 0).
+    pub blocks: Vec<LBlock>,
+    /// Fault-injection eligibility (§IV-B: only the hardened region).
+    pub hardened: bool,
+    /// True when the function returns a value.
+    pub returns: bool,
+}
+
+/// A lowered module ready to execute.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Functions (indices match the IR module's `FuncId`s).
+    pub funcs: Vec<LFunc>,
+    /// Initial global segment contents.
+    pub globals: Vec<u8>,
+    /// Source module name.
+    pub name: String,
+}
+
+impl Program {
+    /// Lower a whole module.
+    pub fn lower(m: &Module) -> Program {
+        Program {
+            funcs: m.funcs.iter().map(|f| lower_func(f)).collect(),
+            globals: m.globals.clone(),
+            name: m.name.clone(),
+        }
+    }
+
+    /// Function index by name.
+    pub fn func_by_name(&self, name: &str) -> Option<u32> {
+        self.funcs.iter().position(|f| f.name == name).map(|i| i as u32)
+    }
+
+    /// Total static instruction count.
+    pub fn num_insts(&self) -> usize {
+        self.funcs.iter().flat_map(|f| f.blocks.iter()).map(|b| b.insts.len()).sum()
+    }
+}
+
+fn lop(_f: &Function, o: &Operand) -> LOp {
+    match o {
+        Operand::Val(v) => LOp::Slot(v.0),
+        Operand::Imm(c) => eval_const(c),
+    }
+}
+
+fn dst_of(f: &Function, iid: elzar_ir::InstId) -> u32 {
+    f.insts[iid.0 as usize].result.map(|v| v.0).unwrap_or(NO_DST)
+}
+
+fn lower_func(f: &Function) -> LFunc {
+    let mut blocks = Vec::with_capacity(f.blocks.len());
+    for b in &f.blocks {
+        let mut phis = vec![];
+        let mut insts = vec![];
+        for &iid in &b.insts {
+            let data = &f.insts[iid.0 as usize];
+            let dst = dst_of(f, iid);
+            match &data.inst {
+                Inst::Phi { incomings, .. } => {
+                    phis.push(LPhi {
+                        dst,
+                        incomings: incomings.iter().map(|(p, o)| (p.0, lop(f, o))).collect(),
+                    });
+                }
+                inst => insts.push(lower_inst(f, inst, dst)),
+            }
+        }
+        let term = match &b.term {
+            Terminator::Br { target } => LTerm::Br(target.0),
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                LTerm::CondBr { cond: lop(f, cond), t: then_bb.0, f: else_bb.0 }
+            }
+            Terminator::PtestBr { flags, all_false, all_true, mixed } => {
+                let fty = f.operand_ty(flags);
+                let mask_meta = if fty.is_vector() { Some(VMeta::of(&fty)) } else { None };
+                LTerm::PtestBr {
+                    flags: lop(f, flags),
+                    mask_meta,
+                    bbs: [all_false.0, all_true.0, mixed.0],
+                }
+            }
+            Terminator::Ret { val } => LTerm::Ret(val.as_ref().map(|v| lop(f, v))),
+            Terminator::Unreachable => LTerm::Unreachable,
+        };
+        // Macro-fusion: a scalar compare immediately feeding this block's
+        // conditional branch retires fused with it.
+        if let LTerm::CondBr { cond: LOp::Slot(s), .. } = &term {
+            if let Some(LInst::Cmp { m, dst, fused, .. }) = insts.last_mut() {
+                if m.scalar && *dst == *s {
+                    *fused = true;
+                }
+            }
+        }
+        blocks.push(LBlock { phis, insts, term });
+    }
+    LFunc {
+        name: f.name.clone(),
+        n_params: f.params.len() as u32,
+        n_slots: f.vals.len() as u32,
+        blocks,
+        hardened: f.hardened,
+        returns: !f.ret_ty.is_void(),
+    }
+}
+
+fn lower_inst(f: &Function, inst: &Inst, dst: u32) -> LInst {
+    match inst {
+        Inst::Bin { op, ty, a, b } => {
+            LInst::Bin { op: *op, m: VMeta::of(ty), dst, a: lop(f, a), b: lop(f, b) }
+        }
+        Inst::Cmp { pred, ty, a, b } => {
+            LInst::Cmp { pred: *pred, m: VMeta::of(ty), dst, a: lop(f, a), b: lop(f, b), fused: false }
+        }
+        Inst::Cast { op, to, val } => {
+            let from = VMeta::of(&f.operand_ty(val));
+            LInst::Cast { op: *op, from, to: VMeta::of(to), dst, a: lop(f, val) }
+        }
+        Inst::Load { ty, addr } => LInst::Load { m: VMeta::of(ty), dst, addr: lop(f, addr) },
+        Inst::Store { ty, val, addr } => {
+            LInst::Store { m: VMeta::of(ty), val: lop(f, val), addr: lop(f, addr) }
+        }
+        Inst::Gep { base, index, scale } => {
+            LInst::Gep { dst, base: lop(f, base), index: lop(f, index), scale: *scale }
+        }
+        Inst::Alloca { ty, count } => {
+            LInst::Alloca { dst, elem_bytes: ty.bytes(), count: lop(f, count) }
+        }
+        Inst::Select { cond, ty, a, b } => {
+            let cond_scalar = !f.operand_ty(cond).is_vector();
+            LInst::Select { m: VMeta::of(ty), cond_scalar, dst, cond: lop(f, cond), a: lop(f, a), b: lop(f, b) }
+        }
+        Inst::Phi { .. } => unreachable!("phis lowered separately"),
+        Inst::Call { callee, args, ret_ty } => match callee {
+            Callee::Func(fid) => {
+                LInst::CallF { func: fid.0, args: args.iter().map(|a| lop(f, a)).collect(), dst }
+            }
+            Callee::Builtin(b) => LInst::CallB {
+                b: *b,
+                args: args.iter().map(|a| lop(f, a)).collect(),
+                metas: args.iter().map(|a| VMeta::of(&f.operand_ty(a))).collect(),
+                dst,
+                ret_meta: if ret_ty.is_void() { None } else { Some(VMeta::of(ret_ty)) },
+            },
+        },
+        Inst::ExtractElement { vec, idx, ty } => {
+            LInst::Extract { m: VMeta::of(ty), dst, vec: lop(f, vec), idx: lop(f, idx) }
+        }
+        Inst::InsertElement { vec, val, idx, ty } => {
+            LInst::Insert { m: VMeta::of(ty), dst, vec: lop(f, vec), val: lop(f, val), idx: lop(f, idx) }
+        }
+        Inst::Shuffle { a, mask, ty } => {
+            LInst::Shuffle { m: VMeta::of(ty), dst, a: lop(f, a), mask: mask.clone() }
+        }
+        Inst::Splat { val, ty } => LInst::Splat { m: VMeta::of(ty), dst, val: lop(f, val) },
+        Inst::Ptest { mask, ty } => LInst::Ptest { m: VMeta::of(ty), dst, mask: lop(f, mask) },
+        Inst::Gather { ty, addrs } => LInst::Gather { m: VMeta::of(ty), dst, addrs: lop(f, addrs) },
+        Inst::Scatter { val, addrs, ty } => {
+            LInst::Scatter { m: VMeta::of(ty), val: lop(f, val), addrs: lop(f, addrs) }
+        }
+        Inst::AtomicRmw { op, ty, addr, val } => {
+            LInst::AtomicRmw { op: *op, m: VMeta::of(ty), dst, addr: lop(f, addr), val: lop(f, val) }
+        }
+        Inst::CmpXchg { ty, addr, expected, new } => LInst::CmpXchg {
+            m: VMeta::of(ty),
+            dst,
+            addr: lop(f, addr),
+            expected: lop(f, expected),
+            new: lop(f, new),
+        },
+        Inst::Fence => LInst::Fence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elzar_ir::builder::{c64, FuncBuilder};
+    use elzar_ir::Module;
+
+    #[test]
+    fn vmeta_of_types() {
+        let m = VMeta::of(&Ty::I64);
+        assert!(m.scalar && !m.float && m.bits == 64 && m.lanes == 1);
+        let m = VMeta::of(&Ty::vec(Ty::F32, 8));
+        assert!(!m.scalar && m.float && m.bits == 32 && m.lanes == 8);
+        let m = VMeta::of(&Ty::int(9));
+        assert_eq!(m.width, LaneWidth::B16);
+        assert_eq!(m.mask(), 0x1FF);
+    }
+
+    #[test]
+    fn const_eval_forms() {
+        match eval_const(&Const::i64(-1)) {
+            LOp::CS(v) => assert_eq!(v, u64::MAX),
+            _ => panic!(),
+        }
+        match eval_const(&Const::f64(1.5)) {
+            LOp::CS(v) => assert_eq!(f64::from_bits(v), 1.5),
+            _ => panic!(),
+        }
+        match eval_const(&Const::i32(7).splat(8)) {
+            LOp::CV(y) => {
+                for i in 0..8 {
+                    assert_eq!(y.lane(LaneWidth::B32, i), 7);
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn lowering_separates_phis_and_keeps_shape() {
+        let mut b = FuncBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let n = b.param(0);
+        let (_, _, _) = b.counted_loop(c64(0), n, |b, i| {
+            let _ = b.mul(i, c64(3));
+        });
+        b.ret(c64(0));
+        let mut m = Module::new("t");
+        m.add_func(b.finish());
+        let p = Program::lower(&m);
+        let f = &p.funcs[0];
+        assert_eq!(f.n_params, 1);
+        assert!(f.returns);
+        // Loop header (block 1) carries the induction phi.
+        assert_eq!(f.blocks[1].phis.len(), 1);
+        assert_eq!(f.blocks[1].phis[0].incomings.len(), 2);
+        // Body has the multiply.
+        assert!(matches!(f.blocks[2].insts[0], LInst::Bin { op: BinOp::Mul, .. }));
+        assert!(matches!(f.blocks[1].term, LTerm::CondBr { .. }));
+    }
+
+    #[test]
+    fn program_lookup() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::Void);
+        b.ret_void();
+        m.add_func(b.finish());
+        let p = Program::lower(&m);
+        assert_eq!(p.func_by_name("main"), Some(0));
+        assert_eq!(p.func_by_name("none"), None);
+    }
+}

@@ -1,0 +1,1687 @@
+//! The machine: a multi-threaded interpreter for lowered programs with an
+//! integrated timing model and SEU fault-injection hooks.
+//!
+//! Execution model:
+//! * threads run in deterministic round-robin quanta; each thread owns a
+//!   simulated core ([`elzar_cpu::Core`]) whose clock advances with every
+//!   retired instruction;
+//! * clocks synchronize at the points where real threads synchronize —
+//!   spawn, join, lock acquisition and same-line atomics — using a
+//!   virtual-time rule `clock = max(own, peer) + cost`, which reproduces
+//!   sub-linear scaling of lock-heavy programs (dedup, SQLite);
+//! * wall-clock of a run = max over thread clocks.
+//!
+//! Fault injection (§IV-B): the machine counts dynamic result-producing
+//! instructions in *hardened* functions; when the count hits the plan's
+//! index, one bit of that instruction's destination register is flipped
+//! (a GPR bit for scalars, one YMM lane bit for vectors).
+
+use crate::lower::{LInst, LOp, LPhi, LTerm, Program, VMeta, NO_DST};
+use crate::memory::{Memory, Trap, DEFAULT_MEM_SIZE, INPUT_BASE};
+use elzar_avx::{majority_extended, majority_simple, LaneWidth, MajorityOutcome, Ymm};
+use elzar_cpu::{Core, Counters, InstClass, SharedL3};
+use elzar_ir::{BinOp, Builtin, CastOp, CmpPred, RmwOp};
+use std::collections::{HashMap, VecDeque};
+
+/// A planned single-event upset.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// 1-based index of the eligible dynamic instruction to corrupt.
+    pub index: u64,
+    /// Raw bit offset; reduced modulo the destination register width.
+    pub bit: u32,
+}
+
+/// Which §III-C recovery routine the `recover` builtin runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RecoveryPolicy {
+    /// Fast path: compare two low lanes, broadcast lane 0 or the top lane.
+    Simple,
+    /// Extended: full agreement-group analysis; stops on 2+2 splits.
+    #[default]
+    Extended,
+}
+
+/// Machine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Process memory size in bytes.
+    pub mem_size: u64,
+    /// Maximum live threads (main + spawned).
+    pub max_threads: u32,
+    /// Round-robin quantum in instructions.
+    pub quantum: u32,
+    /// Retired-instruction budget; exceeding it reports a hang.
+    pub step_limit: u64,
+    /// Optional fault to inject.
+    pub fault: Option<FaultPlan>,
+    /// Recovery routine selection.
+    pub recovery: RecoveryPolicy,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            mem_size: DEFAULT_MEM_SIZE,
+            max_threads: 24,
+            quantum: 256,
+            step_limit: u64::MAX,
+            fault: None,
+            recovery: RecoveryPolicy::Extended,
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// Main returned.
+    Exited(i64),
+    /// A trap fired ("OS-detected").
+    Trapped(Trap),
+    /// The step budget ran out (hang).
+    StepLimit,
+}
+
+/// Result of executing a program.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Termination condition.
+    pub outcome: RunOutcome,
+    /// Observable output bytes.
+    pub output: Vec<u8>,
+    /// Wall-clock cycles (max over thread clocks).
+    pub cycles: u64,
+    /// Aggregated perf counters.
+    pub counters: Counters,
+    /// ELZAR corrections performed at runtime.
+    pub corrections: u64,
+    /// Eligible (fault-injectable) dynamic instructions executed.
+    pub eligible: u64,
+    /// Total retired IR instructions.
+    pub steps: u64,
+    /// Per-thread cycle clocks.
+    pub thread_cycles: Vec<u64>,
+    /// Heartbeats emitted.
+    pub heartbeats: u64,
+}
+
+impl RunResult {
+    /// Instructions/cycle over the whole run.
+    pub fn ilp(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.counters.instrs as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A runtime value: GPR or YMM contents.
+#[derive(Clone, Copy, Debug)]
+pub enum RtVal {
+    /// Scalar (canonical zero-extended bits).
+    S(u64),
+    /// Vector.
+    V(Ymm),
+}
+
+impl RtVal {
+    fn s(self) -> u64 {
+        match self {
+            RtVal::S(v) => v,
+            RtVal::V(y) => y.lane(LaneWidth::B64, 0),
+        }
+    }
+
+    fn v(self, m: &VMeta) -> Ymm {
+        match self {
+            RtVal::V(y) => y,
+            RtVal::S(v) => Ymm::splat(m.width, m.lanes as usize, v),
+        }
+    }
+}
+
+struct Frame {
+    func: u32,
+    block: u32,
+    prev_block: u32,
+    ip: u32,
+    slots: Vec<RtVal>,
+    ready: Vec<u64>,
+    ret_dst: u32,
+    sp_save: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Ready,
+    BlockedLock(u64),
+    BlockedJoin(u32),
+    Done,
+}
+
+struct ThreadCtx {
+    frames: Vec<Frame>,
+    core: Core,
+    sp: u64,
+    stack_limit: u64,
+    state: TState,
+    result: u64,
+}
+
+struct LockInfo {
+    owner: Option<u32>,
+    release: u64,
+    waiters: VecDeque<u32>,
+}
+
+const CALL_DEPTH_LIMIT: usize = 220;
+const SPAWN_COST: u64 = 2_000;
+const JOIN_COST: u64 = 200;
+const LOCK_COST: u64 = 40;
+const MALLOC_COST: u64 = 100;
+
+/// The interpreter.
+pub struct Machine<'p> {
+    prog: &'p Program,
+    cfg: MachineConfig,
+    mem: Memory,
+    threads: Vec<ThreadCtx>,
+    l3: SharedL3,
+    locks: HashMap<u64, LockInfo>,
+    atomics: HashMap<u64, (u32, u64)>,
+    output: Vec<u8>,
+    corrections: u64,
+    eligible: u64,
+    steps: u64,
+    heartbeats: u64,
+    input_len: u64,
+    phi_scratch: Vec<(u32, RtVal, u64)>,
+}
+
+/// Run `entry` (a function taking no meaningful arguments) of `prog` over
+/// `input`, under `cfg`.
+///
+/// # Panics
+/// Panics if `entry` does not exist in the program.
+pub fn run_program(prog: &Program, entry: &str, input: &[u8], cfg: MachineConfig) -> RunResult {
+    let entry_idx = prog
+        .func_by_name(entry)
+        .unwrap_or_else(|| panic!("entry function `{entry}` not found"));
+    let mut m = Machine::new(prog, input, cfg);
+    m.spawn(entry_idx, 0, 0).expect("spawning the main thread cannot fail");
+    let outcome = m.run_loop();
+    m.finish(outcome)
+}
+
+impl<'p> Machine<'p> {
+    fn new(prog: &'p Program, input: &[u8], cfg: MachineConfig) -> Machine<'p> {
+        Machine {
+            prog,
+            cfg,
+            mem: Memory::new(cfg.mem_size, &prog.globals, input, cfg.max_threads),
+            threads: vec![],
+            l3: SharedL3::haswell(),
+            locks: HashMap::new(),
+            atomics: HashMap::new(),
+            output: Vec::new(),
+            corrections: 0,
+            eligible: 0,
+            steps: 0,
+            heartbeats: 0,
+            input_len: input.len() as u64,
+            phi_scratch: Vec::new(),
+        }
+    }
+
+    fn spawn(&mut self, func: u32, arg: u64, start_cycle: u64) -> Result<u32, Trap> {
+        if func as usize >= self.prog.funcs.len() {
+            return Err(Trap::BadFunction);
+        }
+        if self.threads.len() as u32 >= self.cfg.max_threads {
+            return Err(Trap::OutOfMemory);
+        }
+        let tid = self.threads.len() as u32;
+        let lf = &self.prog.funcs[func as usize];
+        let mut slots = vec![RtVal::S(0); lf.n_slots as usize];
+        if lf.n_params >= 1 {
+            slots[0] = RtVal::S(arg);
+        }
+        let mut core = Core::new();
+        core.advance_to(start_cycle);
+        self.threads.push(ThreadCtx {
+            frames: vec![Frame {
+                func,
+                block: 0,
+                prev_block: 0,
+                ip: 0,
+                ready: vec![start_cycle; lf.n_slots as usize],
+                slots,
+                ret_dst: NO_DST,
+                sp_save: self.mem.stack_top(tid),
+            }],
+            core,
+            sp: self.mem.stack_top(tid),
+            stack_limit: self.mem.stack_limit(tid),
+            state: TState::Ready,
+            result: 0,
+        });
+        Ok(tid)
+    }
+
+    fn run_loop(&mut self) -> RunOutcome {
+        loop {
+            // Wake joiners whose target finished.
+            for i in 0..self.threads.len() {
+                if let TState::BlockedJoin(c) = self.threads[i].state {
+                    if matches!(self.threads[c as usize].state, TState::Done) {
+                        self.threads[i].state = TState::Ready;
+                    }
+                }
+            }
+            let mut progressed = false;
+            let n = self.threads.len();
+            for t in 0..n {
+                if self.threads[t].state == TState::Ready {
+                    progressed = true;
+                    match self.step_quantum(t) {
+                        Ok(()) => {}
+                        Err(trap) => return RunOutcome::Trapped(trap),
+                    }
+                    if self.steps > self.cfg.step_limit {
+                        return RunOutcome::StepLimit;
+                    }
+                }
+            }
+            if self.threads.iter().all(|t| t.state == TState::Done) {
+                return RunOutcome::Exited(self.threads[0].result as i64);
+            }
+            if !progressed {
+                return RunOutcome::Trapped(Trap::Deadlock);
+            }
+        }
+    }
+
+    fn finish(self, outcome: RunOutcome) -> RunResult {
+        let mut counters = Counters::default();
+        let mut cycles = 0;
+        let mut thread_cycles = vec![];
+        for t in &self.threads {
+            counters.add(&t.core.counters());
+            cycles = cycles.max(t.core.cycles());
+            thread_cycles.push(t.core.cycles());
+        }
+        counters.corrections = self.corrections;
+        RunResult {
+            outcome,
+            output: self.output,
+            cycles,
+            counters,
+            corrections: self.corrections,
+            eligible: self.eligible,
+            steps: self.steps,
+            thread_cycles,
+            heartbeats: self.heartbeats,
+        }
+    }
+
+    fn step_quantum(&mut self, t: usize) -> Result<(), Trap> {
+        for _ in 0..self.cfg.quantum {
+            if self.threads[t].state != TState::Ready {
+                break;
+            }
+            self.step_inst(t)?;
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn step_inst(&mut self, t: usize) -> Result<(), Trap> {
+        let prog = self.prog;
+        let (func_idx, block_idx, ip) = {
+            let fr = self.threads[t].frames.last().expect("live thread has a frame");
+            (fr.func, fr.block, fr.ip)
+        };
+        let lf = &prog.funcs[func_idx as usize];
+        let lb = &lf.blocks[block_idx as usize];
+        self.steps += 1;
+        if (ip as usize) < lb.insts.len() {
+            self.exec_inst(t, lf.hardened, &lb.insts[ip as usize])
+        } else {
+            self.exec_term(t, func_idx, block_idx, &lb.term)
+        }
+    }
+
+    /// Transition the current frame to `target`, evaluating its phis.
+    fn take_edge(&mut self, t: usize, target: u32) {
+        let prog = self.prog;
+        let th = &mut self.threads[t];
+        let fr = th.frames.last_mut().expect("frame");
+        let from = fr.block;
+        fr.prev_block = from;
+        fr.block = target;
+        fr.ip = 0;
+        let phis: &[LPhi] = &prog.funcs[fr.func as usize].blocks[target as usize].phis;
+        if phis.is_empty() {
+            return;
+        }
+        self.phi_scratch.clear();
+        for phi in phis {
+            if let Some((_, op)) = phi.incomings.iter().find(|(p, _)| *p == from) {
+                let (v, r) = read_op(fr, op);
+                self.phi_scratch.push((phi.dst, v, r));
+            }
+        }
+        for &(dst, v, r) in &self.phi_scratch {
+            fr.slots[dst as usize] = v;
+            fr.ready[dst as usize] = r;
+        }
+    }
+
+    fn exec_term(&mut self, t: usize, func_idx: u32, block_idx: u32, term: &LTerm) -> Result<(), Trap> {
+        let site = (u64::from(func_idx) << 16) | u64::from(block_idx);
+        match term {
+            LTerm::Br(target) => {
+                self.threads[t].core.retire_jump();
+                self.take_edge(t, *target);
+                Ok(())
+            }
+            LTerm::CondBr { cond, t: tb, f: fb } => {
+                let th = &mut self.threads[t];
+                let fr = th.frames.last().expect("frame");
+                let (v, r) = read_op(fr, cond);
+                let taken = v.s() & 1 != 0;
+                th.core.retire_branch(site, taken, &[r]);
+                self.take_edge(t, if taken { *tb } else { *fb });
+                Ok(())
+            }
+            LTerm::PtestBr { flags, mask_meta, bbs } => {
+                let th = &mut self.threads[t];
+                let fr = th.frames.last().expect("frame");
+                let (v, r) = read_op(fr, flags);
+                let code = match mask_meta {
+                    None => v.s().min(2) as usize,
+                    Some(m) => v.v(m).ptest(m.width, m.lanes as usize).code() as usize,
+                };
+                // A three-outcome ptest branch is a cascade of two x86
+                // conditional jumps (Figure 9: `je` then `ja`). When the
+                // mixed outcome aliases a regular target (branch checks
+                // disabled), the cascade collapses to a single jcc.
+                th.core.retire_branch(site << 1, code == 0, &[r]);
+                if code != 0 && bbs[2] != bbs[1] && bbs[2] != bbs[0] {
+                    th.core.retire_branch((site << 1) | 1, code == 1, &[r]);
+                }
+                self.take_edge(t, bbs[code]);
+                Ok(())
+            }
+            LTerm::Ret(val) => {
+                let th = &mut self.threads[t];
+                let ret = {
+                    let fr = th.frames.last().expect("frame");
+                    val.as_ref().map(|o| read_op(fr, o))
+                };
+                let done = th.core.retire(InstClass::Call, &[ret.map(|(_, r)| r).unwrap_or(0)]);
+                let fr = th.frames.pop().expect("frame");
+                th.sp = fr.sp_save;
+                if th.frames.is_empty() {
+                    th.result = ret.map(|(v, _)| v.s()).unwrap_or(0);
+                    th.state = TState::Done;
+                } else if fr.ret_dst != NO_DST {
+                    let caller = th.frames.last_mut().expect("caller");
+                    let v = ret.map(|(v, _)| v).unwrap_or(RtVal::S(0));
+                    caller.slots[fr.ret_dst as usize] = v;
+                    caller.ready[fr.ret_dst as usize] = done;
+                }
+                Ok(())
+            }
+            LTerm::Unreachable => Err(Trap::Unreachable),
+        }
+    }
+
+    #[inline]
+    fn exec_inst(&mut self, t: usize, hardened: bool, inst: &LInst) -> Result<(), Trap> {
+        // Thread-management builtins need whole-machine access.
+        if let LInst::CallB { b, .. } = inst {
+            match b {
+                Builtin::Spawn | Builtin::Join | Builtin::Lock | Builtin::Unlock => {
+                    return self.exec_thread_builtin(t, inst);
+                }
+                _ => {}
+            }
+        }
+        if let LInst::CallF { func, args, dst } = inst {
+            return self.exec_call(t, *func, args, *dst);
+        }
+
+        // Common path: disjoint borrows of machine fields.
+        let th = &mut self.threads[t];
+        let fr = th.frames.last_mut().expect("frame");
+        let core = &mut th.core;
+        // Output: (dst, value, ready, bit bound for fault injection).
+        let out: Option<(u32, RtVal, u64, u32)> = match inst {
+            LInst::Bin { op, m, dst, a, b } => {
+                let (va, ra) = read_op(fr, a);
+                let (vb, rb) = read_op(fr, b);
+                let class = bin_class(*op, m);
+                let done = core.retire(class, &[ra, rb]);
+                let v = if m.scalar {
+                    RtVal::S(scalar_bin(*op, m, va.s(), vb.s())?)
+                } else {
+                    let (ya, yb) = (va.v(m), vb.v(m));
+                    let mut r = Ymm::ZERO;
+                    for i in 0..m.lanes as usize {
+                        r.set_lane(m.width, i, scalar_bin(*op, m, ya.lane(m.width, i), yb.lane(m.width, i))?);
+                    }
+                    RtVal::V(r)
+                };
+                Some((*dst, v, done, bound(m)))
+            }
+            LInst::Cmp { pred, m, dst, a, b, fused } => {
+                let (va, ra) = read_op(fr, a);
+                let (vb, rb) = read_op(fr, b);
+                let done = if *fused {
+                    // Retires as half of the following jcc: free slot.
+                    ra.max(rb)
+                } else {
+                    let class = if m.scalar { InstClass::ScalarAlu } else { InstClass::VecCmp };
+                    core.retire(class, &[ra, rb])
+                };
+                let v = if m.scalar {
+                    RtVal::S(u64::from(scalar_cmp(*pred, m, va.s(), vb.s())))
+                } else {
+                    let (ya, yb) = (va.v(m), vb.v(m));
+                    RtVal::V(ya.cmp_mask(&yb, m.width, m.lanes as usize, |x, y| scalar_cmp(*pred, m, x, y)))
+                };
+                Some((*dst, v, done, bound(m)))
+            }
+            LInst::Cast { op, from, to, dst, a } => {
+                let (va, ra) = read_op(fr, a);
+                let class = cast_class(*op, from, to);
+                let done = core.retire(class, &[ra]);
+                let v = if to.scalar {
+                    RtVal::S(scalar_cast(*op, from, to, va.s()))
+                } else if matches!(op, CastOp::Bitcast | CastOp::PtrToInt | CastOp::IntToPtr) {
+                    // Pure reinterpretation: every lane's bits survive —
+                    // essential so a corrupted lane stays visible to the
+                    // shuffle-xor-ptest check after a float->int bitcast.
+                    RtVal::V(va.v(from))
+                } else if from.lanes == to.lanes {
+                    // Lane-preserving conversion (same replication count).
+                    let src = va.v(from);
+                    let mut y = Ymm::ZERO;
+                    for i in 0..to.lanes as usize {
+                        y.set_lane(to.width, i, scalar_cast(*op, from, to, src.lane(from.width, i)));
+                    }
+                    RtVal::V(y)
+                } else {
+                    // Replication width changes (§III-D): convert lane 0,
+                    // re-replicate across the destination register.
+                    let lane0 = va.v(from).lane(from.width, 0);
+                    let c = scalar_cast(*op, from, to, lane0);
+                    RtVal::V(Ymm::splat(to.width, to.lanes as usize, c))
+                };
+                Some((*dst, v, done, bound(to)))
+            }
+            LInst::Load { m, dst, addr } => {
+                let (va, ra) = read_op(fr, addr);
+                let a = va.s();
+                let class = if m.scalar { InstClass::Load } else { InstClass::VecLoad };
+                let done = core.retire_mem(class, &[ra], a, &mut self.l3);
+                let v = if m.scalar {
+                    RtVal::S(self.mem.load(a, m.elem_bytes())? & float_safe_mask(m))
+                } else {
+                    let eb = m.elem_bytes();
+                    let mut y = Ymm::ZERO;
+                    for i in 0..m.lanes as usize {
+                        y.set_lane(m.width, i, self.mem.load(a + (i as u64) * u64::from(eb), eb)?);
+                    }
+                    RtVal::V(y)
+                };
+                Some((*dst, v, done, bound(m)))
+            }
+            LInst::Store { m, val, addr } => {
+                let (vv, rv) = read_op(fr, val);
+                let (va, ra) = read_op(fr, addr);
+                let a = va.s();
+                let class = if m.scalar { InstClass::Store } else { InstClass::VecStore };
+                core.retire_mem(class, &[rv, ra], a, &mut self.l3);
+                if m.scalar {
+                    self.mem.store(a, m.elem_bytes(), vv.s())?;
+                } else {
+                    let eb = m.elem_bytes();
+                    let y = vv.v(m);
+                    for i in 0..m.lanes as usize {
+                        self.mem.store(a + (i as u64) * u64::from(eb), eb, y.lane(m.width, i))?;
+                    }
+                }
+                None
+            }
+            LInst::Gep { dst, base, index, scale } => {
+                let (vb, rb) = read_op(fr, base);
+                let (vi, ri) = read_op(fr, index);
+                let done = core.retire(InstClass::ScalarAlu, &[rb, ri]);
+                let addr = vb.s().wrapping_add((vi.s() as i64).wrapping_mul(i64::from(*scale)) as u64);
+                Some((*dst, RtVal::S(addr), done, 64))
+            }
+            LInst::Alloca { dst, elem_bytes, count } => {
+                let (vc, rc) = read_op(fr, count);
+                let size = (vc.s().saturating_mul(u64::from(*elem_bytes)) + 31) & !31;
+                let done = core.retire(InstClass::ScalarAlu, &[rc]);
+                let new_sp = th.sp.checked_sub(size).ok_or(Trap::StackOverflow)?;
+                if new_sp < th.stack_limit {
+                    return Err(Trap::StackOverflow);
+                }
+                th.sp = new_sp;
+                let fr2 = th.frames.last_mut().expect("frame");
+                if *dst != NO_DST {
+                    fr2.slots[*dst as usize] = RtVal::S(new_sp);
+                    fr2.ready[*dst as usize] = done;
+                }
+                fr2.ip += 1;
+                self.post_write(t, hardened, *dst, 64);
+                return Ok(());
+            }
+            LInst::Select { m, cond_scalar, dst, cond, a, b } => {
+                let (vc, rc) = read_op(fr, cond);
+                let (va, ra) = read_op(fr, a);
+                let (vb, rb) = read_op(fr, b);
+                let class = if m.scalar { InstClass::ScalarAlu } else { InstClass::Blend };
+                let done = core.retire(class, &[rc, ra, rb]);
+                let v = if *cond_scalar {
+                    if vc.s() & 1 != 0 {
+                        va
+                    } else {
+                        vb
+                    }
+                } else {
+                    let y = Ymm::blend(&vc.v(m), &va.v(m), &vb.v(m), m.width, m.lanes as usize);
+                    RtVal::V(y)
+                };
+                Some((*dst, v, done, bound(m)))
+            }
+            LInst::Extract { m, dst, vec, idx } => {
+                let (vv, rv) = read_op(fr, vec);
+                let (vi, ri) = read_op(fr, idx);
+                let done = core.retire(InstClass::Extract, &[rv, ri]);
+                let lane = (vi.s() as usize) % (m.lanes as usize);
+                Some((*dst, RtVal::S(vv.v(m).lane(m.width, lane)), done, 64))
+            }
+            LInst::Insert { m, dst, vec, val, idx } => {
+                let (vv, rv) = read_op(fr, vec);
+                let (vx, rx) = read_op(fr, val);
+                let (vi, ri) = read_op(fr, idx);
+                let done = core.retire(InstClass::Insert, &[rv, rx, ri]);
+                let lane = (vi.s() as usize) % (m.lanes as usize);
+                Some((*dst, RtVal::V(vv.v(m).with_lane(m.width, lane, vx.s())), done, bound(m)))
+            }
+            LInst::Shuffle { m, dst, a, mask } => {
+                let (va, ra) = read_op(fr, a);
+                let done = core.retire(InstClass::Shuffle, &[ra]);
+                Some((*dst, RtVal::V(va.v(m).shuffle(m.width, mask)), done, bound(m)))
+            }
+            LInst::Splat { m, dst, val } => {
+                let (vv, rv) = read_op(fr, val);
+                let done = core.retire(InstClass::Broadcast, &[rv]);
+                Some((*dst, RtVal::V(Ymm::splat(m.width, m.lanes as usize, vv.s())), done, bound(m)))
+            }
+            LInst::Ptest { m, dst, mask } => {
+                let (vm, rm) = read_op(fr, mask);
+                let done = core.retire(InstClass::Ptest, &[rm]);
+                let code = vm.v(m).ptest(m.width, m.lanes as usize).code();
+                Some((*dst, RtVal::S(code), done, 8))
+            }
+            LInst::Gather { m, dst, addrs } => {
+                let (va, ra) = read_op(fr, addrs);
+                // §VII-B: hardware majority-votes the replicated address
+                // (pointers are always 4-way replicated).
+                let aw = LaneWidth::B64;
+                let voted = match majority_extended(&va.v(&VMeta { scalar: false, float: false, bits: 64, width: aw, lanes: 4 }), aw, 4) {
+                    MajorityOutcome::Recovered { value, corrected } => {
+                        if corrected {
+                            self.corrections += 1;
+                        }
+                        value
+                    }
+                    MajorityOutcome::Tie => return Err(Trap::Unrecoverable),
+                };
+                let done = core.retire_mem(InstClass::Gather, &[ra], voted, &mut self.l3);
+                let loaded = self.mem.load(voted, m.elem_bytes())? & float_safe_mask(m);
+                Some((*dst, RtVal::V(Ymm::splat(m.width, m.lanes as usize, loaded)), done, bound(m)))
+            }
+            LInst::Scatter { m, val, addrs } => {
+                let (vv, rv) = read_op(fr, val);
+                let (va, ra) = read_op(fr, addrs);
+                let aw = LaneWidth::B64;
+                let ameta = VMeta { scalar: false, float: false, bits: 64, width: aw, lanes: 4 };
+                let addr = match majority_extended(&va.v(&ameta), aw, 4) {
+                    MajorityOutcome::Recovered { value, corrected } => {
+                        if corrected {
+                            self.corrections += 1;
+                        }
+                        value
+                    }
+                    MajorityOutcome::Tie => return Err(Trap::Unrecoverable),
+                };
+                let value = match majority_extended(&vv.v(m), m.width, m.lanes as usize) {
+                    MajorityOutcome::Recovered { value, corrected } => {
+                        if corrected {
+                            self.corrections += 1;
+                        }
+                        value
+                    }
+                    MajorityOutcome::Tie => return Err(Trap::Unrecoverable),
+                };
+                core.retire_mem(InstClass::Scatter, &[rv, ra], addr, &mut self.l3);
+                self.mem.store(addr, m.elem_bytes(), value)?;
+                None
+            }
+            LInst::AtomicRmw { op, m, dst, addr, val } => {
+                let (va, ra) = read_op(fr, addr);
+                let (vv, rv) = read_op(fr, val);
+                let a = va.s();
+                let key = a & !63;
+                if let Some(&(owner, done)) = self.atomics.get(&key) {
+                    if owner != t as u32 {
+                        core.advance_to(done);
+                    }
+                }
+                let done = core.retire_mem(InstClass::Atomic, &[ra, rv], a, &mut self.l3);
+                if self.atomics.len() > 1 << 17 {
+                    self.atomics.clear();
+                }
+                self.atomics.insert(key, (t as u32, done));
+                let old = self.mem.load(a, m.elem_bytes())? & m.mask();
+                let new = rmw(*op, m, old, vv.s());
+                self.mem.store(a, m.elem_bytes(), new)?;
+                Some((*dst, RtVal::S(old), done, 64))
+            }
+            LInst::CmpXchg { m, dst, addr, expected, new } => {
+                let (va, ra) = read_op(fr, addr);
+                let (ve, re) = read_op(fr, expected);
+                let (vn, rn) = read_op(fr, new);
+                let a = va.s();
+                let key = a & !63;
+                if let Some(&(owner, done)) = self.atomics.get(&key) {
+                    if owner != t as u32 {
+                        core.advance_to(done);
+                    }
+                }
+                let done = core.retire_mem(InstClass::Atomic, &[ra, re, rn], a, &mut self.l3);
+                self.atomics.insert(key, (t as u32, done));
+                let old = self.mem.load(a, m.elem_bytes())? & m.mask();
+                if old == ve.s() & m.mask() {
+                    self.mem.store(a, m.elem_bytes(), vn.s() & m.mask())?;
+                }
+                Some((*dst, RtVal::S(old), done, 64))
+            }
+            LInst::Fence => {
+                core.retire(InstClass::Fence, &[]);
+                None
+            }
+            LInst::CallB { b, args, metas, dst, ret_meta } => {
+                self.exec_simple_builtin(t, *b, args, metas, *dst, ret_meta.as_ref())?;
+                self.advance_ip(t);
+                self.post_write(t, hardened, *dst, ret_meta.as_ref().map(bound).unwrap_or(64));
+                return Ok(());
+            }
+            LInst::CallF { .. } => unreachable!("handled above"),
+        };
+
+        // Commit the result.
+        let fr = self.threads[t].frames.last_mut().expect("frame");
+        let mut bit_bound = 64;
+        if let Some((dst, v, ready, bb)) = out {
+            bit_bound = bb;
+            if dst != NO_DST {
+                fr.slots[dst as usize] = v;
+                fr.ready[dst as usize] = ready;
+            }
+            fr.ip += 1;
+            self.post_write(t, hardened, dst, bit_bound);
+        } else {
+            fr.ip += 1;
+        }
+        let _ = bit_bound;
+        Ok(())
+    }
+
+    fn advance_ip(&mut self, t: usize) {
+        self.threads[t].frames.last_mut().expect("frame").ip += 1;
+    }
+
+    /// Eligibility accounting + planned fault injection on the value just
+    /// written to `dst`.
+    fn post_write(&mut self, t: usize, hardened: bool, dst: u32, bit_bound: u32) {
+        if !hardened || dst == NO_DST {
+            return;
+        }
+        self.eligible += 1;
+        if let Some(plan) = self.cfg.fault {
+            if self.eligible == plan.index {
+                let fr = self.threads[t].frames.last_mut().expect("frame");
+                let cur = fr.slots[dst as usize];
+                fr.slots[dst as usize] = flip(cur, plan.bit, bit_bound);
+            }
+        }
+    }
+
+    fn exec_call(&mut self, t: usize, func: u32, args: &[LOp], dst: u32) -> Result<(), Trap> {
+        let prog = self.prog;
+        if func as usize >= prog.funcs.len() {
+            return Err(Trap::BadFunction);
+        }
+        let th = &mut self.threads[t];
+        if th.frames.len() >= CALL_DEPTH_LIMIT {
+            return Err(Trap::CallDepth);
+        }
+        let callee = &prog.funcs[func as usize];
+        let mut slots = vec![RtVal::S(0); callee.n_slots as usize];
+        let mut ready = vec![0u64; callee.n_slots as usize];
+        let mut deps = 0u64;
+        {
+            let fr = th.frames.last().expect("frame");
+            for (i, a) in args.iter().enumerate().take(callee.n_params as usize) {
+                let (v, r) = read_op(fr, a);
+                slots[i] = v;
+                ready[i] = r;
+                deps = deps.max(r);
+            }
+        }
+        let done = th.core.retire(InstClass::Call, &[deps]);
+        for r in ready.iter_mut().take(callee.n_params as usize) {
+            *r = (*r).max(done);
+        }
+        th.frames.last_mut().expect("frame").ip += 1;
+        th.frames.push(Frame {
+            func,
+            block: 0,
+            prev_block: 0,
+            ip: 0,
+            slots,
+            ready,
+            ret_dst: dst,
+            sp_save: th.sp,
+        });
+        Ok(())
+    }
+
+    /// Spawn / join / lock / unlock — builtins that manipulate threads.
+    fn exec_thread_builtin(&mut self, t: usize, inst: &LInst) -> Result<(), Trap> {
+        let LInst::CallB { b, args, dst, .. } = inst else { unreachable!() };
+        // Read args with an immutable borrow first.
+        let vals: Vec<(u64, u64)> = {
+            let fr = self.threads[t].frames.last().expect("frame");
+            args.iter()
+                .map(|a| {
+                    let (v, r) = read_op(fr, a);
+                    (v.s(), r)
+                })
+                .collect()
+        };
+        match b {
+            Builtin::Spawn => {
+                let func = vals.first().map(|v| v.0).unwrap_or(u64::MAX) as u32;
+                let arg = vals.get(1).map(|v| v.0).unwrap_or(0);
+                let start = self.threads[t].core.cycles() + SPAWN_COST;
+                let tid = self.spawn(func, arg, start)?;
+                let th = &mut self.threads[t];
+                let done = th.core.retire(InstClass::LibCall, &[vals[0].1]);
+                let fr = th.frames.last_mut().expect("frame");
+                if *dst != NO_DST {
+                    fr.slots[*dst as usize] = RtVal::S(u64::from(tid));
+                    fr.ready[*dst as usize] = done;
+                }
+                fr.ip += 1;
+                Ok(())
+            }
+            Builtin::Join => {
+                let target = vals.first().map(|v| v.0).unwrap_or(u64::MAX) as usize;
+                if target >= self.threads.len() || target == t {
+                    return Err(Trap::BadFunction);
+                }
+                if self.threads[target].state == TState::Done {
+                    let child_cycles = self.threads[target].core.cycles();
+                    let result = self.threads[target].result;
+                    let th = &mut self.threads[t];
+                    th.core.advance_to(child_cycles + JOIN_COST);
+                    let done = th.core.retire(InstClass::LibCall, &[vals[0].1]);
+                    let fr = th.frames.last_mut().expect("frame");
+                    if *dst != NO_DST {
+                        fr.slots[*dst as usize] = RtVal::S(result);
+                        fr.ready[*dst as usize] = done;
+                    }
+                    fr.ip += 1;
+                } else {
+                    // Re-execute the join once the child finishes.
+                    self.steps -= 1;
+                    self.threads[t].state = TState::BlockedJoin(target as u32);
+                }
+                Ok(())
+            }
+            Builtin::Lock => {
+                let addr = vals.first().map(|v| v.0).unwrap_or(0);
+                let own_cycles = self.threads[t].core.cycles();
+                let entry = self.locks.entry(addr).or_insert(LockInfo { owner: None, release: 0, waiters: VecDeque::new() });
+                if entry.owner.is_none() {
+                    entry.owner = Some(t as u32);
+                    let release = entry.release;
+                    let th = &mut self.threads[t];
+                    th.core.advance_to(own_cycles.max(release) + LOCK_COST);
+                    th.core.retire_mem(InstClass::Atomic, &[vals[0].1], addr, &mut self.l3);
+                    th.frames.last_mut().expect("frame").ip += 1;
+                } else {
+                    entry.waiters.push_back(t as u32);
+                    self.steps -= 1;
+                    self.threads[t].state = TState::BlockedLock(addr);
+                }
+                Ok(())
+            }
+            Builtin::Unlock => {
+                let addr = vals.first().map(|v| v.0).unwrap_or(0);
+                let own_cycles = {
+                    let th = &mut self.threads[t];
+                    th.core.retire_mem(InstClass::Atomic, &[vals[0].1], addr, &mut self.l3);
+                    th.frames.last_mut().expect("frame").ip += 1;
+                    th.core.cycles()
+                };
+                if let Some(entry) = self.locks.get_mut(&addr) {
+                    if entry.owner == Some(t as u32) {
+                        entry.owner = None;
+                        entry.release = entry.release.max(own_cycles);
+                        if let Some(w) = entry.waiters.pop_front() {
+                            self.threads[w as usize].state = TState::Ready;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            _ => unreachable!("not a thread builtin"),
+        }
+    }
+
+    /// Builtins that only need memory / output / math.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_simple_builtin(
+        &mut self,
+        t: usize,
+        b: Builtin,
+        args: &[LOp],
+        metas: &[VMeta],
+        dst: u32,
+        _ret_meta: Option<&VMeta>,
+    ) -> Result<(), Trap> {
+        let th = &mut self.threads[t];
+        let fr = th.frames.last_mut().expect("frame");
+        let core = &mut th.core;
+        // Evaluate arguments.
+        let mut vals: [RtVal; 4] = [RtVal::S(0); 4];
+        let mut readys: [u64; 4] = [0; 4];
+        for (i, a) in args.iter().enumerate().take(4) {
+            let (v, r) = read_op(fr, a);
+            vals[i] = v;
+            readys[i] = r;
+        }
+        let deps = readys.iter().copied().max().unwrap_or(0);
+        let (v, done): (RtVal, u64) = match b {
+            Builtin::Malloc => {
+                let p = self.mem.malloc(vals[0].s())?;
+                (RtVal::S(p), core.retire(InstClass::LibCall, &[deps]) + MALLOC_COST)
+            }
+            Builtin::Free => (RtVal::S(0), core.retire(InstClass::LibCall, &[deps])),
+            Builtin::Memcpy => {
+                let (d, s, n) = (vals[0].s(), vals[1].s(), vals[2].s());
+                let mut last = core.retire(InstClass::LibCall, &[deps]);
+                let mut off = 0;
+                while off < n {
+                    core.retire_mem(InstClass::VecLoad, &[], s + off, &mut self.l3);
+                    last = core.retire_mem(InstClass::VecStore, &[], d + off, &mut self.l3);
+                    off += 64;
+                }
+                self.mem.copy(d, s, n)?;
+                (RtVal::S(0), last)
+            }
+            Builtin::Memset => {
+                let (d, byte, n) = (vals[0].s(), vals[1].s(), vals[2].s());
+                let mut last = core.retire(InstClass::LibCall, &[deps]);
+                let mut off = 0;
+                while off < n {
+                    last = core.retire_mem(InstClass::VecStore, &[], d + off, &mut self.l3);
+                    off += 64;
+                }
+                let sl = self.mem.slice_mut(d, n)?;
+                sl.fill(byte as u8);
+                (RtVal::S(0), last)
+            }
+            Builtin::Memcmp => {
+                let (a, bb, n) = (vals[0].s(), vals[1].s(), vals[2].s());
+                let mut last = core.retire(InstClass::LibCall, &[deps]);
+                let mut off = 0;
+                while off < n {
+                    core.retire_mem(InstClass::VecLoad, &[], a + off, &mut self.l3);
+                    last = core.retire_mem(InstClass::VecLoad, &[], bb + off, &mut self.l3);
+                    off += 64;
+                }
+                let sa = self.mem.slice(a, n)?;
+                let sb = self.mem.slice(bb, n)?;
+                let r = match sa.cmp(sb) {
+                    std::cmp::Ordering::Less => -1i64,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                };
+                (RtVal::S(r as u64), last)
+            }
+            Builtin::Output => {
+                let (p, n) = (vals[0].s(), vals[1].s());
+                let sl = self.mem.slice(p, n)?;
+                self.output.extend_from_slice(sl);
+                (RtVal::S(0), core.retire(InstClass::LibCall, &[deps]))
+            }
+            Builtin::OutputI64 => {
+                self.output.extend_from_slice(&vals[0].s().to_le_bytes());
+                (RtVal::S(0), core.retire(InstClass::LibCall, &[deps]))
+            }
+            Builtin::OutputF64 => {
+                self.output.extend_from_slice(&vals[0].s().to_le_bytes());
+                (RtVal::S(0), core.retire(InstClass::LibCall, &[deps]))
+            }
+            Builtin::Sqrt => {
+                let x = f64::from_bits(vals[0].s());
+                (RtVal::S(x.sqrt().to_bits()), core.retire(InstClass::ScalarFpDiv, &[deps]))
+            }
+            Builtin::Fabs => {
+                let x = f64::from_bits(vals[0].s());
+                (RtVal::S(x.abs().to_bits()), core.retire(InstClass::ScalarFpAdd, &[deps]))
+            }
+            Builtin::Exp | Builtin::Log | Builtin::Pow | Builtin::Sin | Builtin::Cos | Builtin::Erf => {
+                let x = f64::from_bits(vals[0].s());
+                let y = f64::from_bits(vals[1].s());
+                let r = match b {
+                    Builtin::Exp => x.exp(),
+                    Builtin::Log => x.ln(),
+                    Builtin::Pow => x.powf(y),
+                    Builtin::Sin => x.sin(),
+                    Builtin::Cos => x.cos(),
+                    Builtin::Erf => erf(x),
+                    _ => unreachable!(),
+                };
+                // libm cost: a ~10-op dependent FP chain.
+                let mut ready = deps;
+                for _ in 0..10 {
+                    ready = core.retire(InstClass::ScalarFpMul, &[ready]);
+                }
+                (RtVal::S(r.to_bits()), ready)
+            }
+            Builtin::InputPtr => (RtVal::S(INPUT_BASE), core.retire(InstClass::ScalarAlu, &[deps])),
+            Builtin::InputLen => (RtVal::S(self.input_len), core.retire(InstClass::ScalarAlu, &[deps])),
+            Builtin::Recover => {
+                let m = metas.first().copied().unwrap_or(VMeta {
+                    scalar: false,
+                    float: false,
+                    bits: 64,
+                    width: LaneWidth::B64,
+                    lanes: 4,
+                });
+                let y = vals[0].v(&m);
+                let lanes = m.lanes as usize;
+                let fixed = match self.cfg.recovery {
+                    RecoveryPolicy::Simple => {
+                        let value = majority_simple(&y, m.width, lanes);
+                        if !y.lanes_agree(m.width, lanes) {
+                            self.corrections += 1;
+                        }
+                        value
+                    }
+                    RecoveryPolicy::Extended => match majority_extended(&y, m.width, lanes) {
+                        MajorityOutcome::Recovered { value, corrected } => {
+                            if corrected {
+                                self.corrections += 1;
+                            }
+                            value
+                        }
+                        MajorityOutcome::Tie => return Err(Trap::Unrecoverable),
+                    },
+                };
+                // Slow path cost (§III-C): compare low lanes, broadcast.
+                let mut ready = deps;
+                for _ in 0..2 {
+                    ready = core.retire(InstClass::Extract, &[ready]);
+                }
+                ready = core.retire(InstClass::ScalarAlu, &[ready]);
+                ready = core.retire(InstClass::Broadcast, &[ready]);
+                (RtVal::V(Ymm::splat(m.width, lanes, fixed)), ready)
+            }
+            Builtin::Heartbeat => {
+                self.heartbeats += 1;
+                (RtVal::S(0), core.retire(InstClass::LibCall, &[deps]))
+            }
+            Builtin::Spawn | Builtin::Join | Builtin::Lock | Builtin::Unlock => {
+                unreachable!("thread builtins handled separately")
+            }
+        };
+        let fr = self.threads[t].frames.last_mut().expect("frame");
+        if dst != NO_DST {
+            fr.slots[dst as usize] = v;
+            fr.ready[dst as usize] = done;
+        }
+        Ok(())
+    }
+}
+
+#[inline]
+fn read_op(fr: &Frame, op: &LOp) -> (RtVal, u64) {
+    match op {
+        LOp::Slot(s) => (fr.slots[*s as usize], fr.ready[*s as usize]),
+        LOp::CS(v) => (RtVal::S(*v), 0),
+        LOp::CV(y) => (RtVal::V(*y), 0),
+    }
+}
+
+fn bound(m: &VMeta) -> u32 {
+    if m.scalar {
+        64
+    } else {
+        u32::from(m.lanes) * m.width.bits()
+    }
+}
+
+fn flip(v: RtVal, bit: u32, bound: u32) -> RtVal {
+    match v {
+        RtVal::S(x) => RtVal::S(x ^ (1u64 << (bit % bound.clamp(1, 64)))),
+        RtVal::V(y) => RtVal::V(y.flip_bit(bit % bound.clamp(1, 256))),
+    }
+}
+
+/// For float metas all storage bits are value bits; for ints mask to the
+/// logical width.
+fn float_safe_mask(m: &VMeta) -> u64 {
+    if m.float {
+        if m.width == LaneWidth::B32 {
+            0xFFFF_FFFF
+        } else {
+            u64::MAX
+        }
+    } else {
+        m.mask()
+    }
+}
+
+fn bin_class(op: BinOp, m: &VMeta) -> InstClass {
+    use BinOp::*;
+    if m.scalar {
+        match op {
+            Mul => InstClass::ScalarMul,
+            UDiv | SDiv | URem | SRem => InstClass::ScalarDiv,
+            FAdd | FSub | FMin | FMax => InstClass::ScalarFpAdd,
+            FMul => InstClass::ScalarFpMul,
+            FDiv => InstClass::ScalarFpDiv,
+            _ => InstClass::ScalarAlu,
+        }
+    } else {
+        match op {
+            Mul => InstClass::VecMul,
+            UDiv | SDiv | URem | SRem => InstClass::VecIntDiv,
+            FAdd | FSub | FMin | FMax => InstClass::VecFpAdd,
+            FMul => InstClass::VecFpMul,
+            FDiv => InstClass::VecFpDiv,
+            _ => InstClass::VecAlu,
+        }
+    }
+}
+
+fn cast_class(op: CastOp, from: &VMeta, to: &VMeta) -> InstClass {
+    if to.scalar && from.scalar {
+        return match op {
+            CastOp::FpToSi | CastOp::FpToUi | CastOp::SiToFp | CastOp::UiToFp | CastOp::FpTrunc | CastOp::FpExt => {
+                InstClass::ScalarFpAdd
+            }
+            _ => InstClass::ScalarAlu,
+        };
+    }
+    // Vector casts: AVX2 supports widening integer extends and 32-bit
+    // int<->fp; truncation and 64-bit int<->fp are missing (§VII-A).
+    match op {
+        CastOp::Trunc => InstClass::VecCastLegalized,
+        CastOp::ZExt | CastOp::SExt => InstClass::VecCast,
+        CastOp::FpTrunc | CastOp::FpExt => InstClass::VecCast,
+        CastOp::FpToSi | CastOp::FpToUi | CastOp::SiToFp | CastOp::UiToFp => {
+            if from.bits == 64 || to.bits == 64 {
+                InstClass::VecCastLegalized
+            } else {
+                InstClass::VecCast
+            }
+        }
+        CastOp::Bitcast | CastOp::PtrToInt | CastOp::IntToPtr => InstClass::VecAlu,
+    }
+}
+
+fn sext(v: u64, bits: u8) -> i64 {
+    if bits >= 64 {
+        v as i64
+    } else {
+        let sh = 64 - u32::from(bits);
+        ((v << sh) as i64) >> sh
+    }
+}
+
+fn scalar_bin(op: BinOp, m: &VMeta, a: u64, b: u64) -> Result<u64, Trap> {
+    use BinOp::*;
+    if m.float {
+        let r = if m.bits == 32 {
+            let (x, y) = (f32::from_bits(a as u32), f32::from_bits(b as u32));
+            let r = match op {
+                FAdd => x + y,
+                FSub => x - y,
+                FMul => x * y,
+                FDiv => x / y,
+                FMin => x.min(y),
+                FMax => x.max(y),
+                _ => unreachable!("int op on float meta"),
+            };
+            u64::from(r.to_bits())
+        } else {
+            let (x, y) = (f64::from_bits(a), f64::from_bits(b));
+            let r = match op {
+                FAdd => x + y,
+                FSub => x - y,
+                FMul => x * y,
+                FDiv => x / y,
+                FMin => x.min(y),
+                FMax => x.max(y),
+                _ => unreachable!("int op on float meta"),
+            };
+            r.to_bits()
+        };
+        return Ok(r);
+    }
+    let mask = m.mask();
+    let (a, b) = (a & mask, b & mask);
+    let bits = m.bits;
+    let shift_mod = u32::from(bits.max(1));
+    let r = match op {
+        Add => a.wrapping_add(b),
+        Sub => a.wrapping_sub(b),
+        Mul => a.wrapping_mul(b),
+        UDiv => {
+            if b == 0 {
+                return Err(Trap::DivByZero);
+            }
+            a / b
+        }
+        URem => {
+            if b == 0 {
+                return Err(Trap::DivByZero);
+            }
+            a % b
+        }
+        SDiv => {
+            let (x, y) = (sext(a, bits), sext(b, bits));
+            if y == 0 || (x == i64::MIN && y == -1) {
+                return Err(Trap::DivByZero);
+            }
+            (x / y) as u64
+        }
+        SRem => {
+            let (x, y) = (sext(a, bits), sext(b, bits));
+            if y == 0 || (x == i64::MIN && y == -1) {
+                return Err(Trap::DivByZero);
+            }
+            (x % y) as u64
+        }
+        And => a & b,
+        Or => a | b,
+        Xor => a ^ b,
+        Shl => a.wrapping_shl((b as u32) % shift_mod),
+        LShr => a.wrapping_shr((b as u32) % shift_mod),
+        AShr => (sext(a, bits) >> ((b as u32) % shift_mod).min(63)) as u64,
+        UMin => a.min(b),
+        UMax => a.max(b),
+        SMin => {
+            if sext(a, bits) <= sext(b, bits) {
+                a
+            } else {
+                b
+            }
+        }
+        SMax => {
+            if sext(a, bits) >= sext(b, bits) {
+                a
+            } else {
+                b
+            }
+        }
+        FAdd | FSub | FMul | FDiv | FMin | FMax => unreachable!("float op on int meta"),
+    };
+    Ok(r & mask)
+}
+
+fn scalar_cmp(pred: CmpPred, m: &VMeta, a: u64, b: u64) -> bool {
+    use CmpPred::*;
+    if m.float {
+        let (x, y) = if m.bits == 32 {
+            (f64::from(f32::from_bits(a as u32)), f64::from(f32::from_bits(b as u32)))
+        } else {
+            (f64::from_bits(a), f64::from_bits(b))
+        };
+        return match pred {
+            FOeq => x == y,
+            FOne => x != y && !x.is_nan() && !y.is_nan(),
+            FOlt => x < y,
+            FOle => x <= y,
+            FOgt => x > y,
+            FOge => x >= y,
+            _ => unreachable!("int predicate on float meta"),
+        };
+    }
+    let mask = m.mask();
+    let (a, b) = (a & mask, b & mask);
+    let (sa, sb) = (sext(a, m.bits), sext(b, m.bits));
+    match pred {
+        Eq => a == b,
+        Ne => a != b,
+        Ult => a < b,
+        Ule => a <= b,
+        Ugt => a > b,
+        Uge => a >= b,
+        Slt => sa < sb,
+        Sle => sa <= sb,
+        Sgt => sa > sb,
+        Sge => sa >= sb,
+        FOeq | FOne | FOlt | FOle | FOgt | FOge => unreachable!("float predicate on int meta"),
+    }
+}
+
+fn scalar_cast(op: CastOp, from: &VMeta, to: &VMeta, v: u64) -> u64 {
+    match op {
+        CastOp::Trunc => v & to.mask(),
+        CastOp::ZExt => v & from.mask(),
+        CastOp::SExt => (sext(v & from.mask(), from.bits) as u64) & to.mask(),
+        CastOp::FpTrunc => u64::from((f64::from_bits(v) as f32).to_bits()),
+        CastOp::FpExt => f64::from(f32::from_bits(v as u32)).to_bits(),
+        CastOp::FpToSi => {
+            let x = if from.bits == 32 { f64::from(f32::from_bits(v as u32)) } else { f64::from_bits(v) };
+            (x as i64 as u64) & to.mask()
+        }
+        CastOp::FpToUi => {
+            let x = if from.bits == 32 { f64::from(f32::from_bits(v as u32)) } else { f64::from_bits(v) };
+            (x as u64) & to.mask()
+        }
+        CastOp::SiToFp => {
+            let x = sext(v & from.mask(), from.bits) as f64;
+            if to.bits == 32 {
+                u64::from((x as f32).to_bits())
+            } else {
+                x.to_bits()
+            }
+        }
+        CastOp::UiToFp => {
+            let x = (v & from.mask()) as f64;
+            if to.bits == 32 {
+                u64::from((x as f32).to_bits())
+            } else {
+                x.to_bits()
+            }
+        }
+        CastOp::Bitcast | CastOp::PtrToInt | CastOp::IntToPtr => v,
+    }
+}
+
+fn rmw(op: RmwOp, m: &VMeta, old: u64, val: u64) -> u64 {
+    let mask = m.mask();
+    let val = val & mask;
+    let r = match op {
+        RmwOp::Add => old.wrapping_add(val),
+        RmwOp::Sub => old.wrapping_sub(val),
+        RmwOp::And => old & val,
+        RmwOp::Or => old | val,
+        RmwOp::Xor => old ^ val,
+        RmwOp::Xchg => val,
+        RmwOp::UMax => old.max(val),
+        RmwOp::UMin => old.min(val),
+    };
+    r & mask
+}
+
+/// Abramowitz & Stegun 7.1.26 rational approximation of `erf` (the host
+/// stand-in for libm's `erf`, used by the Black–Scholes CNDF).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::Program;
+    use elzar_ir::builder::{c64, cf64, FuncBuilder};
+    use elzar_ir::{BinOp, Builtin, CmpPred, Module, Ty};
+
+    fn run(m: &Module, entry: &str) -> RunResult {
+        let p = Program::lower(m);
+        run_program(&p, entry, &[], MachineConfig::default())
+    }
+
+    fn run_input(m: &Module, entry: &str, input: &[u8]) -> RunResult {
+        let p = Program::lower(m);
+        run_program(&p, entry, input, MachineConfig::default())
+    }
+
+    #[test]
+    fn returns_value() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let x = b.add(c64(40), c64(2));
+        b.ret(x);
+        m.add_func(b.finish());
+        let r = run(&m, "main");
+        assert_eq!(r.outcome, RunOutcome::Exited(42));
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn loop_sums() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let acc_ptr = b.alloca(Ty::I64, c64(1));
+        b.store(Ty::I64, c64(0), acc_ptr);
+        b.counted_loop(c64(0), c64(100), |b, i| {
+            let acc = b.load(Ty::I64, acc_ptr);
+            let s = b.add(acc, i);
+            b.store(Ty::I64, s, acc_ptr);
+        });
+        let fin = b.load(Ty::I64, acc_ptr);
+        b.ret(fin);
+        m.add_func(b.finish());
+        let r = run(&m, "main");
+        assert_eq!(r.outcome, RunOutcome::Exited(4950));
+        assert!(r.counters.loads >= 100);
+        assert!(r.counters.branches >= 100);
+    }
+
+    #[test]
+    fn output_and_input_builtins() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let p = b.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let n = b.call_builtin(Builtin::InputLen, vec![], Ty::I64).unwrap();
+        b.call_builtin(Builtin::Output, vec![p.into(), n.into()], Ty::Void);
+        b.ret(n);
+        m.add_func(b.finish());
+        let r = run_input(&m, "main", b"hello");
+        assert_eq!(r.outcome, RunOutcome::Exited(5));
+        assert_eq!(r.output, b"hello");
+    }
+
+    #[test]
+    fn vector_pipeline_checks_out() {
+        // Replicate 7 into 4 lanes, add splat(35), check all lanes equal.
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let v7 = b.splat(c64(7), 4);
+        let v35 = b.splat(c64(35), 4);
+        let sum = b.bin(BinOp::Add, Ty::vec(Ty::I64, 4), v7, v35);
+        let rot = b.shuffle(sum, vec![1, 2, 3, 0]);
+        let diff = b.bin(BinOp::Xor, Ty::vec(Ty::I64, 4), sum, rot);
+        let flags = b.ptest(diff);
+        let ok = b.block("ok");
+        let bad = b.block("bad");
+        b.ptest_br(flags, ok, bad, bad);
+        b.switch_to(ok);
+        let x = b.extract(sum, 0);
+        b.ret(x);
+        b.switch_to(bad);
+        b.ret(c64(-1));
+        m.add_func(b.finish());
+        let r = run(&m, "main");
+        assert_eq!(r.outcome, RunOutcome::Exited(42));
+        assert!(r.counters.avx_instrs >= 5);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let z = b.add(c64(0), c64(0));
+        let d = b.bin(BinOp::SDiv, Ty::I64, c64(1), z);
+        b.ret(d);
+        m.add_func(b.finish());
+        let r = run(&m, "main");
+        assert_eq!(r.outcome, RunOutcome::Trapped(Trap::DivByZero));
+    }
+
+    #[test]
+    fn null_deref_segfaults() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let v = b.load(Ty::I64, elzar_ir::Operand::Imm(elzar_ir::Const::null()));
+        b.ret(v);
+        m.add_func(b.finish());
+        let r = run(&m, "main");
+        assert!(matches!(r.outcome, RunOutcome::Trapped(Trap::Segfault(_))));
+    }
+
+    #[test]
+    fn function_calls_and_floats() {
+        let mut m = Module::new("t");
+        let mut g = FuncBuilder::new("square", vec![Ty::F64], Ty::F64);
+        let x = g.param(0);
+        let r = g.bin(BinOp::FMul, Ty::F64, x, x);
+        g.ret(r);
+        let gid = m.add_func(g.finish());
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let s = b.call(gid, vec![cf64(1.5)], Ty::F64).unwrap();
+        b.call_builtin(Builtin::OutputF64, vec![s.into()], Ty::Void);
+        b.ret(c64(0));
+        m.add_func(b.finish());
+        let r = run(&m, "main");
+        assert_eq!(r.outcome, RunOutcome::Exited(0));
+        let bits = u64::from_le_bytes(r.output[..8].try_into().unwrap());
+        assert_eq!(f64::from_bits(bits), 2.25);
+    }
+
+    #[test]
+    fn threads_spawn_join_and_share_memory() {
+        let mut m = Module::new("t");
+        // worker(slot_ptr): *slot_ptr = 21; returns tid arg * 2.
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        let arg = w.param(0);
+        let two = w.mul(arg, c64(2));
+        w.ret(two);
+        let wid = m.add_func(w.finish());
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let t1 = b
+            .call_builtin(Builtin::Spawn, vec![c64(wid.0 as i64), c64(10)], Ty::I64)
+            .unwrap();
+        let t2 = b
+            .call_builtin(Builtin::Spawn, vec![c64(wid.0 as i64), c64(11)], Ty::I64)
+            .unwrap();
+        let r1 = b.call_builtin(Builtin::Join, vec![t1.into()], Ty::I64).unwrap();
+        let r2 = b.call_builtin(Builtin::Join, vec![t2.into()], Ty::I64).unwrap();
+        let s = b.add(r1, r2);
+        b.ret(s);
+        m.add_func(b.finish());
+        let r = run(&m, "main");
+        assert_eq!(r.outcome, RunOutcome::Exited(42));
+        assert_eq!(r.thread_cycles.len(), 3);
+    }
+
+    #[test]
+    fn locks_serialize_virtual_time() {
+        // Two workers increment a shared counter under a mutex 1000 times.
+        let mut m = Module::new("t");
+        let mutex_off = m.alloc_global(8) as i64;
+        let ctr_off = m.alloc_global(8) as i64;
+        let mutex = crate::memory::GLOBAL_BASE as i64 + mutex_off;
+        let ctr = crate::memory::GLOBAL_BASE as i64 + ctr_off;
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        w.counted_loop(c64(0), c64(1000), |b, _i| {
+            b.critical_section(c64(mutex), |b| {
+                let v = b.load(Ty::I64, c64(ctr));
+                let v2 = b.add(v, c64(1));
+                b.store(Ty::I64, v2, c64(ctr));
+            });
+        });
+        w.ret(c64(0));
+        let wid = m.add_func(w.finish());
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let t1 = b.call_builtin(Builtin::Spawn, vec![c64(wid.0 as i64), c64(0)], Ty::I64).unwrap();
+        let t2 = b.call_builtin(Builtin::Spawn, vec![c64(wid.0 as i64), c64(0)], Ty::I64).unwrap();
+        b.call_builtin(Builtin::Join, vec![t1.into()], Ty::I64).unwrap();
+        b.call_builtin(Builtin::Join, vec![t2.into()], Ty::I64).unwrap();
+        let v = b.load(Ty::I64, c64(ctr));
+        b.ret(v);
+        m.add_func(b.finish());
+        let r = run(&m, "main");
+        assert_eq!(r.outcome, RunOutcome::Exited(2000));
+    }
+
+    #[test]
+    fn atomics_count_correctly() {
+        let mut m = Module::new("t");
+        let ctr = crate::memory::GLOBAL_BASE as i64;
+        let _ = m.alloc_global(8);
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        w.counted_loop(c64(0), c64(500), |b, _i| {
+            b.atomic_rmw(elzar_ir::RmwOp::Add, Ty::I64, c64(ctr), c64(1));
+        });
+        w.ret(c64(0));
+        let wid = m.add_func(w.finish());
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let t1 = b.call_builtin(Builtin::Spawn, vec![c64(wid.0 as i64), c64(0)], Ty::I64).unwrap();
+        let t2 = b.call_builtin(Builtin::Spawn, vec![c64(wid.0 as i64), c64(0)], Ty::I64).unwrap();
+        b.call_builtin(Builtin::Join, vec![t1.into()], Ty::I64).unwrap();
+        b.call_builtin(Builtin::Join, vec![t2.into()], Ty::I64).unwrap();
+        let v = b.load(Ty::I64, c64(ctr));
+        b.ret(v);
+        m.add_func(b.finish());
+        let r = run(&m, "main");
+        assert_eq!(r.outcome, RunOutcome::Exited(1000));
+    }
+
+    #[test]
+    fn step_limit_reports_hang() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let spin = b.block("spin");
+        b.br(spin);
+        b.switch_to(spin);
+        b.br(spin);
+        m.add_func(b.finish());
+        let p = Program::lower(&m);
+        let cfg = MachineConfig { step_limit: 10_000, ..MachineConfig::default() };
+        let r = run_program(&p, "main", &[], cfg);
+        assert_eq!(r.outcome, RunOutcome::StepLimit);
+    }
+
+    #[test]
+    fn fault_injection_flips_destination() {
+        // main returns x = 40 + 2; inject into the add's destination.
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let x = b.add(c64(40), c64(2));
+        b.ret(x);
+        m.add_func(b.finish());
+        let p = Program::lower(&m);
+        let cfg = MachineConfig {
+            fault: Some(FaultPlan { index: 1, bit: 0 }),
+            ..MachineConfig::default()
+        };
+        let r = run_program(&p, "main", &[], cfg);
+        assert_eq!(r.outcome, RunOutcome::Exited(43)); // 42 ^ 1
+    }
+
+    #[test]
+    fn recover_builtin_corrects_single_lane() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let v = b.splat(c64(7), 4);
+        let bad = b.insert(v, c64(9), 2); // corrupt lane 2
+        let fixed = b
+            .call_builtin(Builtin::Recover, vec![bad.into()], Ty::vec(Ty::I64, 4))
+            .unwrap();
+        let x = b.extract(fixed, 2);
+        b.ret(x);
+        m.add_func(b.finish());
+        let r = run(&m, "main");
+        assert_eq!(r.outcome, RunOutcome::Exited(7));
+        assert_eq!(r.corrections, 1);
+    }
+
+    #[test]
+    fn recover_two_two_split_is_unrecoverable() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let v = b.splat(c64(7), 4);
+        let v1 = b.insert(v, c64(9), 2);
+        let v2 = b.insert(v1, c64(9), 3);
+        let fixed = b.call_builtin(Builtin::Recover, vec![v2.into()], Ty::vec(Ty::I64, 4)).unwrap();
+        let x = b.extract(fixed, 0);
+        b.ret(x);
+        m.add_func(b.finish());
+        let r = run(&m, "main");
+        assert_eq!(r.outcome, RunOutcome::Trapped(Trap::Unrecoverable));
+    }
+
+    #[test]
+    fn memcpy_and_memcmp() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let buf = b.call_builtin(Builtin::Malloc, vec![c64(4096)], Ty::Ptr).unwrap();
+        let buf2 = b.call_builtin(Builtin::Malloc, vec![c64(4096)], Ty::Ptr).unwrap();
+        b.call_builtin(Builtin::Memset, vec![buf.into(), c64(0xAB), c64(4096)], Ty::Void);
+        b.call_builtin(Builtin::Memcpy, vec![buf2.into(), buf.into(), c64(4096)], Ty::Void);
+        let c = b
+            .call_builtin(Builtin::Memcmp, vec![buf.into(), buf2.into(), c64(4096)], Ty::I64)
+            .unwrap();
+        b.ret(c);
+        m.add_func(b.finish());
+        let r = run(&m, "main");
+        assert_eq!(r.outcome, RunOutcome::Exited(0));
+        assert!(r.counters.stores >= 64, "memset/memcpy charge vector stores");
+    }
+
+    #[test]
+    fn esoteric_int_widths_wrap_correctly() {
+        // i9 arithmetic: 511 + 1 wraps to 0 (§III-D esoteric types).
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let t9 = Ty::int(9);
+        let x = b.bin(BinOp::Add, t9.clone(), elzar_ir::Const::int(9, 511), elzar_ir::Const::int(9, 1));
+        let wide = b.cast(elzar_ir::CastOp::ZExt, x, Ty::I64);
+        b.ret(wide);
+        m.add_func(b.finish());
+        let r = run(&m, "main");
+        assert_eq!(r.outcome, RunOutcome::Exited(0));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let acc = b.alloca(Ty::I64, c64(1));
+        b.store(Ty::I64, c64(1), acc);
+        b.counted_loop(c64(0), c64(5000), |b, i| {
+            let v = b.load(Ty::I64, acc);
+            let v2 = b.mul(v, c64(3));
+            let v3 = b.add(v2, i);
+            b.store(Ty::I64, v3, acc);
+        });
+        let v = b.load(Ty::I64, acc);
+        b.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
+        b.ret(c64(0));
+        m.add_func(b.finish());
+        let r1 = run(&m, "main");
+        let r2 = run(&m, "main");
+        assert_eq!(r1.output, r2.output);
+        assert_eq!(r1.cycles, r2.cycles);
+        assert_eq!(r1.steps, r2.steps);
+        assert_eq!(r1.eligible, r2.eligible);
+    }
+}

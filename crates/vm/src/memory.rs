@@ -1,0 +1,274 @@
+//! Flat process memory with a fixed layout and trap-reporting accesses.
+//!
+//! The VM models a single protected (ECC) memory shared by all threads —
+//! the paper's fault model excludes memory faults (§III-A), so memory holds
+//! exactly one copy of the state while registers are replicated.
+//!
+//! Layout (byte addresses):
+//!
+//! ```text
+//! 0x0000_0000 .. 0x0000_1000   unmapped null page (access ⇒ segfault)
+//! 0x0001_0000 .. +globals      module globals
+//! 0x0100_0000 .. +input        read-only input segment
+//! 0x0400_0000 .. stacks        heap (bump allocator, grows up)
+//! top - N*2MB .. top           per-thread stacks (grow down)
+//! ```
+
+use std::fmt;
+
+/// Base address of the global data segment.
+pub const GLOBAL_BASE: u64 = 0x0001_0000;
+/// Base address of the input segment.
+pub const INPUT_BASE: u64 = 0x0100_0000;
+/// Base address of the heap.
+pub const HEAP_BASE: u64 = 0x0400_0000;
+/// Per-thread stack size.
+pub const STACK_SIZE: u64 = 2 * 1024 * 1024;
+/// Default total memory size.
+pub const DEFAULT_MEM_SIZE: u64 = 0x1000_0000; // 256 MB
+
+/// Faults detected by the machine ("OS-detected" outcomes in Table I).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Trap {
+    /// Out-of-range or null-page access.
+    Segfault(u64),
+    /// Misaligned scalar access.
+    Misaligned(u64),
+    /// Integer division by zero (or `MIN / -1`).
+    DivByZero,
+    /// Reached an `unreachable` terminator.
+    Unreachable,
+    /// Heap exhausted.
+    OutOfMemory,
+    /// Stack overflow.
+    StackOverflow,
+    /// ELZAR extended recovery found a 2+2 split — no majority (§III-C).
+    Unrecoverable,
+    /// Indirect spawn/call to a bad function index.
+    BadFunction,
+    /// Every live thread is blocked.
+    Deadlock,
+    /// Call depth exceeded.
+    CallDepth,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::Segfault(a) => write!(f, "segmentation fault at {a:#x}"),
+            Trap::Misaligned(a) => write!(f, "misaligned access at {a:#x}"),
+            Trap::DivByZero => write!(f, "integer division by zero"),
+            Trap::Unreachable => write!(f, "executed unreachable"),
+            Trap::OutOfMemory => write!(f, "heap exhausted"),
+            Trap::StackOverflow => write!(f, "stack overflow"),
+            Trap::Unrecoverable => write!(f, "majority voting found no majority (2+2 split)"),
+            Trap::BadFunction => write!(f, "invalid function reference"),
+            Trap::Deadlock => write!(f, "all threads blocked"),
+            Trap::CallDepth => write!(f, "call depth exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Flat byte-addressable memory.
+#[derive(Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    heap_next: u64,
+    heap_limit: u64,
+}
+
+impl Memory {
+    /// Create memory of `size` bytes, install `globals` at
+    /// [`GLOBAL_BASE`] and `input` at [`INPUT_BASE`], and reserve
+    /// `max_threads` stacks at the top.
+    ///
+    /// # Panics
+    /// Panics if the segments do not fit.
+    pub fn new(size: u64, globals: &[u8], input: &[u8], max_threads: u32) -> Memory {
+        assert!(GLOBAL_BASE + globals.len() as u64 <= INPUT_BASE, "globals too large");
+        assert!(INPUT_BASE + input.len() as u64 <= HEAP_BASE, "input too large");
+        let stacks = u64::from(max_threads) * STACK_SIZE;
+        assert!(HEAP_BASE + stacks < size, "memory too small");
+        let mut bytes = vec![0u8; size as usize];
+        bytes[GLOBAL_BASE as usize..GLOBAL_BASE as usize + globals.len()].copy_from_slice(globals);
+        bytes[INPUT_BASE as usize..INPUT_BASE as usize + input.len()].copy_from_slice(input);
+        Memory { bytes, heap_next: HEAP_BASE, heap_limit: size - stacks }
+    }
+
+    /// Total size.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Initial stack pointer for thread `tid` (stacks grow down).
+    pub fn stack_top(&self, tid: u32) -> u64 {
+        self.size() - u64::from(tid) * STACK_SIZE
+    }
+
+    /// Lowest valid stack address for thread `tid`.
+    pub fn stack_limit(&self, tid: u32) -> u64 {
+        self.stack_top(tid) - STACK_SIZE
+    }
+
+    /// Bump-allocate `size` heap bytes (32-byte aligned).
+    ///
+    /// # Errors
+    /// [`Trap::OutOfMemory`] when the heap meets the stack region.
+    pub fn malloc(&mut self, size: u64) -> Result<u64, Trap> {
+        let base = (self.heap_next + 31) & !31;
+        let end = base.checked_add(size).ok_or(Trap::OutOfMemory)?;
+        if end > self.heap_limit {
+            return Err(Trap::OutOfMemory);
+        }
+        self.heap_next = end;
+        Ok(base)
+    }
+
+    fn check(&self, addr: u64, size: u64) -> Result<(), Trap> {
+        if addr < 0x1000 {
+            return Err(Trap::Segfault(addr));
+        }
+        let end = addr.checked_add(size).ok_or(Trap::Segfault(addr))?;
+        if end > self.bytes.len() as u64 {
+            return Err(Trap::Segfault(addr));
+        }
+        Ok(())
+    }
+
+    /// Load `size ∈ {1,2,4,8}` bytes little-endian (zero-extended).
+    ///
+    /// # Errors
+    /// Traps on out-of-range access.
+    pub fn load(&self, addr: u64, size: u32) -> Result<u64, Trap> {
+        self.check(addr, u64::from(size))?;
+        let a = addr as usize;
+        let mut v = 0u64;
+        for i in 0..size as usize {
+            v |= u64::from(self.bytes[a + i]) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Store `size ∈ {1,2,4,8}` bytes little-endian.
+    ///
+    /// # Errors
+    /// Traps on out-of-range access.
+    pub fn store(&mut self, addr: u64, size: u32, val: u64) -> Result<(), Trap> {
+        self.check(addr, u64::from(size))?;
+        let a = addr as usize;
+        for i in 0..size as usize {
+            self.bytes[a + i] = (val >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Borrow a byte range.
+    ///
+    /// # Errors
+    /// Traps on out-of-range access.
+    pub fn slice(&self, addr: u64, len: u64) -> Result<&[u8], Trap> {
+        self.check(addr, len)?;
+        Ok(&self.bytes[addr as usize..(addr + len) as usize])
+    }
+
+    /// Mutably borrow a byte range.
+    ///
+    /// # Errors
+    /// Traps on out-of-range access.
+    pub fn slice_mut(&mut self, addr: u64, len: u64) -> Result<&mut [u8], Trap> {
+        self.check(addr, len)?;
+        Ok(&mut self.bytes[addr as usize..(addr + len) as usize])
+    }
+
+    /// memmove-style copy (handles overlap).
+    ///
+    /// # Errors
+    /// Traps when either range is invalid.
+    pub fn copy(&mut self, dst: u64, src: u64, len: u64) -> Result<(), Trap> {
+        self.check(src, len)?;
+        self.check(dst, len)?;
+        self.bytes.copy_within(src as usize..(src + len) as usize, dst as usize);
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Memory({} bytes, heap at {:#x})", self.bytes.len(), self.heap_next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(DEFAULT_MEM_SIZE, &[1, 2, 3, 4], &[9, 9], 4)
+    }
+
+    #[test]
+    fn layout_places_segments() {
+        let m = mem();
+        assert_eq!(m.load(GLOBAL_BASE, 4).unwrap(), 0x04030201);
+        assert_eq!(m.load(INPUT_BASE, 2).unwrap(), 0x0909);
+    }
+
+    #[test]
+    fn null_page_faults() {
+        let m = mem();
+        assert_eq!(m.load(0, 8), Err(Trap::Segfault(0)));
+        assert_eq!(m.load(0xFFF, 1), Err(Trap::Segfault(0xFFF)));
+        assert!(m.load(0x1000 + GLOBAL_BASE, 1).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let mut m = mem();
+        let top = m.size();
+        assert!(matches!(m.load(top, 1), Err(Trap::Segfault(_))));
+        assert!(matches!(m.store(top - 4, 8, 1), Err(Trap::Segfault(_))));
+        assert!(m.store(top - 8, 8, 1).is_ok());
+    }
+
+    #[test]
+    fn load_store_roundtrip_le() {
+        let mut m = mem();
+        m.store(HEAP_BASE, 8, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(m.load(HEAP_BASE, 8).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(m.load(HEAP_BASE, 1).unwrap(), 0x88);
+        assert_eq!(m.load(HEAP_BASE + 7, 1).unwrap(), 0x11);
+        m.store(HEAP_BASE + 16, 2, 0xABCD).unwrap();
+        assert_eq!(m.load(HEAP_BASE + 16, 4).unwrap(), 0xABCD);
+    }
+
+    #[test]
+    fn malloc_bumps_and_exhausts() {
+        let mut m = Memory::new(HEAP_BASE + 4 * STACK_SIZE + 1024 * 1024, &[], &[], 1);
+        let a = m.malloc(100).unwrap();
+        let b = m.malloc(100).unwrap();
+        assert_eq!(a % 32, 0);
+        assert!(b >= a + 100);
+        assert!(m.malloc(1 << 40).is_err());
+    }
+
+    #[test]
+    fn stacks_are_disjoint_per_thread() {
+        let m = mem();
+        assert_eq!(m.stack_top(0), m.size());
+        assert_eq!(m.stack_top(1), m.size() - STACK_SIZE);
+        assert!(m.stack_limit(0) >= m.stack_top(1));
+    }
+
+    #[test]
+    fn overlapping_copy_is_memmove() {
+        let mut m = mem();
+        for i in 0..16 {
+            m.store(HEAP_BASE + i, 1, i).unwrap();
+        }
+        m.copy(HEAP_BASE + 4, HEAP_BASE, 12).unwrap();
+        assert_eq!(m.load(HEAP_BASE + 4, 1).unwrap(), 0);
+        assert_eq!(m.load(HEAP_BASE + 15, 1).unwrap(), 11);
+    }
+}

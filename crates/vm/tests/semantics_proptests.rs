@@ -1,0 +1,142 @@
+//! Property tests for the VM's scalar/vector semantics: IR arithmetic
+//! must agree with host arithmetic, memory must round-trip, and vector
+//! ops must behave lane-wise like their scalar twins.
+
+use elzar_ir::builder::{c64, FuncBuilder};
+use elzar_ir::{BinOp, Builtin, CastOp, CmpPred, Const, Module, Operand, Ty};
+use elzar_vm::{run_program, MachineConfig, Program, RunOutcome};
+use proptest::prelude::*;
+
+fn run_expr(build: impl FnOnce(&mut FuncBuilder) -> elzar_ir::ValueId) -> i64 {
+    let mut m = Module::new("prop");
+    let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+    let v = build(&mut b);
+    b.ret(v);
+    m.add_func(b.finish());
+    let r = run_program(&Program::lower(&m), "main", &[], MachineConfig::default());
+    match r.outcome {
+        RunOutcome::Exited(x) => x,
+        other => panic!("trapped: {other:?}"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn int_arithmetic_matches_host(a: i64, b: i64) {
+        let ops: [(BinOp, fn(i64, i64) -> i64); 6] = [
+            (BinOp::Add, i64::wrapping_add),
+            (BinOp::Sub, i64::wrapping_sub),
+            (BinOp::Mul, i64::wrapping_mul),
+            (BinOp::And, |x, y| x & y),
+            (BinOp::Or, |x, y| x | y),
+            (BinOp::Xor, |x, y| x ^ y),
+        ];
+        for (op, host) in ops {
+            let got = run_expr(|bb| bb.bin(op, Ty::I64, c64(a), c64(b)));
+            prop_assert_eq!(got, host(a, b), "{:?}", op);
+        }
+    }
+
+    #[test]
+    fn guarded_division_matches_host(a: i64, b: i64) {
+        let d = b | 1; // never zero
+        let got = run_expr(|bb| {
+            let safe = bb.bin(BinOp::Or, Ty::I64, c64(b), c64(1));
+            bb.bin(BinOp::UDiv, Ty::I64, c64(a), safe)
+        });
+        prop_assert_eq!(got as u64, (a as u64) / (d as u64));
+    }
+
+    #[test]
+    fn comparisons_match_host(a: i64, b: i64) {
+        let preds: [(CmpPred, fn(i64, i64) -> bool); 4] = [
+            (CmpPred::Eq, |x, y| x == y),
+            (CmpPred::Slt, |x, y| x < y),
+            (CmpPred::Sge, |x, y| x >= y),
+            (CmpPred::Ult, |x, y| (x as u64) < (y as u64)),
+        ];
+        for (p, host) in preds {
+            let got = run_expr(|bb| {
+                let c = bb.icmp(p, c64(a), c64(b));
+                bb.cast(CastOp::ZExt, c, Ty::I64)
+            });
+            prop_assert_eq!(got != 0, host(a, b), "{:?}", p);
+        }
+    }
+
+    #[test]
+    fn float_arithmetic_matches_host(a in -1.0e6f64..1.0e6, b in -1.0e6f64..1.0e6) {
+        let got = run_expr(|bb| {
+            let x = bb.bin(BinOp::FMul, Ty::F64, Operand::Imm(Const::f64(a)), Operand::Imm(Const::f64(b)));
+            let y = bb.bin(BinOp::FAdd, Ty::F64, x, Operand::Imm(Const::f64(1.5)));
+            bb.cast(CastOp::Bitcast, y, Ty::I64)
+        });
+        prop_assert_eq!(f64::from_bits(got as u64), a * b + 1.5);
+    }
+
+    #[test]
+    fn memory_roundtrips_all_widths(v: u64, off in 0u64..64) {
+        for (ty, bytes) in [(Ty::I8, 1u64), (Ty::I16, 2), (Ty::I32, 4), (Ty::I64, 8)] {
+            let mask = if bytes == 8 { u64::MAX } else { (1u64 << (bytes * 8)) - 1 };
+            let ty2 = ty.clone();
+            let got = run_expr(move |bb| {
+                let buf = bb.call_builtin(Builtin::Malloc, vec![c64(1024)], Ty::Ptr).unwrap();
+                let p = bb.gep(buf, c64((off * bytes) as i64), bytes as u32);
+                bb.store(ty2.clone(), Operand::Imm(Const::int((bytes * 8) as u8, v)), p);
+                let l = bb.load(ty2.clone(), p);
+                bb.cast(CastOp::ZExt, l, Ty::I64)
+            });
+            prop_assert_eq!(got as u64, v & mask, "{}", ty);
+        }
+    }
+
+    /// Lane-wise vector arithmetic equals per-lane scalar arithmetic.
+    #[test]
+    fn vector_ops_are_lanewise(a: i64, b: i64, lane in 0u8..4) {
+        let got = run_expr(|bb| {
+            let va = bb.splat(c64(a), 4);
+            let vb = bb.splat(c64(b), 4);
+            let vs = bb.bin(BinOp::Mul, Ty::vec(Ty::I64, 4), va, vb);
+            bb.extract(vs, lane)
+        });
+        prop_assert_eq!(got, a.wrapping_mul(b));
+    }
+
+    /// Shift semantics: amounts reduce modulo the width, as on x86.
+    #[test]
+    fn shifts_reduce_modulo_width(a: i64, s in 0u32..256) {
+        let got = run_expr(|bb| bb.bin(BinOp::Shl, Ty::I64, c64(a), c64(i64::from(s))));
+        prop_assert_eq!(got, a.wrapping_shl(s % 64));
+    }
+
+    /// Esoteric widths wrap at their logical width (§III-D).
+    #[test]
+    fn i9_wraps_at_512(a in 0u64..512, b in 0u64..512) {
+        let got = run_expr(|bb| {
+            let x = bb.bin(BinOp::Add, Ty::int(9), Operand::Imm(Const::int(9, a)), Operand::Imm(Const::int(9, b)));
+            bb.cast(CastOp::ZExt, x, Ty::I64)
+        });
+        prop_assert_eq!(got as u64, (a + b) % 512);
+    }
+
+    /// Cycle accounting is monotone in work.
+    #[test]
+    fn more_iterations_cost_more_cycles(n in 1i64..200) {
+        let cycles = |iters: i64| {
+            let mut m = Module::new("c");
+            let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+            let acc = b.alloca(Ty::I64, c64(1));
+            b.store(Ty::I64, c64(0), acc);
+            b.counted_loop(c64(0), c64(iters), |b, i| {
+                let v = b.load(Ty::I64, acc);
+                let s = b.add(v, i);
+                b.store(Ty::I64, s, acc);
+            });
+            let v = b.load(Ty::I64, acc);
+            b.ret(v);
+            m.add_func(b.finish());
+            run_program(&Program::lower(&m), "main", &[], MachineConfig::default()).cycles
+        };
+        prop_assert!(cycles(n + 50) > cycles(n));
+    }
+}

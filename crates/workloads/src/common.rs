@@ -1,0 +1,189 @@
+//! Shared scaffolding for benchmark kernels: the fork/join skeleton every
+//! multithreaded Phoenix/PARSEC workload uses, chunk partitioning, and
+//! input plumbing.
+
+use elzar_ir::builder::{c64, FuncBuilder};
+use elzar_ir::{Builtin, CmpPred, Module, Operand, Ty, ValueId};
+
+/// Problem-size selector. `Tiny` is for fault-injection campaigns (the
+/// paper used the smallest inputs there, §V-A), `Small` for quick tests,
+/// `Large` for the performance evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Smallest runnable size (fault-injection campaigns).
+    Tiny,
+    /// CI-sized runs.
+    Small,
+    /// Performance-evaluation size.
+    Large,
+}
+
+impl Scale {
+    /// Pick one of three values by scale.
+    pub fn pick<T: Copy>(self, tiny: T, small: T, large: T) -> T {
+        match self {
+            Scale::Tiny => tiny,
+            Scale::Small => small,
+            Scale::Large => large,
+        }
+    }
+}
+
+/// Build parameters common to all workloads.
+#[derive(Clone, Copy, Debug)]
+pub struct Params {
+    /// Worker thread count (the paper sweeps 1..16).
+    pub threads: u32,
+    /// Problem size.
+    pub scale: Scale,
+}
+
+impl Params {
+    /// Convenience constructor.
+    pub fn new(threads: u32, scale: Scale) -> Params {
+        Params { threads, scale }
+    }
+}
+
+/// Emit `start = tid * (n / T)`, `end = (tid == T-1) ? n : start + n/T`
+/// for a compile-time `n` and `T`. Returns `(start, end)`.
+pub fn chunk_bounds(b: &mut FuncBuilder, tid: ValueId, n: i64, threads: u32) -> (Operand, Operand) {
+    let t = i64::from(threads);
+    let chunk = n / t;
+    let start = b.mul(tid, c64(chunk));
+    let is_last = b.icmp(CmpPred::Eq, tid, c64(t - 1));
+    let plus = b.add(start, c64(chunk));
+    let end = b.select(is_last, c64(n), plus);
+    (start.into(), end.into())
+}
+
+/// Build the canonical fork/join `main`:
+///
+/// 1. `setup(b)` runs first (allocate/etc.);
+/// 2. `threads` workers are spawned running `worker` with their thread id;
+/// 3. after all joins, `finish(b, results_sum)` runs with the sum of the
+///    workers' return values, and must terminate `main` (`ret`).
+///
+/// The worker function must already be in the module and take one `i64`
+/// (the tid), returning `i64`.
+pub fn fork_join_main(
+    m: &mut Module,
+    worker: elzar_ir::FuncId,
+    threads: u32,
+    setup: impl FnOnce(&mut FuncBuilder),
+    finish: impl FnOnce(&mut FuncBuilder, ValueId),
+) {
+    let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+    setup(&mut b);
+    let mut tids = vec![];
+    for t in 0..threads {
+        let tid = b
+            .call_builtin(Builtin::Spawn, vec![c64(worker.0 as i64), c64(i64::from(t))], Ty::I64)
+            .expect("spawn returns");
+        tids.push(tid);
+    }
+    let mut sum = b.add(c64(0), c64(0));
+    for t in tids {
+        let r = b.call_builtin(Builtin::Join, vec![t.into()], Ty::I64).expect("join returns");
+        sum = b.add(sum, r);
+    }
+    finish(&mut b, sum);
+    m.add_func(b.finish());
+}
+
+/// Deterministic 64-bit LCG step usable from host input generators.
+pub fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state
+}
+
+/// Emit an in-IR LCG step: `s' = s * A + C`, returns the new state value.
+pub fn emit_lcg(b: &mut FuncBuilder, s: impl Into<Operand>) -> ValueId {
+    let m = b.mul(s, c64(6364136223846793005u64 as i64));
+    b.add(m, c64(1442695040888963407u64 as i64))
+}
+
+/// Generate `n` random f64s in `[lo, hi)` as little-endian input bytes.
+pub fn gen_f64s(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<u8> {
+    let mut s = seed | 1;
+    let mut out = Vec::with_capacity(n * 8);
+    for _ in 0..n {
+        let r = lcg(&mut s);
+        let unit = (r >> 11) as f64 / (1u64 << 53) as f64;
+        out.extend_from_slice(&(lo + unit * (hi - lo)).to_le_bytes());
+    }
+    out
+}
+
+/// Generate `n` random i64s in `[0, bound)` as little-endian input bytes.
+pub fn gen_i64s(seed: u64, n: usize, bound: u64) -> Vec<u8> {
+    let mut s = seed | 1;
+    let mut out = Vec::with_capacity(n * 8);
+    for _ in 0..n {
+        out.extend_from_slice(&(lcg(&mut s) % bound).to_le_bytes());
+    }
+    out
+}
+
+/// Generate `n` random bytes.
+pub fn gen_bytes(seed: u64, n: usize) -> Vec<u8> {
+    let mut s = seed | 1;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((lcg(&mut s) >> 32) as u8);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elzar_vm::{run_program, MachineConfig, Program, RunOutcome};
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Tiny.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Large.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn fork_join_sums_worker_results() {
+        let mut m = Module::new("t");
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        let tid = w.param(0);
+        let (start, end) = chunk_bounds(&mut w, tid, 100, 4);
+        let d = w.sub(end, start);
+        w.ret(d);
+        let wid = m.add_func(w.finish());
+        fork_join_main(&mut m, wid, 4, |_b| {}, |b, sum| b.ret(sum));
+        let r = run_program(&Program::lower(&m), "main", &[], MachineConfig::default());
+        // Four chunks of 25 sum to 100.
+        assert_eq!(r.outcome, RunOutcome::Exited(100));
+        assert_eq!(r.thread_cycles.len(), 5);
+    }
+
+    #[test]
+    fn chunks_cover_exactly_with_remainder() {
+        let mut m = Module::new("t");
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        let tid = w.param(0);
+        let (start, end) = chunk_bounds(&mut w, tid, 103, 4);
+        let d = w.sub(end, start);
+        w.ret(d);
+        let wid = m.add_func(w.finish());
+        fork_join_main(&mut m, wid, 4, |_b| {}, |b, sum| b.ret(sum));
+        let r = run_program(&Program::lower(&m), "main", &[], MachineConfig::default());
+        assert_eq!(r.outcome, RunOutcome::Exited(103));
+    }
+
+    #[test]
+    fn host_generators_are_deterministic() {
+        assert_eq!(gen_f64s(7, 4, 0.0, 1.0), gen_f64s(7, 4, 0.0, 1.0));
+        assert_eq!(gen_i64s(7, 4, 100), gen_i64s(7, 4, 100));
+        assert_eq!(gen_bytes(7, 16), gen_bytes(7, 16));
+        for chunk in gen_f64s(1, 100, 2.0, 3.0).chunks(8) {
+            let v = f64::from_le_bytes(chunk.try_into().unwrap());
+            assert!((2.0..3.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Hardened libm: `exp`, `log` and a Newton `sqrt` implemented *in IR*.
+//!
+//! The paper hardens musl's libc/libm alongside the application (§IV-A)
+//! so that math-heavy benchmarks (blackscholes, swaptions) measure the
+//! cost of protected floating-point code. These functions are emitted as
+//! ordinary hardened IR functions, so every pass (ELZAR, SWIFT-R)
+//! transforms them together with their callers.
+//!
+//! Accuracy targets are benchmark-grade (~1e-9 relative), not
+//! correctly-rounded libm.
+
+use elzar_ir::builder::{c64, cf64, FuncBuilder};
+use elzar_ir::{BinOp, CastOp, CmpPred, FuncId, Module, Ty};
+
+/// Handles to the installed math functions.
+#[derive(Clone, Copy, Debug)]
+pub struct MathLib {
+    /// `exp_ir(f64) -> f64`.
+    pub exp: FuncId,
+    /// `log_ir(f64) -> f64` (natural log; x must be > 0).
+    pub log: FuncId,
+    /// `sqrt_ir(f64) -> f64` (x must be >= 0).
+    pub sqrt: FuncId,
+}
+
+/// Install the IR math library into a module.
+pub fn install(m: &mut Module) -> MathLib {
+    MathLib { exp: build_exp(m), log: build_log(m), sqrt: build_sqrt(m) }
+}
+
+/// Emit `exp(x)` inline into the current function (what `-O3` inlining
+/// produces at call sites): range-reduce by powers of two, then a
+/// degree-9 Taylor polynomial on `r ∈ [-ln2/2, ln2/2]`, recombined via
+/// exponent-bit construction of `2^n`.
+pub fn emit_exp(b: &mut FuncBuilder, x: impl Into<elzar_ir::Operand>) -> elzar_ir::ValueId {
+    let x = {
+        let op = x.into();
+        // Materialize as a value for repeated use.
+        b.bin(BinOp::FAdd, Ty::F64, op, cf64(0.0))
+    };
+    const LOG2E: f64 = std::f64::consts::LOG2_E;
+    const LN2: f64 = std::f64::consts::LN_2;
+    // n = round(x * log2e): add ±0.5 then truncate.
+    let scaled = b.bin(BinOp::FMul, Ty::F64, x, cf64(LOG2E));
+    let neg = b.fcmp(CmpPred::FOlt, scaled, cf64(0.0));
+    let half = b.select(neg, cf64(-0.5), cf64(0.5));
+    let biased = b.bin(BinOp::FAdd, Ty::F64, scaled, half);
+    let n = b.cast(CastOp::FpToSi, biased, Ty::I64);
+    // Clamp n to a safe exponent range so 2^n never overflows the bit trick.
+    let n = b.bin(BinOp::SMax, Ty::I64, n, c64(-1000));
+    let n = b.bin(BinOp::SMin, Ty::I64, n, c64(1000));
+    // r = x - n * ln2.
+    let nf = b.cast(CastOp::SiToFp, n, Ty::F64);
+    let nl = b.bin(BinOp::FMul, Ty::F64, nf, cf64(LN2));
+    let r = b.bin(BinOp::FSub, Ty::F64, x, nl);
+    // Taylor: 1 + r(1 + r/2(1 + r/3(… (1 + r/9)))) — degree 9.
+    let mut poly = cf64(1.0);
+    for k in (1..=9u32).rev() {
+        let div = b.bin(BinOp::FMul, Ty::F64, r, cf64(1.0 / f64::from(k)));
+        let t = b.bin(BinOp::FMul, Ty::F64, div, poly);
+        poly = b.bin(BinOp::FAdd, Ty::F64, cf64(1.0), t).into();
+    }
+    // 2^n via exponent bits: (n + 1023) << 52 reinterpreted as f64.
+    let biased_e = b.add(n, c64(1023));
+    let bits = b.bin(BinOp::Shl, Ty::I64, biased_e, c64(52));
+    let two_n = b.cast(CastOp::Bitcast, bits, Ty::F64);
+    b.bin(BinOp::FMul, Ty::F64, poly, two_n)
+}
+
+fn build_exp(m: &mut Module) -> FuncId {
+    let mut b = FuncBuilder::new("exp_ir", vec![Ty::F64], Ty::F64);
+    let x = b.param(0);
+    let out = emit_exp(&mut b, x);
+    b.ret(out);
+    m.add_func(b.finish())
+}
+
+/// Emit `log(x)` (x > 0) inline: split into exponent and mantissa
+/// `m ∈ [1, 2)`, then `ln(m) = 2 * atanh((m-1)/(m+1))` via an odd series.
+pub fn emit_log(b: &mut FuncBuilder, x: impl Into<elzar_ir::Operand>) -> elzar_ir::ValueId {
+    let x = {
+        let op = x.into();
+        b.bin(BinOp::FAdd, Ty::F64, op, cf64(0.0))
+    };
+    const LN2: f64 = std::f64::consts::LN_2;
+    let bits = b.cast(CastOp::Bitcast, x, Ty::I64);
+    let shifted = b.bin(BinOp::LShr, Ty::I64, bits, c64(52));
+    let emask = b.bin(BinOp::And, Ty::I64, shifted, c64(0x7FF));
+    let e = b.sub(emask, c64(1023));
+    // mantissa with exponent forced to 0 => m in [1,2).
+    let frac = b.bin(BinOp::And, Ty::I64, bits, c64(0x000F_FFFF_FFFF_FFFF));
+    let mant_bits = b.bin(BinOp::Or, Ty::I64, frac, c64(0x3FF0_0000_0000_0000));
+    let mant = b.cast(CastOp::Bitcast, mant_bits, Ty::F64);
+    // When m > sqrt(2), halve it and bump e for better convergence.
+    let big = b.fcmp(CmpPred::FOgt, mant, cf64(std::f64::consts::SQRT_2));
+    let mant_h = b.bin(BinOp::FMul, Ty::F64, mant, cf64(0.5));
+    let mant2 = b.select(big, mant_h, mant);
+    let e1 = b.add(e, c64(1));
+    let e2 = b.select(big, e1, e);
+    // t = (m-1)/(m+1); ln m = 2(t + t^3/3 + t^5/5 + t^7/7 + t^9/9).
+    let num = b.bin(BinOp::FSub, Ty::F64, mant2, cf64(1.0));
+    let den = b.bin(BinOp::FAdd, Ty::F64, mant2, cf64(1.0));
+    let t = b.bin(BinOp::FDiv, Ty::F64, num, den);
+    let t2 = b.bin(BinOp::FMul, Ty::F64, t, t);
+    // Horner over t^2: ((1/9 t2 + 1/7) t2 + 1/5) t2 + 1/3) t2 + 1.
+    let mut acc = cf64(1.0 / 9.0);
+    for c in [1.0 / 7.0, 1.0 / 5.0, 1.0 / 3.0, 1.0] {
+        let mul = b.bin(BinOp::FMul, Ty::F64, acc, t2);
+        acc = b.bin(BinOp::FAdd, Ty::F64, mul, cf64(c)).into();
+    }
+    let series = b.bin(BinOp::FMul, Ty::F64, t, acc);
+    let lnm = b.bin(BinOp::FMul, Ty::F64, series, cf64(2.0));
+    let ef = b.cast(CastOp::SiToFp, e2, Ty::F64);
+    let eln2 = b.bin(BinOp::FMul, Ty::F64, ef, cf64(LN2));
+    b.bin(BinOp::FAdd, Ty::F64, eln2, lnm)
+}
+
+fn build_log(m: &mut Module) -> FuncId {
+    let mut b = FuncBuilder::new("log_ir", vec![Ty::F64], Ty::F64);
+    let x = b.param(0);
+    let out = emit_log(&mut b, x);
+    b.ret(out);
+    m.add_func(b.finish())
+}
+
+/// Emit `sqrt(x)` (x >= 0) inline: exponent-halving initial guess plus
+/// four Newton iterations (`vsqrtpd`-class accuracy for benchmark data).
+pub fn emit_sqrt(b: &mut FuncBuilder, x: impl Into<elzar_ir::Operand>) -> elzar_ir::ValueId {
+    let x = {
+        let op = x.into();
+        b.bin(BinOp::FAdd, Ty::F64, op, cf64(0.0))
+    };
+    // Initial guess via the classic bit hack: g = bits/2 + (1023<<51).
+    let bits = b.cast(CastOp::Bitcast, x, Ty::I64);
+    let half_bits = b.bin(BinOp::LShr, Ty::I64, bits, c64(1));
+    let guess_bits = b.add(half_bits, c64(0x1FF8_0000_0000_0000));
+    let mut g: elzar_ir::Operand = b.cast(CastOp::Bitcast, guess_bits, Ty::F64).into();
+    for _ in 0..4 {
+        // g = 0.5 * (g + x / g)
+        let q = b.bin(BinOp::FDiv, Ty::F64, x, g.clone());
+        let s = b.bin(BinOp::FAdd, Ty::F64, g, q);
+        g = b.bin(BinOp::FMul, Ty::F64, s, cf64(0.5)).into();
+    }
+    // sqrt(0) must be 0 (the bit-hack guess would NaN via 0/0).
+    let zero = b.fcmp(CmpPred::FOle, x, cf64(0.0));
+    b.select(zero, cf64(0.0), g)
+}
+
+fn build_sqrt(m: &mut Module) -> FuncId {
+    let mut b = FuncBuilder::new("sqrt_ir", vec![Ty::F64], Ty::F64);
+    let x = b.param(0);
+    let out = emit_sqrt(&mut b, x);
+    b.ret(out);
+    m.add_func(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elzar_ir::Builtin;
+    use elzar_vm::{run_program, MachineConfig, Program};
+
+    fn eval(build: impl FnOnce(&mut Module, &MathLib, &mut FuncBuilder), xs: &[f64]) -> Vec<f64> {
+        let mut m = Module::new("t");
+        let lib = install(&mut m);
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        build(&mut m, &lib, &mut b);
+        let _ = xs;
+        m.add_func(b.finish());
+        let r = run_program(&Program::lower(&m), "main", &[], MachineConfig::default());
+        r.output
+            .chunks(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    fn check_fn(target: FnSel, xs: &[f64], reference: impl Fn(f64) -> f64, tol: f64) {
+        let xs_v = xs.to_vec();
+        let out = eval(
+            |_m, lib, b| {
+                for &x in &xs_v {
+                    let f = match target {
+                        FnSel::Exp => lib.exp,
+                        FnSel::Log => lib.log,
+                        FnSel::Sqrt => lib.sqrt,
+                    };
+                    let v = b.call(f, vec![cf64(x)], Ty::F64).unwrap();
+                    b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
+                }
+                b.ret(c64(0));
+            },
+            xs,
+        );
+        for (x, got) in xs.iter().zip(out) {
+            let want = reference(*x);
+            let err = if want.abs() > 1.0 { (got - want).abs() / want.abs() } else { (got - want).abs() };
+            assert!(err < tol, "f({x}) = {got}, want {want} (err {err:.2e})");
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    enum FnSel {
+        Exp,
+        Log,
+        Sqrt,
+    }
+
+    #[test]
+    fn exp_matches_host() {
+        check_fn(FnSel::Exp, &[-8.0, -2.5, -0.3, 0.0, 0.7, 1.0, 3.3, 10.0], f64::exp, 1e-9);
+    }
+
+    #[test]
+    fn log_matches_host() {
+        check_fn(FnSel::Log, &[1e-6, 0.1, 0.5, 1.0, 1.4142, 2.0, 10.0, 12345.0], f64::ln, 1e-9);
+    }
+
+    #[test]
+    fn sqrt_matches_host() {
+        check_fn(FnSel::Sqrt, &[0.0, 1e-8, 0.25, 1.0, 2.0, 9.0, 1e6], f64::sqrt, 1e-9);
+    }
+
+    #[test]
+    fn hardened_math_still_matches() {
+        // The IR math library is part of the hardened region: ELZAR and
+        // SWIFT-R must preserve its results exactly.
+        let mut m = Module::new("t");
+        let lib = install(&mut m);
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        for x in [0.3, 1.7, 4.2] {
+            let e = b.call(lib.exp, vec![cf64(x)], Ty::F64).unwrap();
+            let l = b.call(lib.log, vec![e.into()], Ty::F64).unwrap();
+            b.call_builtin(Builtin::OutputF64, vec![l.into()], Ty::Void);
+        }
+        b.ret(c64(0));
+        m.add_func(b.finish());
+        let native = elzar::execute(&m, &elzar::Mode::NativeNoSimd, &[], MachineConfig::default());
+        let elz = elzar::execute(&m, &elzar::Mode::elzar_default(), &[], MachineConfig::default());
+        let swr = elzar::execute(&m, &elzar::Mode::SwiftR, &[], MachineConfig::default());
+        assert_eq!(native.output, elz.output);
+        assert_eq!(native.output, swr.output);
+        // log(exp(x)) ≈ x.
+        for (chunk, want) in native.output.chunks(8).zip([0.3, 1.7, 4.2]) {
+            let got = f64::from_le_bytes(chunk.try_into().unwrap());
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+}

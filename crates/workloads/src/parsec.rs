@@ -1,0 +1,855 @@
+//! The PARSEC 3.0 benchmark kernels evaluated by the paper (§V-A):
+//! blackscholes, dedup, ferret, fluidanimate, streamcluster, swaptions
+//! and x264. (bodytrack, raytrace, facesim, freqmine, canneal and vips
+//! were excluded by the paper itself for toolchain reasons.)
+//!
+//! Each kernel models the characteristic that the paper's analysis leans
+//! on: blackscholes/swaptions are FP-dominated with few memory accesses
+//! (ELZAR's best case), dedup serializes on a shared-table lock (poor
+//! scalability amortizes overhead), ferret/fluidanimate are
+//! branch-mispredict heavy, streamcluster is memory-bound, and x264's SAD
+//! search is an integer/byte kernel with a vectorizable inner loop.
+
+use crate::common::{chunk_bounds, fork_join_main, gen_bytes, gen_f64s, Params};
+use crate::libm_ir::{emit_exp, emit_log, emit_sqrt};
+use crate::{BuiltWorkload, Suite, Workload};
+use elzar_ir::builder::{c64, cf64, FuncBuilder};
+use elzar_ir::{BinOp, Builtin, CastOp, CmpPred, Const, Module, Operand, Ty};
+use elzar_vm::GLOBAL_BASE;
+
+fn cptr(addr: u64) -> Operand {
+    Operand::Imm(Const::Ptr(addr))
+}
+
+// ---------------------------------------------------------------------------
+// blackscholes
+// ---------------------------------------------------------------------------
+
+/// Black–Scholes option pricing through the hardened IR libm — 47% of its
+/// instructions are floating-point (§V-B), ELZAR's best case.
+pub struct Blackscholes;
+
+impl Workload for Blackscholes {
+    fn name(&self) -> &'static str {
+        "blackscholes"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = p.scale.pick(200i64, 2_000, 20_000);
+        let mut m = Module::new("blackscholes");
+        let out = GLOBAL_BASE + m.alloc_global((n * 8) as usize) as u64;
+        let riskfree = 0.02f64;
+
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        let tid = w.param(0);
+        let sptr = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let kptr = w.gep(sptr, c64(n), 8);
+        let tptr = w.gep(sptr, c64(2 * n), 8);
+        let vptr = w.gep(sptr, c64(3 * n), 8);
+        let (start, end) = chunk_bounds(&mut w, tid, n, p.threads);
+        w.counted_loop(start, end, |b, i| {
+            let s = {
+                let p = b.gep(sptr, i, 8);
+                b.load(Ty::F64, p)
+            };
+            let k = {
+                let p = b.gep(kptr, i, 8);
+                b.load(Ty::F64, p)
+            };
+            let t = {
+                let p = b.gep(tptr, i, 8);
+                b.load(Ty::F64, p)
+            };
+            let v = {
+                let p = b.gep(vptr, i, 8);
+                b.load(Ty::F64, p)
+            };
+            // d1 = (ln(S/K) + (r + v^2/2) T) / (v sqrt(T)); d2 = d1 - v sqrt(T)
+            // The math library and CNDF are emitted inline — exactly what
+            // -O3 inlining produced in the paper's builds, so ELZAR pays
+            // no call wrappers inside the hot loop.
+            let ratio = b.bin(BinOp::FDiv, Ty::F64, s, k);
+            let lnr = emit_log(b, ratio);
+            let v2 = b.bin(BinOp::FMul, Ty::F64, v, v);
+            let v2h = b.bin(BinOp::FMul, Ty::F64, v2, cf64(0.5));
+            let drift = b.bin(BinOp::FAdd, Ty::F64, v2h, cf64(riskfree));
+            let dt = b.bin(BinOp::FMul, Ty::F64, drift, t);
+            let num = b.bin(BinOp::FAdd, Ty::F64, lnr, dt);
+            let sqt = emit_sqrt(b, t);
+            let vst = b.bin(BinOp::FMul, Ty::F64, v, sqt);
+            let d1 = b.bin(BinOp::FDiv, Ty::F64, num, vst);
+            let d2 = b.bin(BinOp::FSub, Ty::F64, d1, vst);
+            let n1 = emit_cndf(b, d1);
+            let n2 = emit_cndf(b, d2);
+            // price = S*N(d1) - K*exp(-rT)*N(d2)
+            let rt = b.bin(BinOp::FMul, Ty::F64, t, cf64(-riskfree));
+            let disc = emit_exp(b, rt);
+            let a = b.bin(BinOp::FMul, Ty::F64, s, n1);
+            let kd = b.bin(BinOp::FMul, Ty::F64, k, disc);
+            let bpart = b.bin(BinOp::FMul, Ty::F64, kd, n2);
+            let price = b.bin(BinOp::FSub, Ty::F64, a, bpart);
+            let po = b.gep(cptr(out), i, 8);
+            b.store(Ty::F64, price, po);
+        });
+        w.ret(c64(0));
+        let wid = m.add_func(w.finish());
+
+        fork_join_main(&mut m, wid, p.threads, |_b| {}, move |b, _| {
+            let acc = b.alloca(Ty::F64, c64(1));
+            b.store(Ty::F64, cf64(0.0), acc);
+            b.counted_loop(c64(0), c64(n), |b, i| {
+                let po = b.gep(cptr(out), i, 8);
+                let v = b.load(Ty::F64, po);
+                let a = b.load(Ty::F64, acc);
+                let s = b.bin(BinOp::FAdd, Ty::F64, a, v);
+                b.store(Ty::F64, s, acc);
+            });
+            let v = b.load(Ty::F64, acc);
+            b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
+            b.ret(c64(0));
+        });
+        // S, K, T, V arrays.
+        let mut input = gen_f64s(0x91, n as usize, 20.0, 120.0);
+        input.extend(gen_f64s(0x92, n as usize, 20.0, 120.0));
+        input.extend(gen_f64s(0x93, n as usize, 0.1, 2.0));
+        input.extend(gen_f64s(0x94, n as usize, 0.1, 0.6));
+        BuiltWorkload { module: m, input }
+    }
+}
+
+/// Emit the cumulative normal distribution inline via the
+/// Abramowitz–Stegun polynomial, with `select`-based symmetry (no
+/// data-dependent branches).
+fn emit_cndf(b: &mut FuncBuilder, x: impl Into<Operand>) -> elzar_ir::ValueId {
+    let x = {
+        let op = x.into();
+        b.bin(BinOp::FAdd, Ty::F64, op, cf64(0.0))
+    };
+    let neg = b.fcmp(CmpPred::FOlt, x, cf64(0.0));
+    let nx = b.bin(BinOp::FSub, Ty::F64, cf64(0.0), x);
+    let ax = b.select(neg, nx, x);
+    // k = 1 / (1 + 0.2316419 |x|)
+    let kd = b.bin(BinOp::FMul, Ty::F64, ax, cf64(0.2316419));
+    let kd1 = b.bin(BinOp::FAdd, Ty::F64, kd, cf64(1.0));
+    let k = b.bin(BinOp::FDiv, Ty::F64, cf64(1.0), kd1);
+    // poly = k(a1 + k(a2 + k(a3 + k(a4 + k a5))))
+    let mut poly: Operand = cf64(1.330274429);
+    for c in [-1.821255978, 1.781477937, -0.356563782, 0.319381530] {
+        let t = b.bin(BinOp::FMul, Ty::F64, poly, k);
+        poly = b.bin(BinOp::FAdd, Ty::F64, t, cf64(c)).into();
+    }
+    let pk = b.bin(BinOp::FMul, Ty::F64, poly, k);
+    // pdf = exp(-x^2/2) / sqrt(2π)
+    let x2 = b.bin(BinOp::FMul, Ty::F64, ax, ax);
+    let x2h = b.bin(BinOp::FMul, Ty::F64, x2, cf64(-0.5));
+    let e = emit_exp(b, x2h);
+    let pdf = b.bin(BinOp::FMul, Ty::F64, e, cf64(0.3989422804014327));
+    let tail = b.bin(BinOp::FMul, Ty::F64, pdf, pk);
+    let pos = b.bin(BinOp::FSub, Ty::F64, cf64(1.0), tail);
+    b.select(neg, tail, pos)
+}
+
+// ---------------------------------------------------------------------------
+// dedup
+// ---------------------------------------------------------------------------
+
+/// Fingerprint-and-insert under one global lock: the poor-scalability
+/// benchmark whose lock serialization amortizes ELZAR's overhead (§V-B).
+pub struct Dedup;
+
+const DD_BLOCK: i64 = 64;
+const DD_TABLE: i64 = 1 << 12;
+
+impl Workload for Dedup {
+    fn name(&self) -> &'static str {
+        "dedup"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = p.scale.pick(8_000i64, 64_000, 512_000);
+        let blocks = n / DD_BLOCK;
+        let mut m = Module::new("dedup");
+        let mutex = GLOBAL_BASE + m.alloc_global(8) as u64;
+        let table = GLOBAL_BASE + m.alloc_global((DD_TABLE * 8) as usize) as u64;
+        let uniq = GLOBAL_BASE + m.alloc_global(8) as u64;
+
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        let tid = w.param(0);
+        let inp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let (start, end) = chunk_bounds(&mut w, tid, blocks, p.threads);
+        let fp = w.alloca(Ty::I64, c64(1));
+        w.counted_loop(start, end, |b, blk| {
+            // FNV-1a fingerprint of the block (byte loads).
+            b.store(Ty::I64, c64(0xcbf29ce484222325u64 as i64), fp);
+            let base = b.mul(blk, c64(DD_BLOCK));
+            b.counted_loop(c64(0), c64(DD_BLOCK), |b, i| {
+                let off = b.add(base, i);
+                let pb = b.gep(inp, off, 1);
+                let byte = b.load(Ty::I8, pb);
+                let wbyte = b.cast(CastOp::ZExt, byte, Ty::I64);
+                let h = b.load(Ty::I64, fp);
+                let hx = b.bin(BinOp::Xor, Ty::I64, h, wbyte);
+                let h2 = b.mul(hx, c64(0x100000001b3));
+                b.store(Ty::I64, h2, fp);
+            });
+            let h = b.load(Ty::I64, fp);
+            // Never store 0 (it means "empty slot").
+            let hnz = b.bin(BinOp::Or, Ty::I64, h, c64(1));
+            // Global critical section: probe + insert.
+            b.critical_section(cptr(mutex), |b| {
+                let islot = b.alloca(Ty::I64, c64(1));
+                let start_slot = b.bin(BinOp::And, Ty::I64, hnz, c64(DD_TABLE - 1));
+                b.store(Ty::I64, start_slot, islot);
+                // Linear probe: up to table-size steps.
+                let done = b.alloca(Ty::I64, c64(1));
+                b.store(Ty::I64, c64(0), done);
+                b.counted_loop(c64(0), c64(DD_TABLE), |b, _step| {
+                    let d = b.load(Ty::I64, done);
+                    let still = b.icmp(CmpPred::Eq, d, c64(0));
+                    let probe_bb = b.block("dd.probe");
+                    let skip_bb = b.block("dd.skip");
+                    b.cond_br(still, probe_bb, skip_bb);
+                    b.switch_to(probe_bb);
+                    {
+                        let s = b.load(Ty::I64, islot);
+                        let ps = b.gep(cptr(table), s, 8);
+                        let cur = b.load(Ty::I64, ps);
+                        let empty = b.icmp(CmpPred::Eq, cur, c64(0));
+                        let ins_bb = b.block("dd.insert");
+                        let hit_bb = b.block("dd.hitchk");
+                        b.cond_br(empty, ins_bb, hit_bb);
+                        b.switch_to(ins_bb);
+                        {
+                            b.store(Ty::I64, hnz, ps);
+                            let u = b.load(Ty::I64, cptr(uniq));
+                            let u1 = b.add(u, c64(1));
+                            b.store(Ty::I64, u1, cptr(uniq));
+                            b.store(Ty::I64, c64(1), done);
+                            b.br(skip_bb);
+                        }
+                        b.switch_to(hit_bb);
+                        {
+                            let same = b.icmp(CmpPred::Eq, cur, hnz);
+                            let adv_bb = b.block("dd.advance");
+                            let fin_bb = b.block("dd.found");
+                            b.cond_br(same, fin_bb, adv_bb);
+                            b.switch_to(fin_bb);
+                            b.store(Ty::I64, c64(1), done);
+                            b.br(skip_bb);
+                            b.switch_to(adv_bb);
+                            let s1 = b.add(s, c64(1));
+                            let s2 = b.bin(BinOp::And, Ty::I64, s1, c64(DD_TABLE - 1));
+                            b.store(Ty::I64, s2, islot);
+                            b.br(skip_bb);
+                        }
+                    }
+                    b.switch_to(skip_bb);
+                });
+            });
+        });
+        w.ret(c64(0));
+        let wid = m.add_func(w.finish());
+
+        fork_join_main(&mut m, wid, p.threads, |_b| {}, |b, _| {
+            let u = b.load(Ty::I64, cptr(uniq));
+            b.call_builtin(Builtin::OutputI64, vec![u.into()], Ty::Void);
+            b.ret(u);
+        });
+        // Data with genuine duplicates: blocks drawn from a small pool.
+        let pool = gen_bytes(0xAA, (64 * DD_BLOCK) as usize);
+        let mut s = 0xBBu64;
+        let mut input = Vec::with_capacity(n as usize);
+        for _ in 0..blocks {
+            let pick = (crate::common::lcg(&mut s) % 96) as usize;
+            if pick < 64 {
+                let b0 = pick * DD_BLOCK as usize;
+                input.extend_from_slice(&pool[b0..b0 + DD_BLOCK as usize]);
+            } else {
+                input.extend(gen_bytes(s, DD_BLOCK as usize));
+            }
+        }
+        input.resize(n as usize, 0);
+        BuiltWorkload { module: m, input }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ferret
+// ---------------------------------------------------------------------------
+
+/// Content-similarity search: distance scans plus a top-k insertion sort
+/// whose data-dependent branches drive the 12.65% branch-miss rate of
+/// Table II.
+pub struct Ferret;
+
+const FER_DIM: i64 = 8;
+const FER_TOPK: i64 = 8;
+
+impl Workload for Ferret {
+    fn name(&self) -> &'static str {
+        "ferret"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let db = p.scale.pick(128i64, 512, 2048);
+        let queries = p.scale.pick(16i64, 64, 256);
+        let mut m = Module::new("ferret");
+        let results = GLOBAL_BASE + m.alloc_global((queries * 8) as usize) as u64;
+
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        let tid = w.param(0);
+        let dbp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let qp = w.gep(dbp, c64(db * FER_DIM), 8);
+        let topd = w.alloca(Ty::F64, c64(FER_TOPK));
+        let dist = w.alloca(Ty::F64, c64(1));
+        let (start, end) = chunk_bounds(&mut w, tid, queries, p.threads);
+        w.counted_loop(start, end, |b, q| {
+            // Reset top-k distances to +inf.
+            b.counted_loop(c64(0), c64(FER_TOPK), |b, i| {
+                let p = b.gep(topd, i, 8);
+                b.store(Ty::F64, cf64(1.0e300), p);
+            });
+            let qbase = b.mul(q, c64(FER_DIM));
+            b.counted_loop(c64(0), c64(db), |b, d| {
+                // Squared L2 distance.
+                let dbase = b.mul(d, c64(FER_DIM));
+                b.store(Ty::F64, cf64(0.0), dist);
+                b.counted_loop(c64(0), c64(FER_DIM), |b, k| {
+                    let qi = b.add(qbase, k);
+                    let pq = b.gep(qp, qi, 8);
+                    let x = b.load(Ty::F64, pq);
+                    let di = b.add(dbase, k);
+                    let pd = b.gep(dbp, di, 8);
+                    let y = b.load(Ty::F64, pd);
+                    let df = b.bin(BinOp::FSub, Ty::F64, x, y);
+                    let sq = b.bin(BinOp::FMul, Ty::F64, df, df);
+                    let a = b.load(Ty::F64, dist);
+                    let s = b.bin(BinOp::FAdd, Ty::F64, a, sq);
+                    b.store(Ty::F64, s, dist);
+                });
+                // Insertion into the sorted top-k (branchy).
+                let dv = b.load(Ty::F64, dist);
+                let worst = b.gep(topd, c64(FER_TOPK - 1), 8);
+                let wv = b.load(Ty::F64, worst);
+                let better = b.fcmp(CmpPred::FOlt, dv, wv);
+                let ins_bb = b.block("fer.insert");
+                let done_bb = b.block("fer.done");
+                b.cond_br(better, ins_bb, done_bb);
+                b.switch_to(ins_bb);
+                {
+                    // Shift-down insertion sort step over the small array.
+                    b.store(Ty::F64, dv, worst);
+                    b.counted_loop(c64(0), c64(FER_TOPK - 1), |b, pass| {
+                        let _ = pass;
+                        // Bubble the last element towards its place.
+                        b.counted_loop(c64(0), c64(FER_TOPK - 1), |b, j| {
+                            let pj = b.gep(topd, j, 8);
+                            let j1 = b.add(j, c64(1));
+                            let pj1 = b.gep(topd, j1, 8);
+                            let a = b.load(Ty::F64, pj);
+                            let c = b.load(Ty::F64, pj1);
+                            let swap = b.fcmp(CmpPred::FOgt, a, c);
+                            let sw_bb = b.block("fer.swap");
+                            let ns_bb = b.block("fer.noswap");
+                            b.cond_br(swap, sw_bb, ns_bb);
+                            b.switch_to(sw_bb);
+                            b.store(Ty::F64, c, pj);
+                            b.store(Ty::F64, a, pj1);
+                            b.br(ns_bb);
+                            b.switch_to(ns_bb);
+                        });
+                    });
+                    b.br(done_bb);
+                }
+                b.switch_to(done_bb);
+            });
+            // Record the best distance for this query.
+            let p0 = b.gep(topd, c64(0), 8);
+            let bv = b.load(Ty::F64, p0);
+            let pr = b.gep(cptr(results), q, 8);
+            b.store(Ty::F64, bv, pr);
+        });
+        w.ret(c64(0));
+        let wid = m.add_func(w.finish());
+
+        fork_join_main(&mut m, wid, p.threads, |_b| {}, move |b, _| {
+            let acc = b.alloca(Ty::F64, c64(1));
+            b.store(Ty::F64, cf64(0.0), acc);
+            b.counted_loop(c64(0), c64(queries), |b, i| {
+                let pr = b.gep(cptr(results), i, 8);
+                let v = b.load(Ty::F64, pr);
+                let a = b.load(Ty::F64, acc);
+                let s = b.bin(BinOp::FAdd, Ty::F64, a, v);
+                b.store(Ty::F64, s, acc);
+            });
+            let v = b.load(Ty::F64, acc);
+            b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
+            b.ret(c64(0));
+        });
+        let mut input = gen_f64s(0xC1, (db * FER_DIM) as usize, -1.0, 1.0);
+        input.extend(gen_f64s(0xC2, (queries * FER_DIM) as usize, -1.0, 1.0));
+        BuiltWorkload { module: m, input }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fluidanimate
+// ---------------------------------------------------------------------------
+
+/// Neighbor-list SPH force accumulation: FP math guarded by a cutoff
+/// branch that mispredicts often (14.7% in Table II).
+pub struct Fluidanimate;
+
+const FL_NEIGH: i64 = 16;
+
+impl Workload for Fluidanimate {
+    fn name(&self) -> &'static str {
+        "fluidanimate"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = p.scale.pick(256i64, 2_048, 16_384);
+        let mut m = Module::new("fluidanimate");
+        let forces = GLOBAL_BASE + m.alloc_global((n * 8) as usize) as u64;
+
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        let tid = w.param(0);
+        // Input layout: n*(x,y) f64 positions, then n*FL_NEIGH i64 indices.
+        let pos = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let neigh = w.gep(pos, c64(2 * n), 8);
+        let (start, end) = chunk_bounds(&mut w, tid, n, p.threads);
+        let facc = w.alloca(Ty::F64, c64(1));
+        w.counted_loop(start, end, |b, i| {
+            b.store(Ty::F64, cf64(0.0), facc);
+            let xi_idx = b.mul(i, c64(2));
+            let pxi = b.gep(pos, xi_idx, 8);
+            let xi = b.load(Ty::F64, pxi);
+            let yi_idx = b.add(xi_idx, c64(1));
+            let pyi = b.gep(pos, yi_idx, 8);
+            let yi = b.load(Ty::F64, pyi);
+            let nbase = b.mul(i, c64(FL_NEIGH));
+            b.counted_loop(c64(0), c64(FL_NEIGH), |b, k| {
+                let ni = b.add(nbase, k);
+                let pn = b.gep(neigh, ni, 8);
+                let j = b.load(Ty::I64, pn);
+                let xj_idx = b.mul(j, c64(2));
+                let pxj = b.gep(pos, xj_idx, 8);
+                let xj = b.load(Ty::F64, pxj);
+                let yj_idx = b.add(xj_idx, c64(1));
+                let pyj = b.gep(pos, yj_idx, 8);
+                let yj = b.load(Ty::F64, pyj);
+                let dx = b.bin(BinOp::FSub, Ty::F64, xi, xj);
+                let dy = b.bin(BinOp::FSub, Ty::F64, yi, yj);
+                let dx2 = b.bin(BinOp::FMul, Ty::F64, dx, dx);
+                let dy2 = b.bin(BinOp::FMul, Ty::F64, dy, dy);
+                let r2 = b.bin(BinOp::FAdd, Ty::F64, dx2, dy2);
+                // Cutoff branch (data-dependent, poorly predictable).
+                let within = b.fcmp(CmpPred::FOlt, r2, cf64(0.25));
+                let force_bb = b.block("fl.force");
+                let skip_bb = b.block("fl.skip");
+                b.cond_br(within, force_bb, skip_bb);
+                b.switch_to(force_bb);
+                {
+                    // Kernel: w = (h^2 - r^2)^2 contribution.
+                    let h2r = b.bin(BinOp::FSub, Ty::F64, cf64(0.25), r2);
+                    let w2 = b.bin(BinOp::FMul, Ty::F64, h2r, h2r);
+                    let a = b.load(Ty::F64, facc);
+                    let s = b.bin(BinOp::FAdd, Ty::F64, a, w2);
+                    b.store(Ty::F64, s, facc);
+                    b.br(skip_bb);
+                }
+                b.switch_to(skip_bb);
+            });
+            let fv = b.load(Ty::F64, facc);
+            let pf = b.gep(cptr(forces), i, 8);
+            b.store(Ty::F64, fv, pf);
+        });
+        w.ret(c64(0));
+        let wid = m.add_func(w.finish());
+
+        fork_join_main(&mut m, wid, p.threads, |_b| {}, move |b, _| {
+            let acc = b.alloca(Ty::F64, c64(1));
+            b.store(Ty::F64, cf64(0.0), acc);
+            b.counted_loop(c64(0), c64(n), |b, i| {
+                let pf = b.gep(cptr(forces), i, 8);
+                let v = b.load(Ty::F64, pf);
+                let a = b.load(Ty::F64, acc);
+                let s = b.bin(BinOp::FAdd, Ty::F64, a, v);
+                b.store(Ty::F64, s, acc);
+            });
+            let v = b.load(Ty::F64, acc);
+            b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
+            b.ret(c64(0));
+        });
+        let mut input = gen_f64s(0xD1, (2 * n) as usize, 0.0, 4.0);
+        // Neighbor indices.
+        let mut s = 0xD2u64;
+        for _ in 0..(n * FL_NEIGH) {
+            input.extend_from_slice(&((crate::common::lcg(&mut s) % n as u64) as i64).to_le_bytes());
+        }
+        BuiltWorkload { module: m, input }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// streamcluster
+// ---------------------------------------------------------------------------
+
+/// Online clustering sweep: distance computations against a growing
+/// center set — memory-bound with the lowest native ILP in Table III.
+pub struct Streamcluster;
+
+const SC_DIM: i64 = 16;
+const SC_MAXCENTERS: i64 = 64;
+
+impl Workload for Streamcluster {
+    fn name(&self) -> &'static str {
+        "streamcluster"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = p.scale.pick(256i64, 2_048, 16_384);
+        let mut m = Module::new("streamcluster");
+        let costs = GLOBAL_BASE + m.alloc_global(8 * p.threads as usize) as u64;
+
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        let tid = w.param(0);
+        let inp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        // Per-thread center set (deterministic regardless of scheduling).
+        let centers = w.alloca(Ty::F64, c64(SC_MAXCENTERS * SC_DIM));
+        let ncent = w.alloca(Ty::I64, c64(1));
+        w.store(Ty::I64, c64(0), ncent);
+        let cost = w.alloca(Ty::F64, c64(1));
+        w.store(Ty::F64, cf64(0.0), cost);
+        let dist = w.alloca(Ty::F64, c64(1));
+        let mind = w.alloca(Ty::F64, c64(1));
+        let (start, end) = chunk_bounds(&mut w, tid, n, p.threads);
+        w.counted_loop(start, end, |b, pt| {
+            let pbase = b.mul(pt, c64(SC_DIM));
+            b.store(Ty::F64, cf64(1.0e300), mind);
+            let nc = b.load(Ty::I64, ncent);
+            b.counted_loop(c64(0), nc, |b, c| {
+                b.store(Ty::F64, cf64(0.0), dist);
+                let cbase = b.mul(c, c64(SC_DIM));
+                b.counted_loop(c64(0), c64(SC_DIM), |b, k| {
+                    let pi = b.add(pbase, k);
+                    let pp = b.gep(inp, pi, 8);
+                    let x = b.load(Ty::F64, pp);
+                    let ci = b.add(cbase, k);
+                    let pc = b.gep(centers, ci, 8);
+                    let y = b.load(Ty::F64, pc);
+                    let d = b.bin(BinOp::FSub, Ty::F64, x, y);
+                    let sq = b.bin(BinOp::FMul, Ty::F64, d, d);
+                    let a = b.load(Ty::F64, dist);
+                    let s = b.bin(BinOp::FAdd, Ty::F64, a, sq);
+                    b.store(Ty::F64, s, dist);
+                });
+                let dv = b.load(Ty::F64, dist);
+                let cur = b.load(Ty::F64, mind);
+                let lt = b.fcmp(CmpPred::FOlt, dv, cur);
+                let nm = b.select(lt, dv, cur);
+                b.store(Ty::F64, nm, mind);
+            });
+            // Open a new center when far from all existing ones.
+            let md = b.load(Ty::F64, mind);
+            let far = b.fcmp(CmpPred::FOgt, md, cf64(8.0));
+            let nc2 = b.load(Ty::I64, ncent);
+            let room = b.icmp(CmpPred::Slt, nc2, c64(SC_MAXCENTERS));
+            let both_w = b.cast(CastOp::ZExt, far, Ty::I64);
+            let room_w = b.cast(CastOp::ZExt, room, Ty::I64);
+            let both = b.bin(BinOp::And, Ty::I64, both_w, room_w);
+            let open = b.icmp(CmpPred::Ne, both, c64(0));
+            let open_bb = b.block("sc.open");
+            let close_bb = b.block("sc.close");
+            let done_bb = b.block("sc.done");
+            b.cond_br(open, open_bb, close_bb);
+            b.switch_to(open_bb);
+            {
+                let cbase = b.mul(nc2, c64(SC_DIM));
+                b.counted_loop(c64(0), c64(SC_DIM), |b, k| {
+                    let pi = b.add(pbase, k);
+                    let pp = b.gep(inp, pi, 8);
+                    let x = b.load(Ty::F64, pp);
+                    let ci = b.add(cbase, k);
+                    let pc = b.gep(centers, ci, 8);
+                    b.store(Ty::F64, x, pc);
+                });
+                let nc3 = b.add(nc2, c64(1));
+                b.store(Ty::I64, nc3, ncent);
+                b.br(done_bb);
+            }
+            b.switch_to(close_bb);
+            {
+                let a = b.load(Ty::F64, cost);
+                let s = b.bin(BinOp::FAdd, Ty::F64, a, md);
+                b.store(Ty::F64, s, cost);
+                b.br(done_bb);
+            }
+            b.switch_to(done_bb);
+        });
+        let cv = w.load(Ty::F64, cost);
+        let my = w.gep(cptr(costs), tid, 8);
+        w.store(Ty::F64, cv, my);
+        let nfinal = w.load(Ty::I64, ncent);
+        w.ret(nfinal);
+        let wid = m.add_func(w.finish());
+
+        let threads = p.threads;
+        fork_join_main(&mut m, wid, threads, |_b| {}, move |b, sum| {
+            // sum = total centers opened; costs merged in tid order.
+            b.call_builtin(Builtin::OutputI64, vec![sum.into()], Ty::Void);
+            let mut acc: Operand = cf64(0.0);
+            for t in 0..threads {
+                let pc = b.gep(cptr(costs + u64::from(t) * 8), c64(0), 8);
+                let v = b.load(Ty::F64, pc);
+                acc = b.bin(BinOp::FAdd, Ty::F64, acc, v).into();
+            }
+            b.call_builtin(Builtin::OutputF64, vec![acc], Ty::Void);
+            b.ret(c64(0));
+        });
+        BuiltWorkload { module: m, input: gen_f64s(0xE1, (n * SC_DIM) as usize, -3.0, 3.0) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// swaptions
+// ---------------------------------------------------------------------------
+
+/// Monte-Carlo payoff simulation: an in-IR LCG feeding FP accumulation —
+/// 34% FP instructions, few memory accesses.
+pub struct Swaptions;
+
+impl Workload for Swaptions {
+    fn name(&self) -> &'static str {
+        "swaptions"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = p.scale.pick(8i64, 32, 128); // swaptions
+        let trials = p.scale.pick(200i64, 1_000, 4_000);
+        let mut m = Module::new("swaptions");
+        let prices = GLOBAL_BASE + m.alloc_global((n * 8) as usize) as u64;
+
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        let tid = w.param(0);
+        let inp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let (start, end) = chunk_bounds(&mut w, tid, n, p.threads);
+        let acc = w.alloca(Ty::F64, c64(1));
+        let state = w.alloca(Ty::I64, c64(1));
+        w.counted_loop(start, end, |b, sw| {
+            let pstrike = b.gep(inp, sw, 8);
+            let strike = b.load(Ty::F64, pstrike);
+            b.store(Ty::F64, cf64(0.0), acc);
+            // Deterministic per-swaption seed.
+            let seed0 = b.mul(sw, c64(0x9E3779B97F4A7C15u64 as i64));
+            let seed = b.bin(BinOp::Or, Ty::I64, seed0, c64(1));
+            b.store(Ty::I64, seed, state);
+            b.counted_loop(c64(0), c64(trials), |b, _t| {
+                // LCG step (integer) -> uniform in [0,1).
+                let s0 = b.load(Ty::I64, state);
+                let s1 = crate::common::emit_lcg(b, s0);
+                b.store(Ty::I64, s1, state);
+                let top = b.bin(BinOp::LShr, Ty::I64, s1, c64(11));
+                let uf = b.cast(CastOp::SiToFp, top, Ty::F64);
+                let unit = b.bin(BinOp::FMul, Ty::F64, uf, cf64(1.0 / (1u64 << 53) as f64));
+                // Simulated rate path value and payoff max(rate-strike,0).
+                let swing = b.bin(BinOp::FSub, Ty::F64, unit, cf64(0.5));
+                let rate0 = b.bin(BinOp::FMul, Ty::F64, swing, cf64(0.08));
+                let rate = b.bin(BinOp::FAdd, Ty::F64, rate0, cf64(0.05));
+                let diff = b.bin(BinOp::FSub, Ty::F64, rate, strike);
+                let pay = b.bin(BinOp::FMax, Ty::F64, diff, cf64(0.0));
+                // Discount ~ 1/(1+rate)^2 (two FP divides).
+                let d1 = b.bin(BinOp::FAdd, Ty::F64, rate, cf64(1.0));
+                let d2 = b.bin(BinOp::FMul, Ty::F64, d1, d1);
+                let disc = b.bin(BinOp::FDiv, Ty::F64, pay, d2);
+                let a = b.load(Ty::F64, acc);
+                let s = b.bin(BinOp::FAdd, Ty::F64, a, disc);
+                b.store(Ty::F64, s, acc);
+            });
+            let total = b.load(Ty::F64, acc);
+            let mean = b.bin(BinOp::FMul, Ty::F64, total, cf64(1.0 / trials as f64));
+            let pp = b.gep(cptr(prices), sw, 8);
+            b.store(Ty::F64, mean, pp);
+        });
+        w.ret(c64(0));
+        let wid = m.add_func(w.finish());
+
+        fork_join_main(&mut m, wid, p.threads, |_b| {}, move |b, _| {
+            b.counted_loop(c64(0), c64(n), |b, i| {
+                let pp = b.gep(cptr(prices), i, 8);
+                let v = b.load(Ty::F64, pp);
+                b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
+            });
+            b.ret(c64(0));
+        });
+        BuiltWorkload { module: m, input: gen_f64s(0xF1, n as usize, 0.03, 0.07) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x264
+// ---------------------------------------------------------------------------
+
+/// Motion-estimation SAD search over 16×16 macroblocks: byte loads,
+/// absolute differences and best-candidate branches, with a vectorizable
+/// SAD row loop.
+pub struct X264;
+
+const MB: i64 = 16;
+
+impl Workload for X264 {
+    fn name(&self) -> &'static str {
+        "x264"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let wpx = p.scale.pick(64i64, 128, 320);
+        let hpx = p.scale.pick(48i64, 96, 192);
+        let mbs_x = wpx / MB - 1; // keep the search window in bounds
+        let mbs_y = hpx / MB - 1;
+        let nmb = mbs_x * mbs_y;
+        let mut m = Module::new("x264");
+        let best_out = GLOBAL_BASE + m.alloc_global((nmb * 8) as usize) as u64;
+
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        let tid = w.param(0);
+        let cur = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let refp = w.gep(cur, c64(wpx * hpx), 1);
+        let (start, end) = chunk_bounds(&mut w, tid, nmb, p.threads);
+        let best = w.alloca(Ty::I64, c64(1));
+        let sad_acc = w.alloca(Ty::I64, c64(1));
+        w.counted_loop(start, end, |b, mb| {
+            let mbx = b.bin(BinOp::SRem, Ty::I64, mb, c64(mbs_x));
+            let mby = b.bin(BinOp::SDiv, Ty::I64, mb, c64(mbs_x));
+            let px0 = b.mul(mbx, c64(MB));
+            let py0 = b.mul(mby, c64(MB));
+            b.store(Ty::I64, c64(i64::MAX), best);
+            // 3x3 search offsets (unrolled at build time).
+            for dy in [0i64, 4, 8] {
+                for dx in [0i64, 4, 8] {
+                    b.store(Ty::I64, c64(0), sad_acc);
+                    b.counted_loop(c64(0), c64(MB), |b, row| {
+                        let cy = b.add(py0, row);
+                        let cyw = b.mul(cy, c64(wpx));
+                        let crow0 = b.add(cyw, px0);
+                        let crow = b.gep(cur, crow0, 1);
+                        let ry = b.add(cy, c64(dy));
+                        let ryw = b.mul(ry, c64(wpx));
+                        let rx = b.add(px0, c64(dx));
+                        let rrow0 = b.add(ryw, rx);
+                        let rrow = b.gep(refp, rrow0, 1);
+                        // SAD over one 16-pixel row (vectorizable).
+                        let pre = b.current();
+                        let header = b.block("sad.header");
+                        let body = b.block("sad.body");
+                        let latch = b.block("sad.latch");
+                        let exit = b.block("sad.exit");
+                        b.br(header);
+                        b.switch_to(header);
+                        let x = b.phi(Ty::I64);
+                        let sad = b.phi(Ty::I64);
+                        b.phi_add_incoming(x, pre, c64(0));
+                        b.phi_add_incoming(sad, pre, c64(0));
+                        let cnd = b.icmp(CmpPred::Slt, x, c64(MB));
+                        b.cond_br(cnd, body, exit);
+                        b.switch_to(body);
+                        let pa = b.gep(crow, x, 1);
+                        let a8 = b.load(Ty::I8, pa);
+                        let pb = b.gep(rrow, x, 1);
+                        let b8 = b.load(Ty::I8, pb);
+                        let aw = b.cast(CastOp::ZExt, a8, Ty::I64);
+                        let bw = b.cast(CastOp::ZExt, b8, Ty::I64);
+                        let d = b.sub(aw, bw);
+                        let neg = b.sub(c64(0), d);
+                        let isneg = b.icmp(CmpPred::Slt, d, c64(0));
+                        let ad = b.select(isneg, neg, d);
+                        let sad2 = b.add(sad, ad);
+                        b.br(latch);
+                        b.switch_to(latch);
+                        let xn = b.add(x, c64(1));
+                        b.phi_add_incoming(x, latch, xn);
+                        b.phi_add_incoming(sad, latch, sad2);
+                        b.br(header);
+                        b.switch_to(exit);
+                        // Not vectorize-hinted: the paper's x264 gains
+                        // only ~7% from compiler SIMD (its SIMD wins come
+                        // from hand-written assembly, disabled in §V-A).
+                        let a = b.load(Ty::I64, sad_acc);
+                        let s = b.add(a, sad);
+                        b.store(Ty::I64, s, sad_acc);
+                    });
+                    // Keep the best candidate (branch).
+                    let s = b.load(Ty::I64, sad_acc);
+                    let cb = b.load(Ty::I64, best);
+                    let lt = b.icmp(CmpPred::Slt, s, cb);
+                    let upd_bb = b.block("x264.update");
+                    let keep_bb = b.block("x264.keep");
+                    b.cond_br(lt, upd_bb, keep_bb);
+                    b.switch_to(upd_bb);
+                    b.store(Ty::I64, s, best);
+                    b.br(keep_bb);
+                    b.switch_to(keep_bb);
+                }
+            }
+            let bv = b.load(Ty::I64, best);
+            let po = b.gep(cptr(best_out), mb, 8);
+            b.store(Ty::I64, bv, po);
+        });
+        w.ret(c64(0));
+        let wid = m.add_func(w.finish());
+
+        fork_join_main(&mut m, wid, p.threads, |_b| {}, move |b, _| {
+            let acc = b.alloca(Ty::I64, c64(1));
+            b.store(Ty::I64, c64(0), acc);
+            b.counted_loop(c64(0), c64(nmb), |b, i| {
+                let po = b.gep(cptr(best_out), i, 8);
+                let v = b.load(Ty::I64, po);
+                let a = b.load(Ty::I64, acc);
+                let s = b.add(a, v);
+                b.store(Ty::I64, s, acc);
+            });
+            let v = b.load(Ty::I64, acc);
+            b.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
+            b.ret(c64(0));
+        });
+        // Two correlated frames.
+        let frame0 = gen_bytes(0xF7, (wpx * hpx) as usize);
+        let mut frame1 = frame0.clone();
+        let mut s = 0xF8u64;
+        for px in frame1.iter_mut() {
+            let noise = (crate::common::lcg(&mut s) % 17) as u8;
+            *px = px.wrapping_add(noise);
+        }
+        let mut input = frame0;
+        input.extend(frame1);
+        BuiltWorkload { module: m, input }
+    }
+}

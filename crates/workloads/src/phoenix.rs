@@ -1,0 +1,828 @@
+//! The Phoenix 2.0 benchmark kernels (§V-A), rebuilt against the IR.
+//!
+//! Each kernel reproduces the *instruction mix* that drives the paper's
+//! analysis (Table II): histogram is load/store-heavy with atomic merges,
+//! kmeans is FP-distance bound, linear regression is a vectorizable
+//! multi-reduction, matrix multiply thrashes the cache, pca does strided
+//! covariance sums, string match lives in `bzero`+byte-compare loops, and
+//! word count is a branchy byte scanner over in-memory state.
+
+use crate::common::{chunk_bounds, fork_join_main, gen_bytes, gen_f64s, gen_i64s, Params};
+use crate::{BuiltWorkload, Suite, Workload};
+use elzar_ir::builder::{c64, cf64, FuncBuilder};
+use elzar_ir::{BinOp, Builtin, CastOp, CmpPred, Const, Module, Operand, Ty};
+use elzar_vm::GLOBAL_BASE;
+
+fn cptr(addr: u64) -> Operand {
+    Operand::Imm(Const::Ptr(addr))
+}
+
+fn c8(v: i64) -> Operand {
+    Operand::Imm(Const::i8(v))
+}
+
+// ---------------------------------------------------------------------------
+// histogram
+// ---------------------------------------------------------------------------
+
+/// Byte histogram: per-thread local bins, atomic merge into shared bins.
+pub struct Histogram;
+
+impl Workload for Histogram {
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = p.scale.pick(6_000i64, 40_000, 400_000);
+        let mut m = Module::new("histogram");
+        let bins = GLOBAL_BASE + m.alloc_global(256 * 8) as u64;
+
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        let tid = w.param(0);
+        let inp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let local = w.alloca(Ty::I64, c64(256));
+        w.counted_loop(c64(0), c64(256), |b, i| {
+            let p = b.gep(local, i, 8);
+            b.store(Ty::I64, c64(0), p);
+        });
+        let (start, end) = chunk_bounds(&mut w, tid, n, p.threads);
+        w.counted_loop(start, end, |b, i| {
+            let pa = b.gep(inp, i, 1);
+            let byte = b.load(Ty::I8, pa);
+            let idx = b.cast(CastOp::ZExt, byte, Ty::I64);
+            let pb = b.gep(local, idx, 8);
+            let c = b.load(Ty::I64, pb);
+            let c1 = b.add(c, c64(1));
+            b.store(Ty::I64, c1, pb);
+        });
+        w.counted_loop(c64(0), c64(256), |b, i| {
+            let pl = b.gep(local, i, 8);
+            let v = b.load(Ty::I64, pl);
+            let pg = b.gep(cptr(bins), i, 8);
+            b.atomic_rmw(elzar_ir::RmwOp::Add, Ty::I64, pg, v);
+        });
+        w.ret(c64(0));
+        let wid = m.add_func(w.finish());
+
+        fork_join_main(&mut m, wid, p.threads, |_b| {}, |b, _sum| {
+            b.counted_loop(c64(0), c64(256), |b, i| {
+                let pg = b.gep(cptr(bins), i, 8);
+                let v = b.load(Ty::I64, pg);
+                b.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
+            });
+            b.ret(c64(0));
+        });
+        BuiltWorkload { module: m, input: gen_bytes(0xA1, n as usize) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// kmeans
+// ---------------------------------------------------------------------------
+
+/// K-means assignment + centroid update; FP-distance dominated.
+pub struct Kmeans;
+
+const KM_D: i64 = 4;
+const KM_K: i64 = 8;
+
+impl Workload for Kmeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = p.scale.pick(300i64, 2_000, 20_000);
+        let mut m = Module::new("kmeans");
+        let centers = GLOBAL_BASE + m.alloc_global((KM_K * KM_D * 8) as usize) as u64;
+        // Per-thread partials: K*D f64 sums then K i64 counts.
+        let part_stride = (KM_K * KM_D * 8 + KM_K * 8) as u64;
+        let partials = GLOBAL_BASE + m.alloc_global((part_stride * u64::from(p.threads)) as usize) as u64;
+
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        let tid = w.param(0);
+        let inp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let my_sums = {
+            let off = w.mul(tid, c64(part_stride as i64));
+            w.gep(cptr(partials), off, 1)
+        };
+        let my_counts = w.gep(my_sums, c64(KM_K * KM_D), 8);
+        // Zero my area.
+        w.counted_loop(c64(0), c64(KM_K * KM_D), |b, i| {
+            let p = b.gep(my_sums, i, 8);
+            b.store(Ty::F64, cf64(0.0), p);
+        });
+        w.counted_loop(c64(0), c64(KM_K), |b, i| {
+            let p = b.gep(my_counts, i, 8);
+            b.store(Ty::I64, c64(0), p);
+        });
+        // Scratch slots hoisted out of the loops (allocas inside loops
+        // would leak stack space on every iteration).
+        let best = w.alloca(Ty::I64, c64(1));
+        let bestd = w.alloca(Ty::F64, c64(1));
+        let acc = w.alloca(Ty::F64, c64(1));
+        let (start, end) = chunk_bounds(&mut w, tid, n, p.threads);
+        w.counted_loop(start, end, |b, pt| {
+            let base = b.mul(pt, c64(KM_D));
+            // Nearest-center search (selects, no data branches).
+            b.store(Ty::I64, c64(0), best);
+            b.store(Ty::F64, cf64(1.0e300), bestd);
+            b.counted_loop(c64(0), c64(KM_K), |b, k| {
+                b.store(Ty::F64, cf64(0.0), acc);
+                let cbase = b.mul(k, c64(KM_D));
+                b.counted_loop(c64(0), c64(KM_D), |b, d| {
+                    let xi = b.add(base, d);
+                    let px = b.gep(inp, xi, 8);
+                    let x = b.load(Ty::F64, px);
+                    let ci = b.add(cbase, d);
+                    let pc = b.gep(cptr(centers), ci, 8);
+                    let c = b.load(Ty::F64, pc);
+                    let diff = b.bin(BinOp::FSub, Ty::F64, x, c);
+                    let sq = b.bin(BinOp::FMul, Ty::F64, diff, diff);
+                    let a = b.load(Ty::F64, acc);
+                    let s = b.bin(BinOp::FAdd, Ty::F64, a, sq);
+                    b.store(Ty::F64, s, acc);
+                });
+                let d2 = b.load(Ty::F64, acc);
+                let cur = b.load(Ty::F64, bestd);
+                let lt = b.fcmp(CmpPred::FOlt, d2, cur);
+                let nd = b.select(lt, d2, cur);
+                b.store(Ty::F64, nd, bestd);
+                let curk = b.load(Ty::I64, best);
+                let nk = b.select(lt, k, curk);
+                b.store(Ty::I64, nk, best);
+            });
+            // Accumulate into my partials.
+            let k = b.load(Ty::I64, best);
+            let sb = b.mul(k, c64(KM_D));
+            b.counted_loop(c64(0), c64(KM_D), |b, d| {
+                let xi = b.add(base, d);
+                let px = b.gep(inp, xi, 8);
+                let x = b.load(Ty::F64, px);
+                let si = b.add(sb, d);
+                let ps = b.gep(my_sums, si, 8);
+                let s = b.load(Ty::F64, ps);
+                let s2 = b.bin(BinOp::FAdd, Ty::F64, s, x);
+                b.store(Ty::F64, s2, ps);
+            });
+            let pc = b.gep(my_counts, k, 8);
+            let c = b.load(Ty::I64, pc);
+            let c1 = b.add(c, c64(1));
+            b.store(Ty::I64, c1, pc);
+        });
+        w.ret(c64(0));
+        let wid = m.add_func(w.finish());
+
+        let threads = p.threads;
+        fork_join_main(
+            &mut m,
+            wid,
+            threads,
+            move |b| {
+                // Initial centers = first K points of the input.
+                let inp = b.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+                b.counted_loop(c64(0), c64(KM_K * KM_D), |b, i| {
+                    let p = b.gep(inp, i, 8);
+                    let v = b.load(Ty::F64, p);
+                    let q = b.gep(cptr(centers), i, 8);
+                    b.store(Ty::F64, v, q);
+                });
+            },
+            move |b, _sum| {
+                // Deterministic merge in tid order, then new centroids out.
+                for k in 0..KM_K {
+                    for d in 0..KM_D {
+                        let mut sum: Operand = cf64(0.0);
+                        let mut cnt: Operand = c64(0);
+                        for t in 0..threads {
+                            let base = partials + u64::from(t) * part_stride;
+                            let ps = b.gep(cptr(base), c64(k * KM_D + d), 8);
+                            let s = b.load(Ty::F64, ps);
+                            sum = b.bin(BinOp::FAdd, Ty::F64, sum, s).into();
+                            if d == 0 {
+                                let pc = b.gep(cptr(base + (KM_K * KM_D * 8) as u64), c64(k), 8);
+                                let c = b.load(Ty::I64, pc);
+                                cnt = b.add(cnt, c).into();
+                            }
+                        }
+                        if d == 0 {
+                            b.call_builtin(Builtin::OutputI64, vec![cnt], Ty::Void);
+                        }
+                        b.call_builtin(Builtin::OutputF64, vec![sum], Ty::Void);
+                    }
+                }
+                b.ret(c64(0));
+            },
+        );
+        BuiltWorkload { module: m, input: gen_f64s(0x42, (n * KM_D) as usize, -10.0, 10.0) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// linear_regression
+// ---------------------------------------------------------------------------
+
+/// Five integer sum reductions over two arrays — the vectorizer's best
+/// case (native ILP 6.51 in Table II).
+pub struct LinearRegression;
+
+impl Workload for LinearRegression {
+    fn name(&self) -> &'static str {
+        "linear_regression"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = p.scale.pick(4_000i64, 40_000, 400_000);
+        let mut m = Module::new("linear_regression");
+        let slots = GLOBAL_BASE + m.alloc_global(5 * 8 * p.threads as usize) as u64;
+
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        let tid = w.param(0);
+        let xs = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let ys = w.gep(xs, c64(n), 8);
+        let (start, end) = chunk_bounds(&mut w, tid, n, p.threads);
+
+        // Hand-rolled loop with 5 reduction phis (vectorizable).
+        let pre = w.current();
+        let header = w.block("lr.header");
+        let body = w.block("lr.body");
+        let latch = w.block("lr.latch");
+        let exit = w.block("lr.exit");
+        w.br(header);
+        w.switch_to(header);
+        let i = w.phi(Ty::I64);
+        let sx = w.phi(Ty::I64);
+        let sy = w.phi(Ty::I64);
+        let sxx = w.phi(Ty::I64);
+        let syy = w.phi(Ty::I64);
+        let sxy = w.phi(Ty::I64);
+        w.phi_add_incoming(i, pre, start);
+        for ph in [sx, sy, sxx, syy, sxy] {
+            w.phi_add_incoming(ph, pre, c64(0));
+        }
+        let cond = w.icmp(CmpPred::Slt, i, end);
+        w.cond_br(cond, body, exit);
+        w.switch_to(body);
+        let px = w.gep(xs, i, 8);
+        let x = w.load(Ty::I64, px);
+        let py = w.gep(ys, i, 8);
+        let y = w.load(Ty::I64, py);
+        let sx2 = w.add(sx, x);
+        let sy2 = w.add(sy, y);
+        let xx = w.mul(x, x);
+        let sxx2 = w.add(sxx, xx);
+        let yy = w.mul(y, y);
+        let syy2 = w.add(syy, yy);
+        let xy = w.mul(x, y);
+        let sxy2 = w.add(sxy, xy);
+        w.br(latch);
+        w.switch_to(latch);
+        let inext = w.add(i, c64(1));
+        w.phi_add_incoming(i, latch, inext);
+        for (ph, v) in [(sx, sx2), (sy, sy2), (sxx, sxx2), (syy, syy2), (sxy, sxy2)] {
+            w.phi_add_incoming(ph, latch, v);
+        }
+        w.br(header);
+        w.switch_to(exit);
+        // Note: not vectorize-hinted. The paper's Figure 1 shows linreg
+        // gaining only ~8% from SIMD (LLVM's cost model declines the
+        // five-way reduction); its high native ILP comes from unrolled
+        // scalar accumulators instead.
+        // Publish partials into this thread's slots.
+        let my = w.mul(tid, c64(40));
+        let base = w.gep(cptr(slots), my, 1);
+        for (k, ph) in [sx, sy, sxx, syy, sxy].into_iter().enumerate() {
+            let pk = w.gep(base, c64(k as i64), 8);
+            w.store(Ty::I64, ph, pk);
+        }
+        w.ret(c64(0));
+        let wid = m.add_func(w.finish());
+
+        let threads = p.threads;
+        fork_join_main(&mut m, wid, threads, |_b| {}, move |b, _| {
+            // Merge in tid order, output the 5 sums and the fitted slope
+            // numerator/denominator (kept in integers, as Phoenix does).
+            let mut sums: Vec<Operand> = (0..5).map(|_| c64(0)).collect();
+            for t in 0..threads {
+                let base = slots + u64::from(t) * 40;
+                for (k, s) in sums.iter_mut().enumerate() {
+                    let pk = b.gep(cptr(base), c64(k as i64), 8);
+                    let v = b.load(Ty::I64, pk);
+                    *s = b.add(s.clone(), v).into();
+                }
+            }
+            for s in &sums {
+                b.call_builtin(Builtin::OutputI64, vec![s.clone()], Ty::Void);
+            }
+            // slope_num = n*sxy - sx*sy ; slope_den = n*sxx - sx*sx.
+            let nn = c64(n);
+            let a = b.mul(nn.clone(), sums[4].clone());
+            let bb = b.mul(sums[0].clone(), sums[1].clone());
+            let num = b.sub(a, bb);
+            let c = b.mul(nn, sums[2].clone());
+            let d = b.mul(sums[0].clone(), sums[0].clone());
+            let den = b.sub(c, d);
+            b.call_builtin(Builtin::OutputI64, vec![num.into()], Ty::Void);
+            b.call_builtin(Builtin::OutputI64, vec![den.into()], Ty::Void);
+            b.ret(c64(0));
+        });
+        // xs then ys, small values to avoid overflow.
+        let mut input = gen_i64s(0x33, n as usize, 1000);
+        input.extend(gen_i64s(0x44, n as usize, 1000));
+        BuiltWorkload { module: m, input }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// matrix_multiply
+// ---------------------------------------------------------------------------
+
+/// Naive `C = A × B`, row-partitioned: the cache-miss-bound benchmark
+/// whose ELZAR overhead the paper found lowest (§V-B).
+pub struct MatrixMultiply;
+
+impl Workload for MatrixMultiply {
+    fn name(&self) -> &'static str {
+        "matrix_multiply"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        // Three matrices must bust the 32 KB L1 even at the smallest
+        // scale — matrix multiply's defining trait in the paper is being
+        // cache-miss-bound (62% L1 misses, lowest ELZAR overhead).
+        let s = p.scale.pick(64i64, 96, 160);
+        let mut m = Module::new("matrix_multiply");
+        let cmat = GLOBAL_BASE + m.alloc_global((s * s * 8) as usize) as u64;
+
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        let tid = w.param(0);
+        let a = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let bmat = w.gep(a, c64(s * s), 8);
+        let acc = w.alloca(Ty::F64, c64(1));
+        let (start, end) = chunk_bounds(&mut w, tid, s, p.threads);
+        w.counted_loop(start, end, |b, i| {
+            b.counted_loop(c64(0), c64(s), |b, j| {
+                b.store(Ty::F64, cf64(0.0), acc);
+                let arow = b.mul(i, c64(s));
+                b.counted_loop(c64(0), c64(s), |b, k| {
+                    let ai = b.add(arow, k);
+                    let pa = b.gep(a, ai, 8);
+                    let av = b.load(Ty::F64, pa);
+                    let bi0 = b.mul(k, c64(s));
+                    let bi = b.add(bi0, j);
+                    let pb = b.gep(bmat, bi, 8);
+                    let bv = b.load(Ty::F64, pb);
+                    let prod = b.bin(BinOp::FMul, Ty::F64, av, bv);
+                    let cur = b.load(Ty::F64, acc);
+                    let nxt = b.bin(BinOp::FAdd, Ty::F64, cur, prod);
+                    b.store(Ty::F64, nxt, acc);
+                });
+                let ci0 = b.mul(i, c64(s));
+                let ci = b.add(ci0, j);
+                let pc = b.gep(cptr(cmat), ci, 8);
+                let v = b.load(Ty::F64, acc);
+                b.store(Ty::F64, v, pc);
+            });
+        });
+        w.ret(c64(0));
+        let wid = m.add_func(w.finish());
+
+        fork_join_main(&mut m, wid, p.threads, |_b| {}, move |b, _| {
+            // Checksum C.
+            let acc = b.alloca(Ty::F64, c64(1));
+            b.store(Ty::F64, cf64(0.0), acc);
+            b.counted_loop(c64(0), c64(s * s), |b, i| {
+                let pc = b.gep(cptr(cmat), i, 8);
+                let v = b.load(Ty::F64, pc);
+                let a = b.load(Ty::F64, acc);
+                let s2 = b.bin(BinOp::FAdd, Ty::F64, a, v);
+                b.store(Ty::F64, s2, acc);
+            });
+            let v = b.load(Ty::F64, acc);
+            b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
+            b.ret(c64(0));
+        });
+        BuiltWorkload { module: m, input: gen_f64s(0x55, (2 * s * s) as usize, -1.0, 1.0) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// pca
+// ---------------------------------------------------------------------------
+
+/// Column means + covariance sums with strided accesses.
+pub struct Pca;
+
+const PCA_COLS: i64 = 16;
+
+impl Workload for Pca {
+    fn name(&self) -> &'static str {
+        "pca"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let rows = p.scale.pick(96i64, 512, 4096);
+        let cols = PCA_COLS;
+        let mut m = Module::new("pca");
+        let means = GLOBAL_BASE + m.alloc_global((cols * 8) as usize) as u64;
+        let cov = GLOBAL_BASE + m.alloc_global((cols * cols * 8) as usize) as u64;
+
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        let tid = w.param(0);
+        let inp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let acc = w.alloca(Ty::F64, c64(1));
+        let (start, end) = chunk_bounds(&mut w, tid, cols, p.threads);
+        w.counted_loop(start, end, |b, ci| {
+            b.counted_loop(ci, c64(cols), |b, cj| {
+                b.store(Ty::F64, cf64(0.0), acc);
+                let pmi = b.gep(cptr(means), ci, 8);
+                let mi = b.load(Ty::F64, pmi);
+                let pmj = b.gep(cptr(means), cj, 8);
+                let mj = b.load(Ty::F64, pmj);
+                b.counted_loop(c64(0), c64(rows), |b, r| {
+                    let ri = b.mul(r, c64(cols));
+                    let ii = b.add(ri, ci);
+                    let pi = b.gep(inp, ii, 8);
+                    let vi = b.load(Ty::F64, pi);
+                    let jj = b.add(ri, cj);
+                    let pj = b.gep(inp, jj, 8);
+                    let vj = b.load(Ty::F64, pj);
+                    let di = b.bin(BinOp::FSub, Ty::F64, vi, mi);
+                    let dj = b.bin(BinOp::FSub, Ty::F64, vj, mj);
+                    let pr = b.bin(BinOp::FMul, Ty::F64, di, dj);
+                    let a = b.load(Ty::F64, acc);
+                    let s = b.bin(BinOp::FAdd, Ty::F64, a, pr);
+                    b.store(Ty::F64, s, acc);
+                });
+                let v = b.load(Ty::F64, acc);
+                let oi = b.mul(ci, c64(cols));
+                let oj = b.add(oi, cj);
+                let pc = b.gep(cptr(cov), oj, 8);
+                b.store(Ty::F64, v, pc);
+            });
+        });
+        w.ret(c64(0));
+        let wid = m.add_func(w.finish());
+
+        fork_join_main(
+            &mut m,
+            wid,
+            p.threads,
+            move |b| {
+                // Column means, single-threaded setup phase.
+                let inp = b.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+                b.counted_loop(c64(0), c64(cols), |b, c| {
+                    let acc = b.alloca(Ty::F64, c64(1));
+                    b.store(Ty::F64, cf64(0.0), acc);
+                    b.counted_loop(c64(0), c64(rows), |b, r| {
+                        let ri = b.mul(r, c64(cols));
+                        let ii = b.add(ri, c);
+                        let p = b.gep(inp, ii, 8);
+                        let v = b.load(Ty::F64, p);
+                        let a = b.load(Ty::F64, acc);
+                        let s = b.bin(BinOp::FAdd, Ty::F64, a, v);
+                        b.store(Ty::F64, s, acc);
+                    });
+                    let s = b.load(Ty::F64, acc);
+                    let mean = b.bin(BinOp::FMul, Ty::F64, s, cf64(1.0 / rows as f64));
+                    let pm = b.gep(cptr(means), c, 8);
+                    b.store(Ty::F64, mean, pm);
+                });
+            },
+            move |b, _| {
+                let acc = b.alloca(Ty::F64, c64(1));
+                b.store(Ty::F64, cf64(0.0), acc);
+                b.counted_loop(c64(0), c64(cols * cols), |b, i| {
+                    let pc = b.gep(cptr(cov), i, 8);
+                    let v = b.load(Ty::F64, pc);
+                    let a = b.load(Ty::F64, acc);
+                    let s = b.bin(BinOp::FAdd, Ty::F64, a, v);
+                    b.store(Ty::F64, s, acc);
+                });
+                let v = b.load(Ty::F64, acc);
+                b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
+                b.ret(c64(0));
+            },
+        );
+        BuiltWorkload { module: m, input: gen_f64s(0x66, (rows * cols) as usize, -2.0, 2.0) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// string_match
+// ---------------------------------------------------------------------------
+
+/// Phoenix string match: bzero + encrypt + byte-compare loops; the paper's
+/// worst case for ELZAR (32× instruction increase) and best case for
+/// native vectorization (+60% in Figure 1).
+pub struct StringMatch;
+
+const SM_KEYLEN: i64 = 16;
+const SM_SCRATCH: i64 = 256;
+
+impl Workload for StringMatch {
+    fn name(&self) -> &'static str {
+        "string_match"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let keys = p.scale.pick(64i64, 512, 4096);
+        let mut m = Module::new("string_match");
+        // Four encrypted target keys in globals.
+        let input = gen_bytes(0x77, (keys * SM_KEYLEN) as usize);
+        let mut targets = vec![];
+        for t in 0..4usize {
+            let key_idx = (t * 7 + 1) % keys as usize;
+            let key = &input[key_idx * SM_KEYLEN as usize..(key_idx + 1) * SM_KEYLEN as usize];
+            let enc: Vec<u8> = key.iter().map(|b| b ^ 0x5A).collect();
+            targets.push(GLOBAL_BASE + m.add_global_data(&enc) as u64);
+        }
+
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        let tid = w.param(0);
+        let inp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let scratch = w.alloca(Ty::I8, c64(SM_SCRATCH));
+        let found = w.alloca(Ty::I64, c64(1));
+        w.store(Ty::I64, c64(0), found);
+        let (start, end) = chunk_bounds(&mut w, tid, keys, p.threads);
+        let targets_b = targets.clone();
+        w.counted_loop(start, end, move |b, key| {
+            // bzero the scratch buffer (store-dominated, vectorizable).
+            let (bzh, _, _) = b.counted_loop(c64(0), c64(SM_SCRATCH), |b, i| {
+                let p = b.gep(scratch, i, 1);
+                b.store(Ty::I8, c8(0), p);
+            });
+            b.hint_vectorize(bzh, 32);
+            // "encrypt" the key into the scratch buffer.
+            let kbase = b.mul(key, c64(SM_KEYLEN));
+            let kptr = b.gep(inp, kbase, 1);
+            let (ench, _, _) = b.counted_loop(c64(0), c64(SM_KEYLEN), |b, i| {
+                let pi = b.gep(kptr, i, 1);
+                let v = b.load(Ty::I8, pi);
+                let e = b.bin(BinOp::Xor, Ty::I8, v, c8(0x5A));
+                let po = b.gep(scratch, i, 1);
+                b.store(Ty::I8, e, po);
+            });
+            // The 16-byte encrypt loop stays scalar (too short for the
+            // vectorizer's cost model); bzero and the compare loops are
+            // what gave the real string_match its +60% (Figure 1).
+            let _ = ench;
+            // Compare against the four targets (AND-reduction).
+            for taddr in &targets_b {
+                let pre = b.current();
+                let header = b.block("sm.header");
+                let body = b.block("sm.body");
+                let latch = b.block("sm.latch");
+                let exit = b.block("sm.exit");
+                b.br(header);
+                b.switch_to(header);
+                let i = b.phi(Ty::I64);
+                let flag = b.phi(Ty::I8);
+                b.phi_add_incoming(i, pre, c64(0));
+                b.phi_add_incoming(flag, pre, c8(1));
+                let c = b.icmp(CmpPred::Slt, i, c64(SM_KEYLEN));
+                b.cond_br(c, body, exit);
+                b.switch_to(body);
+                let pa = b.gep(scratch, i, 1);
+                let a = b.load(Ty::I8, pa);
+                let pt = b.gep(cptr(*taddr), i, 1);
+                let t = b.load(Ty::I8, pt);
+                let eq = b.icmp(CmpPred::Eq, a, t);
+                let bit = b.select(eq, c8(1), c8(0));
+                let flag2 = b.bin(BinOp::And, Ty::I8, flag, bit);
+                b.br(latch);
+                b.switch_to(latch);
+                let inext = b.add(i, c64(1));
+                b.phi_add_incoming(i, latch, inext);
+                b.phi_add_incoming(flag, latch, flag2);
+                b.br(header);
+                b.switch_to(exit);
+                let wide = b.cast(CastOp::ZExt, flag, Ty::I64);
+                let f0 = b.load(Ty::I64, found);
+                let f1 = b.add(f0, wide);
+                b.store(Ty::I64, f1, found);
+            }
+        });
+        let total = w.load(Ty::I64, found);
+        w.ret(total);
+        let wid = m.add_func(w.finish());
+
+        fork_join_main(&mut m, wid, p.threads, |_b| {}, |b, sum| {
+            b.call_builtin(Builtin::OutputI64, vec![sum.into()], Ty::Void);
+            b.ret(sum);
+        });
+        BuiltWorkload { module: m, input }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// word_count
+// ---------------------------------------------------------------------------
+
+/// Branchy byte scanner with hash-bucket updates kept in memory.
+pub struct WordCount;
+
+impl Workload for WordCount {
+    fn name(&self) -> &'static str {
+        "word_count"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn build(&self, p: &Params) -> BuiltWorkload {
+        let n = p.scale.pick(4_000i64, 40_000, 400_000);
+        let mut m = Module::new("word_count");
+        let table = GLOBAL_BASE + m.alloc_global(256 * 8) as u64;
+        let total = GLOBAL_BASE + m.alloc_global(8) as u64;
+
+        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
+        let tid = w.param(0);
+        let inp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let local = w.alloca(Ty::I64, c64(256));
+        w.counted_loop(c64(0), c64(256), |b, i| {
+            let p = b.gep(local, i, 8);
+            b.store(Ty::I64, c64(0), p);
+        });
+        let in_word = w.alloca(Ty::I64, c64(1));
+        let hash = w.alloca(Ty::I64, c64(1));
+        let count = w.alloca(Ty::I64, c64(1));
+        let pos = w.alloca(Ty::I64, c64(1));
+        w.store(Ty::I64, c64(0), in_word);
+        w.store(Ty::I64, c64(0), hash);
+        w.store(Ty::I64, c64(0), count);
+        let (start, end) = chunk_bounds(&mut w, tid, n, p.threads);
+        w.store(Ty::I64, start.clone(), pos);
+        // Phoenix-style boundary rule: a word belongs to the thread whose
+        // chunk contains its first byte. Skip a partial word at the chunk
+        // head; run past `end` to finish a word that started inside.
+        let skip_hdr = w.block("wc.skip_hdr");
+        let skip_body = w.block("wc.skip_body");
+        let main_hdr = w.block("wc.main_hdr");
+        let main_body = w.block("wc.main_body");
+        let done = w.block("wc.done");
+        let at_zero = w.icmp(CmpPred::Eq, start, c64(0));
+        w.cond_br(at_zero, main_hdr, skip_hdr);
+        w.switch_to(skip_hdr);
+        {
+            let pv = w.load(Ty::I64, pos);
+            let c1 = w.icmp(CmpPred::Slt, pv, end.clone());
+            let prev_i = w.sub(pv, c64(1));
+            let pp = w.gep(inp, prev_i, 1);
+            let prev = w.load(Ty::I8, pp);
+            let c2 = w.icmp(CmpPred::Ne, prev, c8(32));
+            let w1 = w.cast(CastOp::ZExt, c1, Ty::I64);
+            let w2 = w.cast(CastOp::ZExt, c2, Ty::I64);
+            let both = w.bin(BinOp::And, Ty::I64, w1, w2);
+            let cont_skip = w.icmp(CmpPred::Ne, both, c64(0));
+            w.cond_br(cont_skip, skip_body, main_hdr);
+            w.switch_to(skip_body);
+            let pv = w.load(Ty::I64, pos);
+            let p1 = w.add(pv, c64(1));
+            w.store(Ty::I64, p1, pos);
+            w.br(skip_hdr);
+        }
+        w.switch_to(main_hdr);
+        {
+            // while pos < n && (pos < end || in_word)
+            let pv = w.load(Ty::I64, pos);
+            let c1 = w.icmp(CmpPred::Slt, pv, c64(n));
+            let c2 = w.icmp(CmpPred::Slt, pv, end);
+            let iw = w.load(Ty::I64, in_word);
+            let c3 = w.icmp(CmpPred::Ne, iw, c64(0));
+            let w2 = w.cast(CastOp::ZExt, c2, Ty::I64);
+            let w3 = w.cast(CastOp::ZExt, c3, Ty::I64);
+            let or23 = w.bin(BinOp::Or, Ty::I64, w2, w3);
+            let w1 = w.cast(CastOp::ZExt, c1, Ty::I64);
+            let all = w.bin(BinOp::And, Ty::I64, w1, or23);
+            let go = w.icmp(CmpPred::Ne, all, c64(0));
+            w.cond_br(go, main_body, done);
+        }
+        w.switch_to(main_body);
+        {
+            let pv = w.load(Ty::I64, pos);
+            let pb = w.gep(inp, pv, 1);
+            let byte = w.load(Ty::I8, pb);
+            let is_sep = w.icmp(CmpPred::Eq, byte, c8(32));
+            let sep_bb = w.block("wc.sep");
+            let chr_bb = w.block("wc.chr");
+            let cont = w.block("wc.cont");
+            w.cond_br(is_sep, sep_bb, chr_bb);
+            w.switch_to(sep_bb);
+            {
+                let iw = w.load(Ty::I64, in_word);
+                let was = w.icmp(CmpPred::Ne, iw, c64(0));
+                let endw = w.block("wc.endw");
+                w.cond_br(was, endw, cont);
+                w.switch_to(endw);
+                let h = w.load(Ty::I64, hash);
+                let bucket = w.bin(BinOp::And, Ty::I64, h, c64(255));
+                let pt = w.gep(local, bucket, 8);
+                let c = w.load(Ty::I64, pt);
+                let c1 = w.add(c, c64(1));
+                w.store(Ty::I64, c1, pt);
+                let wc = w.load(Ty::I64, count);
+                let wc1 = w.add(wc, c64(1));
+                w.store(Ty::I64, wc1, count);
+                w.store(Ty::I64, c64(0), in_word);
+                w.store(Ty::I64, c64(0), hash);
+                w.br(cont);
+            }
+            w.switch_to(chr_bb);
+            {
+                w.store(Ty::I64, c64(1), in_word);
+                let h = w.load(Ty::I64, hash);
+                let h31 = w.mul(h, c64(31));
+                let wide = w.cast(CastOp::ZExt, byte, Ty::I64);
+                let h2 = w.add(h31, wide);
+                w.store(Ty::I64, h2, hash);
+                w.br(cont);
+            }
+            w.switch_to(cont);
+            let p1 = w.add(pv, c64(1));
+            w.store(Ty::I64, p1, pos);
+            w.br(main_hdr);
+        }
+        w.switch_to(done);
+        {
+            // A word ending exactly at end-of-input.
+            let iw = w.load(Ty::I64, in_word);
+            let left = w.icmp(CmpPred::Ne, iw, c64(0));
+            let fin_bb = w.block("wc.fin");
+            let merge_bb = w.block("wc.merge");
+            w.cond_br(left, fin_bb, merge_bb);
+            w.switch_to(fin_bb);
+            let h = w.load(Ty::I64, hash);
+            let bucket = w.bin(BinOp::And, Ty::I64, h, c64(255));
+            let pt = w.gep(local, bucket, 8);
+            let c = w.load(Ty::I64, pt);
+            let c1 = w.add(c, c64(1));
+            w.store(Ty::I64, c1, pt);
+            let wc = w.load(Ty::I64, count);
+            let wc1 = w.add(wc, c64(1));
+            w.store(Ty::I64, wc1, count);
+            w.br(merge_bb);
+            w.switch_to(merge_bb);
+        }
+        // Merge local buckets + word count atomically (ints: commutative).
+        w.counted_loop(c64(0), c64(256), |b, i| {
+            let pl = b.gep(local, i, 8);
+            let v = b.load(Ty::I64, pl);
+            let pg = b.gep(cptr(table), i, 8);
+            b.atomic_rmw(elzar_ir::RmwOp::Add, Ty::I64, pg, v);
+        });
+        let wc = w.load(Ty::I64, count);
+        w.atomic_rmw(elzar_ir::RmwOp::Add, Ty::I64, cptr(total), wc);
+        w.ret(c64(0));
+        let wid = m.add_func(w.finish());
+
+        fork_join_main(&mut m, wid, p.threads, |_b| {}, |b, _| {
+            let t = b.load(Ty::I64, cptr(total));
+            b.call_builtin(Builtin::OutputI64, vec![t.into()], Ty::Void);
+            b.counted_loop(c64(0), c64(256), |b, i| {
+                let pg = b.gep(cptr(table), i, 8);
+                let v = b.load(Ty::I64, pg);
+                b.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
+            });
+            b.ret(c64(0));
+        });
+        // Text: words of 1..8 letters separated by single spaces.
+        let mut s = 0x88u64 | 1;
+        let mut text = Vec::with_capacity(n as usize);
+        while text.len() < n as usize {
+            let wl = 1 + (crate::common::lcg(&mut s) % 8) as usize;
+            for _ in 0..wl {
+                text.push(b'a' + (crate::common::lcg(&mut s) % 26) as u8);
+            }
+            text.push(b' ');
+        }
+        text.truncate(n as usize);
+        BuiltWorkload { module: m, input: text }
+    }
+}

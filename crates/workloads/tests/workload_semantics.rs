@@ -1,0 +1,151 @@
+//! End-to-end semantics tests for every benchmark: native, no-SIMD,
+//! vectorized-native, ELZAR (default + future-AVX) and SWIFT-R builds
+//! must exit cleanly and produce byte-identical output at 1 and 2 threads.
+
+use elzar::{execute, Mode};
+use elzar_vm::{MachineConfig, RunOutcome};
+use elzar_workloads::{all_workloads, by_name, Params, Scale};
+
+fn cfg() -> MachineConfig {
+    MachineConfig { step_limit: 3_000_000_000, ..MachineConfig::default() }
+}
+
+#[test]
+fn all_workloads_agree_across_modes_one_thread() {
+    for w in all_workloads() {
+        let built = w.build(&Params::new(1, Scale::Tiny));
+        let native = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg());
+        assert!(
+            matches!(native.outcome, RunOutcome::Exited(_)),
+            "{}: native outcome {:?}",
+            w.name(),
+            native.outcome
+        );
+        assert!(!native.output.is_empty(), "{}: no observable output", w.name());
+        for mode in [Mode::Native, Mode::elzar_default(), Mode::elzar_future_avx(), Mode::SwiftR] {
+            let r = execute(&built.module, &mode, &built.input, cfg());
+            assert_eq!(native.outcome, r.outcome, "{} under {mode:?}", w.name());
+            assert_eq!(native.output, r.output, "{} under {mode:?}: output diverged", w.name());
+            if matches!(mode, Mode::Elzar(_)) {
+                assert_eq!(r.corrections, 0, "{}: spurious recovery under {mode:?}", w.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn all_workloads_agree_across_modes_two_threads() {
+    for w in all_workloads() {
+        let built = w.build(&Params::new(2, Scale::Tiny));
+        let native = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg());
+        assert!(
+            matches!(native.outcome, RunOutcome::Exited(_)),
+            "{}: native outcome {:?}",
+            w.name(),
+            native.outcome
+        );
+        for mode in [Mode::elzar_default(), Mode::SwiftR] {
+            let r = execute(&built.module, &mode, &built.input, cfg());
+            assert_eq!(native.outcome, r.outcome, "{} under {mode:?}", w.name());
+            assert_eq!(native.output, r.output, "{} under {mode:?}", w.name());
+        }
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results_for_reduction_kernels() {
+    // Workloads with order-independent merges must give identical output
+    // at different thread counts (FP kernels merge in tid order).
+    for name in ["histogram", "linear_regression", "word_count", "string_match", "dedup"] {
+        let w = by_name(name).unwrap();
+        let b1 = w.build(&Params::new(1, Scale::Tiny));
+        let b2 = w.build(&Params::new(3, Scale::Tiny));
+        let r1 = execute(&b1.module, &Mode::NativeNoSimd, &b1.input, cfg());
+        let r2 = execute(&b2.module, &Mode::NativeNoSimd, &b2.input, cfg());
+        assert_eq!(r1.output, r2.output, "{name}: thread count changed results");
+    }
+}
+
+#[test]
+fn histogram_bins_sum_to_input_length() {
+    let w = by_name("histogram").unwrap();
+    let built = w.build(&Params::new(2, Scale::Tiny));
+    let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg());
+    let total: i64 = r
+        .output
+        .chunks(8)
+        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+        .sum();
+    assert_eq!(total, built.input.len() as i64);
+}
+
+#[test]
+fn linear_regression_matches_host_computation() {
+    let w = by_name("linear_regression").unwrap();
+    let built = w.build(&Params::new(2, Scale::Tiny));
+    let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg());
+    let vals: Vec<i64> = r
+        .output
+        .chunks(8)
+        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    // Recompute on the host.
+    let n = built.input.len() / 16; // xs then ys
+    let xs: Vec<i64> = built.input[..n * 8]
+        .chunks(8)
+        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let ys: Vec<i64> = built.input[n * 8..]
+        .chunks(8)
+        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let sx: i64 = xs.iter().sum();
+    let sy: i64 = ys.iter().sum();
+    let sxx: i64 = xs.iter().map(|x| x * x).sum();
+    let syy: i64 = ys.iter().map(|y| y * y).sum();
+    let sxy: i64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+    assert_eq!(&vals[..5], &[sx, sy, sxx, syy, sxy]);
+}
+
+#[test]
+fn string_match_finds_the_planted_keys() {
+    let w = by_name("string_match").unwrap();
+    let built = w.build(&Params::new(1, Scale::Tiny));
+    let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg());
+    let found = i64::from_le_bytes(r.output[..8].try_into().unwrap());
+    // Four target keys are planted; duplicates in random data are
+    // possible but the count must be at least 4.
+    assert!(found >= 4, "found {found}");
+}
+
+#[test]
+fn blackscholes_prices_are_positive_and_finite() {
+    let w = by_name("blackscholes").unwrap();
+    let built = w.build(&Params::new(1, Scale::Tiny));
+    let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg());
+    let sum = f64::from_le_bytes(r.output[..8].try_into().unwrap());
+    assert!(sum.is_finite() && sum > 0.0, "price sum {sum}");
+}
+
+#[test]
+fn dedup_unique_count_is_sane() {
+    let w = by_name("dedup").unwrap();
+    let built = w.build(&Params::new(2, Scale::Tiny));
+    let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg());
+    let uniq = i64::from_le_bytes(r.output[..8].try_into().unwrap());
+    let blocks = built.input.len() as i64 / 64;
+    // Duplicates exist by construction: strictly fewer unique than total.
+    assert!(uniq > 8 && uniq < blocks, "uniq {uniq} of {blocks}");
+}
+
+#[test]
+fn vectorizer_actually_fires_on_the_simd_kernels() {
+    // Figure 1 depends on these kernels having vectorizable hot loops.
+    for name in ["string_match"] {
+        let w = by_name(name).unwrap();
+        let built = w.build(&Params::new(1, Scale::Tiny));
+        let mut m = built.module.clone();
+        let n = elzar_passes::vectorize_module(&mut m);
+        assert!(n > 0, "{name}: no loop vectorized");
+    }
+}

@@ -1,0 +1,59 @@
+//! Fault-injection walk-through: harden a kernel, then bombard both the
+//! native and the ELZAR build with single-event upsets and compare the
+//! Table-I outcome distributions (a miniature Figure 13).
+//!
+//! ```sh
+//! cargo run --release --example harden_and_inject
+//! ```
+
+use elzar_suite::elzar::{build, Mode};
+use elzar_suite::elzar_fault::{run_campaign, CampaignConfig, Outcome};
+use elzar_suite::elzar_ir::builder::{c64, FuncBuilder};
+use elzar_suite::elzar_ir::{BinOp, Builtin, Module, Ty};
+
+fn kernel() -> Module {
+    let mut m = Module::new("inject-demo");
+    let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+    let buf = b.call_builtin(Builtin::Malloc, vec![c64(128 * 8)], Ty::Ptr).unwrap();
+    b.counted_loop(c64(0), c64(128), |b, i| {
+        let v = b.mul(i, c64(2654435761));
+        let x = b.bin(BinOp::Xor, Ty::I64, v, c64(0xABCD));
+        let p = b.gep(buf, i, 8);
+        b.store(Ty::I64, x, p);
+    });
+    let acc = b.alloca(Ty::I64, c64(1));
+    b.store(Ty::I64, c64(0), acc);
+    b.counted_loop(c64(0), c64(128), |b, i| {
+        let p = b.gep(buf, i, 8);
+        let v = b.load(Ty::I64, p);
+        let a = b.load(Ty::I64, acc);
+        let s = b.add(a, v);
+        b.store(Ty::I64, s, acc);
+    });
+    let v = b.load(Ty::I64, acc);
+    b.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
+    b.ret(c64(0));
+    m.add_func(b.finish());
+    m
+}
+
+fn main() {
+    let m = kernel();
+    println!("{:<10} {:>8} {:>8} {:>10} {:>8} {:>8}", "version", "hang", "os-det", "corrected", "masked", "SDC");
+    for (name, mode) in [("native", Mode::NativeNoSimd), ("elzar", Mode::elzar_default())] {
+        let prog = build(&m, &mode);
+        let r = run_campaign(&prog, &[], &CampaignConfig { runs: 300, seed: 42, ..Default::default() });
+        println!(
+            "{:<10} {:>7.1}% {:>7.1}% {:>9.1}% {:>7.1}% {:>7.1}%",
+            name,
+            r.rate(Outcome::Hang) * 100.0,
+            r.rate(Outcome::OsDetected) * 100.0,
+            r.rate(Outcome::ElzarCorrected) * 100.0,
+            r.rate(Outcome::Masked) * 100.0,
+            r.rate(Outcome::Sdc) * 100.0,
+        );
+    }
+    println!();
+    println!("ELZAR converts most silent corruptions into corrections;");
+    println!("the residue comes from the extracted-address window (§V-C).");
+}

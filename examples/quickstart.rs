@@ -1,0 +1,44 @@
+//! Quickstart: build a small program, harden it with ELZAR, run both
+//! versions on the simulated machine and compare cost and results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use elzar_suite::elzar::{execute, normalized_runtime, Mode};
+use elzar_suite::elzar_ir::builder::{c64, FuncBuilder};
+use elzar_suite::elzar_ir::{Builtin, Module, Ty};
+use elzar_suite::elzar_vm::MachineConfig;
+
+fn main() {
+    // A tiny program: sum the squares of 0..1000 and print the result.
+    let mut module = Module::new("quickstart");
+    let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+    let acc = b.alloca(Ty::I64, c64(1));
+    b.store(Ty::I64, c64(0), acc);
+    b.counted_loop(c64(0), c64(1000), |b, i| {
+        let sq = b.mul(i, i);
+        let cur = b.load(Ty::I64, acc);
+        let next = b.add(cur, sq);
+        b.store(Ty::I64, next, acc);
+    });
+    let total = b.load(Ty::I64, acc);
+    b.call_builtin(Builtin::OutputI64, vec![total.into()], Ty::Void);
+    b.ret(total);
+    module.add_func(b.finish());
+
+    // Run natively and under ELZAR's AVX-based triple modular redundancy.
+    let cfg = MachineConfig::default();
+    let native = execute(&module, &Mode::Native, &[], cfg);
+    let hardened = execute(&module, &Mode::elzar_default(), &[], cfg);
+
+    println!("native   : outcome {:?}", native.outcome);
+    println!("           {} instructions, {} cycles (ILP {:.2})",
+        native.counters.instrs, native.cycles, native.ilp());
+    println!("elzar    : outcome {:?}", hardened.outcome);
+    println!("           {} instructions, {} cycles (ILP {:.2})",
+        hardened.counters.instrs, hardened.cycles, hardened.ilp());
+    println!("overhead : {:.2}x normalized runtime", normalized_runtime(&hardened, &native));
+    assert_eq!(native.output, hardened.output, "TMR must not change results");
+    println!("outputs match: sum(i^2, i<1000) = {}", i64::from_le_bytes(native.output[..8].try_into().unwrap()));
+}

@@ -1,0 +1,167 @@
+//! Cross-crate integration tests: full pipeline slices of each paper
+//! experiment (transform → lower → execute → measure / inject).
+
+use elzar_suite::elzar::{build, execute, normalized_runtime, Mode};
+use elzar_suite::elzar_apps::{throughput, App, AppParams, YcsbWorkload};
+use elzar_suite::elzar_fault::{run_campaign, CampaignConfig, OutcomeClass};
+use elzar_suite::elzar_vm::{MachineConfig, RunOutcome};
+use elzar_suite::elzar_workloads::{all_workloads, by_name, Params, Scale};
+
+fn cfg() -> MachineConfig {
+    MachineConfig { step_limit: 5_000_000_000, ..MachineConfig::default() }
+}
+
+/// A slice of Figure 11: the overhead ordering that defines the paper's
+/// headline result must hold on representative benchmarks.
+#[test]
+fn figure11_slice_overhead_ordering() {
+    // blackscholes (FP-heavy) must be among ELZAR's cheapest; smatch
+    // (byte-store-heavy) among its most expensive.
+    let mut overheads = std::collections::HashMap::new();
+    for name in ["blackscholes", "string_match", "matrix_multiply"] {
+        let w = by_name(name).unwrap();
+        let built = w.build(&Params::new(2, Scale::Tiny));
+        let native = execute(&built.module, &Mode::Native, &built.input, cfg());
+        let elz = execute(&built.module, &Mode::elzar_default(), &built.input, cfg());
+        assert_eq!(native.output, elz.output, "{name}");
+        overheads.insert(name, normalized_runtime(&elz, &native));
+    }
+    assert!(
+        overheads["blackscholes"] < overheads["string_match"] / 3.0,
+        "blackscholes {:.1}x should be far below smatch {:.1}x",
+        overheads["blackscholes"],
+        overheads["string_match"]
+    );
+    assert!(overheads["blackscholes"] < 3.0, "blackscholes {:.2}x", overheads["blackscholes"]);
+}
+
+/// A slice of Figure 12: removing checks must monotonically reduce cost.
+#[test]
+fn figure12_slice_checks_monotone() {
+    use elzar_suite::elzar::{CheckConfig, Config};
+    let w = by_name("word_count").unwrap();
+    let built = w.build(&Params::new(1, Scale::Tiny));
+    let native = execute(&built.module, &Mode::Native, &built.input, cfg());
+    let all = execute(
+        &built.module,
+        &Mode::Elzar(Config::default()),
+        &built.input,
+        cfg(),
+    );
+    let none = execute(
+        &built.module,
+        &Mode::Elzar(Config { checks: CheckConfig::none(), ..Config::default() }),
+        &built.input,
+        cfg(),
+    );
+    let o_all = normalized_runtime(&all, &native);
+    let o_none = normalized_runtime(&none, &native);
+    assert!(o_none < o_all, "checks must cost: {o_none:.2} !< {o_all:.2}");
+    assert!(o_none > 1.3, "even check-free ELZAR costs wrappers: {o_none:.2}");
+}
+
+/// A slice of Figure 13: ELZAR improves the correct-rate on a real
+/// benchmark under fault injection.
+#[test]
+fn figure13_slice_reliability_improves() {
+    let w = by_name("linear_regression").unwrap();
+    let built = w.build(&Params::new(2, Scale::Tiny));
+    let campaign = |mode: &Mode| {
+        let prog = build(&built.module, mode);
+        run_campaign(
+            &prog,
+            &built.input,
+            &CampaignConfig { runs: 60, seed: 3, machine: cfg(), ..Default::default() },
+        )
+    };
+    let native = campaign(&Mode::NativeNoSimd);
+    let elzar = campaign(&Mode::elzar_default());
+    assert!(
+        elzar.class_rate(OutcomeClass::Corrupted) <= native.class_rate(OutcomeClass::Corrupted),
+        "ELZAR corrupted {:.2} vs native {:.2}",
+        elzar.class_rate(OutcomeClass::Corrupted),
+        native.class_rate(OutcomeClass::Corrupted)
+    );
+    assert!(
+        elzar.class_rate(OutcomeClass::Correct) > native.class_rate(OutcomeClass::Correct),
+        "ELZAR correct {:.2} vs native {:.2}",
+        elzar.class_rate(OutcomeClass::Correct),
+        native.class_rate(OutcomeClass::Correct)
+    );
+}
+
+/// A slice of Figure 14: ELZAR is competitive with SWIFT-R on FP-heavy
+/// code (the paper reports outright wins there) and loses decisively on
+/// memory-heavy code — the crossover that frames the paper's conclusion.
+#[test]
+fn figure14_slice_crossover() {
+    let run_pair = |name: &str| {
+        let w = by_name(name).unwrap();
+        let built = w.build(&Params::new(2, Scale::Tiny));
+        let native = execute(&built.module, &Mode::Native, &built.input, cfg());
+        let sw = execute(&built.module, &Mode::SwiftR, &built.input, cfg());
+        let el = execute(&built.module, &Mode::elzar_default(), &built.input, cfg());
+        assert_eq!(sw.output, el.output, "{name}");
+        (normalized_runtime(&el, &native), normalized_runtime(&sw, &native))
+    };
+    // FP-heavy: within ~15% of SWIFT-R (paper: ELZAR wins by 34%; our
+    // model keeps a small residual ptest/branch tax — see EXPERIMENTS.md).
+    let (el_black, sw_black) = run_pair("blackscholes");
+    assert!(
+        el_black < sw_black * 1.15,
+        "blackscholes: ELZAR {el_black:.2}x must be competitive with SWIFT-R {sw_black:.2}x"
+    );
+    // Memory-heavy: SWIFT-R must win by a wide margin (paper: +170%).
+    let (el_sm, sw_sm) = run_pair("string_match");
+    assert!(
+        el_sm > sw_sm * 1.5,
+        "smatch: SWIFT-R {sw_sm:.2}x must beat ELZAR {el_sm:.2}x decisively"
+    );
+}
+
+/// A slice of Figure 15: all three case studies keep their results under
+/// hardening and SQLite pays the most.
+#[test]
+fn figure15_slice_case_studies() {
+    let p = AppParams::new(2, Scale::Tiny, YcsbWorkload::A);
+    let mut retain = std::collections::HashMap::new();
+    for app in App::all() {
+        let built = app.build(&p);
+        let native = execute(&built.module, &Mode::Native, &built.input, cfg());
+        let elz = execute(&built.module, &Mode::elzar_default(), &built.input, cfg());
+        assert!(matches!(native.outcome, RunOutcome::Exited(_)), "{}", app.name());
+        assert_eq!(native.output, elz.output, "{}", app.name());
+        let tn = throughput(built.ops, native.cycles);
+        let te = throughput(built.ops, elz.cycles);
+        retain.insert(app.name(), te / tn);
+    }
+    assert!(retain["sqlite3"] < retain["apache"], "{retain:?}");
+}
+
+/// Figure 17's punchline: future-AVX ELZAR lands well under plain ELZAR
+/// on every benchmark.
+#[test]
+fn figure17_slice_future_avx_wins_everywhere() {
+    for w in all_workloads().into_iter().take(5) {
+        let built = w.build(&Params::new(1, Scale::Tiny));
+        let native = execute(&built.module, &Mode::Native, &built.input, cfg());
+        let elz = execute(&built.module, &Mode::elzar_default(), &built.input, cfg());
+        let fut = execute(&built.module, &Mode::elzar_future_avx(), &built.input, cfg());
+        assert_eq!(elz.output, fut.output, "{}", w.name());
+        let oe = normalized_runtime(&elz, &native);
+        let of = normalized_runtime(&fut, &native);
+        assert!(of < oe, "{}: future {of:.2}x !< elzar {oe:.2}x", w.name());
+    }
+}
+
+/// Cross-crate determinism: an entire workload pipeline re-run bit-equal.
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let w = by_name("dedup").unwrap();
+    let built = w.build(&Params::new(2, Scale::Tiny));
+    let a = execute(&built.module, &Mode::elzar_default(), &built.input, cfg());
+    let b = execute(&built.module, &Mode::elzar_default(), &built.input, cfg());
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.counters.instrs, b.counters.instrs);
+}
