@@ -64,7 +64,7 @@ pub fn build(p: &AppParams) -> BuiltApp {
             b.store(Ty::I64, c64(0), lo);
             b.store(Ty::I64, c64(n_keys as i64), hi);
             b.store(Ty::I64, c64(-1), pos);
-            let iters = (64 - (n_keys as u64).leading_zeros()) as i64 + 1;
+            let iters = i64::from(64 - n_keys.leading_zeros()) + 1;
             b.counted_loop(c64(0), c64(iters), |b, _| {
                 let l = b.load(Ty::I64, lo);
                 let h = b.load(Ty::I64, hi);

@@ -70,11 +70,7 @@ pub fn build(p: &AppParams) -> BuiltApp {
         let a2 = b.add(a, hphi);
         b.store(Ty::I64, a2, hacc);
         // Serve the page (unhardened library copy — sendfile/memcpy).
-        b.call_builtin(
-            Builtin::Memcpy,
-            vec![resp.into(), cptr(page), c64(page_bytes)],
-            Ty::Void,
-        );
+        b.call_builtin(Builtin::Memcpy, vec![resp.into(), cptr(page), c64(page_bytes)], Ty::Void);
         b.call_builtin(Builtin::Heartbeat, vec![], Ty::Void);
     });
     let hv = wk.load(Ty::I64, hacc);
@@ -84,19 +80,21 @@ pub fn build(p: &AppParams) -> BuiltApp {
     let wid = m.add_func(wk.finish());
 
     let threads = p.threads;
-    fork_join_main(&mut m, wid, threads, |_b| {}, move |b, _| {
-        let mut total: Operand = c64(0);
-        for t in 0..threads {
-            let pa = b.gep(cptr(hash_slots + u64::from(t) * 8), c64(0), 8);
-            let v = b.load(Ty::I64, pa);
-            total = b.add(total, v).into();
-        }
-        b.call_builtin(Builtin::OutputI64, vec![total], Ty::Void);
-        b.ret(c64(0));
-    });
-    BuiltApp {
-        module: m,
-        input: gen_bytes(0xAC, n_req * REQ_BYTES as usize),
-        ops: n_req as u64,
-    }
+    fork_join_main(
+        &mut m,
+        wid,
+        threads,
+        |_b| {},
+        move |b, _| {
+            let mut total: Operand = c64(0);
+            for t in 0..threads {
+                let pa = b.gep(cptr(hash_slots + u64::from(t) * 8), c64(0), 8);
+                let v = b.load(Ty::I64, pa);
+                total = b.add(total, v).into();
+            }
+            b.call_builtin(Builtin::OutputI64, vec![total], Ty::Void);
+            b.ret(c64(0));
+        },
+    );
+    BuiltApp { module: m, input: gen_bytes(0xAC, n_req * REQ_BYTES as usize), ops: n_req as u64 }
 }

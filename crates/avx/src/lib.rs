@@ -46,7 +46,7 @@ pub enum LaneWidth {
 
 impl LaneWidth {
     /// Lane width in bits.
-    pub fn bits(self) -> u32 {
+    pub const fn bits(self) -> u32 {
         match self {
             LaneWidth::B8 => 8,
             LaneWidth::B16 => 16,
@@ -188,7 +188,13 @@ impl Ymm {
     }
 
     /// Lane-wise binary map over the first `lanes` lanes.
-    pub fn map2(&self, other: &Ymm, width: LaneWidth, lanes: usize, mut f: impl FnMut(u64, u64) -> u64) -> Ymm {
+    pub fn map2(
+        &self,
+        other: &Ymm,
+        width: LaneWidth,
+        lanes: usize,
+        mut f: impl FnMut(u64, u64) -> u64,
+    ) -> Ymm {
         let mut r = Ymm::ZERO;
         for i in 0..lanes {
             r.set_lane(width, i, f(self.lane(width, i), other.lane(width, i)));
@@ -337,7 +343,7 @@ pub fn majority_extended(v: &Ymm, width: LaneWidth, lanes: usize) -> MajorityOut
             None => values.push((x, 1)),
         }
     }
-    values.sort_by(|a, b| b.1.cmp(&a.1));
+    values.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
     let (best, best_count) = values[0];
     let second_count = values.get(1).map(|&(_, c)| c).unwrap_or(0);
     if best_count == lanes {

@@ -1,8 +1,12 @@
-//! Criterion microbenchmarks for the reproduction's own infrastructure:
-//! YMM lane operations, the cache simulator, the hardening passes, and
+//! Microbenchmarks for the reproduction's own infrastructure: YMM lane
+//! operations, the cache simulator, the hardening passes, and
 //! interpreter throughput under each execution mode.
+//!
+//! Self-contained harness (`harness = false`, no external crates):
+//! each benchmark is warmed up, then timed over enough iterations to
+//! exceed a minimum measurement window, and reported as ns/op. Run
+//! with `cargo bench -p elzar-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use elzar::{build, prepare, Mode};
 use elzar_avx::{LaneWidth, Ymm};
 use elzar_cpu::{CoreCaches, SharedL3};
@@ -10,6 +14,37 @@ use elzar_ir::builder::{c64, FuncBuilder};
 use elzar_ir::{Module, Ty};
 use elzar_vm::{run_program, MachineConfig};
 use elzar_workloads::{by_name, Params, Scale};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Time `f` and print ns/op. Scales iteration count until the
+/// measurement window exceeds ~200 ms.
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // Warm-up.
+    for _ in 0..3 {
+        black_box(f());
+    }
+    let mut iters: u64 = 1;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let dt = t0.elapsed();
+        if dt >= Duration::from_millis(200) || iters >= 1 << 30 {
+            let ns = dt.as_nanos() as f64 / iters as f64;
+            if ns >= 1e6 {
+                println!("{name:<40} {:>12.3} ms/op   ({iters} iters)", ns / 1e6);
+            } else {
+                println!("{name:<40} {ns:>12.1} ns/op   ({iters} iters)");
+            }
+            return;
+        }
+        let target = Duration::from_millis(250).as_nanos() as u64;
+        let scale = (target / dt.as_nanos().max(1) as u64).clamp(2, 1024);
+        iters = iters.saturating_mul(scale);
+    }
+}
 
 fn kernel() -> Module {
     let mut m = Module::new("bench");
@@ -28,70 +63,50 @@ fn kernel() -> Module {
     m
 }
 
-fn bench_ymm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ymm");
-    g.bench_function("map2_add_4x64", |b| {
-        let x = Ymm::splat(LaneWidth::B64, 4, 7);
-        let y = Ymm::splat(LaneWidth::B64, 4, 9);
-        b.iter(|| std::hint::black_box(x.map2(&y, LaneWidth::B64, 4, |a, b| a.wrapping_add(b))))
-    });
-    g.bench_function("figure8_check", |b| {
-        let x = Ymm::splat(LaneWidth::B64, 4, 0xABCDEF);
-        b.iter(|| {
-            let r = x.xor(&x.rotate_lanes(LaneWidth::B64, 4));
-            std::hint::black_box(r.ptest(LaneWidth::B64, 4))
-        })
-    });
-    g.finish();
+fn bench_ymm() {
+    let x = Ymm::splat(LaneWidth::B64, 4, 7);
+    let y = Ymm::splat(LaneWidth::B64, 4, 9);
+    bench("ymm/map2_add_4x64", || x.map2(&y, LaneWidth::B64, 4, |a, b| a.wrapping_add(b)));
+    let v = Ymm::splat(LaneWidth::B64, 4, 0xABCDEF);
+    bench("ymm/figure8_check", || v.xor(&v.rotate_lanes(LaneWidth::B64, 4)).ptest(LaneWidth::B64, 4));
 }
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache/l1_hit_access", |b| {
-        let mut l3 = SharedL3::haswell();
-        let mut cc = CoreCaches::haswell();
-        cc.access(0x1000, &mut l3);
-        b.iter(|| std::hint::black_box(cc.access(0x1000, &mut l3)))
+fn bench_cache() {
+    let mut l3 = SharedL3::haswell();
+    let mut cc = CoreCaches::haswell();
+    let mut i = 0u64;
+    bench("cache/l1_hit_stream", move || {
+        i = (i + 64) & 0x3FFF;
+        cc.access(i, &mut l3)
     });
 }
 
-fn bench_passes(c: &mut Criterion) {
+fn bench_passes() {
     let m = kernel();
-    let mut g = c.benchmark_group("passes");
-    g.bench_function("elzar_harden", |b| {
-        b.iter_batched(|| m.clone(), |m| prepare(&m, &Mode::elzar_default()), BatchSize::SmallInput)
-    });
-    g.bench_function("swiftr_harden", |b| {
-        b.iter_batched(|| m.clone(), |m| prepare(&m, &Mode::SwiftR), BatchSize::SmallInput)
-    });
-    g.finish();
+    bench("passes/prepare_elzar", || prepare(&m, &Mode::elzar_default()));
+    bench("passes/prepare_swiftr", || prepare(&m, &Mode::SwiftR));
 }
 
-fn bench_interp(c: &mut Criterion) {
-    let m = kernel();
-    let mut g = c.benchmark_group("interp");
-    g.sample_size(20);
+fn bench_interp() {
     for mode in [Mode::NativeNoSimd, Mode::elzar_default(), Mode::SwiftR] {
-        let prog = build(&m, &mode);
-        g.bench_function(mode.label(), |b| {
-            b.iter(|| std::hint::black_box(run_program(&prog, "main", &[], MachineConfig::default())))
+        let prog = build(&kernel(), &mode);
+        bench(&format!("interp/kernel_{}", mode.label()), || {
+            run_program(&prog, "main", &[], MachineConfig::default())
         });
     }
-    g.finish();
-}
-
-fn bench_workload_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload");
-    g.sample_size(10);
     let w = by_name("histogram").expect("known");
     let built = w.build(&Params::new(1, Scale::Tiny));
     let prog = build(&built.module, &Mode::elzar_default());
-    g.bench_function("histogram_tiny_elzar", |b| {
-        b.iter(|| {
-            std::hint::black_box(run_program(&prog, "main", &built.input, MachineConfig::default()))
-        })
+    bench("interp/histogram_tiny_elzar", || {
+        run_program(&prog, "main", &built.input, MachineConfig::default())
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_ymm, bench_cache, bench_passes, bench_interp, bench_workload_pipeline);
-criterion_main!(benches);
+fn main() {
+    println!("elzar microbenchmarks (self-contained harness)");
+    println!("----------------------------------------------");
+    bench_ymm();
+    bench_cache();
+    bench_passes();
+    bench_interp();
+}

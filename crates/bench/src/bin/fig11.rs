@@ -1,29 +1,70 @@
 //! Figure 11: ELZAR's normalized runtime w.r.t. native across thread
 //! counts (the paper's headline 4.1–5.6× average).
+//!
+//! Every (workload, simulated-thread-count) cell is an independent
+//! pair of full interpretations, so the cells are fanned out over
+//! `ELZAR_CAMPAIGN_THREADS` host workers and printed in order — the
+//! numbers are identical to the serial sweep, only faster.
 
 use elzar::{normalized_runtime, Mode};
-use elzar_bench::{banner, mean, measure, scale_from_env, thread_sweep};
+use elzar_bench::{banner, campaign_workers_from_env, mean, measure, scale_from_env, thread_sweep};
 use elzar_workloads::{all_workloads, by_name, short_name, Params};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn main() {
     banner("Figure 11", "ELZAR normalized runtime vs native, by thread count");
     let scale = scale_from_env();
     let sweep = thread_sweep();
+    let names: Vec<&'static str> = all_workloads().iter().map(|w| w.name()).collect();
+
+    // One job per (workload, simulated threads) cell; results land in
+    // their own slots, so host scheduling never reorders anything.
+    let jobs: Vec<(usize, usize)> =
+        (0..names.len()).flat_map(|wi| (0..sweep.len()).map(move |k| (wi, k))).collect();
+    let mut cells = vec![0.0f64; jobs.len()];
+    let workers = (campaign_workers_from_env() as usize).min(jobs.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let done: Vec<(usize, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let jobs = &jobs;
+                let sweep = &sweep;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let j = next.fetch_add(1, Ordering::Relaxed);
+                        if j >= jobs.len() {
+                            return local;
+                        }
+                        let (wi, k) = jobs[j];
+                        let w = all_workloads().swap_remove(wi);
+                        let built = w.build(&Params::new(sweep[k], scale));
+                        let native = measure(&built.module, &Mode::Native, &built.input);
+                        let elz = measure(&built.module, &Mode::elzar_default(), &built.input);
+                        local.push((j, normalized_runtime(&elz, &native)));
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+    });
+    for (j, o) in done {
+        cells[j] = o;
+    }
+
     print!("{:<12}", "benchmark");
     for t in &sweep {
         print!(" {:>7}T", t);
     }
     println!();
     let mut per_thread: Vec<Vec<f64>> = vec![vec![]; sweep.len()];
-    for w in all_workloads() {
-        print!("{:<12}", short_name(w.name()));
-        for (k, t) in sweep.iter().enumerate() {
-            let built = w.build(&Params::new(*t, scale));
-            let native = measure(&built.module, &Mode::Native, &built.input);
-            let elz = measure(&built.module, &Mode::elzar_default(), &built.input);
-            let o = normalized_runtime(&elz, &native);
+    for (wi, name) in names.iter().enumerate() {
+        print!("{:<12}", short_name(name));
+        for k in 0..sweep.len() {
+            let o = cells[wi * sweep.len() + k];
             per_thread[k].push(o);
-            print!(" {:>7.2}x", o);
+            print!(" {o:>7.2}x");
         }
         println!();
     }

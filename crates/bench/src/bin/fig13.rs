@@ -2,8 +2,8 @@
 //! (2 threads, smallest inputs — §V-A/§V-C).
 
 use elzar::{build, Mode};
-use elzar_bench::{banner, bench_machine, fi_runs_from_env};
-use elzar_fault::{run_campaign, CampaignConfig, Outcome, OutcomeClass};
+use elzar_bench::{banner, campaign_config, campaign_workers_from_env, fi_runs_from_env};
+use elzar_fault::{run_campaign, Outcome, OutcomeClass};
 use elzar_workloads::{by_name, short_name, Params, Scale};
 
 /// The twelve benchmarks of the paper's Figure 13 (mmul and fluidanimate
@@ -26,7 +26,10 @@ const FI_BENCHES: [&str; 12] = [
 fn main() {
     let runs = fi_runs_from_env();
     banner("Figure 13", "fault-injection outcomes, native (N) vs ELZAR (E)");
-    println!("{runs} injections per benchmark and version (paper: 2500, 2 threads)");
+    println!(
+        "{runs} injections per benchmark and version (paper: 2500, 2 threads), {} campaign workers",
+        campaign_workers_from_env()
+    );
     println!(
         "{:<10} {:>3} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
         "bench", "ver", "hang", "os-det", "corr", "masked", "SDC", "crashed", "correct", "corrupt"
@@ -37,7 +40,7 @@ fn main() {
         let built = w.build(&Params::new(2, Scale::Tiny));
         for (ver, mode) in [("N", Mode::NativeNoSimd), ("E", Mode::elzar_default())] {
             let prog = build(&built.module, &mode);
-            let cfg = CampaignConfig { runs, seed: 0xF13 ^ runs as u64, machine: bench_machine(), ..Default::default() };
+            let cfg = campaign_config(runs, 0xF13 ^ runs as u64);
             let r = run_campaign(&prog, &built.input, &cfg);
             println!(
                 "{:<10} {:>3} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% | {:>7.1}% {:>7.1}% {:>7.1}%",

@@ -28,7 +28,13 @@ fn main() {
             (oe / os - 1.0) * 100.0
         );
     }
-    println!("{:<12} {:>9.2}x {:>9.2}x {:>+11.0}%", "mean", mean(&ss), mean(&es), (mean(&es) / mean(&ss) - 1.0) * 100.0);
+    println!(
+        "{:<12} {:>9.2}x {:>9.2}x {:>+11.0}%",
+        "mean",
+        mean(&ss),
+        mean(&es),
+        (mean(&es) / mean(&ss) - 1.0) * 100.0
+    );
     println!();
     println!("Paper shape: SWIFT-R ~2.5x vs ELZAR ~3.7x mean (+46%); ELZAR");
     println!("wins on kmeans, blackscholes, fluidanimate (FP-heavy, few");

@@ -1,0 +1,79 @@
+//! Perf probe: measures interpreter and campaign throughput and writes
+//! `BENCH_interp.json` (in the current directory) so successive PRs
+//! have a recorded performance trajectory.
+//!
+//! Metrics:
+//! * `interp_steps_per_sec_native` / `_elzar` — retired IR
+//!   instructions per wall-clock second interpreting a fixed kernel;
+//! * `campaign_runs_per_sec` — fault-injection runs per second on the
+//!   hardened kernel (checkpointed driver, `ELZAR_CAMPAIGN_THREADS`
+//!   workers);
+//! * `campaign_speedup_vs_naive` — same campaign with prefix sharing
+//!   and fan-out disabled, as a ratio.
+
+use elzar::{build, Mode};
+use elzar_bench::campaign_workers_from_env;
+use elzar_fault::{run_campaign, CampaignConfig};
+use elzar_ir::builder::{c64, FuncBuilder};
+use elzar_ir::{Builtin, Module, Ty};
+use elzar_vm::{run_program, MachineConfig};
+use std::time::Instant;
+
+fn kernel(iters: i64) -> Module {
+    let mut m = Module::new("probe");
+    let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+    let buf = b.call_builtin(Builtin::Malloc, vec![c64(64 * 8)], Ty::Ptr).unwrap();
+    b.counted_loop(c64(0), c64(iters), |b, i| {
+        let idx = b.bin(elzar_ir::BinOp::And, Ty::I64, i, c64(63));
+        let p = b.gep(buf, idx, 8);
+        let v = b.load(Ty::I64, p);
+        let x = b.mul(v, c64(3));
+        let y = b.add(x, i);
+        b.store(Ty::I64, y, p);
+    });
+    let p0 = b.gep(buf, c64(0), 8);
+    let v = b.load(Ty::I64, p0);
+    b.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
+    b.ret(c64(0));
+    m.add_func(b.finish());
+    m
+}
+
+/// Steps/second interpreting the kernel under `mode`.
+fn interp_rate(mode: &Mode) -> f64 {
+    let prog = build(&kernel(20_000), mode);
+    // Warm-up.
+    run_program(&prog, "main", &[], MachineConfig::default());
+    let mut steps = 0u64;
+    let t0 = Instant::now();
+    let mut reps = 0;
+    while t0.elapsed().as_millis() < 500 {
+        steps += run_program(&prog, "main", &[], MachineConfig::default()).steps;
+        reps += 1;
+    }
+    let _ = reps;
+    steps as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Campaign runs/second on the hardened kernel.
+fn campaign_rate(share_prefixes: bool, workers: u32) -> f64 {
+    let prog = build(&kernel(5_000), &Mode::elzar_default());
+    let cfg = CampaignConfig { runs: 60, seed: 0xBE7C, workers, share_prefixes, ..Default::default() };
+    let t0 = Instant::now();
+    let r = run_campaign(&prog, &[], &cfg);
+    r.total() as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let native = interp_rate(&Mode::NativeNoSimd);
+    let elzar = interp_rate(&Mode::elzar_default());
+    let workers = campaign_workers_from_env();
+    let fast = campaign_rate(true, workers);
+    let naive = campaign_rate(false, 1);
+    let json = format!(
+        "{{\n  \"interp_steps_per_sec_native\": {native:.0},\n  \"interp_steps_per_sec_elzar\": {elzar:.0},\n  \"campaign_workers\": {workers},\n  \"campaign_runs_per_sec\": {fast:.2},\n  \"campaign_runs_per_sec_naive_serial\": {naive:.2},\n  \"campaign_speedup_vs_naive\": {:.2}\n}}\n",
+        fast / naive.max(1e-9)
+    );
+    std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");
+    print!("{json}");
+}

@@ -17,14 +17,24 @@
 //! | `table4` | Table IV | wrapper microbenchmarks |
 //! | `fp_only`| §V-B | FP-only protection overheads |
 //!
-//! Environment knobs: `ELZAR_SCALE` = `tiny`/`small`/`large` (default
-//! `small`), `ELZAR_THREADS` = max thread count for sweeps (default 16),
-//! `ELZAR_FI_RUNS` = injections per benchmark/mode in `fig13` (default
-//! 120; the paper used 2500 on a 25-machine cluster).
+//! Environment knobs:
+//!
+//! * `ELZAR_SCALE` = `tiny`/`small`/`large` (default `small`) — problem
+//!   size of every workload;
+//! * `ELZAR_THREADS` = max *simulated* thread count for sweeps
+//!   (default 16): the sweep is `1,2,4,8,16` clipped to this value;
+//! * `ELZAR_FI_RUNS` = injections per benchmark/mode in `fig13`
+//!   (default 120; the paper used 2500 on a 25-machine cluster);
+//! * `ELZAR_CAMPAIGN_THREADS` = *host* OS threads used to fan out
+//!   fault-injection runs (and fig11's independent measurements).
+//!   Default: all available cores. `1` forces the serial driver;
+//!   any value produces bit-identical results — parallelism only
+//!   changes wall-clock time.
 
 #![warn(missing_docs)]
 
 use elzar::Mode;
+use elzar_fault::CampaignConfig;
 use elzar_ir::Module;
 use elzar_vm::{MachineConfig, RunResult};
 use elzar_workloads::Scale;
@@ -52,6 +62,30 @@ pub fn max_threads() -> u32 {
 /// FI runs per benchmark/mode from `ELZAR_FI_RUNS` (default 120).
 pub fn fi_runs_from_env() -> u32 {
     std::env::var("ELZAR_FI_RUNS").ok().and_then(|s| s.parse().ok()).unwrap_or(120)
+}
+
+/// Host worker threads for campaign fan-out from
+/// `ELZAR_CAMPAIGN_THREADS` (default: all available cores). Worker
+/// count never changes results, only wall-clock time.
+pub fn campaign_workers_from_env() -> u32 {
+    std::env::var("ELZAR_CAMPAIGN_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(4))
+}
+
+/// Campaign configuration wired to the environment knobs: `runs` and
+/// `seed` from the caller, machine/workers from `bench_machine()` and
+/// [`campaign_workers_from_env`].
+pub fn campaign_config(runs: u32, seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        runs,
+        seed,
+        workers: campaign_workers_from_env(),
+        machine: bench_machine(),
+        ..Default::default()
+    }
 }
 
 /// Machine configuration for benchmark runs (generous step budget).
@@ -91,7 +125,17 @@ mod tests {
         assert!(matches!(scale_from_env(), Scale::Small | Scale::Tiny | Scale::Large));
         assert!(!thread_sweep().is_empty());
         assert!(fi_runs_from_env() > 0);
+        assert!(campaign_workers_from_env() >= 1);
         assert!(mean(&[1.0, 3.0]) == 2.0);
         assert!(mean(&[]) == 0.0);
+    }
+
+    #[test]
+    fn campaign_config_carries_knobs() {
+        let c = campaign_config(7, 99);
+        assert_eq!(c.runs, 7);
+        assert_eq!(c.seed, 99);
+        assert!(c.workers >= 1);
+        assert_eq!(c.machine.step_limit, bench_machine().step_limit);
     }
 }

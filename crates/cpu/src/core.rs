@@ -73,6 +73,9 @@ pub struct Core {
     port_free: [u64; 8],
     fetch_base_cycle: u64,
     fetch_base_seq: u64,
+    /// `log2(fetch_width)` — the per-instruction fetch-cycle divide is
+    /// a shift (fetch width must be a power of two).
+    fetch_shift: u32,
     seq: u64,
     cycles: u64,
     counters: Counters,
@@ -87,8 +90,11 @@ impl Default for Core {
 impl Core {
     /// A Haswell-like core.
     pub fn new() -> Core {
+        let cfg = CoreConfig::default();
+        assert!(cfg.fetch_width.is_power_of_two(), "fetch width must be a power of two");
         Core {
-            cfg: CoreConfig::default(),
+            fetch_shift: cfg.fetch_width.trailing_zeros(),
+            cfg,
             caches: CoreCaches::haswell(),
             pred: BranchPredictor::haswell(),
             port_free: [0; 8],
@@ -100,20 +106,25 @@ impl Core {
         }
     }
 
+    #[inline]
     fn fetch_cycle(&self) -> u64 {
-        self.fetch_base_cycle + (self.seq - self.fetch_base_seq) / u64::from(self.cfg.fetch_width)
+        self.fetch_base_cycle + ((self.seq - self.fetch_base_seq) >> self.fetch_shift)
     }
 
+    #[inline]
     fn issue(&mut self, class: InstClass, ops: &[u64], mem_latency: u32) -> u64 {
         let cost = class.cost();
         let fetch = self.fetch_cycle();
         self.seq += 1 + u64::from(cost.extra_instrs);
         let op_ready = ops.iter().copied().max().unwrap_or(0);
-        // Pick the soonest-free capable port.
+        // Pick the soonest-free capable port, visiting set bits only.
         let mut best_port = usize::MAX;
         let mut best_free = u64::MAX;
-        for p in 0..8 {
-            if cost.ports & (1 << p) != 0 && self.port_free[p] < best_free {
+        let mut mask = cost.ports;
+        while mask != 0 {
+            let p = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if self.port_free[p] < best_free {
                 best_free = self.port_free[p];
                 best_port = p;
             }
@@ -135,6 +146,7 @@ impl Core {
 
     /// Retire a non-memory, non-branch instruction whose operands become
     /// ready at the given cycles. Returns the cycle its result is ready.
+    #[inline]
     pub fn retire(&mut self, class: InstClass, ops: &[u64]) -> u64 {
         debug_assert!(!class.is_mem() && class != InstClass::Branch);
         self.issue(class, ops, 0)
@@ -148,6 +160,7 @@ impl Core {
 
     /// Retire a memory instruction touching `addr`; the added latency
     /// comes from the cache hierarchy.
+    #[inline]
     pub fn retire_mem(&mut self, class: InstClass, ops: &[u64], addr: u64, l3: &mut SharedL3) -> u64 {
         let lat = self.caches.access(addr, l3);
         self.counters.mem_refs += 1;

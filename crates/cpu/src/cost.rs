@@ -34,7 +34,12 @@ pub const P_FPADD: PortMask = 0b0000_0010;
 
 /// Classification of one retired instruction, reported by the VM to the
 /// timing model.
+///
+/// `repr(u8)` with dense discriminants: the class doubles as an index
+/// into the static cost table, so the per-retire lookup is one array
+/// load instead of a 32-arm match.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
 pub enum InstClass {
     /// Scalar integer add/sub/logic/shift/compare.
     ScalarAlu,
@@ -126,91 +131,120 @@ const fn cost(latency: u32, ports: PortMask, occupy: u32, extra_instrs: u32) -> 
     Cost { latency, ports, occupy, extra_instrs }
 }
 
+/// Number of instruction classes (table size).
+pub const NUM_INST_CLASSES: usize = 32;
+
+/// Dense cost table, indexed by `InstClass as usize`. Built once at
+/// compile time; [`InstClass::cost`] is a single array load on the
+/// interpreter's per-instruction path.
+static COST_TABLE: [Cost; NUM_INST_CLASSES] = build_cost_table();
+
+const fn build_cost_table() -> [Cost; NUM_INST_CLASSES] {
+    let mut t = [cost(0, 0, 0, 0); NUM_INST_CLASSES];
+    t[InstClass::ScalarAlu as usize] = cost(1, P_ALU, 1, 0);
+    t[InstClass::ScalarMul as usize] = cost(3, 0b0000_0010, 1, 0);
+    t[InstClass::ScalarDiv as usize] = cost(26, P_DIV, 20, 0);
+    t[InstClass::ScalarFpAdd as usize] = cost(3, P_FPADD, 1, 0);
+    t[InstClass::ScalarFpMul as usize] = cost(5, P_FPMUL, 1, 0);
+    t[InstClass::ScalarFpDiv as usize] = cost(14, P_DIV, 12, 0);
+    t[InstClass::Load as usize] = cost(0, P_LOAD, 1, 0); // + cache latency
+    t[InstClass::Store as usize] = cost(1, P_STORE, 1, 0);
+    t[InstClass::Branch as usize] = cost(1, P_BRANCH, 1, 0);
+    t[InstClass::Call as usize] = cost(2, P_BRANCH, 2, 0);
+    t[InstClass::VecAlu as usize] = cost(1, P_VEC, 1, 0);
+    t[InstClass::VecMul as usize] = cost(5, 0b0000_0001, 1, 0);
+    t[InstClass::VecFpAdd as usize] = cost(3, P_FPADD, 1, 0);
+    t[InstClass::VecFpMul as usize] = cost(5, P_FPMUL, 1, 0);
+    t[InstClass::VecFpDiv as usize] = cost(28, P_DIV, 24, 0);
+    t[InstClass::VecCmp as usize] = cost(1, P_VEC, 1, 0);
+    // vptest is 2 uops with ~3c latency into FLAGS on Haswell and
+    // competes with the shuffle-heavy check traffic on p0/p5.
+    t[InstClass::Ptest as usize] = cost(3, 0b0010_0001, 1, 1);
+    // Domain crossing vec<->gpr costs ~3 cycles each way; this is
+    // the wrapper tax of Figure 6. Extracts dual-issue on p0/p5.
+    t[InstClass::Extract as usize] = cost(3, 0b0010_0001, 1, 0);
+    t[InstClass::Broadcast as usize] = cost(3, P_SHUF, 1, 0);
+    t[InstClass::Shuffle as usize] = cost(3, P_SHUF, 1, 0);
+    t[InstClass::Blend as usize] = cost(1, P_VEC, 1, 0);
+    t[InstClass::Insert as usize] = cost(3, P_SHUF, 1, 0);
+    // ~4 scalar divides + 4 extracts + 4 inserts.
+    t[InstClass::VecIntDiv as usize] = cost(48, P_DIV, 40, 12);
+    t[InstClass::VecCast as usize] = cost(3, 0b0010_0001, 1, 0);
+    t[InstClass::VecCastLegalized as usize] = cost(8, P_SHUF, 2, 4);
+    t[InstClass::VecLoad as usize] = cost(1, P_LOAD, 1, 0); // + cache latency
+    t[InstClass::VecStore as usize] = cost(2, P_STORE, 1, 0);
+    // §VII-B gathers: one wide op replacing extract+load+broadcast;
+    // still a memory op (+cache latency) with a small vote cost.
+    t[InstClass::Gather as usize] = cost(2, P_LOAD, 1, 0);
+    t[InstClass::Scatter as usize] = cost(3, P_STORE, 1, 0);
+    t[InstClass::Atomic as usize] = cost(19, P_LOAD, 6, 0);
+    t[InstClass::Fence as usize] = cost(6, P_LOAD, 6, 0);
+    t[InstClass::LibCall as usize] = cost(3, P_BRANCH, 2, 0);
+    t
+}
+
+/// Bit `i` set ⇔ class `i` counts as an AVX instruction (Table II/III).
+const AVX_MASK: u32 = class_mask(&[
+    InstClass::VecAlu,
+    InstClass::VecMul,
+    InstClass::VecFpAdd,
+    InstClass::VecFpMul,
+    InstClass::VecFpDiv,
+    InstClass::VecCmp,
+    InstClass::Ptest,
+    InstClass::Extract,
+    InstClass::Broadcast,
+    InstClass::Shuffle,
+    InstClass::Blend,
+    InstClass::Insert,
+    InstClass::VecIntDiv,
+    InstClass::VecCast,
+    InstClass::VecCastLegalized,
+    InstClass::VecLoad,
+    InstClass::VecStore,
+    InstClass::Gather,
+    InstClass::Scatter,
+]);
+
+/// Bit `i` set ⇔ class `i` references memory (drives the cache model).
+const MEM_MASK: u32 = class_mask(&[
+    InstClass::Load,
+    InstClass::Store,
+    InstClass::VecLoad,
+    InstClass::VecStore,
+    InstClass::Gather,
+    InstClass::Scatter,
+    InstClass::Atomic,
+]);
+
+const fn class_mask(classes: &[InstClass]) -> u32 {
+    let mut m = 0u32;
+    let mut i = 0;
+    while i < classes.len() {
+        m |= 1 << (classes[i] as u32);
+        i += 1;
+    }
+    m
+}
+
 impl InstClass {
-    /// Cost-table lookup.
+    /// Cost-table lookup (one array load).
+    #[inline]
     pub fn cost(self) -> Cost {
-        match self {
-            InstClass::ScalarAlu => cost(1, P_ALU, 1, 0),
-            InstClass::ScalarMul => cost(3, 0b0000_0010, 1, 0),
-            InstClass::ScalarDiv => cost(26, P_DIV, 20, 0),
-            InstClass::ScalarFpAdd => cost(3, P_FPADD, 1, 0),
-            InstClass::ScalarFpMul => cost(5, P_FPMUL, 1, 0),
-            InstClass::ScalarFpDiv => cost(14, P_DIV, 12, 0),
-            InstClass::Load => cost(0, P_LOAD, 1, 0), // + cache latency
-            InstClass::Store => cost(1, P_STORE, 1, 0),
-            InstClass::Branch => cost(1, P_BRANCH, 1, 0),
-            InstClass::Call => cost(2, P_BRANCH, 2, 0),
-            InstClass::VecAlu => cost(1, P_VEC, 1, 0),
-            InstClass::VecMul => cost(5, 0b0000_0001, 1, 0),
-            InstClass::VecFpAdd => cost(3, P_FPADD, 1, 0),
-            InstClass::VecFpMul => cost(5, P_FPMUL, 1, 0),
-            InstClass::VecFpDiv => cost(28, P_DIV, 24, 0),
-            InstClass::VecCmp => cost(1, P_VEC, 1, 0),
-            // vptest is 2 uops with ~3c latency into FLAGS on Haswell and
-            // competes with the shuffle-heavy check traffic on p0/p5.
-            InstClass::Ptest => cost(3, 0b0010_0001, 1, 1),
-            // Domain crossing vec<->gpr costs ~3 cycles each way; this is
-            // the wrapper tax of Figure 6. Extracts dual-issue on p0/p5.
-            InstClass::Extract => cost(3, 0b0010_0001, 1, 0),
-            InstClass::Broadcast => cost(3, P_SHUF, 1, 0),
-            InstClass::Shuffle => cost(3, P_SHUF, 1, 0),
-            InstClass::Blend => cost(1, P_VEC, 1, 0),
-            InstClass::Insert => cost(3, P_SHUF, 1, 0),
-            // ~4 scalar divides + 4 extracts + 4 inserts.
-            InstClass::VecIntDiv => cost(48, P_DIV, 40, 12),
-            InstClass::VecCast => cost(3, 0b0010_0001, 1, 0),
-            InstClass::VecCastLegalized => cost(8, P_SHUF, 2, 4),
-            InstClass::VecLoad => cost(1, P_LOAD, 1, 0), // + cache latency
-            InstClass::VecStore => cost(2, P_STORE, 1, 0),
-            // §VII-B gathers: one wide op replacing extract+load+broadcast;
-            // still a memory op (+cache latency) with a small vote cost.
-            InstClass::Gather => cost(2, P_LOAD, 1, 0),
-            InstClass::Scatter => cost(3, P_STORE, 1, 0),
-            InstClass::Atomic => cost(19, P_LOAD, 6, 0),
-            InstClass::Fence => cost(6, P_LOAD, 6, 0),
-            InstClass::LibCall => cost(3, P_BRANCH, 2, 0),
-        }
+        COST_TABLE[self as usize]
     }
 
     /// True for classes counted as AVX instructions in the perf-style
     /// statistics (Table II/III).
+    #[inline]
     pub fn is_avx(self) -> bool {
-        matches!(
-            self,
-            InstClass::VecAlu
-                | InstClass::VecMul
-                | InstClass::VecFpAdd
-                | InstClass::VecFpMul
-                | InstClass::VecFpDiv
-                | InstClass::VecCmp
-                | InstClass::Ptest
-                | InstClass::Extract
-                | InstClass::Broadcast
-                | InstClass::Shuffle
-                | InstClass::Blend
-                | InstClass::Insert
-                | InstClass::VecIntDiv
-                | InstClass::VecCast
-                | InstClass::VecCastLegalized
-                | InstClass::VecLoad
-                | InstClass::VecStore
-                | InstClass::Gather
-                | InstClass::Scatter
-        )
+        AVX_MASK & (1 << (self as u32)) != 0
     }
 
     /// True for classes that reference memory (drive the cache model).
+    #[inline]
     pub fn is_mem(self) -> bool {
-        matches!(
-            self,
-            InstClass::Load
-                | InstClass::Store
-                | InstClass::VecLoad
-                | InstClass::VecStore
-                | InstClass::Gather
-                | InstClass::Scatter
-                | InstClass::Atomic
-        )
+        MEM_MASK & (1 << (self as u32)) != 0
     }
 }
 

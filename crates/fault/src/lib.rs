@@ -45,10 +45,10 @@
 
 #![warn(missing_docs)]
 
-use elzar_vm::{run_program, FaultPlan, MachineConfig, Program, RunOutcome, RunResult};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use elzar_rng::DetRng;
+use elzar_vm::{run_program, FaultPlan, Machine, MachineConfig, Program, RunOutcome, RunResult};
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Fault-injection outcome (Table I).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -118,6 +118,11 @@ pub struct CampaignConfig {
     pub hang_factor: u64,
     /// Base machine configuration (threads inside the VM etc.).
     pub machine: MachineConfig,
+    /// Share the pre-injection prefix between runs via machine
+    /// checkpoints instead of re-interpreting it per run. Outcomes are
+    /// identical either way (execution is deterministic); this is a
+    /// pure wall-clock optimization, on by default.
+    pub share_prefixes: bool,
 }
 
 impl Default for CampaignConfig {
@@ -128,6 +133,7 @@ impl Default for CampaignConfig {
             workers: std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(4),
             hang_factor: 20,
             machine: MachineConfig::default(),
+            share_prefixes: true,
         }
     }
 }
@@ -199,11 +205,7 @@ pub fn golden_run(prog: &Program, input: &[u8], machine: &MachineConfig) -> Gold
     let mut cfg = *machine;
     cfg.fault = None;
     let r = run_program(prog, "main", input, cfg);
-    assert!(
-        matches!(r.outcome, RunOutcome::Exited(_)),
-        "golden run must exit cleanly, got {:?}",
-        r.outcome
-    );
+    assert!(matches!(r.outcome, RunOutcome::Exited(_)), "golden run must exit cleanly, got {:?}", r.outcome);
     assert!(r.eligible > 0, "program has no fault-eligible instructions");
     GoldenRun { output: r.output, outcome: r.outcome, eligible: r.eligible, steps: r.steps, cycles: r.cycles }
 }
@@ -245,45 +247,136 @@ pub fn inject_once(
     classify(golden, &r)
 }
 
+/// Sample the campaign's fault plans: `runs` pairs of (eligible index,
+/// raw bit). The stream depends only on `(seed, eligible, runs)` — never
+/// on worker count or scheduling — so any execution order over these
+/// plans reproduces the same histogram.
+pub fn sample_plans(seed: u64, eligible: u64, runs: u32) -> Vec<(u64, u32)> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    (0..runs).map(|_| (rng.range_inclusive(1, eligible), rng.below(256) as u32)).collect()
+}
+
 /// Run a full campaign: golden run + `cfg.runs` single-SEU injections at
 /// uniformly random eligible instructions and bits, parallelized across
-/// host threads. Deterministic for a fixed seed.
+/// host threads.
+///
+/// Determinism contract: the outcome histogram (and every per-run
+/// outcome) is a pure function of `(program, input, seed, runs)`.
+/// `workers` only changes wall-clock time — workers pull plan indices
+/// from a shared counter and write outcomes back by index, so serial
+/// (`workers == 1`) and parallel campaigns are bit-identical.
 pub fn run_campaign(prog: &Program, input: &[u8], cfg: &CampaignConfig) -> CampaignResult {
     let golden = golden_run(prog, input, &cfg.machine);
-    // Pre-sample all injection points so the result does not depend on
-    // worker scheduling.
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let plans: Vec<(u64, u32)> = (0..cfg.runs)
-        .map(|_| (rng.gen_range(1..=golden.eligible), rng.gen_range(0..256u32)))
-        .collect();
-    let workers = cfg.workers.max(1) as usize;
-    let chunk = plans.len().div_ceil(workers).max(1);
-    let mut result = CampaignResult {
-        counts: [0; 5],
-        eligible: golden.eligible,
-        golden_cycles: golden.cycles,
-    };
+    let plans = sample_plans(cfg.seed, golden.eligible, cfg.runs);
+    let mut result =
+        CampaignResult { counts: [0; 5], eligible: golden.eligible, golden_cycles: golden.cycles };
     if plans.is_empty() {
         return result;
     }
-    let outcomes: Vec<Outcome> = std::thread::scope(|scope| {
-        let mut handles = vec![];
-        for part in plans.chunks(chunk) {
-            let golden = &golden;
-            let machine = &cfg.machine;
-            let hang = cfg.hang_factor;
-            handles.push(scope.spawn(move || {
-                part.iter()
-                    .map(|&(index, bit)| inject_once(prog, input, golden, index, bit, machine, hang))
-                    .collect::<Vec<_>>()
-            }));
-        }
-        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
-    });
-    for o in outcomes {
+    for o in run_plans(prog, input, &golden, &plans, cfg) {
         result.record(o);
     }
     result
+}
+
+/// Execute the given fault plans and return per-plan outcomes in plan
+/// order, fanned out over `cfg.workers` OS threads.
+///
+/// With `cfg.share_prefixes` (the default) each worker advances one
+/// *base* machine through the fault-free execution and branches a
+/// checkpoint clone off it per plan, so a plan only pays for the
+/// execution *after* its injection point; otherwise every plan
+/// re-interprets the whole program from the start. The two strategies
+/// produce identical outcomes — the machine is deterministic and a
+/// clone resumes exactly where the original stood.
+pub fn run_plans(
+    prog: &Program,
+    input: &[u8],
+    golden: &GoldenRun,
+    plans: &[(u64, u32)],
+    cfg: &CampaignConfig,
+) -> Vec<Outcome> {
+    if plans.is_empty() {
+        return Vec::new();
+    }
+    let workers = (cfg.workers.max(1) as usize).min(plans.len());
+    // Process plans in ascending injection order so a worker's base
+    // machine only ever advances; scatter outcomes back to plan order.
+    let mut order: Vec<usize> = (0..plans.len()).collect();
+    if cfg.share_prefixes {
+        order.sort_by_key(|&i| plans[i].0);
+    }
+    let next = AtomicUsize::new(0);
+    let mut outcomes: Vec<Option<Outcome>> = vec![None; plans.len()];
+    let tagged: Vec<(usize, Outcome)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let order = &order;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut base: Option<Machine> = None;
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= order.len() {
+                            return local;
+                        }
+                        let i = order[k];
+                        let (index, bit) = plans[i];
+                        // Checkpointing requires a reachable injection
+                        // point; hand-built plans outside
+                        // `1..=golden.eligible` (where the fault can
+                        // never fire) take the plain path instead.
+                        let o = if cfg.share_prefixes && (1..=golden.eligible).contains(&index) {
+                            let m = base.get_or_insert_with(|| {
+                                let mut mc = cfg.machine;
+                                mc.fault = None;
+                                Machine::start(prog, "main", input, mc)
+                            });
+                            inject_from_checkpoint(m, golden, index, bit, cfg.hang_factor)
+                        } else {
+                            inject_once(prog, input, golden, index, bit, &cfg.machine, cfg.hang_factor)
+                        };
+                        local.push((i, o));
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+    });
+    for (i, o) in tagged {
+        outcomes[i] = Some(o);
+    }
+    outcomes.into_iter().map(|o| o.expect("every plan executed")).collect()
+}
+
+/// Advance `base` (a fault-free execution) to just below the injection
+/// point, then branch a clone that carries the fault to completion.
+///
+/// `base` must not have crossed eligible instruction `index` yet, and
+/// `index` must satisfy `1 <= index <= golden.eligible` — both
+/// guaranteed by the caller, which visits plans in ascending `index`
+/// order (the base is only ever advanced while the *next* round
+/// provably cannot reach the current plan's index) and routes
+/// out-of-range plans to [`inject_once`].
+fn inject_from_checkpoint(
+    base: &mut Machine,
+    golden: &GoldenRun,
+    index: u64,
+    bit: u32,
+    hang_factor: u64,
+) -> Outcome {
+    while base.eligible_so_far() + base.eligible_round_bound() < index {
+        if base.run_round().is_some() {
+            unreachable!("base finished with eligible < plan index <= golden.eligible");
+        }
+    }
+    debug_assert!(base.eligible_so_far() < index);
+    let mut m = base.clone();
+    m.set_fault(Some(FaultPlan { index, bit }));
+    m.set_step_limit(golden.steps.saturating_mul(hang_factor).saturating_add(100_000));
+    let outcome = m.run_to_completion();
+    classify(golden, &m.finish(outcome))
 }
 
 #[cfg(test)]

@@ -144,7 +144,13 @@ impl FuncBuilder {
     }
 
     /// Atomic read-modify-write.
-    pub fn atomic_rmw(&mut self, op: RmwOp, ty: Ty, addr: impl Into<Operand>, val: impl Into<Operand>) -> ValueId {
+    pub fn atomic_rmw(
+        &mut self,
+        op: RmwOp,
+        ty: Ty,
+        addr: impl Into<Operand>,
+        val: impl Into<Operand>,
+    ) -> ValueId {
         self.push_val(Inst::AtomicRmw { op, ty, addr: addr.into(), val: val.into() })
     }
 
@@ -197,7 +203,12 @@ impl FuncBuilder {
     }
 
     /// Blend/select.
-    pub fn select(&mut self, cond: impl Into<Operand>, a: impl Into<Operand>, b: impl Into<Operand>) -> ValueId {
+    pub fn select(
+        &mut self,
+        cond: impl Into<Operand>,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> ValueId {
         let a = a.into();
         let ty = self.f.operand_ty(&a);
         self.push_val(Inst::Select { cond: cond.into(), ty, a, b: b.into() })
@@ -259,7 +270,13 @@ impl FuncBuilder {
     }
 
     /// Three-way branch on a `ptest` result.
-    pub fn ptest_br(&mut self, flags: impl Into<Operand>, all_false: BlockId, all_true: BlockId, mixed: BlockId) {
+    pub fn ptest_br(
+        &mut self,
+        flags: impl Into<Operand>,
+        all_false: BlockId,
+        all_true: BlockId,
+        mixed: BlockId,
+    ) {
         self.f.set_term(self.cur, Terminator::PtestBr { flags: flags.into(), all_false, all_true, mixed });
     }
 

@@ -65,10 +65,7 @@ pub enum BinOp {
 impl BinOp {
     /// True for the float-domain operations.
     pub fn is_float(self) -> bool {
-        matches!(
-            self,
-            BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv | BinOp::FMin | BinOp::FMax
-        )
+        matches!(self, BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv | BinOp::FMin | BinOp::FMax)
     }
 
     /// True for integer division/remainder — the operations AVX lacks
@@ -857,9 +854,11 @@ mod tests {
     #[test]
     fn vector_cmp_yields_mask_of_operand_shape() {
         let v4 = Ty::vec(Ty::I64, 4);
-        let cmp = Inst::Cmp { pred: CmpPred::Eq, ty: v4.clone(), a: Operand::imm_i64(0), b: Operand::imm_i64(0) };
+        let cmp =
+            Inst::Cmp { pred: CmpPred::Eq, ty: v4.clone(), a: Operand::imm_i64(0), b: Operand::imm_i64(0) };
         assert_eq!(cmp.result_ty(), v4);
-        let scmp = Inst::Cmp { pred: CmpPred::Eq, ty: Ty::I64, a: Operand::imm_i64(0), b: Operand::imm_i64(0) };
+        let scmp =
+            Inst::Cmp { pred: CmpPred::Eq, ty: Ty::I64, a: Operand::imm_i64(0), b: Operand::imm_i64(0) };
         assert_eq!(scmp.result_ty(), Ty::I1);
     }
 

@@ -281,7 +281,10 @@ mod tests {
         let mut f = Function::new("f", vec![], Ty::Void);
         let b1 = f.add_block("b1");
         let b2 = f.add_block("b2");
-        f.set_term(BlockId(0), Terminator::CondBr { cond: Operand::Imm(Const::bool(true)), then_bb: b1, else_bb: b2 });
+        f.set_term(
+            BlockId(0),
+            Terminator::CondBr { cond: Operand::Imm(Const::bool(true)), then_bb: b1, else_bb: b2 },
+        );
         f.set_term(b1, Terminator::Br { target: b2 });
         f.set_term(b2, Terminator::Ret { val: None });
         let preds = f.predecessors();

@@ -22,8 +22,7 @@ pub fn print_module(m: &Module) -> String {
 /// Render one function to text.
 pub fn print_function(m: &Module, f: &Function) -> String {
     let mut s = String::new();
-    let params: Vec<String> =
-        f.params.iter().enumerate().map(|(i, t)| format!("{t} %{i}")).collect();
+    let params: Vec<String> = f.params.iter().enumerate().map(|(i, t)| format!("{t} %{i}")).collect();
     let hardened = if f.hardened { "" } else { " unhardened" };
     let _ = writeln!(s, "define {} @{}({}){hardened} {{", f.ret_ty, f.name, params.join(", "));
     for (bi, b) in f.blocks.iter().enumerate() {
@@ -55,13 +54,14 @@ fn format_inst(m: &Module, inst: &Inst) -> String {
         Inst::Alloca { ty, count } => format!("alloca {ty}, {count}"),
         Inst::Select { cond, ty, a, b } => format!("select {cond}, {ty} {a}, {b}"),
         Inst::Phi { ty, incomings } => {
-            let parts: Vec<String> =
-                incomings.iter().map(|(b, v)| format!("[bb{}: {v}]", b.0)).collect();
+            let parts: Vec<String> = incomings.iter().map(|(b, v)| format!("[bb{}: {v}]", b.0)).collect();
             format!("phi {ty} {}", parts.join(", "))
         }
         Inst::Call { callee, args, ret_ty } => {
             let name = match callee {
-                Callee::Func(fid) => format!("@{}", m.funcs.get(fid.0 as usize).map(|f| f.name.as_str()).unwrap_or("?")),
+                Callee::Func(fid) => {
+                    format!("@{}", m.funcs.get(fid.0 as usize).map(|f| f.name.as_str()).unwrap_or("?"))
+                }
                 Callee::Builtin(b) => format!("@{}", b.name()),
             };
             let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();

@@ -202,8 +202,8 @@ impl<'a> Verifier<'a> {
                         self.expect_ty("select true value", &ta, ty);
                         self.expect_ty("select false value", &tb, ty);
                         let tc = self.operand_ty(cond);
-                        let ok = tc == Ty::I1
-                            || (tc.is_vector() && ty.is_vector() && tc.lanes() == ty.lanes());
+                        let ok =
+                            tc == Ty::I1 || (tc.is_vector() && ty.is_vector() && tc.lanes() == ty.lanes());
                         if !ok {
                             self.err(format!("select condition {tc} incompatible with {ty}"));
                         }
@@ -279,7 +279,10 @@ impl<'a> Verifier<'a> {
                         // the result replication width depends on the
                         // element type (§III-D), so lane counts may differ.
                         let ta = self.operand_ty(addrs);
-                        if !ta.is_vector() || !ty.is_vector() || !(ta.elem().is_ptr() || *ta.elem() == Ty::I64) {
+                        if !ta.is_vector()
+                            || !ty.is_vector()
+                            || !(ta.elem().is_ptr() || *ta.elem() == Ty::I64)
+                        {
                             self.err(format!("gather shape mismatch: addrs {ta}, result {ty}"));
                         }
                     }
@@ -405,7 +408,10 @@ impl<'a> Verifier<'a> {
                                 self.errs.push(VerifyError {
                                     func: self.f.name.clone(),
                                     block: Some(ub),
-                                    message: format!("phi incoming %{} does not dominate edge from bb{}", v.0, pred.0),
+                                    message: format!(
+                                        "phi incoming %{} does not dominate edge from bb{}",
+                                        v.0, pred.0
+                                    ),
                                 });
                             }
                         }
@@ -529,8 +535,24 @@ mod tests {
         // Manually create a use of a value defined later in the same block.
         let entry = BlockId(0);
         // First push the add that uses value 1 (not yet defined).
-        f.push_inst(entry, Inst::Bin { op: BinOp::Add, ty: Ty::I64, a: Operand::Val(ValueId(1)), b: Operand::Imm(Const::i64(1)) });
-        f.push_inst(entry, Inst::Bin { op: BinOp::Add, ty: Ty::I64, a: Operand::Imm(Const::i64(2)), b: Operand::Imm(Const::i64(3)) });
+        f.push_inst(
+            entry,
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::I64,
+                a: Operand::Val(ValueId(1)),
+                b: Operand::Imm(Const::i64(1)),
+            },
+        );
+        f.push_inst(
+            entry,
+            Inst::Bin {
+                op: BinOp::Add,
+                ty: Ty::I64,
+                a: Operand::Imm(Const::i64(2)),
+                b: Operand::Imm(Const::i64(3)),
+            },
+        );
         f.set_term(entry, Terminator::Ret { val: None });
         let m = module_with(f);
         let errs = verify_module(&m).unwrap_err();

@@ -40,11 +40,14 @@ fn decelerate_function(f: &mut Function) {
                 Inst::Load { ty, .. } if !ty.is_vector() => {
                     // dummy extract before, dummy broadcast after.
                     let d = f.push_inst(block, dummy_splat()).expect("yields");
-                    f.push_inst(block, Inst::ExtractElement {
-                        vec: d.into(),
-                        idx: Operand::imm_i64(0),
-                        ty: Ty::vec(Ty::I64, 4),
-                    });
+                    f.push_inst(
+                        block,
+                        Inst::ExtractElement {
+                            vec: d.into(),
+                            idx: Operand::imm_i64(0),
+                            ty: Ty::vec(Ty::I64, 4),
+                        },
+                    );
                     f.blocks[bi].insts.push(iid);
                     if let Some(r) = result {
                         let ty = f.val_ty(r).clone();
@@ -52,13 +55,19 @@ fn decelerate_function(f: &mut Function) {
                             let as64: Operand = if ty == Ty::I64 {
                                 r.into()
                             } else if ty.is_ptr() {
-                                f.push_inst(block, Inst::Cast { op: CastOp::PtrToInt, to: Ty::I64, val: r.into() })
-                                    .expect("yields")
-                                    .into()
+                                f.push_inst(
+                                    block,
+                                    Inst::Cast { op: CastOp::PtrToInt, to: Ty::I64, val: r.into() },
+                                )
+                                .expect("yields")
+                                .into()
                             } else {
-                                f.push_inst(block, Inst::Cast { op: CastOp::ZExt, to: Ty::I64, val: r.into() })
-                                    .expect("yields")
-                                    .into()
+                                f.push_inst(
+                                    block,
+                                    Inst::Cast { op: CastOp::ZExt, to: Ty::I64, val: r.into() },
+                                )
+                                .expect("yields")
+                                .into()
                             };
                             f.push_inst(block, Inst::Splat { val: as64, ty: Ty::vec(Ty::I64, 4) });
                         } else {
@@ -69,16 +78,22 @@ fn decelerate_function(f: &mut Function) {
                 Inst::Store { ty, .. } if !ty.is_vector() => {
                     // Two dummy extracts (address + value).
                     let d = f.push_inst(block, dummy_splat()).expect("yields");
-                    f.push_inst(block, Inst::ExtractElement {
-                        vec: d.into(),
-                        idx: Operand::imm_i64(0),
-                        ty: Ty::vec(Ty::I64, 4),
-                    });
-                    f.push_inst(block, Inst::ExtractElement {
-                        vec: d.into(),
-                        idx: Operand::imm_i64(1),
-                        ty: Ty::vec(Ty::I64, 4),
-                    });
+                    f.push_inst(
+                        block,
+                        Inst::ExtractElement {
+                            vec: d.into(),
+                            idx: Operand::imm_i64(0),
+                            ty: Ty::vec(Ty::I64, 4),
+                        },
+                    );
+                    f.push_inst(
+                        block,
+                        Inst::ExtractElement {
+                            vec: d.into(),
+                            idx: Operand::imm_i64(1),
+                            ty: Ty::vec(Ty::I64, 4),
+                        },
+                    );
                     f.blocks[bi].insts.push(iid);
                 }
                 _ => f.blocks[bi].insts.push(iid),

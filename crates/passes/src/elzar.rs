@@ -309,19 +309,26 @@ impl<'a> Xform<'a> {
         let vi = if ty.elem().is_float() {
             Operand::Val(self.emit_val(Inst::Cast { op: CastOp::Bitcast, to: ity.clone(), val: v.clone() }))
         } else if ty.elem().is_ptr() {
-            Operand::Val(self.emit_val(Inst::Cast { op: CastOp::PtrToInt, to: Ty::vec(Ty::I64, lanes), val: v.clone() }))
+            Operand::Val(self.emit_val(Inst::Cast {
+                op: CastOp::PtrToInt,
+                to: Ty::vec(Ty::I64, lanes),
+                val: v.clone(),
+            }))
         } else {
             v.clone()
         };
         let ity = if ty.elem().is_ptr() { Ty::vec(Ty::I64, lanes) } else { ity };
-        let rot: Vec<u8> = (0..lanes).map(|i| ((i + 1) % lanes) as u8).collect();
+        let rot: Vec<u8> = (0..lanes).map(|i| (i + 1) % lanes).collect();
         let sh = self.emit_val(Inst::Shuffle { a: vi.clone(), mask: rot, ty: ity.clone() });
         let d = self.emit_val(Inst::Bin { op: BinOp::Xor, ty: ity.clone(), a: vi, b: sh.into() });
         let flags = self.emit_val(Inst::Ptest { mask: d.into(), ty: ity });
         let pre = self.cur;
         let ok = self.nf.add_block("elzar.ok");
         let rec = self.nf.add_block("elzar.recover");
-        self.nf.set_term(pre, Terminator::PtestBr { flags: flags.into(), all_false: ok, all_true: rec, mixed: rec });
+        self.nf.set_term(
+            pre,
+            Terminator::PtestBr { flags: flags.into(), all_false: ok, all_true: rec, mixed: rec },
+        );
         // Recovery: majority vote in the runtime (slow path).
         self.cur = rec;
         let fixed = self
@@ -334,10 +341,7 @@ impl<'a> Xform<'a> {
         self.nf.set_term(rec, Terminator::Br { target: ok });
         // Continuation: phi of original and recovered value.
         self.cur = ok;
-        let phi = self.emit_val(Inst::Phi {
-            ty: ty.clone(),
-            incomings: vec![(pre, v), (rec, fixed.into())],
-        });
+        let phi = self.emit_val(Inst::Phi { ty: ty.clone(), incomings: vec![(pre, v), (rec, fixed.into())] });
         phi.into()
     }
 
@@ -555,8 +559,10 @@ impl<'a> Xform<'a> {
                     let av = self.use_op(addr, &repl_ty(&Ty::Ptr));
                     let want = repl_ty(ty);
                     if *ty == Ty::I1 {
-                        let g = self.emit_val(Inst::Gather { ty: Ty::vec(Ty::I1, Ty::I1.ymm_lanes()), addrs: av });
-                        let canon = self.resize(g.into(), &Ty::vec(Ty::I1, Ty::I1.ymm_lanes()), &canon_mask());
+                        let g = self
+                            .emit_val(Inst::Gather { ty: Ty::vec(Ty::I1, Ty::I1.ymm_lanes()), addrs: av });
+                        let canon =
+                            self.resize(g.into(), &Ty::vec(Ty::I1, Ty::I1.ymm_lanes()), &canon_mask());
                         self.def(r, canon, canon_mask());
                     } else {
                         let g = self.emit_val(Inst::Gather { ty: want.clone(), addrs: av });
@@ -607,7 +613,12 @@ impl<'a> Xform<'a> {
                 });
                 let basev = self.use_op(base, &pty);
                 let base_i = self.emit_val(Inst::Cast { op: CastOp::PtrToInt, to: ity.clone(), val: basev });
-                let sum = self.emit_val(Inst::Bin { op: BinOp::Add, ty: ity.clone(), a: base_i.into(), b: scaled.into() });
+                let sum = self.emit_val(Inst::Bin {
+                    op: BinOp::Add,
+                    ty: ity.clone(),
+                    a: base_i.into(),
+                    b: scaled.into(),
+                });
                 let nv = self.emit_val(Inst::Cast { op: CastOp::IntToPtr, to: pty.clone(), val: sum.into() });
                 self.def(r, nv.into(), pty);
             }
@@ -726,7 +737,10 @@ impl<'a> Xform<'a> {
                     || matches!(cond, Operand::Imm(_));
                 if scalar_branch {
                     let c = self.checked_scalar(cond, &cond_ty, false);
-                    self.nf.set_term(self.cur, Terminator::CondBr { cond: c, then_bb: *then_bb, else_bb: *else_bb });
+                    self.nf.set_term(
+                        self.cur,
+                        Terminator::CondBr { cond: c, then_bb: *then_bb, else_bb: *else_bb },
+                    );
                     self.exits[orig_block.0 as usize].push(self.cur);
                     return;
                 }
@@ -761,7 +775,12 @@ impl<'a> Xform<'a> {
                     let trap = self.trap_block();
                     self.nf.set_term(
                         rec,
-                        Terminator::PtestBr { flags: flags2, all_false: *else_bb, all_true: *then_bb, mixed: trap },
+                        Terminator::PtestBr {
+                            flags: flags2,
+                            all_false: *else_bb,
+                            all_true: *then_bb,
+                            mixed: trap,
+                        },
                     );
                     self.exits[orig_block.0 as usize].push(pre);
                     self.exits[orig_block.0 as usize].push(rec);
@@ -769,7 +788,12 @@ impl<'a> Xform<'a> {
                     // Unchecked: a mixed mask falls through like `jne`.
                     self.nf.set_term(
                         pre,
-                        Terminator::PtestBr { flags, all_false: *else_bb, all_true: *then_bb, mixed: *then_bb },
+                        Terminator::PtestBr {
+                            flags,
+                            all_false: *else_bb,
+                            all_true: *then_bb,
+                            mixed: *then_bb,
+                        },
                     );
                     self.exits[orig_block.0 as usize].push(pre);
                 }
@@ -827,18 +851,22 @@ mod tests {
     #[test]
     fn hardened_module_verifies_under_all_configs() {
         let m = simple_module();
-        for checks in [CheckConfig::all(), CheckConfig::none(),
-                       CheckConfig { loads: false, ..CheckConfig::all() },
-                       CheckConfig { loads: false, stores: false, ..CheckConfig::all() }] {
+        for checks in [
+            CheckConfig::all(),
+            CheckConfig::none(),
+            CheckConfig { loads: false, ..CheckConfig::all() },
+            CheckConfig { loads: false, stores: false, ..CheckConfig::all() },
+        ] {
             for fp_only in [false, true] {
-                for future in [FutureAvx::default(), FutureAvx::all(),
-                               FutureAvx { gather_scatter: true, ..FutureAvx::default() },
-                               FutureAvx { cmp_flags: true, ..FutureAvx::default() }] {
+                for future in [
+                    FutureAvx::default(),
+                    FutureAvx::all(),
+                    FutureAvx { gather_scatter: true, ..FutureAvx::default() },
+                    FutureAvx { cmp_flags: true, ..FutureAvx::default() },
+                ] {
                     let cfg = ElzarConfig { checks, fp_only, future };
                     let h = harden_module(&m, &cfg);
-                    verify_module(&h).unwrap_or_else(|e| {
-                        panic!("cfg {cfg:?}: {:#?}", &e[..e.len().min(5)])
-                    });
+                    verify_module(&h).unwrap_or_else(|e| panic!("cfg {cfg:?}: {:#?}", &e[..e.len().min(5)]));
                 }
             }
         }
@@ -878,11 +906,12 @@ mod tests {
         let f = &h.funcs[0];
         let has_ptest_br = f.blocks.iter().any(|b| matches!(b.term, Terminator::PtestBr { .. }));
         assert!(has_ptest_br, "hardened loops must branch through ptest");
-        let has_recover = f
-            .blocks
-            .iter()
-            .flat_map(|b| b.insts.iter())
-            .any(|&iid| matches!(&f.insts[iid.0 as usize].inst, Inst::Call { callee: Callee::Builtin(Builtin::Recover), .. }));
+        let has_recover = f.blocks.iter().flat_map(|b| b.insts.iter()).any(|&iid| {
+            matches!(
+                &f.insts[iid.0 as usize].inst,
+                Inst::Call { callee: Callee::Builtin(Builtin::Recover), .. }
+            )
+        });
         assert!(has_recover, "recovery routine must be reachable");
     }
 
@@ -890,10 +919,7 @@ mod tests {
     fn future_avx_removes_wrappers() {
         let m = simple_module();
         let base = harden_module(&m, &ElzarConfig::default());
-        let fut = harden_module(
-            &m,
-            &ElzarConfig { future: FutureAvx::all(), ..ElzarConfig::default() },
-        );
+        let fut = harden_module(&m, &ElzarConfig { future: FutureAvx::all(), ..ElzarConfig::default() });
         assert!(fut.num_insts() < base.num_insts(), "{} !< {}", fut.num_insts(), base.num_insts());
         // Gather/scatter appear, extract wrappers (mostly) disappear.
         let f = &fut.funcs[0];

@@ -109,7 +109,8 @@ impl<'a> Xf<'a> {
             [v, c1.into(), c2.into()]
         } else {
             let zero = Operand::Imm(elzar_ir::Const::int(ty.scalar_bits() as u8, 0));
-            let c1 = self.emit_val(Inst::Bin { op: BinOp::Or, ty: ty.clone(), a: v.clone(), b: zero.clone() });
+            let c1 =
+                self.emit_val(Inst::Bin { op: BinOp::Or, ty: ty.clone(), a: v.clone(), b: zero.clone() });
             let c2 = self.emit_val(Inst::Bin { op: BinOp::Or, ty: ty.clone(), a: v.clone(), b: zero });
             [v, c1.into(), c2.into()]
         }
@@ -133,8 +134,10 @@ impl<'a> Xf<'a> {
         let cmp_ty = if ty.is_ptr() { Ty::I64 } else { ty.clone() };
         let (a0, a1) = if ty.is_ptr() {
             // Compare pointers as integers.
-            let i0 = self.emit_val(Inst::Cast { op: elzar_ir::CastOp::PtrToInt, to: Ty::I64, val: x0.clone() });
-            let i1 = self.emit_val(Inst::Cast { op: elzar_ir::CastOp::PtrToInt, to: Ty::I64, val: x1.clone() });
+            let i0 =
+                self.emit_val(Inst::Cast { op: elzar_ir::CastOp::PtrToInt, to: Ty::I64, val: x0.clone() });
+            let i1 =
+                self.emit_val(Inst::Cast { op: elzar_ir::CastOp::PtrToInt, to: Ty::I64, val: x1.clone() });
             (Operand::Val(i0), Operand::Val(i1))
         } else {
             (x0.clone(), x1.clone())
@@ -157,7 +160,12 @@ impl<'a> Xf<'a> {
                 let cb = self.copies(b);
                 let mut out: Vec<Operand> = vec![];
                 for k in 0..3 {
-                    let v = self.emit_val(Inst::Bin { op: *op, ty: ty.clone(), a: ca[k].clone(), b: cb[k].clone() });
+                    let v = self.emit_val(Inst::Bin {
+                        op: *op,
+                        ty: ty.clone(),
+                        a: ca[k].clone(),
+                        b: cb[k].clone(),
+                    });
                     out.push(v.into());
                 }
                 self.def3(r, [out[0].clone(), out[1].clone(), out[2].clone()]);
@@ -168,7 +176,12 @@ impl<'a> Xf<'a> {
                 let cb = self.copies(b);
                 let mut out: Vec<Operand> = vec![];
                 for k in 0..3 {
-                    let v = self.emit_val(Inst::Cmp { pred: *pred, ty: ty.clone(), a: ca[k].clone(), b: cb[k].clone() });
+                    let v = self.emit_val(Inst::Cmp {
+                        pred: *pred,
+                        ty: ty.clone(),
+                        a: ca[k].clone(),
+                        b: cb[k].clone(),
+                    });
                     out.push(v.into());
                 }
                 self.def3(r, [out[0].clone(), out[1].clone(), out[2].clone()]);
@@ -189,7 +202,8 @@ impl<'a> Xf<'a> {
                 let ci = self.copies(index);
                 let mut out: Vec<Operand> = vec![];
                 for k in 0..3 {
-                    let v = self.emit_val(Inst::Gep { base: cb[k].clone(), index: ci[k].clone(), scale: *scale });
+                    let v =
+                        self.emit_val(Inst::Gep { base: cb[k].clone(), index: ci[k].clone(), scale: *scale });
                     out.push(v.into());
                 }
                 self.def3(r, [out[0].clone(), out[1].clone(), out[2].clone()]);
@@ -290,7 +304,8 @@ impl<'a> Xf<'a> {
                 // Vote the branch condition (Figure 5b's majority before
                 // the compare-and-jump).
                 let c = self.vote(cond, &Ty::I1);
-                self.nf.set_term(self.cur, Terminator::CondBr { cond: c, then_bb: *then_bb, else_bb: *else_bb });
+                self.nf
+                    .set_term(self.cur, Terminator::CondBr { cond: c, then_bb: *then_bb, else_bb: *else_bb });
             }
             Terminator::PtestBr { .. } => panic!("SWIFT-R input must not contain ptest_br"),
             Terminator::Ret { val } => {

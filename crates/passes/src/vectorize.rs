@@ -92,9 +92,7 @@ fn match_loop(f: &Function, header: BlockId) -> Option<LoopShape> {
     let mut cmp = None;
     for &iid in &hb.insts {
         match &f.insts[iid.0 as usize].inst {
-            Inst::Phi { incomings, .. } => {
-                phis.push((f.insts[iid.0 as usize].result?, incomings.clone()))
-            }
+            Inst::Phi { incomings, .. } => phis.push((f.insts[iid.0 as usize].result?, incomings.clone())),
             Inst::Cmp { pred: CmpPred::Slt, a, b, ty } if *ty == Ty::I64 => {
                 if cmp.is_some() {
                     return None;
@@ -181,9 +179,7 @@ fn match_loop(f: &Function, header: BlockId) -> Option<LoopShape> {
     let in_loop = |o: &Operand| -> bool {
         match o.value_id().and_then(|v| f.def_inst(v)) {
             None => false,
-            Some(di) => {
-                hb.insts.contains(&di) || bb.insts.contains(&di) || lb.insts.contains(&di)
-            }
+            Some(di) => hb.insts.contains(&di) || bb.insts.contains(&di) || lb.insts.contains(&di),
         }
     };
     if in_loop(&cmp_b) {
@@ -344,16 +340,22 @@ fn body_is_vectorizable(f: &Function, s: &LoopShape, vf: u8) -> bool {
     true
 }
 
-fn splat_of(f: &mut Function, b: BlockId, o: &Operand, ty: &Ty, vf: u8, cache: &mut HashMap<Operand, Operand>) -> Operand {
+fn splat_of(
+    f: &mut Function,
+    b: BlockId,
+    o: &Operand,
+    ty: &Ty,
+    vf: u8,
+    cache: &mut HashMap<Operand, Operand>,
+) -> Operand {
     if let Some(c) = cache.get(o) {
         return c.clone();
     }
     let out: Operand = match o {
         Operand::Imm(c) => Operand::Imm(c.clone().splat(vf)),
         Operand::Val(_) => {
-            let v = f
-                .push_inst(b, Inst::Splat { val: o.clone(), ty: ty.with_lanes(vf) })
-                .expect("splat yields");
+            let v =
+                f.push_inst(b, Inst::Splat { val: o.clone(), ty: ty.with_lanes(vf) }).expect("splat yields");
             v.into()
         }
     };
@@ -388,12 +390,10 @@ fn emit_vector_loop(f: &mut Function, s: &LoopShape, vf: u8) {
         .push_inst(vpre, Inst::Bin { op: BinOp::SMax, ty: Ty::I64, a: n.into(), b: Operand::imm_i64(0) })
         .expect("yields");
     let vec_n = f
-        .push_inst(vpre, Inst::Bin {
-            op: BinOp::And,
-            ty: Ty::I64,
-            a: nz.into(),
-            b: Operand::Imm(Const::i64(!(vfi - 1))),
-        })
+        .push_inst(
+            vpre,
+            Inst::Bin { op: BinOp::And, ty: Ty::I64, a: nz.into(), b: Operand::Imm(Const::i64(!(vfi - 1))) },
+        )
         .expect("yields");
     let vec_end = f
         .push_inst(vpre, Inst::Bin { op: BinOp::Add, ty: Ty::I64, a: s.start.clone(), b: vec_n.into() })
@@ -433,9 +433,7 @@ fn emit_vector_loop(f: &mut Function, s: &LoopShape, vf: u8) {
                 let one = if ty == Ty::F32 { Const::f32(1.0) } else { Const::f64(1.0) };
                 Operand::Imm(one.splat(vf))
             }
-            BinOp::And => {
-                Operand::Imm(Const::int(ty.scalar_bits() as u8, u64::MAX).splat(vf))
-            }
+            BinOp::And => Operand::Imm(Const::int(ty.scalar_bits() as u8, u64::MAX).splat(vf)),
             _ => splat_of(f, vpre, init, &ty, vf, &mut splat_cache),
         };
         vred_inits.push(init_op);
@@ -461,16 +459,12 @@ fn emit_vector_loop(f: &mut Function, s: &LoopShape, vf: u8) {
             Inst::Gep { base, index, scale } => {
                 // Address of lane 0; the vector load/store covers VF lanes.
                 debug_assert!(operand_is(s.i_phi, &index));
-                let g = f
-                    .push_inst(vb, Inst::Gep { base, index: vi.into(), scale })
-                    .expect("yields");
+                let g = f.push_inst(vb, Inst::Gep { base, index: vi.into(), scale }).expect("yields");
                 vmap.insert(result.expect("gep yields"), g.into());
             }
             Inst::Load { ty, addr } => {
                 let a = mapped(&addr, &vmap).expect("load addr is a body gep");
-                let v = f
-                    .push_inst(vb, Inst::Load { ty: ty.with_lanes(vf), addr: a })
-                    .expect("yields");
+                let v = f.push_inst(vb, Inst::Load { ty: ty.with_lanes(vf), addr: a }).expect("yields");
                 vmap.insert(result.expect("load yields"), v.into());
             }
             Inst::Store { ty, val, addr } => {
@@ -482,16 +476,20 @@ fn emit_vector_loop(f: &mut Function, s: &LoopShape, vf: u8) {
                 f.push_inst(vb, Inst::Store { ty: ty.with_lanes(vf), val: v, addr: a });
             }
             Inst::Bin { op, ty, a, b } => {
-                let va = mapped(&a, &vmap).unwrap_or_else(|| splat_of(f, vpre, &a, &ty, vf, &mut splat_cache));
-                let vb_op = mapped(&b, &vmap).unwrap_or_else(|| splat_of(f, vpre, &b, &ty, vf, &mut splat_cache));
+                let va =
+                    mapped(&a, &vmap).unwrap_or_else(|| splat_of(f, vpre, &a, &ty, vf, &mut splat_cache));
+                let vb_op =
+                    mapped(&b, &vmap).unwrap_or_else(|| splat_of(f, vpre, &b, &ty, vf, &mut splat_cache));
                 let v = f
                     .push_inst(vb, Inst::Bin { op, ty: ty.with_lanes(vf), a: va, b: vb_op })
                     .expect("yields");
                 vmap.insert(result.expect("bin yields"), v.into());
             }
             Inst::Cmp { pred, ty, a, b } => {
-                let va = mapped(&a, &vmap).unwrap_or_else(|| splat_of(f, vpre, &a, &ty, vf, &mut splat_cache));
-                let vb_op = mapped(&b, &vmap).unwrap_or_else(|| splat_of(f, vpre, &b, &ty, vf, &mut splat_cache));
+                let va =
+                    mapped(&a, &vmap).unwrap_or_else(|| splat_of(f, vpre, &a, &ty, vf, &mut splat_cache));
+                let vb_op =
+                    mapped(&b, &vmap).unwrap_or_else(|| splat_of(f, vpre, &b, &ty, vf, &mut splat_cache));
                 let v = f
                     .push_inst(vb, Inst::Cmp { pred, ty: ty.with_lanes(vf), a: va, b: vb_op })
                     .expect("yields");
@@ -499,8 +497,10 @@ fn emit_vector_loop(f: &mut Function, s: &LoopShape, vf: u8) {
             }
             Inst::Select { cond, ty, a, b } => {
                 let vc = mapped(&cond, &vmap).expect("select cond is a body cmp");
-                let va = mapped(&a, &vmap).unwrap_or_else(|| splat_of(f, vpre, &a, &ty, vf, &mut splat_cache));
-                let vb_op = mapped(&b, &vmap).unwrap_or_else(|| splat_of(f, vpre, &b, &ty, vf, &mut splat_cache));
+                let va =
+                    mapped(&a, &vmap).unwrap_or_else(|| splat_of(f, vpre, &a, &ty, vf, &mut splat_cache));
+                let vb_op =
+                    mapped(&b, &vmap).unwrap_or_else(|| splat_of(f, vpre, &b, &ty, vf, &mut splat_cache));
                 let v = f
                     .push_inst(vb, Inst::Select { cond: vc, ty: ty.with_lanes(vf), a: va, b: vb_op })
                     .expect("yields");
@@ -510,9 +510,7 @@ fn emit_vector_loop(f: &mut Function, s: &LoopShape, vf: u8) {
                 let from_ty = f.operand_ty(&val);
                 let vv = mapped(&val, &vmap)
                     .unwrap_or_else(|| splat_of(f, vpre, &val, &from_ty, vf, &mut splat_cache));
-                let v = f
-                    .push_inst(vb, Inst::Cast { op, to: to.with_lanes(vf), val: vv })
-                    .expect("yields");
+                let v = f.push_inst(vb, Inst::Cast { op, to: to.with_lanes(vf), val: vv }).expect("yields");
                 vmap.insert(result.expect("cast yields"), v.into());
             }
             other => unreachable!("non-whitelisted body instruction {other:?}"),
@@ -522,7 +520,10 @@ fn emit_vector_loop(f: &mut Function, s: &LoopShape, vf: u8) {
 
     // VL: vi += VF.
     let vi_next = f
-        .push_inst(vl, Inst::Bin { op: BinOp::Add, ty: Ty::I64, a: vi.into(), b: Operand::Imm(Const::i64(vfi)) })
+        .push_inst(
+            vl,
+            Inst::Bin { op: BinOp::Add, ty: Ty::I64, a: vi.into(), b: Operand::Imm(Const::i64(vfi)) },
+        )
         .expect("yields");
     f.set_term(vl, Terminator::Br { target: vh });
 
@@ -540,16 +541,22 @@ fn emit_vector_loop(f: &mut Function, s: &LoopShape, vf: u8) {
         let vty = ty.with_lanes(vf);
         // Fold lanes left to right.
         let mut acc: Operand = f
-            .push_inst(mid, Inst::ExtractElement { vec: (*vphi).into(), idx: Operand::imm_i64(0), ty: vty.clone() })
+            .push_inst(
+                mid,
+                Inst::ExtractElement { vec: (*vphi).into(), idx: Operand::imm_i64(0), ty: vty.clone() },
+            )
             .expect("yields")
             .into();
         for lane in 1..vf {
             let e = f
-                .push_inst(mid, Inst::ExtractElement {
-                    vec: (*vphi).into(),
-                    idx: Operand::imm_i64(i64::from(lane)),
-                    ty: vty.clone(),
-                })
+                .push_inst(
+                    mid,
+                    Inst::ExtractElement {
+                        vec: (*vphi).into(),
+                        idx: Operand::imm_i64(i64::from(lane)),
+                        ty: vty.clone(),
+                    },
+                )
                 .expect("yields");
             acc = f
                 .push_inst(mid, Inst::Bin { op: *op, ty: ty.clone(), a: acc, b: e.into() })
@@ -690,12 +697,7 @@ mod tests {
         let rs = run_program(&Program::lower(&ms), "main", &[], MachineConfig::default());
         let rv = run_program(&Program::lower(&mv), "main", &[], MachineConfig::default());
         assert!(rv.counters.avx_instrs > 0);
-        assert!(
-            rv.cycles < rs.cycles,
-            "vector loop should be faster: {} vs {}",
-            rv.cycles,
-            rs.cycles
-        );
+        assert!(rv.cycles < rs.cycles, "vector loop should be faster: {} vs {}", rv.cycles, rs.cycles);
         assert!(rv.counters.instrs < rs.counters.instrs);
     }
 

@@ -10,35 +10,38 @@ use elzar_ir::builder::{c64, cf64, FuncBuilder};
 use elzar_ir::{BinOp, Builtin, CastOp, CmpPred, Const, Module, Operand, Ty, ValueId};
 use elzar_passes::elzar::{harden_module, CheckConfig, ElzarConfig, FutureAvx};
 use elzar_passes::swiftr;
+use elzar_rng::DetRng;
 use elzar_vm::{run_program, MachineConfig, Program, RunOutcome, RunResult};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 const BUF_LEN: i64 = 64; // elements per buffer
 
 struct Gen {
-    rng: SmallRng,
+    rng: DetRng,
     i64s: Vec<ValueId>,
     f64s: Vec<ValueId>,
     bools: Vec<ValueId>,
 }
 
 impl Gen {
-    fn pick_i64(&mut self, b: &mut FuncBuilder) -> Operand {
-        if self.i64s.is_empty() || self.rng.gen_bool(0.2) {
-            c64(self.rng.gen_range(-100..100))
+    fn chance(&mut self, p: f64) -> bool {
+        self.rng.next_f64() < p
+    }
+
+    fn pick_i64(&mut self, _b: &mut FuncBuilder) -> Operand {
+        if self.i64s.is_empty() || self.chance(0.2) {
+            c64(-100 + self.rng.below(200) as i64)
         } else {
-            let i = self.rng.gen_range(0..self.i64s.len());
+            let i = self.rng.below(self.i64s.len() as u64) as usize;
             self.i64s[i].into()
         }
     }
 
     fn pick_f64(&mut self, b: &mut FuncBuilder) -> Operand {
         let _ = b;
-        if self.f64s.is_empty() || self.rng.gen_bool(0.2) {
-            cf64(self.rng.gen_range(-4.0..4.0))
+        if self.f64s.is_empty() || self.chance(0.2) {
+            cf64(-4.0 + self.rng.next_f64() * 8.0)
         } else {
-            let i = self.rng.gen_range(0..self.f64s.len());
+            let i = self.rng.below(self.f64s.len() as u64) as usize;
             self.f64s[i].into()
         }
     }
@@ -50,7 +53,7 @@ impl Gen {
             let c = b.icmp(CmpPred::Slt, x, y);
             self.bools.push(c);
         }
-        let i = self.rng.gen_range(0..self.bools.len());
+        let i = self.rng.below(self.bools.len() as u64) as usize;
         self.bools[i].into()
     }
 
@@ -61,7 +64,7 @@ impl Gen {
     }
 
     fn emit_random_op(&mut self, b: &mut FuncBuilder, buf: ValueId) {
-        match self.rng.gen_range(0..14) {
+        match self.rng.below(14) {
             0..=3 => {
                 // Integer arithmetic.
                 let op = *[
@@ -77,8 +80,7 @@ impl Gen {
                     BinOp::SMin,
                     BinOp::SMax,
                 ]
-                .iter()
-                .nth(self.rng.gen_range(0..11))
+                .get(self.rng.below(11) as usize)
                 .unwrap();
                 let x = self.pick_i64(b);
                 let y = self.pick_i64(b);
@@ -90,15 +92,14 @@ impl Gen {
                 let x = self.pick_i64(b);
                 let y = self.pick_i64(b);
                 let safe = b.bin(BinOp::Or, Ty::I64, y, c64(1));
-                let op = if self.rng.gen_bool(0.5) { BinOp::UDiv } else { BinOp::URem };
+                let op = if self.rng.next_bool() { BinOp::UDiv } else { BinOp::URem };
                 let v = b.bin(op, Ty::I64, x, safe);
                 self.i64s.push(v);
             }
             5 => {
                 // Float arithmetic.
                 let op = *[BinOp::FAdd, BinOp::FSub, BinOp::FMul, BinOp::FMin, BinOp::FMax]
-                    .iter()
-                    .nth(self.rng.gen_range(0..5))
+                    .get(self.rng.below(5) as usize)
                     .unwrap();
                 let x = self.pick_f64(b);
                 let y = self.pick_f64(b);
@@ -122,8 +123,7 @@ impl Gen {
             8 => {
                 // Comparison.
                 let pred = *[CmpPred::Eq, CmpPred::Ne, CmpPred::Slt, CmpPred::Sge, CmpPred::Ult]
-                    .iter()
-                    .nth(self.rng.gen_range(0..5))
+                    .get(self.rng.below(5) as usize)
                     .unwrap();
                 let x = self.pick_i64(b);
                 let y = self.pick_i64(b);
@@ -141,9 +141,9 @@ impl Gen {
             10 => {
                 // Casts through narrower widths (incl. esoteric i9).
                 let x = self.pick_i64(b);
-                let bits = *[8u8, 9, 16, 32].iter().nth(self.rng.gen_range(0..4)).unwrap();
+                let bits = *[8u8, 9, 16, 32].get(self.rng.below(4) as usize).unwrap();
                 let narrow = b.cast(CastOp::Trunc, x, Ty::int(bits));
-                let back = if self.rng.gen_bool(0.5) {
+                let back = if self.rng.next_bool() {
                     b.cast(CastOp::SExt, narrow, Ty::I64)
                 } else {
                     b.cast(CastOp::ZExt, narrow, Ty::I64)
@@ -152,7 +152,7 @@ impl Gen {
             }
             11 => {
                 // Int <-> float casts.
-                if self.rng.gen_bool(0.5) {
+                if self.rng.next_bool() {
                     let x = self.pick_i64(b);
                     let lim = b.bin(BinOp::And, Ty::I64, x, c64(0xFFFF));
                     let v = b.cast(CastOp::SiToFp, lim, Ty::F64);
@@ -200,7 +200,7 @@ impl Gen {
 
 /// Build a random but deterministic, trap-free program.
 fn random_program(seed: u64) -> Module {
-    let mut g = Gen { rng: SmallRng::seed_from_u64(seed), i64s: vec![], f64s: vec![], bools: vec![] };
+    let mut g = Gen { rng: DetRng::seed_from_u64(seed), i64s: vec![], f64s: vec![], bools: vec![] };
     let mut m = Module::new(format!("rand{seed}"));
 
     // Helper function: f(x) = x*2 + 7 with an internal branch.
@@ -296,10 +296,7 @@ fn elzar_configs() -> Vec<(&'static str, ElzarConfig)> {
         ("no-checks", ElzarConfig { checks: CheckConfig::none(), ..Default::default() }),
         (
             "no-loads",
-            ElzarConfig {
-                checks: CheckConfig { loads: false, ..CheckConfig::all() },
-                ..Default::default()
-            },
+            ElzarConfig { checks: CheckConfig { loads: false, ..CheckConfig::all() }, ..Default::default() },
         ),
         (
             "no-loads-stores",
@@ -319,10 +316,7 @@ fn elzar_configs() -> Vec<(&'static str, ElzarConfig)> {
         ),
         (
             "future-cmpflags",
-            ElzarConfig {
-                future: FutureAvx { cmp_flags: true, ..Default::default() },
-                ..Default::default()
-            },
+            ElzarConfig { future: FutureAvx { cmp_flags: true, ..Default::default() }, ..Default::default() },
         ),
     ]
 }
@@ -340,18 +334,9 @@ fn elzar_preserves_semantics_across_seeds_and_configs() {
         for (name, cfg) in elzar_configs() {
             let h = harden_module(&m, &cfg);
             let r = run(&h);
-            assert_eq!(
-                native.outcome, r.outcome,
-                "seed {seed}, config {name}: outcome diverged"
-            );
-            assert_eq!(
-                native.output, r.output,
-                "seed {seed}, config {name}: output diverged"
-            );
-            assert_eq!(
-                r.corrections, 0,
-                "seed {seed}, config {name}: fault-free run must never recover"
-            );
+            assert_eq!(native.outcome, r.outcome, "seed {seed}, config {name}: outcome diverged");
+            assert_eq!(native.output, r.output, "seed {seed}, config {name}: output diverged");
+            assert_eq!(r.corrections, 0, "seed {seed}, config {name}: fault-free run must never recover");
         }
     }
 }

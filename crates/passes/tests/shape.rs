@@ -108,10 +108,7 @@ fn future_avx_shape_drops_wrappers() {
     b.store(Ty::I64, w, p);
     b.ret(w);
     m.add_func(b.finish());
-    let h = harden_module(
-        &m,
-        &ElzarConfig { future: FutureAvx::all(), ..ElzarConfig::default() },
-    );
+    let h = harden_module(&m, &ElzarConfig { future: FutureAvx::all(), ..ElzarConfig::default() });
     let text = print_module(&h);
     // §VII-B: loads/stores become gathers/scatters…
     assert!(text.contains("gather"), "gather missing:\n{text}");

@@ -29,7 +29,7 @@ pub mod lower;
 pub mod machine;
 pub mod memory;
 
-pub use lower::{LBlock, LFunc, LInst, LOp, LPhi, LTerm, Program, VMeta, NO_DST};
+pub use lower::{DGroup, LBlock, LFunc, LInst, LKind, LOp, LPhi, LTerm, Program, VMeta, NO_DST};
 pub use machine::{
     run_program, FaultPlan, Machine, MachineConfig, RecoveryPolicy, RtVal, RunOutcome, RunResult,
 };

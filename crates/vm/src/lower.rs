@@ -6,6 +6,7 @@
 //! backend's instruction selection produces.
 
 use elzar_avx::{LaneWidth, Ymm};
+use elzar_cpu::InstClass;
 use elzar_ir::inst::{Builtin, Callee, Inst, Terminator};
 use elzar_ir::module::{Function, Module};
 use elzar_ir::types::Ty;
@@ -16,7 +17,10 @@ use elzar_ir::{BinOp, CastOp, CmpPred, RmwOp};
 pub const NO_DST: u32 = u32::MAX;
 
 /// Shape metadata for one operand/result: element width, logical bits,
-/// lane count, domain.
+/// lane count, domain — plus everything the interpreter would otherwise
+/// re-derive from them on every execution (masks, fault-bit bound,
+/// element size). All fields are filled in by the constructors; treat
+/// them as read-only.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct VMeta {
     /// True for scalars (lanes == 1 and values held in a GPR).
@@ -29,36 +33,67 @@ pub struct VMeta {
     pub width: LaneWidth,
     /// Number of lanes (1 for scalars).
     pub lanes: u8,
+    /// Pre-masked: bit mask for the logical element width.
+    pub mask: u64,
+    /// Pre-masked: value bits kept on a load — for float metas every
+    /// storage bit is a value bit, for ints the logical-width mask.
+    pub fmask: u64,
+    /// Fault-injection bit bound for a destination of this shape (64
+    /// for GPRs, lanes × lane-width for YMM destinations).
+    pub bound: u32,
+    /// Element storage size in bytes.
+    pub ebytes: u32,
 }
 
 impl VMeta {
+    /// Build metadata, pre-deriving the masked widths.
+    pub const fn new(scalar: bool, float: bool, bits: u8, width: LaneWidth, lanes: u8) -> VMeta {
+        let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let wbits = width.bits();
+        let fmask = if float {
+            if wbits == 32 {
+                0xFFFF_FFFF
+            } else {
+                u64::MAX
+            }
+        } else {
+            mask
+        };
+        let bound = if scalar { 64 } else { lanes as u32 * wbits };
+        VMeta { scalar, float, bits, width, lanes, mask, fmask, bound, ebytes: wbits / 8 }
+    }
+
     /// Metadata for an IR type.
     ///
     /// # Panics
     /// Panics on `Void`.
     pub fn of(ty: &Ty) -> VMeta {
         let elem = ty.elem();
-        VMeta {
-            scalar: !ty.is_vector(),
-            float: elem.is_float(),
-            bits: elem.scalar_bits() as u8,
-            width: LaneWidth::from_bytes(ty.elem_bytes()),
-            lanes: ty.lanes(),
-        }
+        VMeta::new(
+            !ty.is_vector(),
+            elem.is_float(),
+            elem.scalar_bits() as u8,
+            LaneWidth::from_bytes(ty.elem_bytes()),
+            ty.lanes(),
+        )
+    }
+
+    /// Metadata of a 4-way-replicated pointer (§VII-B gather/scatter
+    /// address vectors).
+    pub const fn ptr4() -> VMeta {
+        VMeta::new(false, false, 64, LaneWidth::B64, 4)
     }
 
     /// Bit mask for the logical element width.
+    #[inline]
     pub fn mask(&self) -> u64 {
-        if self.bits >= 64 {
-            u64::MAX
-        } else {
-            (1u64 << self.bits) - 1
-        }
+        self.mask
     }
 
     /// Element storage size in bytes.
+    #[inline]
     pub fn elem_bytes(&self) -> u32 {
-        self.width.bits() / 8
+        self.ebytes
     }
 }
 
@@ -101,9 +136,157 @@ pub fn eval_const(c: &Const) -> LOp {
     }
 }
 
-/// One lowered instruction. `dst == NO_DST` means no result.
+/// Handler selection for one lowered instruction, precomputed at lower
+/// time. The interpreter's hot loop dispatches on this dense
+/// discriminant into a specialized per-class handler instead of one
+/// monolithic match over every instruction form.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum DGroup {
+    /// GPR-domain compute: scalar bin/cmp/cast/select and address math.
+    ScalarAlu,
+    /// YMM-domain compute: vector bin/cmp/cast/select and lane ops.
+    VecAlu,
+    /// Memory traffic: loads, stores, gathers, scatters, atomics,
+    /// fences, stack allocation.
+    Mem,
+    /// Control transfers: direct calls and the thread-management
+    /// builtins (spawn/join/lock/unlock), which need whole-machine
+    /// access.
+    Control,
+    /// Runtime calls that only touch memory/output/math.
+    Builtin,
+}
+
+/// One lowered instruction: the operation form plus its pre-decoded
+/// execution data — dispatch group and primary cost class, both
+/// resolved once at lower time.
 #[derive(Clone, Debug)]
-pub enum LInst {
+pub struct LInst {
+    /// Handler-selection discriminant.
+    pub group: DGroup,
+    /// Primary timing-model class (operand shapes already folded in).
+    pub class: InstClass,
+    /// The operation.
+    pub kind: LKind,
+}
+
+impl LInst {
+    /// Pre-decode `kind`: resolve its dispatch group and cost class.
+    pub fn decode(kind: LKind) -> LInst {
+        let (group, class) = classify(&kind);
+        LInst { group, class, kind }
+    }
+}
+
+/// Dispatch group + primary cost class of an operation form.
+fn classify(kind: &LKind) -> (DGroup, InstClass) {
+    match kind {
+        LKind::Bin { op, m, .. } => {
+            let g = if m.scalar { DGroup::ScalarAlu } else { DGroup::VecAlu };
+            (g, bin_class(*op, m))
+        }
+        LKind::Cmp { m, .. } => {
+            if m.scalar {
+                (DGroup::ScalarAlu, InstClass::ScalarAlu)
+            } else {
+                (DGroup::VecAlu, InstClass::VecCmp)
+            }
+        }
+        LKind::Cast { op, from, to, .. } => {
+            let g = if from.scalar && to.scalar { DGroup::ScalarAlu } else { DGroup::VecAlu };
+            (g, cast_class(*op, from, to))
+        }
+        LKind::Load { m, .. } => (DGroup::Mem, if m.scalar { InstClass::Load } else { InstClass::VecLoad }),
+        LKind::Store { m, .. } => {
+            (DGroup::Mem, if m.scalar { InstClass::Store } else { InstClass::VecStore })
+        }
+        LKind::Gep { .. } => (DGroup::ScalarAlu, InstClass::ScalarAlu),
+        LKind::Alloca { .. } => (DGroup::Mem, InstClass::ScalarAlu),
+        LKind::Select { m, .. } => {
+            if m.scalar {
+                (DGroup::ScalarAlu, InstClass::ScalarAlu)
+            } else {
+                (DGroup::VecAlu, InstClass::Blend)
+            }
+        }
+        LKind::CallF { .. } => (DGroup::Control, InstClass::Call),
+        LKind::CallB { b, .. } => match b {
+            Builtin::Spawn | Builtin::Join | Builtin::Lock | Builtin::Unlock => {
+                (DGroup::Control, InstClass::LibCall)
+            }
+            _ => (DGroup::Builtin, InstClass::LibCall),
+        },
+        LKind::Extract { .. } => (DGroup::VecAlu, InstClass::Extract),
+        LKind::Insert { .. } => (DGroup::VecAlu, InstClass::Insert),
+        LKind::Shuffle { .. } => (DGroup::VecAlu, InstClass::Shuffle),
+        LKind::Splat { .. } => (DGroup::VecAlu, InstClass::Broadcast),
+        LKind::Ptest { .. } => (DGroup::VecAlu, InstClass::Ptest),
+        LKind::Gather { .. } => (DGroup::Mem, InstClass::Gather),
+        LKind::Scatter { .. } => (DGroup::Mem, InstClass::Scatter),
+        LKind::AtomicRmw { .. } | LKind::CmpXchg { .. } => (DGroup::Mem, InstClass::Atomic),
+        LKind::Fence => (DGroup::Mem, InstClass::Fence),
+    }
+}
+
+/// Cost class of a binary operation over the given shape.
+fn bin_class(op: BinOp, m: &VMeta) -> InstClass {
+    use BinOp::*;
+    if m.scalar {
+        match op {
+            Mul => InstClass::ScalarMul,
+            UDiv | SDiv | URem | SRem => InstClass::ScalarDiv,
+            FAdd | FSub | FMin | FMax => InstClass::ScalarFpAdd,
+            FMul => InstClass::ScalarFpMul,
+            FDiv => InstClass::ScalarFpDiv,
+            _ => InstClass::ScalarAlu,
+        }
+    } else {
+        match op {
+            Mul => InstClass::VecMul,
+            UDiv | SDiv | URem | SRem => InstClass::VecIntDiv,
+            FAdd | FSub | FMin | FMax => InstClass::VecFpAdd,
+            FMul => InstClass::VecFpMul,
+            FDiv => InstClass::VecFpDiv,
+            _ => InstClass::VecAlu,
+        }
+    }
+}
+
+/// Cost class of a cast between the given shapes.
+fn cast_class(op: CastOp, from: &VMeta, to: &VMeta) -> InstClass {
+    if to.scalar && from.scalar {
+        return match op {
+            CastOp::FpToSi
+            | CastOp::FpToUi
+            | CastOp::SiToFp
+            | CastOp::UiToFp
+            | CastOp::FpTrunc
+            | CastOp::FpExt => InstClass::ScalarFpAdd,
+            _ => InstClass::ScalarAlu,
+        };
+    }
+    // Vector casts: AVX2 supports widening integer extends and 32-bit
+    // int<->fp; truncation and 64-bit int<->fp are missing (§VII-A).
+    match op {
+        CastOp::Trunc => InstClass::VecCastLegalized,
+        CastOp::ZExt | CastOp::SExt => InstClass::VecCast,
+        CastOp::FpTrunc | CastOp::FpExt => InstClass::VecCast,
+        CastOp::FpToSi | CastOp::FpToUi | CastOp::SiToFp | CastOp::UiToFp => {
+            if from.bits == 64 || to.bits == 64 {
+                InstClass::VecCastLegalized
+            } else {
+                InstClass::VecCast
+            }
+        }
+        CastOp::Bitcast | CastOp::PtrToInt | CastOp::IntToPtr => InstClass::VecAlu,
+    }
+}
+
+/// The operation form of a lowered instruction. `dst == NO_DST` means
+/// no result.
+#[derive(Clone, Debug)]
+pub enum LKind {
     /// Binary arithmetic.
     Bin {
         /// Operation.
@@ -404,7 +587,7 @@ impl Program {
     /// Lower a whole module.
     pub fn lower(m: &Module) -> Program {
         Program {
-            funcs: m.funcs.iter().map(|f| lower_func(f)).collect(),
+            funcs: m.funcs.iter().map(lower_func).collect(),
             globals: m.globals.clone(),
             name: m.name.clone(),
         }
@@ -458,11 +641,7 @@ fn lower_func(f: &Function) -> LFunc {
             Terminator::PtestBr { flags, all_false, all_true, mixed } => {
                 let fty = f.operand_ty(flags);
                 let mask_meta = if fty.is_vector() { Some(VMeta::of(&fty)) } else { None };
-                LTerm::PtestBr {
-                    flags: lop(f, flags),
-                    mask_meta,
-                    bbs: [all_false.0, all_true.0, mixed.0],
-                }
+                LTerm::PtestBr { flags: lop(f, flags), mask_meta, bbs: [all_false.0, all_true.0, mixed.0] }
             }
             Terminator::Ret { val } => LTerm::Ret(val.as_ref().map(|v| lop(f, v))),
             Terminator::Unreachable => LTerm::Unreachable,
@@ -470,7 +649,7 @@ fn lower_func(f: &Function) -> LFunc {
         // Macro-fusion: a scalar compare immediately feeding this block's
         // conditional branch retires fused with it.
         if let LTerm::CondBr { cond: LOp::Slot(s), .. } = &term {
-            if let Some(LInst::Cmp { m, dst, fused, .. }) = insts.last_mut() {
+            if let Some(LInst { kind: LKind::Cmp { m, dst, fused, .. }, .. }) = insts.last_mut() {
                 if m.scalar && *dst == *s {
                     *fused = true;
                 }
@@ -489,37 +668,42 @@ fn lower_func(f: &Function) -> LFunc {
 }
 
 fn lower_inst(f: &Function, inst: &Inst, dst: u32) -> LInst {
-    match inst {
+    let kind = match inst {
         Inst::Bin { op, ty, a, b } => {
-            LInst::Bin { op: *op, m: VMeta::of(ty), dst, a: lop(f, a), b: lop(f, b) }
+            LKind::Bin { op: *op, m: VMeta::of(ty), dst, a: lop(f, a), b: lop(f, b) }
         }
         Inst::Cmp { pred, ty, a, b } => {
-            LInst::Cmp { pred: *pred, m: VMeta::of(ty), dst, a: lop(f, a), b: lop(f, b), fused: false }
+            LKind::Cmp { pred: *pred, m: VMeta::of(ty), dst, a: lop(f, a), b: lop(f, b), fused: false }
         }
         Inst::Cast { op, to, val } => {
             let from = VMeta::of(&f.operand_ty(val));
-            LInst::Cast { op: *op, from, to: VMeta::of(to), dst, a: lop(f, val) }
+            LKind::Cast { op: *op, from, to: VMeta::of(to), dst, a: lop(f, val) }
         }
-        Inst::Load { ty, addr } => LInst::Load { m: VMeta::of(ty), dst, addr: lop(f, addr) },
+        Inst::Load { ty, addr } => LKind::Load { m: VMeta::of(ty), dst, addr: lop(f, addr) },
         Inst::Store { ty, val, addr } => {
-            LInst::Store { m: VMeta::of(ty), val: lop(f, val), addr: lop(f, addr) }
+            LKind::Store { m: VMeta::of(ty), val: lop(f, val), addr: lop(f, addr) }
         }
         Inst::Gep { base, index, scale } => {
-            LInst::Gep { dst, base: lop(f, base), index: lop(f, index), scale: *scale }
+            LKind::Gep { dst, base: lop(f, base), index: lop(f, index), scale: *scale }
         }
-        Inst::Alloca { ty, count } => {
-            LInst::Alloca { dst, elem_bytes: ty.bytes(), count: lop(f, count) }
-        }
+        Inst::Alloca { ty, count } => LKind::Alloca { dst, elem_bytes: ty.bytes(), count: lop(f, count) },
         Inst::Select { cond, ty, a, b } => {
             let cond_scalar = !f.operand_ty(cond).is_vector();
-            LInst::Select { m: VMeta::of(ty), cond_scalar, dst, cond: lop(f, cond), a: lop(f, a), b: lop(f, b) }
+            LKind::Select {
+                m: VMeta::of(ty),
+                cond_scalar,
+                dst,
+                cond: lop(f, cond),
+                a: lop(f, a),
+                b: lop(f, b),
+            }
         }
         Inst::Phi { .. } => unreachable!("phis lowered separately"),
         Inst::Call { callee, args, ret_ty } => match callee {
             Callee::Func(fid) => {
-                LInst::CallF { func: fid.0, args: args.iter().map(|a| lop(f, a)).collect(), dst }
+                LKind::CallF { func: fid.0, args: args.iter().map(|a| lop(f, a)).collect(), dst }
             }
-            Callee::Builtin(b) => LInst::CallB {
+            Callee::Builtin(b) => LKind::CallB {
                 b: *b,
                 args: args.iter().map(|a| lop(f, a)).collect(),
                 metas: args.iter().map(|a| VMeta::of(&f.operand_ty(a))).collect(),
@@ -528,32 +712,33 @@ fn lower_inst(f: &Function, inst: &Inst, dst: u32) -> LInst {
             },
         },
         Inst::ExtractElement { vec, idx, ty } => {
-            LInst::Extract { m: VMeta::of(ty), dst, vec: lop(f, vec), idx: lop(f, idx) }
+            LKind::Extract { m: VMeta::of(ty), dst, vec: lop(f, vec), idx: lop(f, idx) }
         }
         Inst::InsertElement { vec, val, idx, ty } => {
-            LInst::Insert { m: VMeta::of(ty), dst, vec: lop(f, vec), val: lop(f, val), idx: lop(f, idx) }
+            LKind::Insert { m: VMeta::of(ty), dst, vec: lop(f, vec), val: lop(f, val), idx: lop(f, idx) }
         }
         Inst::Shuffle { a, mask, ty } => {
-            LInst::Shuffle { m: VMeta::of(ty), dst, a: lop(f, a), mask: mask.clone() }
+            LKind::Shuffle { m: VMeta::of(ty), dst, a: lop(f, a), mask: mask.clone() }
         }
-        Inst::Splat { val, ty } => LInst::Splat { m: VMeta::of(ty), dst, val: lop(f, val) },
-        Inst::Ptest { mask, ty } => LInst::Ptest { m: VMeta::of(ty), dst, mask: lop(f, mask) },
-        Inst::Gather { ty, addrs } => LInst::Gather { m: VMeta::of(ty), dst, addrs: lop(f, addrs) },
+        Inst::Splat { val, ty } => LKind::Splat { m: VMeta::of(ty), dst, val: lop(f, val) },
+        Inst::Ptest { mask, ty } => LKind::Ptest { m: VMeta::of(ty), dst, mask: lop(f, mask) },
+        Inst::Gather { ty, addrs } => LKind::Gather { m: VMeta::of(ty), dst, addrs: lop(f, addrs) },
         Inst::Scatter { val, addrs, ty } => {
-            LInst::Scatter { m: VMeta::of(ty), val: lop(f, val), addrs: lop(f, addrs) }
+            LKind::Scatter { m: VMeta::of(ty), val: lop(f, val), addrs: lop(f, addrs) }
         }
         Inst::AtomicRmw { op, ty, addr, val } => {
-            LInst::AtomicRmw { op: *op, m: VMeta::of(ty), dst, addr: lop(f, addr), val: lop(f, val) }
+            LKind::AtomicRmw { op: *op, m: VMeta::of(ty), dst, addr: lop(f, addr), val: lop(f, val) }
         }
-        Inst::CmpXchg { ty, addr, expected, new } => LInst::CmpXchg {
+        Inst::CmpXchg { ty, addr, expected, new } => LKind::CmpXchg {
             m: VMeta::of(ty),
             dst,
             addr: lop(f, addr),
             expected: lop(f, expected),
             new: lop(f, new),
         },
-        Inst::Fence => LInst::Fence,
-    }
+        Inst::Fence => LKind::Fence,
+    };
+    LInst::decode(kind)
 }
 
 #[cfg(test)]
@@ -611,7 +796,11 @@ mod tests {
         assert_eq!(f.blocks[1].phis.len(), 1);
         assert_eq!(f.blocks[1].phis[0].incomings.len(), 2);
         // Body has the multiply.
-        assert!(matches!(f.blocks[2].insts[0], LInst::Bin { op: BinOp::Mul, .. }));
+        let i0 = &f.blocks[2].insts[0];
+        assert!(matches!(i0.kind, LKind::Bin { op: BinOp::Mul, .. }));
+        // Pre-decoded execution data resolved at lower time.
+        assert_eq!(i0.group, DGroup::ScalarAlu);
+        assert_eq!(i0.class, InstClass::ScalarMul);
         assert!(matches!(f.blocks[1].term, LTerm::CondBr { .. }));
     }
 

@@ -16,12 +16,12 @@
 //! index, one bit of that instruction's destination register is flipped
 //! (a GPR bit for scalars, one YMM lane bit for vectors).
 
-use crate::lower::{LInst, LOp, LPhi, LTerm, Program, VMeta, NO_DST};
+use crate::lower::{DGroup, LInst, LKind, LOp, LPhi, LTerm, Program, VMeta, NO_DST};
 use crate::memory::{Memory, Trap, DEFAULT_MEM_SIZE, INPUT_BASE};
 use elzar_avx::{majority_extended, majority_simple, LaneWidth, MajorityOutcome, Ymm};
 use elzar_cpu::{Core, Counters, InstClass, SharedL3};
 use elzar_ir::{BinOp, Builtin, CastOp, CmpPred, RmwOp};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A planned single-event upset.
 #[derive(Clone, Copy, Debug)]
@@ -142,7 +142,8 @@ impl RtVal {
     }
 }
 
-struct Frame {
+#[derive(Clone)]
+struct Frame<'p> {
     func: u32,
     block: u32,
     prev_block: u32,
@@ -151,6 +152,13 @@ struct Frame {
     ready: Vec<u64>,
     ret_dst: u32,
     sp_save: u64,
+    /// The function this frame executes — cached so the stepper never
+    /// re-indexes `prog.funcs`.
+    lf: &'p crate::lower::LFunc,
+    /// Current block's instructions (follows `block`).
+    insts: &'p [LInst],
+    /// Current block's terminator (follows `block`).
+    term: &'p LTerm,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -161,8 +169,9 @@ enum TState {
     Done,
 }
 
-struct ThreadCtx {
-    frames: Vec<Frame>,
+#[derive(Clone)]
+struct ThreadCtx<'p> {
+    frames: Vec<Frame<'p>>,
     core: Core,
     sp: u64,
     stack_limit: u64,
@@ -170,10 +179,127 @@ struct ThreadCtx {
     result: u64,
 }
 
+#[derive(Clone)]
 struct LockInfo {
     owner: Option<u32>,
     release: u64,
     waiters: VecDeque<u32>,
+}
+
+/// Mutex registry. Programs hold a handful of distinct mutex addresses,
+/// so a dense vector with linear lookup beats hashing: the common case
+/// is a hit within the first few entries, with no hashing, no pointer
+/// chasing and deterministic iteration for free.
+#[derive(Clone, Default)]
+struct LockTable {
+    entries: Vec<(u64, LockInfo)>,
+}
+
+impl LockTable {
+    /// Existing lock state for `addr`.
+    #[inline]
+    fn get_mut(&mut self, addr: u64) -> Option<&mut LockInfo> {
+        self.entries.iter_mut().find(|(a, _)| *a == addr).map(|(_, l)| l)
+    }
+
+    /// Lock state for `addr`, created on first use.
+    #[inline]
+    fn entry_mut(&mut self, addr: u64) -> &mut LockInfo {
+        if let Some(i) = self.entries.iter().position(|(a, _)| *a == addr) {
+            return &mut self.entries[i].1;
+        }
+        self.entries.push((addr, LockInfo { owner: None, release: 0, waiters: VecDeque::new() }));
+        &mut self.entries.last_mut().expect("just pushed").1
+    }
+}
+
+/// Open-addressed map from cacheline base → (last-writing thread,
+/// serialization release cycle), replacing a `HashMap` on the atomics
+/// hot path. Keys are 64-byte-aligned addresses, so `u64::MAX` is free
+/// as the empty sentinel; probing is linear from a Fibonacci-hashed
+/// start slot. The table is cleared when it reaches the same bound the
+/// previous `HashMap` version enforced, which keeps memory bounded and
+/// is deterministic (clearing only forgets stale serialization points).
+#[derive(Clone)]
+struct AtomicTable {
+    keys: Vec<u64>,
+    vals: Vec<(u32, u64)>,
+    len: usize,
+}
+
+const ATOMIC_EMPTY: u64 = u64::MAX;
+const ATOMIC_MAX_ENTRIES: usize = 1 << 17;
+
+impl AtomicTable {
+    fn new() -> AtomicTable {
+        AtomicTable { keys: vec![ATOMIC_EMPTY; 1024], vals: vec![(0, 0); 1024], len: 0 }
+    }
+
+    /// Slot of `key`, or of the first empty probe position.
+    #[inline]
+    fn slot(keys: &[u64], key: u64) -> usize {
+        let mask = keys.len() - 1;
+        // Fibonacci hashing spreads the (shifted, aligned) keys well.
+        let mut i = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask;
+        loop {
+            let k = keys[i];
+            if k == key || k == ATOMIC_EMPTY {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    #[inline]
+    fn get(&self, key: u64) -> Option<(u32, u64)> {
+        let i = Self::slot(&self.keys, key);
+        if self.keys[i] == key {
+            Some(self.vals[i])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, key: u64, val: (u32, u64)) {
+        let i = Self::slot(&self.keys, key);
+        if self.keys[i] == key {
+            self.vals[i] = val;
+            return;
+        }
+        if self.len >= ATOMIC_MAX_ENTRIES {
+            // Same memory bound the HashMap version enforced: forget
+            // stale serialization points wholesale.
+            self.keys.fill(ATOMIC_EMPTY);
+            self.len = 0;
+            let j = Self::slot(&self.keys, key);
+            self.keys[j] = key;
+            self.vals[j] = val;
+            self.len = 1;
+            return;
+        }
+        self.keys[i] = key;
+        self.vals[i] = val;
+        self.len += 1;
+        // Keep load factor <= 1/2 so probe chains stay short.
+        if self.len * 2 > self.keys.len() {
+            self.grow();
+        }
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![ATOMIC_EMPTY; new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![(0, 0); new_cap]);
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != ATOMIC_EMPTY {
+                let i = Self::slot(&self.keys, k);
+                self.keys[i] = k;
+                self.vals[i] = v;
+            }
+        }
+    }
 }
 
 const CALL_DEPTH_LIMIT: usize = 220;
@@ -183,14 +309,21 @@ const LOCK_COST: u64 = 40;
 const MALLOC_COST: u64 = 100;
 
 /// The interpreter.
+///
+/// `Clone` snapshots the *entire* execution state — memory, thread
+/// contexts, timing model, caches, branch predictor, counters. Because
+/// execution is deterministic, resuming a clone behaves exactly like
+/// the original would have; the fault-injection campaign exploits this
+/// to share the pre-injection prefix across runs.
+#[derive(Clone)]
 pub struct Machine<'p> {
     prog: &'p Program,
     cfg: MachineConfig,
     mem: Memory,
-    threads: Vec<ThreadCtx>,
+    threads: Vec<ThreadCtx<'p>>,
     l3: SharedL3,
-    locks: HashMap<u64, LockInfo>,
-    atomics: HashMap<u64, (u32, u64)>,
+    locks: LockTable,
+    atomics: AtomicTable,
     output: Vec<u8>,
     corrections: u64,
     eligible: u64,
@@ -206,12 +339,8 @@ pub struct Machine<'p> {
 /// # Panics
 /// Panics if `entry` does not exist in the program.
 pub fn run_program(prog: &Program, entry: &str, input: &[u8], cfg: MachineConfig) -> RunResult {
-    let entry_idx = prog
-        .func_by_name(entry)
-        .unwrap_or_else(|| panic!("entry function `{entry}` not found"));
-    let mut m = Machine::new(prog, input, cfg);
-    m.spawn(entry_idx, 0, 0).expect("spawning the main thread cannot fail");
-    let outcome = m.run_loop();
+    let mut m = Machine::start(prog, entry, input, cfg);
+    let outcome = m.run_to_completion();
     m.finish(outcome)
 }
 
@@ -223,8 +352,8 @@ impl<'p> Machine<'p> {
             mem: Memory::new(cfg.mem_size, &prog.globals, input, cfg.max_threads),
             threads: vec![],
             l3: SharedL3::haswell(),
-            locks: HashMap::new(),
-            atomics: HashMap::new(),
+            locks: LockTable::default(),
+            atomics: AtomicTable::new(),
             output: Vec::new(),
             corrections: 0,
             eligible: 0,
@@ -243,7 +372,7 @@ impl<'p> Machine<'p> {
             return Err(Trap::OutOfMemory);
         }
         let tid = self.threads.len() as u32;
-        let lf = &self.prog.funcs[func as usize];
+        let lf: &'p crate::lower::LFunc = &self.prog.funcs[func as usize];
         let mut slots = vec![RtVal::S(0); lf.n_slots as usize];
         if lf.n_params >= 1 {
             slots[0] = RtVal::S(arg);
@@ -260,6 +389,9 @@ impl<'p> Machine<'p> {
                 slots,
                 ret_dst: NO_DST,
                 sp_save: self.mem.stack_top(tid),
+                lf,
+                insts: &lf.blocks[0].insts,
+                term: &lf.blocks[0].term,
             }],
             core,
             sp: self.mem.stack_top(tid),
@@ -270,40 +402,89 @@ impl<'p> Machine<'p> {
         Ok(tid)
     }
 
-    fn run_loop(&mut self) -> RunOutcome {
+    /// Create a machine and spawn `entry` as its main thread.
+    ///
+    /// # Panics
+    /// Panics if `entry` does not exist in the program.
+    pub fn start(prog: &'p Program, entry: &str, input: &[u8], cfg: MachineConfig) -> Machine<'p> {
+        let entry_idx =
+            prog.func_by_name(entry).unwrap_or_else(|| panic!("entry function `{entry}` not found"));
+        let mut m = Machine::new(prog, input, cfg);
+        m.spawn(entry_idx, 0, 0).expect("spawning the main thread cannot fail");
+        m
+    }
+
+    /// Execute one scheduler round: wake joiners, give every ready
+    /// thread one quantum, then check for exit/deadlock. Returns
+    /// `Some(outcome)` when the program is finished, `None` while it is
+    /// still running. Round boundaries are exact resumption points —
+    /// `run_to_completion` is a plain loop over this — so a machine
+    /// cloned between rounds continues bit-identically.
+    pub fn run_round(&mut self) -> Option<RunOutcome> {
+        // Wake joiners whose target finished.
+        for i in 0..self.threads.len() {
+            if let TState::BlockedJoin(c) = self.threads[i].state {
+                if matches!(self.threads[c as usize].state, TState::Done) {
+                    self.threads[i].state = TState::Ready;
+                }
+            }
+        }
+        let mut progressed = false;
+        let n = self.threads.len();
+        for t in 0..n {
+            if self.threads[t].state == TState::Ready {
+                progressed = true;
+                match self.step_quantum(t) {
+                    Ok(()) => {}
+                    Err(trap) => return Some(RunOutcome::Trapped(trap)),
+                }
+                if self.steps > self.cfg.step_limit {
+                    return Some(RunOutcome::StepLimit);
+                }
+            }
+        }
+        if self.threads.iter().all(|t| t.state == TState::Done) {
+            return Some(RunOutcome::Exited(self.threads[0].result as i64));
+        }
+        if !progressed {
+            return Some(RunOutcome::Trapped(Trap::Deadlock));
+        }
+        None
+    }
+
+    /// Run scheduler rounds until the program finishes.
+    pub fn run_to_completion(&mut self) -> RunOutcome {
         loop {
-            // Wake joiners whose target finished.
-            for i in 0..self.threads.len() {
-                if let TState::BlockedJoin(c) = self.threads[i].state {
-                    if matches!(self.threads[c as usize].state, TState::Done) {
-                        self.threads[i].state = TState::Ready;
-                    }
-                }
-            }
-            let mut progressed = false;
-            let n = self.threads.len();
-            for t in 0..n {
-                if self.threads[t].state == TState::Ready {
-                    progressed = true;
-                    match self.step_quantum(t) {
-                        Ok(()) => {}
-                        Err(trap) => return RunOutcome::Trapped(trap),
-                    }
-                    if self.steps > self.cfg.step_limit {
-                        return RunOutcome::StepLimit;
-                    }
-                }
-            }
-            if self.threads.iter().all(|t| t.state == TState::Done) {
-                return RunOutcome::Exited(self.threads[0].result as i64);
-            }
-            if !progressed {
-                return RunOutcome::Trapped(Trap::Deadlock);
+            if let Some(outcome) = self.run_round() {
+                return outcome;
             }
         }
     }
 
-    fn finish(self, outcome: RunOutcome) -> RunResult {
+    /// Eligible (fault-injectable) instructions executed so far.
+    pub fn eligible_so_far(&self) -> u64 {
+        self.eligible
+    }
+
+    /// Upper bound on how many *additional* eligible instructions the
+    /// next [`Machine::run_round`] can execute (every live thread gets
+    /// at most one quantum, and at most every instruction is eligible).
+    pub fn eligible_round_bound(&self) -> u64 {
+        self.threads.len() as u64 * u64::from(self.cfg.quantum)
+    }
+
+    /// Install (or clear) the fault plan for subsequent execution.
+    pub fn set_fault(&mut self, fault: Option<FaultPlan>) {
+        self.cfg.fault = fault;
+    }
+
+    /// Replace the retired-instruction budget.
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.cfg.step_limit = limit;
+    }
+
+    /// Consume the machine, producing the aggregate result.
+    pub fn finish(self, outcome: RunOutcome) -> RunResult {
         let mut counters = Counters::default();
         let mut cycles = 0;
         let mut thread_cycles = vec![];
@@ -338,31 +519,33 @@ impl<'p> Machine<'p> {
 
     #[inline]
     fn step_inst(&mut self, t: usize) -> Result<(), Trap> {
-        let prog = self.prog;
-        let (func_idx, block_idx, ip) = {
+        // The frame caches `&'p` references into the lowered program, so
+        // fetching the next instruction is one slice index — no
+        // re-derivation through `prog.funcs[f].blocks[b]`.
+        let (insts, term, hardened, func_idx, block_idx, ip) = {
             let fr = self.threads[t].frames.last().expect("live thread has a frame");
-            (fr.func, fr.block, fr.ip)
+            (fr.insts, fr.term, fr.lf.hardened, fr.func, fr.block, fr.ip)
         };
-        let lf = &prog.funcs[func_idx as usize];
-        let lb = &lf.blocks[block_idx as usize];
         self.steps += 1;
-        if (ip as usize) < lb.insts.len() {
-            self.exec_inst(t, lf.hardened, &lb.insts[ip as usize])
+        if (ip as usize) < insts.len() {
+            self.exec_inst(t, hardened, &insts[ip as usize])
         } else {
-            self.exec_term(t, func_idx, block_idx, &lb.term)
+            self.exec_term(t, func_idx, block_idx, term)
         }
     }
 
     /// Transition the current frame to `target`, evaluating its phis.
     fn take_edge(&mut self, t: usize, target: u32) {
-        let prog = self.prog;
         let th = &mut self.threads[t];
         let fr = th.frames.last_mut().expect("frame");
         let from = fr.block;
+        let lb = &fr.lf.blocks[target as usize];
         fr.prev_block = from;
         fr.block = target;
         fr.ip = 0;
-        let phis: &[LPhi] = &prog.funcs[fr.func as usize].blocks[target as usize].phis;
+        fr.insts = &lb.insts;
+        fr.term = &lb.term;
+        let phis: &[LPhi] = &lb.phis;
         if phis.is_empty() {
             return;
         }
@@ -439,66 +622,139 @@ impl<'p> Machine<'p> {
         }
     }
 
+    /// Dispatch one instruction to its pre-decoded handler group. The
+    /// discriminant (and the cost class each handler charges) was
+    /// resolved at lower time, so the hot path does no re-derivation.
     #[inline]
     fn exec_inst(&mut self, t: usize, hardened: bool, inst: &LInst) -> Result<(), Trap> {
-        // Thread-management builtins need whole-machine access.
-        if let LInst::CallB { b, .. } = inst {
-            match b {
-                Builtin::Spawn | Builtin::Join | Builtin::Lock | Builtin::Unlock => {
-                    return self.exec_thread_builtin(t, inst);
+        let out = match inst.group {
+            DGroup::ScalarAlu => self.exec_scalar_alu(t, inst)?,
+            DGroup::VecAlu => self.exec_vec_alu(t, inst)?,
+            DGroup::Mem => self.exec_mem(t, inst)?,
+            DGroup::Control => return self.exec_control(t, inst),
+            DGroup::Builtin => {
+                let LKind::CallB { b, args, metas, dst, ret_meta } = &inst.kind else {
+                    unreachable!("builtin group holds only CallB")
+                };
+                self.exec_simple_builtin(t, *b, args, metas, *dst, ret_meta.as_ref())?;
+                self.advance_ip(t);
+                self.post_write(t, hardened, *dst, ret_meta.as_ref().map(|m| m.bound).unwrap_or(64));
+                return Ok(());
+            }
+        };
+        self.commit(t, hardened, out);
+        Ok(())
+    }
+
+    /// Write back a handler's result: destination slot, instruction
+    /// pointer, and fault-injection accounting — one frame borrow for
+    /// all three.
+    #[inline]
+    fn commit(&mut self, t: usize, hardened: bool, out: Option<(u32, RtVal, u64, u32)>) {
+        let fault = self.cfg.fault;
+        let eligible = &mut self.eligible;
+        let fr = self.threads[t].frames.last_mut().expect("frame");
+        fr.ip += 1;
+        if let Some((dst, v, ready, bit_bound)) = out {
+            if dst != NO_DST {
+                fr.slots[dst as usize] = v;
+                fr.ready[dst as usize] = ready;
+                if hardened {
+                    *eligible += 1;
+                    if let Some(plan) = fault {
+                        if *eligible == plan.index {
+                            fr.slots[dst as usize] = flip(v, plan.bit, bit_bound);
+                        }
+                    }
                 }
-                _ => {}
             }
         }
-        if let LInst::CallF { func, args, dst } = inst {
-            return self.exec_call(t, *func, args, *dst);
-        }
+    }
 
-        // Common path: disjoint borrows of machine fields.
+    /// GPR-domain compute: scalar bin/cmp/cast/select and address math.
+    fn exec_scalar_alu(&mut self, t: usize, inst: &LInst) -> Result<Option<(u32, RtVal, u64, u32)>, Trap> {
         let th = &mut self.threads[t];
         let fr = th.frames.last_mut().expect("frame");
         let core = &mut th.core;
-        // Output: (dst, value, ready, bit bound for fault injection).
-        let out: Option<(u32, RtVal, u64, u32)> = match inst {
-            LInst::Bin { op, m, dst, a, b } => {
+        Ok(match &inst.kind {
+            LKind::Bin { op, m, dst, a, b } => {
                 let (va, ra) = read_op(fr, a);
                 let (vb, rb) = read_op(fr, b);
-                let class = bin_class(*op, m);
-                let done = core.retire(class, &[ra, rb]);
-                let v = if m.scalar {
-                    RtVal::S(scalar_bin(*op, m, va.s(), vb.s())?)
-                } else {
-                    let (ya, yb) = (va.v(m), vb.v(m));
-                    let mut r = Ymm::ZERO;
-                    for i in 0..m.lanes as usize {
-                        r.set_lane(m.width, i, scalar_bin(*op, m, ya.lane(m.width, i), yb.lane(m.width, i))?);
-                    }
-                    RtVal::V(r)
-                };
-                Some((*dst, v, done, bound(m)))
+                let done = core.retire(inst.class, &[ra, rb]);
+                Some((*dst, RtVal::S(scalar_bin(*op, m, va.s(), vb.s())?), done, 64))
             }
-            LInst::Cmp { pred, m, dst, a, b, fused } => {
+            LKind::Cmp { pred, m, dst, a, b, fused } => {
                 let (va, ra) = read_op(fr, a);
                 let (vb, rb) = read_op(fr, b);
                 let done = if *fused {
                     // Retires as half of the following jcc: free slot.
                     ra.max(rb)
                 } else {
-                    let class = if m.scalar { InstClass::ScalarAlu } else { InstClass::VecCmp };
-                    core.retire(class, &[ra, rb])
+                    core.retire(inst.class, &[ra, rb])
                 };
-                let v = if m.scalar {
-                    RtVal::S(u64::from(scalar_cmp(*pred, m, va.s(), vb.s())))
-                } else {
-                    let (ya, yb) = (va.v(m), vb.v(m));
-                    RtVal::V(ya.cmp_mask(&yb, m.width, m.lanes as usize, |x, y| scalar_cmp(*pred, m, x, y)))
-                };
-                Some((*dst, v, done, bound(m)))
+                Some((*dst, RtVal::S(u64::from(scalar_cmp(*pred, m, va.s(), vb.s()))), done, 64))
             }
-            LInst::Cast { op, from, to, dst, a } => {
+            LKind::Cast { op, from, to, dst, a } => {
                 let (va, ra) = read_op(fr, a);
-                let class = cast_class(*op, from, to);
-                let done = core.retire(class, &[ra]);
+                let done = core.retire(inst.class, &[ra]);
+                Some((*dst, RtVal::S(scalar_cast(*op, from, to, va.s())), done, 64))
+            }
+            LKind::Select { m, cond_scalar, dst, cond, a, b } => {
+                let (vc, rc) = read_op(fr, cond);
+                let (va, ra) = read_op(fr, a);
+                let (vb, rb) = read_op(fr, b);
+                let done = core.retire(inst.class, &[rc, ra, rb]);
+                let v = if *cond_scalar {
+                    if vc.s() & 1 != 0 {
+                        va
+                    } else {
+                        vb
+                    }
+                } else {
+                    RtVal::V(Ymm::blend(&vc.v(m), &va.v(m), &vb.v(m), m.width, m.lanes as usize))
+                };
+                Some((*dst, v, done, m.bound))
+            }
+            LKind::Gep { dst, base, index, scale } => {
+                let (vb, rb) = read_op(fr, base);
+                let (vi, ri) = read_op(fr, index);
+                let done = core.retire(inst.class, &[rb, ri]);
+                let addr = vb.s().wrapping_add((vi.s() as i64).wrapping_mul(i64::from(*scale)) as u64);
+                Some((*dst, RtVal::S(addr), done, 64))
+            }
+            _ => unreachable!("not a scalar-ALU instruction"),
+        })
+    }
+
+    /// YMM-domain compute: vector bin/cmp/cast/select and lane ops.
+    fn exec_vec_alu(&mut self, t: usize, inst: &LInst) -> Result<Option<(u32, RtVal, u64, u32)>, Trap> {
+        let th = &mut self.threads[t];
+        let fr = th.frames.last_mut().expect("frame");
+        let core = &mut th.core;
+        Ok(match &inst.kind {
+            LKind::Bin { op, m, dst, a, b } => {
+                let (va, ra) = read_op(fr, a);
+                let (vb, rb) = read_op(fr, b);
+                let done = core.retire(inst.class, &[ra, rb]);
+                let (ya, yb) = (va.v(m), vb.v(m));
+                let mut r = Ymm::ZERO;
+                for i in 0..m.lanes as usize {
+                    r.set_lane(m.width, i, scalar_bin(*op, m, ya.lane(m.width, i), yb.lane(m.width, i))?);
+                }
+                Some((*dst, RtVal::V(r), done, m.bound))
+            }
+            LKind::Cmp { pred, m, dst, a, b, fused } => {
+                let (va, ra) = read_op(fr, a);
+                let (vb, rb) = read_op(fr, b);
+                let done = if *fused { ra.max(rb) } else { core.retire(inst.class, &[ra, rb]) };
+                let (ya, yb) = (va.v(m), vb.v(m));
+                let v =
+                    RtVal::V(ya.cmp_mask(&yb, m.width, m.lanes as usize, |x, y| scalar_cmp(*pred, m, x, y)));
+                Some((*dst, v, done, m.bound))
+            }
+            LKind::Cast { op, from, to, dst, a } => {
+                let (va, ra) = read_op(fr, a);
+                let done = core.retire(inst.class, &[ra]);
                 let v = if to.scalar {
                     RtVal::S(scalar_cast(*op, from, to, va.s()))
                 } else if matches!(op, CastOp::Bitcast | CastOp::PtrToInt | CastOp::IntToPtr) {
@@ -521,73 +777,13 @@ impl<'p> Machine<'p> {
                     let c = scalar_cast(*op, from, to, lane0);
                     RtVal::V(Ymm::splat(to.width, to.lanes as usize, c))
                 };
-                Some((*dst, v, done, bound(to)))
+                Some((*dst, v, done, to.bound))
             }
-            LInst::Load { m, dst, addr } => {
-                let (va, ra) = read_op(fr, addr);
-                let a = va.s();
-                let class = if m.scalar { InstClass::Load } else { InstClass::VecLoad };
-                let done = core.retire_mem(class, &[ra], a, &mut self.l3);
-                let v = if m.scalar {
-                    RtVal::S(self.mem.load(a, m.elem_bytes())? & float_safe_mask(m))
-                } else {
-                    let eb = m.elem_bytes();
-                    let mut y = Ymm::ZERO;
-                    for i in 0..m.lanes as usize {
-                        y.set_lane(m.width, i, self.mem.load(a + (i as u64) * u64::from(eb), eb)?);
-                    }
-                    RtVal::V(y)
-                };
-                Some((*dst, v, done, bound(m)))
-            }
-            LInst::Store { m, val, addr } => {
-                let (vv, rv) = read_op(fr, val);
-                let (va, ra) = read_op(fr, addr);
-                let a = va.s();
-                let class = if m.scalar { InstClass::Store } else { InstClass::VecStore };
-                core.retire_mem(class, &[rv, ra], a, &mut self.l3);
-                if m.scalar {
-                    self.mem.store(a, m.elem_bytes(), vv.s())?;
-                } else {
-                    let eb = m.elem_bytes();
-                    let y = vv.v(m);
-                    for i in 0..m.lanes as usize {
-                        self.mem.store(a + (i as u64) * u64::from(eb), eb, y.lane(m.width, i))?;
-                    }
-                }
-                None
-            }
-            LInst::Gep { dst, base, index, scale } => {
-                let (vb, rb) = read_op(fr, base);
-                let (vi, ri) = read_op(fr, index);
-                let done = core.retire(InstClass::ScalarAlu, &[rb, ri]);
-                let addr = vb.s().wrapping_add((vi.s() as i64).wrapping_mul(i64::from(*scale)) as u64);
-                Some((*dst, RtVal::S(addr), done, 64))
-            }
-            LInst::Alloca { dst, elem_bytes, count } => {
-                let (vc, rc) = read_op(fr, count);
-                let size = (vc.s().saturating_mul(u64::from(*elem_bytes)) + 31) & !31;
-                let done = core.retire(InstClass::ScalarAlu, &[rc]);
-                let new_sp = th.sp.checked_sub(size).ok_or(Trap::StackOverflow)?;
-                if new_sp < th.stack_limit {
-                    return Err(Trap::StackOverflow);
-                }
-                th.sp = new_sp;
-                let fr2 = th.frames.last_mut().expect("frame");
-                if *dst != NO_DST {
-                    fr2.slots[*dst as usize] = RtVal::S(new_sp);
-                    fr2.ready[*dst as usize] = done;
-                }
-                fr2.ip += 1;
-                self.post_write(t, hardened, *dst, 64);
-                return Ok(());
-            }
-            LInst::Select { m, cond_scalar, dst, cond, a, b } => {
+            LKind::Select { m, cond_scalar, dst, cond, a, b } => {
                 let (vc, rc) = read_op(fr, cond);
                 let (va, ra) = read_op(fr, a);
                 let (vb, rb) = read_op(fr, b);
-                let class = if m.scalar { InstClass::ScalarAlu } else { InstClass::Blend };
-                let done = core.retire(class, &[rc, ra, rb]);
+                let done = core.retire(inst.class, &[rc, ra, rb]);
                 let v = if *cond_scalar {
                     if vc.s() & 1 != 0 {
                         va
@@ -595,48 +791,104 @@ impl<'p> Machine<'p> {
                         vb
                     }
                 } else {
-                    let y = Ymm::blend(&vc.v(m), &va.v(m), &vb.v(m), m.width, m.lanes as usize);
-                    RtVal::V(y)
+                    RtVal::V(Ymm::blend(&vc.v(m), &va.v(m), &vb.v(m), m.width, m.lanes as usize))
                 };
-                Some((*dst, v, done, bound(m)))
+                Some((*dst, v, done, m.bound))
             }
-            LInst::Extract { m, dst, vec, idx } => {
+            LKind::Extract { m, dst, vec, idx } => {
                 let (vv, rv) = read_op(fr, vec);
                 let (vi, ri) = read_op(fr, idx);
-                let done = core.retire(InstClass::Extract, &[rv, ri]);
+                let done = core.retire(inst.class, &[rv, ri]);
                 let lane = (vi.s() as usize) % (m.lanes as usize);
                 Some((*dst, RtVal::S(vv.v(m).lane(m.width, lane)), done, 64))
             }
-            LInst::Insert { m, dst, vec, val, idx } => {
+            LKind::Insert { m, dst, vec, val, idx } => {
                 let (vv, rv) = read_op(fr, vec);
                 let (vx, rx) = read_op(fr, val);
                 let (vi, ri) = read_op(fr, idx);
-                let done = core.retire(InstClass::Insert, &[rv, rx, ri]);
+                let done = core.retire(inst.class, &[rv, rx, ri]);
                 let lane = (vi.s() as usize) % (m.lanes as usize);
-                Some((*dst, RtVal::V(vv.v(m).with_lane(m.width, lane, vx.s())), done, bound(m)))
+                Some((*dst, RtVal::V(vv.v(m).with_lane(m.width, lane, vx.s())), done, m.bound))
             }
-            LInst::Shuffle { m, dst, a, mask } => {
+            LKind::Shuffle { m, dst, a, mask } => {
                 let (va, ra) = read_op(fr, a);
-                let done = core.retire(InstClass::Shuffle, &[ra]);
-                Some((*dst, RtVal::V(va.v(m).shuffle(m.width, mask)), done, bound(m)))
+                let done = core.retire(inst.class, &[ra]);
+                Some((*dst, RtVal::V(va.v(m).shuffle(m.width, mask)), done, m.bound))
             }
-            LInst::Splat { m, dst, val } => {
+            LKind::Splat { m, dst, val } => {
                 let (vv, rv) = read_op(fr, val);
-                let done = core.retire(InstClass::Broadcast, &[rv]);
-                Some((*dst, RtVal::V(Ymm::splat(m.width, m.lanes as usize, vv.s())), done, bound(m)))
+                let done = core.retire(inst.class, &[rv]);
+                Some((*dst, RtVal::V(Ymm::splat(m.width, m.lanes as usize, vv.s())), done, m.bound))
             }
-            LInst::Ptest { m, dst, mask } => {
+            LKind::Ptest { m, dst, mask } => {
                 let (vm, rm) = read_op(fr, mask);
-                let done = core.retire(InstClass::Ptest, &[rm]);
+                let done = core.retire(inst.class, &[rm]);
                 let code = vm.v(m).ptest(m.width, m.lanes as usize).code();
                 Some((*dst, RtVal::S(code), done, 8))
             }
-            LInst::Gather { m, dst, addrs } => {
+            _ => unreachable!("not a vector-ALU instruction"),
+        })
+    }
+
+    /// Memory traffic: loads, stores, gathers, scatters, atomics,
+    /// fences, stack allocation.
+    fn exec_mem(&mut self, t: usize, inst: &LInst) -> Result<Option<(u32, RtVal, u64, u32)>, Trap> {
+        // Stack allocation adjusts the thread's stack pointer, which the
+        // common borrows below would conflict with — handle it first.
+        if let LKind::Alloca { dst, elem_bytes, count } = &inst.kind {
+            let th = &mut self.threads[t];
+            let (vc, rc) = read_op(th.frames.last().expect("frame"), count);
+            let size = (vc.s().saturating_mul(u64::from(*elem_bytes)) + 31) & !31;
+            let done = th.core.retire(inst.class, &[rc]);
+            let new_sp = th.sp.checked_sub(size).ok_or(Trap::StackOverflow)?;
+            if new_sp < th.stack_limit {
+                return Err(Trap::StackOverflow);
+            }
+            th.sp = new_sp;
+            return Ok(Some((*dst, RtVal::S(new_sp), done, 64)));
+        }
+        let th = &mut self.threads[t];
+        let fr = th.frames.last_mut().expect("frame");
+        let core = &mut th.core;
+        Ok(match &inst.kind {
+            LKind::Load { m, dst, addr } => {
+                let (va, ra) = read_op(fr, addr);
+                let a = va.s();
+                let done = core.retire_mem(inst.class, &[ra], a, &mut self.l3);
+                let v = if m.scalar {
+                    RtVal::S(self.mem.load(a, m.ebytes)? & m.fmask)
+                } else {
+                    let eb = m.ebytes;
+                    let mut y = Ymm::ZERO;
+                    for i in 0..m.lanes as usize {
+                        y.set_lane(m.width, i, self.mem.load(a + (i as u64) * u64::from(eb), eb)?);
+                    }
+                    RtVal::V(y)
+                };
+                Some((*dst, v, done, m.bound))
+            }
+            LKind::Store { m, val, addr } => {
+                let (vv, rv) = read_op(fr, val);
+                let (va, ra) = read_op(fr, addr);
+                let a = va.s();
+                core.retire_mem(inst.class, &[rv, ra], a, &mut self.l3);
+                if m.scalar {
+                    self.mem.store(a, m.ebytes, vv.s())?;
+                } else {
+                    let eb = m.ebytes;
+                    let y = vv.v(m);
+                    for i in 0..m.lanes as usize {
+                        self.mem.store(a + (i as u64) * u64::from(eb), eb, y.lane(m.width, i))?;
+                    }
+                }
+                None
+            }
+            LKind::Gather { m, dst, addrs } => {
                 let (va, ra) = read_op(fr, addrs);
                 // §VII-B: hardware majority-votes the replicated address
                 // (pointers are always 4-way replicated).
-                let aw = LaneWidth::B64;
-                let voted = match majority_extended(&va.v(&VMeta { scalar: false, float: false, bits: 64, width: aw, lanes: 4 }), aw, 4) {
+                let am = VMeta::ptr4();
+                let voted = match majority_extended(&va.v(&am), am.width, am.lanes as usize) {
                     MajorityOutcome::Recovered { value, corrected } => {
                         if corrected {
                             self.corrections += 1;
@@ -645,16 +897,15 @@ impl<'p> Machine<'p> {
                     }
                     MajorityOutcome::Tie => return Err(Trap::Unrecoverable),
                 };
-                let done = core.retire_mem(InstClass::Gather, &[ra], voted, &mut self.l3);
-                let loaded = self.mem.load(voted, m.elem_bytes())? & float_safe_mask(m);
-                Some((*dst, RtVal::V(Ymm::splat(m.width, m.lanes as usize, loaded)), done, bound(m)))
+                let done = core.retire_mem(inst.class, &[ra], voted, &mut self.l3);
+                let loaded = self.mem.load(voted, m.ebytes)? & m.fmask;
+                Some((*dst, RtVal::V(Ymm::splat(m.width, m.lanes as usize, loaded)), done, m.bound))
             }
-            LInst::Scatter { m, val, addrs } => {
+            LKind::Scatter { m, val, addrs } => {
                 let (vv, rv) = read_op(fr, val);
                 let (va, ra) = read_op(fr, addrs);
-                let aw = LaneWidth::B64;
-                let ameta = VMeta { scalar: false, float: false, bits: 64, width: aw, lanes: 4 };
-                let addr = match majority_extended(&va.v(&ameta), aw, 4) {
+                let am = VMeta::ptr4();
+                let addr = match majority_extended(&va.v(&am), am.width, am.lanes as usize) {
                     MajorityOutcome::Recovered { value, corrected } => {
                         if corrected {
                             self.corrections += 1;
@@ -672,78 +923,61 @@ impl<'p> Machine<'p> {
                     }
                     MajorityOutcome::Tie => return Err(Trap::Unrecoverable),
                 };
-                core.retire_mem(InstClass::Scatter, &[rv, ra], addr, &mut self.l3);
-                self.mem.store(addr, m.elem_bytes(), value)?;
+                core.retire_mem(inst.class, &[rv, ra], addr, &mut self.l3);
+                self.mem.store(addr, m.ebytes, value)?;
                 None
             }
-            LInst::AtomicRmw { op, m, dst, addr, val } => {
+            LKind::AtomicRmw { op, m, dst, addr, val } => {
                 let (va, ra) = read_op(fr, addr);
                 let (vv, rv) = read_op(fr, val);
                 let a = va.s();
                 let key = a & !63;
-                if let Some(&(owner, done)) = self.atomics.get(&key) {
+                if let Some((owner, done)) = self.atomics.get(key) {
                     if owner != t as u32 {
                         core.advance_to(done);
                     }
                 }
-                let done = core.retire_mem(InstClass::Atomic, &[ra, rv], a, &mut self.l3);
-                if self.atomics.len() > 1 << 17 {
-                    self.atomics.clear();
-                }
+                let done = core.retire_mem(inst.class, &[ra, rv], a, &mut self.l3);
                 self.atomics.insert(key, (t as u32, done));
-                let old = self.mem.load(a, m.elem_bytes())? & m.mask();
+                let old = self.mem.load(a, m.ebytes)? & m.mask;
                 let new = rmw(*op, m, old, vv.s());
-                self.mem.store(a, m.elem_bytes(), new)?;
+                self.mem.store(a, m.ebytes, new)?;
                 Some((*dst, RtVal::S(old), done, 64))
             }
-            LInst::CmpXchg { m, dst, addr, expected, new } => {
+            LKind::CmpXchg { m, dst, addr, expected, new } => {
                 let (va, ra) = read_op(fr, addr);
                 let (ve, re) = read_op(fr, expected);
                 let (vn, rn) = read_op(fr, new);
                 let a = va.s();
                 let key = a & !63;
-                if let Some(&(owner, done)) = self.atomics.get(&key) {
+                if let Some((owner, done)) = self.atomics.get(key) {
                     if owner != t as u32 {
                         core.advance_to(done);
                     }
                 }
-                let done = core.retire_mem(InstClass::Atomic, &[ra, re, rn], a, &mut self.l3);
+                let done = core.retire_mem(inst.class, &[ra, re, rn], a, &mut self.l3);
                 self.atomics.insert(key, (t as u32, done));
-                let old = self.mem.load(a, m.elem_bytes())? & m.mask();
-                if old == ve.s() & m.mask() {
-                    self.mem.store(a, m.elem_bytes(), vn.s() & m.mask())?;
+                let old = self.mem.load(a, m.ebytes)? & m.mask;
+                if old == ve.s() & m.mask {
+                    self.mem.store(a, m.ebytes, vn.s() & m.mask)?;
                 }
                 Some((*dst, RtVal::S(old), done, 64))
             }
-            LInst::Fence => {
-                core.retire(InstClass::Fence, &[]);
+            LKind::Fence => {
+                core.retire(inst.class, &[]);
                 None
             }
-            LInst::CallB { b, args, metas, dst, ret_meta } => {
-                self.exec_simple_builtin(t, *b, args, metas, *dst, ret_meta.as_ref())?;
-                self.advance_ip(t);
-                self.post_write(t, hardened, *dst, ret_meta.as_ref().map(bound).unwrap_or(64));
-                return Ok(());
-            }
-            LInst::CallF { .. } => unreachable!("handled above"),
-        };
+            _ => unreachable!("not a memory instruction"),
+        })
+    }
 
-        // Commit the result.
-        let fr = self.threads[t].frames.last_mut().expect("frame");
-        let mut bit_bound = 64;
-        if let Some((dst, v, ready, bb)) = out {
-            bit_bound = bb;
-            if dst != NO_DST {
-                fr.slots[dst as usize] = v;
-                fr.ready[dst as usize] = ready;
-            }
-            fr.ip += 1;
-            self.post_write(t, hardened, dst, bit_bound);
-        } else {
-            fr.ip += 1;
+    /// Control transfers: direct calls and thread-management builtins.
+    fn exec_control(&mut self, t: usize, inst: &LInst) -> Result<(), Trap> {
+        match &inst.kind {
+            LKind::CallF { func, args, dst } => self.exec_call(t, *func, args, *dst),
+            LKind::CallB { .. } => self.exec_thread_builtin(t, inst),
+            _ => unreachable!("not a control instruction"),
         }
-        let _ = bit_bound;
-        Ok(())
     }
 
     fn advance_ip(&mut self, t: usize) {
@@ -775,7 +1009,7 @@ impl<'p> Machine<'p> {
         if th.frames.len() >= CALL_DEPTH_LIMIT {
             return Err(Trap::CallDepth);
         }
-        let callee = &prog.funcs[func as usize];
+        let callee: &'p crate::lower::LFunc = &prog.funcs[func as usize];
         let mut slots = vec![RtVal::S(0); callee.n_slots as usize];
         let mut ready = vec![0u64; callee.n_slots as usize];
         let mut deps = 0u64;
@@ -802,13 +1036,16 @@ impl<'p> Machine<'p> {
             ready,
             ret_dst: dst,
             sp_save: th.sp,
+            lf: callee,
+            insts: &callee.blocks[0].insts,
+            term: &callee.blocks[0].term,
         });
         Ok(())
     }
 
     /// Spawn / join / lock / unlock — builtins that manipulate threads.
     fn exec_thread_builtin(&mut self, t: usize, inst: &LInst) -> Result<(), Trap> {
-        let LInst::CallB { b, args, dst, .. } = inst else { unreachable!() };
+        let LKind::CallB { b, args, dst, .. } = &inst.kind else { unreachable!() };
         // Read args with an immutable borrow first.
         let vals: Vec<(u64, u64)> = {
             let fr = self.threads[t].frames.last().expect("frame");
@@ -862,7 +1099,7 @@ impl<'p> Machine<'p> {
             Builtin::Lock => {
                 let addr = vals.first().map(|v| v.0).unwrap_or(0);
                 let own_cycles = self.threads[t].core.cycles();
-                let entry = self.locks.entry(addr).or_insert(LockInfo { owner: None, release: 0, waiters: VecDeque::new() });
+                let entry = self.locks.entry_mut(addr);
                 if entry.owner.is_none() {
                     entry.owner = Some(t as u32);
                     let release = entry.release;
@@ -885,7 +1122,7 @@ impl<'p> Machine<'p> {
                     th.frames.last_mut().expect("frame").ip += 1;
                     th.core.cycles()
                 };
-                if let Some(entry) = self.locks.get_mut(&addr) {
+                if let Some(entry) = self.locks.get_mut(addr) {
                     if entry.owner == Some(t as u32) {
                         entry.owner = None;
                         entry.release = entry.release.max(own_cycles);
@@ -949,8 +1186,7 @@ impl<'p> Machine<'p> {
                     last = core.retire_mem(InstClass::VecStore, &[], d + off, &mut self.l3);
                     off += 64;
                 }
-                let sl = self.mem.slice_mut(d, n)?;
-                sl.fill(byte as u8);
+                self.mem.fill(d, byte as u8, n)?;
                 (RtVal::S(0), last)
             }
             Builtin::Memcmp => {
@@ -962,9 +1198,7 @@ impl<'p> Machine<'p> {
                     last = core.retire_mem(InstClass::VecLoad, &[], bb + off, &mut self.l3);
                     off += 64;
                 }
-                let sa = self.mem.slice(a, n)?;
-                let sb = self.mem.slice(bb, n)?;
-                let r = match sa.cmp(sb) {
+                let r = match self.mem.cmp_ranges(a, bb, n)? {
                     std::cmp::Ordering::Less => -1i64,
                     std::cmp::Ordering::Equal => 0,
                     std::cmp::Ordering::Greater => 1,
@@ -973,8 +1207,7 @@ impl<'p> Machine<'p> {
             }
             Builtin::Output => {
                 let (p, n) = (vals[0].s(), vals[1].s());
-                let sl = self.mem.slice(p, n)?;
-                self.output.extend_from_slice(sl);
+                self.mem.read_into(&mut self.output, p, n)?;
                 (RtVal::S(0), core.retire(InstClass::LibCall, &[deps]))
             }
             Builtin::OutputI64 => {
@@ -1015,13 +1248,7 @@ impl<'p> Machine<'p> {
             Builtin::InputPtr => (RtVal::S(INPUT_BASE), core.retire(InstClass::ScalarAlu, &[deps])),
             Builtin::InputLen => (RtVal::S(self.input_len), core.retire(InstClass::ScalarAlu, &[deps])),
             Builtin::Recover => {
-                let m = metas.first().copied().unwrap_or(VMeta {
-                    scalar: false,
-                    float: false,
-                    bits: 64,
-                    width: LaneWidth::B64,
-                    lanes: 4,
-                });
+                let m = metas.first().copied().unwrap_or(VMeta::ptr4());
                 let y = vals[0].v(&m);
                 let lanes = m.lanes as usize;
                 let fixed = match self.cfg.recovery {
@@ -1077,81 +1304,10 @@ fn read_op(fr: &Frame, op: &LOp) -> (RtVal, u64) {
     }
 }
 
-fn bound(m: &VMeta) -> u32 {
-    if m.scalar {
-        64
-    } else {
-        u32::from(m.lanes) * m.width.bits()
-    }
-}
-
 fn flip(v: RtVal, bit: u32, bound: u32) -> RtVal {
     match v {
         RtVal::S(x) => RtVal::S(x ^ (1u64 << (bit % bound.clamp(1, 64)))),
         RtVal::V(y) => RtVal::V(y.flip_bit(bit % bound.clamp(1, 256))),
-    }
-}
-
-/// For float metas all storage bits are value bits; for ints mask to the
-/// logical width.
-fn float_safe_mask(m: &VMeta) -> u64 {
-    if m.float {
-        if m.width == LaneWidth::B32 {
-            0xFFFF_FFFF
-        } else {
-            u64::MAX
-        }
-    } else {
-        m.mask()
-    }
-}
-
-fn bin_class(op: BinOp, m: &VMeta) -> InstClass {
-    use BinOp::*;
-    if m.scalar {
-        match op {
-            Mul => InstClass::ScalarMul,
-            UDiv | SDiv | URem | SRem => InstClass::ScalarDiv,
-            FAdd | FSub | FMin | FMax => InstClass::ScalarFpAdd,
-            FMul => InstClass::ScalarFpMul,
-            FDiv => InstClass::ScalarFpDiv,
-            _ => InstClass::ScalarAlu,
-        }
-    } else {
-        match op {
-            Mul => InstClass::VecMul,
-            UDiv | SDiv | URem | SRem => InstClass::VecIntDiv,
-            FAdd | FSub | FMin | FMax => InstClass::VecFpAdd,
-            FMul => InstClass::VecFpMul,
-            FDiv => InstClass::VecFpDiv,
-            _ => InstClass::VecAlu,
-        }
-    }
-}
-
-fn cast_class(op: CastOp, from: &VMeta, to: &VMeta) -> InstClass {
-    if to.scalar && from.scalar {
-        return match op {
-            CastOp::FpToSi | CastOp::FpToUi | CastOp::SiToFp | CastOp::UiToFp | CastOp::FpTrunc | CastOp::FpExt => {
-                InstClass::ScalarFpAdd
-            }
-            _ => InstClass::ScalarAlu,
-        };
-    }
-    // Vector casts: AVX2 supports widening integer extends and 32-bit
-    // int<->fp; truncation and 64-bit int<->fp are missing (§VII-A).
-    match op {
-        CastOp::Trunc => InstClass::VecCastLegalized,
-        CastOp::ZExt | CastOp::SExt => InstClass::VecCast,
-        CastOp::FpTrunc | CastOp::FpExt => InstClass::VecCast,
-        CastOp::FpToSi | CastOp::FpToUi | CastOp::SiToFp | CastOp::UiToFp => {
-            if from.bits == 64 || to.bits == 64 {
-                InstClass::VecCastLegalized
-            } else {
-                InstClass::VecCast
-            }
-        }
-        CastOp::Bitcast | CastOp::PtrToInt | CastOp::IntToPtr => InstClass::VecAlu,
     }
 }
 
@@ -1361,7 +1517,7 @@ mod tests {
     use super::*;
     use crate::lower::Program;
     use elzar_ir::builder::{c64, cf64, FuncBuilder};
-    use elzar_ir::{BinOp, Builtin, CmpPred, Module, Ty};
+    use elzar_ir::{BinOp, Builtin, Module, Ty};
 
     fn run(m: &Module, entry: &str) -> RunResult {
         let p = Program::lower(m);
@@ -1496,12 +1652,8 @@ mod tests {
         w.ret(two);
         let wid = m.add_func(w.finish());
         let mut b = FuncBuilder::new("main", vec![], Ty::I64);
-        let t1 = b
-            .call_builtin(Builtin::Spawn, vec![c64(wid.0 as i64), c64(10)], Ty::I64)
-            .unwrap();
-        let t2 = b
-            .call_builtin(Builtin::Spawn, vec![c64(wid.0 as i64), c64(11)], Ty::I64)
-            .unwrap();
+        let t1 = b.call_builtin(Builtin::Spawn, vec![c64(wid.0 as i64), c64(10)], Ty::I64).unwrap();
+        let t2 = b.call_builtin(Builtin::Spawn, vec![c64(wid.0 as i64), c64(11)], Ty::I64).unwrap();
         let r1 = b.call_builtin(Builtin::Join, vec![t1.into()], Ty::I64).unwrap();
         let r2 = b.call_builtin(Builtin::Join, vec![t2.into()], Ty::I64).unwrap();
         let s = b.add(r1, r2);
@@ -1589,10 +1741,7 @@ mod tests {
         b.ret(x);
         m.add_func(b.finish());
         let p = Program::lower(&m);
-        let cfg = MachineConfig {
-            fault: Some(FaultPlan { index: 1, bit: 0 }),
-            ..MachineConfig::default()
-        };
+        let cfg = MachineConfig { fault: Some(FaultPlan { index: 1, bit: 0 }), ..MachineConfig::default() };
         let r = run_program(&p, "main", &[], cfg);
         assert_eq!(r.outcome, RunOutcome::Exited(43)); // 42 ^ 1
     }
@@ -1603,9 +1752,7 @@ mod tests {
         let mut b = FuncBuilder::new("main", vec![], Ty::I64);
         let v = b.splat(c64(7), 4);
         let bad = b.insert(v, c64(9), 2); // corrupt lane 2
-        let fixed = b
-            .call_builtin(Builtin::Recover, vec![bad.into()], Ty::vec(Ty::I64, 4))
-            .unwrap();
+        let fixed = b.call_builtin(Builtin::Recover, vec![bad.into()], Ty::vec(Ty::I64, 4)).unwrap();
         let x = b.extract(fixed, 2);
         b.ret(x);
         m.add_func(b.finish());
@@ -1637,9 +1784,7 @@ mod tests {
         let buf2 = b.call_builtin(Builtin::Malloc, vec![c64(4096)], Ty::Ptr).unwrap();
         b.call_builtin(Builtin::Memset, vec![buf.into(), c64(0xAB), c64(4096)], Ty::Void);
         b.call_builtin(Builtin::Memcpy, vec![buf2.into(), buf.into(), c64(4096)], Ty::Void);
-        let c = b
-            .call_builtin(Builtin::Memcmp, vec![buf.into(), buf2.into(), c64(4096)], Ty::I64)
-            .unwrap();
+        let c = b.call_builtin(Builtin::Memcmp, vec![buf.into(), buf2.into(), c64(4096)], Ty::I64).unwrap();
         b.ret(c);
         m.add_func(b.finish());
         let r = run(&m, "main");

@@ -13,6 +13,15 @@
 //! 0x0400_0000 .. stacks        heap (bump allocator, grows up)
 //! top - N*2MB .. top           per-thread stacks (grow down)
 //! ```
+//!
+//! Although the *semantics* are a single zero-initialized flat array,
+//! the *representation* is segmented: each region is backed by its own
+//! vector that grows on first write, and per-thread stacks materialize
+//! on first touch. Untouched bytes read as zero, exactly as the flat
+//! array did. This keeps a `Memory` clone proportional to the bytes a
+//! program actually used — the key enabler for the fault-injection
+//! campaign's checkpoint sharing, which snapshots the whole machine at
+//! every injection point instead of re-executing the prefix.
 
 use std::fmt;
 
@@ -26,6 +35,8 @@ pub const HEAP_BASE: u64 = 0x0400_0000;
 pub const STACK_SIZE: u64 = 2 * 1024 * 1024;
 /// Default total memory size.
 pub const DEFAULT_MEM_SIZE: u64 = 0x1000_0000; // 256 MB
+/// Lowest mapped address (end of the null page).
+const LOW_BASE: u64 = 0x1000;
 
 /// Faults detected by the machine ("OS-detected" outcomes in Table I).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -71,12 +82,35 @@ impl fmt::Display for Trap {
 
 impl std::error::Error for Trap {}
 
-/// Flat byte-addressable memory.
+/// Flat byte-addressable memory (segmented representation).
 #[derive(Clone)]
 pub struct Memory {
-    bytes: Vec<u8>,
+    /// `[LOW_BASE, GLOBAL_BASE)` — rarely touched, grows on write.
+    low: Vec<u8>,
+    /// `[GLOBAL_BASE, INPUT_BASE)` — grows on write past the initial
+    /// globals image.
+    globals: Vec<u8>,
+    /// `[INPUT_BASE, HEAP_BASE)` — grows on write past the input image.
+    input: Vec<u8>,
+    /// `[HEAP_BASE, stacks_base)` — grows on write.
+    heap: Vec<u8>,
+    /// `[stacks_base, size)`, one `STACK_SIZE` chunk per thread slot,
+    /// materialized (fully) on first touch.
+    stacks: Vec<Option<Box<[u8]>>>,
+    stacks_base: u64,
+    size: u64,
     heap_next: u64,
     heap_limit: u64,
+}
+
+/// Which backing segment an address falls into.
+enum Region {
+    Low,
+    Globals,
+    Input,
+    Heap,
+    /// `(chunk index, offset within chunk)`.
+    Stack(usize, usize),
 }
 
 impl Memory {
@@ -91,25 +125,39 @@ impl Memory {
         assert!(INPUT_BASE + input.len() as u64 <= HEAP_BASE, "input too large");
         let stacks = u64::from(max_threads) * STACK_SIZE;
         assert!(HEAP_BASE + stacks < size, "memory too small");
-        let mut bytes = vec![0u8; size as usize];
-        bytes[GLOBAL_BASE as usize..GLOBAL_BASE as usize + globals.len()].copy_from_slice(globals);
-        bytes[INPUT_BASE as usize..INPUT_BASE as usize + input.len()].copy_from_slice(input);
-        Memory { bytes, heap_next: HEAP_BASE, heap_limit: size - stacks }
+        Memory {
+            low: Vec::new(),
+            globals: globals.to_vec(),
+            input: input.to_vec(),
+            heap: Vec::new(),
+            stacks: vec![None; max_threads as usize],
+            stacks_base: size - stacks,
+            size,
+            heap_next: HEAP_BASE,
+            heap_limit: size - stacks,
+        }
     }
 
     /// Total size.
     pub fn size(&self) -> u64 {
-        self.bytes.len() as u64
+        self.size
     }
 
     /// Initial stack pointer for thread `tid` (stacks grow down).
     pub fn stack_top(&self, tid: u32) -> u64 {
-        self.size() - u64::from(tid) * STACK_SIZE
+        self.size - u64::from(tid) * STACK_SIZE
     }
 
     /// Lowest valid stack address for thread `tid`.
     pub fn stack_limit(&self, tid: u32) -> u64 {
         self.stack_top(tid) - STACK_SIZE
+    }
+
+    /// Bytes currently materialized across all segments (diagnostic;
+    /// roughly the cost of cloning this memory).
+    pub fn resident_bytes(&self) -> u64 {
+        let stacks: usize = self.stacks.iter().flatten().map(|c| c.len()).sum();
+        (self.low.len() + self.globals.len() + self.input.len() + self.heap.len() + stacks) as u64
     }
 
     /// Bump-allocate `size` heap bytes (32-byte aligned).
@@ -126,27 +174,130 @@ impl Memory {
         Ok(base)
     }
 
+    #[inline]
     fn check(&self, addr: u64, size: u64) -> Result<(), Trap> {
-        if addr < 0x1000 {
+        if addr < LOW_BASE {
             return Err(Trap::Segfault(addr));
         }
         let end = addr.checked_add(size).ok_or(Trap::Segfault(addr))?;
-        if end > self.bytes.len() as u64 {
+        if end > self.size {
             return Err(Trap::Segfault(addr));
         }
         Ok(())
+    }
+
+    #[inline]
+    fn region_of(&self, addr: u64) -> Region {
+        if addr >= self.stacks_base {
+            let off = addr - self.stacks_base;
+            Region::Stack((off / STACK_SIZE) as usize, (off % STACK_SIZE) as usize)
+        } else if addr >= HEAP_BASE {
+            Region::Heap
+        } else if addr >= INPUT_BASE {
+            Region::Input
+        } else if addr >= GLOBAL_BASE {
+            Region::Globals
+        } else {
+            Region::Low
+        }
+    }
+
+    /// End (exclusive) of the region containing `addr`.
+    fn region_end(&self, addr: u64) -> u64 {
+        if addr >= self.stacks_base {
+            let chunk = (addr - self.stacks_base) / STACK_SIZE;
+            self.stacks_base + (chunk + 1) * STACK_SIZE
+        } else if addr >= HEAP_BASE {
+            self.stacks_base
+        } else if addr >= INPUT_BASE {
+            HEAP_BASE
+        } else if addr >= GLOBAL_BASE {
+            INPUT_BASE
+        } else {
+            GLOBAL_BASE
+        }
+    }
+
+    /// Immutable view of the backing bytes for the region containing
+    /// `addr` (may be shorter than the region — the rest reads as 0).
+    #[inline]
+    fn backing(&self, addr: u64) -> (&[u8], usize) {
+        match self.region_of(addr) {
+            Region::Low => (&self.low, (addr - LOW_BASE) as usize),
+            Region::Globals => (&self.globals, (addr - GLOBAL_BASE) as usize),
+            Region::Input => (&self.input, (addr - INPUT_BASE) as usize),
+            Region::Heap => (&self.heap, (addr - HEAP_BASE) as usize),
+            Region::Stack(chunk, off) => match &self.stacks[chunk] {
+                Some(c) => (&c[..], off),
+                None => (&[], off),
+            },
+        }
+    }
+
+    /// Mutable backing for the region containing `addr`, grown so that
+    /// `off + len` is in range. `len` must not cross the region end
+    /// (checked by the caller via [`Memory::region_end`]).
+    fn backing_mut(&mut self, addr: u64, len: usize) -> (&mut [u8], usize) {
+        #[inline]
+        fn ensure(v: &mut Vec<u8>, need: usize, cap: usize) {
+            if v.len() < need {
+                // Amortize growth; never exceed the region size.
+                let target = need.max(v.len() * 2).min(cap);
+                v.resize(target, 0);
+            }
+        }
+        match self.region_of(addr) {
+            Region::Low => {
+                let off = (addr - LOW_BASE) as usize;
+                ensure(&mut self.low, off + len, (GLOBAL_BASE - LOW_BASE) as usize);
+                (&mut self.low, off)
+            }
+            Region::Globals => {
+                let off = (addr - GLOBAL_BASE) as usize;
+                ensure(&mut self.globals, off + len, (INPUT_BASE - GLOBAL_BASE) as usize);
+                (&mut self.globals, off)
+            }
+            Region::Input => {
+                let off = (addr - INPUT_BASE) as usize;
+                ensure(&mut self.input, off + len, (HEAP_BASE - INPUT_BASE) as usize);
+                (&mut self.input, off)
+            }
+            Region::Heap => {
+                let off = (addr - HEAP_BASE) as usize;
+                ensure(&mut self.heap, off + len, (self.stacks_base - HEAP_BASE) as usize);
+                (&mut self.heap, off)
+            }
+            Region::Stack(chunk, off) => {
+                let c = self.stacks[chunk]
+                    .get_or_insert_with(|| vec![0u8; STACK_SIZE as usize].into_boxed_slice());
+                (&mut c[..], off)
+            }
+        }
     }
 
     /// Load `size ∈ {1,2,4,8}` bytes little-endian (zero-extended).
     ///
     /// # Errors
     /// Traps on out-of-range access.
+    #[inline]
     pub fn load(&self, addr: u64, size: u32) -> Result<u64, Trap> {
         self.check(addr, u64::from(size))?;
-        let a = addr as usize;
+        let (b, off) = self.backing(addr);
+        // Fast path: fully materialized and inside one region.
+        if off + size as usize <= b.len() && addr + u64::from(size) <= self.region_end(addr) {
+            let mut v = 0u64;
+            for i in 0..size as usize {
+                v |= u64::from(b[off + i]) << (8 * i);
+            }
+            return Ok(v);
+        }
+        // Slow path: unmaterialized tail bytes read as zero; region
+        // crossings are assembled byte by byte.
         let mut v = 0u64;
-        for i in 0..size as usize {
-            v |= u64::from(self.bytes[a + i]) << (8 * i);
+        for i in 0..u64::from(size) {
+            let (b, o) = self.backing(addr + i);
+            let byte = b.get(o).copied().unwrap_or(0);
+            v |= u64::from(byte) << (8 * i);
         }
         Ok(v)
     }
@@ -155,31 +306,116 @@ impl Memory {
     ///
     /// # Errors
     /// Traps on out-of-range access.
+    #[inline]
     pub fn store(&mut self, addr: u64, size: u32, val: u64) -> Result<(), Trap> {
         self.check(addr, u64::from(size))?;
-        let a = addr as usize;
-        for i in 0..size as usize {
-            self.bytes[a + i] = (val >> (8 * i)) as u8;
+        if addr + u64::from(size) <= self.region_end(addr) {
+            let (b, off) = self.backing_mut(addr, size as usize);
+            for i in 0..size as usize {
+                b[off + i] = (val >> (8 * i)) as u8;
+            }
+            return Ok(());
+        }
+        // Rare region-crossing store.
+        for i in 0..u64::from(size) {
+            let (b, off) = self.backing_mut(addr + i, 1);
+            b[off] = (val >> (8 * i)) as u8;
         }
         Ok(())
     }
 
-    /// Borrow a byte range.
+    /// Copy `len` bytes starting at `addr` into `out`.
+    ///
+    /// # Errors
+    /// Traps on out-of-range access.
+    pub fn read_into(&self, out: &mut Vec<u8>, addr: u64, len: u64) -> Result<(), Trap> {
+        self.check(addr, len)?;
+        let mut a = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let n = remaining.min(self.region_end(a) - a);
+            let (b, off) = self.backing(a);
+            let have = b.len().saturating_sub(off).min(n as usize);
+            out.extend_from_slice(&b[off..off + have]);
+            // Unmaterialized bytes read as zero.
+            out.resize(out.len() + (n as usize - have), 0);
+            a += n;
+            remaining -= n;
+        }
+        Ok(())
+    }
+
+    /// Fill `[addr, addr+len)` with `byte`.
+    ///
+    /// # Errors
+    /// Traps on out-of-range access.
+    pub fn fill(&mut self, addr: u64, byte: u8, len: u64) -> Result<(), Trap> {
+        self.check(addr, len)?;
+        let mut a = addr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let n = remaining.min(self.region_end(a) - a);
+            let (b, off) = self.backing_mut(a, n as usize);
+            b[off..off + n as usize].fill(byte);
+            a += n;
+            remaining -= n;
+        }
+        Ok(())
+    }
+
+    /// Lexicographic comparison of two ranges (memcmp).
+    ///
+    /// # Errors
+    /// Traps when either range is invalid.
+    pub fn cmp_ranges(&self, a: u64, b: u64, len: u64) -> Result<std::cmp::Ordering, Trap> {
+        self.check(a, len)?;
+        self.check(b, len)?;
+        // Byte-wise is fine: memcmp sizes are small and this is exact.
+        for i in 0..len {
+            let (ba, oa) = self.backing(a + i);
+            let (bb, ob) = self.backing(b + i);
+            let xa = ba.get(oa).copied().unwrap_or(0);
+            let xb = bb.get(ob).copied().unwrap_or(0);
+            match xa.cmp(&xb) {
+                std::cmp::Ordering::Equal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(std::cmp::Ordering::Equal)
+    }
+
+    /// Borrow a byte range. Narrower than [`Memory::load`]'s address
+    /// space: the range must lie within one backing region *and*
+    /// already be materialized, since an immutable borrow cannot grow
+    /// the backing. For arbitrary valid ranges (crossing regions or
+    /// touching never-written zero bytes) use [`Memory::read_into`] /
+    /// [`Memory::cmp_ranges`] / [`Memory::fill`] instead.
     ///
     /// # Errors
     /// Traps on out-of-range access.
     pub fn slice(&self, addr: u64, len: u64) -> Result<&[u8], Trap> {
         self.check(addr, len)?;
-        Ok(&self.bytes[addr as usize..(addr + len) as usize])
+        if addr + len > self.region_end(addr) {
+            return Err(Trap::Segfault(addr));
+        }
+        let (b, off) = self.backing(addr);
+        if off + len as usize > b.len() {
+            return Err(Trap::Segfault(addr));
+        }
+        Ok(&b[off..off + len as usize])
     }
 
-    /// Mutably borrow a byte range.
+    /// Mutably borrow a byte range (must lie within one region).
     ///
     /// # Errors
     /// Traps on out-of-range access.
     pub fn slice_mut(&mut self, addr: u64, len: u64) -> Result<&mut [u8], Trap> {
         self.check(addr, len)?;
-        Ok(&mut self.bytes[addr as usize..(addr + len) as usize])
+        if addr + len > self.region_end(addr) {
+            return Err(Trap::Segfault(addr));
+        }
+        let (b, off) = self.backing_mut(addr, len as usize);
+        Ok(&mut b[off..off + len as usize])
     }
 
     /// memmove-style copy (handles overlap).
@@ -189,14 +425,32 @@ impl Memory {
     pub fn copy(&mut self, dst: u64, src: u64, len: u64) -> Result<(), Trap> {
         self.check(src, len)?;
         self.check(dst, len)?;
-        self.bytes.copy_within(src as usize..(src + len) as usize, dst as usize);
+        // Materialize the source (handles overlap and region crossings),
+        // then write it out chunk-wise.
+        let mut buf = Vec::with_capacity(len as usize);
+        self.read_into(&mut buf, src, len)?;
+        let mut a = dst;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let n = ((buf.len() - done) as u64).min(self.region_end(a) - a) as usize;
+            let (b, off) = self.backing_mut(a, n);
+            b[off..off + n].copy_from_slice(&buf[done..done + n]);
+            a += n as u64;
+            done += n;
+        }
         Ok(())
     }
 }
 
 impl fmt::Debug for Memory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Memory({} bytes, heap at {:#x})", self.bytes.len(), self.heap_next)
+        write!(
+            f,
+            "Memory({} bytes, heap at {:#x}, {} resident)",
+            self.size,
+            self.heap_next,
+            self.resident_bytes()
+        )
     }
 }
 
@@ -270,5 +524,56 @@ mod tests {
         m.copy(HEAP_BASE + 4, HEAP_BASE, 12).unwrap();
         assert_eq!(m.load(HEAP_BASE + 4, 1).unwrap(), 0);
         assert_eq!(m.load(HEAP_BASE + 15, 1).unwrap(), 11);
+    }
+
+    #[test]
+    fn untouched_memory_reads_zero_everywhere() {
+        let m = mem();
+        // Gaps between segments, unwritten heap, unwritten stacks.
+        assert_eq!(m.load(LOW_BASE, 8).unwrap(), 0);
+        assert_eq!(m.load(GLOBAL_BASE + 1000, 8).unwrap(), 0);
+        assert_eq!(m.load(INPUT_BASE + 100, 8).unwrap(), 0);
+        assert_eq!(m.load(HEAP_BASE + (1 << 20), 8).unwrap(), 0);
+        assert_eq!(m.load(m.size() - 64, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn wild_writes_persist_like_flat_memory() {
+        let mut m = mem();
+        // A store into the inter-segment gap must read back.
+        let wild = INPUT_BASE + 0x20_0000;
+        m.store(wild, 8, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.load(wild, 8).unwrap(), 0xDEAD_BEEF);
+        // A store crossing the input→heap boundary round-trips.
+        let edge = HEAP_BASE - 4;
+        m.store(edge, 8, 0x1234_5678_9ABC_DEF0).unwrap();
+        assert_eq!(m.load(edge, 8).unwrap(), 0x1234_5678_9ABC_DEF0);
+    }
+
+    #[test]
+    fn clone_cost_tracks_usage_not_size() {
+        let mut m = mem();
+        let before = m.resident_bytes();
+        assert!(before < 1 << 20, "fresh memory must be near-empty, got {before}");
+        m.store(HEAP_BASE + 4096, 8, 1).unwrap();
+        m.store(m.size() - 128, 8, 1).unwrap(); // one stack chunk
+        let after = m.resident_bytes();
+        assert!(after >= STACK_SIZE, "stack chunk materialized");
+        assert!(after < 4 * STACK_SIZE, "only touched segments materialize");
+    }
+
+    #[test]
+    fn read_into_fill_cmp_cross_regions() {
+        let mut m = mem();
+        m.fill(HEAP_BASE, 0xAB, 64).unwrap();
+        let mut out = Vec::new();
+        m.read_into(&mut out, HEAP_BASE, 64).unwrap();
+        assert_eq!(out, vec![0xAB; 64]);
+        // Compare a filled range against an untouched (zero) range.
+        assert_eq!(m.cmp_ranges(HEAP_BASE, HEAP_BASE + (1 << 20), 64).unwrap(), std::cmp::Ordering::Greater);
+        assert_eq!(
+            m.cmp_ranges(HEAP_BASE + (1 << 21), HEAP_BASE + (1 << 20), 64).unwrap(),
+            std::cmp::Ordering::Equal
+        );
     }
 }

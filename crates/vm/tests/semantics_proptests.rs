@@ -1,11 +1,27 @@
 //! Property tests for the VM's scalar/vector semantics: IR arithmetic
 //! must agree with host arithmetic, memory must round-trip, and vector
 //! ops must behave lane-wise like their scalar twins.
+//!
+//! Cases are drawn from the repo's deterministic PRNG (`elzar_rng`)
+//! instead of an external property-testing crate: each test sweeps a
+//! fixed number of pseudo-random inputs from a per-test seed, plus the
+//! usual adversarial edge values.
 
 use elzar_ir::builder::{c64, FuncBuilder};
 use elzar_ir::{BinOp, Builtin, CastOp, CmpPred, Const, Module, Operand, Ty};
+use elzar_rng::DetRng;
 use elzar_vm::{run_program, MachineConfig, Program, RunOutcome};
-use proptest::prelude::*;
+
+const CASES: usize = 48;
+const EDGES: [i64; 8] = [0, 1, -1, 2, i64::MIN, i64::MAX, 0x5A5A_5A5A_5A5A_5A5A, -0x1234_5678];
+
+/// Edge values first, then pseudo-random ones.
+fn i64_pairs(seed: u64) -> Vec<(i64, i64)> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut v: Vec<(i64, i64)> = EDGES.iter().flat_map(|&a| EDGES.iter().map(move |&b| (a, b))).collect();
+    v.extend((0..CASES).map(|_| (rng.next_u64() as i64, rng.next_u64() as i64)));
+    v
+}
 
 fn run_expr(build: impl FnOnce(&mut FuncBuilder) -> elzar_ir::ValueId) -> i64 {
     let mut m = Module::new("prop");
@@ -20,62 +36,78 @@ fn run_expr(build: impl FnOnce(&mut FuncBuilder) -> elzar_ir::ValueId) -> i64 {
     }
 }
 
-proptest! {
-    #[test]
-    fn int_arithmetic_matches_host(a: i64, b: i64) {
-        let ops: [(BinOp, fn(i64, i64) -> i64); 6] = [
-            (BinOp::Add, i64::wrapping_add),
-            (BinOp::Sub, i64::wrapping_sub),
-            (BinOp::Mul, i64::wrapping_mul),
-            (BinOp::And, |x, y| x & y),
-            (BinOp::Or, |x, y| x | y),
-            (BinOp::Xor, |x, y| x ^ y),
-        ];
+#[test]
+fn int_arithmetic_matches_host() {
+    type HostBin = fn(i64, i64) -> i64;
+    let ops: [(BinOp, HostBin); 6] = [
+        (BinOp::Add, i64::wrapping_add),
+        (BinOp::Sub, i64::wrapping_sub),
+        (BinOp::Mul, i64::wrapping_mul),
+        (BinOp::And, |x, y| x & y),
+        (BinOp::Or, |x, y| x | y),
+        (BinOp::Xor, |x, y| x ^ y),
+    ];
+    for (a, b) in i64_pairs(0x1A01) {
         for (op, host) in ops {
             let got = run_expr(|bb| bb.bin(op, Ty::I64, c64(a), c64(b)));
-            prop_assert_eq!(got, host(a, b), "{:?}", op);
+            assert_eq!(got, host(a, b), "{op:?} on ({a}, {b})");
         }
     }
+}
 
-    #[test]
-    fn guarded_division_matches_host(a: i64, b: i64) {
+#[test]
+fn guarded_division_matches_host() {
+    for (a, b) in i64_pairs(0x1A02) {
         let d = b | 1; // never zero
         let got = run_expr(|bb| {
             let safe = bb.bin(BinOp::Or, Ty::I64, c64(b), c64(1));
             bb.bin(BinOp::UDiv, Ty::I64, c64(a), safe)
         });
-        prop_assert_eq!(got as u64, (a as u64) / (d as u64));
+        assert_eq!(got as u64, (a as u64) / (d as u64), "({a}, {b})");
     }
+}
 
-    #[test]
-    fn comparisons_match_host(a: i64, b: i64) {
-        let preds: [(CmpPred, fn(i64, i64) -> bool); 4] = [
-            (CmpPred::Eq, |x, y| x == y),
-            (CmpPred::Slt, |x, y| x < y),
-            (CmpPred::Sge, |x, y| x >= y),
-            (CmpPred::Ult, |x, y| (x as u64) < (y as u64)),
-        ];
+#[test]
+fn comparisons_match_host() {
+    type HostCmp = fn(i64, i64) -> bool;
+    let preds: [(CmpPred, HostCmp); 4] = [
+        (CmpPred::Eq, |x, y| x == y),
+        (CmpPred::Slt, |x, y| x < y),
+        (CmpPred::Sge, |x, y| x >= y),
+        (CmpPred::Ult, |x, y| (x as u64) < (y as u64)),
+    ];
+    for (a, b) in i64_pairs(0x1A03) {
         for (p, host) in preds {
             let got = run_expr(|bb| {
                 let c = bb.icmp(p, c64(a), c64(b));
                 bb.cast(CastOp::ZExt, c, Ty::I64)
             });
-            prop_assert_eq!(got != 0, host(a, b), "{:?}", p);
+            assert_eq!(got != 0, host(a, b), "{p:?} on ({a}, {b})");
         }
     }
+}
 
-    #[test]
-    fn float_arithmetic_matches_host(a in -1.0e6f64..1.0e6, b in -1.0e6f64..1.0e6) {
+#[test]
+fn float_arithmetic_matches_host() {
+    let mut rng = DetRng::seed_from_u64(0x1A04);
+    for _ in 0..CASES {
+        let a = (rng.next_f64() - 0.5) * 2.0e6;
+        let b = (rng.next_f64() - 0.5) * 2.0e6;
         let got = run_expr(|bb| {
             let x = bb.bin(BinOp::FMul, Ty::F64, Operand::Imm(Const::f64(a)), Operand::Imm(Const::f64(b)));
             let y = bb.bin(BinOp::FAdd, Ty::F64, x, Operand::Imm(Const::f64(1.5)));
             bb.cast(CastOp::Bitcast, y, Ty::I64)
         });
-        prop_assert_eq!(f64::from_bits(got as u64), a * b + 1.5);
+        assert_eq!(f64::from_bits(got as u64), a * b + 1.5, "({a}, {b})");
     }
+}
 
-    #[test]
-    fn memory_roundtrips_all_widths(v: u64, off in 0u64..64) {
+#[test]
+fn memory_roundtrips_all_widths() {
+    let mut rng = DetRng::seed_from_u64(0x1A05);
+    for _ in 0..CASES {
+        let v = rng.next_u64();
+        let off = rng.below(64);
         for (ty, bytes) in [(Ty::I8, 1u64), (Ty::I16, 2), (Ty::I32, 4), (Ty::I64, 8)] {
             let mask = if bytes == 8 { u64::MAX } else { (1u64 << (bytes * 8)) - 1 };
             let ty2 = ty.clone();
@@ -86,57 +118,80 @@ proptest! {
                 let l = bb.load(ty2.clone(), p);
                 bb.cast(CastOp::ZExt, l, Ty::I64)
             });
-            prop_assert_eq!(got as u64, v & mask, "{}", ty);
+            assert_eq!(got as u64, v & mask, "{ty} at {off}");
         }
     }
+}
 
-    /// Lane-wise vector arithmetic equals per-lane scalar arithmetic.
-    #[test]
-    fn vector_ops_are_lanewise(a: i64, b: i64, lane in 0u8..4) {
+/// Lane-wise vector arithmetic equals per-lane scalar arithmetic.
+#[test]
+fn vector_ops_are_lanewise() {
+    let mut rng = DetRng::seed_from_u64(0x1A06);
+    for (a, b) in i64_pairs(0x1A06) {
+        let lane = rng.below(4) as u8;
         let got = run_expr(|bb| {
             let va = bb.splat(c64(a), 4);
             let vb = bb.splat(c64(b), 4);
             let vs = bb.bin(BinOp::Mul, Ty::vec(Ty::I64, 4), va, vb);
             bb.extract(vs, lane)
         });
-        prop_assert_eq!(got, a.wrapping_mul(b));
+        assert_eq!(got, a.wrapping_mul(b), "lane {lane} on ({a}, {b})");
     }
+}
 
-    /// Shift semantics: amounts reduce modulo the width, as on x86.
-    #[test]
-    fn shifts_reduce_modulo_width(a: i64, s in 0u32..256) {
+/// Shift semantics: amounts reduce modulo the width, as on x86.
+#[test]
+fn shifts_reduce_modulo_width() {
+    let mut rng = DetRng::seed_from_u64(0x1A07);
+    for _ in 0..CASES {
+        let a = rng.next_u64() as i64;
+        let s = rng.below(256) as u32;
         let got = run_expr(|bb| bb.bin(BinOp::Shl, Ty::I64, c64(a), c64(i64::from(s))));
-        prop_assert_eq!(got, a.wrapping_shl(s % 64));
+        assert_eq!(got, a.wrapping_shl(s % 64), "({a} << {s})");
     }
+}
 
-    /// Esoteric widths wrap at their logical width (§III-D).
-    #[test]
-    fn i9_wraps_at_512(a in 0u64..512, b in 0u64..512) {
+/// Esoteric widths wrap at their logical width (§III-D).
+#[test]
+fn i9_wraps_at_512() {
+    let mut rng = DetRng::seed_from_u64(0x1A08);
+    for _ in 0..CASES {
+        let a = rng.below(512);
+        let b = rng.below(512);
         let got = run_expr(|bb| {
-            let x = bb.bin(BinOp::Add, Ty::int(9), Operand::Imm(Const::int(9, a)), Operand::Imm(Const::int(9, b)));
+            let x = bb.bin(
+                BinOp::Add,
+                Ty::int(9),
+                Operand::Imm(Const::int(9, a)),
+                Operand::Imm(Const::int(9, b)),
+            );
             bb.cast(CastOp::ZExt, x, Ty::I64)
         });
-        prop_assert_eq!(got as u64, (a + b) % 512);
+        assert_eq!(got as u64, (a + b) % 512, "({a}, {b})");
     }
+}
 
-    /// Cycle accounting is monotone in work.
-    #[test]
-    fn more_iterations_cost_more_cycles(n in 1i64..200) {
-        let cycles = |iters: i64| {
-            let mut m = Module::new("c");
-            let mut b = FuncBuilder::new("main", vec![], Ty::I64);
-            let acc = b.alloca(Ty::I64, c64(1));
-            b.store(Ty::I64, c64(0), acc);
-            b.counted_loop(c64(0), c64(iters), |b, i| {
-                let v = b.load(Ty::I64, acc);
-                let s = b.add(v, i);
-                b.store(Ty::I64, s, acc);
-            });
+/// Cycle accounting is monotone in work.
+#[test]
+fn more_iterations_cost_more_cycles() {
+    let cycles = |iters: i64| {
+        let mut m = Module::new("c");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let acc = b.alloca(Ty::I64, c64(1));
+        b.store(Ty::I64, c64(0), acc);
+        b.counted_loop(c64(0), c64(iters), |b, i| {
             let v = b.load(Ty::I64, acc);
-            b.ret(v);
-            m.add_func(b.finish());
-            run_program(&Program::lower(&m), "main", &[], MachineConfig::default()).cycles
-        };
-        prop_assert!(cycles(n + 50) > cycles(n));
+            let s = b.add(v, i);
+            b.store(Ty::I64, s, acc);
+        });
+        let v = b.load(Ty::I64, acc);
+        b.ret(v);
+        m.add_func(b.finish());
+        run_program(&Program::lower(&m), "main", &[], MachineConfig::default()).cycles
+    };
+    let mut rng = DetRng::seed_from_u64(0x1A09);
+    for _ in 0..12 {
+        let n = 1 + rng.below(200) as i64;
+        assert!(cycles(n + 50) > cycles(n), "n = {n}");
     }
 }

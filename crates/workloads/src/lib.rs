@@ -135,9 +135,8 @@ mod tests {
         for w in all_workloads() {
             for threads in [1, 2] {
                 let built = w.build(&Params::new(threads, Scale::Tiny));
-                elzar_ir::verify::verify_module(&built.module).unwrap_or_else(|e| {
-                    panic!("{} ({threads}T): {:#?}", w.name(), &e[..e.len().min(5)])
-                });
+                elzar_ir::verify::verify_module(&built.module)
+                    .unwrap_or_else(|e| panic!("{} ({threads}T): {:#?}", w.name(), &e[..e.len().min(5)]));
                 let p = elzar_vm::Program::lower(&built.module);
                 assert!(p.num_insts() > 0);
             }

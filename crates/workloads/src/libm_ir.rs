@@ -168,10 +168,7 @@ mod tests {
         let _ = xs;
         m.add_func(b.finish());
         let r = run_program(&Program::lower(&m), "main", &[], MachineConfig::default());
-        r.output
-            .chunks(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-            .collect()
+        r.output.chunks(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
     }
 
     fn check_fn(target: FnSel, xs: &[f64], reference: impl Fn(f64) -> f64, tol: f64) {
@@ -212,7 +209,12 @@ mod tests {
 
     #[test]
     fn log_matches_host() {
-        check_fn(FnSel::Log, &[1e-6, 0.1, 0.5, 1.0, 1.4142, 2.0, 10.0, 12345.0], f64::ln, 1e-9);
+        check_fn(
+            FnSel::Log,
+            &[1e-6, 0.1, 0.5, 1.0, std::f64::consts::SQRT_2, 2.0, 10.0, 12345.0],
+            f64::ln,
+            1e-9,
+        );
     }
 
     #[test]

@@ -98,20 +98,26 @@ impl Workload for Blackscholes {
         w.ret(c64(0));
         let wid = m.add_func(w.finish());
 
-        fork_join_main(&mut m, wid, p.threads, |_b| {}, move |b, _| {
-            let acc = b.alloca(Ty::F64, c64(1));
-            b.store(Ty::F64, cf64(0.0), acc);
-            b.counted_loop(c64(0), c64(n), |b, i| {
-                let po = b.gep(cptr(out), i, 8);
-                let v = b.load(Ty::F64, po);
-                let a = b.load(Ty::F64, acc);
-                let s = b.bin(BinOp::FAdd, Ty::F64, a, v);
-                b.store(Ty::F64, s, acc);
-            });
-            let v = b.load(Ty::F64, acc);
-            b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
-            b.ret(c64(0));
-        });
+        fork_join_main(
+            &mut m,
+            wid,
+            p.threads,
+            |_b| {},
+            move |b, _| {
+                let acc = b.alloca(Ty::F64, c64(1));
+                b.store(Ty::F64, cf64(0.0), acc);
+                b.counted_loop(c64(0), c64(n), |b, i| {
+                    let po = b.gep(cptr(out), i, 8);
+                    let v = b.load(Ty::F64, po);
+                    let a = b.load(Ty::F64, acc);
+                    let s = b.bin(BinOp::FAdd, Ty::F64, a, v);
+                    b.store(Ty::F64, s, acc);
+                });
+                let v = b.load(Ty::F64, acc);
+                b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
+                b.ret(c64(0));
+            },
+        );
         // S, K, T, V arrays.
         let mut input = gen_f64s(0x91, n as usize, 20.0, 120.0);
         input.extend(gen_f64s(0x92, n as usize, 20.0, 120.0));
@@ -258,11 +264,17 @@ impl Workload for Dedup {
         w.ret(c64(0));
         let wid = m.add_func(w.finish());
 
-        fork_join_main(&mut m, wid, p.threads, |_b| {}, |b, _| {
-            let u = b.load(Ty::I64, cptr(uniq));
-            b.call_builtin(Builtin::OutputI64, vec![u.into()], Ty::Void);
-            b.ret(u);
-        });
+        fork_join_main(
+            &mut m,
+            wid,
+            p.threads,
+            |_b| {},
+            |b, _| {
+                let u = b.load(Ty::I64, cptr(uniq));
+                b.call_builtin(Builtin::OutputI64, vec![u.into()], Ty::Void);
+                b.ret(u);
+            },
+        );
         // Data with genuine duplicates: blocks drawn from a small pool.
         let pool = gen_bytes(0xAA, (64 * DD_BLOCK) as usize);
         let mut s = 0xBBu64;
@@ -384,20 +396,26 @@ impl Workload for Ferret {
         w.ret(c64(0));
         let wid = m.add_func(w.finish());
 
-        fork_join_main(&mut m, wid, p.threads, |_b| {}, move |b, _| {
-            let acc = b.alloca(Ty::F64, c64(1));
-            b.store(Ty::F64, cf64(0.0), acc);
-            b.counted_loop(c64(0), c64(queries), |b, i| {
-                let pr = b.gep(cptr(results), i, 8);
-                let v = b.load(Ty::F64, pr);
-                let a = b.load(Ty::F64, acc);
-                let s = b.bin(BinOp::FAdd, Ty::F64, a, v);
-                b.store(Ty::F64, s, acc);
-            });
-            let v = b.load(Ty::F64, acc);
-            b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
-            b.ret(c64(0));
-        });
+        fork_join_main(
+            &mut m,
+            wid,
+            p.threads,
+            |_b| {},
+            move |b, _| {
+                let acc = b.alloca(Ty::F64, c64(1));
+                b.store(Ty::F64, cf64(0.0), acc);
+                b.counted_loop(c64(0), c64(queries), |b, i| {
+                    let pr = b.gep(cptr(results), i, 8);
+                    let v = b.load(Ty::F64, pr);
+                    let a = b.load(Ty::F64, acc);
+                    let s = b.bin(BinOp::FAdd, Ty::F64, a, v);
+                    b.store(Ty::F64, s, acc);
+                });
+                let v = b.load(Ty::F64, acc);
+                b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
+                b.ret(c64(0));
+            },
+        );
         let mut input = gen_f64s(0xC1, (db * FER_DIM) as usize, -1.0, 1.0);
         input.extend(gen_f64s(0xC2, (queries * FER_DIM) as usize, -1.0, 1.0));
         BuiltWorkload { module: m, input }
@@ -483,20 +501,26 @@ impl Workload for Fluidanimate {
         w.ret(c64(0));
         let wid = m.add_func(w.finish());
 
-        fork_join_main(&mut m, wid, p.threads, |_b| {}, move |b, _| {
-            let acc = b.alloca(Ty::F64, c64(1));
-            b.store(Ty::F64, cf64(0.0), acc);
-            b.counted_loop(c64(0), c64(n), |b, i| {
-                let pf = b.gep(cptr(forces), i, 8);
-                let v = b.load(Ty::F64, pf);
-                let a = b.load(Ty::F64, acc);
-                let s = b.bin(BinOp::FAdd, Ty::F64, a, v);
-                b.store(Ty::F64, s, acc);
-            });
-            let v = b.load(Ty::F64, acc);
-            b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
-            b.ret(c64(0));
-        });
+        fork_join_main(
+            &mut m,
+            wid,
+            p.threads,
+            |_b| {},
+            move |b, _| {
+                let acc = b.alloca(Ty::F64, c64(1));
+                b.store(Ty::F64, cf64(0.0), acc);
+                b.counted_loop(c64(0), c64(n), |b, i| {
+                    let pf = b.gep(cptr(forces), i, 8);
+                    let v = b.load(Ty::F64, pf);
+                    let a = b.load(Ty::F64, acc);
+                    let s = b.bin(BinOp::FAdd, Ty::F64, a, v);
+                    b.store(Ty::F64, s, acc);
+                });
+                let v = b.load(Ty::F64, acc);
+                b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
+                b.ret(c64(0));
+            },
+        );
         let mut input = gen_f64s(0xD1, (2 * n) as usize, 0.0, 4.0);
         // Neighbor indices.
         let mut s = 0xD2u64;
@@ -615,18 +639,24 @@ impl Workload for Streamcluster {
         let wid = m.add_func(w.finish());
 
         let threads = p.threads;
-        fork_join_main(&mut m, wid, threads, |_b| {}, move |b, sum| {
-            // sum = total centers opened; costs merged in tid order.
-            b.call_builtin(Builtin::OutputI64, vec![sum.into()], Ty::Void);
-            let mut acc: Operand = cf64(0.0);
-            for t in 0..threads {
-                let pc = b.gep(cptr(costs + u64::from(t) * 8), c64(0), 8);
-                let v = b.load(Ty::F64, pc);
-                acc = b.bin(BinOp::FAdd, Ty::F64, acc, v).into();
-            }
-            b.call_builtin(Builtin::OutputF64, vec![acc], Ty::Void);
-            b.ret(c64(0));
-        });
+        fork_join_main(
+            &mut m,
+            wid,
+            threads,
+            |_b| {},
+            move |b, sum| {
+                // sum = total centers opened; costs merged in tid order.
+                b.call_builtin(Builtin::OutputI64, vec![sum.into()], Ty::Void);
+                let mut acc: Operand = cf64(0.0);
+                for t in 0..threads {
+                    let pc = b.gep(cptr(costs + u64::from(t) * 8), c64(0), 8);
+                    let v = b.load(Ty::F64, pc);
+                    acc = b.bin(BinOp::FAdd, Ty::F64, acc, v).into();
+                }
+                b.call_builtin(Builtin::OutputF64, vec![acc], Ty::Void);
+                b.ret(c64(0));
+            },
+        );
         BuiltWorkload { module: m, input: gen_f64s(0xE1, (n * SC_DIM) as usize, -3.0, 3.0) }
     }
 }
@@ -698,14 +728,20 @@ impl Workload for Swaptions {
         w.ret(c64(0));
         let wid = m.add_func(w.finish());
 
-        fork_join_main(&mut m, wid, p.threads, |_b| {}, move |b, _| {
-            b.counted_loop(c64(0), c64(n), |b, i| {
-                let pp = b.gep(cptr(prices), i, 8);
-                let v = b.load(Ty::F64, pp);
-                b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
-            });
-            b.ret(c64(0));
-        });
+        fork_join_main(
+            &mut m,
+            wid,
+            p.threads,
+            |_b| {},
+            move |b, _| {
+                b.counted_loop(c64(0), c64(n), |b, i| {
+                    let pp = b.gep(cptr(prices), i, 8);
+                    let v = b.load(Ty::F64, pp);
+                    b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
+                });
+                b.ret(c64(0));
+            },
+        );
         BuiltWorkload { module: m, input: gen_f64s(0xF1, n as usize, 0.03, 0.07) }
     }
 }
@@ -826,20 +862,26 @@ impl Workload for X264 {
         w.ret(c64(0));
         let wid = m.add_func(w.finish());
 
-        fork_join_main(&mut m, wid, p.threads, |_b| {}, move |b, _| {
-            let acc = b.alloca(Ty::I64, c64(1));
-            b.store(Ty::I64, c64(0), acc);
-            b.counted_loop(c64(0), c64(nmb), |b, i| {
-                let po = b.gep(cptr(best_out), i, 8);
-                let v = b.load(Ty::I64, po);
-                let a = b.load(Ty::I64, acc);
-                let s = b.add(a, v);
-                b.store(Ty::I64, s, acc);
-            });
-            let v = b.load(Ty::I64, acc);
-            b.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
-            b.ret(c64(0));
-        });
+        fork_join_main(
+            &mut m,
+            wid,
+            p.threads,
+            |_b| {},
+            move |b, _| {
+                let acc = b.alloca(Ty::I64, c64(1));
+                b.store(Ty::I64, c64(0), acc);
+                b.counted_loop(c64(0), c64(nmb), |b, i| {
+                    let po = b.gep(cptr(best_out), i, 8);
+                    let v = b.load(Ty::I64, po);
+                    let a = b.load(Ty::I64, acc);
+                    let s = b.add(a, v);
+                    b.store(Ty::I64, s, acc);
+                });
+                let v = b.load(Ty::I64, acc);
+                b.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
+                b.ret(c64(0));
+            },
+        );
         // Two correlated frames.
         let frame0 = gen_bytes(0xF7, (wpx * hpx) as usize);
         let mut frame1 = frame0.clone();

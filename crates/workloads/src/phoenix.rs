@@ -69,14 +69,20 @@ impl Workload for Histogram {
         w.ret(c64(0));
         let wid = m.add_func(w.finish());
 
-        fork_join_main(&mut m, wid, p.threads, |_b| {}, |b, _sum| {
-            b.counted_loop(c64(0), c64(256), |b, i| {
-                let pg = b.gep(cptr(bins), i, 8);
-                let v = b.load(Ty::I64, pg);
-                b.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
-            });
-            b.ret(c64(0));
-        });
+        fork_join_main(
+            &mut m,
+            wid,
+            p.threads,
+            |_b| {},
+            |b, _sum| {
+                b.counted_loop(c64(0), c64(256), |b, i| {
+                    let pg = b.gep(cptr(bins), i, 8);
+                    let v = b.load(Ty::I64, pg);
+                    b.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
+                });
+                b.ret(c64(0));
+            },
+        );
         BuiltWorkload { module: m, input: gen_bytes(0xA1, n as usize) }
     }
 }
@@ -312,33 +318,39 @@ impl Workload for LinearRegression {
         let wid = m.add_func(w.finish());
 
         let threads = p.threads;
-        fork_join_main(&mut m, wid, threads, |_b| {}, move |b, _| {
-            // Merge in tid order, output the 5 sums and the fitted slope
-            // numerator/denominator (kept in integers, as Phoenix does).
-            let mut sums: Vec<Operand> = (0..5).map(|_| c64(0)).collect();
-            for t in 0..threads {
-                let base = slots + u64::from(t) * 40;
-                for (k, s) in sums.iter_mut().enumerate() {
-                    let pk = b.gep(cptr(base), c64(k as i64), 8);
-                    let v = b.load(Ty::I64, pk);
-                    *s = b.add(s.clone(), v).into();
+        fork_join_main(
+            &mut m,
+            wid,
+            threads,
+            |_b| {},
+            move |b, _| {
+                // Merge in tid order, output the 5 sums and the fitted slope
+                // numerator/denominator (kept in integers, as Phoenix does).
+                let mut sums: Vec<Operand> = (0..5).map(|_| c64(0)).collect();
+                for t in 0..threads {
+                    let base = slots + u64::from(t) * 40;
+                    for (k, s) in sums.iter_mut().enumerate() {
+                        let pk = b.gep(cptr(base), c64(k as i64), 8);
+                        let v = b.load(Ty::I64, pk);
+                        *s = b.add(s.clone(), v).into();
+                    }
                 }
-            }
-            for s in &sums {
-                b.call_builtin(Builtin::OutputI64, vec![s.clone()], Ty::Void);
-            }
-            // slope_num = n*sxy - sx*sy ; slope_den = n*sxx - sx*sx.
-            let nn = c64(n);
-            let a = b.mul(nn.clone(), sums[4].clone());
-            let bb = b.mul(sums[0].clone(), sums[1].clone());
-            let num = b.sub(a, bb);
-            let c = b.mul(nn, sums[2].clone());
-            let d = b.mul(sums[0].clone(), sums[0].clone());
-            let den = b.sub(c, d);
-            b.call_builtin(Builtin::OutputI64, vec![num.into()], Ty::Void);
-            b.call_builtin(Builtin::OutputI64, vec![den.into()], Ty::Void);
-            b.ret(c64(0));
-        });
+                for s in &sums {
+                    b.call_builtin(Builtin::OutputI64, vec![s.clone()], Ty::Void);
+                }
+                // slope_num = n*sxy - sx*sy ; slope_den = n*sxx - sx*sx.
+                let nn = c64(n);
+                let a = b.mul(nn.clone(), sums[4].clone());
+                let bb = b.mul(sums[0].clone(), sums[1].clone());
+                let num = b.sub(a, bb);
+                let c = b.mul(nn, sums[2].clone());
+                let d = b.mul(sums[0].clone(), sums[0].clone());
+                let den = b.sub(c, d);
+                b.call_builtin(Builtin::OutputI64, vec![num.into()], Ty::Void);
+                b.call_builtin(Builtin::OutputI64, vec![den.into()], Ty::Void);
+                b.ret(c64(0));
+            },
+        );
         // xs then ys, small values to avoid overflow.
         let mut input = gen_i64s(0x33, n as usize, 1000);
         input.extend(gen_i64s(0x44, n as usize, 1000));
@@ -404,21 +416,27 @@ impl Workload for MatrixMultiply {
         w.ret(c64(0));
         let wid = m.add_func(w.finish());
 
-        fork_join_main(&mut m, wid, p.threads, |_b| {}, move |b, _| {
-            // Checksum C.
-            let acc = b.alloca(Ty::F64, c64(1));
-            b.store(Ty::F64, cf64(0.0), acc);
-            b.counted_loop(c64(0), c64(s * s), |b, i| {
-                let pc = b.gep(cptr(cmat), i, 8);
-                let v = b.load(Ty::F64, pc);
-                let a = b.load(Ty::F64, acc);
-                let s2 = b.bin(BinOp::FAdd, Ty::F64, a, v);
-                b.store(Ty::F64, s2, acc);
-            });
-            let v = b.load(Ty::F64, acc);
-            b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
-            b.ret(c64(0));
-        });
+        fork_join_main(
+            &mut m,
+            wid,
+            p.threads,
+            |_b| {},
+            move |b, _| {
+                // Checksum C.
+                let acc = b.alloca(Ty::F64, c64(1));
+                b.store(Ty::F64, cf64(0.0), acc);
+                b.counted_loop(c64(0), c64(s * s), |b, i| {
+                    let pc = b.gep(cptr(cmat), i, 8);
+                    let v = b.load(Ty::F64, pc);
+                    let a = b.load(Ty::F64, acc);
+                    let s2 = b.bin(BinOp::FAdd, Ty::F64, a, v);
+                    b.store(Ty::F64, s2, acc);
+                });
+                let v = b.load(Ty::F64, acc);
+                b.call_builtin(Builtin::OutputF64, vec![v.into()], Ty::Void);
+                b.ret(c64(0));
+            },
+        );
         BuiltWorkload { module: m, input: gen_f64s(0x55, (2 * s * s) as usize, -1.0, 1.0) }
     }
 }
@@ -632,10 +650,16 @@ impl Workload for StringMatch {
         w.ret(total);
         let wid = m.add_func(w.finish());
 
-        fork_join_main(&mut m, wid, p.threads, |_b| {}, |b, sum| {
-            b.call_builtin(Builtin::OutputI64, vec![sum.into()], Ty::Void);
-            b.ret(sum);
-        });
+        fork_join_main(
+            &mut m,
+            wid,
+            p.threads,
+            |_b| {},
+            |b, sum| {
+                b.call_builtin(Builtin::OutputI64, vec![sum.into()], Ty::Void);
+                b.ret(sum);
+            },
+        );
         BuiltWorkload { module: m, input }
     }
 }
@@ -802,16 +826,22 @@ impl Workload for WordCount {
         w.ret(c64(0));
         let wid = m.add_func(w.finish());
 
-        fork_join_main(&mut m, wid, p.threads, |_b| {}, |b, _| {
-            let t = b.load(Ty::I64, cptr(total));
-            b.call_builtin(Builtin::OutputI64, vec![t.into()], Ty::Void);
-            b.counted_loop(c64(0), c64(256), |b, i| {
-                let pg = b.gep(cptr(table), i, 8);
-                let v = b.load(Ty::I64, pg);
-                b.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
-            });
-            b.ret(c64(0));
-        });
+        fork_join_main(
+            &mut m,
+            wid,
+            p.threads,
+            |_b| {},
+            |b, _| {
+                let t = b.load(Ty::I64, cptr(total));
+                b.call_builtin(Builtin::OutputI64, vec![t.into()], Ty::Void);
+                b.counted_loop(c64(0), c64(256), |b, i| {
+                    let pg = b.gep(cptr(table), i, 8);
+                    let v = b.load(Ty::I64, pg);
+                    b.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
+                });
+                b.ret(c64(0));
+            },
+        );
         // Text: words of 1..8 letters separated by single spaces.
         let mut s = 0x88u64 | 1;
         let mut text = Vec::with_capacity(n as usize);

@@ -1,0 +1,92 @@
+//! Golden-output pins: every listed workload's observable output (and
+//! exit code) is pinned to a known-good 64-bit FNV-1a digest, under
+//! both the plain build and full ELZAR hardening. These digests were
+//! recorded before the interpreter's pre-decoded dispatch rework and
+//! protect program *semantics* across future interpreter, lowering and
+//! pass refactors. (Cycle counts are intentionally not pinned — the
+//! timing model may evolve; determinism of cycles is covered by
+//! separate tests.)
+//!
+//! To regenerate after an *intentional* semantic change:
+//! `GOLDEN_PRINT=1 cargo test -p elzar-workloads --test golden_outputs -- --nocapture`
+
+use elzar::{execute, Mode};
+use elzar_vm::{MachineConfig, RunOutcome};
+use elzar_workloads::{by_name, Params, Scale};
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn digest(name: &str, mode: &Mode) -> u64 {
+    let w = by_name(name).expect("known workload");
+    let built = w.build(&Params::new(2, Scale::Tiny));
+    let machine = MachineConfig { step_limit: 200_000_000_000, ..MachineConfig::default() };
+    let r = execute(&built.module, mode, &built.input, machine);
+    let code = match r.outcome {
+        RunOutcome::Exited(c) => c,
+        other => panic!("{name} under {mode:?} did not exit cleanly: {other:?}"),
+    };
+    let mut payload = r.output.clone();
+    payload.extend_from_slice(&code.to_le_bytes());
+    fnv1a(&payload)
+}
+
+/// (workload, native-nosimd digest, elzar-default digest), recorded at
+/// `Scale::Tiny`, 2 simulated threads.
+const GOLDEN: &[(&str, u64, u64)] = &[
+    ("histogram", 0xd446901e8dd4fc65, 0xd446901e8dd4fc65),
+    ("kmeans", 0xf97cf3740ed03ca1, 0xf97cf3740ed03ca1),
+    ("linear_regression", 0x9b01ebde1e0aa164, 0x9b01ebde1e0aa164),
+    ("matrix_multiply", 0xb7bcde8fc56fa17d, 0xb7bcde8fc56fa17d),
+    ("pca", 0x41d8e71fbe57c9c0, 0x41d8e71fbe57c9c0),
+    ("string_match", 0xc812e4bd40682be5, 0xc812e4bd40682be5),
+    ("word_count", 0x7cc11419418a68a6, 0x7cc11419418a68a6),
+    ("blackscholes", 0xe271efe94c66fd53, 0xe271efe94c66fd53),
+    ("dedup", 0x86a6b5e9a5a34fe5, 0x86a6b5e9a5a34fe5),
+    ("streamcluster", 0xb978939054bedefd, 0xb978939054bedefd),
+    ("swaptions", 0x6212ab931028de7e, 0x6212ab931028de7e),
+    ("x264", 0x62d92198b95e7a9a, 0x62d92198b95e7a9a),
+];
+
+#[test]
+fn workload_outputs_match_golden_digests() {
+    let print = std::env::var("GOLDEN_PRINT").is_ok();
+    let mut failures = Vec::new();
+    for &(name, want_native, want_elzar) in GOLDEN {
+        let got_native = digest(name, &Mode::NativeNoSimd);
+        let got_elzar = digest(name, &Mode::elzar_default());
+        if print {
+            println!("    (\"{name}\", {got_native:#018x}, {got_elzar:#018x}),");
+            continue;
+        }
+        if got_native != want_native {
+            failures.push(format!("{name} native: got {got_native:#x}, want {want_native:#x}"));
+        }
+        if got_elzar != want_elzar {
+            failures.push(format!("{name} elzar: got {got_elzar:#x}, want {want_elzar:#x}"));
+        }
+    }
+    assert!(failures.is_empty(), "golden output drift:\n{}", failures.join("\n"));
+}
+
+/// The hardened build must observably behave like the plain build —
+/// same bytes out for every pinned workload (already implied by the
+/// digests, asserted directly so a stale GOLDEN table cannot mask it).
+#[test]
+fn elzar_output_equals_native_output() {
+    for &(name, _, _) in GOLDEN {
+        let w = by_name(name).expect("known workload");
+        let built = w.build(&Params::new(2, Scale::Tiny));
+        let machine = MachineConfig { step_limit: 200_000_000_000, ..MachineConfig::default() };
+        let native = execute(&built.module, &Mode::NativeNoSimd, &built.input, machine);
+        let elz = execute(&built.module, &Mode::elzar_default(), &built.input, machine);
+        assert_eq!(native.outcome, elz.outcome, "{name}: outcome");
+        assert_eq!(native.output, elz.output, "{name}: output bytes");
+    }
+}

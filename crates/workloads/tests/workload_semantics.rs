@@ -71,11 +71,7 @@ fn histogram_bins_sum_to_input_length() {
     let w = by_name("histogram").unwrap();
     let built = w.build(&Params::new(2, Scale::Tiny));
     let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg());
-    let total: i64 = r
-        .output
-        .chunks(8)
-        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
-        .sum();
+    let total: i64 = r.output.chunks(8).map(|c| i64::from_le_bytes(c.try_into().unwrap())).sum();
     assert_eq!(total, built.input.len() as i64);
 }
 
@@ -84,21 +80,13 @@ fn linear_regression_matches_host_computation() {
     let w = by_name("linear_regression").unwrap();
     let built = w.build(&Params::new(2, Scale::Tiny));
     let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg());
-    let vals: Vec<i64> = r
-        .output
-        .chunks(8)
-        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
-        .collect();
+    let vals: Vec<i64> = r.output.chunks(8).map(|c| i64::from_le_bytes(c.try_into().unwrap())).collect();
     // Recompute on the host.
     let n = built.input.len() / 16; // xs then ys
-    let xs: Vec<i64> = built.input[..n * 8]
-        .chunks(8)
-        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
-        .collect();
-    let ys: Vec<i64> = built.input[n * 8..]
-        .chunks(8)
-        .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
-        .collect();
+    let xs: Vec<i64> =
+        built.input[..n * 8].chunks(8).map(|c| i64::from_le_bytes(c.try_into().unwrap())).collect();
+    let ys: Vec<i64> =
+        built.input[n * 8..].chunks(8).map(|c| i64::from_le_bytes(c.try_into().unwrap())).collect();
     let sx: i64 = xs.iter().sum();
     let sy: i64 = ys.iter().sum();
     let sxx: i64 = xs.iter().map(|x| x * x).sum();
@@ -141,7 +129,8 @@ fn dedup_unique_count_is_sane() {
 #[test]
 fn vectorizer_actually_fires_on_the_simd_kernels() {
     // Figure 1 depends on these kernels having vectorizable hot loops.
-    for name in ["string_match"] {
+    {
+        let name = "string_match";
         let w = by_name(name).unwrap();
         let built = w.build(&Params::new(1, Scale::Tiny));
         let mut m = built.module.clone();

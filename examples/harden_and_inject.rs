@@ -39,7 +39,10 @@ fn kernel() -> Module {
 
 fn main() {
     let m = kernel();
-    println!("{:<10} {:>8} {:>8} {:>10} {:>8} {:>8}", "version", "hang", "os-det", "corrected", "masked", "SDC");
+    println!(
+        "{:<10} {:>8} {:>8} {:>10} {:>8} {:>8}",
+        "version", "hang", "os-det", "corrected", "masked", "SDC"
+    );
     for (name, mode) in [("native", Mode::NativeNoSimd), ("elzar", Mode::elzar_default())] {
         let prog = build(&m, &mode);
         let r = run_campaign(&prog, &[], &CampaignConfig { runs: 300, seed: 42, ..Default::default() });

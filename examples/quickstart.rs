@@ -33,12 +33,23 @@ fn main() {
     let hardened = execute(&module, &Mode::elzar_default(), &[], cfg);
 
     println!("native   : outcome {:?}", native.outcome);
-    println!("           {} instructions, {} cycles (ILP {:.2})",
-        native.counters.instrs, native.cycles, native.ilp());
+    println!(
+        "           {} instructions, {} cycles (ILP {:.2})",
+        native.counters.instrs,
+        native.cycles,
+        native.ilp()
+    );
     println!("elzar    : outcome {:?}", hardened.outcome);
-    println!("           {} instructions, {} cycles (ILP {:.2})",
-        hardened.counters.instrs, hardened.cycles, hardened.ilp());
+    println!(
+        "           {} instructions, {} cycles (ILP {:.2})",
+        hardened.counters.instrs,
+        hardened.cycles,
+        hardened.ilp()
+    );
     println!("overhead : {:.2}x normalized runtime", normalized_runtime(&hardened, &native));
     assert_eq!(native.output, hardened.output, "TMR must not change results");
-    println!("outputs match: sum(i^2, i<1000) = {}", i64::from_le_bytes(native.output[..8].try_into().unwrap()));
+    println!(
+        "outputs match: sum(i^2, i<1000) = {}",
+        i64::from_le_bytes(native.output[..8].try_into().unwrap())
+    );
 }

@@ -42,12 +42,7 @@ fn figure12_slice_checks_monotone() {
     let w = by_name("word_count").unwrap();
     let built = w.build(&Params::new(1, Scale::Tiny));
     let native = execute(&built.module, &Mode::Native, &built.input, cfg());
-    let all = execute(
-        &built.module,
-        &Mode::Elzar(Config::default()),
-        &built.input,
-        cfg(),
-    );
+    let all = execute(&built.module, &Mode::Elzar(Config::default()), &built.input, cfg());
     let none = execute(
         &built.module,
         &Mode::Elzar(Config { checks: CheckConfig::none(), ..Config::default() }),
@@ -113,10 +108,7 @@ fn figure14_slice_crossover() {
     );
     // Memory-heavy: SWIFT-R must win by a wide margin (paper: +170%).
     let (el_sm, sw_sm) = run_pair("string_match");
-    assert!(
-        el_sm > sw_sm * 1.5,
-        "smatch: SWIFT-R {sw_sm:.2}x must beat ELZAR {el_sm:.2}x decisively"
-    );
+    assert!(el_sm > sw_sm * 1.5, "smatch: SWIFT-R {sw_sm:.2}x must beat ELZAR {el_sm:.2}x decisively");
 }
 
 /// A slice of Figure 15: all three case studies keep their results under
