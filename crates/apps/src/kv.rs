@@ -7,19 +7,63 @@
 //! locks (scales with threads).
 
 use crate::ycsb::{encode, generate};
-use crate::{AppParams, BuiltApp};
+use crate::{AppParams, BuiltApp, ServeApp};
 use elzar_ir::builder::{c64, FuncBuilder};
 use elzar_ir::{BinOp, Builtin, CmpPred, Const, Module, Operand, Ty};
-use elzar_vm::GLOBAL_BASE;
+use elzar_vm::{Memory, GLOBAL_BASE};
 use elzar_workloads::common::{chunk_bounds, fork_join_main};
+use elzar_workloads::Scale;
 
 const BUCKETS: i64 = 4096;
 const SLOTS: i64 = 8;
 const ENTRY: i64 = 16; // key u64 + value u64
 const GOLD: i64 = 0x9E3779B97F4A7C15u64 as i64;
+/// Value written by serving-mode updates — distinct from the preload
+/// value (`key * GOLD`) so committed updates show up in table digests.
+const UPD: i64 = 0xD1B54A32D192ED03u64 as i64;
 
 fn cptr(addr: u64) -> Operand {
     Operand::Imm(Const::Ptr(addr))
+}
+
+/// Emit the table preload: insert every key into its bucket with value
+/// `key * GOLD` (shared by the batch `main` and the serving init entry).
+fn emit_preload(b: &mut FuncBuilder, table: u64, n_keys: u64) {
+    let placed = b.alloca(Ty::I64, c64(1));
+    b.counted_loop(c64(0), c64(n_keys as i64), |b, key| {
+        let h = b.mul(key, c64(GOLD));
+        let h2 = b.bin(BinOp::LShr, Ty::I64, h, c64(48));
+        let bucket = b.bin(BinOp::And, Ty::I64, h2, c64(BUCKETS - 1));
+        let base_idx = b.mul(bucket, c64(SLOTS * ENTRY));
+        let bucket_ptr = b.gep(cptr(table), base_idx, 1);
+        b.store(Ty::I64, c64(0), placed);
+        b.counted_loop(c64(0), c64(SLOTS), |b, s| {
+            let off = b.mul(s, c64(ENTRY));
+            let pk = b.gep(bucket_ptr, off, 1);
+            let k = b.load(Ty::I64, pk);
+            let empty = b.icmp(CmpPred::Eq, k, c64(0));
+            let pl = b.load(Ty::I64, placed);
+            let todo = b.icmp(CmpPred::Eq, pl, c64(0));
+            let we = b.cast(elzar_ir::CastOp::ZExt, empty, Ty::I64);
+            let wt = b.cast(elzar_ir::CastOp::ZExt, todo, Ty::I64);
+            let both = b.bin(BinOp::And, Ty::I64, we, wt);
+            let go = b.icmp(CmpPred::Ne, both, c64(0));
+            let ins_bb = b.block("pre.ins");
+            let skip_bb = b.block("pre.skip");
+            b.cond_br(go, ins_bb, skip_bb);
+            b.switch_to(ins_bb);
+            {
+                let kk = b.add(key, c64(1));
+                b.store(Ty::I64, kk, pk);
+                let pv = b.gep(pk, c64(1), 8);
+                let v = b.mul(key, c64(GOLD));
+                b.store(Ty::I64, v, pv);
+                b.store(Ty::I64, c64(1), placed);
+                b.br(skip_bb);
+            }
+            b.switch_to(skip_bb);
+        });
+    });
 }
 
 /// Build the mini-memcached server processing a YCSB trace.
@@ -116,44 +160,7 @@ pub fn build(p: &AppParams) -> BuiltApp {
         &mut m,
         wid,
         threads,
-        move |b| {
-            // Preload: insert every key (values = key * GOLD).
-            let placed = b.alloca(Ty::I64, c64(1));
-            b.counted_loop(c64(0), c64(n_keys as i64), |b, key| {
-                let h = b.mul(key, c64(GOLD));
-                let h2 = b.bin(BinOp::LShr, Ty::I64, h, c64(48));
-                let bucket = b.bin(BinOp::And, Ty::I64, h2, c64(BUCKETS - 1));
-                let base_idx = b.mul(bucket, c64(SLOTS * ENTRY));
-                let bucket_ptr = b.gep(cptr(table), base_idx, 1);
-                b.store(Ty::I64, c64(0), placed);
-                b.counted_loop(c64(0), c64(SLOTS), |b, s| {
-                    let off = b.mul(s, c64(ENTRY));
-                    let pk = b.gep(bucket_ptr, off, 1);
-                    let k = b.load(Ty::I64, pk);
-                    let empty = b.icmp(CmpPred::Eq, k, c64(0));
-                    let pl = b.load(Ty::I64, placed);
-                    let todo = b.icmp(CmpPred::Eq, pl, c64(0));
-                    let we = b.cast(elzar_ir::CastOp::ZExt, empty, Ty::I64);
-                    let wt = b.cast(elzar_ir::CastOp::ZExt, todo, Ty::I64);
-                    let both = b.bin(BinOp::And, Ty::I64, we, wt);
-                    let go = b.icmp(CmpPred::Ne, both, c64(0));
-                    let ins_bb = b.block("pre.ins");
-                    let skip_bb = b.block("pre.skip");
-                    b.cond_br(go, ins_bb, skip_bb);
-                    b.switch_to(ins_bb);
-                    {
-                        let kk = b.add(key, c64(1));
-                        b.store(Ty::I64, kk, pk);
-                        let pv = b.gep(pk, c64(1), 8);
-                        let v = b.mul(key, c64(GOLD));
-                        b.store(Ty::I64, v, pv);
-                        b.store(Ty::I64, c64(1), placed);
-                        b.br(skip_bb);
-                    }
-                    b.switch_to(skip_bb);
-                });
-            });
-        },
+        move |b| emit_preload(b, table, n_keys),
         move |b, _| {
             // Merge per-thread read sums in tid order + miss count.
             let mut total: Operand = c64(0);
@@ -170,4 +177,101 @@ pub fn build(p: &AppParams) -> BuiltApp {
     );
     let ops = generate(w, n_ops, n_keys, 0x5EED ^ n_keys);
     BuiltApp { module: m, input: encode(&ops), ops: n_ops as u64 }
+}
+
+/// Build the mini-memcached server in *serving* form: a `main` entry
+/// that preloads the resident table once, and a `serve_one` entry that
+/// processes exactly one encoded YCSB op (8 bytes, [`crate::ycsb::encode`]
+/// layout) from the input segment, outputting `(found, value)`.
+///
+/// A request is single-threaded — the serving runtime's shards provide
+/// the concurrency — so the per-bucket locks of the batch build are
+/// unnecessary here.
+pub fn build_serve(scale: Scale) -> ServeApp {
+    let n_keys: u64 = scale.pick(1_024, 4_096, 8_192);
+    let mut m = Module::new("memcached_serve");
+    let table = GLOBAL_BASE + m.alloc_global((BUCKETS * SLOTS * ENTRY) as usize) as u64;
+
+    let mut ib = FuncBuilder::new("main", vec![], Ty::I64);
+    emit_preload(&mut ib, table, n_keys);
+    ib.ret(c64(0));
+    m.add_func(ib.finish());
+
+    let mut sb = FuncBuilder::new("serve_one", vec![], Ty::I64);
+    let inp = sb.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+    let word = sb.load(Ty::I64, inp);
+    let key = sb.bin(BinOp::And, Ty::I64, word, c64(!(1i64 << 63)));
+    let is_read = sb.bin(BinOp::LShr, Ty::I64, word, c64(63));
+    let h = sb.mul(key, c64(GOLD));
+    let h2 = sb.bin(BinOp::LShr, Ty::I64, h, c64(48));
+    let bucket = sb.bin(BinOp::And, Ty::I64, h2, c64(BUCKETS - 1));
+    let base_idx = sb.mul(bucket, c64(SLOTS * ENTRY));
+    let bucket_ptr = sb.gep(cptr(table), base_idx, 1);
+    let found = sb.alloca(Ty::I64, c64(1));
+    let val = sb.alloca(Ty::I64, c64(1));
+    sb.store(Ty::I64, c64(0), found);
+    sb.store(Ty::I64, c64(0), val);
+    sb.counted_loop(c64(0), c64(SLOTS), |b, s| {
+        let off = b.mul(s, c64(ENTRY));
+        let pk = b.gep(bucket_ptr, off, 1);
+        let k = b.load(Ty::I64, pk);
+        let kk = b.add(key, c64(1));
+        let hit = b.icmp(CmpPred::Eq, k, kk);
+        let hit_bb = b.block("srv.hit");
+        let next_bb = b.block("srv.next");
+        b.cond_br(hit, hit_bb, next_bb);
+        b.switch_to(hit_bb);
+        {
+            b.store(Ty::I64, c64(1), found);
+            let pv = b.gep(pk, c64(1), 8);
+            let rd = b.icmp(CmpPred::Ne, is_read, c64(0));
+            let rd_bb = b.block("srv.read");
+            let wr_bb = b.block("srv.write");
+            b.cond_br(rd, rd_bb, wr_bb);
+            b.switch_to(rd_bb);
+            {
+                let v = b.load(Ty::I64, pv);
+                b.store(Ty::I64, v, val);
+                b.br(next_bb);
+            }
+            b.switch_to(wr_bb);
+            {
+                let nv = b.mul(key, c64(UPD));
+                b.store(Ty::I64, nv, pv);
+                b.store(Ty::I64, nv, val);
+                b.br(next_bb);
+            }
+        }
+        b.switch_to(next_bb);
+    });
+    let f = sb.load(Ty::I64, found);
+    let v = sb.load(Ty::I64, val);
+    sb.call_builtin(Builtin::OutputI64, vec![f.into()], Ty::Void);
+    sb.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
+    sb.ret(c64(0));
+    m.add_func(sb.finish());
+
+    ServeApp {
+        module: m,
+        init_entry: "main",
+        request_entry: "serve_one",
+        table_base: table,
+        n_keys,
+        request_bytes: 8,
+    }
+}
+
+/// Host-side lookup mirroring the serve module's bucket layout: probe
+/// `key`'s bucket in a shard's resident memory and return its stored
+/// value. Used to digest the final table state.
+pub fn serve_lookup(mem: &Memory, table_base: u64, key: u64) -> Option<u64> {
+    let bucket = (key.wrapping_mul(GOLD as u64) >> 48) & (BUCKETS as u64 - 1);
+    let bucket_addr = table_base + bucket * (SLOTS * ENTRY) as u64;
+    for s in 0..SLOTS as u64 {
+        let pk = bucket_addr + s * ENTRY as u64;
+        if mem.load(pk, 8).ok()? == key.wrapping_add(1) {
+            return mem.load(pk + 8, 8).ok();
+        }
+    }
+    None
 }

@@ -58,6 +58,28 @@ pub struct BuiltApp {
     pub ops: u64,
 }
 
+/// A case study packaged for the serving runtime (`elzar_serve`): the
+/// batch builders above run a whole trace per `main` invocation; a
+/// `ServeApp` instead exposes a one-shot init entry that builds the
+/// resident state (tables, buffers) and a per-request entry that serves
+/// exactly one encoded request from the input segment, replying through
+/// the output builtins.
+#[derive(Clone, Debug)]
+pub struct ServeApp {
+    /// The program (init + per-request entries).
+    pub module: Module,
+    /// Entry run once when a shard VM boots (preload resident state).
+    pub init_entry: &'static str,
+    /// Entry run per request (input segment = one encoded request).
+    pub request_entry: &'static str,
+    /// Base address of the resident KV table, `0` when stateless.
+    pub table_base: u64,
+    /// Keys preloaded into the table, `0` when stateless.
+    pub n_keys: u64,
+    /// Encoded size of one request in bytes.
+    pub request_bytes: usize,
+}
+
 /// The three case studies.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum App {
@@ -167,6 +189,48 @@ mod tests {
         let u1 = throughput(db1.ops, s1.cycles);
         let u4 = throughput(db4.ops, s4.cycles);
         assert!(u4 < u1 * 1.3, "sqlite must not scale (global lock): {u1:.0} -> {u4:.0} ops/s");
+    }
+
+    #[test]
+    fn serve_entries_process_single_requests() {
+        use elzar_vm::Machine;
+        // KV: init preloads, then one read and one update round-trip
+        // through a resident machine.
+        let app = kv::build_serve(Scale::Tiny);
+        let prog = elzar::build(&app.module, &Mode::elzar_default());
+        let mut m = Machine::start(&prog, app.init_entry, &[], cfg());
+        let o = m.run_to_completion();
+        assert!(matches!(o, RunOutcome::Exited(0)), "init: {o:?}");
+
+        let read7 = ycsb::encode(&[YcsbOp { read: true, key: 7 }]);
+        m.reenter(app.request_entry, &read7);
+        let o = m.run_to_completion();
+        let r = m.result(o);
+        assert!(matches!(o, RunOutcome::Exited(0)), "read: {o:?}");
+        assert_eq!(u64::from_le_bytes(r.output[..8].try_into().unwrap()), 1, "key 7 preloaded");
+        let preloaded = u64::from_le_bytes(r.output[8..16].try_into().unwrap());
+        assert_eq!(preloaded, 7u64.wrapping_mul(0x9E3779B97F4A7C15));
+        assert_eq!(kv::serve_lookup(m.memory(), app.table_base, 7), Some(preloaded));
+
+        let upd7 = ycsb::encode(&[YcsbOp { read: false, key: 7 }]);
+        m.reenter(app.request_entry, &upd7);
+        let o = m.run_to_completion();
+        assert!(matches!(o, RunOutcome::Exited(0)));
+        let updated = kv::serve_lookup(m.memory(), app.table_base, 7).unwrap();
+        assert_ne!(updated, preloaded, "update must be observable in the table");
+
+        // Web: stateless page serve replies with the request hash.
+        let web = web::build_serve(Scale::Tiny);
+        let wprog = elzar::build(&web.module, &Mode::elzar_default());
+        let mut wm = Machine::start(&wprog, web.init_entry, &[], cfg());
+        assert!(matches!(wm.run_to_completion(), RunOutcome::Exited(0)));
+        let req = vec![0x41u8; web.request_bytes];
+        wm.reenter(web.request_entry, &req);
+        let o = wm.run_to_completion();
+        let r = wm.result(o);
+        assert!(matches!(o, RunOutcome::Exited(0)), "web: {o:?}");
+        assert_eq!(r.output.len(), 8);
+        assert!(r.heartbeats >= 1, "page serve emits a heartbeat");
     }
 
     #[test]

@@ -7,16 +7,62 @@
 //! code, while the page copy goes through the runtime's `memcpy` —
 //! exactly the split the real build had.
 
-use crate::{AppParams, BuiltApp};
+use crate::{AppParams, BuiltApp, ServeApp};
 use elzar_ir::builder::{c64, FuncBuilder};
-use elzar_ir::{BinOp, Builtin, Const, Module, Operand, Ty};
+use elzar_ir::{BinOp, Builtin, Const, Module, Operand, Ty, ValueId};
 use elzar_vm::GLOBAL_BASE;
 use elzar_workloads::common::{chunk_bounds, fork_join_main, gen_bytes};
+use elzar_workloads::Scale;
 
 const REQ_BYTES: i64 = 64;
 
 fn cptr(addr: u64) -> Operand {
     Operand::Imm(Const::Ptr(addr))
+}
+
+/// Host-side mirror of [`emit_parse`]: FNV-1a over the 16-byte
+/// method/path prefix. The serving runtime routes web requests by this
+/// hash, so it must stay bit-identical to the IR loop below.
+pub fn parse_hash(req: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in req.iter().take(16) {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Emit the hardened request parse: FNV-1a over the 16-byte method/path
+/// prefix at `req`, hash carried in a register. Leaves the builder in
+/// the loop's exit block and returns the hash value (shared by the
+/// batch worker and the serving entry; host mirror: [`parse_hash`]).
+fn emit_parse(b: &mut FuncBuilder, req: ValueId) -> ValueId {
+    let pre = b.current();
+    let header = b.block("web.ph");
+    let body = b.block("web.pb");
+    let latch = b.block("web.pl");
+    let exit = b.block("web.pe");
+    b.br(header);
+    b.switch_to(header);
+    let i = b.phi(Ty::I64);
+    let hphi = b.phi(Ty::I64);
+    b.phi_add_incoming(i, pre, c64(0));
+    b.phi_add_incoming(hphi, pre, c64(0xcbf29ce484222325u64 as i64));
+    let c = b.icmp(elzar_ir::CmpPred::Slt, i, c64(16));
+    b.cond_br(c, body, exit);
+    b.switch_to(body);
+    let pb = b.gep(req, i, 1);
+    let byte = b.load(Ty::I8, pb);
+    let wbyte = b.cast(elzar_ir::CastOp::ZExt, byte, Ty::I64);
+    let x = b.bin(BinOp::Xor, Ty::I64, hphi, wbyte);
+    let nx = b.mul(x, c64(0x100000001b3));
+    b.br(latch);
+    b.switch_to(latch);
+    let i1 = b.add(i, c64(1));
+    b.phi_add_incoming(i, latch, i1);
+    b.phi_add_incoming(hphi, latch, nx);
+    b.br(header);
+    b.switch_to(exit);
+    hphi
 }
 
 /// Build the mini web server.
@@ -36,38 +82,12 @@ pub fn build(p: &AppParams) -> BuiltApp {
     wk.store(Ty::I64, c64(0), hacc);
     let (start, end) = chunk_bounds(&mut wk, tid, n_req as i64, p.threads);
     wk.counted_loop(start, end, |b, r| {
-        // Parse the request line (hardened application code): FNV over
-        // the 16-byte method/path prefix, hash carried in a register.
+        // Parse the request line (hardened application code).
         let roff = b.mul(r, c64(REQ_BYTES));
         let req = b.gep(inp, roff, 1);
-        let pre = b.current();
-        let header = b.block("web.ph");
-        let body = b.block("web.pb");
-        let latch = b.block("web.pl");
-        let exit = b.block("web.pe");
-        b.br(header);
-        b.switch_to(header);
-        let i = b.phi(Ty::I64);
-        let hphi = b.phi(Ty::I64);
-        b.phi_add_incoming(i, pre, c64(0));
-        b.phi_add_incoming(hphi, pre, c64(0xcbf29ce484222325u64 as i64));
-        let c = b.icmp(elzar_ir::CmpPred::Slt, i, c64(16));
-        b.cond_br(c, body, exit);
-        b.switch_to(body);
-        let pb = b.gep(req, i, 1);
-        let byte = b.load(Ty::I8, pb);
-        let wbyte = b.cast(elzar_ir::CastOp::ZExt, byte, Ty::I64);
-        let x = b.bin(BinOp::Xor, Ty::I64, hphi, wbyte);
-        let nx = b.mul(x, c64(0x100000001b3));
-        b.br(latch);
-        b.switch_to(latch);
-        let i1 = b.add(i, c64(1));
-        b.phi_add_incoming(i, latch, i1);
-        b.phi_add_incoming(hphi, latch, nx);
-        b.br(header);
-        b.switch_to(exit);
+        let hash = emit_parse(b, req);
         let a = b.load(Ty::I64, hacc);
-        let a2 = b.add(a, hphi);
+        let a2 = b.add(a, hash);
         b.store(Ty::I64, a2, hacc);
         // Serve the page (unhardened library copy — sendfile/memcpy).
         b.call_builtin(Builtin::Memcpy, vec![resp.into(), cptr(page), c64(page_bytes)], Ty::Void);
@@ -97,4 +117,40 @@ pub fn build(p: &AppParams) -> BuiltApp {
         },
     );
     BuiltApp { module: m, input: gen_bytes(0xAC, n_req * REQ_BYTES as usize), ops: n_req as u64 }
+}
+
+/// Build the mini web server in *serving* form: `main` allocates the
+/// resident response buffer once (its pointer parked in a global), and
+/// `serve_one` handles one 64-byte request from the input segment —
+/// hardened parse, unhardened library page copy, hash as the reply.
+pub fn build_serve(scale: Scale) -> ServeApp {
+    let page_bytes: i64 = scale.pick(16 * 1024, 32 * 1024, 64 * 1024);
+    let mut m = Module::new("apache_serve");
+    let page = GLOBAL_BASE + m.add_global_data(&gen_bytes(0xAB, page_bytes as usize)) as u64;
+    let resp_slot = GLOBAL_BASE + m.alloc_global(8) as u64;
+
+    let mut ib = FuncBuilder::new("main", vec![], Ty::I64);
+    let resp = ib.call_builtin(Builtin::Malloc, vec![c64(page_bytes)], Ty::Ptr).unwrap();
+    ib.store(Ty::Ptr, resp, cptr(resp_slot));
+    ib.ret(c64(0));
+    m.add_func(ib.finish());
+
+    let mut sb = FuncBuilder::new("serve_one", vec![], Ty::I64);
+    let req = sb.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+    let hash = emit_parse(&mut sb, req);
+    let resp = sb.load(Ty::Ptr, cptr(resp_slot));
+    sb.call_builtin(Builtin::Memcpy, vec![resp.into(), cptr(page), c64(page_bytes)], Ty::Void);
+    sb.call_builtin(Builtin::Heartbeat, vec![], Ty::Void);
+    sb.call_builtin(Builtin::OutputI64, vec![hash.into()], Ty::Void);
+    sb.ret(c64(0));
+    m.add_func(sb.finish());
+
+    ServeApp {
+        module: m,
+        init_entry: "main",
+        request_entry: "serve_one",
+        table_base: 0,
+        n_keys: 0,
+        request_bytes: REQ_BYTES as usize,
+    }
 }

@@ -1,0 +1,130 @@
+//! Serving-mode evaluation: sharded resident-VM throughput, tail
+//! latency and *online* fault accounting under sustained open-loop
+//! load — the serving counterpart of the batch case studies (fig15) and
+//! campaigns (fig13). Writes `BENCH_serve.json` in the current
+//! directory.
+//!
+//! For every service (memcached-A, memcached-D, apache) the stream is
+//! served with 1 and 4 shards at an offered load that saturates both
+//! configurations, so the throughput ratio measures the runtime's
+//! horizontal scaling. A 2% online SEU rate exercises the full Table-I
+//! taxonomy per request: Masked / ElzarCorrected / Sdc /
+//! Crashed-with-shard-restart-from-snapshot.
+//!
+//! Knobs: `ELZAR_SCALE` (service problem size), `ELZAR_SERVE_REQUESTS`
+//! (stream length, default by scale), `ELZAR_SERVE_FAULT_PPM`
+//! (per-request SEU probability, default 20000 = 2%),
+//! `ELZAR_CAMPAIGN_THREADS` (host workers; never changes results).
+
+use elzar::Mode;
+use elzar_bench::{banner, campaign_workers_from_env, scale_from_env};
+use elzar_fault::Outcome;
+use elzar_serve::{serve, ServeConfig, Service};
+use std::fmt::Write as _;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    banner("fig_serve", "sharded resident-VM serving: throughput, tail latency, online faults");
+    let scale = scale_from_env();
+    let requests = env_u64("ELZAR_SERVE_REQUESTS", scale.pick(800, 1_600, 6_000));
+    let fault_ppm = env_u64("ELZAR_SERVE_FAULT_PPM", 20_000) as u32;
+    let workers = campaign_workers_from_env();
+
+    let mut configs_json = String::new();
+    let mut speedups_json = String::new();
+    println!(
+        "{:<12} {:>6} {:>12} {:>9} {:>9} {:>9} {:>9} {:>5} {:>5} {:>5} {:>4} {:>8}",
+        "service",
+        "shards",
+        "tput req/s",
+        "p50 us",
+        "p90 us",
+        "p99 us",
+        "p999 us",
+        "inj",
+        "corr",
+        "sdc",
+        "rst",
+        "avail"
+    );
+    for service in Service::all() {
+        let mut tput = [0.0f64; 2];
+        for (i, &shards) in [1u32, 4].iter().enumerate() {
+            let cfg = ServeConfig {
+                shards,
+                workers,
+                requests,
+                fault_rate_ppm: fault_ppm,
+                // Saturating offered load: the queue (not the arrival
+                // process) is the bottleneck in both configurations, so
+                // the 1 -> 4 shard ratio measures serving capacity.
+                mean_gap_cycles: 150,
+                queue_capacity: 1 << 20,
+                ..Default::default()
+            };
+            let r = serve(service, &Mode::elzar_default(), scale, &cfg);
+            tput[i] = r.throughput_rps();
+            println!(
+                "{:<12} {:>6} {:>12.0} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>5} {:>5} {:>5} {:>4} {:>8.5}",
+                service.label(),
+                shards,
+                r.throughput_rps(),
+                r.quantile_us(0.50),
+                r.quantile_us(0.90),
+                r.quantile_us(0.99),
+                r.quantile_us(0.999),
+                r.injected,
+                r.count(Outcome::ElzarCorrected),
+                r.count(Outcome::Sdc),
+                r.restarts,
+                r.availability(),
+            );
+            let _ = writeln!(
+                configs_json,
+                "    {{\"service\": \"{}\", \"shards\": {}, \"throughput_rps\": {:.0}, \
+                 \"p50_us\": {:.2}, \"p90_us\": {:.2}, \"p99_us\": {:.2}, \"p999_us\": {:.2}, \
+                 \"mean_us\": {:.2}, \"served\": {}, \"rejected\": {}, \"injected\": {}, \
+                 \"outcomes\": {{\"hang\": {}, \"os_detected\": {}, \"elzar_corrected\": {}, \
+                 \"masked\": {}, \"sdc\": {}}}, \"restarts\": {}, \"availability\": {:.6}, \
+                 \"sdc_rate\": {:.6}, \"table_digest\": \"{:#018x}\"}},",
+                service.label(),
+                shards,
+                r.throughput_rps(),
+                r.quantile_us(0.50),
+                r.quantile_us(0.90),
+                r.quantile_us(0.99),
+                r.quantile_us(0.999),
+                r.hist.mean() / elzar_apps::FREQ_HZ * 1e6,
+                r.served,
+                r.rejected,
+                r.injected,
+                r.count(Outcome::Hang),
+                r.count(Outcome::OsDetected),
+                r.count(Outcome::ElzarCorrected),
+                r.count(Outcome::Masked),
+                r.count(Outcome::Sdc),
+                r.restarts,
+                r.availability(),
+                r.sdc_rate(),
+                r.table_digest,
+            );
+        }
+        let speedup = tput[1] / tput[0].max(1e-9);
+        println!("{:<12} 1 -> 4 shards: {speedup:.2}x aggregate throughput", service.label());
+        let _ = writeln!(speedups_json, "    \"{}\": {:.3},", service.label(), speedup);
+    }
+
+    let json = format!(
+        "{{\n  \"scale\": \"{:?}\",\n  \"requests\": {requests},\n  \
+         \"fault_rate_ppm\": {fault_ppm},\n  \"configs\": [\n{}  ],\n  \
+         \"speedup_1_to_4\": {{\n{}  }}\n}}\n",
+        scale,
+        configs_json.trim_end_matches(",\n").to_string() + "\n",
+        speedups_json.trim_end_matches(",\n").to_string() + "\n",
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+}

@@ -16,6 +16,7 @@
 //! | `table3` | Table III | ILP + instruction increase |
 //! | `table4` | Table IV | wrapper microbenchmarks |
 //! | `fp_only`| §V-B | FP-only protection overheads |
+//! | `fig_serve` | serving mode | sharded resident-VM throughput/latency + online faults (`BENCH_serve.json`) |
 //!
 //! Environment knobs:
 //!
@@ -26,10 +27,12 @@
 //! * `ELZAR_FI_RUNS` = injections per benchmark/mode in `fig13`
 //!   (default 120; the paper used 2500 on a 25-machine cluster);
 //! * `ELZAR_CAMPAIGN_THREADS` = *host* OS threads used to fan out
-//!   fault-injection runs (and fig11's independent measurements).
-//!   Default: all available cores. `1` forces the serial driver;
-//!   any value produces bit-identical results — parallelism only
-//!   changes wall-clock time.
+//!   fault-injection runs (and fig11's independent measurements, and
+//!   `fig_serve`'s shard drains). Default: all available cores. `1`
+//!   forces the serial driver; any value produces bit-identical
+//!   results — parallelism only changes wall-clock time;
+//! * `ELZAR_SERVE_REQUESTS` / `ELZAR_SERVE_FAULT_PPM` = `fig_serve`
+//!   stream length and per-request SEU probability (ppm).
 
 #![warn(missing_docs)]
 

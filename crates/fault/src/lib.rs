@@ -79,6 +79,12 @@ impl Outcome {
     pub fn all() -> [Outcome; 5] {
         [Outcome::Hang, Outcome::OsDetected, Outcome::ElzarCorrected, Outcome::Masked, Outcome::Sdc]
     }
+
+    /// This outcome's slot in Table-I-ordered count arrays
+    /// ([`Outcome::all`] order).
+    pub fn index(self) -> usize {
+        Outcome::all().iter().position(|x| *x == self).expect("known outcome")
+    }
 }
 
 impl fmt::Display for Outcome {
@@ -157,8 +163,7 @@ impl CampaignResult {
 
     /// Count for one outcome.
     pub fn count(&self, o: Outcome) -> u64 {
-        let idx = Outcome::all().iter().position(|x| *x == o).expect("known outcome");
-        self.counts[idx]
+        self.counts[o.index()]
     }
 
     /// Fraction for one outcome in `[0, 1]`.
@@ -176,8 +181,7 @@ impl CampaignResult {
     }
 
     fn record(&mut self, o: Outcome) {
-        let idx = Outcome::all().iter().position(|x| *x == o).expect("known outcome");
-        self.counts[idx] += 1;
+        self.counts[o.index()] += 1;
     }
 }
 
@@ -229,8 +233,39 @@ pub fn classify(golden: &GoldenRun, faulty: &RunResult) -> Outcome {
     }
 }
 
+/// Run a prepared machine under one fault plan and classify it against
+/// `golden`. This is *the* single-run injector — the campaign driver
+/// (from-scratch and checkpointed paths) and the serving runtime's
+/// online injection all funnel through it, so there is exactly one
+/// definition of "inject a fault and classify the outcome".
+///
+/// `m` must be positioned strictly before eligible instruction `index`
+/// (a fresh [`Machine::start`], a campaign checkpoint clone, or a
+/// reentered resident shard). The hang budget is
+/// `golden.steps * hang_factor + 100_000` retired instructions,
+/// measured on the machine's own step counter.
+///
+/// Returns the Table-I outcome together with the faulty run's full
+/// [`RunResult`] (the serving runtime charges its cycles as the
+/// request's service time).
+pub fn inject_one(
+    mut m: Machine<'_>,
+    golden: &GoldenRun,
+    index: u64,
+    bit: u32,
+    hang_factor: u64,
+) -> (Outcome, RunResult) {
+    m.set_fault(Some(FaultPlan { index, bit }));
+    m.set_step_limit(golden.steps.saturating_mul(hang_factor).saturating_add(100_000));
+    let outcome = m.run_to_completion();
+    let r = m.finish(outcome);
+    let o = classify(golden, &r);
+    (o, r)
+}
+
 /// Inject one fault at eligible instruction `index` (1-based), flipping
-/// raw bit `bit`, and classify the result.
+/// raw bit `bit`, and classify the result. Interprets the whole program
+/// from the start; the campaign's checkpointed path avoids that.
 pub fn inject_once(
     prog: &Program,
     input: &[u8],
@@ -241,10 +276,8 @@ pub fn inject_once(
     hang_factor: u64,
 ) -> Outcome {
     let mut cfg = *machine;
-    cfg.fault = Some(FaultPlan { index, bit });
-    cfg.step_limit = golden.steps.saturating_mul(hang_factor).saturating_add(100_000);
-    let r = run_program(prog, "main", input, cfg);
-    classify(golden, &r)
+    cfg.fault = None;
+    inject_one(Machine::start(prog, "main", input, cfg), golden, index, bit, hang_factor).0
 }
 
 /// Sample the campaign's fault plans: `runs` pairs of (eligible index,
@@ -372,11 +405,7 @@ fn inject_from_checkpoint(
         }
     }
     debug_assert!(base.eligible_so_far() < index);
-    let mut m = base.clone();
-    m.set_fault(Some(FaultPlan { index, bit }));
-    m.set_step_limit(golden.steps.saturating_mul(hang_factor).saturating_add(100_000));
-    let outcome = m.run_to_completion();
-    classify(golden, &m.finish(outcome))
+    inject_one(base.clone(), golden, index, bit, hang_factor).0
 }
 
 #[cfg(test)]

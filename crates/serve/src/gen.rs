@@ -1,0 +1,130 @@
+//! Open-loop load generation: deterministic request streams with
+//! arrival schedules in *virtual* cycles, plus the key-hash routing that
+//! assigns every request to its owning shard.
+//!
+//! Streams are a pure function of `(workload, requests, seed)`; arrivals
+//! advance by uniform jitter around the configured mean gap so bursts
+//! exist but the schedule replays bit-identically on every host.
+
+use elzar_apps::ycsb::{self, YcsbWorkload};
+use elzar_rng::{splitmix64, DetRng};
+
+/// One request: identity, arrival time, routing key and the encoded
+/// input-segment payload its serve entry consumes.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Global position in the stream (also the fault-schedule key).
+    pub id: u64,
+    /// Arrival time in virtual cycles.
+    pub arrival: u64,
+    /// Routing key (KV key, or the web request's parse hash).
+    pub key: u64,
+    /// Encoded request bytes for the VM input segment.
+    pub payload: Box<[u8]>,
+}
+
+/// Owning shard of `key` under `shards`-way partitioning (stable: the
+/// same key always routes to the same shard for a given shard count).
+pub fn shard_of(key: u64, shards: u32) -> u32 {
+    let mut s = key ^ 0xE12A_5EED;
+    (splitmix64(&mut s) % u64::from(shards.max(1))) as u32
+}
+
+/// Next inter-arrival gap: uniform in `[1, 2*mean - 1]` (mean = `mean`).
+fn gap(rng: &mut DetRng, mean: u64) -> u64 {
+    let m = mean.max(1);
+    rng.range_inclusive(1, 2 * m - 1)
+}
+
+/// YCSB stream over `n_keys` keys: one 8-byte encoded op per request,
+/// keys drawn from the workload's distribution (A: Zipf, D: latest).
+pub fn kv_stream(w: YcsbWorkload, requests: u64, n_keys: u64, mean_gap: u64, seed: u64) -> Vec<Request> {
+    let ops = ycsb::generate(w, requests as usize, n_keys, seed);
+    let mut rng = DetRng::seed_from_u64(seed ^ 0xA221_7EA1);
+    let mut t = 0u64;
+    ops.iter()
+        .enumerate()
+        .map(|(i, op)| {
+            t += gap(&mut rng, mean_gap);
+            Request {
+                id: i as u64,
+                arrival: t,
+                key: op.key,
+                payload: ycsb::encode(std::slice::from_ref(op)).into_boxed_slice(),
+            }
+        })
+        .collect()
+}
+
+/// Web stream: `request_bytes`-sized random request lines, routed by the
+/// parse hash of their 16-byte prefix.
+pub fn web_stream(requests: u64, request_bytes: usize, mean_gap: u64, seed: u64) -> Vec<Request> {
+    let mut rng = DetRng::seed_from_u64(seed ^ 0x3EB5_11FE);
+    let mut t = 0u64;
+    (0..requests)
+        .map(|i| {
+            t += gap(&mut rng, mean_gap);
+            let payload: Box<[u8]> = (0..request_bytes).map(|_| (rng.next_u64() >> 32) as u8).collect();
+            // Route by the same hash the server's hardened parse
+            // computes over the request prefix.
+            let key = elzar_apps::web::parse_hash(&payload);
+            Request { id: i, arrival: t, key, payload }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a = kv_stream(YcsbWorkload::A, 200, 128, 500, 7);
+        let b = kv_stream(YcsbWorkload::A, 200, 128, 500, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.id, x.arrival, x.key, &x.payload), (y.id, y.arrival, y.key, &y.payload));
+        }
+        let w = web_stream(50, 64, 500, 7);
+        let w2 = web_stream(50, 64, 500, 7);
+        assert_eq!(w[49].arrival, w2[49].arrival);
+        assert_eq!(w[49].payload, w2[49].payload);
+    }
+
+    #[test]
+    fn arrivals_increase_with_the_right_mean() {
+        let s = kv_stream(YcsbWorkload::D, 2_000, 64, 400, 3);
+        let mut prev = 0;
+        for r in &s {
+            assert!(r.arrival > prev, "arrivals strictly increase");
+            prev = r.arrival;
+        }
+        let mean = prev as f64 / s.len() as f64;
+        assert!((320.0..480.0).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for key in 0..1_000u64 {
+            let s4 = shard_of(key, 4);
+            assert!(s4 < 4);
+            assert_eq!(s4, shard_of(key, 4));
+            assert_eq!(shard_of(key, 1), 0);
+        }
+        // All shards get some keys.
+        let mut seen = [false; 4];
+        for key in 0..64u64 {
+            seen[shard_of(key, 4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn kv_payload_matches_ycsb_encoding() {
+        let s = kv_stream(YcsbWorkload::A, 10, 32, 100, 9);
+        for r in &s {
+            assert_eq!(r.payload.len(), 8);
+            let word = u64::from_le_bytes(r.payload[..8].try_into().unwrap());
+            assert_eq!(word & !(1 << 63), r.key);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Log-bucketed latency histogram: fixed memory, O(1) record, bounded
+//! relative error — the in-repo stand-in for HdrHistogram.
+//!
+//! Values 0–7 get exact buckets; every power-of-two octave above that is
+//! split into 8 sub-buckets, so any recorded value lands in a bucket
+//! whose width is at most 1/8 of its magnitude (≤ 12.5% relative error
+//! on reported percentiles, always rounding *up* to the bucket's upper
+//! edge so tail percentiles are never under-reported).
+
+/// Sub-buckets per octave (and the exact-bucket threshold).
+const SUB: u64 = 8;
+const SUB_SHIFT: u32 = 3;
+/// Exact buckets `0..SUB`, then `SUB` buckets for each msb in `3..=63`.
+const NBUCKETS: usize = SUB as usize * 62;
+
+/// Index of the bucket holding `v`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let sub = ((v >> (msb - SUB_SHIFT)) & (SUB - 1)) as usize;
+        SUB as usize + (msb - SUB_SHIFT) as usize * SUB as usize + sub
+    }
+}
+
+/// Upper edge (inclusive) of bucket `idx` — the value percentiles report.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB as usize {
+        return idx as u64;
+    }
+    let octave = (idx - SUB as usize) / SUB as usize;
+    let sub = ((idx - SUB as usize) % SUB as usize) as u64;
+    let msb = octave as u32 + SUB_SHIFT;
+    let width = 1u64 << (msb - SUB_SHIFT);
+    (1u64 << msb) + sub * width + (width - 1)
+}
+
+/// A mergeable log-bucketed histogram of `u64` samples (cycle counts).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LatencyHistogram {
+    buckets: Box<[u64; NBUCKETS]>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram { buckets: Box::new([0; NBUCKETS]), count: 0, sum: 0, max: 0 }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean of the recorded samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact maximum recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q ∈ [0, 1]` (upper edge of the covering
+    /// bucket; the exact max for `q = 1`). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Never report past the true maximum.
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover_u64() {
+        let mut prev = 0;
+        for i in 0..NBUCKETS {
+            let u = bucket_upper(i);
+            assert!(i == 0 || u > prev, "bucket {i} upper {u} <= {prev}");
+            prev = u;
+        }
+        for v in [0u64, 1, 7, 8, 9, 255, 256, 1 << 20, u64::MAX - 1, u64::MAX] {
+            let idx = bucket_of(v);
+            assert!(idx < NBUCKETS, "{v} -> {idx}");
+            assert!(bucket_upper(idx) >= v, "{v} above its bucket edge");
+            if idx > 0 {
+                assert!(bucket_upper(idx - 1) < v, "{v} below its bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for v in (1u64..10_000).step_by(7).chain((1u64..60).map(|s| 1 << (s % 60))) {
+            let upper = bucket_upper(bucket_of(v));
+            assert!(upper >= v);
+            assert!(upper as f64 <= v as f64 * 1.125 + 1.0, "v={v} upper={upper}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert!((4_500..=5_700).contains(&p50), "p50 {p50}");
+        assert!((9_700..=10_000).contains(&p99), "p99 {p99}");
+        assert_eq!(h.quantile(1.0), 10_000);
+        assert!((h.mean() - 5_000.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut all = LatencyHistogram::new();
+        for v in 0..1000u64 {
+            if v % 3 == 0 {
+                a.record(v * 17);
+            } else {
+                b.record(v * 17);
+            }
+            all.record(v * 17);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

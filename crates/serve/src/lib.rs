@@ -1,0 +1,397 @@
+//! # elzar-serve
+//!
+//! A sharded, resident-VM request-serving runtime for the ELZAR
+//! reproduction — the serving-scenario counterpart of the batch
+//! harnesses: instead of one `run_program` per figure cell, it keeps N
+//! hardened VM shards *resident* and pushes an open-loop request stream
+//! through them, measuring throughput and tail latency under sustained
+//! load while ELZAR's detection/correction accounting runs *online*.
+//!
+//! Pipeline:
+//!
+//! 1. [`gen`] produces a deterministic request stream (YCSB A/D key
+//!    distributions, or the web server's 64-byte request lines) with a
+//!    virtual-cycle arrival schedule, and routes each request to its
+//!    owning shard by key hash;
+//! 2. every shard boots one resident hardened VM ([`elzar_vm::Machine`]
+//!    with segmented memory: the preloaded state persists, requests
+//!    re-enter a per-request entry point with snapshot-cheap clones for
+//!    fault twins and crash recovery);
+//! 3. shards drain on their own OS threads — workers pull shard ids
+//!    from a shared counter, so any worker count yields bit-identical
+//!    results — under a bounded per-shard queue enforced in virtual
+//!    time;
+//! 4. an online fault-injection schedule flips destination-register
+//!    bits mid-service and classifies every hit per Table I
+//!    (Masked / ElzarCorrected / Sdc / Crashed-with-restart-from-
+//!    snapshot), turning the batch campaign taxonomy into an
+//!    availability / SDC-rate-under-load metric;
+//! 5. the [`ServeReport`] aggregates per-shard throughput, a
+//!    log-bucketed latency histogram (p50/p90/p99/p999), outcome
+//!    counts and the final resident-table digest.
+//!
+//! Determinism contract: everything in the report — outcome counts,
+//! latency histogram, digests, cycle totals — is a pure function of
+//! `(service, mode, scale, ServeConfig)`. Worker count only changes
+//! wall-clock time; shard count changes latency/throughput (that is the
+//! point) but never fault outcome counts or the table digest, because
+//! the fault schedule keys on global request ids and each shard commits
+//! only reference executions (see [`shard`] for the full argument).
+//!
+//! ```
+//! use elzar::Mode;
+//! use elzar_apps::Scale;
+//! use elzar_serve::{serve, Service, ServeConfig};
+//!
+//! let cfg = ServeConfig { requests: 40, shards: 2, ..Default::default() };
+//! let report = serve(Service::Web, &Mode::elzar_default(), Scale::Tiny, &cfg);
+//! assert_eq!(report.served, 40);
+//! assert!(report.quantile_cycles(0.99) >= report.quantile_cycles(0.50));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod histogram;
+pub mod shard;
+
+use elzar::Mode;
+use elzar_apps::ycsb::YcsbWorkload;
+use elzar_apps::{kv, web, Scale, ServeApp, FREQ_HZ};
+use elzar_fault::Outcome;
+use elzar_vm::{MachineConfig, Program};
+use gen::{shard_of, Request};
+use histogram::LatencyHistogram;
+use shard::{drain_shard, ShardOutput, ShardStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Serving-runtime parameters.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Resident VM shards.
+    pub shards: u32,
+    /// Host OS threads draining shards (never changes results).
+    pub workers: u32,
+    /// Bounded per-shard queue: requests arriving with this many
+    /// earlier requests still in flight are rejected.
+    pub queue_capacity: usize,
+    /// Mean inter-arrival gap of the open-loop generator, in cycles.
+    pub mean_gap_cycles: u64,
+    /// Requests in the stream.
+    pub requests: u64,
+    /// Seed for the stream and the online fault schedule.
+    pub seed: u64,
+    /// Per-request SEU probability in parts per million (0 = off).
+    pub fault_rate_ppm: u32,
+    /// Virtual-cycle penalty for a shard restart from snapshot.
+    pub restart_cycles: u64,
+    /// Hang budget multiple for faulty executions (see `elzar_fault`).
+    pub hang_factor: u64,
+    /// Base machine configuration for shard VMs.
+    pub machine: MachineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            shards: 4,
+            workers: std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(4),
+            queue_capacity: 4096,
+            mean_gap_cycles: 2_000,
+            requests: 1_000,
+            seed: 0x5E12_AE5E,
+            fault_rate_ppm: 0,
+            // Crash detection + swapping in the pre-request snapshot
+            // (usage-proportional, a few MB): ~25 us at 2 GHz.
+            restart_cycles: 50_000,
+            hang_factor: 20,
+            machine: MachineConfig { step_limit: 10_000_000_000, ..MachineConfig::default() },
+        }
+    }
+}
+
+/// The serving workloads (§VI shapes, re-cast as request streams).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Service {
+    /// Mini-memcached under YCSB A (50/50, Zipf keys).
+    KvA,
+    /// Mini-memcached under YCSB D (95/5, latest-skewed keys).
+    KvD,
+    /// Mini-Apache static page serving.
+    Web,
+}
+
+impl Service {
+    /// All services.
+    pub fn all() -> [Service; 3] {
+        [Service::KvA, Service::KvD, Service::Web]
+    }
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Service::KvA => "memcached-A",
+            Service::KvD => "memcached-D",
+            Service::Web => "apache",
+        }
+    }
+
+    /// Build the service's serving-form app.
+    pub fn app(self, scale: Scale) -> ServeApp {
+        match self {
+            Service::KvA | Service::KvD => kv::build_serve(scale),
+            Service::Web => web::build_serve(scale),
+        }
+    }
+
+    /// Generate the service's request stream.
+    pub fn stream(self, app: &ServeApp, cfg: &ServeConfig) -> Vec<Request> {
+        match self {
+            Service::KvA => {
+                gen::kv_stream(YcsbWorkload::A, cfg.requests, app.n_keys, cfg.mean_gap_cycles, cfg.seed)
+            }
+            Service::KvD => {
+                gen::kv_stream(YcsbWorkload::D, cfg.requests, app.n_keys, cfg.mean_gap_cycles, cfg.seed)
+            }
+            Service::Web => gen::web_stream(cfg.requests, app.request_bytes, cfg.mean_gap_cycles, cfg.seed),
+        }
+    }
+}
+
+/// Aggregate serving result.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Per-shard statistics, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// Merged request-latency histogram (cycles).
+    pub hist: LatencyHistogram,
+    /// Requests served across all shards.
+    pub served: u64,
+    /// Requests rejected by bounded queues.
+    pub rejected: u64,
+    /// Requests that took an injected fault.
+    pub injected: u64,
+    /// Outcome counts for injected requests, Table-I order.
+    pub outcomes: [u64; 5],
+    /// Shard restarts (crashed/hung requests).
+    pub restarts: u64,
+    /// Virtual cycles spent in snapshot restores.
+    pub downtime_cycles: u64,
+    /// Virtual time from 0 to the last completion.
+    pub makespan_cycles: u64,
+    /// FNV-1a digest of the final resident tables — each key read from
+    /// its *owning* shard, folded in global key order — so the value is
+    /// comparable across shard counts. `FNV_OFFSET` when stateless.
+    pub table_digest: u64,
+}
+
+impl ServeReport {
+    /// Count for one Table-I outcome among injected requests.
+    pub fn count(&self, o: Outcome) -> u64 {
+        self.outcomes[o.index()]
+    }
+
+    /// Aggregate throughput in requests per simulated second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            0.0
+        } else {
+            self.served as f64 * FREQ_HZ / self.makespan_cycles as f64
+        }
+    }
+
+    /// Latency quantile in cycles.
+    pub fn quantile_cycles(&self, q: f64) -> u64 {
+        self.hist.quantile(q)
+    }
+
+    /// Latency quantile in microseconds of simulated time.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.hist.quantile(q) as f64 / FREQ_HZ * 1e6
+    }
+
+    /// Fraction of the makespan *not* lost to crash restarts, summed
+    /// over shards (1.0 with no restarts).
+    pub fn availability(&self) -> f64 {
+        let span = self.makespan_cycles.saturating_mul(self.shards.len().max(1) as u64);
+        if span == 0 {
+            1.0
+        } else {
+            1.0 - self.downtime_cycles as f64 / span as f64
+        }
+    }
+
+    /// Observed SDC rate under load: silently corrupted replies over
+    /// served requests.
+    pub fn sdc_rate(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.count(Outcome::Sdc) as f64 / self.served as f64
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+
+fn fnv_fold(h: u64, word: u64) -> u64 {
+    let mut h = h;
+    for b in word.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Build `service` under `mode` at `scale`, generate its stream, and
+/// serve it to completion.
+pub fn serve(service: Service, mode: &Mode, scale: Scale, cfg: &ServeConfig) -> ServeReport {
+    let app = service.app(scale);
+    let prog = elzar::build(&app.module, mode);
+    let stream = service.stream(&app, cfg);
+    serve_stream(&prog, &app, &stream, cfg)
+}
+
+/// Serve an explicit stream on an already-built program: route by key
+/// hash, drain every shard (workers pull shard ids from a shared
+/// counter), merge shard results in shard order.
+pub fn serve_stream(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &ServeConfig) -> ServeReport {
+    let shards = cfg.shards.max(1);
+    let mut routed: Vec<Vec<&Request>> = (0..shards).map(|_| Vec::new()).collect();
+    for r in stream {
+        routed[shard_of(r.key, shards) as usize].push(r);
+    }
+
+    let workers = (cfg.workers.max(1) as usize).min(shards as usize);
+    let next = AtomicUsize::new(0);
+    let tagged: Vec<(usize, ShardOutput)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let routed = &routed;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let s = next.fetch_add(1, Ordering::Relaxed);
+                        if s >= routed.len() {
+                            return local;
+                        }
+                        let out = drain_shard(prog, app, s as u32, shards, &routed[s], cfg);
+                        local.push((s, out));
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("shard worker panicked")).collect()
+    });
+    let mut outputs: Vec<Option<ShardOutput>> = (0..shards).map(|_| None).collect();
+    for (s, o) in tagged {
+        outputs[s] = Some(o);
+    }
+
+    let mut report = ServeReport {
+        shards: Vec::with_capacity(shards as usize),
+        hist: LatencyHistogram::new(),
+        served: 0,
+        rejected: 0,
+        injected: 0,
+        outcomes: [0; 5],
+        restarts: 0,
+        downtime_cycles: 0,
+        makespan_cycles: 0,
+        table_digest: FNV_OFFSET,
+    };
+    let mut table: Vec<(u64, u64)> = Vec::new();
+    for out in outputs.into_iter().map(|o| o.expect("every shard drained")) {
+        report.hist.merge(&out.stats.hist);
+        report.served += out.stats.served;
+        report.rejected += out.stats.rejected;
+        report.injected += out.stats.injected;
+        for (a, b) in report.outcomes.iter_mut().zip(out.stats.outcomes) {
+            *a += b;
+        }
+        report.restarts += out.stats.restarts;
+        report.downtime_cycles += out.stats.downtime_cycles;
+        report.makespan_cycles = report.makespan_cycles.max(out.stats.last_completion);
+        table.extend(out.table.iter().copied());
+        report.shards.push(out.stats);
+    }
+    // Global key order makes the digest independent of the partition.
+    table.sort_unstable_by_key(|&(k, _)| k);
+    for (k, v) in table {
+        report.table_digest = fnv_fold(fnv_fold(report.table_digest, k), v);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ServeConfig {
+        ServeConfig { requests: 60, shards: 2, workers: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn web_service_serves_every_request() {
+        let r = serve(Service::Web, &Mode::elzar_default(), Scale::Tiny, &tiny_cfg());
+        assert_eq!(r.served + r.rejected, 60);
+        assert_eq!(r.rejected, 0, "default queue capacity must not reject at this rate");
+        assert_eq!(r.injected, 0, "faults are off by default");
+        assert!(r.makespan_cycles > 0);
+        assert!(r.throughput_rps() > 0.0);
+        assert_eq!(r.hist.count(), r.served);
+        assert!(r.availability() == 1.0);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_under_overload() {
+        // Near-zero inter-arrival gap + a 2-deep queue on one shard
+        // must shed most of the stream.
+        let cfg = ServeConfig {
+            requests: 80,
+            shards: 1,
+            queue_capacity: 2,
+            mean_gap_cycles: 1,
+            ..Default::default()
+        };
+        let r = serve(Service::Web, &Mode::elzar_default(), Scale::Tiny, &cfg);
+        assert!(r.rejected > 40, "only {} rejected", r.rejected);
+        assert_eq!(r.served + r.rejected, 80);
+    }
+
+    #[test]
+    fn online_faults_are_classified_and_accounted() {
+        let cfg = ServeConfig {
+            requests: 80,
+            shards: 2,
+            fault_rate_ppm: 400_000, // 40%: plenty of hits in 80 requests
+            ..Default::default()
+        };
+        let r = serve(Service::KvA, &Mode::elzar_default(), Scale::Tiny, &cfg);
+        assert!(r.injected > 10, "only {} injections", r.injected);
+        assert_eq!(r.outcomes.iter().sum::<u64>(), r.injected);
+        assert_eq!(
+            r.restarts,
+            r.count(Outcome::Hang) + r.count(Outcome::OsDetected),
+            "every crash/hang restarts its shard"
+        );
+        if r.restarts > 0 {
+            assert!(r.availability() < 1.0);
+        }
+    }
+
+    #[test]
+    fn kv_digest_reflects_committed_updates() {
+        let base = ServeConfig { requests: 50, shards: 1, ..Default::default() };
+        let with_updates = serve(Service::KvA, &Mode::elzar_default(), Scale::Tiny, &base);
+        // A read-heavy stream over the same seed leaves different table
+        // state than the 50/50 stream.
+        let reads = serve(Service::KvD, &Mode::elzar_default(), Scale::Tiny, &base);
+        assert_ne!(with_updates.table_digest, reads.table_digest);
+        // Same config twice: bit-identical.
+        let again = serve(Service::KvA, &Mode::elzar_default(), Scale::Tiny, &base);
+        assert_eq!(with_updates.table_digest, again.table_digest);
+        assert_eq!(with_updates.outcomes, again.outcomes);
+        assert_eq!(with_updates.hist, again.hist);
+    }
+}

@@ -1,0 +1,206 @@
+//! One serving shard: a resident hardened VM drained serially in
+//! arrival order, with snapshot-based recovery and per-request online
+//! fault accounting.
+//!
+//! ## Execution model
+//!
+//! A shard boots once (`init_entry` preloads resident state — e.g. the
+//! KV table — into the machine's memory), then serves each routed
+//! request as one [`Machine::reenter`] + run. Time is *virtual*: the
+//! VM's cycle counts drive a serial FIFO queue model, so results are
+//! independent of host threads and wall-clock.
+//!
+//! ## Bounded queue (admission control)
+//!
+//! The per-shard queue bound is enforced in virtual time: a request
+//! arriving while `queue_capacity` earlier requests are still in flight
+//! is rejected (never executed). Host-side, the shard's pending
+//! requests are a pre-routed slice drained in arrival order — which is
+//! exactly what makes the bound deterministic.
+//!
+//! ## Online fault accounting (reference-committed)
+//!
+//! A deterministic per-request schedule (a pure function of the
+//! campaign seed and the request id — never of shard count, queueing or
+//! host threads) picks which requests take a single-event upset. For
+//! such a request the shard snapshots its pre-request state (a cheap,
+//! usage-proportional [`Machine`] clone), runs the request *clean* to
+//! obtain the per-request golden reference, then replays the snapshot
+//! under the fault through [`elzar_fault::inject_one`] — the same
+//! single-run injector the batch campaign uses. Classification follows
+//! Table I; a crashed/hung outcome restarts the shard from the
+//! pre-request snapshot and replays the request (the SEU is transient),
+//! charging the wasted cycles plus a restart penalty to the request's
+//! latency. The *committed* state is always the reference execution's,
+//! so the resident state evolves as a pure function of the committed
+//! request sequence — this is what makes outcome counts and final table
+//! digests bit-identical across shard and worker counts.
+
+use crate::gen::{shard_of, Request};
+use crate::histogram::LatencyHistogram;
+use crate::ServeConfig;
+use elzar_apps::{kv, ServeApp};
+use elzar_fault::{inject_one, GoldenRun, OutcomeClass};
+use elzar_rng::{splitmix64, DetRng};
+use elzar_vm::{Machine, Program, RunOutcome};
+use std::collections::VecDeque;
+
+/// Per-shard serving statistics.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: u32,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests rejected by the bounded queue (never executed).
+    pub rejected: u64,
+    /// Requests that took an injected fault.
+    pub injected: u64,
+    /// Outcome counts for injected requests, Table-I order
+    /// ([`elzar_fault::Outcome::all`]).
+    pub outcomes: [u64; 5],
+    /// Shard restarts from snapshot (crashed/hung requests).
+    pub restarts: u64,
+    /// Virtual cycles spent restoring snapshots after crashes.
+    pub downtime_cycles: u64,
+    /// Virtual cycles the shard spent executing requests.
+    pub busy_cycles: u64,
+    /// Completion time of the shard's last request (0 if none).
+    pub last_completion: u64,
+    /// Request latency histogram (arrival → completion, cycles).
+    pub hist: LatencyHistogram,
+}
+
+impl ShardStats {
+    fn new(shard: u32) -> ShardStats {
+        ShardStats {
+            shard,
+            served: 0,
+            rejected: 0,
+            injected: 0,
+            outcomes: [0; 5],
+            restarts: 0,
+            downtime_cycles: 0,
+            busy_cycles: 0,
+            last_completion: 0,
+            hist: LatencyHistogram::new(),
+        }
+    }
+}
+
+/// A drained shard: stats plus the final values of the keys it owns
+/// (empty for stateless services).
+pub(crate) struct ShardOutput {
+    pub stats: ShardStats,
+    pub table: Vec<(u64, u64)>,
+}
+
+/// Fault schedule: whether request `id` takes an SEU, and if so the RNG
+/// that samples its injection point. Depends only on `(seed, id)`.
+fn fault_rng_for(cfg: &ServeConfig, id: u64) -> Option<DetRng> {
+    let mut s = cfg.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut rng = DetRng::seed_from_u64(splitmix64(&mut s));
+    (rng.below(1_000_000) < u64::from(cfg.fault_rate_ppm)).then_some(rng)
+}
+
+/// Boot shard `shard` and drain its routed `requests` in arrival order.
+pub(crate) fn drain_shard(
+    prog: &Program,
+    app: &ServeApp,
+    shard: u32,
+    shards: u32,
+    requests: &[&Request],
+    cfg: &ServeConfig,
+) -> ShardOutput {
+    let mut mc = cfg.machine;
+    mc.fault = None;
+    let mut m = Machine::start(prog, app.init_entry, &[], mc);
+    let boot = m.run_to_completion();
+    assert!(matches!(boot, RunOutcome::Exited(_)), "shard init must exit cleanly, got {boot:?}");
+
+    let mut stats = ShardStats::new(shard);
+    // Completion times of accepted-but-unfinished requests at the next
+    // arrival instant (the virtual-time queue).
+    let mut inflight: VecDeque<u64> = VecDeque::new();
+    let mut clock = 0u64;
+    for req in requests {
+        while inflight.front().is_some_and(|&c| c <= req.arrival) {
+            inflight.pop_front();
+        }
+        if inflight.len() >= cfg.queue_capacity {
+            stats.rejected += 1;
+            continue;
+        }
+
+        // Snapshot before touching the machine iff this request is
+        // scheduled to take a fault (the clean run below mutates the
+        // resident state).
+        let fault = fault_rng_for(cfg, req.id);
+        let snapshot = fault.is_some().then(|| m.clone());
+
+        // Reference execution — this is what commits.
+        m.reenter(app.request_entry, &req.payload);
+        let outcome = m.run_to_completion();
+        assert!(
+            matches!(outcome, RunOutcome::Exited(_)),
+            "fault-free request {} must exit cleanly, got {outcome:?}",
+            req.id
+        );
+        let clean = m.result(outcome);
+
+        let mut service = clean.cycles.max(1);
+        if let (Some(mut rng), Some(snap)) = (fault, snapshot) {
+            // Degenerate requests that retire no eligible instruction
+            // (nothing to corrupt) let the schedule slot pass unfired.
+            if clean.eligible > 0 {
+                let index = rng.range_inclusive(1, clean.eligible);
+                let bit = rng.below(256) as u32;
+                let golden = GoldenRun {
+                    output: clean.output.clone(),
+                    outcome: clean.outcome,
+                    eligible: clean.eligible,
+                    steps: clean.steps,
+                    cycles: clean.cycles,
+                };
+                let mut twin = snap;
+                twin.reenter(app.request_entry, &req.payload);
+                let (o, faulty) = inject_one(twin, &golden, index, bit, cfg.hang_factor);
+                stats.injected += 1;
+                stats.outcomes[o.index()] += 1;
+                service = match o.class() {
+                    // Detected crash/hang: restore the pre-request
+                    // snapshot and replay (the SEU does not recur); the
+                    // client waits out the whole detour.
+                    OutcomeClass::Crashed => {
+                        stats.restarts += 1;
+                        stats.downtime_cycles += cfg.restart_cycles;
+                        faulty.cycles.max(1) + cfg.restart_cycles + clean.cycles.max(1)
+                    }
+                    // Masked / corrected / SDC: the faulty execution is
+                    // what production ran.
+                    _ => faulty.cycles.max(1),
+                };
+            }
+        }
+
+        let start = clock.max(req.arrival);
+        let completion = start + service;
+        clock = completion;
+        inflight.push_back(completion);
+        stats.hist.record(completion - req.arrival);
+        stats.busy_cycles += service;
+        stats.served += 1;
+        stats.last_completion = completion;
+    }
+
+    // Final resident-table values for the keys this shard owns.
+    let mut table = Vec::new();
+    if app.table_base != 0 {
+        for k in 0..app.n_keys {
+            if shard_of(k, shards) == shard {
+                table.push((k, kv::serve_lookup(m.memory(), app.table_base, k).unwrap_or(0)));
+            }
+        }
+    }
+    ShardOutput { stats, table }
+}

@@ -1,0 +1,96 @@
+//! Differential determinism tests for the serving runtime, extending
+//! PR 1's campaign guarantee to the serving layer:
+//!
+//! * host *worker* count changes nothing at all (full report equality);
+//! * *shard* count changes latency/throughput but never the online
+//!   fault outcome counts or the final KV-table digest — shards commit
+//!   only reference executions and the fault schedule keys on global
+//!   request ids, so the resident state is a pure function of the
+//!   committed request sequence per key.
+
+use elzar::Mode;
+use elzar_apps::Scale;
+use elzar_serve::{serve, ServeConfig, Service};
+
+fn cfg(shards: u32, workers: u32) -> ServeConfig {
+    ServeConfig {
+        shards,
+        workers,
+        requests: 220,
+        seed: 0xD5EE_D001,
+        fault_rate_ppm: 120_000, // ~12%: a few dozen online injections
+        // Large enough that the overloaded 1-shard config still
+        // rejects nothing — rejections are load-dependent and would
+        // legitimately differ across shard counts.
+        queue_capacity: 1 << 20,
+        mean_gap_cycles: 1_500,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn worker_count_never_changes_anything() {
+    for service in [Service::KvA, Service::Web] {
+        let a = serve(service, &Mode::elzar_default(), Scale::Tiny, &cfg(4, 1));
+        let b = serve(service, &Mode::elzar_default(), Scale::Tiny, &cfg(4, 4));
+        assert_eq!(a.served, b.served, "{}", service.label());
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.injected, b.injected);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.restarts, b.restarts);
+        assert_eq!(a.makespan_cycles, b.makespan_cycles);
+        assert_eq!(a.hist, b.hist, "{}: latency histogram diverged", service.label());
+        assert_eq!(a.table_digest, b.table_digest);
+        for (sa, sb) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(sa.busy_cycles, sb.busy_cycles);
+            assert_eq!(sa.last_completion, sb.last_completion);
+        }
+    }
+}
+
+#[test]
+fn shard_count_preserves_outcomes_and_table_digest() {
+    let one = serve(Service::KvA, &Mode::elzar_default(), Scale::Tiny, &cfg(1, 4));
+    let four = serve(Service::KvA, &Mode::elzar_default(), Scale::Tiny, &cfg(4, 4));
+    assert_eq!(one.served, four.served, "large queue: nothing rejected in either config");
+    assert_eq!(one.rejected, 0);
+    assert_eq!(four.rejected, 0);
+    assert_eq!(one.injected, four.injected, "fault schedule keys on request ids");
+    assert_eq!(one.outcomes, four.outcomes, "Table-I outcome counts must be shard-count invariant");
+    assert_eq!(one.restarts, four.restarts);
+    assert_eq!(
+        one.table_digest, four.table_digest,
+        "final KV state must be bit-identical across shard counts"
+    );
+    // Sanity: the campaign actually exercised the interesting paths.
+    assert!(one.injected > 10, "only {} injections", one.injected);
+    assert!(one.outcomes.iter().sum::<u64>() == one.injected, "every injection classified exactly once");
+    // Sharding must actually help under this offered load.
+    assert!(
+        four.makespan_cycles < one.makespan_cycles,
+        "4 shards should finish earlier: {} vs {}",
+        four.makespan_cycles,
+        one.makespan_cycles
+    );
+}
+
+#[test]
+fn elzar_mode_corrects_online_where_native_corrupts() {
+    use elzar_fault::Outcome;
+    let c = cfg(2, 4);
+    let hardened = serve(Service::KvA, &Mode::elzar_default(), Scale::Tiny, &c);
+    assert!(hardened.count(Outcome::ElzarCorrected) > 0, "online recovery must fire under a 12% fault rate");
+    let native = serve(Service::KvA, &Mode::NativeNoSimd, Scale::Tiny, &c);
+    assert_eq!(
+        native.injected, hardened.injected,
+        "the fault schedule keys on request ids, not on the build mode"
+    );
+    assert_eq!(native.count(Outcome::ElzarCorrected), 0, "native cannot correct");
+    assert!(
+        native.count(Outcome::Sdc) > hardened.count(Outcome::Sdc),
+        "native SDCs {} should exceed hardened {}",
+        native.count(Outcome::Sdc),
+        hardened.count(Outcome::Sdc)
+    );
+    assert!(hardened.sdc_rate() < 0.02, "hardened SDC rate {}", hardened.sdc_rate());
+}

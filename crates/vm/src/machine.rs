@@ -414,6 +414,51 @@ impl<'p> Machine<'p> {
         m
     }
 
+    /// Re-enter a *resident* machine for a fresh invocation of `entry`,
+    /// retaining memory (globals, heap, previously written bytes) and
+    /// the warmed shared L3, but starting an otherwise clean run:
+    /// threads, stacks, locks, output, per-run counters (steps,
+    /// eligible, corrections, heartbeats) and any installed fault plan
+    /// are reset, `input` replaces the input segment, and `entry` is
+    /// spawned as a new main thread at cycle 0.
+    ///
+    /// This is the request-granular reset the serving runtime uses: a
+    /// shard machine preloads its state once (e.g. a KV table), then
+    /// serves each request as one `reenter` + run, so per-request
+    /// cycles/eligible counts are measured from the request's own start.
+    ///
+    /// # Panics
+    /// Panics if `entry` does not exist in the program or `input` does
+    /// not fit in the input segment.
+    pub fn reenter(&mut self, entry: &str, input: &[u8]) {
+        let entry_idx =
+            self.prog.func_by_name(entry).unwrap_or_else(|| panic!("entry function `{entry}` not found"));
+        self.mem.set_input(input);
+        // Fresh stacks: a new invocation must read zeros where a fresh
+        // machine would, not the previous invocation's frames.
+        self.mem.reset_stacks();
+        self.input_len = input.len() as u64;
+        self.threads.clear();
+        self.locks = LockTable::default();
+        // Stale atomic serialization points carry release cycles from
+        // the previous invocation's clock domain; the new run starts at
+        // cycle 0, so they must not stall it.
+        self.atomics = AtomicTable::new();
+        self.output.clear();
+        self.corrections = 0;
+        self.eligible = 0;
+        self.steps = 0;
+        self.heartbeats = 0;
+        self.cfg.fault = None;
+        self.spawn(entry_idx, 0, 0).expect("spawning the entry thread cannot fail");
+    }
+
+    /// The machine's memory (e.g. to digest resident state between
+    /// [`Machine::reenter`] invocations).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
     /// Execute one scheduler round: wake joiners, give every ready
     /// thread one quantum, then check for exit/deadlock. Returns
     /// `Some(outcome)` when the program is finished, `None` while it is
@@ -483,8 +528,10 @@ impl<'p> Machine<'p> {
         self.cfg.step_limit = limit;
     }
 
-    /// Consume the machine, producing the aggregate result.
-    pub fn finish(self, outcome: RunOutcome) -> RunResult {
+    /// Aggregate result of the current invocation *without* consuming
+    /// the machine (the output bytes are cloned). A resident machine
+    /// uses this between [`Machine::reenter`] calls.
+    pub fn result(&self, outcome: RunOutcome) -> RunResult {
         let mut counters = Counters::default();
         let mut cycles = 0;
         let mut thread_cycles = vec![];
@@ -496,7 +543,7 @@ impl<'p> Machine<'p> {
         counters.corrections = self.corrections;
         RunResult {
             outcome,
-            output: self.output,
+            output: self.output.clone(),
             cycles,
             counters,
             corrections: self.corrections,
@@ -505,6 +552,15 @@ impl<'p> Machine<'p> {
             thread_cycles,
             heartbeats: self.heartbeats,
         }
+    }
+
+    /// Consume the machine, producing the aggregate result.
+    pub fn finish(mut self, outcome: RunOutcome) -> RunResult {
+        // Move the output out first so `result` clones an empty vec.
+        let output = std::mem::take(&mut self.output);
+        let mut r = self.result(outcome);
+        r.output = output;
+        r
     }
 
     fn step_quantum(&mut self, t: usize) -> Result<(), Trap> {
@@ -1804,6 +1860,108 @@ mod tests {
         m.add_func(b.finish());
         let r = run(&m, "main");
         assert_eq!(r.outcome, RunOutcome::Exited(0));
+    }
+
+    #[test]
+    fn reenter_retains_memory_and_resets_run_state() {
+        // `bump` increments a global counter and outputs the new value:
+        // a resident machine must see the counter persist across
+        // reenters while per-run counters restart from zero.
+        let mut m = Module::new("t");
+        let ctr = crate::memory::GLOBAL_BASE as i64;
+        let _ = m.alloc_global(8);
+        let mut b = FuncBuilder::new("bump", vec![], Ty::I64);
+        let v = b.load(Ty::I64, c64(ctr));
+        let v2 = b.add(v, c64(1));
+        b.store(Ty::I64, v2, c64(ctr));
+        b.call_builtin(Builtin::OutputI64, vec![v2.into()], Ty::Void);
+        b.ret(c64(0));
+        m.add_func(b.finish());
+        let p = Program::lower(&m);
+        let mut mach = Machine::start(&p, "bump", &[], MachineConfig::default());
+        let o1 = mach.run_to_completion();
+        let r1 = mach.result(o1);
+        mach.reenter("bump", &[]);
+        let o2 = mach.run_to_completion();
+        let r2 = mach.result(o2);
+        assert_eq!(r1.output, 1u64.to_le_bytes());
+        assert_eq!(r2.output, 2u64.to_le_bytes(), "global state must survive reenter");
+        assert_eq!(r1.steps, r2.steps, "per-run step count restarts at zero");
+        assert_eq!(r1.eligible, r2.eligible);
+    }
+
+    #[test]
+    fn reenter_replaces_input_and_zeroes_stale_tail() {
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let p = b.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        // Echo a fixed 8-byte window so a shorter second input exposes
+        // any stale tail bytes.
+        b.call_builtin(Builtin::Output, vec![p.into(), c64(8)], Ty::Void);
+        b.ret(c64(0));
+        m.add_func(b.finish());
+        let prog = Program::lower(&m);
+        let mut mach = Machine::start(&prog, "main", b"ABCDEFGH", MachineConfig::default());
+        let o1 = mach.run_to_completion();
+        assert_eq!(mach.result(o1).output, b"ABCDEFGH");
+        mach.reenter("main", b"xy");
+        let o2 = mach.run_to_completion();
+        assert_eq!(mach.result(o2).output, b"xy\0\0\0\0\0\0");
+    }
+
+    #[test]
+    fn reenter_gives_fresh_zeroed_stacks() {
+        // `dirty` fills an alloca with garbage; `probe` allocas the same
+        // amount and reads before writing. On a reentered machine the
+        // probe must see zeros, exactly like a fresh machine would —
+        // otherwise execution would depend on invocation history.
+        let mut m = Module::new("t");
+        let mut d = FuncBuilder::new("dirty", vec![], Ty::I64);
+        let buf = d.alloca(Ty::I64, c64(8));
+        d.counted_loop(c64(0), c64(8), |b, i| {
+            let p = b.gep(buf, i, 8);
+            b.store(Ty::I64, c64(-1), p);
+        });
+        d.ret(c64(0));
+        m.add_func(d.finish());
+        let mut pr = FuncBuilder::new("probe", vec![], Ty::I64);
+        let buf = pr.alloca(Ty::I64, c64(8));
+        let p7 = pr.gep(buf, c64(7), 8);
+        let v = pr.load(Ty::I64, p7);
+        pr.ret(v);
+        m.add_func(pr.finish());
+        let prog = Program::lower(&m);
+        let mut mach = Machine::start(&prog, "dirty", &[], MachineConfig::default());
+        assert_eq!(mach.run_to_completion(), RunOutcome::Exited(0));
+        mach.reenter("probe", &[]);
+        assert_eq!(mach.run_to_completion(), RunOutcome::Exited(0), "stale stack bytes leaked");
+    }
+
+    #[test]
+    fn reenter_matches_fresh_start_when_memory_untouched() {
+        // A request that only reads its input behaves bit-identically on
+        // a reentered machine and a fresh one (warm L3 may change cycle
+        // counts, but outputs/steps/eligible must agree).
+        let mut m = Module::new("t");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let p = b.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let v = b.load(Ty::I64, p);
+        let d = b.mul(v, c64(3));
+        b.call_builtin(Builtin::OutputI64, vec![d.into()], Ty::Void);
+        b.ret(c64(0));
+        m.add_func(b.finish());
+        let prog = Program::lower(&m);
+        let inp = 1234u64.to_le_bytes();
+        let fresh = run_program(&prog, "main", &inp, MachineConfig::default());
+        let mut mach = Machine::start(&prog, "main", &[0u8; 8], MachineConfig::default());
+        let _ = mach.run_to_completion();
+        mach.reenter("main", &inp);
+        let o = mach.run_to_completion();
+        let re = mach.result(o);
+        assert_eq!(re.outcome, fresh.outcome);
+        assert_eq!(re.output, fresh.output);
+        assert_eq!(re.steps, fresh.steps);
+        assert_eq!(re.eligible, fresh.eligible);
     }
 
     #[test]

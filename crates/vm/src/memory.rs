@@ -143,6 +143,35 @@ impl Memory {
         self.size
     }
 
+    /// Drop all materialized per-thread stacks, so they read as zero
+    /// again. Used by [`crate::Machine::reenter`]: stacks are
+    /// per-invocation scratch, and letting a new entry observe the
+    /// previous invocation's stack bytes would make execution depend on
+    /// which requests ran on the machine before — exactly the history
+    /// dependence the serving runtime's determinism contract excludes.
+    pub fn reset_stacks(&mut self) {
+        for s in &mut self.stacks {
+            *s = None;
+        }
+    }
+
+    /// Replace the input image in place: write `input` at
+    /// [`INPUT_BASE`] and zero whatever tail of the previous image
+    /// extends past it — exactly what overwriting a flat memory would
+    /// leave behind. Used by [`crate::Machine::reenter`] to feed a
+    /// resident VM its next request without rebuilding memory.
+    ///
+    /// # Panics
+    /// Panics if `input` does not fit in the input segment.
+    pub fn set_input(&mut self, input: &[u8]) {
+        assert!(INPUT_BASE + input.len() as u64 <= HEAP_BASE, "input too large");
+        if self.input.len() < input.len() {
+            self.input.resize(input.len(), 0);
+        }
+        self.input[..input.len()].copy_from_slice(input);
+        self.input[input.len()..].fill(0);
+    }
+
     /// Initial stack pointer for thread `tid` (stacks grow down).
     pub fn stack_top(&self, tid: u32) -> u64 {
         self.size - u64::from(tid) * STACK_SIZE

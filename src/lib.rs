@@ -14,5 +14,6 @@ pub use elzar_cpu;
 pub use elzar_fault;
 pub use elzar_ir;
 pub use elzar_passes;
+pub use elzar_serve;
 pub use elzar_vm;
 pub use elzar_workloads;

@@ -157,3 +157,30 @@ fn whole_pipeline_is_deterministic() {
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.counters.instrs, b.counters.instrs);
 }
+
+/// Serving mode end-to-end: a sharded resident-VM run serves the whole
+/// stream, scales with shards, and accounts online faults coherently.
+#[test]
+fn serving_mode_scales_and_accounts_faults() {
+    use elzar_suite::elzar_serve::{serve, ServeConfig, Service};
+    let mk = |shards: u32| ServeConfig {
+        shards,
+        requests: 120,
+        mean_gap_cycles: 200, // saturating: the queue is the bottleneck
+        fault_rate_ppm: 100_000,
+        ..Default::default()
+    };
+    let one = serve(Service::KvA, &Mode::elzar_default(), Scale::Tiny, &mk(1));
+    let four = serve(Service::KvA, &Mode::elzar_default(), Scale::Tiny, &mk(4));
+    assert_eq!(one.served + one.rejected, 120);
+    assert_eq!(one.injected, four.injected);
+    assert_eq!(one.outcomes, four.outcomes);
+    assert_eq!(one.table_digest, four.table_digest);
+    assert!(
+        four.throughput_rps() > one.throughput_rps() * 1.5,
+        "sharding must raise saturated throughput: {:.0} -> {:.0}",
+        one.throughput_rps(),
+        four.throughput_rps()
+    );
+    assert!(four.quantile_cycles(0.5) <= one.quantile_cycles(0.5));
+}
