@@ -11,7 +11,7 @@ use crate::{AppParams, BuiltApp, ServeApp};
 use elzar_ir::builder::{c64, FuncBuilder};
 use elzar_ir::{BinOp, Builtin, CmpPred, Const, Module, Operand, Ty};
 use elzar_vm::{Memory, GLOBAL_BASE};
-use elzar_workloads::common::{chunk_bounds, fork_join_main};
+use elzar_workloads::common::{chunk_bounds, emit_thread_count, fork_join_main, MAX_WORKLOAD_THREADS};
 use elzar_workloads::Scale;
 
 const BUCKETS: i64 = 4096;
@@ -75,16 +75,17 @@ pub fn build(p: &AppParams) -> BuiltApp {
     let table = GLOBAL_BASE + m.alloc_global((BUCKETS * SLOTS * ENTRY) as usize) as u64;
     let locks = GLOBAL_BASE + m.alloc_global((BUCKETS * 8) as usize) as u64;
     let misses = GLOBAL_BASE + m.alloc_global(8) as u64;
-    let acc_slots = GLOBAL_BASE + m.alloc_global(8 * p.threads as usize) as u64;
+    let acc_slots = GLOBAL_BASE + m.alloc_global(8 * MAX_WORKLOAD_THREADS as usize) as u64;
 
     // Shared op-processing routine: worker(tid).
     let mut wk = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
     let tid = wk.param(0);
+    let nt = emit_thread_count(&mut wk);
     let inp = wk.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
     let acc = wk.alloca(Ty::I64, c64(1));
     wk.store(Ty::I64, c64(0), acc);
     let found = wk.alloca(Ty::I64, c64(1));
-    let (start, end) = chunk_bounds(&mut wk, tid, n_ops as i64, p.threads);
+    let (start, end) = chunk_bounds(&mut wk, tid, n_ops as i64, nt);
     wk.counted_loop(start, end, |b, i| {
         let pw = b.gep(inp, i, 8);
         let word = b.load(Ty::I64, pw);
@@ -155,21 +156,24 @@ pub fn build(p: &AppParams) -> BuiltApp {
     wk.ret(c64(0));
     let wid = m.add_func(wk.finish());
 
-    let threads = p.threads;
     fork_join_main(
         &mut m,
         wid,
-        threads,
         move |b| emit_preload(b, table, n_keys),
         move |b, _| {
             // Merge per-thread read sums in tid order + miss count.
-            let mut total: Operand = c64(0);
-            for t in 0..threads {
-                let pa = b.gep(cptr(acc_slots + u64::from(t) * 8), c64(0), 8);
+            let nt = emit_thread_count(b);
+            let total = b.alloca(Ty::I64, c64(1));
+            b.store(Ty::I64, c64(0), total);
+            b.counted_loop(c64(0), nt, |b, t| {
+                let pa = b.gep(cptr(acc_slots), t, 8);
                 let v = b.load(Ty::I64, pa);
-                total = b.add(total, v).into();
-            }
-            b.call_builtin(Builtin::OutputI64, vec![total], Ty::Void);
+                let a = b.load(Ty::I64, total);
+                let a2 = b.add(a, v);
+                b.store(Ty::I64, a2, total);
+            });
+            let tv = b.load(Ty::I64, total);
+            b.call_builtin(Builtin::OutputI64, vec![tv.into()], Ty::Void);
             let mi = b.load(Ty::I64, cptr(misses));
             b.call_builtin(Builtin::OutputI64, vec![mi.into()], Ty::Void);
             b.ret(c64(0));

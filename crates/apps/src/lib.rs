@@ -25,14 +25,14 @@ pub mod common_rng {
 }
 
 use elzar_ir::Module;
-pub use elzar_workloads::{Params as WorkloadParams, Scale};
+pub use elzar_workloads::Scale;
 pub use ycsb::{YcsbOp, YcsbWorkload, Zipf};
 
-/// Case-study build parameters.
+/// Case-study build parameters. App modules are thread-count-agnostic:
+/// the server worker count comes from `MachineConfig::threads` at run
+/// time, so one built app serves a whole thread sweep.
 #[derive(Clone, Copy, Debug)]
 pub struct AppParams {
-    /// Server worker threads.
-    pub threads: u32,
     /// Problem size.
     pub scale: Scale,
     /// YCSB workload (ignored by the web server).
@@ -41,8 +41,8 @@ pub struct AppParams {
 
 impl AppParams {
     /// Convenience constructor.
-    pub fn new(threads: u32, scale: Scale, workload: YcsbWorkload) -> AppParams {
-        AppParams { threads, scale, workload }
+    pub fn new(scale: Scale, workload: YcsbWorkload) -> AppParams {
+        AppParams { scale, workload }
     }
 }
 
@@ -136,14 +136,18 @@ mod tests {
     use elzar_vm::{MachineConfig, RunOutcome};
 
     fn cfg() -> MachineConfig {
-        MachineConfig { step_limit: 3_000_000_000, ..MachineConfig::default() }
+        cfg_t(2)
+    }
+
+    fn cfg_t(threads: u32) -> MachineConfig {
+        MachineConfig { step_limit: 3_000_000_000, threads, ..MachineConfig::default() }
     }
 
     #[test]
     fn apps_run_and_agree_across_modes() {
         for app in App::all() {
             for w in [YcsbWorkload::A, YcsbWorkload::D] {
-                let built = app.build(&AppParams::new(2, Scale::Tiny, w));
+                let built = app.build(&AppParams::new(Scale::Tiny, w));
                 let native = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg());
                 assert!(
                     matches!(native.outcome, RunOutcome::Exited(_)),
@@ -162,32 +166,29 @@ mod tests {
     #[test]
     fn apps_are_thread_count_invariant() {
         for app in App::all() {
-            let b1 = app.build(&AppParams::new(1, Scale::Tiny, YcsbWorkload::A));
-            let b3 = app.build(&AppParams::new(3, Scale::Tiny, YcsbWorkload::A));
-            let r1 = execute(&b1.module, &Mode::NativeNoSimd, &b1.input, cfg());
-            let r3 = execute(&b3.module, &Mode::NativeNoSimd, &b3.input, cfg());
+            // One build, different runtime worker counts.
+            let built = app.build(&AppParams::new(Scale::Tiny, YcsbWorkload::A));
+            let r1 = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg_t(1));
+            let r3 = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg_t(3));
             assert_eq!(r1.output, r3.output, "{}: thread count changed results", app.name());
         }
     }
 
     #[test]
     fn memcached_scales_sqlite_does_not() {
-        let p1 = AppParams::new(1, Scale::Small, YcsbWorkload::A);
-        let p4 = AppParams::new(4, Scale::Small, YcsbWorkload::A);
-        let mc1 = App::Memcached.build(&p1);
-        let mc4 = App::Memcached.build(&p4);
-        let r1 = execute(&mc1.module, &Mode::NativeNoSimd, &mc1.input, cfg());
-        let r4 = execute(&mc4.module, &Mode::NativeNoSimd, &mc4.input, cfg());
-        let t1 = throughput(mc1.ops, r1.cycles);
-        let t4 = throughput(mc4.ops, r4.cycles);
+        let p = AppParams::new(Scale::Small, YcsbWorkload::A);
+        let mc = App::Memcached.build(&p);
+        let r1 = execute(&mc.module, &Mode::NativeNoSimd, &mc.input, cfg_t(1));
+        let r4 = execute(&mc.module, &Mode::NativeNoSimd, &mc.input, cfg_t(4));
+        let t1 = throughput(mc.ops, r1.cycles);
+        let t4 = throughput(mc.ops, r4.cycles);
         assert!(t4 > t1 * 1.8, "memcached should scale: {t1:.0} -> {t4:.0} ops/s");
 
-        let db1 = App::Sqlite.build(&p1);
-        let db4 = App::Sqlite.build(&p4);
-        let s1 = execute(&db1.module, &Mode::NativeNoSimd, &db1.input, cfg());
-        let s4 = execute(&db4.module, &Mode::NativeNoSimd, &db4.input, cfg());
-        let u1 = throughput(db1.ops, s1.cycles);
-        let u4 = throughput(db4.ops, s4.cycles);
+        let db = App::Sqlite.build(&p);
+        let s1 = execute(&db.module, &Mode::NativeNoSimd, &db.input, cfg_t(1));
+        let s4 = execute(&db.module, &Mode::NativeNoSimd, &db.input, cfg_t(4));
+        let u1 = throughput(db.ops, s1.cycles);
+        let u4 = throughput(db.ops, s4.cycles);
         assert!(u4 < u1 * 1.3, "sqlite must not scale (global lock): {u1:.0} -> {u4:.0} ops/s");
     }
 
@@ -235,7 +236,7 @@ mod tests {
 
     #[test]
     fn elzar_hits_sqlite_hardest_and_apache_least() {
-        let p = AppParams::new(2, Scale::Small, YcsbWorkload::A);
+        let p = AppParams::new(Scale::Small, YcsbWorkload::A);
         let mut rel = std::collections::HashMap::new();
         for app in App::all() {
             let built = app.build(&p);

@@ -11,7 +11,9 @@ use crate::{AppParams, BuiltApp, ServeApp};
 use elzar_ir::builder::{c64, FuncBuilder};
 use elzar_ir::{BinOp, Builtin, Const, Module, Operand, Ty, ValueId};
 use elzar_vm::GLOBAL_BASE;
-use elzar_workloads::common::{chunk_bounds, fork_join_main, gen_bytes};
+use elzar_workloads::common::{
+    chunk_bounds, emit_thread_count, fork_join_main, gen_bytes, MAX_WORKLOAD_THREADS,
+};
 use elzar_workloads::Scale;
 
 const REQ_BYTES: i64 = 64;
@@ -20,9 +22,9 @@ fn cptr(addr: u64) -> Operand {
     Operand::Imm(Const::Ptr(addr))
 }
 
-/// Host-side mirror of [`emit_parse`]: FNV-1a over the 16-byte
-/// method/path prefix. The serving runtime routes web requests by this
-/// hash, so it must stay bit-identical to the IR loop below.
+/// Host-side mirror of the emitted request parse: FNV-1a over the
+/// 16-byte method/path prefix. The serving runtime routes web requests
+/// by this hash, so it must stay bit-identical to the IR loop below.
 pub fn parse_hash(req: &[u8]) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     for &b in req.iter().take(16) {
@@ -71,16 +73,17 @@ pub fn build(p: &AppParams) -> BuiltApp {
     let n_req: usize = p.scale.pick(100, 600, 3_000);
     let mut m = Module::new("apache");
     let page = GLOBAL_BASE + m.add_global_data(&gen_bytes(0xAB, page_bytes as usize)) as u64;
-    let hash_slots = GLOBAL_BASE + m.alloc_global(8 * p.threads as usize) as u64;
+    let hash_slots = GLOBAL_BASE + m.alloc_global(8 * MAX_WORKLOAD_THREADS as usize) as u64;
 
     let mut wk = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
     let tid = wk.param(0);
+    let nt = emit_thread_count(&mut wk);
     let inp = wk.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
     // Per-thread response buffer.
     let resp = wk.call_builtin(Builtin::Malloc, vec![c64(page_bytes)], Ty::Ptr).unwrap();
     let hacc = wk.alloca(Ty::I64, c64(1));
     wk.store(Ty::I64, c64(0), hacc);
-    let (start, end) = chunk_bounds(&mut wk, tid, n_req as i64, p.threads);
+    let (start, end) = chunk_bounds(&mut wk, tid, n_req as i64, nt);
     wk.counted_loop(start, end, |b, r| {
         // Parse the request line (hardened application code).
         let roff = b.mul(r, c64(REQ_BYTES));
@@ -99,20 +102,23 @@ pub fn build(p: &AppParams) -> BuiltApp {
     wk.ret(c64(0));
     let wid = m.add_func(wk.finish());
 
-    let threads = p.threads;
     fork_join_main(
         &mut m,
         wid,
-        threads,
         |_b| {},
         move |b, _| {
-            let mut total: Operand = c64(0);
-            for t in 0..threads {
-                let pa = b.gep(cptr(hash_slots + u64::from(t) * 8), c64(0), 8);
+            let nt = emit_thread_count(b);
+            let total = b.alloca(Ty::I64, c64(1));
+            b.store(Ty::I64, c64(0), total);
+            b.counted_loop(c64(0), nt, |b, t| {
+                let pa = b.gep(cptr(hash_slots), t, 8);
                 let v = b.load(Ty::I64, pa);
-                total = b.add(total, v).into();
-            }
-            b.call_builtin(Builtin::OutputI64, vec![total], Ty::Void);
+                let a = b.load(Ty::I64, total);
+                let a2 = b.add(a, v);
+                b.store(Ty::I64, a2, total);
+            });
+            let tv = b.load(Ty::I64, total);
+            b.call_builtin(Builtin::OutputI64, vec![tv.into()], Ty::Void);
             b.ret(c64(0));
         },
     );

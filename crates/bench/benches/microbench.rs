@@ -7,13 +7,13 @@
 //! exceed a minimum measurement window, and reported as ns/op. Run
 //! with `cargo bench -p elzar-bench`.
 
-use elzar::{build, prepare, Mode};
+use elzar::{Artifact, Mode};
 use elzar_avx::{LaneWidth, Ymm};
 use elzar_cpu::{CoreCaches, SharedL3};
 use elzar_ir::builder::{c64, FuncBuilder};
 use elzar_ir::{Module, Ty};
-use elzar_vm::{run_program, MachineConfig};
-use elzar_workloads::{by_name, Params, Scale};
+use elzar_vm::MachineConfig;
+use elzar_workloads::{by_name, Scale};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -83,23 +83,19 @@ fn bench_cache() {
 
 fn bench_passes() {
     let m = kernel();
-    bench("passes/prepare_elzar", || prepare(&m, &Mode::elzar_default()));
-    bench("passes/prepare_swiftr", || prepare(&m, &Mode::SwiftR));
+    bench("passes/prepare_elzar", || elzar::prepare(&m, &Mode::elzar_default()));
+    bench("passes/prepare_swiftr", || elzar::prepare(&m, &Mode::SwiftR));
 }
 
 fn bench_interp() {
     for mode in [Mode::NativeNoSimd, Mode::elzar_default(), Mode::SwiftR] {
-        let prog = build(&kernel(), &mode);
-        bench(&format!("interp/kernel_{}", mode.label()), || {
-            run_program(&prog, "main", &[], MachineConfig::default())
-        });
+        let artifact = Artifact::build(&kernel(), &mode);
+        bench(&format!("interp/kernel_{}", mode.label()), || artifact.run(&[], MachineConfig::default()));
     }
     let w = by_name("histogram").expect("known");
-    let built = w.build(&Params::new(1, Scale::Tiny));
-    let prog = build(&built.module, &Mode::elzar_default());
-    bench("interp/histogram_tiny_elzar", || {
-        run_program(&prog, "main", &built.input, MachineConfig::default())
-    });
+    let built = w.build(Scale::Tiny);
+    let artifact = Artifact::build(&built.module, &Mode::elzar_default());
+    bench("interp/histogram_tiny_elzar", || artifact.run(&built.input, MachineConfig::default()));
 }
 
 fn main() {

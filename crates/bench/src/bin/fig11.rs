@@ -1,21 +1,37 @@
 //! Figure 11: ELZAR's normalized runtime w.r.t. native across thread
 //! counts (the paper's headline 4.1–5.6× average).
 //!
-//! Every (workload, simulated-thread-count) cell is an independent
-//! pair of full interpretations, so the cells are fanned out over
+//! Artifact-centric sweep: every `(workload, mode)` is transformed and
+//! lowered exactly once (asserted via `elzar::build_count`), because
+//! workload modules take the simulated worker count from
+//! `MachineConfig::threads` at run time. The per-cell measurements are
+//! independent full interpretations, fanned out over
 //! `ELZAR_CAMPAIGN_THREADS` host workers and printed in order — the
 //! numbers are identical to the serial sweep, only faster.
 
-use elzar::{normalized_runtime, Mode};
-use elzar_bench::{banner, campaign_workers_from_env, mean, measure, scale_from_env, thread_sweep};
-use elzar_workloads::{all_workloads, by_name, short_name, Params};
+use elzar::{normalized_runtime, ArtifactSet, Mode};
+use elzar_bench::{
+    assert_builds, banner, campaign_workers_from_env, mean, run_artifact, scale_from_env, thread_sweep,
+};
+use elzar_workloads::{all_workloads, by_name, short_name, BuiltWorkload};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn main() {
     banner("Figure 11", "ELZAR normalized runtime vs native, by thread count");
+    let builds_at_start = elzar::build_count();
     let scale = scale_from_env();
     let sweep = thread_sweep();
     let names: Vec<&'static str> = all_workloads().iter().map(|w| w.name()).collect();
+
+    // Build every workload module + input once...
+    let builts: Vec<BuiltWorkload> = all_workloads().iter().map(|w| w.build(scale)).collect();
+    // ...and every (workload, mode) artifact once, shared by all cells.
+    let set = ArtifactSet::new();
+    for (wi, name) in names.iter().enumerate() {
+        for mode in [Mode::Native, Mode::elzar_default()] {
+            set.get_or_build(name, &mode, || builts[wi].module.clone());
+        }
+    }
 
     // One job per (workload, simulated threads) cell; results land in
     // their own slots, so host scheduling never reorders anything.
@@ -30,6 +46,9 @@ fn main() {
                 let next = &next;
                 let jobs = &jobs;
                 let sweep = &sweep;
+                let set = &set;
+                let names = &names;
+                let builts = &builts;
                 scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
@@ -38,11 +57,12 @@ fn main() {
                             return local;
                         }
                         let (wi, k) = jobs[j];
-                        let w = all_workloads().swap_remove(wi);
-                        let built = w.build(&Params::new(sweep[k], scale));
-                        let native = measure(&built.module, &Mode::Native, &built.input);
-                        let elz = measure(&built.module, &Mode::elzar_default(), &built.input);
-                        local.push((j, normalized_runtime(&elz, &native)));
+                        let built = &builts[wi];
+                        let native = set.get_or_build(names[wi], &Mode::Native, || unreachable!());
+                        let elz = set.get_or_build(names[wi], &Mode::elzar_default(), || unreachable!());
+                        let rn = run_artifact(&native, &built.input, sweep[k]);
+                        let re = run_artifact(&elz, &built.input, sweep[k]);
+                        local.push((j, normalized_runtime(&re, &rn)));
                     }
                 })
             })
@@ -74,15 +94,21 @@ fn main() {
     }
     println!();
     // The paper's smatch-na variant: string match against a no-AVX native.
-    let w = by_name("string_match").expect("known");
+    let smatch = by_name("string_match").expect("known");
+    let built = smatch.build(scale);
+    let nosimd = set.get_or_build("string_match", &Mode::NativeNoSimd, || built.module.clone());
+    let elz = set.get_or_build("string_match", &Mode::elzar_default(), || unreachable!());
     print!("{:<12}", "smatch-na");
     for t in &sweep {
-        let built = w.build(&Params::new(*t, scale));
-        let nosimd = measure(&built.module, &Mode::NativeNoSimd, &built.input);
-        let elz = measure(&built.module, &Mode::elzar_default(), &built.input);
-        print!(" {:>7.2}x", normalized_runtime(&elz, &nosimd));
+        let rn = run_artifact(&nosimd, &built.input, *t);
+        let re = run_artifact(&elz, &built.input, *t);
+        print!(" {:>7.2}x", normalized_runtime(&re, &rn));
     }
     println!();
+    println!();
+    // 14 workloads x {native, elzar} + smatch's no-SIMD baseline: the
+    // whole thread sweep lowers each (workload, mode) exactly once.
+    assert_builds(builds_at_start, names.len() as u64 * 2 + 1, "fig11");
     println!();
     println!("Paper shape: mean 4.1-5.6x; mmul lowest (~1.1x); smatch highest");
     println!("(15-20x vs AVX-native, 10-14x vs no-AVX native).");

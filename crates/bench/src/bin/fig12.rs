@@ -1,14 +1,15 @@
 //! Figure 12: overhead breakdown by successively disabling ELZAR's checks
 //! (loads → +stores → +branches → all), at the peak thread count.
 
-use elzar::{normalized_runtime, CheckConfig, Config, Mode};
-use elzar_bench::{banner, max_threads, mean, measure, scale_from_env};
-use elzar_workloads::{all_workloads, short_name, Params};
+use elzar::{normalized_runtime, ArtifactSet, CheckConfig, Config, Mode};
+use elzar_bench::{banner, max_threads, mean, run_artifact, scale_from_env};
+use elzar_workloads::{all_workloads, short_name};
 
 fn main() {
     let t = max_threads();
     banner("Figure 12", "check-cost breakdown (checks disabled cumulatively)");
     let scale = scale_from_env();
+    let set = ArtifactSet::new();
     let configs: Vec<(&str, CheckConfig)> = vec![
         ("all", CheckConfig::all()),
         ("no-loads", CheckConfig { loads: false, ..CheckConfig::all() }),
@@ -23,13 +24,15 @@ fn main() {
     println!("   ({t} threads)");
     let mut cols: Vec<Vec<f64>> = vec![vec![]; configs.len()];
     for w in all_workloads() {
-        let built = w.build(&Params::new(t, scale));
-        let native = measure(&built.module, &Mode::Native, &built.input);
+        let built = w.build(scale);
+        let native = set.get_or_build(w.name(), &Mode::Native, || built.module.clone());
+        let rn = run_artifact(&native, &built.input, t);
         print!("{:<12}", short_name(w.name()));
         for (k, (_, checks)) in configs.iter().enumerate() {
             let mode = Mode::Elzar(Config { checks: *checks, ..Config::default() });
-            let r = measure(&built.module, &mode, &built.input);
-            let o = normalized_runtime(&r, &native);
+            let a = set.get_or_build(w.name(), &mode, || built.module.clone());
+            let r = run_artifact(&a, &built.input, t);
+            let o = normalized_runtime(&r, &rn);
             cols[k].push(o);
             print!(" {:>11.2}x", o);
         }

@@ -1,10 +1,16 @@
 //! Figure 13: fault-injection outcomes for native vs ELZAR builds
 //! (2 threads, smallest inputs — §V-A/§V-C).
+//!
+//! Artifact-centric campaigns: each `(benchmark, version)` is lowered
+//! exactly once (asserted via `elzar::build_count`) and its campaign
+//! classifies against the artifact's *cached* golden run — the
+//! reference execution is computed once per artifact, never per
+//! campaign invocation.
 
-use elzar::{build, Mode};
-use elzar_bench::{banner, campaign_config, campaign_workers_from_env, fi_runs_from_env};
-use elzar_fault::{run_campaign, Outcome, OutcomeClass};
-use elzar_workloads::{by_name, short_name, Params, Scale};
+use elzar::{ArtifactSet, Mode};
+use elzar_bench::{assert_builds, banner, campaign_config, campaign_workers_from_env, fi_runs_from_env};
+use elzar_fault::{Outcome, OutcomeClass};
+use elzar_workloads::{by_name, short_name, Scale};
 
 /// The twelve benchmarks of the paper's Figure 13 (mmul and fluidanimate
 /// were not fault-injected in the paper either).
@@ -23,9 +29,13 @@ const FI_BENCHES: [&str; 12] = [
     "x264",
 ];
 
+/// The paper injected at 2 simulated threads.
+const FI_THREADS: u32 = 2;
+
 fn main() {
     let runs = fi_runs_from_env();
     banner("Figure 13", "fault-injection outcomes, native (N) vs ELZAR (E)");
+    let builds_at_start = elzar::build_count();
     println!(
         "{runs} injections per benchmark and version (paper: 2500, 2 threads), {} campaign workers",
         campaign_workers_from_env()
@@ -34,14 +44,15 @@ fn main() {
         "{:<10} {:>3} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
         "bench", "ver", "hang", "os-det", "corr", "masked", "SDC", "crashed", "correct", "corrupt"
     );
+    let set = ArtifactSet::new();
     let mut sums: std::collections::HashMap<(&str, OutcomeClass), f64> = Default::default();
     for name in FI_BENCHES {
         let w = by_name(name).expect("known benchmark");
-        let built = w.build(&Params::new(2, Scale::Tiny));
+        let built = w.build(Scale::Tiny);
         for (ver, mode) in [("N", Mode::NativeNoSimd), ("E", Mode::elzar_default())] {
-            let prog = build(&built.module, &mode);
-            let cfg = campaign_config(runs, 0xF13 ^ runs as u64);
-            let r = run_campaign(&prog, &built.input, &cfg);
+            let artifact = set.get_or_build(name, &mode, || built.module.clone());
+            let cfg = campaign_config(runs, 0xF13 ^ runs as u64, FI_THREADS);
+            let r = artifact.campaign(&built.input, &cfg);
             println!(
                 "{:<10} {:>3} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% | {:>7.1}% {:>7.1}% {:>7.1}%",
                 short_name(name),
@@ -72,6 +83,8 @@ fn main() {
             sums[&(ver, OutcomeClass::Corrupted)] / n * 100.0,
         );
     }
+    println!();
+    assert_builds(builds_at_start, FI_BENCHES.len() as u64 * 2, "fig13");
     println!();
     println!("Paper shape: ELZAR cuts SDC from ~27% to ~5% and crashes from");
     println!("~18% to ~6%; histogram keeps the worst residual SDC (address");

@@ -1,23 +1,27 @@
 //! Figure 14: ELZAR vs the SWIFT-R instruction-triplication baseline at
 //! the peak thread count, with the per-benchmark delta annotations.
 
-use elzar::{normalized_runtime, Mode};
-use elzar_bench::{banner, max_threads, mean, measure, scale_from_env};
-use elzar_workloads::{all_workloads, short_name, Params};
+use elzar::{normalized_runtime, ArtifactSet, Mode};
+use elzar_bench::{banner, max_threads, mean, run_artifact, scale_from_env};
+use elzar_workloads::{all_workloads, short_name};
 
 fn main() {
     let t = max_threads();
     banner("Figure 14", "ELZAR vs SWIFT-R normalized runtime");
     let scale = scale_from_env();
+    let set = ArtifactSet::new();
     println!("{:<12} {:>10} {:>10} {:>12}   ({t} threads)", "benchmark", "SWIFT-R", "ELZAR", "ELZAR vs SR");
     let (mut es, mut ss) = (vec![], vec![]);
     for w in all_workloads() {
-        let built = w.build(&Params::new(t, scale));
-        let native = measure(&built.module, &Mode::Native, &built.input);
-        let sw = measure(&built.module, &Mode::SwiftR, &built.input);
-        let el = measure(&built.module, &Mode::elzar_default(), &built.input);
-        let os = normalized_runtime(&sw, &native);
-        let oe = normalized_runtime(&el, &native);
+        let built = w.build(scale);
+        let native = set.get_or_build(w.name(), &Mode::Native, || built.module.clone());
+        let swiftr = set.get_or_build(w.name(), &Mode::SwiftR, || built.module.clone());
+        let elzar = set.get_or_build(w.name(), &Mode::elzar_default(), || built.module.clone());
+        let rn = run_artifact(&native, &built.input, t);
+        let sw = run_artifact(&swiftr, &built.input, t);
+        let el = run_artifact(&elzar, &built.input, t);
+        let os = normalized_runtime(&sw, &rn);
+        let oe = normalized_runtime(&el, &rn);
         es.push(oe);
         ss.push(os);
         println!(

@@ -1,14 +1,18 @@
 //! Figure 15: case-study throughput vs thread count, native and ELZAR,
 //! with YCSB workloads A and D for the key-value store and the database.
+//!
+//! Apps are thread-count-agnostic, so each `(app, workload, mode)` is
+//! built once and the whole thread sweep runs on the shared artifact.
 
-use elzar::Mode;
+use elzar::{ArtifactSet, Mode};
 use elzar_apps::{throughput, App, AppParams, YcsbWorkload};
-use elzar_bench::{banner, measure, scale_from_env, thread_sweep};
+use elzar_bench::{banner, run_artifact, scale_from_env, thread_sweep};
 
 fn main() {
     banner("Figure 15", "Memcached / SQLite3 / Apache throughput (ops/s)");
     let scale = scale_from_env();
     let sweep = thread_sweep();
+    let set = ArtifactSet::new();
     for app in App::all() {
         let workloads: &[YcsbWorkload] = match app {
             App::Apache => &[YcsbWorkload::A],
@@ -25,12 +29,14 @@ fn main() {
                 print!(" {:>12}", t);
             }
             println!();
+            let built = app.build(&AppParams::new(scale, *w));
+            let key = format!("{}-{}", app.name(), w.label());
             let mut rows = vec![];
             for mode in [Mode::Native, Mode::elzar_default()] {
+                let artifact = set.get_or_build(&key, &mode, || built.module.clone());
                 let mut row = vec![];
                 for t in &sweep {
-                    let built = app.build(&AppParams::new(*t, scale, *w));
-                    let r = measure(&built.module, &mode, &built.input);
+                    let r = run_artifact(&artifact, &built.input, *t);
                     row.push(throughput(built.ops, r.cycles));
                 }
                 print!("{:<10}", mode.label());

@@ -3,25 +3,27 @@
 //! relative to a dummy-wrapper "decelerated" native build) and the direct
 //! measurement our simulator additionally allows (future-AVX ELZAR).
 
-use elzar::{normalized_runtime, Mode};
-use elzar_bench::{banner, max_threads, mean, measure, scale_from_env};
-use elzar_workloads::{all_workloads, short_name, Params};
+use elzar::{normalized_runtime, ArtifactSet, Mode};
+use elzar_bench::{banner, max_threads, mean, run_artifact, scale_from_env};
+use elzar_workloads::{all_workloads, short_name};
 
 fn main() {
     let t = max_threads();
     banner("Figure 17", "ELZAR with proposed AVX extensions (estimate + direct)");
     let scale = scale_from_env();
+    let set = ArtifactSet::new();
     println!(
         "{:<12} {:>10} {:>14} {:>14}   ({t} threads)",
         "benchmark", "ELZAR", "est. (decel)", "future-AVX"
     );
     let (mut cur, mut est, mut fut) = (vec![], vec![], vec![]);
     for w in all_workloads() {
-        let built = w.build(&Params::new(t, scale));
-        let native = measure(&built.module, &Mode::Native, &built.input);
-        let decel = measure(&built.module, &Mode::DeceleratedNative, &built.input);
-        let elz = measure(&built.module, &Mode::elzar_default(), &built.input);
-        let favx = measure(&built.module, &Mode::elzar_future_avx(), &built.input);
+        let built = w.build(scale);
+        let modes = [Mode::Native, Mode::DeceleratedNative, Mode::elzar_default(), Mode::elzar_future_avx()];
+        let [native, decel, elz, favx] = modes.map(|mode| {
+            let a = set.get_or_build(w.name(), &mode, || built.module.clone());
+            run_artifact(&a, &built.input, t)
+        });
         let oe = normalized_runtime(&elz, &native);
         // Paper methodology: ELZAR over the decelerated native build.
         let oest = elz.cycles as f64 / decel.cycles.max(1) as f64;

@@ -7,8 +7,10 @@
 //! For every service (memcached-A, memcached-D, apache) the stream is
 //! served with 1 and 4 shards at an offered load that saturates both
 //! configurations, so the throughput ratio measures the runtime's
-//! horizontal scaling. A 2% online SEU rate exercises the full Table-I
-//! taxonomy per request: Masked / ElzarCorrected / Sdc /
+//! horizontal scaling. Both shard counts boot from *one* artifact per
+//! service — the hardened program is transformed and lowered exactly
+//! once. A 2% online SEU rate exercises the full Table-I taxonomy per
+//! request: Masked / ElzarCorrected / Sdc /
 //! Crashed-with-shard-restart-from-snapshot.
 //!
 //! Knobs: `ELZAR_SCALE` (service problem size), `ELZAR_SERVE_REQUESTS`
@@ -16,11 +18,11 @@
 //! (per-request SEU probability, default 20000 = 2%),
 //! `ELZAR_CAMPAIGN_THREADS` (host workers; never changes results).
 
-use elzar::Mode;
+use elzar::{ArtifactSet, Mode};
+use elzar_bench::report::{write_report, Json};
 use elzar_bench::{banner, campaign_workers_from_env, scale_from_env};
 use elzar_fault::Outcome;
-use elzar_serve::{serve, ServeConfig, Service};
-use std::fmt::Write as _;
+use elzar_serve::{ServeConfig, Service};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
@@ -32,9 +34,10 @@ fn main() {
     let requests = env_u64("ELZAR_SERVE_REQUESTS", scale.pick(800, 1_600, 6_000));
     let fault_ppm = env_u64("ELZAR_SERVE_FAULT_PPM", 20_000) as u32;
     let workers = campaign_workers_from_env();
+    let set = ArtifactSet::new();
 
-    let mut configs_json = String::new();
-    let mut speedups_json = String::new();
+    let mut configs = Vec::new();
+    let mut speedups = Json::obj();
     println!(
         "{:<12} {:>6} {:>12} {:>9} {:>9} {:>9} {:>9} {:>5} {:>5} {:>5} {:>4} {:>8}",
         "service",
@@ -51,6 +54,10 @@ fn main() {
         "avail"
     );
     for service in Service::all() {
+        // One app + one hardened artifact per service, shared by every
+        // shard-count configuration.
+        let app = service.app(scale);
+        let artifact = set.get_or_build(service.label(), &Mode::elzar_default(), || app.module.clone());
         let mut tput = [0.0f64; 2];
         for (i, &shards) in [1u32, 4].iter().enumerate() {
             let cfg = ServeConfig {
@@ -65,7 +72,7 @@ fn main() {
                 queue_capacity: 1 << 20,
                 ..Default::default()
             };
-            let r = serve(service, &Mode::elzar_default(), scale, &cfg);
+            let r = artifact.serve(service, &app, &cfg);
             tput[i] = r.throughput_rps();
             println!(
                 "{:<12} {:>6} {:>12.0} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>5} {:>5} {:>5} {:>4} {:>8.5}",
@@ -82,49 +89,45 @@ fn main() {
                 r.restarts,
                 r.availability(),
             );
-            let _ = writeln!(
-                configs_json,
-                "    {{\"service\": \"{}\", \"shards\": {}, \"throughput_rps\": {:.0}, \
-                 \"p50_us\": {:.2}, \"p90_us\": {:.2}, \"p99_us\": {:.2}, \"p999_us\": {:.2}, \
-                 \"mean_us\": {:.2}, \"served\": {}, \"rejected\": {}, \"injected\": {}, \
-                 \"outcomes\": {{\"hang\": {}, \"os_detected\": {}, \"elzar_corrected\": {}, \
-                 \"masked\": {}, \"sdc\": {}}}, \"restarts\": {}, \"availability\": {:.6}, \
-                 \"sdc_rate\": {:.6}, \"table_digest\": \"{:#018x}\"}},",
-                service.label(),
-                shards,
-                r.throughput_rps(),
-                r.quantile_us(0.50),
-                r.quantile_us(0.90),
-                r.quantile_us(0.99),
-                r.quantile_us(0.999),
-                r.hist.mean() / elzar_apps::FREQ_HZ * 1e6,
-                r.served,
-                r.rejected,
-                r.injected,
-                r.count(Outcome::Hang),
-                r.count(Outcome::OsDetected),
-                r.count(Outcome::ElzarCorrected),
-                r.count(Outcome::Masked),
-                r.count(Outcome::Sdc),
-                r.restarts,
-                r.availability(),
-                r.sdc_rate(),
-                r.table_digest,
+            configs.push(
+                Json::obj()
+                    .field("service", Json::str(service.label()))
+                    .field("shards", Json::uint(u64::from(shards)))
+                    .field("throughput_rps", Json::num(r.throughput_rps(), 0))
+                    .field("p50_us", Json::num(r.quantile_us(0.50), 2))
+                    .field("p90_us", Json::num(r.quantile_us(0.90), 2))
+                    .field("p99_us", Json::num(r.quantile_us(0.99), 2))
+                    .field("p999_us", Json::num(r.quantile_us(0.999), 2))
+                    .field("mean_us", Json::num(r.hist.mean() / elzar_apps::FREQ_HZ * 1e6, 2))
+                    .field("served", Json::uint(r.served))
+                    .field("rejected", Json::uint(r.rejected))
+                    .field("injected", Json::uint(r.injected))
+                    .field(
+                        "outcomes",
+                        Json::obj()
+                            .field("hang", Json::uint(r.count(Outcome::Hang)))
+                            .field("os_detected", Json::uint(r.count(Outcome::OsDetected)))
+                            .field("elzar_corrected", Json::uint(r.count(Outcome::ElzarCorrected)))
+                            .field("masked", Json::uint(r.count(Outcome::Masked)))
+                            .field("sdc", Json::uint(r.count(Outcome::Sdc))),
+                    )
+                    .field("restarts", Json::uint(r.restarts))
+                    .field("availability", Json::num(r.availability(), 6))
+                    .field("sdc_rate", Json::num(r.sdc_rate(), 6))
+                    .field("table_digest", Json::str(format!("{:#018x}", r.table_digest))),
             );
         }
         let speedup = tput[1] / tput[0].max(1e-9);
         println!("{:<12} 1 -> 4 shards: {speedup:.2}x aggregate throughput", service.label());
-        let _ = writeln!(speedups_json, "    \"{}\": {:.3},", service.label(), speedup);
+        speedups = speedups.field(service.label(), Json::num(speedup, 3));
     }
 
-    let json = format!(
-        "{{\n  \"scale\": \"{:?}\",\n  \"requests\": {requests},\n  \
-         \"fault_rate_ppm\": {fault_ppm},\n  \"configs\": [\n{}  ],\n  \
-         \"speedup_1_to_4\": {{\n{}  }}\n}}\n",
-        scale,
-        configs_json.trim_end_matches(",\n").to_string() + "\n",
-        speedups_json.trim_end_matches(",\n").to_string() + "\n",
-    );
-    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    let json = Json::obj()
+        .field("scale", Json::str(format!("{scale:?}")))
+        .field("requests", Json::uint(requests))
+        .field("fault_rate_ppm", Json::uint(u64::from(fault_ppm)))
+        .field("configs", Json::Arr(configs))
+        .field("speedup_1_to_4", speedups);
+    write_report("BENCH_serve.json", &json);
     println!("\nwrote BENCH_serve.json");
 }

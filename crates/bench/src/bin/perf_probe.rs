@@ -11,12 +11,13 @@
 //! * `campaign_speedup_vs_naive` — same campaign with prefix sharing
 //!   and fan-out disabled, as a ratio.
 
-use elzar::{build, Mode};
+use elzar::{Artifact, Mode};
 use elzar_bench::campaign_workers_from_env;
-use elzar_fault::{run_campaign, CampaignConfig};
+use elzar_bench::report::{write_report, Json};
+use elzar_fault::CampaignConfig;
 use elzar_ir::builder::{c64, FuncBuilder};
 use elzar_ir::{Builtin, Module, Ty};
-use elzar_vm::{run_program, MachineConfig};
+use elzar_vm::MachineConfig;
 use std::time::Instant;
 
 fn kernel(iters: i64) -> Module {
@@ -41,26 +42,24 @@ fn kernel(iters: i64) -> Module {
 
 /// Steps/second interpreting the kernel under `mode`.
 fn interp_rate(mode: &Mode) -> f64 {
-    let prog = build(&kernel(20_000), mode);
+    let artifact = Artifact::build(&kernel(20_000), mode);
     // Warm-up.
-    run_program(&prog, "main", &[], MachineConfig::default());
+    artifact.run(&[], MachineConfig::default());
     let mut steps = 0u64;
     let t0 = Instant::now();
-    let mut reps = 0;
     while t0.elapsed().as_millis() < 500 {
-        steps += run_program(&prog, "main", &[], MachineConfig::default()).steps;
-        reps += 1;
+        steps += artifact.run(&[], MachineConfig::default()).steps;
     }
-    let _ = reps;
     steps as f64 / t0.elapsed().as_secs_f64()
 }
 
-/// Campaign runs/second on the hardened kernel.
-fn campaign_rate(share_prefixes: bool, workers: u32) -> f64 {
-    let prog = build(&kernel(5_000), &Mode::elzar_default());
+/// Campaign runs/second on a shared hardened-kernel artifact. The
+/// golden run comes from the artifact's cache, so successive probes
+/// (fast vs naive) never recompute the reference execution.
+fn campaign_rate(artifact: &Artifact, share_prefixes: bool, workers: u32) -> f64 {
     let cfg = CampaignConfig { runs: 60, seed: 0xBE7C, workers, share_prefixes, ..Default::default() };
     let t0 = Instant::now();
-    let r = run_campaign(&prog, &[], &cfg);
+    let r = artifact.campaign(&[], &cfg);
     r.total() as f64 / t0.elapsed().as_secs_f64()
 }
 
@@ -68,12 +67,19 @@ fn main() {
     let native = interp_rate(&Mode::NativeNoSimd);
     let elzar = interp_rate(&Mode::elzar_default());
     let workers = campaign_workers_from_env();
-    let fast = campaign_rate(true, workers);
-    let naive = campaign_rate(false, 1);
-    let json = format!(
-        "{{\n  \"interp_steps_per_sec_native\": {native:.0},\n  \"interp_steps_per_sec_elzar\": {elzar:.0},\n  \"campaign_workers\": {workers},\n  \"campaign_runs_per_sec\": {fast:.2},\n  \"campaign_runs_per_sec_naive_serial\": {naive:.2},\n  \"campaign_speedup_vs_naive\": {:.2}\n}}\n",
-        fast / naive.max(1e-9)
-    );
-    std::fs::write("BENCH_interp.json", &json).expect("write BENCH_interp.json");
-    print!("{json}");
+    let hardened = Artifact::build(&kernel(5_000), &Mode::elzar_default());
+    // Prime the golden-run cache so both probes time only injection
+    // runs — otherwise the first probe would pay the reference
+    // execution inside its window and bias the speedup ratio.
+    hardened.golden(&[], &CampaignConfig::default().machine);
+    let fast = campaign_rate(&hardened, true, workers);
+    let naive = campaign_rate(&hardened, false, 1);
+    let json = Json::obj()
+        .field("interp_steps_per_sec_native", Json::num(native, 0))
+        .field("interp_steps_per_sec_elzar", Json::num(elzar, 0))
+        .field("campaign_workers", Json::uint(u64::from(workers)))
+        .field("campaign_runs_per_sec", Json::num(fast, 2))
+        .field("campaign_runs_per_sec_naive_serial", Json::num(naive, 2))
+        .field("campaign_speedup_vs_naive", Json::num(fast / naive.max(1e-9), 2));
+    write_report("BENCH_interp.json", &json);
 }

@@ -2,21 +2,23 @@
 //! branch miss ratio, and the load/store/branch fractions of executed
 //! instructions.
 
-use elzar::Mode;
-use elzar_bench::{banner, max_threads, measure, scale_from_env};
-use elzar_workloads::{all_workloads, short_name, Params};
+use elzar::{ArtifactSet, Mode};
+use elzar_bench::{banner, max_threads, run_artifact, scale_from_env};
+use elzar_workloads::{all_workloads, short_name};
 
 fn main() {
     let t = max_threads();
     banner("Table II", "native runtime statistics (percent)");
     let scale = scale_from_env();
+    let set = ArtifactSet::new();
     println!(
         "{:<12} {:>8} {:>8} {:>8} {:>8} {:>9}   ({t} threads)",
         "benchmark", "L1-miss", "br-miss", "loads", "stores", "branches"
     );
     for w in all_workloads() {
-        let built = w.build(&Params::new(t, scale));
-        let r = measure(&built.module, &Mode::Native, &built.input);
+        let built = w.build(scale);
+        let native = set.get_or_build(w.name(), &Mode::Native, || built.module.clone());
+        let r = run_artifact(&native, &built.input, t);
         let k = r.counters;
         let instrs = k.instrs.max(1) as f64;
         println!(

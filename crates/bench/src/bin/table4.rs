@@ -1,16 +1,23 @@
 //! Table IV: the §VII-A microbenchmarks — normalized runtime of the
 //! AVX-wrapped variant of each bottleneck class over its native variant.
+//!
+//! The microbenchmark modules are pre-transformed by construction, so
+//! both variants go through the identity (`NativeNoSimd`) pipeline —
+//! still as artifacts, so lowering and accounting match every other
+//! harness.
 
+use elzar::{Artifact, Mode};
 use elzar_bench::banner;
-use elzar_vm::{run_program, MachineConfig, Program};
+use elzar_vm::MachineConfig;
 use elzar_workloads::micro::{build, Micro};
 
 fn main() {
     banner("Table IV", "AVX-wrapper microbenchmarks (normalized runtime)");
     println!("{:<12} {:>12} {:>12} {:>8}", "class", "native cyc", "AVX cyc", "ratio");
     for m in Micro::all() {
-        let native = run_program(&Program::lower(&build(m, false)), "main", &[], MachineConfig::default());
-        let avx = run_program(&Program::lower(&build(m, true)), "main", &[], MachineConfig::default());
+        let native =
+            Artifact::build(&build(m, false), &Mode::NativeNoSimd).run(&[], MachineConfig::default());
+        let avx = Artifact::build(&build(m, true), &Mode::NativeNoSimd).run(&[], MachineConfig::default());
         println!(
             "{:<12} {:>12} {:>12} {:>7.2}x",
             m.name(),

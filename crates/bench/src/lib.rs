@@ -18,6 +18,13 @@
 //! | `fp_only`| §V-B | FP-only protection overheads |
 //! | `fig_serve` | serving mode | sharded resident-VM throughput/latency + online faults (`BENCH_serve.json`) |
 //!
+//! Every harness pulls its builds from an [`elzar::ArtifactSet`]: a
+//! `(workload, mode)` pair is transformed and lowered exactly once per
+//! process, no matter how many thread counts, seeds or shard counts
+//! consume it (workload modules take the worker count from
+//! [`MachineConfig::threads`] at run time). `fig11` and `fig13` assert
+//! this with [`elzar::build_count`] deltas.
+//!
 //! Environment knobs:
 //!
 //! * `ELZAR_SCALE` = `tiny`/`small`/`large` (default `small`) — problem
@@ -31,14 +38,17 @@
 //!   `fig_serve`'s shard drains). Default: all available cores. `1`
 //!   forces the serial driver; any value produces bit-identical
 //!   results — parallelism only changes wall-clock time;
+//! * `ELZAR_PASSES` = comma-separated pass-pipeline override applied to
+//!   *every* build (ablations; see `elzar_passes::pm`);
 //! * `ELZAR_SERVE_REQUESTS` / `ELZAR_SERVE_FAULT_PPM` = `fig_serve`
 //!   stream length and per-request SEU probability (ppm).
 
 #![warn(missing_docs)]
 
-use elzar::Mode;
+pub mod report;
+
+use elzar::Artifact;
 use elzar_fault::CampaignConfig;
-use elzar_ir::Module;
 use elzar_vm::{MachineConfig, RunResult};
 use elzar_workloads::Scale;
 
@@ -79,26 +89,28 @@ pub fn campaign_workers_from_env() -> u32 {
 }
 
 /// Campaign configuration wired to the environment knobs: `runs` and
-/// `seed` from the caller, machine/workers from `bench_machine()` and
-/// [`campaign_workers_from_env`].
-pub fn campaign_config(runs: u32, seed: u64) -> CampaignConfig {
+/// `seed` from the caller, simulated threads into the machine config,
+/// host workers from [`campaign_workers_from_env`].
+pub fn campaign_config(runs: u32, seed: u64, threads: u32) -> CampaignConfig {
     CampaignConfig {
         runs,
         seed,
         workers: campaign_workers_from_env(),
-        machine: bench_machine(),
+        machine: bench_machine(threads),
         ..Default::default()
     }
 }
 
-/// Machine configuration for benchmark runs (generous step budget).
-pub fn bench_machine() -> MachineConfig {
-    MachineConfig { step_limit: 200_000_000_000, ..MachineConfig::default() }
+/// Machine configuration for benchmark runs: generous step budget,
+/// `threads` simulated workers.
+pub fn bench_machine(threads: u32) -> MachineConfig {
+    MachineConfig { step_limit: 200_000_000_000, threads, ..MachineConfig::default() }
 }
 
-/// Execute one module under a mode.
-pub fn measure(module: &Module, mode: &Mode, input: &[u8]) -> RunResult {
-    elzar::execute(module, mode, input, bench_machine())
+/// Run an artifact's `main` under the bench machine with `threads`
+/// simulated workers.
+pub fn run_artifact(a: &Artifact, input: &[u8], threads: u32) -> RunResult {
+    a.run(input, bench_machine(threads))
 }
 
 /// Print a standard experiment header.
@@ -107,6 +119,18 @@ pub fn banner(id: &str, what: &str) {
     println!("{id}: {what}");
     println!("(scale={:?}, see EXPERIMENTS.md for paper-vs-measured notes)", scale_from_env());
     println!("==============================================================");
+}
+
+/// Report how many artifact builds a harness performed and assert the
+/// expected count — the build-once contract, checked at the end of the
+/// sweeps that used to re-lower per cell.
+///
+/// # Panics
+/// Panics if the delta does not match `expected`.
+pub fn assert_builds(start_count: u64, expected: u64, what: &str) {
+    let got = elzar::build_count() - start_count;
+    assert_eq!(got, expected, "{what}: expected {expected} artifact builds, performed {got}");
+    println!("[build-once] {what}: {got} artifact builds (each (workload, mode) lowered exactly once)");
 }
 
 /// Arithmetic mean.
@@ -135,10 +159,11 @@ mod tests {
 
     #[test]
     fn campaign_config_carries_knobs() {
-        let c = campaign_config(7, 99);
+        let c = campaign_config(7, 99, 2);
         assert_eq!(c.runs, 7);
         assert_eq!(c.seed, 99);
         assert!(c.workers >= 1);
-        assert_eq!(c.machine.step_limit, bench_machine().step_limit);
+        assert_eq!(c.machine.step_limit, bench_machine(2).step_limit);
+        assert_eq!(c.machine.threads, 2);
     }
 }

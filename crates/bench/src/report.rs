@@ -1,0 +1,210 @@
+//! Shared JSON report writer for the `BENCH_*.json` artifacts.
+//!
+//! One builder, one escape path, stable (insertion) key order — the
+//! replacement for the hand-rolled `format!` blocks that `perf_probe`
+//! and `fig_serve` used to carry. Layout conventions match the historic
+//! files so the output stays byte-compatible modulo key order:
+//!
+//! * objects print multi-line with two-space indent steps;
+//! * arrays print one element per line, each element *compact* (single
+//!   line) — the `configs` list shape;
+//! * numbers are pre-formatted by the caller ([`Json::num`] with an
+//!   explicit decimal count, or [`Json::raw`]), so a report decides its
+//!   own precision per field exactly like the old `format!` strings.
+
+use std::fmt::Write as _;
+
+/// A JSON value with insertion-ordered object keys.
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// Pre-formatted literal (numbers, booleans) emitted verbatim.
+    Raw(String),
+    /// String; escaped on write (the one escape path).
+    Str(String),
+    /// Object with stable key order.
+    Obj(Vec<(String, Json)>),
+    /// Array.
+    Arr(Vec<Json>),
+}
+
+impl Json {
+    /// An empty object builder.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// A number with a fixed decimal count (`num(2.5, 2)` → `2.50`).
+    pub fn num(v: f64, decimals: usize) -> Json {
+        Json::Raw(format!("{v:.decimals$}"))
+    }
+
+    /// An unsigned integer.
+    pub fn uint(v: u64) -> Json {
+        Json::Raw(v.to_string())
+    }
+
+    /// A string value.
+    pub fn str(v: impl Into<String>) -> Json {
+        Json::Str(v.into())
+    }
+
+    /// A pre-formatted literal (e.g. a hex digest like `0x0123…`).
+    pub fn raw(v: impl Into<String>) -> Json {
+        Json::Raw(v.into())
+    }
+
+    /// Append a field (objects only; panics otherwise — a builder
+    /// misuse, not a data error).
+    pub fn field(mut self, key: &str, value: Json) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            _ => panic!("field() on non-object"),
+        }
+        self
+    }
+
+    /// Render with the `BENCH_*.json` layout, trailing newline included.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize, compact: bool) {
+        match self {
+            Json::Raw(s) => out.push_str(s),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Obj(fields) => {
+                if compact {
+                    out.push('{');
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        write_escaped(out, k);
+                        out.push_str(": ");
+                        v.write(out, indent, true);
+                    }
+                    out.push('}');
+                } else {
+                    out.push_str("{\n");
+                    for (i, (k, v)) in fields.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(",\n");
+                        }
+                        let _ = write!(out, "{:1$}", "", indent + 2);
+                        write_escaped(out, k);
+                        out.push_str(": ");
+                        v.write(out, indent + 2, false);
+                    }
+                    out.push('\n');
+                    let _ = write!(out, "{:1$}", "", indent);
+                    out.push('}');
+                }
+            }
+            Json::Arr(items) => {
+                if compact {
+                    out.push('[');
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        v.write(out, indent, true);
+                    }
+                    out.push(']');
+                } else {
+                    // One compact element per line — the configs-list shape.
+                    out.push_str("[\n");
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(",\n");
+                        }
+                        let _ = write!(out, "{:1$}", "", indent + 2);
+                        v.write(out, indent + 2, true);
+                    }
+                    out.push('\n');
+                    let _ = write!(out, "{:1$}", "", indent);
+                    out.push(']');
+                }
+            }
+        }
+    }
+}
+
+/// The single string-escape path for every report.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Write a report to `path` and echo it to stdout (what every
+/// `BENCH_*.json` producer does).
+pub fn write_report(path: &str, json: &Json) {
+    let text = json.to_pretty();
+    std::fs::write(path, &text).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    print!("{text}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_order_is_insertion_order() {
+        let j = Json::obj()
+            .field("zebra", Json::uint(1))
+            .field("alpha", Json::uint(2))
+            .field("mid", Json::num(2.5, 2));
+        assert_eq!(j.to_pretty(), "{\n  \"zebra\": 1,\n  \"alpha\": 2,\n  \"mid\": 2.50\n}\n");
+    }
+
+    #[test]
+    fn arrays_put_one_compact_element_per_line() {
+        let j = Json::obj().field(
+            "configs",
+            Json::Arr(vec![
+                Json::obj().field("service", Json::str("web")).field("shards", Json::uint(1)),
+                Json::obj().field("service", Json::str("web")).field("shards", Json::uint(4)),
+            ]),
+        );
+        assert_eq!(
+            j.to_pretty(),
+            "{\n  \"configs\": [\n    {\"service\": \"web\", \"shards\": 1},\n    \
+             {\"service\": \"web\", \"shards\": 4}\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn nested_objects_indent_by_two() {
+        let j = Json::obj()
+            .field("speedup", Json::obj().field("a", Json::num(2.761, 3)).field("b", Json::num(3.0, 3)));
+        assert_eq!(j.to_pretty(), "{\n  \"speedup\": {\n    \"a\": 2.761,\n    \"b\": 3.000\n  }\n}\n");
+    }
+
+    #[test]
+    fn one_escape_path_handles_specials() {
+        let j = Json::obj().field("k\"ey", Json::str("a\\b\n\tc\u{1}"));
+        assert_eq!(j.to_pretty(), "{\n  \"k\\\"ey\": \"a\\\\b\\n\\tc\\u0001\"\n}\n");
+    }
+
+    #[test]
+    fn numbers_keep_caller_precision() {
+        assert_eq!(Json::num(1234.5678, 0).to_pretty(), "1235\n");
+        assert_eq!(Json::num(0.5, 6).to_pretty(), "0.500000\n");
+        assert_eq!(Json::raw("0x00ff").to_pretty(), "0x00ff\n");
+    }
+}

@@ -298,15 +298,35 @@ pub fn sample_plans(seed: u64, eligible: u64, runs: u32) -> Vec<(u64, u32)> {
 /// `workers` only changes wall-clock time — workers pull plan indices
 /// from a shared counter and write outcomes back by index, so serial
 /// (`workers == 1`) and parallel campaigns are bit-identical.
+///
+/// Callers that already hold the reference execution (e.g. a build
+/// artifact's cached golden-run table) should use
+/// [`run_campaign_with_golden`] instead and skip the recomputation.
 pub fn run_campaign(prog: &Program, input: &[u8], cfg: &CampaignConfig) -> CampaignResult {
     let golden = golden_run(prog, input, &cfg.machine);
+    run_campaign_with_golden(prog, input, &golden, cfg)
+}
+
+/// [`run_campaign`] against an already-computed golden run.
+///
+/// `golden` must be the reference execution of exactly `(prog, input,
+/// cfg.machine)` — campaigns classified against a foreign golden run are
+/// meaningless. The campaign itself never re-executes the fault-free
+/// program: injection plans are sampled from `golden.eligible` and every
+/// faulty run is classified against `golden`'s output.
+pub fn run_campaign_with_golden(
+    prog: &Program,
+    input: &[u8],
+    golden: &GoldenRun,
+    cfg: &CampaignConfig,
+) -> CampaignResult {
     let plans = sample_plans(cfg.seed, golden.eligible, cfg.runs);
     let mut result =
         CampaignResult { counts: [0; 5], eligible: golden.eligible, golden_cycles: golden.cycles };
     if plans.is_empty() {
         return result;
     }
-    for o in run_plans(prog, input, &golden, &plans, cfg) {
+    for o in run_plans(prog, input, golden, &plans, cfg) {
         result.record(o);
     }
     result
@@ -513,6 +533,37 @@ mod tests {
         assert_eq!(classify(&g, &mk(RunOutcome::Exited(0), vec![1, 2, 3], 2)), Outcome::ElzarCorrected);
         assert_eq!(classify(&g, &mk(RunOutcome::Exited(0), vec![9, 9, 9], 0)), Outcome::Sdc);
         assert_eq!(classify(&g, &mk(RunOutcome::Exited(7), vec![1, 2, 3], 0)), Outcome::Sdc);
+    }
+
+    #[test]
+    fn empty_campaign_rates_are_zero_not_nan() {
+        // total() == 0 must yield clean 0.0 rates (not NaN) for every
+        // outcome and class — zero-run campaigns happen in smoke tests
+        // and in harnesses that filter plans before running any.
+        let r = CampaignResult::default();
+        assert_eq!(r.total(), 0);
+        for o in Outcome::all() {
+            let v = r.rate(o);
+            assert!(!v.is_nan(), "rate({o}) is NaN");
+            assert_eq!(v, 0.0, "rate({o})");
+        }
+        for c in [OutcomeClass::Crashed, OutcomeClass::Correct, OutcomeClass::Corrupted] {
+            let v = r.class_rate(c);
+            assert!(!v.is_nan(), "class_rate({c:?}) is NaN");
+            assert_eq!(v, 0.0, "class_rate({c:?})");
+        }
+    }
+
+    #[test]
+    fn campaign_with_cached_golden_matches_recomputed() {
+        let prog = build(&kernel(), &Mode::elzar_default());
+        let cfg = CampaignConfig { runs: 30, seed: 11, ..Default::default() };
+        let golden = golden_run(&prog, &[], &cfg.machine);
+        let fresh = run_campaign(&prog, &[], &cfg);
+        let cached = run_campaign_with_golden(&prog, &[], &golden, &cfg);
+        assert_eq!(fresh.counts, cached.counts);
+        assert_eq!(fresh.eligible, cached.eligible);
+        assert_eq!(fresh.golden_cycles, cached.golden_cycles);
     }
 
     #[test]

@@ -300,6 +300,11 @@ pub enum Builtin {
     /// `heartbeat()` — cheap progress marker used by long-running servers
     /// (lets campaigns bound hangs).
     Heartbeat,
+    /// `num_threads() -> i64` — the simulated worker-thread count the
+    /// machine was configured with (`MachineConfig::threads`). Lets one
+    /// lowered program serve a whole thread sweep: workloads spawn
+    /// `num_threads()` workers instead of baking the count into the IR.
+    NumThreads,
 }
 
 impl Builtin {
@@ -330,6 +335,7 @@ impl Builtin {
             Builtin::InputLen => "input_len",
             Builtin::Recover => "recover",
             Builtin::Heartbeat => "heartbeat",
+            Builtin::NumThreads => "num_threads",
         }
     }
 }

@@ -26,7 +26,7 @@ use elzar_ir::value::{BlockId, Const, Operand, ValueId};
 use elzar_ir::{BinOp, CastOp, CmpPred};
 
 /// Which synchronization-instruction sites receive Figure-8 checks.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct CheckConfig {
     /// Check load addresses.
     pub loads: bool,
@@ -57,7 +57,7 @@ impl Default for CheckConfig {
 }
 
 /// The §VII proposed AVX extensions.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct FutureAvx {
     /// Replace extract/load/broadcast and extract/store wrappers with
     /// hardware gather/scatter that majority-vote their address (and
@@ -79,7 +79,7 @@ impl FutureAvx {
 }
 
 /// Full transformation configuration.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct ElzarConfig {
     /// Check-site selection.
     pub checks: CheckConfig,

@@ -10,7 +10,10 @@
 //!   used to build the Figure 1 "native SIMD" baseline;
 //! * [`decelerate`] — the §VII-D dummy-wrapper methodology behind the
 //!   Figure 17 estimate;
-//! * [`dce`] — a small dead-code-elimination hygiene pass.
+//! * [`dce`] — a small dead-code-elimination hygiene pass;
+//! * [`pm`] — the pass manager: every transformation behind one
+//!   [`Pass`] trait, pipelines as data ([`PassDesc`]), per-pass
+//!   verification/timing, and the `ELZAR_PASSES` ablation override.
 //!
 //! ```
 //! use elzar_ir::builder::{c64, FuncBuilder};
@@ -32,9 +35,11 @@
 pub mod dce;
 pub mod decelerate;
 pub mod elzar;
+pub mod pm;
 pub mod swiftr;
 pub mod vectorize;
 
 pub use decelerate::decelerate_module;
 pub use elzar::{CheckConfig, ElzarConfig, FutureAvx};
+pub use pm::{Pass, PassDesc, PassManager, PassStat};
 pub use vectorize::vectorize_module;

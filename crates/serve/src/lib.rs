@@ -32,19 +32,26 @@
 //!
 //! Determinism contract: everything in the report — outcome counts,
 //! latency histogram, digests, cycle totals — is a pure function of
-//! `(service, mode, scale, ServeConfig)`. Worker count only changes
+//! `(program, service, scale, ServeConfig)`. Worker count only changes
 //! wall-clock time; shard count changes latency/throughput (that is the
 //! point) but never fault outcome counts or the table digest, because
 //! the fault schedule keys on global request ids and each shard commits
 //! only reference executions (see [`shard`] for the full argument).
 //!
+//! The runtime consumes an already-lowered [`elzar_vm::Program`] — how
+//! it was hardened is the build pipeline's business (`elzar::Artifact`
+//! wraps this crate behind its `serve` method, sharing one lowered
+//! program between batch runs, fault campaigns and serving).
+//!
 //! ```
-//! use elzar::Mode;
+//! use elzar::{Artifact, Mode};
 //! use elzar_apps::Scale;
-//! use elzar_serve::{serve, Service, ServeConfig};
+//! use elzar_serve::{serve_program, Service, ServeConfig};
 //!
 //! let cfg = ServeConfig { requests: 40, shards: 2, ..Default::default() };
-//! let report = serve(Service::Web, &Mode::elzar_default(), Scale::Tiny, &cfg);
+//! let app = Service::Web.app(Scale::Tiny);
+//! let artifact = Artifact::build(&app.module, &Mode::elzar_default());
+//! let report = serve_program(Service::Web, artifact.program(), &app, &cfg);
 //! assert_eq!(report.served, 40);
 //! assert!(report.quantile_cycles(0.99) >= report.quantile_cycles(0.50));
 //! ```
@@ -55,7 +62,6 @@ pub mod gen;
 pub mod histogram;
 pub mod shard;
 
-use elzar::Mode;
 use elzar_apps::ycsb::YcsbWorkload;
 use elzar_apps::{kv, web, Scale, ServeApp, FREQ_HZ};
 use elzar_fault::Outcome;
@@ -242,13 +248,11 @@ fn fnv_fold(h: u64, word: u64) -> u64 {
     h
 }
 
-/// Build `service` under `mode` at `scale`, generate its stream, and
-/// serve it to completion.
-pub fn serve(service: Service, mode: &Mode, scale: Scale, cfg: &ServeConfig) -> ServeReport {
-    let app = service.app(scale);
-    let prog = elzar::build(&app.module, mode);
-    let stream = service.stream(&app, cfg);
-    serve_stream(&prog, &app, &stream, cfg)
+/// Generate `service`'s request stream and serve it to completion on an
+/// already-built program (the serving half of `elzar::Artifact::serve`).
+pub fn serve_program(service: Service, prog: &Program, app: &ServeApp, cfg: &ServeConfig) -> ServeReport {
+    let stream = service.stream(app, cfg);
+    serve_stream(prog, app, &stream, cfg)
 }
 
 /// Serve an explicit stream on an already-built program: route by key
@@ -330,6 +334,16 @@ mod tests {
     fn tiny_cfg() -> ServeConfig {
         ServeConfig { requests: 60, shards: 2, workers: 2, ..Default::default() }
     }
+
+    /// Build the service's hardened program (via the dev-dependency on
+    /// the build pipeline) and serve its stream.
+    fn serve(service: Service, mode: &elzar::Mode, scale: Scale, cfg: &ServeConfig) -> ServeReport {
+        let app = service.app(scale);
+        let artifact = elzar::Artifact::build(&app.module, mode);
+        serve_program(service, artifact.program(), &app, cfg)
+    }
+
+    use elzar::Mode;
 
     #[test]
     fn web_service_serves_every_request() {

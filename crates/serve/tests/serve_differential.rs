@@ -8,9 +8,18 @@
 //!   request ids, so the resident state is a pure function of the
 //!   committed request sequence per key.
 
-use elzar::Mode;
+use elzar::{Artifact, Mode};
 use elzar_apps::Scale;
-use elzar_serve::{serve, ServeConfig, Service};
+use elzar_serve::{serve_program, ServeConfig, ServeReport, Service};
+
+/// Build the hardened artifact and serve the service's stream on it —
+/// the same `Artifact::build` + `serve_program` composition
+/// `Artifact::serve` performs.
+fn serve(service: Service, mode: &Mode, scale: Scale, cfg: &ServeConfig) -> ServeReport {
+    let app = service.app(scale);
+    let artifact = Artifact::build(&app.module, mode);
+    serve_program(service, artifact.program(), &app, cfg)
+}
 
 fn cfg(shards: u32, workers: u32) -> ServeConfig {
     ServeConfig {

@@ -24,7 +24,7 @@ use elzar_ir::{BinOp, Builtin, CastOp, CmpPred, RmwOp};
 use std::collections::VecDeque;
 
 /// A planned single-event upset.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct FaultPlan {
     /// 1-based index of the eligible dynamic instruction to corrupt.
     pub index: u64,
@@ -33,7 +33,7 @@ pub struct FaultPlan {
 }
 
 /// Which §III-C recovery routine the `recover` builtin runs.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum RecoveryPolicy {
     /// Fast path: compare two low lanes, broadcast lane 0 or the top lane.
     Simple,
@@ -43,12 +43,21 @@ pub enum RecoveryPolicy {
 }
 
 /// Machine configuration.
-#[derive(Clone, Copy, Debug)]
+///
+/// `MachineConfig` is hashable so build artifacts can key cached golden
+/// runs on `(input, MachineConfig)` — every field that changes execution
+/// is part of the key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct MachineConfig {
     /// Process memory size in bytes.
     pub mem_size: u64,
     /// Maximum live threads (main + spawned).
     pub max_threads: u32,
+    /// Simulated worker threads *requested by the program* via the
+    /// `num_threads` builtin. Thread-count-agnostic workloads spawn this
+    /// many workers at runtime, so one lowered program serves a whole
+    /// thread sweep. Clamped to at least 1.
+    pub threads: u32,
     /// Round-robin quantum in instructions.
     pub quantum: u32,
     /// Retired-instruction budget; exceeding it reports a hang.
@@ -64,6 +73,7 @@ impl Default for MachineConfig {
         MachineConfig {
             mem_size: DEFAULT_MEM_SIZE,
             max_threads: 24,
+            threads: 1,
             quantum: 256,
             step_limit: u64::MAX,
             fault: None,
@@ -1303,6 +1313,9 @@ impl<'p> Machine<'p> {
             }
             Builtin::InputPtr => (RtVal::S(INPUT_BASE), core.retire(InstClass::ScalarAlu, &[deps])),
             Builtin::InputLen => (RtVal::S(self.input_len), core.retire(InstClass::ScalarAlu, &[deps])),
+            Builtin::NumThreads => {
+                (RtVal::S(u64::from(self.cfg.threads.max(1))), core.retire(InstClass::ScalarAlu, &[deps]))
+            }
             Builtin::Recover => {
                 let m = metas.first().copied().unwrap_or(VMeta::ptr4());
                 let y = vals[0].v(&m);

@@ -3,7 +3,24 @@
 //! input plumbing.
 
 use elzar_ir::builder::{c64, FuncBuilder};
-use elzar_ir::{Builtin, CmpPred, Module, Operand, Ty, ValueId};
+use elzar_ir::{BinOp, Builtin, CmpPred, Module, Operand, Ty, ValueId};
+
+/// Upper bound on the *runtime* worker-thread count a workload supports.
+/// Per-thread global regions (partial-sum slots etc.) are sized for this
+/// many workers at build time; `emit_thread_count` clamps the machine's
+/// request to it, so larger `MachineConfig::threads` values degrade
+/// gracefully instead of corrupting globals.
+pub const MAX_WORKLOAD_THREADS: u32 = 16;
+
+/// Emit the runtime worker-thread count: `min(num_threads(), MAX)`.
+///
+/// This is the value every thread-count-agnostic workload partitions its
+/// work by; it comes from [`elzar_vm::MachineConfig::threads`] (the
+/// `num_threads` builtin), so one built module serves the whole sweep.
+pub fn emit_thread_count(b: &mut FuncBuilder) -> ValueId {
+    let t = b.call_builtin(Builtin::NumThreads, vec![], Ty::I64).expect("num_threads returns");
+    b.bin(BinOp::SMin, Ty::I64, t, c64(i64::from(MAX_WORKLOAD_THREADS)))
+}
 
 /// Problem-size selector. `Tiny` is for fault-injection campaigns (the
 /// paper used the smallest inputs there, §V-A), `Small` for quick tests,
@@ -29,64 +46,66 @@ impl Scale {
     }
 }
 
-/// Build parameters common to all workloads.
-#[derive(Clone, Copy, Debug)]
-pub struct Params {
-    /// Worker thread count (the paper sweeps 1..16).
-    pub threads: u32,
-    /// Problem size.
-    pub scale: Scale,
-}
-
-impl Params {
-    /// Convenience constructor.
-    pub fn new(threads: u32, scale: Scale) -> Params {
-        Params { threads, scale }
-    }
-}
-
 /// Emit `start = tid * (n / T)`, `end = (tid == T-1) ? n : start + n/T`
-/// for a compile-time `n` and `T`. Returns `(start, end)`.
-pub fn chunk_bounds(b: &mut FuncBuilder, tid: ValueId, n: i64, threads: u32) -> (Operand, Operand) {
-    let t = i64::from(threads);
-    let chunk = n / t;
-    let start = b.mul(tid, c64(chunk));
-    let is_last = b.icmp(CmpPred::Eq, tid, c64(t - 1));
-    let plus = b.add(start, c64(chunk));
+/// for a compile-time `n` and a *runtime* worker count `T` (from
+/// [`emit_thread_count`]). Returns `(start, end)`.
+pub fn chunk_bounds(
+    b: &mut FuncBuilder,
+    tid: ValueId,
+    n: i64,
+    threads: impl Into<Operand>,
+) -> (Operand, Operand) {
+    let t: Operand = threads.into();
+    let chunk = b.bin(BinOp::SDiv, Ty::I64, c64(n), t.clone());
+    let start = b.mul(tid, chunk);
+    let last = b.sub(t, c64(1));
+    let is_last = b.icmp(CmpPred::Eq, tid, last);
+    let plus = b.add(start, chunk);
     let end = b.select(is_last, c64(n), plus);
     (start.into(), end.into())
 }
 
-/// Build the canonical fork/join `main`:
+/// Build the canonical fork/join `main` for a *runtime* worker count:
 ///
 /// 1. `setup(b)` runs first (allocate/etc.);
-/// 2. `threads` workers are spawned running `worker` with their thread id;
-/// 3. after all joins, `finish(b, results_sum)` runs with the sum of the
-///    workers' return values, and must terminate `main` (`ret`).
+/// 2. `T = emit_thread_count()` workers are spawned running `worker`
+///    with their thread id (`0..T`, ascending);
+/// 3. after all joins (in spawn order, so reductions fold in tid order
+///    exactly like the old unrolled skeleton), `finish(b, results_sum)`
+///    runs with the sum of the workers' return values, and must
+///    terminate `main` (`ret`).
 ///
 /// The worker function must already be in the module and take one `i64`
-/// (the tid), returning `i64`.
+/// (the tid), returning `i64`. Because `T` comes from the machine
+/// configuration, the same built module serves every thread count.
 pub fn fork_join_main(
     m: &mut Module,
     worker: elzar_ir::FuncId,
-    threads: u32,
     setup: impl FnOnce(&mut FuncBuilder),
     finish: impl FnOnce(&mut FuncBuilder, ValueId),
 ) {
     let mut b = FuncBuilder::new("main", vec![], Ty::I64);
     setup(&mut b);
-    let mut tids = vec![];
-    for t in 0..threads {
+    let t = emit_thread_count(&mut b);
+    let tids = b.alloca(Ty::I64, c64(i64::from(MAX_WORKLOAD_THREADS)));
+    b.counted_loop(c64(0), t, |b, i| {
         let tid = b
-            .call_builtin(Builtin::Spawn, vec![c64(worker.0 as i64), c64(i64::from(t))], Ty::I64)
+            .call_builtin(Builtin::Spawn, vec![c64(worker.0 as i64), i.into()], Ty::I64)
             .expect("spawn returns");
-        tids.push(tid);
-    }
-    let mut sum = b.add(c64(0), c64(0));
-    for t in tids {
-        let r = b.call_builtin(Builtin::Join, vec![t.into()], Ty::I64).expect("join returns");
-        sum = b.add(sum, r);
-    }
+        let p = b.gep(tids, i, 8);
+        b.store(Ty::I64, tid, p);
+    });
+    let sum_slot = b.alloca(Ty::I64, c64(1));
+    b.store(Ty::I64, c64(0), sum_slot);
+    b.counted_loop(c64(0), t, |b, i| {
+        let p = b.gep(tids, i, 8);
+        let tid = b.load(Ty::I64, p);
+        let r = b.call_builtin(Builtin::Join, vec![tid.into()], Ty::I64).expect("join returns");
+        let s = b.load(Ty::I64, sum_slot);
+        let s2 = b.add(s, r);
+        b.store(Ty::I64, s2, sum_slot);
+    });
+    let sum = b.load(Ty::I64, sum_slot);
     finish(&mut b, sum);
     m.add_func(b.finish());
 }
@@ -146,17 +165,24 @@ mod tests {
         assert_eq!(Scale::Large.pick(1, 2, 3), 3);
     }
 
-    #[test]
-    fn fork_join_sums_worker_results() {
+    fn span_module(n: i64) -> Module {
         let mut m = Module::new("t");
         let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
         let tid = w.param(0);
-        let (start, end) = chunk_bounds(&mut w, tid, 100, 4);
+        let t = emit_thread_count(&mut w);
+        let (start, end) = chunk_bounds(&mut w, tid, n, t);
         let d = w.sub(end, start);
         w.ret(d);
         let wid = m.add_func(w.finish());
-        fork_join_main(&mut m, wid, 4, |_b| {}, |b, sum| b.ret(sum));
-        let r = run_program(&Program::lower(&m), "main", &[], MachineConfig::default());
+        fork_join_main(&mut m, wid, |_b| {}, |b, sum| b.ret(sum));
+        m
+    }
+
+    #[test]
+    fn fork_join_sums_worker_results() {
+        let m = span_module(100);
+        let cfg = MachineConfig { threads: 4, ..MachineConfig::default() };
+        let r = run_program(&Program::lower(&m), "main", &[], cfg);
         // Four chunks of 25 sum to 100.
         assert_eq!(r.outcome, RunOutcome::Exited(100));
         assert_eq!(r.thread_cycles.len(), 5);
@@ -164,16 +190,25 @@ mod tests {
 
     #[test]
     fn chunks_cover_exactly_with_remainder() {
-        let mut m = Module::new("t");
-        let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
-        let tid = w.param(0);
-        let (start, end) = chunk_bounds(&mut w, tid, 103, 4);
-        let d = w.sub(end, start);
-        w.ret(d);
-        let wid = m.add_func(w.finish());
-        fork_join_main(&mut m, wid, 4, |_b| {}, |b, sum| b.ret(sum));
-        let r = run_program(&Program::lower(&m), "main", &[], MachineConfig::default());
+        let m = span_module(103);
+        let cfg = MachineConfig { threads: 4, ..MachineConfig::default() };
+        let r = run_program(&Program::lower(&m), "main", &[], cfg);
         assert_eq!(r.outcome, RunOutcome::Exited(103));
+    }
+
+    #[test]
+    fn one_module_serves_every_thread_count() {
+        // The same lowered program partitions correctly for any
+        // configured worker count, including counts above the clamp.
+        let m = span_module(100);
+        let prog = Program::lower(&m);
+        for threads in [1u32, 2, 3, 8, 16, 64] {
+            let cfg = MachineConfig { threads, ..MachineConfig::default() };
+            let r = run_program(&prog, "main", &[], cfg);
+            assert_eq!(r.outcome, RunOutcome::Exited(100), "threads={threads}");
+            let spawned = threads.min(MAX_WORKLOAD_THREADS) as usize;
+            assert_eq!(r.thread_cycles.len(), spawned + 1, "threads={threads}");
+        }
     }
 
     #[test]

@@ -5,14 +5,19 @@
 //! PARSEC 3.0 kernels, the §VII-A microbenchmarks, and a hardened IR
 //! math library used by the FP-heavy kernels.
 //!
+//! Workload modules are *thread-count-agnostic*: the worker count comes
+//! from [`elzar_vm::MachineConfig::threads`] at run time (via the
+//! `num_threads` builtin), so one build serves a whole thread sweep.
+//!
 //! ```
-//! use elzar_workloads::{by_name, Params, Scale};
+//! use elzar_workloads::{by_name, Scale};
 //! use elzar::{execute, Mode};
 //! use elzar_vm::MachineConfig;
 //!
 //! let hist = by_name("histogram").unwrap();
-//! let built = hist.build(&Params::new(2, Scale::Tiny));
-//! let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, MachineConfig::default());
+//! let built = hist.build(Scale::Tiny);
+//! let cfg = MachineConfig { threads: 2, ..MachineConfig::default() };
+//! let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg);
 //! assert!(matches!(r.outcome, elzar_vm::RunOutcome::Exited(_)));
 //! ```
 
@@ -24,7 +29,7 @@ pub mod micro;
 pub mod parsec;
 pub mod phoenix;
 
-pub use common::{Params, Scale};
+pub use common::{Scale, MAX_WORKLOAD_THREADS};
 use elzar_ir::Module;
 
 /// Which benchmark suite a workload belongs to.
@@ -51,8 +56,10 @@ pub trait Workload: Sync {
     fn name(&self) -> &'static str;
     /// Originating suite.
     fn suite(&self) -> Suite;
-    /// Build the module and input for the given thread count and scale.
-    fn build(&self, p: &Params) -> BuiltWorkload;
+    /// Build the module and input for the given scale. The module is
+    /// thread-count-agnostic: it spawns `MachineConfig::threads` workers
+    /// at run time.
+    fn build(&self, scale: Scale) -> BuiltWorkload;
 }
 
 /// All Phoenix workloads, in the paper's order.
@@ -133,13 +140,11 @@ mod tests {
     #[test]
     fn all_workloads_verify_and_lower() {
         for w in all_workloads() {
-            for threads in [1, 2] {
-                let built = w.build(&Params::new(threads, Scale::Tiny));
-                elzar_ir::verify::verify_module(&built.module)
-                    .unwrap_or_else(|e| panic!("{} ({threads}T): {:#?}", w.name(), &e[..e.len().min(5)]));
-                let p = elzar_vm::Program::lower(&built.module);
-                assert!(p.num_insts() > 0);
-            }
+            let built = w.build(Scale::Tiny);
+            elzar_ir::verify::verify_module(&built.module)
+                .unwrap_or_else(|e| panic!("{}: {:#?}", w.name(), &e[..e.len().min(5)]));
+            let p = elzar_vm::Program::lower(&built.module);
+            assert!(p.num_insts() > 0);
         }
     }
 }

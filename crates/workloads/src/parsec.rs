@@ -10,9 +10,11 @@
 //! branch-mispredict heavy, streamcluster is memory-bound, and x264's SAD
 //! search is an integer/byte kernel with a vectorizable inner loop.
 
-use crate::common::{chunk_bounds, fork_join_main, gen_bytes, gen_f64s, Params};
+use crate::common::{
+    chunk_bounds, emit_thread_count, fork_join_main, gen_bytes, gen_f64s, MAX_WORKLOAD_THREADS,
+};
 use crate::libm_ir::{emit_exp, emit_log, emit_sqrt};
-use crate::{BuiltWorkload, Suite, Workload};
+use crate::{BuiltWorkload, Scale, Suite, Workload};
 use elzar_ir::builder::{c64, cf64, FuncBuilder};
 use elzar_ir::{BinOp, Builtin, CastOp, CmpPred, Const, Module, Operand, Ty};
 use elzar_vm::GLOBAL_BASE;
@@ -38,19 +40,20 @@ impl Workload for Blackscholes {
         Suite::Parsec
     }
 
-    fn build(&self, p: &Params) -> BuiltWorkload {
-        let n = p.scale.pick(200i64, 2_000, 20_000);
+    fn build(&self, scale: Scale) -> BuiltWorkload {
+        let n = scale.pick(200i64, 2_000, 20_000);
         let mut m = Module::new("blackscholes");
         let out = GLOBAL_BASE + m.alloc_global((n * 8) as usize) as u64;
         let riskfree = 0.02f64;
 
         let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
         let tid = w.param(0);
+        let nt = emit_thread_count(&mut w);
         let sptr = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
         let kptr = w.gep(sptr, c64(n), 8);
         let tptr = w.gep(sptr, c64(2 * n), 8);
         let vptr = w.gep(sptr, c64(3 * n), 8);
-        let (start, end) = chunk_bounds(&mut w, tid, n, p.threads);
+        let (start, end) = chunk_bounds(&mut w, tid, n, nt);
         w.counted_loop(start, end, |b, i| {
             let s = {
                 let p = b.gep(sptr, i, 8);
@@ -101,7 +104,6 @@ impl Workload for Blackscholes {
         fork_join_main(
             &mut m,
             wid,
-            p.threads,
             |_b| {},
             move |b, _| {
                 let acc = b.alloca(Ty::F64, c64(1));
@@ -179,8 +181,8 @@ impl Workload for Dedup {
         Suite::Parsec
     }
 
-    fn build(&self, p: &Params) -> BuiltWorkload {
-        let n = p.scale.pick(8_000i64, 64_000, 512_000);
+    fn build(&self, scale: Scale) -> BuiltWorkload {
+        let n = scale.pick(8_000i64, 64_000, 512_000);
         let blocks = n / DD_BLOCK;
         let mut m = Module::new("dedup");
         let mutex = GLOBAL_BASE + m.alloc_global(8) as u64;
@@ -189,8 +191,9 @@ impl Workload for Dedup {
 
         let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
         let tid = w.param(0);
+        let nt = emit_thread_count(&mut w);
         let inp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
-        let (start, end) = chunk_bounds(&mut w, tid, blocks, p.threads);
+        let (start, end) = chunk_bounds(&mut w, tid, blocks, nt);
         let fp = w.alloca(Ty::I64, c64(1));
         w.counted_loop(start, end, |b, blk| {
             // FNV-1a fingerprint of the block (byte loads).
@@ -267,7 +270,6 @@ impl Workload for Dedup {
         fork_join_main(
             &mut m,
             wid,
-            p.threads,
             |_b| {},
             |b, _| {
                 let u = b.load(Ty::I64, cptr(uniq));
@@ -314,19 +316,20 @@ impl Workload for Ferret {
         Suite::Parsec
     }
 
-    fn build(&self, p: &Params) -> BuiltWorkload {
-        let db = p.scale.pick(128i64, 512, 2048);
-        let queries = p.scale.pick(16i64, 64, 256);
+    fn build(&self, scale: Scale) -> BuiltWorkload {
+        let db = scale.pick(128i64, 512, 2048);
+        let queries = scale.pick(16i64, 64, 256);
         let mut m = Module::new("ferret");
         let results = GLOBAL_BASE + m.alloc_global((queries * 8) as usize) as u64;
 
         let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
         let tid = w.param(0);
+        let nt = emit_thread_count(&mut w);
         let dbp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
         let qp = w.gep(dbp, c64(db * FER_DIM), 8);
         let topd = w.alloca(Ty::F64, c64(FER_TOPK));
         let dist = w.alloca(Ty::F64, c64(1));
-        let (start, end) = chunk_bounds(&mut w, tid, queries, p.threads);
+        let (start, end) = chunk_bounds(&mut w, tid, queries, nt);
         w.counted_loop(start, end, |b, q| {
             // Reset top-k distances to +inf.
             b.counted_loop(c64(0), c64(FER_TOPK), |b, i| {
@@ -399,7 +402,6 @@ impl Workload for Ferret {
         fork_join_main(
             &mut m,
             wid,
-            p.threads,
             |_b| {},
             move |b, _| {
                 let acc = b.alloca(Ty::F64, c64(1));
@@ -441,17 +443,18 @@ impl Workload for Fluidanimate {
         Suite::Parsec
     }
 
-    fn build(&self, p: &Params) -> BuiltWorkload {
-        let n = p.scale.pick(256i64, 2_048, 16_384);
+    fn build(&self, scale: Scale) -> BuiltWorkload {
+        let n = scale.pick(256i64, 2_048, 16_384);
         let mut m = Module::new("fluidanimate");
         let forces = GLOBAL_BASE + m.alloc_global((n * 8) as usize) as u64;
 
         let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
         let tid = w.param(0);
+        let nt = emit_thread_count(&mut w);
         // Input layout: n*(x,y) f64 positions, then n*FL_NEIGH i64 indices.
         let pos = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
         let neigh = w.gep(pos, c64(2 * n), 8);
-        let (start, end) = chunk_bounds(&mut w, tid, n, p.threads);
+        let (start, end) = chunk_bounds(&mut w, tid, n, nt);
         let facc = w.alloca(Ty::F64, c64(1));
         w.counted_loop(start, end, |b, i| {
             b.store(Ty::F64, cf64(0.0), facc);
@@ -504,7 +507,6 @@ impl Workload for Fluidanimate {
         fork_join_main(
             &mut m,
             wid,
-            p.threads,
             |_b| {},
             move |b, _| {
                 let acc = b.alloca(Ty::F64, c64(1));
@@ -551,13 +553,14 @@ impl Workload for Streamcluster {
         Suite::Parsec
     }
 
-    fn build(&self, p: &Params) -> BuiltWorkload {
-        let n = p.scale.pick(256i64, 2_048, 16_384);
+    fn build(&self, scale: Scale) -> BuiltWorkload {
+        let n = scale.pick(256i64, 2_048, 16_384);
         let mut m = Module::new("streamcluster");
-        let costs = GLOBAL_BASE + m.alloc_global(8 * p.threads as usize) as u64;
+        let costs = GLOBAL_BASE + m.alloc_global(8 * MAX_WORKLOAD_THREADS as usize) as u64;
 
         let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
         let tid = w.param(0);
+        let nt = emit_thread_count(&mut w);
         let inp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
         // Per-thread center set (deterministic regardless of scheduling).
         let centers = w.alloca(Ty::F64, c64(SC_MAXCENTERS * SC_DIM));
@@ -567,7 +570,7 @@ impl Workload for Streamcluster {
         w.store(Ty::F64, cf64(0.0), cost);
         let dist = w.alloca(Ty::F64, c64(1));
         let mind = w.alloca(Ty::F64, c64(1));
-        let (start, end) = chunk_bounds(&mut w, tid, n, p.threads);
+        let (start, end) = chunk_bounds(&mut w, tid, n, nt);
         w.counted_loop(start, end, |b, pt| {
             let pbase = b.mul(pt, c64(SC_DIM));
             b.store(Ty::F64, cf64(1.0e300), mind);
@@ -638,22 +641,26 @@ impl Workload for Streamcluster {
         w.ret(nfinal);
         let wid = m.add_func(w.finish());
 
-        let threads = p.threads;
         fork_join_main(
             &mut m,
             wid,
-            threads,
             |_b| {},
             move |b, sum| {
-                // sum = total centers opened; costs merged in tid order.
+                // sum = total centers opened; costs merged in tid order
+                // (the IR loop folds ascending, like the old unrolled merge).
                 b.call_builtin(Builtin::OutputI64, vec![sum.into()], Ty::Void);
-                let mut acc: Operand = cf64(0.0);
-                for t in 0..threads {
-                    let pc = b.gep(cptr(costs + u64::from(t) * 8), c64(0), 8);
+                let nt = emit_thread_count(b);
+                let acc = b.alloca(Ty::F64, c64(1));
+                b.store(Ty::F64, cf64(0.0), acc);
+                b.counted_loop(c64(0), nt, |b, t| {
+                    let pc = b.gep(cptr(costs), t, 8);
                     let v = b.load(Ty::F64, pc);
-                    acc = b.bin(BinOp::FAdd, Ty::F64, acc, v).into();
-                }
-                b.call_builtin(Builtin::OutputF64, vec![acc], Ty::Void);
+                    let a = b.load(Ty::F64, acc);
+                    let a2 = b.bin(BinOp::FAdd, Ty::F64, a, v);
+                    b.store(Ty::F64, a2, acc);
+                });
+                let total = b.load(Ty::F64, acc);
+                b.call_builtin(Builtin::OutputF64, vec![total.into()], Ty::Void);
                 b.ret(c64(0));
             },
         );
@@ -678,16 +685,17 @@ impl Workload for Swaptions {
         Suite::Parsec
     }
 
-    fn build(&self, p: &Params) -> BuiltWorkload {
-        let n = p.scale.pick(8i64, 32, 128); // swaptions
-        let trials = p.scale.pick(200i64, 1_000, 4_000);
+    fn build(&self, scale: Scale) -> BuiltWorkload {
+        let n = scale.pick(8i64, 32, 128); // swaptions
+        let trials = scale.pick(200i64, 1_000, 4_000);
         let mut m = Module::new("swaptions");
         let prices = GLOBAL_BASE + m.alloc_global((n * 8) as usize) as u64;
 
         let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
         let tid = w.param(0);
+        let nt = emit_thread_count(&mut w);
         let inp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
-        let (start, end) = chunk_bounds(&mut w, tid, n, p.threads);
+        let (start, end) = chunk_bounds(&mut w, tid, n, nt);
         let acc = w.alloca(Ty::F64, c64(1));
         let state = w.alloca(Ty::I64, c64(1));
         w.counted_loop(start, end, |b, sw| {
@@ -731,7 +739,6 @@ impl Workload for Swaptions {
         fork_join_main(
             &mut m,
             wid,
-            p.threads,
             |_b| {},
             move |b, _| {
                 b.counted_loop(c64(0), c64(n), |b, i| {
@@ -766,9 +773,9 @@ impl Workload for X264 {
         Suite::Parsec
     }
 
-    fn build(&self, p: &Params) -> BuiltWorkload {
-        let wpx = p.scale.pick(64i64, 128, 320);
-        let hpx = p.scale.pick(48i64, 96, 192);
+    fn build(&self, scale: Scale) -> BuiltWorkload {
+        let wpx = scale.pick(64i64, 128, 320);
+        let hpx = scale.pick(48i64, 96, 192);
         let mbs_x = wpx / MB - 1; // keep the search window in bounds
         let mbs_y = hpx / MB - 1;
         let nmb = mbs_x * mbs_y;
@@ -777,9 +784,10 @@ impl Workload for X264 {
 
         let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
         let tid = w.param(0);
+        let nt = emit_thread_count(&mut w);
         let cur = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
         let refp = w.gep(cur, c64(wpx * hpx), 1);
-        let (start, end) = chunk_bounds(&mut w, tid, nmb, p.threads);
+        let (start, end) = chunk_bounds(&mut w, tid, nmb, nt);
         let best = w.alloca(Ty::I64, c64(1));
         let sad_acc = w.alloca(Ty::I64, c64(1));
         w.counted_loop(start, end, |b, mb| {
@@ -865,7 +873,6 @@ impl Workload for X264 {
         fork_join_main(
             &mut m,
             wid,
-            p.threads,
             |_b| {},
             move |b, _| {
                 let acc = b.alloca(Ty::I64, c64(1));

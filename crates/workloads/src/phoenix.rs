@@ -7,8 +7,10 @@
 //! covariance sums, string match lives in `bzero`+byte-compare loops, and
 //! word count is a branchy byte scanner over in-memory state.
 
-use crate::common::{chunk_bounds, fork_join_main, gen_bytes, gen_f64s, gen_i64s, Params};
-use crate::{BuiltWorkload, Suite, Workload};
+use crate::common::{
+    chunk_bounds, emit_thread_count, fork_join_main, gen_bytes, gen_f64s, gen_i64s, MAX_WORKLOAD_THREADS,
+};
+use crate::{BuiltWorkload, Scale, Suite, Workload};
 use elzar_ir::builder::{c64, cf64, FuncBuilder};
 use elzar_ir::{BinOp, Builtin, CastOp, CmpPred, Const, Module, Operand, Ty};
 use elzar_vm::GLOBAL_BASE;
@@ -37,20 +39,21 @@ impl Workload for Histogram {
         Suite::Phoenix
     }
 
-    fn build(&self, p: &Params) -> BuiltWorkload {
-        let n = p.scale.pick(6_000i64, 40_000, 400_000);
+    fn build(&self, scale: Scale) -> BuiltWorkload {
+        let n = scale.pick(6_000i64, 40_000, 400_000);
         let mut m = Module::new("histogram");
         let bins = GLOBAL_BASE + m.alloc_global(256 * 8) as u64;
 
         let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
         let tid = w.param(0);
+        let nt = emit_thread_count(&mut w);
         let inp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
         let local = w.alloca(Ty::I64, c64(256));
         w.counted_loop(c64(0), c64(256), |b, i| {
             let p = b.gep(local, i, 8);
             b.store(Ty::I64, c64(0), p);
         });
-        let (start, end) = chunk_bounds(&mut w, tid, n, p.threads);
+        let (start, end) = chunk_bounds(&mut w, tid, n, nt);
         w.counted_loop(start, end, |b, i| {
             let pa = b.gep(inp, i, 1);
             let byte = b.load(Ty::I8, pa);
@@ -72,7 +75,6 @@ impl Workload for Histogram {
         fork_join_main(
             &mut m,
             wid,
-            p.threads,
             |_b| {},
             |b, _sum| {
                 b.counted_loop(c64(0), c64(256), |b, i| {
@@ -106,16 +108,19 @@ impl Workload for Kmeans {
         Suite::Phoenix
     }
 
-    fn build(&self, p: &Params) -> BuiltWorkload {
-        let n = p.scale.pick(300i64, 2_000, 20_000);
+    fn build(&self, scale: Scale) -> BuiltWorkload {
+        let n = scale.pick(300i64, 2_000, 20_000);
         let mut m = Module::new("kmeans");
         let centers = GLOBAL_BASE + m.alloc_global((KM_K * KM_D * 8) as usize) as u64;
-        // Per-thread partials: K*D f64 sums then K i64 counts.
+        // Per-thread partials: K*D f64 sums then K i64 counts, sized for
+        // the runtime thread-count cap.
         let part_stride = (KM_K * KM_D * 8 + KM_K * 8) as u64;
-        let partials = GLOBAL_BASE + m.alloc_global((part_stride * u64::from(p.threads)) as usize) as u64;
+        let partials =
+            GLOBAL_BASE + m.alloc_global((part_stride * u64::from(MAX_WORKLOAD_THREADS)) as usize) as u64;
 
         let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
         let tid = w.param(0);
+        let nt = emit_thread_count(&mut w);
         let inp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
         let my_sums = {
             let off = w.mul(tid, c64(part_stride as i64));
@@ -136,7 +141,7 @@ impl Workload for Kmeans {
         let best = w.alloca(Ty::I64, c64(1));
         let bestd = w.alloca(Ty::F64, c64(1));
         let acc = w.alloca(Ty::F64, c64(1));
-        let (start, end) = chunk_bounds(&mut w, tid, n, p.threads);
+        let (start, end) = chunk_bounds(&mut w, tid, n, nt);
         w.counted_loop(start, end, |b, pt| {
             let base = b.mul(pt, c64(KM_D));
             // Nearest-center search (selects, no data branches).
@@ -188,11 +193,9 @@ impl Workload for Kmeans {
         w.ret(c64(0));
         let wid = m.add_func(w.finish());
 
-        let threads = p.threads;
         fork_join_main(
             &mut m,
             wid,
-            threads,
             move |b| {
                 // Initial centers = first K points of the input.
                 let inp = b.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
@@ -204,26 +207,38 @@ impl Workload for Kmeans {
                 });
             },
             move |b, _sum| {
-                // Deterministic merge in tid order, then new centroids out.
+                // Deterministic merge in tid order (an IR loop over the
+                // runtime thread count folds in the same ascending-tid
+                // order the old unrolled merge did), then centroids out.
+                let nt = emit_thread_count(b);
+                let sum = b.alloca(Ty::F64, c64(1));
+                let cnt = b.alloca(Ty::I64, c64(1));
                 for k in 0..KM_K {
                     for d in 0..KM_D {
-                        let mut sum: Operand = cf64(0.0);
-                        let mut cnt: Operand = c64(0);
-                        for t in 0..threads {
-                            let base = partials + u64::from(t) * part_stride;
-                            let ps = b.gep(cptr(base), c64(k * KM_D + d), 8);
+                        b.store(Ty::F64, cf64(0.0), sum);
+                        b.store(Ty::I64, c64(0), cnt);
+                        b.counted_loop(c64(0), nt, |b, t| {
+                            let off = b.mul(t, c64(part_stride as i64));
+                            let base = b.gep(cptr(partials), off, 1);
+                            let ps = b.gep(base, c64(k * KM_D + d), 8);
                             let s = b.load(Ty::F64, ps);
-                            sum = b.bin(BinOp::FAdd, Ty::F64, sum, s).into();
+                            let a = b.load(Ty::F64, sum);
+                            let a2 = b.bin(BinOp::FAdd, Ty::F64, a, s);
+                            b.store(Ty::F64, a2, sum);
                             if d == 0 {
-                                let pc = b.gep(cptr(base + (KM_K * KM_D * 8) as u64), c64(k), 8);
+                                let pc = b.gep(base, c64(KM_K * KM_D + k), 8);
                                 let c = b.load(Ty::I64, pc);
-                                cnt = b.add(cnt, c).into();
+                                let cc = b.load(Ty::I64, cnt);
+                                let cc2 = b.add(cc, c);
+                                b.store(Ty::I64, cc2, cnt);
                             }
-                        }
+                        });
                         if d == 0 {
-                            b.call_builtin(Builtin::OutputI64, vec![cnt], Ty::Void);
+                            let c = b.load(Ty::I64, cnt);
+                            b.call_builtin(Builtin::OutputI64, vec![c.into()], Ty::Void);
                         }
-                        b.call_builtin(Builtin::OutputF64, vec![sum], Ty::Void);
+                        let s = b.load(Ty::F64, sum);
+                        b.call_builtin(Builtin::OutputF64, vec![s.into()], Ty::Void);
                     }
                 }
                 b.ret(c64(0));
@@ -250,16 +265,17 @@ impl Workload for LinearRegression {
         Suite::Phoenix
     }
 
-    fn build(&self, p: &Params) -> BuiltWorkload {
-        let n = p.scale.pick(4_000i64, 40_000, 400_000);
+    fn build(&self, scale: Scale) -> BuiltWorkload {
+        let n = scale.pick(4_000i64, 40_000, 400_000);
         let mut m = Module::new("linear_regression");
-        let slots = GLOBAL_BASE + m.alloc_global(5 * 8 * p.threads as usize) as u64;
+        let slots = GLOBAL_BASE + m.alloc_global(5 * 8 * MAX_WORKLOAD_THREADS as usize) as u64;
 
         let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
         let tid = w.param(0);
+        let nt = emit_thread_count(&mut w);
         let xs = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
         let ys = w.gep(xs, c64(n), 8);
-        let (start, end) = chunk_bounds(&mut w, tid, n, p.threads);
+        let (start, end) = chunk_bounds(&mut w, tid, n, nt);
 
         // Hand-rolled loop with 5 reduction phis (vectorizable).
         let pre = w.current();
@@ -317,23 +333,36 @@ impl Workload for LinearRegression {
         w.ret(c64(0));
         let wid = m.add_func(w.finish());
 
-        let threads = p.threads;
         fork_join_main(
             &mut m,
             wid,
-            threads,
             |_b| {},
             move |b, _| {
                 // Merge in tid order, output the 5 sums and the fitted slope
                 // numerator/denominator (kept in integers, as Phoenix does).
-                let mut sums: Vec<Operand> = (0..5).map(|_| c64(0)).collect();
-                for t in 0..threads {
-                    let base = slots + u64::from(t) * 40;
-                    for (k, s) in sums.iter_mut().enumerate() {
-                        let pk = b.gep(cptr(base), c64(k as i64), 8);
+                let nt = emit_thread_count(b);
+                let acc = b.alloca(Ty::I64, c64(5));
+                b.counted_loop(c64(0), c64(5), |b, k| {
+                    let p = b.gep(acc, k, 8);
+                    b.store(Ty::I64, c64(0), p);
+                });
+                b.counted_loop(c64(0), nt, |b, t| {
+                    let off = b.mul(t, c64(40));
+                    let base = b.gep(cptr(slots), off, 1);
+                    for k in 0..5i64 {
+                        let pk = b.gep(base, c64(k), 8);
                         let v = b.load(Ty::I64, pk);
-                        *s = b.add(s.clone(), v).into();
+                        let pa = b.gep(acc, c64(k), 8);
+                        let a = b.load(Ty::I64, pa);
+                        let a2 = b.add(a, v);
+                        b.store(Ty::I64, a2, pa);
                     }
+                });
+                let mut sums: Vec<Operand> = Vec::new();
+                for k in 0..5i64 {
+                    let pa = b.gep(acc, c64(k), 8);
+                    let v = b.load(Ty::I64, pa);
+                    sums.push(v.into());
                 }
                 for s in &sums {
                     b.call_builtin(Builtin::OutputI64, vec![s.clone()], Ty::Void);
@@ -375,20 +404,21 @@ impl Workload for MatrixMultiply {
         Suite::Phoenix
     }
 
-    fn build(&self, p: &Params) -> BuiltWorkload {
+    fn build(&self, scale: Scale) -> BuiltWorkload {
         // Three matrices must bust the 32 KB L1 even at the smallest
         // scale — matrix multiply's defining trait in the paper is being
         // cache-miss-bound (62% L1 misses, lowest ELZAR overhead).
-        let s = p.scale.pick(64i64, 96, 160);
+        let s = scale.pick(64i64, 96, 160);
         let mut m = Module::new("matrix_multiply");
         let cmat = GLOBAL_BASE + m.alloc_global((s * s * 8) as usize) as u64;
 
         let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
         let tid = w.param(0);
+        let nt = emit_thread_count(&mut w);
         let a = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
         let bmat = w.gep(a, c64(s * s), 8);
         let acc = w.alloca(Ty::F64, c64(1));
-        let (start, end) = chunk_bounds(&mut w, tid, s, p.threads);
+        let (start, end) = chunk_bounds(&mut w, tid, s, nt);
         w.counted_loop(start, end, |b, i| {
             b.counted_loop(c64(0), c64(s), |b, j| {
                 b.store(Ty::F64, cf64(0.0), acc);
@@ -419,7 +449,6 @@ impl Workload for MatrixMultiply {
         fork_join_main(
             &mut m,
             wid,
-            p.threads,
             |_b| {},
             move |b, _| {
                 // Checksum C.
@@ -459,8 +488,8 @@ impl Workload for Pca {
         Suite::Phoenix
     }
 
-    fn build(&self, p: &Params) -> BuiltWorkload {
-        let rows = p.scale.pick(96i64, 512, 4096);
+    fn build(&self, scale: Scale) -> BuiltWorkload {
+        let rows = scale.pick(96i64, 512, 4096);
         let cols = PCA_COLS;
         let mut m = Module::new("pca");
         let means = GLOBAL_BASE + m.alloc_global((cols * 8) as usize) as u64;
@@ -468,9 +497,10 @@ impl Workload for Pca {
 
         let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
         let tid = w.param(0);
+        let nt = emit_thread_count(&mut w);
         let inp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
         let acc = w.alloca(Ty::F64, c64(1));
-        let (start, end) = chunk_bounds(&mut w, tid, cols, p.threads);
+        let (start, end) = chunk_bounds(&mut w, tid, cols, nt);
         w.counted_loop(start, end, |b, ci| {
             b.counted_loop(ci, c64(cols), |b, cj| {
                 b.store(Ty::F64, cf64(0.0), acc);
@@ -506,7 +536,6 @@ impl Workload for Pca {
         fork_join_main(
             &mut m,
             wid,
-            p.threads,
             move |b| {
                 // Column means, single-threaded setup phase.
                 let inp = b.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
@@ -568,8 +597,8 @@ impl Workload for StringMatch {
         Suite::Phoenix
     }
 
-    fn build(&self, p: &Params) -> BuiltWorkload {
-        let keys = p.scale.pick(64i64, 512, 4096);
+    fn build(&self, scale: Scale) -> BuiltWorkload {
+        let keys = scale.pick(64i64, 512, 4096);
         let mut m = Module::new("string_match");
         // Four encrypted target keys in globals.
         let input = gen_bytes(0x77, (keys * SM_KEYLEN) as usize);
@@ -583,11 +612,12 @@ impl Workload for StringMatch {
 
         let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
         let tid = w.param(0);
+        let nt = emit_thread_count(&mut w);
         let inp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
         let scratch = w.alloca(Ty::I8, c64(SM_SCRATCH));
         let found = w.alloca(Ty::I64, c64(1));
         w.store(Ty::I64, c64(0), found);
-        let (start, end) = chunk_bounds(&mut w, tid, keys, p.threads);
+        let (start, end) = chunk_bounds(&mut w, tid, keys, nt);
         let targets_b = targets.clone();
         w.counted_loop(start, end, move |b, key| {
             // bzero the scratch buffer (store-dominated, vectorizable).
@@ -653,7 +683,6 @@ impl Workload for StringMatch {
         fork_join_main(
             &mut m,
             wid,
-            p.threads,
             |_b| {},
             |b, sum| {
                 b.call_builtin(Builtin::OutputI64, vec![sum.into()], Ty::Void);
@@ -680,14 +709,15 @@ impl Workload for WordCount {
         Suite::Phoenix
     }
 
-    fn build(&self, p: &Params) -> BuiltWorkload {
-        let n = p.scale.pick(4_000i64, 40_000, 400_000);
+    fn build(&self, scale: Scale) -> BuiltWorkload {
+        let n = scale.pick(4_000i64, 40_000, 400_000);
         let mut m = Module::new("word_count");
         let table = GLOBAL_BASE + m.alloc_global(256 * 8) as u64;
         let total = GLOBAL_BASE + m.alloc_global(8) as u64;
 
         let mut w = FuncBuilder::new("worker", vec![Ty::I64], Ty::I64);
         let tid = w.param(0);
+        let nt = emit_thread_count(&mut w);
         let inp = w.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
         let local = w.alloca(Ty::I64, c64(256));
         w.counted_loop(c64(0), c64(256), |b, i| {
@@ -701,7 +731,7 @@ impl Workload for WordCount {
         w.store(Ty::I64, c64(0), in_word);
         w.store(Ty::I64, c64(0), hash);
         w.store(Ty::I64, c64(0), count);
-        let (start, end) = chunk_bounds(&mut w, tid, n, p.threads);
+        let (start, end) = chunk_bounds(&mut w, tid, n, nt);
         w.store(Ty::I64, start.clone(), pos);
         // Phoenix-style boundary rule: a word belongs to the thread whose
         // chunk contains its first byte. Skip a partial word at the chunk
@@ -829,7 +859,6 @@ impl Workload for WordCount {
         fork_join_main(
             &mut m,
             wid,
-            p.threads,
             |_b| {},
             |b, _| {
                 let t = b.load(Ty::I64, cptr(total));

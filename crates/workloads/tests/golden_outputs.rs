@@ -12,7 +12,7 @@
 
 use elzar::{execute, Mode};
 use elzar_vm::{MachineConfig, RunOutcome};
-use elzar_workloads::{by_name, Params, Scale};
+use elzar_workloads::{by_name, Scale};
 
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -25,8 +25,8 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 
 fn digest(name: &str, mode: &Mode) -> u64 {
     let w = by_name(name).expect("known workload");
-    let built = w.build(&Params::new(2, Scale::Tiny));
-    let machine = MachineConfig { step_limit: 200_000_000_000, ..MachineConfig::default() };
+    let built = w.build(Scale::Tiny);
+    let machine = MachineConfig { step_limit: 200_000_000_000, threads: 2, ..MachineConfig::default() };
     let r = execute(&built.module, mode, &built.input, machine);
     let code = match r.outcome {
         RunOutcome::Exited(c) => c,
@@ -82,8 +82,8 @@ fn workload_outputs_match_golden_digests() {
 fn elzar_output_equals_native_output() {
     for &(name, _, _) in GOLDEN {
         let w = by_name(name).expect("known workload");
-        let built = w.build(&Params::new(2, Scale::Tiny));
-        let machine = MachineConfig { step_limit: 200_000_000_000, ..MachineConfig::default() };
+        let built = w.build(Scale::Tiny);
+        let machine = MachineConfig { step_limit: 200_000_000_000, threads: 2, ..MachineConfig::default() };
         let native = execute(&built.module, &Mode::NativeNoSimd, &built.input, machine);
         let elz = execute(&built.module, &Mode::elzar_default(), &built.input, machine);
         assert_eq!(native.outcome, elz.outcome, "{name}: outcome");

@@ -1,20 +1,22 @@
 //! End-to-end semantics tests for every benchmark: native, no-SIMD,
 //! vectorized-native, ELZAR (default + future-AVX) and SWIFT-R builds
-//! must exit cleanly and produce byte-identical output at 1 and 2 threads.
+//! must exit cleanly and produce byte-identical output at 1 and 2
+//! simulated threads. Workload modules are thread-count-agnostic, so
+//! one build is exercised under several `MachineConfig::threads` values.
 
 use elzar::{execute, Mode};
 use elzar_vm::{MachineConfig, RunOutcome};
-use elzar_workloads::{all_workloads, by_name, Params, Scale};
+use elzar_workloads::{all_workloads, by_name, Scale};
 
-fn cfg() -> MachineConfig {
-    MachineConfig { step_limit: 3_000_000_000, ..MachineConfig::default() }
+fn cfg(threads: u32) -> MachineConfig {
+    MachineConfig { step_limit: 3_000_000_000, threads, ..MachineConfig::default() }
 }
 
 #[test]
 fn all_workloads_agree_across_modes_one_thread() {
     for w in all_workloads() {
-        let built = w.build(&Params::new(1, Scale::Tiny));
-        let native = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg());
+        let built = w.build(Scale::Tiny);
+        let native = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg(1));
         assert!(
             matches!(native.outcome, RunOutcome::Exited(_)),
             "{}: native outcome {:?}",
@@ -23,7 +25,7 @@ fn all_workloads_agree_across_modes_one_thread() {
         );
         assert!(!native.output.is_empty(), "{}: no observable output", w.name());
         for mode in [Mode::Native, Mode::elzar_default(), Mode::elzar_future_avx(), Mode::SwiftR] {
-            let r = execute(&built.module, &mode, &built.input, cfg());
+            let r = execute(&built.module, &mode, &built.input, cfg(1));
             assert_eq!(native.outcome, r.outcome, "{} under {mode:?}", w.name());
             assert_eq!(native.output, r.output, "{} under {mode:?}: output diverged", w.name());
             if matches!(mode, Mode::Elzar(_)) {
@@ -36,8 +38,8 @@ fn all_workloads_agree_across_modes_one_thread() {
 #[test]
 fn all_workloads_agree_across_modes_two_threads() {
     for w in all_workloads() {
-        let built = w.build(&Params::new(2, Scale::Tiny));
-        let native = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg());
+        let built = w.build(Scale::Tiny);
+        let native = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg(2));
         assert!(
             matches!(native.outcome, RunOutcome::Exited(_)),
             "{}: native outcome {:?}",
@@ -45,7 +47,7 @@ fn all_workloads_agree_across_modes_two_threads() {
             native.outcome
         );
         for mode in [Mode::elzar_default(), Mode::SwiftR] {
-            let r = execute(&built.module, &mode, &built.input, cfg());
+            let r = execute(&built.module, &mode, &built.input, cfg(2));
             assert_eq!(native.outcome, r.outcome, "{} under {mode:?}", w.name());
             assert_eq!(native.output, r.output, "{} under {mode:?}", w.name());
         }
@@ -55,13 +57,14 @@ fn all_workloads_agree_across_modes_two_threads() {
 #[test]
 fn thread_count_does_not_change_results_for_reduction_kernels() {
     // Workloads with order-independent merges must give identical output
-    // at different thread counts (FP kernels merge in tid order).
+    // at different thread counts — and since modules are now
+    // thread-count-agnostic, it is literally the same lowered program
+    // run under two machine configurations.
     for name in ["histogram", "linear_regression", "word_count", "string_match", "dedup"] {
         let w = by_name(name).unwrap();
-        let b1 = w.build(&Params::new(1, Scale::Tiny));
-        let b2 = w.build(&Params::new(3, Scale::Tiny));
-        let r1 = execute(&b1.module, &Mode::NativeNoSimd, &b1.input, cfg());
-        let r2 = execute(&b2.module, &Mode::NativeNoSimd, &b2.input, cfg());
+        let built = w.build(Scale::Tiny);
+        let r1 = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg(1));
+        let r2 = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg(3));
         assert_eq!(r1.output, r2.output, "{name}: thread count changed results");
     }
 }
@@ -69,8 +72,8 @@ fn thread_count_does_not_change_results_for_reduction_kernels() {
 #[test]
 fn histogram_bins_sum_to_input_length() {
     let w = by_name("histogram").unwrap();
-    let built = w.build(&Params::new(2, Scale::Tiny));
-    let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg());
+    let built = w.build(Scale::Tiny);
+    let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg(2));
     let total: i64 = r.output.chunks(8).map(|c| i64::from_le_bytes(c.try_into().unwrap())).sum();
     assert_eq!(total, built.input.len() as i64);
 }
@@ -78,8 +81,8 @@ fn histogram_bins_sum_to_input_length() {
 #[test]
 fn linear_regression_matches_host_computation() {
     let w = by_name("linear_regression").unwrap();
-    let built = w.build(&Params::new(2, Scale::Tiny));
-    let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg());
+    let built = w.build(Scale::Tiny);
+    let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg(2));
     let vals: Vec<i64> = r.output.chunks(8).map(|c| i64::from_le_bytes(c.try_into().unwrap())).collect();
     // Recompute on the host.
     let n = built.input.len() / 16; // xs then ys
@@ -98,8 +101,8 @@ fn linear_regression_matches_host_computation() {
 #[test]
 fn string_match_finds_the_planted_keys() {
     let w = by_name("string_match").unwrap();
-    let built = w.build(&Params::new(1, Scale::Tiny));
-    let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg());
+    let built = w.build(Scale::Tiny);
+    let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg(1));
     let found = i64::from_le_bytes(r.output[..8].try_into().unwrap());
     // Four target keys are planted; duplicates in random data are
     // possible but the count must be at least 4.
@@ -109,8 +112,8 @@ fn string_match_finds_the_planted_keys() {
 #[test]
 fn blackscholes_prices_are_positive_and_finite() {
     let w = by_name("blackscholes").unwrap();
-    let built = w.build(&Params::new(1, Scale::Tiny));
-    let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg());
+    let built = w.build(Scale::Tiny);
+    let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg(1));
     let sum = f64::from_le_bytes(r.output[..8].try_into().unwrap());
     assert!(sum.is_finite() && sum > 0.0, "price sum {sum}");
 }
@@ -118,8 +121,8 @@ fn blackscholes_prices_are_positive_and_finite() {
 #[test]
 fn dedup_unique_count_is_sane() {
     let w = by_name("dedup").unwrap();
-    let built = w.build(&Params::new(2, Scale::Tiny));
-    let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg());
+    let built = w.build(Scale::Tiny);
+    let r = execute(&built.module, &Mode::NativeNoSimd, &built.input, cfg(2));
     let uniq = i64::from_le_bytes(r.output[..8].try_into().unwrap());
     let blocks = built.input.len() as i64 / 64;
     // Duplicates exist by construction: strictly fewer unique than total.
@@ -132,7 +135,7 @@ fn vectorizer_actually_fires_on_the_simd_kernels() {
     {
         let name = "string_match";
         let w = by_name(name).unwrap();
-        let built = w.build(&Params::new(1, Scale::Tiny));
+        let built = w.build(Scale::Tiny);
         let mut m = built.module.clone();
         let n = elzar_passes::vectorize_module(&mut m);
         assert!(n > 0, "{name}: no loop vectorized");

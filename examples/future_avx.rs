@@ -7,15 +7,15 @@
 //! cargo run --release --example future_avx
 //! ```
 
-use elzar_suite::elzar::{execute, normalized_runtime, Config, FutureAvx, Mode};
+use elzar_suite::elzar::{normalized_runtime, Artifact, Config, FutureAvx, Mode};
 use elzar_suite::elzar_vm::MachineConfig;
-use elzar_suite::elzar_workloads::{by_name, Params, Scale};
+use elzar_suite::elzar_workloads::{by_name, Scale};
 
 fn main() {
     let w = by_name("kmeans").expect("known benchmark");
-    let built = w.build(&Params::new(2, Scale::Small));
-    let cfg = MachineConfig { step_limit: 50_000_000_000, ..MachineConfig::default() };
-    let native = execute(&built.module, &Mode::Native, &built.input, cfg);
+    let built = w.build(Scale::Small);
+    let cfg = MachineConfig { step_limit: 50_000_000_000, threads: 2, ..MachineConfig::default() };
+    let native = Artifact::build(&built.module, &Mode::Native).run(&built.input, cfg);
 
     let variants: Vec<(&str, Mode)> = vec![
         ("elzar (today's AVX)", Mode::elzar_default()),
@@ -38,7 +38,7 @@ fn main() {
     ];
     println!("kmeans, 2 threads — overhead vs native:");
     for (name, mode) in variants {
-        let r = execute(&built.module, &mode, &built.input, cfg);
+        let r = Artifact::build(&built.module, &mode).run(&built.input, cfg);
         if mode != Mode::DeceleratedNative {
             assert_eq!(r.output, native.output);
         }

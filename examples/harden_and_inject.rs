@@ -2,12 +2,16 @@
 //! native and the ELZAR build with single-event upsets and compare the
 //! Table-I outcome distributions (a miniature Figure 13).
 //!
+//! Campaigns run through `Artifact::campaign`, which classifies every
+//! injection against the artifact's cached golden run — the reference
+//! execution happens once per build, not once per campaign.
+//!
 //! ```sh
 //! cargo run --release --example harden_and_inject
 //! ```
 
-use elzar_suite::elzar::{build, Mode};
-use elzar_suite::elzar_fault::{run_campaign, CampaignConfig, Outcome};
+use elzar_suite::elzar::{Artifact, Mode};
+use elzar_suite::elzar_fault::{CampaignConfig, Outcome};
 use elzar_suite::elzar_ir::builder::{c64, FuncBuilder};
 use elzar_suite::elzar_ir::{BinOp, Builtin, Module, Ty};
 
@@ -44,8 +48,8 @@ fn main() {
         "version", "hang", "os-det", "corrected", "masked", "SDC"
     );
     for (name, mode) in [("native", Mode::NativeNoSimd), ("elzar", Mode::elzar_default())] {
-        let prog = build(&m, &mode);
-        let r = run_campaign(&prog, &[], &CampaignConfig { runs: 300, seed: 42, ..Default::default() });
+        let artifact = Artifact::build(&m, &mode);
+        let r = artifact.campaign(&[], &CampaignConfig { runs: 300, seed: 42, ..Default::default() });
         println!(
             "{:<10} {:>7.1}% {:>7.1}% {:>9.1}% {:>7.1}% {:>7.1}%",
             name,

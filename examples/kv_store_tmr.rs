@@ -2,25 +2,31 @@
 //! A, native vs ELZAR-hardened, and report throughput — one cell of the
 //! paper's Figure 15.
 //!
+//! The app module is thread-count-agnostic, so each mode is built
+//! *once* and the whole thread sweep runs on the shared artifact with
+//! `MachineConfig::threads` varying.
+//!
 //! ```sh
 //! cargo run --release --example kv_store_tmr
 //! ```
 
-use elzar_suite::elzar::{execute, Mode};
+use elzar_suite::elzar::{Artifact, Mode};
 use elzar_suite::elzar_apps::{throughput, App, AppParams, Scale, YcsbWorkload};
 use elzar_suite::elzar_vm::MachineConfig;
 
 fn main() {
-    let cfg = MachineConfig { step_limit: 50_000_000_000, ..MachineConfig::default() };
+    let built = App::Memcached.build(&AppParams::new(Scale::Small, YcsbWorkload::A));
+    let native = Artifact::build(&built.module, &Mode::Native);
+    let elzar = Artifact::build(&built.module, &Mode::elzar_default());
     println!("mini-memcached, YCSB workload A (50% reads / 50% updates, Zipf)");
     println!("{:<8} {:>14} {:>14} {:>8}", "threads", "native ops/s", "elzar ops/s", "ratio");
     for threads in [1u32, 2, 4] {
-        let built = App::Memcached.build(&AppParams::new(threads, Scale::Small, YcsbWorkload::A));
-        let native = execute(&built.module, &Mode::Native, &built.input, cfg);
-        let elzar = execute(&built.module, &Mode::elzar_default(), &built.input, cfg);
-        assert_eq!(native.output, elzar.output, "hardening must not change query results");
-        let tn = throughput(built.ops, native.cycles);
-        let te = throughput(built.ops, elzar.cycles);
+        let cfg = MachineConfig { step_limit: 50_000_000_000, threads, ..MachineConfig::default() };
+        let rn = native.run(&built.input, cfg);
+        let re = elzar.run(&built.input, cfg);
+        assert_eq!(rn.output, re.output, "hardening must not change query results");
+        let tn = throughput(built.ops, rn.cycles);
+        let te = throughput(built.ops, re.cycles);
         println!("{:<8} {:>14.0} {:>14.0} {:>7.0}%", threads, tn, te, te / tn * 100.0);
     }
     println!();

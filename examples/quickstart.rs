@@ -1,11 +1,12 @@
-//! Quickstart: build a small program, harden it with ELZAR, run both
-//! versions on the simulated machine and compare cost and results.
+//! Quickstart: build a small program, harden it with ELZAR via the
+//! artifact pipeline, run both versions on the simulated machine and
+//! compare cost and results.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use elzar_suite::elzar::{execute, normalized_runtime, Mode};
+use elzar_suite::elzar::{normalized_runtime, Artifact, Mode};
 use elzar_suite::elzar_ir::builder::{c64, FuncBuilder};
 use elzar_suite::elzar_ir::{Builtin, Module, Ty};
 use elzar_suite::elzar_vm::MachineConfig;
@@ -27,10 +28,17 @@ fn main() {
     b.ret(total);
     module.add_func(b.finish());
 
-    // Run natively and under ELZAR's AVX-based triple modular redundancy.
+    // Build each mode once (transform -> verify -> lower); run the
+    // immutable artifacts as often as needed.
     let cfg = MachineConfig::default();
-    let native = execute(&module, &Mode::Native, &[], cfg);
-    let hardened = execute(&module, &Mode::elzar_default(), &[], cfg);
+    let native_build = Artifact::build(&module, &Mode::Native);
+    let hardened_build = Artifact::build(&module, &Mode::elzar_default());
+    for (label, a) in [("native", &native_build), ("elzar", &hardened_build)] {
+        let names: Vec<_> = a.pass_stats().iter().map(|s| s.name).collect();
+        println!("{label:<9}: pipeline {names:?}");
+    }
+    let native = native_build.run(&[], cfg);
+    let hardened = hardened_build.run(&[], cfg);
 
     println!("native   : outcome {:?}", native.outcome);
     println!(

@@ -1,0 +1,115 @@
+//! Differential tests for the artifact-centric pipeline: building once
+//! and reusing the artifact must be *bit-identical* to building fresh
+//! for every consumer — batch outcomes and counters, campaign
+//! histograms, and the serving KV digest. Plus the build-once
+//! accounting the figure harnesses rely on.
+
+use elzar_suite::elzar::{Artifact, ArtifactSet, Mode};
+use elzar_suite::elzar_fault::{run_campaign, CampaignConfig};
+use elzar_suite::elzar_serve::{serve_program, ServeConfig, Service};
+use elzar_suite::elzar_vm::MachineConfig;
+use elzar_suite::elzar_workloads::{by_name, Scale};
+
+fn cfg(threads: u32) -> MachineConfig {
+    MachineConfig { step_limit: 5_000_000_000, threads, ..MachineConfig::default() }
+}
+
+/// Build-once/run-many equals fresh-build-per-run for run outcomes and
+/// performance counters, across a thread sweep on one artifact.
+#[test]
+fn reused_artifact_matches_fresh_builds_for_runs() {
+    let built = by_name("histogram").unwrap().build(Scale::Tiny);
+    let shared = Artifact::build(&built.module, &Mode::elzar_default());
+    for threads in [1u32, 2, 3] {
+        let fresh = Artifact::build(&built.module, &Mode::elzar_default());
+        let a = shared.run(&built.input, cfg(threads));
+        let b = fresh.run(&built.input, cfg(threads));
+        assert_eq!(a.outcome, b.outcome, "threads={threads}");
+        assert_eq!(a.output, b.output, "threads={threads}");
+        assert_eq!(a.cycles, b.cycles, "threads={threads}");
+        assert_eq!(a.steps, b.steps, "threads={threads}");
+        assert_eq!(a.counters.instrs, b.counters.instrs, "threads={threads}");
+        assert_eq!(a.counters.loads, b.counters.loads, "threads={threads}");
+        assert_eq!(a.counters.stores, b.counters.stores, "threads={threads}");
+        assert_eq!(a.eligible, b.eligible, "threads={threads}");
+    }
+}
+
+/// Campaign histograms through the cached-golden path equal the
+/// classic recompute-everything path, and repeated campaigns on one
+/// artifact never recompute the reference execution.
+#[test]
+fn reused_artifact_matches_fresh_builds_for_campaigns() {
+    let built = by_name("linear_regression").unwrap().build(Scale::Tiny);
+    let shared = Artifact::build(&built.module, &Mode::elzar_default());
+    for seed in [7u64, 8] {
+        let ccfg = CampaignConfig { runs: 40, seed, machine: cfg(2), ..Default::default() };
+        // Fresh build + full run_campaign (golden recomputed inside).
+        let fresh = Artifact::build(&built.module, &Mode::elzar_default());
+        let fresh_result = run_campaign(fresh.program(), &built.input, &ccfg);
+        // Shared artifact + cached golden run.
+        let cached_result = shared.campaign(&built.input, &ccfg);
+        assert_eq!(fresh_result.counts, cached_result.counts, "seed={seed}");
+        assert_eq!(fresh_result.eligible, cached_result.eligible);
+        assert_eq!(fresh_result.golden_cycles, cached_result.golden_cycles);
+    }
+    assert_eq!(shared.golden_cache_len(), 1, "two seeds, one machine config: one golden run");
+}
+
+/// The serving path on a reused artifact produces the same report —
+/// including the final resident-table digest — as a fresh build.
+#[test]
+fn reused_artifact_matches_fresh_builds_for_serving() {
+    let app = Service::KvA.app(Scale::Tiny);
+    let scfg = ServeConfig { requests: 80, shards: 2, fault_rate_ppm: 150_000, ..Default::default() };
+    let shared = Artifact::build(&app.module, &Mode::elzar_default());
+    // Serve twice on the shared artifact and once on a fresh build.
+    let a = shared.serve(Service::KvA, &app, &scfg);
+    let b = shared.serve(Service::KvA, &app, &scfg);
+    let fresh = Artifact::build(&app.module, &Mode::elzar_default());
+    let c = serve_program(Service::KvA, fresh.program(), &app, &scfg);
+    for (label, r) in [("rerun", &b), ("fresh", &c)] {
+        assert_eq!(a.served, r.served, "{label}");
+        assert_eq!(a.rejected, r.rejected, "{label}");
+        assert_eq!(a.injected, r.injected, "{label}");
+        assert_eq!(a.outcomes, r.outcomes, "{label}");
+        assert_eq!(a.hist, r.hist, "{label}");
+        assert_eq!(a.table_digest, r.table_digest, "{label}: serve KV digest diverged");
+        assert_eq!(a.makespan_cycles, r.makespan_cycles, "{label}");
+    }
+}
+
+/// The build-once contract the sweeps assert: an ArtifactSet sweep
+/// lowers each (workload, mode) exactly once no matter how many cells
+/// consume it. (Lowering is counted via the source closure — every
+/// `get_or_build` miss performs exactly one `Artifact::build`; the
+/// process-global `elzar::build_count()` is asserted by fig11/fig13,
+/// which own their whole process, rather than here where parallel
+/// tests also build artifacts.)
+#[test]
+fn artifact_set_lowers_once_across_a_sweep() {
+    use std::cell::Cell;
+    let built = by_name("string_match").unwrap().build(Scale::Tiny);
+    let set = ArtifactSet::new();
+    let sources = Cell::new(0u32);
+    let mut outputs = Vec::new();
+    for _round in 0..3 {
+        for threads in [1u32, 2] {
+            for mode in [Mode::NativeNoSimd, Mode::elzar_default()] {
+                let a = set.get_or_build("string_match", &mode, || {
+                    sources.set(sources.get() + 1);
+                    built.module.clone()
+                });
+                outputs.push(a.run(&built.input, cfg(threads)).output);
+            }
+        }
+    }
+    assert_eq!(
+        sources.get(),
+        2,
+        "3 rounds x 2 thread counts x 2 modes must lower exactly twice (once per mode)"
+    );
+    assert_eq!(set.len(), 2);
+    // And every run of a given mode agrees regardless of reuse round.
+    assert!(outputs.chunks(4).all(|c| c == &outputs[..4]), "reuse changed results");
+}

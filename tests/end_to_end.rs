@@ -1,14 +1,20 @@
 //! Cross-crate integration tests: full pipeline slices of each paper
-//! experiment (transform → lower → execute → measure / inject).
+//! experiment (transform → lower → execute → measure / inject), all
+//! flowing through the artifact-centric API — build once per
+//! `(workload, mode)`, run/campaign/serve on the shared artifact.
 
-use elzar_suite::elzar::{build, execute, normalized_runtime, Mode};
+use elzar_suite::elzar::{normalized_runtime, Artifact, ArtifactSet, Mode};
 use elzar_suite::elzar_apps::{throughput, App, AppParams, YcsbWorkload};
-use elzar_suite::elzar_fault::{run_campaign, CampaignConfig, OutcomeClass};
-use elzar_suite::elzar_vm::{MachineConfig, RunOutcome};
-use elzar_suite::elzar_workloads::{all_workloads, by_name, Params, Scale};
+use elzar_suite::elzar_fault::{CampaignConfig, OutcomeClass};
+use elzar_suite::elzar_vm::{MachineConfig, RunOutcome, RunResult};
+use elzar_suite::elzar_workloads::{all_workloads, by_name, BuiltWorkload, Scale};
 
-fn cfg() -> MachineConfig {
-    MachineConfig { step_limit: 5_000_000_000, ..MachineConfig::default() }
+fn cfg(threads: u32) -> MachineConfig {
+    MachineConfig { step_limit: 5_000_000_000, threads, ..MachineConfig::default() }
+}
+
+fn run(set: &ArtifactSet, built: &BuiltWorkload, name: &str, mode: &Mode, threads: u32) -> RunResult {
+    set.get_or_build(name, mode, || built.module.clone()).run(&built.input, cfg(threads))
 }
 
 /// A slice of Figure 11: the overhead ordering that defines the paper's
@@ -17,12 +23,12 @@ fn cfg() -> MachineConfig {
 fn figure11_slice_overhead_ordering() {
     // blackscholes (FP-heavy) must be among ELZAR's cheapest; smatch
     // (byte-store-heavy) among its most expensive.
+    let set = ArtifactSet::new();
     let mut overheads = std::collections::HashMap::new();
     for name in ["blackscholes", "string_match", "matrix_multiply"] {
-        let w = by_name(name).unwrap();
-        let built = w.build(&Params::new(2, Scale::Tiny));
-        let native = execute(&built.module, &Mode::Native, &built.input, cfg());
-        let elz = execute(&built.module, &Mode::elzar_default(), &built.input, cfg());
+        let built = by_name(name).unwrap().build(Scale::Tiny);
+        let native = run(&set, &built, name, &Mode::Native, 2);
+        let elz = run(&set, &built, name, &Mode::elzar_default(), 2);
         assert_eq!(native.output, elz.output, "{name}");
         overheads.insert(name, normalized_runtime(&elz, &native));
     }
@@ -39,16 +45,12 @@ fn figure11_slice_overhead_ordering() {
 #[test]
 fn figure12_slice_checks_monotone() {
     use elzar_suite::elzar::{CheckConfig, Config};
-    let w = by_name("word_count").unwrap();
-    let built = w.build(&Params::new(1, Scale::Tiny));
-    let native = execute(&built.module, &Mode::Native, &built.input, cfg());
-    let all = execute(&built.module, &Mode::Elzar(Config::default()), &built.input, cfg());
-    let none = execute(
-        &built.module,
-        &Mode::Elzar(Config { checks: CheckConfig::none(), ..Config::default() }),
-        &built.input,
-        cfg(),
-    );
+    let set = ArtifactSet::new();
+    let built = by_name("word_count").unwrap().build(Scale::Tiny);
+    let native = run(&set, &built, "wc", &Mode::Native, 1);
+    let all = run(&set, &built, "wc", &Mode::Elzar(Config::default()), 1);
+    let none_mode = Mode::Elzar(Config { checks: CheckConfig::none(), ..Config::default() });
+    let none = run(&set, &built, "wc", &none_mode, 1);
     let o_all = normalized_runtime(&all, &native);
     let o_none = normalized_runtime(&none, &native);
     assert!(o_none < o_all, "checks must cost: {o_none:.2} !< {o_all:.2}");
@@ -56,18 +58,19 @@ fn figure12_slice_checks_monotone() {
 }
 
 /// A slice of Figure 13: ELZAR improves the correct-rate on a real
-/// benchmark under fault injection.
+/// benchmark under fault injection — campaigns ride the artifact's
+/// cached golden run.
 #[test]
 fn figure13_slice_reliability_improves() {
-    let w = by_name("linear_regression").unwrap();
-    let built = w.build(&Params::new(2, Scale::Tiny));
+    let built = by_name("linear_regression").unwrap().build(Scale::Tiny);
     let campaign = |mode: &Mode| {
-        let prog = build(&built.module, mode);
-        run_campaign(
-            &prog,
+        let artifact = Artifact::build(&built.module, mode);
+        let r = artifact.campaign(
             &built.input,
-            &CampaignConfig { runs: 60, seed: 3, machine: cfg(), ..Default::default() },
-        )
+            &CampaignConfig { runs: 60, seed: 3, machine: cfg(2), ..Default::default() },
+        );
+        assert_eq!(artifact.golden_cache_len(), 1, "campaign populated the golden cache");
+        r
     };
     let native = campaign(&Mode::NativeNoSimd);
     let elzar = campaign(&Mode::elzar_default());
@@ -90,12 +93,12 @@ fn figure13_slice_reliability_improves() {
 /// memory-heavy code — the crossover that frames the paper's conclusion.
 #[test]
 fn figure14_slice_crossover() {
+    let set = ArtifactSet::new();
     let run_pair = |name: &str| {
-        let w = by_name(name).unwrap();
-        let built = w.build(&Params::new(2, Scale::Tiny));
-        let native = execute(&built.module, &Mode::Native, &built.input, cfg());
-        let sw = execute(&built.module, &Mode::SwiftR, &built.input, cfg());
-        let el = execute(&built.module, &Mode::elzar_default(), &built.input, cfg());
+        let built = by_name(name).unwrap().build(Scale::Tiny);
+        let native = run(&set, &built, name, &Mode::Native, 2);
+        let sw = run(&set, &built, name, &Mode::SwiftR, 2);
+        let el = run(&set, &built, name, &Mode::elzar_default(), 2);
         assert_eq!(sw.output, el.output, "{name}");
         (normalized_runtime(&el, &native), normalized_runtime(&sw, &native))
     };
@@ -112,15 +115,15 @@ fn figure14_slice_crossover() {
 }
 
 /// A slice of Figure 15: all three case studies keep their results under
-/// hardening and SQLite pays the most.
+/// hardening and SQLite pays the most. One artifact per (app, mode).
 #[test]
 fn figure15_slice_case_studies() {
-    let p = AppParams::new(2, Scale::Tiny, YcsbWorkload::A);
+    let p = AppParams::new(Scale::Tiny, YcsbWorkload::A);
     let mut retain = std::collections::HashMap::new();
     for app in App::all() {
         let built = app.build(&p);
-        let native = execute(&built.module, &Mode::Native, &built.input, cfg());
-        let elz = execute(&built.module, &Mode::elzar_default(), &built.input, cfg());
+        let native = Artifact::build(&built.module, &Mode::Native).run(&built.input, cfg(2));
+        let elz = Artifact::build(&built.module, &Mode::elzar_default()).run(&built.input, cfg(2));
         assert!(matches!(native.outcome, RunOutcome::Exited(_)), "{}", app.name());
         assert_eq!(native.output, elz.output, "{}", app.name());
         let tn = throughput(built.ops, native.cycles);
@@ -134,11 +137,12 @@ fn figure15_slice_case_studies() {
 /// on every benchmark.
 #[test]
 fn figure17_slice_future_avx_wins_everywhere() {
+    let set = ArtifactSet::new();
     for w in all_workloads().into_iter().take(5) {
-        let built = w.build(&Params::new(1, Scale::Tiny));
-        let native = execute(&built.module, &Mode::Native, &built.input, cfg());
-        let elz = execute(&built.module, &Mode::elzar_default(), &built.input, cfg());
-        let fut = execute(&built.module, &Mode::elzar_future_avx(), &built.input, cfg());
+        let built = w.build(Scale::Tiny);
+        let native = run(&set, &built, w.name(), &Mode::Native, 1);
+        let elz = run(&set, &built, w.name(), &Mode::elzar_default(), 1);
+        let fut = run(&set, &built, w.name(), &Mode::elzar_future_avx(), 1);
         assert_eq!(elz.output, fut.output, "{}", w.name());
         let oe = normalized_runtime(&elz, &native);
         let of = normalized_runtime(&fut, &native);
@@ -149,20 +153,20 @@ fn figure17_slice_future_avx_wins_everywhere() {
 /// Cross-crate determinism: an entire workload pipeline re-run bit-equal.
 #[test]
 fn whole_pipeline_is_deterministic() {
-    let w = by_name("dedup").unwrap();
-    let built = w.build(&Params::new(2, Scale::Tiny));
-    let a = execute(&built.module, &Mode::elzar_default(), &built.input, cfg());
-    let b = execute(&built.module, &Mode::elzar_default(), &built.input, cfg());
+    let built = by_name("dedup").unwrap().build(Scale::Tiny);
+    let artifact = Artifact::build(&built.module, &Mode::elzar_default());
+    let a = artifact.run(&built.input, cfg(2));
+    let b = artifact.run(&built.input, cfg(2));
     assert_eq!(a.output, b.output);
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.counters.instrs, b.counters.instrs);
 }
 
-/// Serving mode end-to-end: a sharded resident-VM run serves the whole
-/// stream, scales with shards, and accounts online faults coherently.
+/// Serving mode end-to-end: one artifact serves the whole stream at
+/// both shard counts, scales, and accounts online faults coherently.
 #[test]
 fn serving_mode_scales_and_accounts_faults() {
-    use elzar_suite::elzar_serve::{serve, ServeConfig, Service};
+    use elzar_suite::elzar_serve::{ServeConfig, Service};
     let mk = |shards: u32| ServeConfig {
         shards,
         requests: 120,
@@ -170,8 +174,10 @@ fn serving_mode_scales_and_accounts_faults() {
         fault_rate_ppm: 100_000,
         ..Default::default()
     };
-    let one = serve(Service::KvA, &Mode::elzar_default(), Scale::Tiny, &mk(1));
-    let four = serve(Service::KvA, &Mode::elzar_default(), Scale::Tiny, &mk(4));
+    let app = Service::KvA.app(Scale::Tiny);
+    let artifact = Artifact::build(&app.module, &Mode::elzar_default());
+    let one = artifact.serve(Service::KvA, &app, &mk(1));
+    let four = artifact.serve(Service::KvA, &app, &mk(4));
     assert_eq!(one.served + one.rejected, 120);
     assert_eq!(one.injected, four.injected);
     assert_eq!(one.outcomes, four.outcomes);
