@@ -183,39 +183,27 @@ pub fn build(p: &AppParams) -> BuiltApp {
     BuiltApp { module: m, input: encode(&ops), ops: n_ops as u64 }
 }
 
-/// Build the mini-memcached server in *serving* form: a `main` entry
-/// that preloads the resident table once, and a `serve_one` entry that
-/// processes exactly one encoded YCSB op (8 bytes, [`crate::ycsb::encode`]
-/// layout) from the input segment, outputting `(found, value)`.
-///
-/// A request is single-threaded — the serving runtime's shards provide
-/// the concurrency — so the per-bucket locks of the batch build are
-/// unnecessary here.
-pub fn build_serve(scale: Scale) -> ServeApp {
-    let n_keys: u64 = scale.pick(1_024, 4_096, 8_192);
-    let mut m = Module::new("memcached_serve");
-    let table = GLOBAL_BASE + m.alloc_global((BUCKETS * SLOTS * ENTRY) as usize) as u64;
-
-    let mut ib = FuncBuilder::new("main", vec![], Ty::I64);
-    emit_preload(&mut ib, table, n_keys);
-    ib.ret(c64(0));
-    m.add_func(ib.finish());
-
-    let mut sb = FuncBuilder::new("serve_one", vec![], Ty::I64);
-    let inp = sb.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
-    let word = sb.load(Ty::I64, inp);
-    let key = sb.bin(BinOp::And, Ty::I64, word, c64(!(1i64 << 63)));
-    let is_read = sb.bin(BinOp::LShr, Ty::I64, word, c64(63));
-    let h = sb.mul(key, c64(GOLD));
-    let h2 = sb.bin(BinOp::LShr, Ty::I64, h, c64(48));
-    let bucket = sb.bin(BinOp::And, Ty::I64, h2, c64(BUCKETS - 1));
-    let base_idx = sb.mul(bucket, c64(SLOTS * ENTRY));
-    let bucket_ptr = sb.gep(cptr(table), base_idx, 1);
-    let found = sb.alloca(Ty::I64, c64(1));
-    let val = sb.alloca(Ty::I64, c64(1));
-    sb.store(Ty::I64, c64(0), found);
-    sb.store(Ty::I64, c64(0), val);
-    sb.counted_loop(c64(0), c64(SLOTS), |b, s| {
+/// Emit the serving-form processing of one encoded YCSB op whose 8-byte
+/// record ([`crate::ycsb::encode`] layout) sits at `req_ptr`: probe the
+/// bucket, read or update, output `(found, value)`, and mark the
+/// request's completion with a heartbeat (the serving runtime reads
+/// heartbeat timestamps to attribute per-request latency inside
+/// batches). Shared by the `serve_one` and `serve_batch` entries so the
+/// two are request-for-request semantically identical.
+fn emit_serve_op(b: &mut FuncBuilder, table: u64, req_ptr: Operand) {
+    let word = b.load(Ty::I64, req_ptr);
+    let key = b.bin(BinOp::And, Ty::I64, word, c64(!(1i64 << 63)));
+    let is_read = b.bin(BinOp::LShr, Ty::I64, word, c64(63));
+    let h = b.mul(key, c64(GOLD));
+    let h2 = b.bin(BinOp::LShr, Ty::I64, h, c64(48));
+    let bucket = b.bin(BinOp::And, Ty::I64, h2, c64(BUCKETS - 1));
+    let base_idx = b.mul(bucket, c64(SLOTS * ENTRY));
+    let bucket_ptr = b.gep(cptr(table), base_idx, 1);
+    let found = b.alloca(Ty::I64, c64(1));
+    let val = b.alloca(Ty::I64, c64(1));
+    b.store(Ty::I64, c64(0), found);
+    b.store(Ty::I64, c64(0), val);
+    b.counted_loop(c64(0), c64(SLOTS), |b, s| {
         let off = b.mul(s, c64(ENTRY));
         let pk = b.gep(bucket_ptr, off, 1);
         let k = b.load(Ty::I64, pk);
@@ -248,17 +236,57 @@ pub fn build_serve(scale: Scale) -> ServeApp {
         }
         b.switch_to(next_bb);
     });
-    let f = sb.load(Ty::I64, found);
-    let v = sb.load(Ty::I64, val);
-    sb.call_builtin(Builtin::OutputI64, vec![f.into()], Ty::Void);
-    sb.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
+    let f = b.load(Ty::I64, found);
+    let v = b.load(Ty::I64, val);
+    b.call_builtin(Builtin::OutputI64, vec![f.into()], Ty::Void);
+    b.call_builtin(Builtin::OutputI64, vec![v.into()], Ty::Void);
+    b.call_builtin(Builtin::Heartbeat, vec![], Ty::Void);
+}
+
+/// Build the mini-memcached server in *serving* form: a `main` entry
+/// that preloads the resident table once, a `serve_one` entry that
+/// processes exactly one encoded YCSB op (8 bytes, [`crate::ycsb::encode`]
+/// layout) from the input segment, and a `serve_batch` entry that
+/// processes a count-prefixed mini-trace of such ops in one invocation
+/// (`Machine::reenter_batch` layout), outputting `(found, value)` per
+/// op.
+///
+/// A request is single-threaded — the serving runtime's shards provide
+/// the concurrency — so the per-bucket locks of the batch build are
+/// unnecessary here.
+pub fn build_serve(scale: Scale) -> ServeApp {
+    let n_keys: u64 = scale.pick(1_024, 4_096, 8_192);
+    let mut m = Module::new("memcached_serve");
+    let table = GLOBAL_BASE + m.alloc_global((BUCKETS * SLOTS * ENTRY) as usize) as u64;
+
+    let mut ib = FuncBuilder::new("main", vec![], Ty::I64);
+    emit_preload(&mut ib, table, n_keys);
+    ib.ret(c64(0));
+    m.add_func(ib.finish());
+
+    let mut sb = FuncBuilder::new("serve_one", vec![], Ty::I64);
+    let inp = sb.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+    emit_serve_op(&mut sb, table, inp.into());
     sb.ret(c64(0));
     m.add_func(sb.finish());
+
+    let mut bb = FuncBuilder::new("serve_batch", vec![], Ty::I64);
+    let inp = bb.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+    let count = bb.load(Ty::I64, inp);
+    bb.counted_loop(c64(0), count, |b, i| {
+        let off = b.mul(i, c64(8));
+        let rec = b.gep(inp, off, 1);
+        let req = b.gep(rec, c64(8), 1);
+        emit_serve_op(b, table, req.into());
+    });
+    bb.ret(c64(0));
+    m.add_func(bb.finish());
 
     ServeApp {
         module: m,
         init_entry: "main",
         request_entry: "serve_one",
+        batch_entry: "serve_batch",
         table_base: table,
         n_keys,
         request_bytes: 8,

@@ -61,17 +61,29 @@ pub struct BuiltApp {
 /// A case study packaged for the serving runtime (`elzar_serve`): the
 /// batch builders above run a whole trace per `main` invocation; a
 /// `ServeApp` instead exposes a one-shot init entry that builds the
-/// resident state (tables, buffers) and a per-request entry that serves
-/// exactly one encoded request from the input segment, replying through
-/// the output builtins.
+/// resident state (tables, buffers), a per-request entry that serves
+/// exactly one encoded request from the input segment, and a batched
+/// entry that serves a count-prefixed mini-trace of requests in one
+/// invocation, replying through the output builtins.
+///
+/// Every request path — single or batched — emits exactly one
+/// `heartbeat` at the request's completion; the serving runtime reads
+/// the heartbeat timestamps to attribute per-request latency inside a
+/// batch.
 #[derive(Clone, Debug)]
 pub struct ServeApp {
-    /// The program (init + per-request entries).
+    /// The program (init + per-request + batched entries).
     pub module: Module,
     /// Entry run once when a shard VM boots (preload resident state).
     pub init_entry: &'static str,
     /// Entry run per request (input segment = one encoded request).
     pub request_entry: &'static str,
+    /// Entry run per *batch*: the input segment holds a `u64` request
+    /// count followed by that many [`ServeApp::request_bytes`]-stride
+    /// records (`Machine::reenter_batch` layout); semantically
+    /// equivalent to running [`ServeApp::request_entry`] once per
+    /// record, in order.
+    pub batch_entry: &'static str,
     /// Base address of the resident KV table, `0` when stateless.
     pub table_base: u64,
     /// Keys preloaded into the table, `0` when stateless.

@@ -125,10 +125,25 @@ pub fn build(p: &AppParams) -> BuiltApp {
     BuiltApp { module: m, input: gen_bytes(0xAC, n_req * REQ_BYTES as usize), ops: n_req as u64 }
 }
 
+/// Emit the serving-form handling of one 64-byte request line at `req`:
+/// hardened parse, unhardened library page copy, the hash as the reply,
+/// and a completion heartbeat (the serving runtime reads heartbeat
+/// timestamps to attribute per-request latency inside batches). Shared
+/// by the `serve_one` and `serve_batch` entries.
+fn emit_serve_req(b: &mut FuncBuilder, page: u64, page_bytes: i64, resp_slot: u64, req: ValueId) {
+    let hash = emit_parse(b, req);
+    let resp = b.load(Ty::Ptr, cptr(resp_slot));
+    b.call_builtin(Builtin::Memcpy, vec![resp.into(), cptr(page), c64(page_bytes)], Ty::Void);
+    b.call_builtin(Builtin::OutputI64, vec![hash.into()], Ty::Void);
+    b.call_builtin(Builtin::Heartbeat, vec![], Ty::Void);
+}
+
 /// Build the mini web server in *serving* form: `main` allocates the
-/// resident response buffer once (its pointer parked in a global), and
+/// resident response buffer once (its pointer parked in a global),
 /// `serve_one` handles one 64-byte request from the input segment —
-/// hardened parse, unhardened library page copy, hash as the reply.
+/// hardened parse, unhardened library page copy, hash as the reply —
+/// and `serve_batch` handles a count-prefixed mini-trace of request
+/// lines in one invocation (`Machine::reenter_batch` layout).
 pub fn build_serve(scale: Scale) -> ServeApp {
     let page_bytes: i64 = scale.pick(16 * 1024, 32 * 1024, 64 * 1024);
     let mut m = Module::new("apache_serve");
@@ -143,18 +158,27 @@ pub fn build_serve(scale: Scale) -> ServeApp {
 
     let mut sb = FuncBuilder::new("serve_one", vec![], Ty::I64);
     let req = sb.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
-    let hash = emit_parse(&mut sb, req);
-    let resp = sb.load(Ty::Ptr, cptr(resp_slot));
-    sb.call_builtin(Builtin::Memcpy, vec![resp.into(), cptr(page), c64(page_bytes)], Ty::Void);
-    sb.call_builtin(Builtin::Heartbeat, vec![], Ty::Void);
-    sb.call_builtin(Builtin::OutputI64, vec![hash.into()], Ty::Void);
+    emit_serve_req(&mut sb, page, page_bytes, resp_slot, req);
     sb.ret(c64(0));
     m.add_func(sb.finish());
+
+    let mut bb = FuncBuilder::new("serve_batch", vec![], Ty::I64);
+    let inp = bb.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+    let count = bb.load(Ty::I64, inp);
+    bb.counted_loop(c64(0), count, |b, i| {
+        let off = b.mul(i, c64(REQ_BYTES));
+        let rec = b.gep(inp, off, 1);
+        let req = b.gep(rec, c64(8), 1);
+        emit_serve_req(b, page, page_bytes, resp_slot, req);
+    });
+    bb.ret(c64(0));
+    m.add_func(bb.finish());
 
     ServeApp {
         module: m,
         init_entry: "main",
         request_entry: "serve_one",
+        batch_entry: "serve_batch",
         table_base: 0,
         n_keys: 0,
         request_bytes: REQ_BYTES as usize,

@@ -280,6 +280,37 @@ pub fn inject_once(
     inject_one(Machine::start(prog, "main", input, cfg), golden, index, bit, hang_factor).0
 }
 
+/// Deterministically replay a committed request suffix on a machine
+/// restored from a snapshot: one [`Machine::reenter`] + run per
+/// payload, in order. Returns the total replayed virtual cycles.
+///
+/// This is the serving runtime's crash-recovery primitive, the
+/// request-granular twin of the campaign's checkpoint sharing
+/// ([`run_plans`]): a shard that snapshots every K requests does not
+/// hold the pre-request state of an arbitrary request — on a crash (or
+/// to build a fault twin) it restores the last snapshot and replays the
+/// committed-but-unsnapshotted suffix. Because the machine is
+/// deterministic and shards commit only reference executions, the
+/// replayed state is bit-identical to the state the resident machine
+/// reached by serving those requests live, whatever batching produced
+/// it.
+///
+/// # Panics
+/// Panics if a replayed request does not exit cleanly — the suffix
+/// consists of requests that already committed on the original
+/// machine, so any other outcome means `m` is not the snapshot the
+/// suffix extends.
+pub fn replay_suffix(m: &mut Machine<'_>, entry: &str, payloads: &[&[u8]]) -> u64 {
+    let mut cycles = 0;
+    for p in payloads {
+        m.reenter(entry, p);
+        let o = m.run_to_completion();
+        assert!(matches!(o, RunOutcome::Exited(_)), "suffix replay must exit cleanly, got {o:?}");
+        cycles += m.cycles_so_far().max(1);
+    }
+    cycles
+}
+
 /// Sample the campaign's fault plans: `runs` pairs of (eligible index,
 /// raw bit). The stream depends only on `(seed, eligible, runs)` — never
 /// on worker count or scheduling — so any execution order over these
@@ -523,6 +554,7 @@ mod tests {
             steps: 1,
             thread_cycles: vec![],
             heartbeats: 0,
+            heartbeat_cycles: vec![],
         };
         assert_eq!(classify(&g, &mk(RunOutcome::StepLimit, vec![], 0)), Outcome::Hang);
         assert_eq!(
@@ -564,6 +596,64 @@ mod tests {
         assert_eq!(fresh.counts, cached.counts);
         assert_eq!(fresh.eligible, cached.eligible);
         assert_eq!(fresh.golden_cycles, cached.golden_cycles);
+    }
+
+    #[test]
+    fn suffix_replay_reconstructs_resident_state() {
+        use elzar_vm::GLOBAL_BASE;
+        // A resident counter service: `main` zeroes a global
+        // accumulator, `bump` folds the input word into it and replies
+        // with the running total — the smallest stateful analog of a
+        // serving shard.
+        let mut m = Module::new("replay");
+        let acc = GLOBAL_BASE + m.alloc_global(8) as u64;
+        let mut ib = FuncBuilder::new("main", vec![], Ty::I64);
+        ib.store(Ty::I64, c64(0), elzar_ir::Operand::Imm(elzar_ir::Const::Ptr(acc)));
+        ib.ret(c64(0));
+        m.add_func(ib.finish());
+        let mut bb = FuncBuilder::new("bump", vec![], Ty::I64);
+        let pacc = elzar_ir::Operand::Imm(elzar_ir::Const::Ptr(acc));
+        let inp = bb.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let w = bb.load(Ty::I64, inp);
+        let a = bb.load(Ty::I64, pacc.clone());
+        let x = bb.mul(w, c64(3));
+        let s = bb.add(a, x);
+        bb.store(Ty::I64, s, pacc);
+        bb.call_builtin(Builtin::OutputI64, vec![s.into()], Ty::Void);
+        bb.ret(c64(0));
+        m.add_func(bb.finish());
+        let prog = build(&m, &Mode::elzar_default());
+
+        let mut live = Machine::start(&prog, "main", &[], MachineConfig::default());
+        assert!(matches!(live.run_to_completion(), RunOutcome::Exited(_)));
+        let snapshot = live.clone();
+
+        // The live machine commits a suffix of requests...
+        let payloads: Vec<[u8; 8]> = (1..=5u64).map(|i| (i * 7).to_le_bytes()).collect();
+        let suffix: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        for p in &suffix {
+            live.reenter("bump", p);
+            assert!(matches!(live.run_to_completion(), RunOutcome::Exited(_)));
+        }
+        // ...and a restored snapshot replays it deterministically.
+        let mut restored = snapshot;
+        let replayed = replay_suffix(&mut restored, "bump", &suffix);
+        assert!(replayed > 0);
+
+        // Both machines now serve the same next request bit-identically
+        // — state, reply and timing all reconstructed.
+        let next = 99u64.to_le_bytes();
+        live.reenter("bump", &next);
+        let o1 = live.run_to_completion();
+        let r1 = live.result(o1);
+        restored.reenter("bump", &next);
+        let o2 = restored.run_to_completion();
+        let r2 = restored.result(o2);
+        assert_eq!(r1.outcome, r2.outcome);
+        assert_eq!(r1.output, r2.output);
+        assert_eq!(r1.cycles, r2.cycles);
+        let total = u64::from_le_bytes(r1.output[..8].try_into().unwrap());
+        assert_eq!(total, (1..=5u64).map(|i| i * 7 * 3).sum::<u64>() + 99 * 3);
     }
 
     #[test]

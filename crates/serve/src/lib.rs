@@ -14,29 +14,42 @@
 //!    virtual-cycle arrival schedule, and routes each request to its
 //!    owning shard by key hash;
 //! 2. every shard boots one resident hardened VM ([`elzar_vm::Machine`]
-//!    with segmented memory: the preloaded state persists, requests
-//!    re-enter a per-request entry point with snapshot-cheap clones for
-//!    fault twins and crash recovery);
-//! 3. shards drain on their own OS threads — workers pull shard ids
+//!    with segmented memory: the preloaded state persists across
+//!    requests);
+//! 3. whenever a shard is free it drains up to
+//!    [`ServeConfig::batch_size`] arrived requests into one *batch* —
+//!    a count-prefixed mini-trace executed by a single
+//!    [`elzar_vm::Machine::reenter_batch`] — amortizing the per-entry
+//!    costs (thread spawn, cold core state) while per-request latency
+//!    is still attributed in virtual time from each request's arrival
+//!    to its own completion heartbeat inside the batch;
+//! 4. shards snapshot their machine every
+//!    [`ServeConfig::snapshot_interval`] committed requests (a
+//!    usage-proportional clone, charged in virtual cycles) and recover
+//!    from crashes by restoring the last snapshot and deterministically
+//!    replaying the committed suffix ([`elzar_fault::replay_suffix`]);
+//! 5. shards drain on their own OS threads — workers pull shard ids
 //!    from a shared counter, so any worker count yields bit-identical
 //!    results — under a bounded per-shard queue enforced in virtual
 //!    time;
-//! 4. an online fault-injection schedule flips destination-register
+//! 6. an online fault-injection schedule flips destination-register
 //!    bits mid-service and classifies every hit per Table I
 //!    (Masked / ElzarCorrected / Sdc / Crashed-with-restart-from-
 //!    snapshot), turning the batch campaign taxonomy into an
 //!    availability / SDC-rate-under-load metric;
-//! 5. the [`ServeReport`] aggregates per-shard throughput, a
+//! 7. the [`ServeReport`] aggregates per-shard throughput, a
 //!    log-bucketed latency histogram (p50/p90/p99/p999), outcome
-//!    counts and the final resident-table digest.
+//!    counts, snapshot/replay cost and the final resident-table digest.
 //!
 //! Determinism contract: everything in the report — outcome counts,
 //! latency histogram, digests, cycle totals — is a pure function of
 //! `(program, service, scale, ServeConfig)`. Worker count only changes
-//! wall-clock time; shard count changes latency/throughput (that is the
-//! point) but never fault outcome counts or the table digest, because
-//! the fault schedule keys on global request ids and each shard commits
-//! only reference executions (see [`shard`] for the full argument).
+//! wall-clock time; shard count, batch size and snapshot interval
+//! change latency/throughput (that is the point) but never fault
+//! outcome counts or the table digest, because the fault schedule keys
+//! on global request ids, fault-scheduled requests always execute
+//! through the single-request entry, and each shard commits only
+//! reference executions (see [`shard`] for the full argument).
 //!
 //! The runtime consumes an already-lowered [`elzar_vm::Program`] — how
 //! it was hardened is the build pipeline's business (`elzar::Artifact`
@@ -78,6 +91,26 @@ pub struct ServeConfig {
     pub shards: u32,
     /// Host OS threads draining shards (never changes results).
     pub workers: u32,
+    /// Maximum requests a shard drains into one batched VM entry when
+    /// it becomes free (`1` = unbatched single-request serving; the
+    /// shard never *waits* to fill a batch, so light load degenerates
+    /// to size-1 batches). Batched runs also break at snapshot
+    /// boundaries, so the effective amortization is
+    /// `min(batch_size, snapshot_interval)` — batching is a no-op at
+    /// `snapshot_interval = 1`. Changes latency/throughput, never
+    /// outcome counts or the table digest.
+    pub batch_size: u32,
+    /// Snapshot the resident machine every this many committed
+    /// requests. Small intervals pay clone cost
+    /// ([`ServeConfig::snapshot_bytes_per_cycle`]) on the steady path;
+    /// large intervals pay suffix-replay cost on every crash. Changes
+    /// latency/availability, never outcome counts or the table digest.
+    pub snapshot_interval: u32,
+    /// Snapshot cost model: a periodic clone is charged
+    /// `resident_bytes / snapshot_bytes_per_cycle` virtual cycles (the
+    /// default, 64 B/cycle at the simulated 2 GHz, is a 128 GB/s
+    /// streaming copy).
+    pub snapshot_bytes_per_cycle: u64,
     /// Bounded per-shard queue: requests arriving with this many
     /// earlier requests still in flight are rejected.
     pub queue_capacity: usize,
@@ -102,6 +135,9 @@ impl Default for ServeConfig {
         ServeConfig {
             shards: 4,
             workers: std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(4),
+            batch_size: 1,
+            snapshot_interval: 8,
+            snapshot_bytes_per_cycle: 64,
             queue_capacity: 4096,
             mean_gap_cycles: 2_000,
             requests: 1_000,
@@ -175,14 +211,26 @@ pub struct ServeReport {
     pub served: u64,
     /// Requests rejected by bounded queues.
     pub rejected: u64,
+    /// Batched-entry invocations across all shards (fault-scheduled
+    /// requests run solo and are not counted).
+    pub batches: u64,
     /// Requests that took an injected fault.
     pub injected: u64,
     /// Outcome counts for injected requests, Table-I order.
     pub outcomes: [u64; 5],
     /// Shard restarts (crashed/hung requests).
     pub restarts: u64,
-    /// Virtual cycles spent in snapshot restores.
+    /// Virtual cycles shards were unavailable recovering from crashes:
+    /// `restart_cycles + suffix replay` per restart.
     pub downtime_cycles: u64,
+    /// Crash-recovery suffix-replay cycles alone (grows with
+    /// [`ServeConfig::snapshot_interval`]).
+    pub replay_cycles: u64,
+    /// Periodic machine snapshots taken across all shards.
+    pub snapshots: u64,
+    /// Virtual cycles charged for periodic snapshot clones (shrinks as
+    /// [`ServeConfig::snapshot_interval`] grows).
+    pub snapshot_cycles: u64,
     /// Virtual time from 0 to the last completion.
     pub makespan_cycles: u64,
     /// FNV-1a digest of the final resident tables — each key read from
@@ -197,7 +245,8 @@ impl ServeReport {
         self.outcomes[o.index()]
     }
 
-    /// Aggregate throughput in requests per simulated second.
+    /// Aggregate throughput in requests per simulated second:
+    /// `served * FREQ_HZ / makespan_cycles` (0.0 for an empty report).
     pub fn throughput_rps(&self) -> f64 {
         if self.makespan_cycles == 0 {
             0.0
@@ -206,18 +255,25 @@ impl ServeReport {
         }
     }
 
-    /// Latency quantile in cycles.
+    /// Latency quantile in cycles: the upper edge of the histogram
+    /// bucket covering rank `ceil(q * served)` (≤ 12.5 % relative
+    /// error, never past the exact maximum). `q` is clamped to
+    /// `[0, 1]`; `q = 0` reports the smallest recorded bucket, `q = 1`
+    /// the exact maximum, and an empty report yields 0.
     pub fn quantile_cycles(&self, q: f64) -> u64 {
         self.hist.quantile(q)
     }
 
-    /// Latency quantile in microseconds of simulated time.
+    /// [`ServeReport::quantile_cycles`] converted to microseconds of
+    /// simulated time: `quantile_cycles(q) / FREQ_HZ * 1e6`.
     pub fn quantile_us(&self, q: f64) -> f64 {
         self.hist.quantile(q) as f64 / FREQ_HZ * 1e6
     }
 
-    /// Fraction of the makespan *not* lost to crash restarts, summed
-    /// over shards (1.0 with no restarts).
+    /// Fraction of total shard-time *not* lost to crash recovery:
+    /// `1 - downtime_cycles / (makespan_cycles * shards)`, where
+    /// downtime is `restart_cycles + suffix replay` per restart
+    /// (1.0 with no restarts or an empty report).
     pub fn availability(&self) -> f64 {
         let span = self.makespan_cycles.saturating_mul(self.shards.len().max(1) as u64);
         if span == 0 {
@@ -228,7 +284,8 @@ impl ServeReport {
     }
 
     /// Observed SDC rate under load: silently corrupted replies over
-    /// served requests.
+    /// served requests, `count(Sdc) / served` (0.0 when nothing was
+    /// served).
     pub fn sdc_rate(&self) -> f64 {
         if self.served == 0 {
             0.0
@@ -250,6 +307,29 @@ fn fnv_fold(h: u64, word: u64) -> u64 {
 
 /// Generate `service`'s request stream and serve it to completion on an
 /// already-built program (the serving half of `elzar::Artifact::serve`).
+///
+/// ```
+/// use elzar::{Artifact, Mode};
+/// use elzar_apps::Scale;
+/// use elzar_serve::{serve_program, ServeConfig, Service};
+///
+/// let app = Service::KvA.app(Scale::Tiny);
+/// let artifact = Artifact::build(&app.module, &Mode::elzar_default());
+/// let cfg = ServeConfig {
+///     requests: 48,
+///     shards: 2,
+///     batch_size: 4,
+///     snapshot_interval: 16,
+///     ..Default::default()
+/// };
+/// let report = serve_program(Service::KvA, artifact.program(), &app, &cfg);
+/// assert_eq!(report.served + report.rejected, 48);
+/// // Batching never changes the committed state: the digest matches an
+/// // unbatched run of the same stream.
+/// let unbatched = ServeConfig { batch_size: 1, ..cfg.clone() };
+/// let reference = serve_program(Service::KvA, artifact.program(), &app, &unbatched);
+/// assert_eq!(report.table_digest, reference.table_digest);
+/// ```
 pub fn serve_program(service: Service, prog: &Program, app: &ServeApp, cfg: &ServeConfig) -> ServeReport {
     let stream = service.stream(app, cfg);
     serve_stream(prog, app, &stream, cfg)
@@ -297,10 +377,14 @@ pub fn serve_stream(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &Se
         hist: LatencyHistogram::new(),
         served: 0,
         rejected: 0,
+        batches: 0,
         injected: 0,
         outcomes: [0; 5],
         restarts: 0,
         downtime_cycles: 0,
+        replay_cycles: 0,
+        snapshots: 0,
+        snapshot_cycles: 0,
         makespan_cycles: 0,
         table_digest: FNV_OFFSET,
     };
@@ -309,12 +393,16 @@ pub fn serve_stream(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &Se
         report.hist.merge(&out.stats.hist);
         report.served += out.stats.served;
         report.rejected += out.stats.rejected;
+        report.batches += out.stats.batches;
         report.injected += out.stats.injected;
         for (a, b) in report.outcomes.iter_mut().zip(out.stats.outcomes) {
             *a += b;
         }
         report.restarts += out.stats.restarts;
         report.downtime_cycles += out.stats.downtime_cycles;
+        report.replay_cycles += out.stats.replay_cycles;
+        report.snapshots += out.stats.snapshots;
+        report.snapshot_cycles += out.stats.snapshot_cycles;
         report.makespan_cycles = report.makespan_cycles.max(out.stats.last_completion);
         table.extend(out.table.iter().copied());
         report.shards.push(out.stats);

@@ -1,46 +1,87 @@
-//! One serving shard: a resident hardened VM drained serially in
-//! arrival order, with snapshot-based recovery and per-request online
-//! fault accounting.
+//! One serving shard: a resident hardened VM drained in arrival order
+//! with batched request execution, K-interval snapshots with
+//! suffix-replay recovery, and per-request online fault accounting.
 //!
 //! ## Execution model
 //!
 //! A shard boots once (`init_entry` preloads resident state — e.g. the
-//! KV table — into the machine's memory), then serves each routed
-//! request as one [`Machine::reenter`] + run. Time is *virtual*: the
-//! VM's cycle counts drive a serial FIFO queue model, so results are
-//! independent of host threads and wall-clock.
+//! KV table — into the machine's memory), then serves its routed
+//! requests in arrival order. Time is *virtual*: the VM's cycle counts
+//! drive a serial queue model, so results are independent of host
+//! threads and wall-clock.
+//!
+//! ## Batching
+//!
+//! Whenever the shard becomes free at virtual time `t`, it drains every
+//! admitted request that has arrived by `t` — up to
+//! [`ServeConfig::batch_size`] — into one *batch* and executes it as a
+//! single [`Machine::reenter_batch`] over the requests' concatenated
+//! payloads (a count-prefixed mini-trace). The shard never waits to
+//! fill a batch: under light load batches degenerate to size 1, under
+//! saturation they amortize the per-entry costs (thread spawn, cold
+//! L1/L2/branch state — a fresh core per re-entry is exactly what makes
+//! single-request serving expensive) across `batch_size` requests.
+//! Per-request latency stays honest inside a batch: every request emits
+//! one heartbeat at completion, and the runtime converts the machine's
+//! heartbeat timestamps into per-request completion instants — request
+//! `i` of a batch completes at `batch_start + heartbeat_cycles[i]`, not
+//! at the batch's end.
 //!
 //! ## Bounded queue (admission control)
 //!
 //! The per-shard queue bound is enforced in virtual time: a request
 //! arriving while `queue_capacity` earlier requests are still in flight
-//! is rejected (never executed). Host-side, the shard's pending
-//! requests are a pre-routed slice drained in arrival order — which is
-//! exactly what makes the bound deterministic.
+//! (queued, batched-but-unfinished, or executing) is rejected — never
+//! executed. Host-side, the shard's pending requests are a pre-routed
+//! slice drained in arrival order, which is what makes the bound
+//! deterministic.
+//!
+//! ## K-interval snapshots and suffix replay
+//!
+//! The shard clones its machine ([`Machine`] clones are
+//! usage-proportional) every [`ServeConfig::snapshot_interval`]
+//! *committed* requests, charging the clone
+//! `resident_bytes / snapshot_bytes_per_cycle` virtual cycles, and
+//! remembers the payloads committed since (`suffix`). Recovery and
+//! fault twins are built from that machinery alone — never from an
+//! on-demand pre-request clone:
+//!
+//! * a *fault twin* (the execution that takes the SEU) is
+//!   `snapshot.clone()` + [`elzar_fault::replay_suffix`] — a
+//!   deterministic re-execution of the committed suffix that
+//!   reconstructs the pre-request state bit-for-bit;
+//! * a *crashed* outcome (hang / OS-detected) restarts the shard the
+//!   same way: the request's detour is
+//!   `faulty_cycles + restart_cycles + replay_cycles + clean_cycles`,
+//!   and `restart_cycles + replay_cycles` counts as downtime.
+//!
+//! Small intervals pay clone cost on the steady path; large intervals
+//! pay replay cost on every crash — the trade-off `fig_serve`'s
+//! restart curve measures.
 //!
 //! ## Online fault accounting (reference-committed)
 //!
 //! A deterministic per-request schedule (a pure function of the
-//! campaign seed and the request id — never of shard count, queueing or
-//! host threads) picks which requests take a single-event upset. For
-//! such a request the shard snapshots its pre-request state (a cheap,
-//! usage-proportional [`Machine`] clone), runs the request *clean* to
-//! obtain the per-request golden reference, then replays the snapshot
-//! under the fault through [`elzar_fault::inject_one`] — the same
-//! single-run injector the batch campaign uses. Classification follows
-//! Table I; a crashed/hung outcome restarts the shard from the
-//! pre-request snapshot and replays the request (the SEU is transient),
-//! charging the wasted cycles plus a restart penalty to the request's
-//! latency. The *committed* state is always the reference execution's,
-//! so the resident state evolves as a pure function of the committed
-//! request sequence — this is what makes outcome counts and final table
-//! digests bit-identical across shard and worker counts.
+//! campaign seed and the global request id — never of shard count,
+//! batching, snapshot cadence or host threads) picks which requests
+//! take a single-event upset. A scheduled request always executes
+//! through the *single-request* entry: the shard runs it clean on the
+//! resident machine to obtain the per-request golden reference (this is
+//! what commits), then replays the suffix-reconstructed twin under the
+//! fault through [`elzar_fault::inject_one`] — the same single-run
+//! injector the batch campaign uses. Classification follows Table I.
+//! The *committed* state is always the reference execution's, so the
+//! resident state evolves as a pure function of the committed request
+//! sequence — which is why outcome counts and final table digests are
+//! bit-identical across shard counts, worker counts, batch sizes and
+//! snapshot intervals (fault-free batches write exactly the bytes the
+//! equivalent single-request sequence would).
 
 use crate::gen::{shard_of, Request};
 use crate::histogram::LatencyHistogram;
 use crate::ServeConfig;
 use elzar_apps::{kv, ServeApp};
-use elzar_fault::{inject_one, GoldenRun, OutcomeClass};
+use elzar_fault::{inject_one, replay_suffix, GoldenRun, OutcomeClass};
 use elzar_rng::{splitmix64, DetRng};
 use elzar_vm::{Machine, Program, RunOutcome};
 use std::collections::VecDeque;
@@ -54,6 +95,9 @@ pub struct ShardStats {
     pub served: u64,
     /// Requests rejected by the bounded queue (never executed).
     pub rejected: u64,
+    /// Batched-entry invocations (fault-scheduled requests run solo
+    /// through the single-request entry and are not counted).
+    pub batches: u64,
     /// Requests that took an injected fault.
     pub injected: u64,
     /// Outcome counts for injected requests, Table-I order
@@ -61,8 +105,19 @@ pub struct ShardStats {
     pub outcomes: [u64; 5],
     /// Shard restarts from snapshot (crashed/hung requests).
     pub restarts: u64,
-    /// Virtual cycles spent restoring snapshots after crashes.
+    /// Virtual cycles spent restoring snapshots and replaying suffixes
+    /// after crashes (`restart_cycles + replay` per restart).
     pub downtime_cycles: u64,
+    /// Virtual cycles of crash-recovery suffix replay alone (the part
+    /// of downtime that grows with `snapshot_interval`).
+    pub replay_cycles: u64,
+    /// Periodic snapshots taken (the boot snapshot is free — it happens
+    /// before traffic).
+    pub snapshots: u64,
+    /// Virtual cycles charged for periodic snapshot clones
+    /// (`resident_bytes / snapshot_bytes_per_cycle` each — the cost
+    /// that grows as `snapshot_interval` shrinks).
+    pub snapshot_cycles: u64,
     /// Virtual cycles the shard spent executing requests.
     pub busy_cycles: u64,
     /// Completion time of the shard's last request (0 if none).
@@ -77,10 +132,14 @@ impl ShardStats {
             shard,
             served: 0,
             rejected: 0,
+            batches: 0,
             injected: 0,
             outcomes: [0; 5],
             restarts: 0,
             downtime_cycles: 0,
+            replay_cycles: 0,
+            snapshots: 0,
+            snapshot_cycles: 0,
             busy_cycles: 0,
             last_completion: 0,
             hist: LatencyHistogram::new(),
@@ -118,79 +177,167 @@ pub(crate) fn drain_shard(
     let boot = m.run_to_completion();
     assert!(matches!(boot, RunOutcome::Exited(_)), "shard init must exit cleanly, got {boot:?}");
 
+    let batch_size = cfg.batch_size.max(1) as usize;
+    let interval = cfg.snapshot_interval.max(1) as usize;
+
     let mut stats = ShardStats::new(shard);
     // Completion times of accepted-but-unfinished requests at the next
     // arrival instant (the virtual-time queue).
     let mut inflight: VecDeque<u64> = VecDeque::new();
     let mut clock = 0u64;
-    for req in requests {
-        while inflight.front().is_some_and(|&c| c <= req.arrival) {
-            inflight.pop_front();
+    // Recovery machinery: the boot snapshot plus the payloads committed
+    // since the last snapshot, in commit order.
+    let mut snap = m.clone();
+    let mut suffix: Vec<&[u8]> = Vec::new();
+
+    let mut i = 0;
+    while i < requests.len() {
+        // Batch formation: drain everything that has arrived by the
+        // instant the shard picks up work, up to `batch_size`.
+        // Admission is checked at each request's own arrival instant,
+        // counting both executed-but-unfinished batches and the batch
+        // being formed.
+        let mut batch: Vec<&Request> = Vec::new();
+        let mut start = 0u64;
+        while i < requests.len() && batch.len() < batch_size {
+            let req = requests[i];
+            if batch.is_empty() {
+                start = clock.max(req.arrival);
+            } else if req.arrival > start {
+                break;
+            }
+            while inflight.front().is_some_and(|&c| c <= req.arrival) {
+                inflight.pop_front();
+            }
+            if inflight.len() + batch.len() >= cfg.queue_capacity {
+                stats.rejected += 1;
+                i += 1;
+                continue;
+            }
+            batch.push(req);
+            i += 1;
         }
-        if inflight.len() >= cfg.queue_capacity {
-            stats.rejected += 1;
+        if batch.is_empty() {
             continue;
         }
 
-        // Snapshot before touching the machine iff this request is
-        // scheduled to take a fault (the clean run below mutates the
-        // resident state).
-        let fault = fault_rng_for(cfg, req.id);
-        let snapshot = fault.is_some().then(|| m.clone());
+        // Execute the batch as segments: maximal fault-free runs go
+        // through the batched entry; fault-scheduled requests run solo
+        // (identically for every batch size — the invariance the
+        // differential test pins); segments also end at snapshot
+        // boundaries so clones always happen between requests.
+        let mut t = start;
+        let mut k = 0;
+        while k < batch.len() {
+            if let Some(mut rng) = fault_rng_for(cfg, batch[k].id) {
+                let req = batch[k];
+                // Reference execution — this is what commits.
+                m.reenter(app.request_entry, &req.payload);
+                let outcome = m.run_to_completion();
+                assert!(
+                    matches!(outcome, RunOutcome::Exited(_)),
+                    "fault-free request {} must exit cleanly, got {outcome:?}",
+                    req.id
+                );
+                let clean = m.result(outcome);
 
-        // Reference execution — this is what commits.
-        m.reenter(app.request_entry, &req.payload);
-        let outcome = m.run_to_completion();
-        assert!(
-            matches!(outcome, RunOutcome::Exited(_)),
-            "fault-free request {} must exit cleanly, got {outcome:?}",
-            req.id
-        );
-        let clean = m.result(outcome);
-
-        let mut service = clean.cycles.max(1);
-        if let (Some(mut rng), Some(snap)) = (fault, snapshot) {
-            // Degenerate requests that retire no eligible instruction
-            // (nothing to corrupt) let the schedule slot pass unfired.
-            if clean.eligible > 0 {
-                let index = rng.range_inclusive(1, clean.eligible);
-                let bit = rng.below(256) as u32;
-                let golden = GoldenRun {
-                    output: clean.output.clone(),
-                    outcome: clean.outcome,
-                    eligible: clean.eligible,
-                    steps: clean.steps,
-                    cycles: clean.cycles,
-                };
-                let mut twin = snap;
-                twin.reenter(app.request_entry, &req.payload);
-                let (o, faulty) = inject_one(twin, &golden, index, bit, cfg.hang_factor);
-                stats.injected += 1;
-                stats.outcomes[o.index()] += 1;
-                service = match o.class() {
-                    // Detected crash/hang: restore the pre-request
-                    // snapshot and replay (the SEU does not recur); the
-                    // client waits out the whole detour.
-                    OutcomeClass::Crashed => {
-                        stats.restarts += 1;
-                        stats.downtime_cycles += cfg.restart_cycles;
-                        faulty.cycles.max(1) + cfg.restart_cycles + clean.cycles.max(1)
-                    }
-                    // Masked / corrected / SDC: the faulty execution is
-                    // what production ran.
-                    _ => faulty.cycles.max(1),
-                };
+                let mut service = clean.cycles.max(1);
+                // Degenerate requests that retire no eligible
+                // instruction (nothing to corrupt) let the schedule
+                // slot pass unfired.
+                if clean.eligible > 0 {
+                    let index = rng.range_inclusive(1, clean.eligible);
+                    let bit = rng.below(256) as u32;
+                    let golden = GoldenRun {
+                        output: clean.output.clone(),
+                        outcome: clean.outcome,
+                        eligible: clean.eligible,
+                        steps: clean.steps,
+                        cycles: clean.cycles,
+                    };
+                    // The twin comes from the recovery machinery, not a
+                    // fresh clone: restore the last snapshot, replay
+                    // the committed suffix to the pre-request state.
+                    let mut twin = snap.clone();
+                    let replay = replay_suffix(&mut twin, app.request_entry, &suffix);
+                    twin.reenter(app.request_entry, &req.payload);
+                    let (o, faulty) = inject_one(twin, &golden, index, bit, cfg.hang_factor);
+                    stats.injected += 1;
+                    stats.outcomes[o.index()] += 1;
+                    service = match o.class() {
+                        // Detected crash/hang: production restores the
+                        // snapshot, replays the suffix and re-runs the
+                        // request (the SEU does not recur); the client
+                        // waits out the whole detour.
+                        OutcomeClass::Crashed => {
+                            stats.restarts += 1;
+                            stats.replay_cycles += replay;
+                            stats.downtime_cycles += cfg.restart_cycles + replay;
+                            faulty.cycles.max(1) + cfg.restart_cycles + replay + clean.cycles.max(1)
+                        }
+                        // Masked / corrected / SDC: the faulty
+                        // execution is what production ran.
+                        _ => faulty.cycles.max(1),
+                    };
+                }
+                let completion = t + service;
+                stats.hist.record(completion - req.arrival);
+                inflight.push_back(completion);
+                stats.busy_cycles += service;
+                stats.served += 1;
+                stats.last_completion = completion;
+                t = completion;
+                suffix.push(&req.payload);
+                k += 1;
+            } else {
+                // Maximal fault-free segment, capped by the snapshot
+                // boundary.
+                let room = interval - suffix.len();
+                let mut end = k + 1;
+                while end < batch.len() && end - k < room && fault_rng_for(cfg, batch[end].id).is_none() {
+                    end += 1;
+                }
+                let seg = &batch[k..end];
+                let parts: Vec<&[u8]> = seg.iter().map(|r| &*r.payload).collect();
+                m.reenter_batch(app.batch_entry, &parts);
+                let outcome = m.run_to_completion();
+                assert!(
+                    matches!(outcome, RunOutcome::Exited(_)),
+                    "fault-free batch at request {} must exit cleanly, got {outcome:?}",
+                    seg[0].id
+                );
+                let r = m.result(outcome);
+                assert_eq!(
+                    r.heartbeat_cycles.len(),
+                    seg.len(),
+                    "serve batch entries emit exactly one heartbeat per request"
+                );
+                for (req, &hb) in seg.iter().zip(&r.heartbeat_cycles) {
+                    let completion = t + hb.max(1);
+                    stats.hist.record(completion - req.arrival);
+                    inflight.push_back(completion);
+                    stats.served += 1;
+                    stats.last_completion = completion;
+                }
+                let cycles = r.cycles.max(1);
+                stats.busy_cycles += cycles;
+                stats.batches += 1;
+                t += cycles;
+                suffix.extend(parts);
+                k = end;
+            }
+            // Periodic snapshot: clone the quiescent machine, charge
+            // the copy in virtual time, restart the suffix.
+            if suffix.len() >= interval {
+                snap = m.clone();
+                suffix.clear();
+                stats.snapshots += 1;
+                let cost = m.memory().resident_bytes() / cfg.snapshot_bytes_per_cycle.max(1);
+                stats.snapshot_cycles += cost;
+                t += cost;
             }
         }
-
-        let start = clock.max(req.arrival);
-        let completion = start + service;
-        clock = completion;
-        inflight.push_back(completion);
-        stats.hist.record(completion - req.arrival);
-        stats.busy_cycles += service;
-        stats.served += 1;
-        stats.last_completion = completion;
+        clock = t;
     }
 
     // Final resident-table values for the keys this shard owns.

@@ -114,6 +114,13 @@ pub struct RunResult {
     pub thread_cycles: Vec<u64>,
     /// Heartbeats emitted.
     pub heartbeats: u64,
+    /// Retire cycle of every heartbeat, in execution order. Serving
+    /// entries emit one heartbeat per completed request, so for a
+    /// batched invocation ([`Machine::reenter_batch`]) entry `i` is the
+    /// virtual completion offset of the batch's `i`-th request — the
+    /// hook the serving runtime uses to attribute per-request latency
+    /// inside a batch.
+    pub heartbeat_cycles: Vec<u64>,
 }
 
 impl RunResult {
@@ -339,6 +346,7 @@ pub struct Machine<'p> {
     eligible: u64,
     steps: u64,
     heartbeats: u64,
+    heartbeat_cycles: Vec<u64>,
     input_len: u64,
     phi_scratch: Vec<(u32, RtVal, u64)>,
 }
@@ -369,6 +377,7 @@ impl<'p> Machine<'p> {
             eligible: 0,
             steps: 0,
             heartbeats: 0,
+            heartbeat_cycles: Vec::new(),
             input_len: input.len() as u64,
             phi_scratch: Vec::new(),
         }
@@ -441,13 +450,42 @@ impl<'p> Machine<'p> {
     /// Panics if `entry` does not exist in the program or `input` does
     /// not fit in the input segment.
     pub fn reenter(&mut self, entry: &str, input: &[u8]) {
+        self.mem.set_input(input);
+        self.reenter_reset(entry, input.len() as u64);
+    }
+
+    /// [`Machine::reenter`] for a *batched* invocation: the input
+    /// segment receives a multi-request image — a `u64` record count
+    /// followed by the concatenated `parts`, one encoded request each
+    /// ([`Memory::set_input_parts`] layout) — and `entry` runs once over
+    /// the whole mini-trace. Batched serve entries read the count from
+    /// the first input word and iterate the fixed-stride records behind
+    /// it, emitting one heartbeat per request so
+    /// [`RunResult::heartbeat_cycles`] carries each request's completion
+    /// offset inside the batch.
+    ///
+    /// Everything else behaves exactly like [`Machine::reenter`]: the
+    /// resident memory and warm L3 survive, threads/output/counters and
+    /// any fault plan are reset, and the run starts at cycle 0.
+    ///
+    /// # Panics
+    /// Panics if `entry` does not exist in the program or the combined
+    /// image does not fit in the input segment.
+    pub fn reenter_batch(&mut self, entry: &str, parts: &[&[u8]]) {
+        let len = self.mem.set_input_parts(parts);
+        self.reenter_reset(entry, len as u64);
+    }
+
+    /// The reset shared by [`Machine::reenter`] and
+    /// [`Machine::reenter_batch`] — everything except writing the input
+    /// image, which the callers have already done.
+    fn reenter_reset(&mut self, entry: &str, input_len: u64) {
         let entry_idx =
             self.prog.func_by_name(entry).unwrap_or_else(|| panic!("entry function `{entry}` not found"));
-        self.mem.set_input(input);
         // Fresh stacks: a new invocation must read zeros where a fresh
         // machine would, not the previous invocation's frames.
         self.mem.reset_stacks();
-        self.input_len = input.len() as u64;
+        self.input_len = input_len;
         self.threads.clear();
         self.locks = LockTable::default();
         // Stale atomic serialization points carry release cycles from
@@ -459,6 +497,7 @@ impl<'p> Machine<'p> {
         self.eligible = 0;
         self.steps = 0;
         self.heartbeats = 0;
+        self.heartbeat_cycles.clear();
         self.cfg.fault = None;
         self.spawn(entry_idx, 0, 0).expect("spawning the entry thread cannot fail");
     }
@@ -467,6 +506,14 @@ impl<'p> Machine<'p> {
     /// [`Machine::reenter`] invocations).
     pub fn memory(&self) -> &Memory {
         &self.mem
+    }
+
+    /// Wall-clock cycles of the current invocation so far (max over
+    /// thread clocks) — [`RunResult::cycles`] without materializing a
+    /// result. Replay loops that only need timing use this instead of
+    /// cloning output/counter vectors per request.
+    pub fn cycles_so_far(&self) -> u64 {
+        self.threads.iter().map(|t| t.core.cycles()).max().unwrap_or(0)
     }
 
     /// Execute one scheduler round: wake joiners, give every ready
@@ -561,6 +608,7 @@ impl<'p> Machine<'p> {
             steps: self.steps,
             thread_cycles,
             heartbeats: self.heartbeats,
+            heartbeat_cycles: self.heartbeat_cycles.clone(),
         }
     }
 
@@ -1349,7 +1397,12 @@ impl<'p> Machine<'p> {
             }
             Builtin::Heartbeat => {
                 self.heartbeats += 1;
-                (RtVal::S(0), core.retire(InstClass::LibCall, &[deps]))
+                let done = core.retire(InstClass::LibCall, &[deps]);
+                // Timestamp in the emitting thread's clock domain —
+                // serve entries are single-threaded, so for them this
+                // is the request's virtual completion offset.
+                self.heartbeat_cycles.push(done);
+                (RtVal::S(0), done)
             }
             Builtin::Spawn | Builtin::Join | Builtin::Lock | Builtin::Unlock => {
                 unreachable!("thread builtins handled separately")

@@ -172,6 +172,34 @@ impl Memory {
         self.input[input.len()..].fill(0);
     }
 
+    /// Replace the input image with a *multi-request* segment: a `u64`
+    /// record count at [`INPUT_BASE`], followed by the concatenated
+    /// `parts` (one encoded request each, fixed stride per program).
+    /// The tail of any previous image is zeroed exactly as
+    /// [`Memory::set_input`] does. Returns the total image length.
+    ///
+    /// This is the layout batched serve entries consume: they read the
+    /// count from the first word and iterate the records at
+    /// `INPUT_BASE + 8`. Used by [`crate::Machine::reenter_batch`].
+    ///
+    /// # Panics
+    /// Panics if the combined image does not fit in the input segment.
+    pub fn set_input_parts(&mut self, parts: &[&[u8]]) -> usize {
+        let total = 8 + parts.iter().map(|p| p.len()).sum::<usize>();
+        assert!(INPUT_BASE + total as u64 <= HEAP_BASE, "batched input too large");
+        if self.input.len() < total {
+            self.input.resize(total, 0);
+        }
+        self.input[..8].copy_from_slice(&(parts.len() as u64).to_le_bytes());
+        let mut off = 8;
+        for p in parts {
+            self.input[off..off + p.len()].copy_from_slice(p);
+            off += p.len();
+        }
+        self.input[off..].fill(0);
+        total
+    }
+
     /// Initial stack pointer for thread `tid` (stacks grow down).
     pub fn stack_top(&self, tid: u32) -> u64 {
         self.size - u64::from(tid) * STACK_SIZE
