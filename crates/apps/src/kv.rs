@@ -290,7 +290,17 @@ pub fn build_serve(scale: Scale) -> ServeApp {
         table_base: table,
         n_keys,
         request_bytes: 8,
+        key_of: serve_request_key,
     }
+}
+
+/// Routing key of one encoded YCSB request ([`crate::ycsb::encode`]
+/// layout: `key | read << 63` little-endian): the key with the op bit
+/// masked off. Host-side mirror of the key extraction `serve_one`
+/// performs, used to route, partition and migrate serving traffic.
+pub fn serve_request_key(req: &[u8]) -> u64 {
+    let word = u64::from_le_bytes(req[..8].try_into().expect("kv request is at least 8 bytes"));
+    word & !(1 << 63)
 }
 
 /// Host-side lookup mirroring the serve module's bucket layout: probe

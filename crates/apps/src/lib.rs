@@ -90,6 +90,13 @@ pub struct ServeApp {
     pub n_keys: u64,
     /// Encoded size of one request in bytes.
     pub request_bytes: usize,
+    /// Routing key of an encoded request payload — the host-side mirror
+    /// of whatever the hardened entry derives its data placement from
+    /// (the KV op's key, the web parse hash). The serving runtime uses
+    /// it to route requests, partition the keyspace into migratable
+    /// ranges, and filter committed-suffix replays when a key range
+    /// moves between shards, so it must stay bit-identical to the IR.
+    pub key_of: fn(&[u8]) -> u64,
 }
 
 /// The three case studies.

@@ -182,5 +182,6 @@ pub fn build_serve(scale: Scale) -> ServeApp {
         table_base: 0,
         n_keys: 0,
         request_bytes: REQ_BYTES as usize,
+        key_of: parse_hash,
     }
 }

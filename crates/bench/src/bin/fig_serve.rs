@@ -4,7 +4,7 @@
 //! campaigns (fig13). Writes `BENCH_serve.json` in the current
 //! directory.
 //!
-//! Three sections:
+//! Six sections:
 //!
 //! 1. **Scaling** — every service (memcached-A, memcached-D, apache)
 //!    served with 1 and 4 shards at a saturating offered load, so the
@@ -15,7 +15,18 @@
 //!    the `batch_size = 1` baseline at the same snapshot interval;
 //! 3. **Restart curve** — `snapshot_interval` sweep under an elevated
 //!    fault rate: the clone-cost vs restart-latency (suffix replay)
-//!    trade-off as the checkpoint interval grows.
+//!    trade-off as the checkpoint interval grows;
+//! 4. **Adaptive frontier** — the queue-depth batch policy
+//!    (`batch = clamp(queue_depth, 1, batch_max)`) against the *best*
+//!    static cap of section 2, per service: one untuned configuration
+//!    should match the per-service tuned winner;
+//! 5. **Elastic shards** — a phased load (dense head, 30x-stretched
+//!    lull) served by static 1-shard, static 4-shard and adaptive
+//!    fleets: tail latency of the under-provisioned static run vs the
+//!    controller's scale-up/down schedule, with migration costs;
+//! 6. **Goodput curve** — offered-load sweep comparing drop-tail
+//!    admission against deadline-aware shedding: served vs
+//!    SLO-meeting throughput as the system saturates.
 //!
 //! Every configuration boots from *one* artifact per service — the
 //! hardened program is transformed and lowered exactly once. Outcome
@@ -162,9 +173,13 @@ fn main() {
     const INTERVALS: [u32; 3] = [1, 8, 64];
     let mut frontier = Vec::new();
     let mut batching_speedup = Json::obj();
+    // Best static throughput at K=8 per service — the bar the adaptive
+    // batch policy (section 4) has to clear without tuning.
+    let mut static_best_k8: Vec<(Service, f64, u32)> = Vec::new();
     for service in Service::all() {
         let (app, artifact) = artifact_for(service);
         let mut best = (0.0f64, 0u32, 0u32);
+        let mut best_k8 = (0.0f64, 0u32);
         for &snapshot_interval in &INTERVALS {
             let mut base = 0.0f64;
             for &batch_size in &BATCHES {
@@ -184,6 +199,9 @@ fn main() {
                 let r = artifact.serve(service, &app, &cfg);
                 print_run(service, &cfg, &r);
                 frontier.push(row(service, &cfg, &r));
+                if snapshot_interval == 8 && r.throughput_rps() > best_k8.0 {
+                    best_k8 = (r.throughput_rps(), batch_size);
+                }
                 if batch_size == 1 {
                     base = r.throughput_rps();
                 } else {
@@ -208,6 +226,7 @@ fn main() {
                 .field("batch_size", Json::uint(u64::from(best.1)))
                 .field("snapshot_interval", Json::uint(u64::from(best.2))),
         );
+        static_best_k8.push((service, best_k8.0, best_k8.1));
     }
 
     // ---- 3. Restart latency vs clone cost -----------------------------
@@ -252,6 +271,170 @@ fn main() {
         }
     }
 
+    // ---- 4. Adaptive batching vs the tuned static winner --------------
+    // One untuned policy — batch = clamp(queue_depth, 1, 32), sized per
+    // drain — against each service's best static cap at K=8 from the
+    // frontier above. Drain-on-free already self-limits light-load
+    // batches, so the depth policy should match the tuned winner
+    // without a per-service sweep.
+    println!("\n== adaptive batching (4 shards, K=8) ==");
+    header();
+    let mut adaptive_frontier = Vec::new();
+    for &(service, static_tput, static_batch) in &static_best_k8 {
+        let (app, artifact) = artifact_for(service);
+        let cfg = ServeConfig {
+            batch_adaptive: true,
+            batch_max: 32,
+            snapshot_interval: 8,
+            mean_gap_cycles: 20,
+            fault_rate_ppm: 0,
+            ..saturating.clone()
+        };
+        let r = artifact.serve(service, &app, &cfg);
+        print_run(service, &cfg, &r);
+        let ratio = r.throughput_rps() / static_tput.max(1e-9);
+        println!(
+            "{:<12} adaptive {:.0} req/s vs static best {:.0} (batch={static_batch}): {ratio:.3}x",
+            service.label(),
+            r.throughput_rps(),
+            static_tput,
+        );
+        adaptive_frontier.push(
+            row(service, &cfg, &r)
+                .field("static_best_rps", Json::num(static_tput, 0))
+                .field("static_best_batch", Json::uint(u64::from(static_batch)))
+                .field("adaptive_vs_static_best", Json::num(ratio, 3)),
+        );
+    }
+
+    // ---- 5. Elastic shards under a phased load -------------------------
+    // Dense head (the 1-shard start saturates), 30x-stretched lull (the
+    // fleet shrinks back). Static fleets bracket the adaptive run: the
+    // 1-shard run shows the queueing the controller escapes, the
+    // 4-shard run what a statically overprovisioned fleet buys.
+    println!("\n== elastic shards (memcached-A, phased load) ==");
+    header();
+    let mut elastic = Vec::new();
+    {
+        let service = Service::KvA;
+        let (app, artifact) = artifact_for(service);
+        let phased_cfg = ServeConfig {
+            shards: 1,
+            batch_size: 8,
+            mean_gap_cycles: 300,
+            fault_rate_ppm: fault_ppm,
+            ..saturating.clone()
+        };
+        let mut stream = service.stream(&app, &phased_cfg);
+        let cut = stream.len() * 2 / 3;
+        elzar_serve::gen::rescale_gaps(&mut stream, cut, 30, 1);
+        for (name, cfg) in [
+            ("static-1", phased_cfg.clone()),
+            ("static-4", ServeConfig { shards: 4, ..phased_cfg.clone() }),
+            (
+                "adaptive",
+                ServeConfig {
+                    adaptive_shards: true,
+                    shards_max: 4,
+                    control_interval: 32,
+                    scale_up_backlog: 6,
+                    scale_down_backlog: 1,
+                    ..phased_cfg.clone()
+                },
+            ),
+        ] {
+            let r = elzar_serve::serve_stream(artifact.program(), &app, &stream, &cfg);
+            print_run(service, &cfg, &r);
+            println!(
+                "{:<12} {name}: p90 {:.1} us, {} ups / {} downs, {} slots moved, {} replays ({} cycles)",
+                service.label(),
+                r.quantile_us(0.90),
+                r.scale_ups,
+                r.scale_downs,
+                r.migrated_slots,
+                r.migration_replays,
+                r.migration_cycles,
+            );
+            elastic.push(
+                row(service, &cfg, &r)
+                    .field("config", Json::str(name))
+                    .field("scale_ups", Json::uint(r.scale_ups))
+                    .field("scale_downs", Json::uint(r.scale_downs))
+                    .field("peak_shards", Json::uint(u64::from(r.peak_shards)))
+                    .field("final_shards", Json::uint(u64::from(r.final_shards)))
+                    .field("migrated_slots", Json::uint(r.migrated_slots))
+                    .field("migration_replays", Json::uint(r.migration_replays))
+                    .field("migration_cycles", Json::uint(r.migration_cycles)),
+            );
+        }
+    }
+
+    // ---- 6. Goodput vs offered load: drop-tail vs SLO shedding ---------
+    // Offered load rises left to right; drop-tail keeps *serving* but
+    // its replies miss the deadline, deadline-aware admission shed
+    // requests that cannot make it and keeps goodput pinned to
+    // capacity.
+    println!("\n== goodput vs offered load (apache, SLO 30 us) ==");
+    println!(
+        "{:>12} {:>10} {:>7} {:>7} {:>7} {:>12} {:>12}",
+        "offered r/s", "policy", "served", "shed", "met", "tput req/s", "goodput r/s"
+    );
+    const SLO_CYCLES: u64 = 60_000;
+    let mut goodput_curve = Vec::new();
+    {
+        let service = Service::Web;
+        let (app, artifact) = artifact_for(service);
+        for gap in [2_000u64, 800, 300, 120, 48, 20] {
+            let offered = elzar_apps::FREQ_HZ / gap as f64;
+            for (policy, cfg) in [
+                (
+                    "drop-tail",
+                    ServeConfig {
+                        mean_gap_cycles: gap,
+                        fault_rate_ppm: 0,
+                        batch_adaptive: true,
+                        slo_cycles: SLO_CYCLES,
+                        shed_slo: false,
+                        queue_capacity: 512,
+                        ..saturating.clone()
+                    },
+                ),
+                (
+                    "slo-shed",
+                    ServeConfig {
+                        mean_gap_cycles: gap,
+                        fault_rate_ppm: 0,
+                        batch_adaptive: true,
+                        slo_cycles: SLO_CYCLES,
+                        shed_slo: true,
+                        ..saturating.clone()
+                    },
+                ),
+            ] {
+                let r = artifact.serve(service, &app, &cfg);
+                println!(
+                    "{:>12.0} {:>10} {:>7} {:>7} {:>7} {:>12.0} {:>12.0}",
+                    offered,
+                    policy,
+                    r.served,
+                    r.shed + r.rejected,
+                    r.slo_met,
+                    r.throughput_rps(),
+                    r.goodput_rps(),
+                );
+                goodput_curve.push(
+                    row(service, &cfg, &r)
+                        .field("policy", Json::str(policy))
+                        .field("offered_rps", Json::num(offered, 0))
+                        .field("slo_cycles", Json::uint(SLO_CYCLES))
+                        .field("shed", Json::uint(r.shed))
+                        .field("slo_met", Json::uint(r.slo_met))
+                        .field("goodput_rps", Json::num(r.goodput_rps(), 0)),
+                );
+            }
+        }
+    }
+
     let json = Json::obj()
         .field("scale", Json::str(format!("{scale:?}")))
         .field("requests", Json::uint(requests))
@@ -260,7 +443,10 @@ fn main() {
         .field("speedup_1_to_4", speedups)
         .field("frontier", Json::Arr(frontier))
         .field("batching_speedup", batching_speedup)
-        .field("restart_curve", Json::Arr(restart_curve));
+        .field("restart_curve", Json::Arr(restart_curve))
+        .field("adaptive_frontier", Json::Arr(adaptive_frontier))
+        .field("elastic", Json::Arr(elastic))
+        .field("goodput_curve", Json::Arr(goodput_curve));
     write_report("BENCH_serve.json", &json);
     println!("\nwrote BENCH_serve.json");
 }

@@ -301,14 +301,47 @@ pub fn inject_once(
 /// machine, so any other outcome means `m` is not the snapshot the
 /// suffix extends.
 pub fn replay_suffix(m: &mut Machine<'_>, entry: &str, payloads: &[&[u8]]) -> u64 {
+    replay_suffix_where(m, entry, payloads, |_| true).0
+}
+
+/// [`replay_suffix`] restricted to the payloads a predicate keeps —
+/// the *migration* primitive of the adaptive serving layer.
+///
+/// When a key range moves to another shard (elastic scale-up), the
+/// joining shard boots from the donor's snapshot and must reconstruct
+/// the *current* state of exactly the keys it takes over: it replays
+/// the donor's committed suffix filtered to requests whose routing key
+/// falls in the migrated range (`keep`, typically a key-range predicate
+/// built from the app's `ServeApp::key_of` mirror). Because requests only
+/// touch state owned by their own key, the filtered replay reconstructs
+/// the migrated range bit-for-bit while leaving unrelated keys at
+/// whatever state the snapshot carried — and the skipped payloads cost
+/// nothing, which is what makes migration cheaper than a full replay.
+///
+/// Returns `(replayed virtual cycles, replayed request count)`.
+///
+/// # Panics
+/// Panics if a kept payload does not exit cleanly (see
+/// [`replay_suffix`]).
+pub fn replay_suffix_where(
+    m: &mut Machine<'_>,
+    entry: &str,
+    payloads: &[&[u8]],
+    keep: impl Fn(&[u8]) -> bool,
+) -> (u64, u64) {
     let mut cycles = 0;
+    let mut replayed = 0;
     for p in payloads {
+        if !keep(p) {
+            continue;
+        }
         m.reenter(entry, p);
         let o = m.run_to_completion();
         assert!(matches!(o, RunOutcome::Exited(_)), "suffix replay must exit cleanly, got {o:?}");
         cycles += m.cycles_so_far().max(1);
+        replayed += 1;
     }
-    cycles
+    (cycles, replayed)
 }
 
 /// Sample the campaign's fault plans: `runs` pairs of (eligible index,
@@ -654,6 +687,106 @@ mod tests {
         assert_eq!(r1.cycles, r2.cycles);
         let total = u64::from_le_bytes(r1.output[..8].try_into().unwrap());
         assert_eq!(total, (1..=5u64).map(|i| i * 7 * 3).sum::<u64>() + 99 * 3);
+    }
+
+    #[test]
+    fn filtered_suffix_replay_migrates_a_key_range_bit_for_bit() {
+        use elzar_vm::GLOBAL_BASE;
+        // A keyed resident service: `main` zeroes an 8-slot accumulator
+        // table, `bump` folds the input word into the slot addressed by
+        // its low 3 bits and replies with that slot's running total —
+        // the smallest model of a sharded KV shard whose key ranges can
+        // migrate. The payload's "routing key" is its low 3 bits.
+        let mut m = Module::new("migrate");
+        let table = GLOBAL_BASE + m.alloc_global(8 * 8) as u64;
+        let mut ib = FuncBuilder::new("main", vec![], Ty::I64);
+        ib.counted_loop(c64(0), c64(8), |b, i| {
+            let p = b.gep(elzar_ir::Operand::Imm(elzar_ir::Const::Ptr(table)), i, 8);
+            b.store(Ty::I64, c64(0), p);
+        });
+        ib.ret(c64(0));
+        m.add_func(ib.finish());
+        let mut bb = FuncBuilder::new("bump", vec![], Ty::I64);
+        let inp = bb.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let w = bb.load(Ty::I64, inp);
+        let slot = bb.bin(elzar_ir::BinOp::And, Ty::I64, w, c64(7));
+        let p = bb.gep(elzar_ir::Operand::Imm(elzar_ir::Const::Ptr(table)), slot, 8);
+        let a = bb.load(Ty::I64, p);
+        let x = bb.mul(w, c64(5));
+        let s = bb.add(a, x);
+        bb.store(Ty::I64, s, p);
+        bb.call_builtin(Builtin::OutputI64, vec![s.into()], Ty::Void);
+        bb.ret(c64(0));
+        m.add_func(bb.finish());
+        let prog = build(&m, &Mode::elzar_default());
+        let key_of = |p: &[u8]| u64::from_le_bytes(p[..8].try_into().unwrap()) & 7;
+        let migrated = |p: &[u8]| key_of(p) >= 4; // the range that moves
+
+        // The donor boots, snapshots, then commits a mixed suffix over
+        // all 8 keys.
+        let mut donor = Machine::start(&prog, "main", &[], MachineConfig::default());
+        assert!(matches!(donor.run_to_completion(), RunOutcome::Exited(_)));
+        let snapshot = donor.clone();
+        let payloads: Vec<[u8; 8]> = (0..24u64).map(|i| (i * 11 + 3).to_le_bytes()).collect();
+        let suffix: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        let (all_cycles, all_count) = replay_suffix_where(&mut donor, "bump", &suffix, |_| true);
+        assert_eq!(all_count, 24);
+
+        // Migration: a joiner boots from the donor's snapshot and
+        // replays only the migrated range's committed requests.
+        let mut joiner = snapshot.clone();
+        let (mig_cycles, mig_count) = replay_suffix_where(&mut joiner, "bump", &suffix, migrated);
+        assert!(0 < mig_count && mig_count < 24, "both key ranges must appear in the suffix");
+        assert!(mig_cycles < all_cycles, "filtered replay must be cheaper than a full one");
+
+        // Reference: a shard that *served* the migrated range from the
+        // start — its own boot, then the range's requests live through
+        // the serving entry, the way a resident shard runs them.
+        let mut reference = Machine::start(&prog, "main", &[], MachineConfig::default());
+        assert!(matches!(reference.run_to_completion(), RunOutcome::Exited(_)));
+        let mut ref_count = 0;
+        for p in suffix.iter().filter(|p| migrated(p)) {
+            reference.reenter("bump", p);
+            assert!(matches!(reference.run_to_completion(), RunOutcome::Exited(_)));
+            ref_count += 1;
+        }
+        assert_eq!(ref_count, mig_count);
+
+        // The migrated range's resident state is bit-for-bit the state
+        // of the shard that owned it all along: identical table words
+        // and identical replies (value *and* timing) to the next
+        // request on every migrated key.
+        for slot in 4..8u64 {
+            let a = joiner.memory().load(table + slot * 8, 8).unwrap();
+            let b = reference.memory().load(table + slot * 8, 8).unwrap();
+            assert_eq!(a, b, "slot {slot} diverged");
+            let next = (slot + 8 * 100).to_le_bytes();
+            joiner.reenter("bump", &next);
+            let o1 = joiner.run_to_completion();
+            let r1 = joiner.result(o1);
+            reference.reenter("bump", &next);
+            let o2 = reference.run_to_completion();
+            let r2 = reference.result(o2);
+            assert_eq!(r1.outcome, r2.outcome);
+            assert_eq!(r1.output, r2.output, "slot {slot}: replies diverged");
+            assert_eq!(r1.cycles, r2.cycles, "slot {slot}: timing diverged");
+        }
+        // And the donor's live state agrees with the full replay for
+        // the keys that did *not* move.
+        let mut full = donor;
+        for slot in 0..4u64 {
+            let next = (slot + 8 * 200).to_le_bytes();
+            full.reenter("bump", &next);
+            let o = full.run_to_completion();
+            let expect: u64 = (0..24u64)
+                .map(|i| i * 11 + 3)
+                .filter(|w| w & 7 == slot)
+                .map(|w| w.wrapping_mul(5))
+                .sum::<u64>()
+                .wrapping_add((slot + 8 * 200).wrapping_mul(5));
+            let r = full.result(o);
+            assert_eq!(u64::from_le_bytes(r.output[..8].try_into().unwrap()), expect);
+        }
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! Elastic-shard control: a fixed virtual-partition space, the mutable
+//! slot → shard ownership map, and the queue-depth scaling policy.
+//!
+//! ## Partitions
+//!
+//! Keys hash into [`PARTITION_SLOTS`] fixed *slots* (the unit of
+//! migration — small enough that a scale event moves a useful fraction
+//! of a shard's keyspace, large enough that the ownership map stays a
+//! 64-entry table). A [`Partition`] maps every slot to its owning
+//! shard; routing a request is `owner[slot_of(key)]`. The slot hash is
+//! a pure function of the key, so a key's slot never changes — only the
+//! slot's owner does, and only at controller epochs, which is what
+//! keeps per-key request order (and therefore the resident-state
+//! digest) invariant under scaling.
+//!
+//! ## Policy
+//!
+//! At every epoch boundary the controller observes each active shard's
+//! *virtual-time queue occupancy* — admitted requests whose completion
+//! lies after the epoch's last arrival — and applies one decision with
+//! hysteresis:
+//!
+//! * **scale up** when the deepest queue reaches
+//!   `ServeConfig::scale_up_backlog` and the fleet is below
+//!   `shards_max`: the deepest shard donates the upper half of its
+//!   slots to a joiner booted from the donor's snapshot
+//!   (`elzar_fault::replay_suffix_where` reconstructs the migrated
+//!   range);
+//! * **scale down** when *every* queue is at or below
+//!   `ServeConfig::scale_down_backlog` and more than one shard is
+//!   active: the shallowest shard retires, its slots absorbed by the
+//!   next-shallowest survivor via committed-log replay.
+//!
+//! Both triggers, the donor/leaver choices and the slot split are pure
+//! functions of virtual-time state, so the scaling schedule is
+//! deterministic and independent of host workers.
+
+use crate::gen::shard_of;
+
+/// Fixed virtual partitions (migration granularity). Keys hash into
+/// this many slots; shards own sets of slots.
+pub const PARTITION_SLOTS: u32 = 64;
+
+/// Owning slot of `key` (stable: a pure function of the key).
+pub fn slot_of(key: u64) -> u32 {
+    shard_of(key, PARTITION_SLOTS)
+}
+
+/// The mutable slot → shard ownership map.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    owner: [u32; PARTITION_SLOTS as usize],
+}
+
+impl Partition {
+    /// Initial contiguous assignment of the slot space to `shards`
+    /// shards (ids `0..shards`).
+    pub fn initial(shards: u32) -> Partition {
+        let shards = shards.max(1) as u64;
+        let mut owner = [0u32; PARTITION_SLOTS as usize];
+        for (s, o) in owner.iter_mut().enumerate() {
+            *o = (s as u64 * shards / u64::from(PARTITION_SLOTS)) as u32;
+        }
+        Partition { owner }
+    }
+
+    /// Shard owning `key` under the current assignment.
+    pub fn owner_of(&self, key: u64) -> u32 {
+        self.owner[slot_of(key) as usize]
+    }
+
+    /// Bitmask of the slots `shard` currently owns (bit `s` = slot `s`).
+    pub fn slots_of(&self, shard: u32) -> u64 {
+        let mut mask = 0u64;
+        for (s, &o) in self.owner.iter().enumerate() {
+            if o == shard {
+                mask |= 1 << s;
+            }
+        }
+        mask
+    }
+
+    /// Reassign every slot in `mask` to `to`.
+    pub fn assign(&mut self, mask: u64, to: u32) {
+        for (s, o) in self.owner.iter_mut().enumerate() {
+            if mask >> s & 1 == 1 {
+                *o = to;
+            }
+        }
+    }
+}
+
+/// The upper half (by slot index) of a slot mask — the range a donor
+/// hands to a joining shard. Empty when the donor owns a single slot
+/// (an unsplittable shard never donates).
+pub fn split_upper_half(mask: u64) -> u64 {
+    let n = mask.count_ones();
+    if n < 2 {
+        return 0;
+    }
+    let mut keep = n - n / 2; // donor keeps the larger half on odd counts
+    let mut taken = 0u64;
+    for s in 0..PARTITION_SLOTS {
+        if mask >> s & 1 == 1 {
+            if keep > 0 {
+                keep -= 1;
+            } else {
+                taken |= 1 << s;
+            }
+        }
+    }
+    taken
+}
+
+/// One elastic-scaling event, recorded in the [`crate::ServeReport`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScaleEvent {
+    /// A joiner booted from `donor`'s snapshot and took over `slots`
+    /// partitions, replaying `replayed` committed suffix requests.
+    Up {
+        /// Controller epoch (0-based) the event fired at.
+        epoch: u32,
+        /// Donor shard id.
+        donor: u32,
+        /// New shard id.
+        joiner: u32,
+        /// Migrated slot count.
+        slots: u32,
+        /// Committed requests replayed to reconstruct the range.
+        replayed: u64,
+    },
+    /// `leaver` retired; `recipient` absorbed its `slots` partitions by
+    /// replaying `replayed` committed-log requests.
+    Down {
+        /// Controller epoch (0-based) the event fired at.
+        epoch: u32,
+        /// Retiring shard id.
+        leaver: u32,
+        /// Surviving shard taking over the slots.
+        recipient: u32,
+        /// Migrated slot count.
+        slots: u32,
+        /// Committed requests replayed to reconstruct the range.
+        replayed: u64,
+    },
+}
+
+/// A controller decision at one epoch boundary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Decision {
+    /// Add a shard; the named donor splits its slots.
+    Up {
+        /// Donor shard id (deepest queue).
+        donor: u32,
+    },
+    /// Retire `leaver`, its slots absorbed by `recipient`.
+    Down {
+        /// Retiring shard id (shallowest queue).
+        leaver: u32,
+        /// Absorbing shard id (next-shallowest).
+        recipient: u32,
+    },
+    /// No change.
+    Hold,
+}
+
+/// The scaling policy: one decision per epoch from the active shards'
+/// `(id, backlog)` pairs. Ties break on shard id (lowest id donates /
+/// absorbs, highest id retires) so the schedule is deterministic.
+pub(crate) fn decide(backlogs: &[(u32, usize)], up_at: usize, down_at: usize, shards_max: u32) -> Decision {
+    if backlogs.is_empty() {
+        return Decision::Hold;
+    }
+    let deepest = backlogs.iter().fold(backlogs[0], |best, &b| if b.1 > best.1 { b } else { best });
+    if deepest.1 >= up_at.max(1) && backlogs.len() < shards_max.max(1) as usize {
+        return Decision::Up { donor: deepest.0 };
+    }
+    if backlogs.len() > 1 && backlogs.iter().all(|&(_, d)| d <= down_at) {
+        let leaver = backlogs.iter().fold(backlogs[0], |best, &b| {
+            if b.1 < best.1 || (b.1 == best.1 && b.0 > best.0) {
+                b
+            } else {
+                best
+            }
+        });
+        let rest: Vec<(u32, usize)> = backlogs.iter().copied().filter(|&(id, _)| id != leaver.0).collect();
+        let recipient = rest.iter().fold(rest[0], |best, &b| if b.1 < best.1 { b } else { best });
+        return Decision::Down { leaver: leaver.0, recipient: recipient.0 };
+    }
+    Decision::Hold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_partition_covers_all_slots_with_contiguous_ranges() {
+        for shards in [1u32, 2, 3, 4, 7] {
+            let p = Partition::initial(shards);
+            let mut total = 0u64;
+            for sh in 0..shards {
+                let mask = p.slots_of(sh);
+                assert_ne!(mask, 0, "shard {sh}/{shards} owns no slots");
+                assert_eq!(total & mask, 0, "overlap at shard {sh}");
+                total |= mask;
+            }
+            assert_eq!(total, u64::MAX, "{shards} shards must cover all 64 slots");
+        }
+    }
+
+    #[test]
+    fn split_takes_the_upper_half_and_respects_singletons() {
+        let p = Partition::initial(1);
+        let all = p.slots_of(0);
+        let upper = split_upper_half(all);
+        assert_eq!(upper.count_ones(), 32);
+        assert_eq!(upper, !0u64 << 32);
+        assert_eq!(split_upper_half(1 << 7), 0, "a single slot cannot split");
+        let three = (1 << 3) | (1 << 9) | (1 << 40);
+        let taken = split_upper_half(three);
+        assert_eq!(taken, 1 << 40, "odd counts leave the donor the larger half");
+    }
+
+    #[test]
+    fn routing_follows_reassignment() {
+        let mut p = Partition::initial(2);
+        let key = 12345u64;
+        let before = p.owner_of(key);
+        let slot = slot_of(key);
+        p.assign(1 << slot, 9);
+        assert_eq!(p.owner_of(key), 9);
+        assert_ne!(before, 9);
+        // Only that slot moved.
+        assert_eq!(p.slots_of(9), 1 << slot);
+    }
+
+    #[test]
+    fn policy_is_hysteretic_and_deterministic() {
+        // Deep queue on shard 1: scale up with 1 as donor.
+        assert_eq!(decide(&[(0, 2), (1, 12)], 10, 1, 4), Decision::Up { donor: 1 });
+        // At the ceiling: hold even under pressure.
+        assert_eq!(decide(&[(0, 2), (1, 12)], 10, 1, 2), Decision::Hold);
+        // All shallow: highest-id shallowest shard retires into the
+        // shallowest survivor.
+        assert_eq!(decide(&[(0, 0), (1, 1), (2, 0)], 10, 1, 4), Decision::Down { leaver: 2, recipient: 0 });
+        // Mid-band: hold.
+        assert_eq!(decide(&[(0, 4), (1, 5)], 10, 1, 4), Decision::Hold);
+        // A single shard never scales down.
+        assert_eq!(decide(&[(0, 0)], 10, 1, 4), Decision::Hold);
+        // Tie on depth for scale-up: lowest id donates.
+        assert_eq!(decide(&[(0, 12), (1, 12)], 10, 1, 4), Decision::Up { donor: 0 });
+    }
+}

@@ -30,6 +30,25 @@ pub fn shard_of(key: u64, shards: u32) -> u32 {
     (splitmix64(&mut s) % u64::from(shards.max(1))) as u32
 }
 
+/// Re-space a stream's tail: keep every request's identity, key and
+/// payload (so committed state and fault schedules are untouched) but
+/// scale the inter-arrival gaps from index `from` on by `num / den`,
+/// with a 1-cycle floor so arrivals stay strictly increasing.
+///
+/// This is the deterministic load-phase shaper: `num > den` thins the
+/// tail into a lull (what makes an elastic controller scale *down*),
+/// `num < den` compresses it into a burst. Because only arrival
+/// timestamps change, a reshaped stream still satisfies every
+/// digest/outcome invariance the differential tests pin.
+pub fn rescale_gaps(stream: &mut [Request], from: usize, num: u64, den: u64) {
+    let den = den.max(1);
+    let gaps: Vec<u64> = (1..stream.len()).map(|i| stream[i].arrival - stream[i - 1].arrival).collect();
+    for i in 1..stream.len() {
+        let gap = if i >= from.max(1) { (gaps[i - 1] * num / den).max(1) } else { gaps[i - 1] };
+        stream[i].arrival = stream[i - 1].arrival + gap;
+    }
+}
+
 /// Next inter-arrival gap: uniform in `[1, 2*mean - 1]` (mean = `mean`).
 fn gap(rng: &mut DetRng, mean: u64) -> u64 {
     let m = mean.max(1);
@@ -116,6 +135,30 @@ mod tests {
             seen[shard_of(key, 4) as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn rescale_preserves_identity_and_monotonicity() {
+        let orig = kv_stream(YcsbWorkload::A, 100, 64, 400, 5);
+        let mut lull = orig.clone();
+        rescale_gaps(&mut lull, 50, 8, 1);
+        let mut prev = 0;
+        for (a, b) in orig.iter().zip(&lull) {
+            assert_eq!((a.id, a.key, &a.payload), (b.id, b.key, &b.payload));
+            assert!(b.arrival > prev, "arrivals strictly increase after rescale");
+            prev = b.arrival;
+        }
+        // The head is untouched; the tail is stretched 8x.
+        assert_eq!(orig[49].arrival, lull[49].arrival);
+        let orig_tail = orig[99].arrival - orig[50].arrival;
+        let lull_tail = lull[99].arrival - lull[50].arrival;
+        assert!(lull_tail > orig_tail * 7, "tail {lull_tail} vs {orig_tail}");
+        // Compression floors at 1-cycle gaps.
+        let mut burst = orig.clone();
+        rescale_gaps(&mut burst, 0, 1, 1_000_000);
+        for w in burst.windows(2) {
+            assert_eq!(w[1].arrival, w[0].arrival + 1);
+        }
     }
 
     #[test]

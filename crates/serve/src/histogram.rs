@@ -179,6 +179,73 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_are_monotone_under_adversarial_fills() {
+        use elzar_rng::DetRng;
+        let qs = [0.0, 0.5, 0.9, 0.99, 0.999, 1.0];
+        let check = |h: &LatencyHistogram, tag: &str| {
+            let mut prev = 0u64;
+            for &q in &qs {
+                let v = h.quantile(q);
+                assert!(v >= prev, "{tag}: quantile({q}) = {v} < {prev}");
+                prev = v;
+            }
+            assert_eq!(h.quantile(1.0), h.max(), "{tag}: q=1 must report the exact max");
+        };
+
+        // Everything in one bucket.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..1_000 {
+            h.record(12_345);
+        }
+        check(&h, "single value");
+        assert_eq!(h.quantile(0.5), h.quantile(0.999), "one bucket: all quantiles equal");
+
+        // Two extreme buckets: tiny mass at the far tail.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..999 {
+            h.record(1);
+        }
+        h.record(u64::MAX);
+        check(&h, "bimodal extremes");
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(0.999), 1, "rank 999 of 1000 still lands in the low bucket");
+        assert_eq!(h.quantile(1.0), u64::MAX);
+
+        // Values hugging every octave boundary (the bucket-index edge
+        // cases: 2^k - 1, 2^k, 2^k + 1).
+        let mut h = LatencyHistogram::new();
+        for k in 3..60u32 {
+            let v = 1u64 << k;
+            h.record(v - 1);
+            h.record(v);
+            h.record(v + 1);
+        }
+        check(&h, "octave edges");
+
+        // Saturated counts in a contiguous bucket run (rank arithmetic
+        // near u64-scale sums must not wrap the scan).
+        let mut h = LatencyHistogram::new();
+        for v in 0..7u64 {
+            for _ in 0..100_000 {
+                h.record(v);
+            }
+        }
+        check(&h, "dense exact buckets");
+
+        // Deterministic heavy-tailed random fills.
+        let mut rng = DetRng::seed_from_u64(0x8157_0000_5EED);
+        for round in 0..8 {
+            let mut h = LatencyHistogram::new();
+            for _ in 0..5_000 {
+                let magnitude = rng.below(50);
+                let v = (1u64 << magnitude) + rng.below(1 + (1u64 << magnitude));
+                h.record(v);
+            }
+            check(&h, &format!("random round {round}"));
+        }
+    }
+
+    #[test]
     fn empty_histogram_is_benign() {
         let h = LatencyHistogram::new();
         assert_eq!(h.quantile(0.99), 0);

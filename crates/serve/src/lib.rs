@@ -2,7 +2,7 @@
 //!
 //! A sharded, resident-VM request-serving runtime for the ELZAR
 //! reproduction — the serving-scenario counterpart of the batch
-//! harnesses: instead of one `run_program` per figure cell, it keeps N
+//! harnesses: instead of one `run_program` per figure cell, it keeps
 //! hardened VM shards *resident* and pushes an open-loop request stream
 //! through them, measuring throughput and tail latency under sustained
 //! load while ELZAR's detection/correction accounting runs *online*.
@@ -16,40 +16,51 @@
 //! 2. every shard boots one resident hardened VM ([`elzar_vm::Machine`]
 //!    with segmented memory: the preloaded state persists across
 //!    requests);
-//! 3. whenever a shard is free it drains up to
-//!    [`ServeConfig::batch_size`] arrived requests into one *batch* —
-//!    a count-prefixed mini-trace executed by a single
-//!    [`elzar_vm::Machine::reenter_batch`] — amortizing the per-entry
-//!    costs (thread spawn, cold core state) while per-request latency
-//!    is still attributed in virtual time from each request's arrival
-//!    to its own completion heartbeat inside the batch;
+//! 3. whenever a shard is free it drains arrived requests into one
+//!    *batch* — a count-prefixed mini-trace executed by a single
+//!    [`elzar_vm::Machine::reenter_batch`] — sized by the static
+//!    [`ServeConfig::batch_size`] or the queue-depth policy
+//!    `clamp(queue_depth, 1, batch_max)` ([`ServeConfig::batch_adaptive`]);
 //! 4. shards snapshot their machine every
-//!    [`ServeConfig::snapshot_interval`] committed requests (a
-//!    usage-proportional clone, charged in virtual cycles) and recover
+//!    [`ServeConfig::snapshot_interval`] committed requests and recover
 //!    from crashes by restoring the last snapshot and deterministically
 //!    replaying the committed suffix ([`elzar_fault::replay_suffix`]);
-//! 5. shards drain on their own OS threads — workers pull shard ids
+//! 5. with [`ServeConfig::adaptive_shards`], a [`controller`] observes
+//!    per-shard virtual-time queue occupancy at fixed epochs and scales
+//!    the shard set between [`ServeConfig::shards`]'s starting point, 1
+//!    and [`ServeConfig::shards_max`]: a joiner boots from a donor's
+//!    snapshot and replays only the key range it takes over
+//!    ([`elzar_fault::replay_suffix_where`]); a retiring shard's range
+//!    is absorbed by a survivor from the committed log;
+//! 6. admission is enforced in virtual time: the bounded per-shard
+//!    queue drops at capacity, and with [`ServeConfig::shed_slo`] a
+//!    request predicted to miss [`ServeConfig::slo_cycles`] is shed at
+//!    admission, so goodput — served requests that met their deadline —
+//!    tracks offered load instead of collapsing;
+//! 7. shards drain on their own OS threads — workers pull shard ids
 //!    from a shared counter, so any worker count yields bit-identical
-//!    results — under a bounded per-shard queue enforced in virtual
-//!    time;
-//! 6. an online fault-injection schedule flips destination-register
+//!    results;
+//! 8. an online fault-injection schedule flips destination-register
 //!    bits mid-service and classifies every hit per Table I
 //!    (Masked / ElzarCorrected / Sdc / Crashed-with-restart-from-
 //!    snapshot), turning the batch campaign taxonomy into an
 //!    availability / SDC-rate-under-load metric;
-//! 7. the [`ServeReport`] aggregates per-shard throughput, a
+//! 9. the [`ServeReport`] aggregates per-shard throughput, a
 //!    log-bucketed latency histogram (p50/p90/p99/p999), outcome
-//!    counts, snapshot/replay cost and the final resident-table digest.
+//!    counts, snapshot/replay/migration cost, controller events and the
+//!    final resident-table digest.
 //!
 //! Determinism contract: everything in the report — outcome counts,
-//! latency histogram, digests, cycle totals — is a pure function of
-//! `(program, service, scale, ServeConfig)`. Worker count only changes
-//! wall-clock time; shard count, batch size and snapshot interval
-//! change latency/throughput (that is the point) but never fault
-//! outcome counts or the table digest, because the fault schedule keys
-//! on global request ids, fault-scheduled requests always execute
-//! through the single-request entry, and each shard commits only
-//! reference executions (see [`shard`] for the full argument).
+//! latency histogram, digests, cycle totals, scaling events — is a pure
+//! function of `(program, service, scale, ServeConfig)`. Worker count
+//! only changes wall-clock time; shard count, batch policy, snapshot
+//! interval and the scaling schedule change latency/throughput (that is
+//! the point) but never fault outcome counts or the table digest,
+//! because the fault schedule keys on global request ids,
+//! fault-scheduled requests always execute through the single-request
+//! entry, each shard commits only reference executions, and migration
+//! replays exactly the committed per-key sequences (see [`shard`] and
+//! [`controller`] for the full argument).
 //!
 //! The runtime consumes an already-lowered [`elzar_vm::Program`] — how
 //! it was hardened is the build pipeline's business (`elzar::Artifact`
@@ -71,23 +82,27 @@
 
 #![warn(missing_docs)]
 
+pub mod controller;
 pub mod gen;
 pub mod histogram;
 pub mod shard;
 
+use controller::{decide, Decision, Partition, ScaleEvent, PARTITION_SLOTS};
 use elzar_apps::ycsb::YcsbWorkload;
 use elzar_apps::{kv, web, Scale, ServeApp, FREQ_HZ};
 use elzar_fault::Outcome;
 use elzar_vm::{MachineConfig, Program};
 use gen::{shard_of, Request};
 use histogram::LatencyHistogram;
-use shard::{drain_shard, ShardOutput, ShardStats};
+use shard::{drain_shard, ShardOutput, ShardRuntime, ShardStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Serving-runtime parameters.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
-    /// Resident VM shards.
+    /// Resident VM shards (the *starting* count when
+    /// [`ServeConfig::adaptive_shards`] is on).
     pub shards: u32,
     /// Host OS threads draining shards (never changes results).
     pub workers: u32,
@@ -97,9 +112,18 @@ pub struct ServeConfig {
     /// to size-1 batches). Batched runs also break at snapshot
     /// boundaries, so the effective amortization is
     /// `min(batch_size, snapshot_interval)` — batching is a no-op at
-    /// `snapshot_interval = 1`. Changes latency/throughput, never
-    /// outcome counts or the table digest.
+    /// `snapshot_interval = 1`. Ignored when
+    /// [`ServeConfig::batch_adaptive`] is on. Changes
+    /// latency/throughput, never outcome counts or the table digest.
     pub batch_size: u32,
+    /// Replace the static `batch_size` with the per-drain queue-depth
+    /// policy `batch = clamp(queue_depth, 1, batch_max)`: each drain
+    /// sizes itself to the backlog it finds, so one configuration
+    /// tracks the best static cap across services and load levels.
+    /// Changes latency/throughput, never outcome counts or the digest.
+    pub batch_adaptive: bool,
+    /// Ceiling of the adaptive batch policy.
+    pub batch_max: u32,
     /// Snapshot the resident machine every this many committed
     /// requests. Small intervals pay clone cost
     /// ([`ServeConfig::snapshot_bytes_per_cycle`]) on the steady path;
@@ -114,6 +138,39 @@ pub struct ServeConfig {
     /// Bounded per-shard queue: requests arriving with this many
     /// earlier requests still in flight are rejected.
     pub queue_capacity: usize,
+    /// Elastic shard scaling: a controller observes per-shard
+    /// virtual-time queue occupancy every
+    /// [`ServeConfig::control_interval`] requests and scales the shard
+    /// set between 1 and [`ServeConfig::shards_max`], migrating key
+    /// ranges by snapshot + filtered suffix replay. Changes
+    /// latency/throughput, never outcome counts or the table digest.
+    pub adaptive_shards: bool,
+    /// Ceiling of the elastic shard controller.
+    pub shards_max: u32,
+    /// Controller epoch length in requests (the scaling decision
+    /// cadence; also the granularity at which key ranges can move).
+    pub control_interval: u32,
+    /// Scale up when the deepest shard's queue occupancy reaches this
+    /// many requests at an epoch boundary.
+    pub scale_up_backlog: u32,
+    /// Scale down when *every* shard's queue occupancy is at or below
+    /// this many requests at an epoch boundary (hysteresis: keep it
+    /// well under [`ServeConfig::scale_up_backlog`]).
+    pub scale_down_backlog: u32,
+    /// Per-request latency SLO in virtual cycles (arrival →
+    /// completion). `0` disables SLO accounting; `> 0` makes the report
+    /// count [`ServeReport::slo_met`] and [`ServeReport::goodput_rps`].
+    pub slo_cycles: u64,
+    /// Deadline-aware admission: shed a request at admission when its
+    /// predicted completion (drain start + batch position × a
+    /// conservative per-request estimate) exceeds
+    /// [`ServeConfig::slo_cycles`]. Sheds are counted in
+    /// [`ServeReport::shed`], never executed, and never committed.
+    /// Fault-free, every admitted request then meets its SLO; a
+    /// Crashed-class SEU detour (restart + replay) is not predictable
+    /// at admission and can push requests past the deadline — the SLO
+    /// accounting reports such misses rather than hiding them.
+    pub shed_slo: bool,
     /// Mean inter-arrival gap of the open-loop generator, in cycles.
     pub mean_gap_cycles: u64,
     /// Requests in the stream.
@@ -136,9 +193,18 @@ impl Default for ServeConfig {
             shards: 4,
             workers: std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(4),
             batch_size: 1,
+            batch_adaptive: false,
+            batch_max: 32,
             snapshot_interval: 8,
             snapshot_bytes_per_cycle: 64,
             queue_capacity: 4096,
+            adaptive_shards: false,
+            shards_max: 8,
+            control_interval: 64,
+            scale_up_backlog: 12,
+            scale_down_backlog: 2,
+            slo_cycles: 0,
+            shed_slo: false,
             mean_gap_cycles: 2_000,
             requests: 1_000,
             seed: 0x5E12_AE5E,
@@ -203,7 +269,8 @@ impl Service {
 /// Aggregate serving result.
 #[derive(Clone, Debug)]
 pub struct ServeReport {
-    /// Per-shard statistics, in shard order.
+    /// Per-shard statistics: every shard that ever served, in shard-id
+    /// order (retired shards included).
     pub shards: Vec<ShardStats>,
     /// Merged request-latency histogram (cycles).
     pub hist: LatencyHistogram,
@@ -211,6 +278,11 @@ pub struct ServeReport {
     pub served: u64,
     /// Requests rejected by bounded queues.
     pub rejected: u64,
+    /// Requests shed by deadline-aware admission (never executed).
+    pub shed: u64,
+    /// Served requests whose latency met [`ServeConfig::slo_cycles`]
+    /// (0 when no SLO is configured).
+    pub slo_met: u64,
     /// Batched-entry invocations across all shards (fault-scheduled
     /// requests run solo and are not counted).
     pub batches: u64,
@@ -231,11 +303,30 @@ pub struct ServeReport {
     /// Virtual cycles charged for periodic snapshot clones (shrinks as
     /// [`ServeConfig::snapshot_interval`] grows).
     pub snapshot_cycles: u64,
+    /// Elastic scale-up events (a joiner booted from a donor snapshot).
+    pub scale_ups: u64,
+    /// Elastic scale-down events (a shard retired into a survivor).
+    pub scale_downs: u64,
+    /// Partition slots migrated across all scale events.
+    pub migrated_slots: u64,
+    /// Committed requests replayed to reconstruct migrated ranges.
+    pub migration_replays: u64,
+    /// Virtual cycles spent on migration (snapshot clones + filtered
+    /// replays).
+    pub migration_cycles: u64,
+    /// Largest number of simultaneously active shards.
+    pub peak_shards: u32,
+    /// Active shards when the stream ended.
+    pub final_shards: u32,
+    /// The controller's scaling schedule, in event order (empty for
+    /// static runs).
+    pub events: Vec<ScaleEvent>,
     /// Virtual time from 0 to the last completion.
     pub makespan_cycles: u64,
     /// FNV-1a digest of the final resident tables — each key read from
     /// its *owning* shard, folded in global key order — so the value is
-    /// comparable across shard counts. `FNV_OFFSET` when stateless.
+    /// comparable across shard counts and scaling schedules.
+    /// `FNV_OFFSET` when stateless.
     pub table_digest: u64,
 }
 
@@ -252,6 +343,18 @@ impl ServeReport {
             0.0
         } else {
             self.served as f64 * FREQ_HZ / self.makespan_cycles as f64
+        }
+    }
+
+    /// Goodput in requests per simulated second: served requests that
+    /// met their SLO over the makespan. Meaningful only when
+    /// [`ServeConfig::slo_cycles`] was configured (0.0 otherwise, and
+    /// for an empty report).
+    pub fn goodput_rps(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            0.0
+        } else {
+            self.slo_met as f64 * FREQ_HZ / self.makespan_cycles as f64
         }
     }
 
@@ -273,7 +376,9 @@ impl ServeReport {
     /// Fraction of total shard-time *not* lost to crash recovery:
     /// `1 - downtime_cycles / (makespan_cycles * shards)`, where
     /// downtime is `restart_cycles + suffix replay` per restart
-    /// (1.0 with no restarts or an empty report).
+    /// (1.0 with no restarts or an empty report). With elastic scaling
+    /// the denominator counts every shard that ever served, so the
+    /// value is a conservative per-shard-lifetime approximation.
     pub fn availability(&self) -> f64 {
         let span = self.makespan_cycles.saturating_mul(self.shards.len().max(1) as u64);
         if span == 0 {
@@ -291,6 +396,35 @@ impl ServeReport {
             0.0
         } else {
             self.count(Outcome::Sdc) as f64 / self.served as f64
+        }
+    }
+
+    fn empty() -> ServeReport {
+        ServeReport {
+            shards: Vec::new(),
+            hist: LatencyHistogram::new(),
+            served: 0,
+            rejected: 0,
+            shed: 0,
+            slo_met: 0,
+            batches: 0,
+            injected: 0,
+            outcomes: [0; 5],
+            restarts: 0,
+            downtime_cycles: 0,
+            replay_cycles: 0,
+            snapshots: 0,
+            snapshot_cycles: 0,
+            scale_ups: 0,
+            scale_downs: 0,
+            migrated_slots: 0,
+            migration_replays: 0,
+            migration_cycles: 0,
+            peak_shards: 0,
+            final_shards: 0,
+            events: Vec::new(),
+            makespan_cycles: 0,
+            table_digest: FNV_OFFSET,
         }
     }
 }
@@ -335,10 +469,21 @@ pub fn serve_program(service: Service, prog: &Program, app: &ServeApp, cfg: &Ser
     serve_stream(prog, app, &stream, cfg)
 }
 
-/// Serve an explicit stream on an already-built program: route by key
-/// hash, drain every shard (workers pull shard ids from a shared
-/// counter), merge shard results in shard order.
+/// Serve an explicit stream on an already-built program. The static
+/// path routes by key hash up front and drains every shard to
+/// completion; with [`ServeConfig::adaptive_shards`] the elastic path
+/// runs the stream in controller epochs, scaling the shard set against
+/// queue depth. Either way workers pull work from a shared counter and
+/// results merge in shard-id order.
 pub fn serve_stream(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &ServeConfig) -> ServeReport {
+    if cfg.adaptive_shards {
+        serve_adaptive(prog, app, stream, cfg)
+    } else {
+        serve_static(prog, app, stream, cfg)
+    }
+}
+
+fn serve_static(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &ServeConfig) -> ServeReport {
     let shards = cfg.shards.max(1);
     let mut routed: Vec<Vec<&Request>> = (0..shards).map(|_| Vec::new()).collect();
     for r in stream {
@@ -371,28 +516,187 @@ pub fn serve_stream(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &Se
     for (s, o) in tagged {
         outputs[s] = Some(o);
     }
+    let mut report = merge_outputs(outputs.into_iter().map(|o| o.expect("every shard drained")).collect());
+    report.peak_shards = shards;
+    report.final_shards = shards;
+    report
+}
 
-    let mut report = ServeReport {
-        shards: Vec::with_capacity(shards as usize),
-        hist: LatencyHistogram::new(),
-        served: 0,
-        rejected: 0,
-        batches: 0,
-        injected: 0,
-        outcomes: [0; 5],
-        restarts: 0,
-        downtime_cycles: 0,
-        replay_cycles: 0,
-        snapshots: 0,
-        snapshot_cycles: 0,
-        makespan_cycles: 0,
-        table_digest: FNV_OFFSET,
-    };
+/// The elastic serving path: run the stream in controller epochs of
+/// [`ServeConfig::control_interval`] requests. Within an epoch the
+/// shard set is fixed, so shards drain in parallel exactly like the
+/// static path; at each epoch boundary the controller reads every
+/// active shard's queue occupancy at the epoch's last arrival and
+/// applies one [`Decision`] — all in virtual time, so the scaling
+/// schedule is deterministic and worker-count invariant.
+fn serve_adaptive(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &ServeConfig) -> ServeReport {
+    let start_shards = cfg.shards.clamp(1, cfg.shards_max.max(1));
+    let mut partition = Partition::initial(start_shards);
+    // Runtimes indexed by shard id; retired shards become `None` after
+    // their stats are banked.
+    let mut runtimes: Vec<Mutex<Option<ShardRuntime>>> =
+        (0..start_shards).map(|id| Mutex::new(Some(ShardRuntime::boot(prog, app, cfg, id)))).collect();
+    let mut active: Vec<u32> = (0..start_shards).collect();
+    let mut banked: Vec<Option<ShardOutput>> = (0..start_shards).map(|_| None).collect();
+    // Global committed log per partition slot, in commit order — only
+    // one shard owns a slot per epoch, so appends never interleave.
+    let mut log: Vec<Vec<&Request>> = (0..PARTITION_SLOTS).map(|_| Vec::new()).collect();
+    let mut events: Vec<ScaleEvent> = Vec::new();
+    let mut peak = start_shards;
+
+    let interval = cfg.control_interval.max(1) as usize;
+    for (epoch, chunk) in stream.chunks(interval).enumerate() {
+        // Route this epoch under the current assignment.
+        let mut routed: Vec<Vec<&Request>> = (0..runtimes.len()).map(|_| Vec::new()).collect();
+        for r in chunk {
+            routed[partition.owner_of(r.key) as usize].push(r);
+        }
+
+        // Parallel drain of the active shards (workers pull indices
+        // into the active list from a shared counter).
+        let workers = (cfg.workers.max(1) as usize).min(active.len());
+        let next = AtomicUsize::new(0);
+        let committed: Vec<(u32, Vec<&Request>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let active = &active;
+                    let routed = &routed;
+                    let runtimes = &runtimes;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= active.len() {
+                                return local;
+                            }
+                            let id = active[k];
+                            let mut guard = runtimes[id as usize].lock().expect("shard lock");
+                            let rt = guard.as_mut().expect("active shard has a runtime");
+                            local.push((id, rt.feed(&routed[id as usize], app, cfg)));
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("shard worker panicked")).collect()
+        });
+        // Append commits to the per-slot logs in shard-id order (per
+        // slot there is a single committing shard, so any order would
+        // do — id order just makes the loop deterministic to read).
+        let mut committed = committed;
+        committed.sort_by_key(|&(id, _)| id);
+        for (_, reqs) in &committed {
+            for r in reqs {
+                log[controller::slot_of(r.key) as usize].push(r);
+            }
+        }
+
+        // Controller: read queue occupancy at the epoch's last arrival
+        // and apply at most one scaling decision.
+        let t_end = chunk.last().expect("chunks are non-empty").arrival;
+        let backlogs: Vec<(u32, usize)> = active
+            .iter()
+            .map(|&id| {
+                let guard = runtimes[id as usize].lock().expect("shard lock");
+                (id, guard.as_ref().expect("active shard has a runtime").backlog_at(t_end))
+            })
+            .collect();
+        match decide(
+            &backlogs,
+            cfg.scale_up_backlog as usize,
+            cfg.scale_down_backlog as usize,
+            cfg.shards_max,
+        ) {
+            Decision::Up { donor } => {
+                let taken = controller::split_upper_half(partition.slots_of(donor));
+                if taken != 0 {
+                    let joiner = runtimes.len() as u32;
+                    let rt = {
+                        let guard = runtimes[donor as usize].lock().expect("shard lock");
+                        let d = guard.as_ref().expect("donor is active");
+                        ShardRuntime::boot_from_donor(d, app, cfg, joiner, taken, t_end)
+                    };
+                    events.push(ScaleEvent::Up {
+                        epoch: epoch as u32,
+                        donor,
+                        joiner,
+                        slots: taken.count_ones(),
+                        replayed: rt.stats.migration_replays,
+                    });
+                    runtimes.push(Mutex::new(Some(rt)));
+                    banked.push(None);
+                    partition.assign(taken, joiner);
+                    active.push(joiner);
+                    peak = peak.max(active.len() as u32);
+                }
+            }
+            Decision::Down { leaver, recipient } => {
+                let taken = partition.slots_of(leaver);
+                let replayed_before;
+                {
+                    let mut guard = runtimes[recipient as usize].lock().expect("shard lock");
+                    let rt = guard.as_mut().expect("recipient is active");
+                    replayed_before = rt.stats.migration_replays;
+                    rt.absorb(taken, &log, app, cfg);
+                    events.push(ScaleEvent::Down {
+                        epoch: epoch as u32,
+                        leaver,
+                        recipient,
+                        slots: taken.count_ones(),
+                        replayed: rt.stats.migration_replays - replayed_before,
+                    });
+                }
+                partition.assign(taken, recipient);
+                let rt =
+                    runtimes[leaver as usize].lock().expect("shard lock").take().expect("leaver is active");
+                banked[leaver as usize] = Some(rt.into_output(app, &|_| false));
+                active.retain(|&id| id != leaver);
+            }
+            Decision::Hold => {}
+        }
+    }
+
+    // Finish: every still-active runtime reads the keys its final
+    // assignment owns; retired shards contributed their stats already.
+    let final_shards = active.len() as u32;
+    let outputs: Vec<ShardOutput> = banked
+        .into_iter()
+        .enumerate()
+        .map(|(id, b)| match b {
+            Some(out) => out,
+            None => {
+                let rt = runtimes[id].lock().expect("shard lock").take().expect("unretired runtime");
+                rt.into_output(app, &|key| partition.owner_of(key) == id as u32)
+            }
+        })
+        .collect();
+    let mut report = merge_outputs(outputs);
+    report.scale_ups = events.iter().filter(|e| matches!(e, ScaleEvent::Up { .. })).count() as u64;
+    report.scale_downs = events.iter().filter(|e| matches!(e, ScaleEvent::Down { .. })).count() as u64;
+    report.migrated_slots = events
+        .iter()
+        .map(|e| match e {
+            ScaleEvent::Up { slots, .. } | ScaleEvent::Down { slots, .. } => u64::from(*slots),
+        })
+        .sum();
+    report.peak_shards = peak;
+    report.final_shards = final_shards;
+    report.events = events;
+    report
+}
+
+/// Merge per-shard outputs (in shard-id order) into the aggregate
+/// report, folding the final table digest in global key order so it is
+/// comparable across partitions.
+fn merge_outputs(outputs: Vec<ShardOutput>) -> ServeReport {
+    let mut report = ServeReport::empty();
     let mut table: Vec<(u64, u64)> = Vec::new();
-    for out in outputs.into_iter().map(|o| o.expect("every shard drained")) {
+    for out in outputs {
         report.hist.merge(&out.stats.hist);
         report.served += out.stats.served;
         report.rejected += out.stats.rejected;
+        report.shed += out.stats.shed;
+        report.slo_met += out.stats.slo_met;
         report.batches += out.stats.batches;
         report.injected += out.stats.injected;
         for (a, b) in report.outcomes.iter_mut().zip(out.stats.outcomes) {
@@ -403,6 +707,8 @@ pub fn serve_stream(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &Se
         report.replay_cycles += out.stats.replay_cycles;
         report.snapshots += out.stats.snapshots;
         report.snapshot_cycles += out.stats.snapshot_cycles;
+        report.migration_replays += out.stats.migration_replays;
+        report.migration_cycles += out.stats.migration_cycles;
         report.makespan_cycles = report.makespan_cycles.max(out.stats.last_completion);
         table.extend(out.table.iter().copied());
         report.shards.push(out.stats);
@@ -443,6 +749,9 @@ mod tests {
         assert!(r.throughput_rps() > 0.0);
         assert_eq!(r.hist.count(), r.served);
         assert!(r.availability() == 1.0);
+        assert_eq!(r.peak_shards, 2);
+        assert_eq!(r.final_shards, 2);
+        assert!(r.events.is_empty(), "static runs never scale");
     }
 
     #[test]

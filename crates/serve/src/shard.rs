@@ -1,87 +1,104 @@
 //! One serving shard: a resident hardened VM drained in arrival order
 //! with batched request execution, K-interval snapshots with
-//! suffix-replay recovery, and per-request online fault accounting.
+//! suffix-replay recovery, per-request online fault accounting, and —
+//! new in the adaptive layer — deadline-aware admission and
+//! snapshot-migrated key-range hand-off.
 //!
 //! ## Execution model
 //!
-//! A shard boots once (`init_entry` preloads resident state — e.g. the
-//! KV table — into the machine's memory), then serves its routed
-//! requests in arrival order. Time is *virtual*: the VM's cycle counts
-//! drive a serial queue model, so results are independent of host
-//! threads and wall-clock.
+//! A `ShardRuntime` boots once (`init_entry` preloads resident state
+//! — e.g. the KV table — into the machine's memory), then serves routed
+//! requests in arrival order, fed either all at once (the static path)
+//! or one controller epoch at a time (the elastic path). Time is
+//! *virtual*: the VM's cycle counts drive a serial queue model, so
+//! results are independent of host threads and wall-clock.
 //!
 //! ## Batching
 //!
 //! Whenever the shard becomes free at virtual time `t`, it drains every
-//! admitted request that has arrived by `t` — up to
-//! [`ServeConfig::batch_size`] — into one *batch* and executes it as a
-//! single [`Machine::reenter_batch`] over the requests' concatenated
-//! payloads (a count-prefixed mini-trace). The shard never waits to
-//! fill a batch: under light load batches degenerate to size 1, under
-//! saturation they amortize the per-entry costs (thread spawn, cold
-//! L1/L2/branch state — a fresh core per re-entry is exactly what makes
-//! single-request serving expensive) across `batch_size` requests.
-//! Per-request latency stays honest inside a batch: every request emits
-//! one heartbeat at completion, and the runtime converts the machine's
-//! heartbeat timestamps into per-request completion instants — request
-//! `i` of a batch completes at `batch_start + heartbeat_cycles[i]`, not
-//! at the batch's end.
+//! admitted request that has arrived by `t` — up to a per-drain cap —
+//! into one *batch* and executes it as a single
+//! [`Machine::reenter_batch`] over the requests' concatenated payloads
+//! (a count-prefixed mini-trace). The cap is either the static
+//! [`ServeConfig::batch_size`] or, with
+//! [`ServeConfig::batch_adaptive`], the queue-depth policy
+//! `clamp(queue_depth, 1, batch_max)`: the drain sizes itself to the
+//! backlog, so no per-service cap tuning is needed. The shard never
+//! waits to fill a batch: under light load batches degenerate to size
+//! 1, under saturation they amortize the per-entry costs (thread spawn,
+//! cold L1/L2/branch state) across the batch. Per-request latency stays
+//! honest inside a batch: every request emits one heartbeat at
+//! completion, and request `i` of a batch completes at
+//! `batch_start + heartbeat_cycles[i]`, not at the batch's end.
 //!
-//! ## Bounded queue (admission control)
+//! ## Admission control
 //!
-//! The per-shard queue bound is enforced in virtual time: a request
-//! arriving while `queue_capacity` earlier requests are still in flight
-//! (queued, batched-but-unfinished, or executing) is rejected — never
-//! executed. Host-side, the shard's pending requests are a pre-routed
-//! slice drained in arrival order, which is what makes the bound
-//! deterministic.
+//! Two gates, both enforced in virtual time at the instant a request
+//! would join a forming batch:
 //!
-//! ## K-interval snapshots and suffix replay
+//! * **bounded queue** (drop-tail): a request arriving while
+//!   `queue_capacity` earlier requests are still in flight is rejected;
+//! * **deadline-aware shedding** ([`ServeConfig::shed_slo`]): the batch
+//!   drain policy knows the exact drain start and the request's
+//!   position in the forming batch, so its completion is predicted as
+//!   `start + (position + 1) * est` where `est` is 1.5× the largest
+//!   per-request marginal cost the shard has observed (solo cycles and
+//!   in-batch heartbeat deltas). If the predicted latency exceeds
+//!   [`ServeConfig::slo_cycles`] the request is shed at admission —
+//!   never executed — so capacity is spent only on requests that can
+//!   still meet their deadline. Until a first completion calibrates the
+//!   estimate, drains are capped at one request so the predictor never
+//!   admits a burst blind. The every-admitted-request-meets-its-SLO
+//!   guarantee is a *fault-free* property: an admitted request that
+//!   then takes a Crashed-class SEU serves a restart + replay detour no
+//!   admission-time predictor could have priced in, and requests queued
+//!   behind it can miss their deadline too.
 //!
-//! The shard clones its machine ([`Machine`] clones are
-//! usage-proportional) every [`ServeConfig::snapshot_interval`]
-//! *committed* requests, charging the clone
-//! `resident_bytes / snapshot_bytes_per_cycle` virtual cycles, and
-//! remembers the payloads committed since (`suffix`). Recovery and
-//! fault twins are built from that machinery alone — never from an
-//! on-demand pre-request clone:
+//! ## K-interval snapshots, suffix replay and migration
 //!
-//! * a *fault twin* (the execution that takes the SEU) is
-//!   `snapshot.clone()` + [`elzar_fault::replay_suffix`] — a
-//!   deterministic re-execution of the committed suffix that
-//!   reconstructs the pre-request state bit-for-bit;
-//! * a *crashed* outcome (hang / OS-detected) restarts the shard the
-//!   same way: the request's detour is
-//!   `faulty_cycles + restart_cycles + replay_cycles + clean_cycles`,
-//!   and `restart_cycles + replay_cycles` counts as downtime.
+//! The shard clones its machine every [`ServeConfig::snapshot_interval`]
+//! *committed* requests (a usage-proportional clone charged
+//! `resident_bytes / snapshot_bytes_per_cycle` virtual cycles) and
+//! remembers the payloads applied since (`suffix`). Everything that
+//! needs historical state is built from that machinery alone:
 //!
-//! Small intervals pay clone cost on the steady path; large intervals
-//! pay replay cost on every crash — the trade-off `fig_serve`'s
-//! restart curve measures.
+//! * a *fault twin* is `snapshot.clone()` + [`elzar_fault::replay_suffix`];
+//! * a *crashed* outcome restarts the shard the same way, the detour
+//!   charged as downtime;
+//! * a *joining shard* (elastic scale-up) is `donor.snapshot.clone()` +
+//!   [`elzar_fault::replay_suffix_where`] filtered to the key range it
+//!   takes over (`ShardRuntime::boot_from_donor`);
+//! * a *retiring shard*'s range is absorbed by a survivor replaying the
+//!   committed log of the migrated slots (`ShardRuntime::absorb`).
+//!
+//! The runtime tracks, per partition slot, how many committed requests
+//! the machine has applied (`applied`), so a migration replays exactly
+//! the delta between the receiving machine's state and the global
+//! committed log — bit-for-bit reconstruction, because execution is
+//! deterministic and requests only touch state owned by their own key.
 //!
 //! ## Online fault accounting (reference-committed)
 //!
 //! A deterministic per-request schedule (a pure function of the
 //! campaign seed and the global request id — never of shard count,
-//! batching, snapshot cadence or host threads) picks which requests
-//! take a single-event upset. A scheduled request always executes
-//! through the *single-request* entry: the shard runs it clean on the
-//! resident machine to obtain the per-request golden reference (this is
-//! what commits), then replays the suffix-reconstructed twin under the
-//! fault through [`elzar_fault::inject_one`] — the same single-run
-//! injector the batch campaign uses. Classification follows Table I.
-//! The *committed* state is always the reference execution's, so the
-//! resident state evolves as a pure function of the committed request
-//! sequence — which is why outcome counts and final table digests are
-//! bit-identical across shard counts, worker counts, batch sizes and
-//! snapshot intervals (fault-free batches write exactly the bytes the
-//! equivalent single-request sequence would).
+//! batching, snapshot cadence, scaling schedule or host threads) picks
+//! which requests take a single-event upset. A scheduled request always
+//! executes through the *single-request* entry: the shard runs it clean
+//! on the resident machine (this is what commits), then replays the
+//! suffix-reconstructed twin under the fault through
+//! [`elzar_fault::inject_one`]. The committed state is always the
+//! reference execution's, so the resident state evolves as a pure
+//! function of the committed request sequence — which is why outcome
+//! counts and final table digests are bit-identical across shard
+//! counts, worker counts, batch policies, snapshot intervals and
+//! scaling schedules.
 
+use crate::controller::{slot_of, PARTITION_SLOTS};
 use crate::gen::{shard_of, Request};
 use crate::histogram::LatencyHistogram;
 use crate::ServeConfig;
 use elzar_apps::{kv, ServeApp};
-use elzar_fault::{inject_one, replay_suffix, GoldenRun, OutcomeClass};
+use elzar_fault::{inject_one, replay_suffix, replay_suffix_where, GoldenRun, OutcomeClass};
 use elzar_rng::{splitmix64, DetRng};
 use elzar_vm::{Machine, Program, RunOutcome};
 use std::collections::VecDeque;
@@ -95,6 +112,12 @@ pub struct ShardStats {
     pub served: u64,
     /// Requests rejected by the bounded queue (never executed).
     pub rejected: u64,
+    /// Requests shed by deadline-aware admission (predicted to miss
+    /// their SLO; never executed).
+    pub shed: u64,
+    /// Served requests whose latency met [`ServeConfig::slo_cycles`]
+    /// (0 when no SLO is configured).
+    pub slo_met: u64,
     /// Batched-entry invocations (fault-scheduled requests run solo
     /// through the single-request entry and are not counted).
     pub batches: u64,
@@ -118,6 +141,14 @@ pub struct ShardStats {
     /// (`resident_bytes / snapshot_bytes_per_cycle` each — the cost
     /// that grows as `snapshot_interval` shrinks).
     pub snapshot_cycles: u64,
+    /// Partition slots migrated *into* this shard (scale-up boot or
+    /// scale-down absorption).
+    pub migrated_in_slots: u64,
+    /// Committed requests replayed to reconstruct migrated ranges.
+    pub migration_replays: u64,
+    /// Virtual cycles spent on migration (snapshot clone + filtered
+    /// replay), charged to this shard's clock before it serves.
+    pub migration_cycles: u64,
     /// Virtual cycles the shard spent executing requests.
     pub busy_cycles: u64,
     /// Completion time of the shard's last request (0 if none).
@@ -132,6 +163,8 @@ impl ShardStats {
             shard,
             served: 0,
             rejected: 0,
+            shed: 0,
+            slo_met: 0,
             batches: 0,
             injected: 0,
             outcomes: [0; 5],
@@ -140,6 +173,9 @@ impl ShardStats {
             replay_cycles: 0,
             snapshots: 0,
             snapshot_cycles: 0,
+            migrated_in_slots: 0,
+            migration_replays: 0,
+            migration_cycles: 0,
             busy_cycles: 0,
             last_completion: 0,
             hist: LatencyHistogram::new(),
@@ -162,7 +198,395 @@ fn fault_rng_for(cfg: &ServeConfig, id: u64) -> Option<DetRng> {
     (rng.below(1_000_000) < u64::from(cfg.fault_rate_ppm)).then_some(rng)
 }
 
-/// Boot shard `shard` and drain its routed `requests` in arrival order.
+/// A resident serving shard that can be fed incrementally (one
+/// controller epoch at a time) and hand key ranges to or take them from
+/// other shards between feeds. The static serving path is the trivial
+/// schedule: boot once, feed the whole routed stream.
+pub(crate) struct ShardRuntime<'p, 'a> {
+    m: Machine<'p>,
+    /// Last periodic snapshot (boot state until the first one).
+    snap: Machine<'p>,
+    /// Per-slot applied counts at the time of `snap`.
+    snap_applied: [u32; PARTITION_SLOTS as usize],
+    /// Per-slot committed-log entries this machine has applied (served
+    /// or replayed). The machine's state for slot `s` is the pure
+    /// function of the first `applied[s]` committed requests of `s`.
+    applied: [u32; PARTITION_SLOTS as usize],
+    /// Payloads applied since `snap`, in application order (commits and
+    /// migration replays alike) — what crash recovery and fault twins
+    /// replay.
+    suffix: Vec<&'a [u8]>,
+    /// Virtual time the shard becomes free.
+    clock: u64,
+    /// Completion times of admitted-but-unfinished requests at the next
+    /// arrival instant (the virtual-time queue).
+    inflight: VecDeque<u64>,
+    /// Largest observed per-request marginal cost (cycles) — solo runs
+    /// and in-batch heartbeat deltas. Drives SLO admission prediction.
+    est_cycles: u64,
+    /// Serving statistics.
+    pub stats: ShardStats,
+}
+
+impl<'p, 'a> ShardRuntime<'p, 'a> {
+    /// Boot a fresh shard: run the init entry (preloads resident
+    /// state), take the free boot snapshot.
+    pub fn boot(prog: &'p Program, app: &ServeApp, cfg: &ServeConfig, shard: u32) -> ShardRuntime<'p, 'a> {
+        let mut mc = cfg.machine;
+        mc.fault = None;
+        let mut m = Machine::start(prog, app.init_entry, &[], mc);
+        let outcome = m.run_to_completion();
+        assert!(matches!(outcome, RunOutcome::Exited(_)), "shard init must exit cleanly, got {outcome:?}");
+        let snap = m.clone();
+        ShardRuntime {
+            m,
+            snap,
+            snap_applied: [0; PARTITION_SLOTS as usize],
+            applied: [0; PARTITION_SLOTS as usize],
+            suffix: Vec::new(),
+            clock: 0,
+            inflight: VecDeque::new(),
+            est_cycles: 0,
+            stats: ShardStats::new(shard),
+        }
+    }
+
+    /// Boot a *joining* shard from a donor's snapshot (elastic
+    /// scale-up): clone the donor's last snapshot, replay the donor's
+    /// committed suffix filtered to the `taken` slots, and snapshot the
+    /// result. The clone and the filtered replay are charged to the
+    /// joiner's clock starting at virtual time `at`; the donor is
+    /// untouched (its snapshot already exists, so it donates without
+    /// downtime).
+    pub fn boot_from_donor(
+        donor: &ShardRuntime<'p, 'a>,
+        app: &ServeApp,
+        cfg: &ServeConfig,
+        shard: u32,
+        taken: u64,
+        at: u64,
+    ) -> ShardRuntime<'p, 'a> {
+        let mut m = donor.snap.clone();
+        let clone_cost = ShardRuntime::snap_cost(&m, cfg);
+        let key_of = app.key_of;
+        let (replay, replayed) = replay_suffix_where(&mut m, app.request_entry, &donor.suffix, |p| {
+            taken >> slot_of(key_of(p)) & 1 == 1
+        });
+        let mut applied = donor.snap_applied;
+        for (s, a) in applied.iter_mut().enumerate() {
+            if taken >> s & 1 == 1 {
+                *a = donor.applied[s];
+            }
+        }
+        let mut stats = ShardStats::new(shard);
+        stats.migrated_in_slots = u64::from(taken.count_ones());
+        stats.migration_replays = replayed;
+        stats.migration_cycles = clone_cost + replay;
+        let snap = m.clone();
+        ShardRuntime {
+            m,
+            snap,
+            snap_applied: applied,
+            applied,
+            suffix: Vec::new(),
+            clock: at + clone_cost + replay,
+            inflight: VecDeque::new(),
+            est_cycles: donor.est_cycles,
+            stats,
+        }
+    }
+
+    /// Absorb the `taken` slots of a retiring shard (elastic
+    /// scale-down): replay, onto the *live* machine, each migrated
+    /// slot's committed log past what this machine has already applied.
+    /// Requests only touch state owned by their own key, so the replay
+    /// reconstructs the migrated ranges without disturbing the slots
+    /// this shard already serves. Charged to the clock at virtual time
+    /// `at`.
+    pub fn absorb(&mut self, taken: u64, log: &[Vec<&'a Request>], app: &ServeApp, cfg: &ServeConfig) {
+        let mut delta: Vec<&'a [u8]> = Vec::new();
+        for s in 0..PARTITION_SLOTS as usize {
+            if taken >> s & 1 == 1 {
+                for req in &log[s][self.applied[s] as usize..] {
+                    delta.push(&req.payload);
+                }
+                self.applied[s] = log[s].len() as u32;
+            }
+        }
+        let cycles = replay_suffix(&mut self.m, app.request_entry, &delta);
+        self.stats.migrated_in_slots += u64::from(taken.count_ones());
+        self.stats.migration_replays += delta.len() as u64;
+        self.stats.migration_cycles += cycles;
+        self.clock += cycles;
+        self.suffix.extend(delta);
+        self.maybe_snapshot(cfg);
+    }
+
+    /// Queue occupancy at virtual time `t`: admitted requests whose
+    /// completion lies after `t` — the controller's load signal.
+    pub fn backlog_at(&self, t: u64) -> usize {
+        self.inflight.iter().filter(|&&c| c > t).count()
+    }
+
+    /// 1.5× the largest observed per-request marginal cost — the
+    /// conservative per-request estimate SLO admission multiplies by
+    /// queue position.
+    fn est_margin(&self) -> u64 {
+        self.est_cycles + self.est_cycles / 2
+    }
+
+    /// Virtual-cycle cost of one machine snapshot clone under the
+    /// configured cost model — the single definition shared by the
+    /// periodic snapshot, migration boot and the shed predictor (which
+    /// must charge exactly what [`ShardRuntime::maybe_snapshot`] will).
+    fn snap_cost(m: &Machine<'_>, cfg: &ServeConfig) -> u64 {
+        m.memory().resident_bytes() / cfg.snapshot_bytes_per_cycle.max(1)
+    }
+
+    /// Per-drain batch cap: the static `batch_size`, or the queue-depth
+    /// policy `clamp(depth, 1, batch_max)` with
+    /// [`ServeConfig::batch_adaptive`]. While deadline-aware admission
+    /// has no calibrated estimate yet, drains are capped at one request
+    /// so the predictor never admits a burst blind.
+    fn batch_cap(&self, cfg: &ServeConfig, depth: usize) -> usize {
+        if cfg.shed_slo && cfg.slo_cycles > 0 && self.est_cycles == 0 {
+            return 1;
+        }
+        if cfg.batch_adaptive {
+            depth.clamp(1, cfg.batch_max.max(1) as usize)
+        } else {
+            cfg.batch_size.max(1) as usize
+        }
+    }
+
+    fn observe_marginal(&mut self, cycles: u64) {
+        self.est_cycles = self.est_cycles.max(cycles);
+    }
+
+    fn account_completion(&mut self, req: &Request, completion: u64, cfg: &ServeConfig) {
+        let latency = completion - req.arrival;
+        self.stats.hist.record(latency);
+        if cfg.slo_cycles > 0 && latency <= cfg.slo_cycles {
+            self.stats.slo_met += 1;
+        }
+        self.inflight.push_back(completion);
+        self.stats.served += 1;
+        self.stats.last_completion = completion;
+    }
+
+    /// Take the periodic snapshot if the applied-suffix length has
+    /// reached the interval: clone the quiescent machine, charge the
+    /// copy in virtual time, restart the suffix.
+    fn maybe_snapshot(&mut self, cfg: &ServeConfig) {
+        if self.suffix.len() >= cfg.snapshot_interval.max(1) as usize {
+            self.snap = self.m.clone();
+            self.snap_applied = self.applied;
+            self.suffix.clear();
+            self.stats.snapshots += 1;
+            let cost = ShardRuntime::snap_cost(&self.m, cfg);
+            self.stats.snapshot_cycles += cost;
+            self.clock += cost;
+        }
+    }
+
+    /// Drain `requests` (this shard's routed arrivals, in arrival
+    /// order) to completion. Returns the requests that committed, in
+    /// commit order — the driver appends them to the global per-slot
+    /// committed log that scale-down migration replays.
+    pub fn feed(&mut self, requests: &[&'a Request], app: &ServeApp, cfg: &ServeConfig) -> Vec<&'a Request> {
+        let interval = cfg.snapshot_interval.max(1) as usize;
+        let mut committed: Vec<&'a Request> = Vec::new();
+
+        let mut i = 0;
+        while i < requests.len() {
+            // Batch formation: drain everything that has arrived by the
+            // instant the shard picks up work, up to the per-drain cap.
+            // Admission is checked at each request's own arrival
+            // instant, counting both executed-but-unfinished batches
+            // and the batch being formed.
+            let mut batch: Vec<&Request> = Vec::new();
+            let mut start = 0u64;
+            let mut cap = 1usize;
+            let mut snap_cost = 0u64;
+            while i < requests.len() {
+                let req = requests[i];
+                if batch.is_empty() {
+                    start = self.clock.max(req.arrival);
+                    let depth = requests[i..].iter().take_while(|r| r.arrival <= start).count();
+                    cap = self.batch_cap(cfg, depth);
+                    // Resident bytes only change by executing, so the
+                    // clone-cost term is constant across one formation.
+                    snap_cost = ShardRuntime::snap_cost(&self.m, cfg);
+                } else if req.arrival > start || batch.len() >= cap {
+                    break;
+                }
+                while self.inflight.front().is_some_and(|&c| c <= req.arrival) {
+                    self.inflight.pop_front();
+                }
+                if self.inflight.len() + batch.len() >= cfg.queue_capacity {
+                    self.stats.rejected += 1;
+                    i += 1;
+                    continue;
+                }
+                if cfg.shed_slo && cfg.slo_cycles > 0 {
+                    // Deadline-aware admission: the drain start and the
+                    // request's batch position are exact; the marginal
+                    // estimate is conservative (see est_margin); and
+                    // every snapshot boundary the position can cross
+                    // charges a worst-case clone pause.
+                    let pos1 = batch.len() as u64 + 1;
+                    let snaps = 1 + (self.suffix.len() as u64 + pos1) / interval as u64;
+                    let predicted = start + pos1 * self.est_margin() + snaps * snap_cost;
+                    if predicted - req.arrival > cfg.slo_cycles {
+                        self.stats.shed += 1;
+                        i += 1;
+                        continue;
+                    }
+                }
+                batch.push(req);
+                i += 1;
+            }
+            if batch.is_empty() {
+                continue;
+            }
+
+            // Execute the batch as segments: maximal fault-free runs go
+            // through the batched entry; fault-scheduled requests run
+            // solo (identically for every batch policy — the invariance
+            // the differential tests pin); segments also end at
+            // snapshot boundaries so clones always happen between
+            // requests.
+            let mut t = start;
+            let mut k = 0;
+            while k < batch.len() {
+                if let Some(mut rng) = fault_rng_for(cfg, batch[k].id) {
+                    let req = batch[k];
+                    // Reference execution — this is what commits.
+                    self.m.reenter(app.request_entry, &req.payload);
+                    let outcome = self.m.run_to_completion();
+                    assert!(
+                        matches!(outcome, RunOutcome::Exited(_)),
+                        "fault-free request {} must exit cleanly, got {outcome:?}",
+                        req.id
+                    );
+                    let clean = self.m.result(outcome);
+                    self.observe_marginal(clean.cycles.max(1));
+
+                    let mut service = clean.cycles.max(1);
+                    // Degenerate requests that retire no eligible
+                    // instruction (nothing to corrupt) let the schedule
+                    // slot pass unfired.
+                    if clean.eligible > 0 {
+                        let index = rng.range_inclusive(1, clean.eligible);
+                        let bit = rng.below(256) as u32;
+                        let golden = GoldenRun {
+                            output: clean.output.clone(),
+                            outcome: clean.outcome,
+                            eligible: clean.eligible,
+                            steps: clean.steps,
+                            cycles: clean.cycles,
+                        };
+                        // The twin comes from the recovery machinery,
+                        // not a fresh clone: restore the last snapshot,
+                        // replay the applied suffix to the pre-request
+                        // state.
+                        let mut twin = self.snap.clone();
+                        let replay = replay_suffix(&mut twin, app.request_entry, &self.suffix);
+                        twin.reenter(app.request_entry, &req.payload);
+                        let (o, faulty) = inject_one(twin, &golden, index, bit, cfg.hang_factor);
+                        self.stats.injected += 1;
+                        self.stats.outcomes[o.index()] += 1;
+                        service = match o.class() {
+                            // Detected crash/hang: production restores
+                            // the snapshot, replays the suffix and
+                            // re-runs the request (the SEU does not
+                            // recur); the client waits out the detour.
+                            OutcomeClass::Crashed => {
+                                self.stats.restarts += 1;
+                                self.stats.replay_cycles += replay;
+                                self.stats.downtime_cycles += cfg.restart_cycles + replay;
+                                faulty.cycles.max(1) + cfg.restart_cycles + replay + clean.cycles.max(1)
+                            }
+                            // Masked / corrected / SDC: the faulty
+                            // execution is what production ran.
+                            _ => faulty.cycles.max(1),
+                        };
+                    }
+                    let completion = t + service;
+                    self.account_completion(req, completion, cfg);
+                    self.stats.busy_cycles += service;
+                    t = completion;
+                    self.suffix.push(&req.payload);
+                    self.applied[slot_of(req.key) as usize] += 1;
+                    committed.push(req);
+                    k += 1;
+                } else {
+                    // Maximal fault-free segment, capped by the
+                    // snapshot boundary.
+                    let room = interval - self.suffix.len();
+                    let mut end = k + 1;
+                    while end < batch.len() && end - k < room && fault_rng_for(cfg, batch[end].id).is_none() {
+                        end += 1;
+                    }
+                    let seg = &batch[k..end];
+                    let parts: Vec<&'a [u8]> = seg.iter().map(|r| &*r.payload).collect();
+                    self.m.reenter_batch(app.batch_entry, &parts);
+                    let outcome = self.m.run_to_completion();
+                    assert!(
+                        matches!(outcome, RunOutcome::Exited(_)),
+                        "fault-free batch at request {} must exit cleanly, got {outcome:?}",
+                        seg[0].id
+                    );
+                    let r = self.m.result(outcome);
+                    assert_eq!(
+                        r.heartbeat_cycles.len(),
+                        seg.len(),
+                        "serve batch entries emit exactly one heartbeat per request"
+                    );
+                    let mut prev_hb = 0u64;
+                    for (req, &hb) in seg.iter().zip(&r.heartbeat_cycles) {
+                        let completion = t + hb.max(1);
+                        self.account_completion(req, completion, cfg);
+                        self.observe_marginal(hb.max(1) - prev_hb.min(hb));
+                        prev_hb = hb;
+                    }
+                    let cycles = r.cycles.max(1);
+                    self.stats.busy_cycles += cycles;
+                    self.stats.batches += 1;
+                    t += cycles;
+                    for req in seg {
+                        self.suffix.push(&req.payload);
+                        self.applied[slot_of(req.key) as usize] += 1;
+                        committed.push(req);
+                    }
+                    k = end;
+                }
+                self.clock = t;
+                self.maybe_snapshot(cfg);
+                t = self.clock;
+            }
+            self.clock = t;
+        }
+        committed
+    }
+
+    /// Finish the shard: stats plus the final resident-table values of
+    /// the keys the `owns` predicate assigns to it.
+    pub fn into_output(self, app: &ServeApp, owns: &dyn Fn(u64) -> bool) -> ShardOutput {
+        let mut table = Vec::new();
+        if app.table_base != 0 {
+            for k in 0..app.n_keys {
+                if owns(k) {
+                    table.push((k, kv::serve_lookup(self.m.memory(), app.table_base, k).unwrap_or(0)));
+                }
+            }
+        }
+        ShardOutput { stats: self.stats, table }
+    }
+}
+
+/// Boot shard `shard` and drain its routed `requests` in arrival order
+/// — the static serving path (a [`ShardRuntime`] fed once).
 pub(crate) fn drain_shard(
     prog: &Program,
     app: &ServeApp,
@@ -171,183 +595,7 @@ pub(crate) fn drain_shard(
     requests: &[&Request],
     cfg: &ServeConfig,
 ) -> ShardOutput {
-    let mut mc = cfg.machine;
-    mc.fault = None;
-    let mut m = Machine::start(prog, app.init_entry, &[], mc);
-    let boot = m.run_to_completion();
-    assert!(matches!(boot, RunOutcome::Exited(_)), "shard init must exit cleanly, got {boot:?}");
-
-    let batch_size = cfg.batch_size.max(1) as usize;
-    let interval = cfg.snapshot_interval.max(1) as usize;
-
-    let mut stats = ShardStats::new(shard);
-    // Completion times of accepted-but-unfinished requests at the next
-    // arrival instant (the virtual-time queue).
-    let mut inflight: VecDeque<u64> = VecDeque::new();
-    let mut clock = 0u64;
-    // Recovery machinery: the boot snapshot plus the payloads committed
-    // since the last snapshot, in commit order.
-    let mut snap = m.clone();
-    let mut suffix: Vec<&[u8]> = Vec::new();
-
-    let mut i = 0;
-    while i < requests.len() {
-        // Batch formation: drain everything that has arrived by the
-        // instant the shard picks up work, up to `batch_size`.
-        // Admission is checked at each request's own arrival instant,
-        // counting both executed-but-unfinished batches and the batch
-        // being formed.
-        let mut batch: Vec<&Request> = Vec::new();
-        let mut start = 0u64;
-        while i < requests.len() && batch.len() < batch_size {
-            let req = requests[i];
-            if batch.is_empty() {
-                start = clock.max(req.arrival);
-            } else if req.arrival > start {
-                break;
-            }
-            while inflight.front().is_some_and(|&c| c <= req.arrival) {
-                inflight.pop_front();
-            }
-            if inflight.len() + batch.len() >= cfg.queue_capacity {
-                stats.rejected += 1;
-                i += 1;
-                continue;
-            }
-            batch.push(req);
-            i += 1;
-        }
-        if batch.is_empty() {
-            continue;
-        }
-
-        // Execute the batch as segments: maximal fault-free runs go
-        // through the batched entry; fault-scheduled requests run solo
-        // (identically for every batch size — the invariance the
-        // differential test pins); segments also end at snapshot
-        // boundaries so clones always happen between requests.
-        let mut t = start;
-        let mut k = 0;
-        while k < batch.len() {
-            if let Some(mut rng) = fault_rng_for(cfg, batch[k].id) {
-                let req = batch[k];
-                // Reference execution — this is what commits.
-                m.reenter(app.request_entry, &req.payload);
-                let outcome = m.run_to_completion();
-                assert!(
-                    matches!(outcome, RunOutcome::Exited(_)),
-                    "fault-free request {} must exit cleanly, got {outcome:?}",
-                    req.id
-                );
-                let clean = m.result(outcome);
-
-                let mut service = clean.cycles.max(1);
-                // Degenerate requests that retire no eligible
-                // instruction (nothing to corrupt) let the schedule
-                // slot pass unfired.
-                if clean.eligible > 0 {
-                    let index = rng.range_inclusive(1, clean.eligible);
-                    let bit = rng.below(256) as u32;
-                    let golden = GoldenRun {
-                        output: clean.output.clone(),
-                        outcome: clean.outcome,
-                        eligible: clean.eligible,
-                        steps: clean.steps,
-                        cycles: clean.cycles,
-                    };
-                    // The twin comes from the recovery machinery, not a
-                    // fresh clone: restore the last snapshot, replay
-                    // the committed suffix to the pre-request state.
-                    let mut twin = snap.clone();
-                    let replay = replay_suffix(&mut twin, app.request_entry, &suffix);
-                    twin.reenter(app.request_entry, &req.payload);
-                    let (o, faulty) = inject_one(twin, &golden, index, bit, cfg.hang_factor);
-                    stats.injected += 1;
-                    stats.outcomes[o.index()] += 1;
-                    service = match o.class() {
-                        // Detected crash/hang: production restores the
-                        // snapshot, replays the suffix and re-runs the
-                        // request (the SEU does not recur); the client
-                        // waits out the whole detour.
-                        OutcomeClass::Crashed => {
-                            stats.restarts += 1;
-                            stats.replay_cycles += replay;
-                            stats.downtime_cycles += cfg.restart_cycles + replay;
-                            faulty.cycles.max(1) + cfg.restart_cycles + replay + clean.cycles.max(1)
-                        }
-                        // Masked / corrected / SDC: the faulty
-                        // execution is what production ran.
-                        _ => faulty.cycles.max(1),
-                    };
-                }
-                let completion = t + service;
-                stats.hist.record(completion - req.arrival);
-                inflight.push_back(completion);
-                stats.busy_cycles += service;
-                stats.served += 1;
-                stats.last_completion = completion;
-                t = completion;
-                suffix.push(&req.payload);
-                k += 1;
-            } else {
-                // Maximal fault-free segment, capped by the snapshot
-                // boundary.
-                let room = interval - suffix.len();
-                let mut end = k + 1;
-                while end < batch.len() && end - k < room && fault_rng_for(cfg, batch[end].id).is_none() {
-                    end += 1;
-                }
-                let seg = &batch[k..end];
-                let parts: Vec<&[u8]> = seg.iter().map(|r| &*r.payload).collect();
-                m.reenter_batch(app.batch_entry, &parts);
-                let outcome = m.run_to_completion();
-                assert!(
-                    matches!(outcome, RunOutcome::Exited(_)),
-                    "fault-free batch at request {} must exit cleanly, got {outcome:?}",
-                    seg[0].id
-                );
-                let r = m.result(outcome);
-                assert_eq!(
-                    r.heartbeat_cycles.len(),
-                    seg.len(),
-                    "serve batch entries emit exactly one heartbeat per request"
-                );
-                for (req, &hb) in seg.iter().zip(&r.heartbeat_cycles) {
-                    let completion = t + hb.max(1);
-                    stats.hist.record(completion - req.arrival);
-                    inflight.push_back(completion);
-                    stats.served += 1;
-                    stats.last_completion = completion;
-                }
-                let cycles = r.cycles.max(1);
-                stats.busy_cycles += cycles;
-                stats.batches += 1;
-                t += cycles;
-                suffix.extend(parts);
-                k = end;
-            }
-            // Periodic snapshot: clone the quiescent machine, charge
-            // the copy in virtual time, restart the suffix.
-            if suffix.len() >= interval {
-                snap = m.clone();
-                suffix.clear();
-                stats.snapshots += 1;
-                let cost = m.memory().resident_bytes() / cfg.snapshot_bytes_per_cycle.max(1);
-                stats.snapshot_cycles += cost;
-                t += cost;
-            }
-        }
-        clock = t;
-    }
-
-    // Final resident-table values for the keys this shard owns.
-    let mut table = Vec::new();
-    if app.table_base != 0 {
-        for k in 0..app.n_keys {
-            if shard_of(k, shards) == shard {
-                table.push((k, kv::serve_lookup(m.memory(), app.table_base, k).unwrap_or(0)));
-            }
-        }
-    }
-    ShardOutput { stats, table }
+    let mut rt = ShardRuntime::boot(prog, app, cfg, shard);
+    rt.feed(requests, app, cfg);
+    rt.into_output(app, &|key| shard_of(key, shards) == shard)
 }

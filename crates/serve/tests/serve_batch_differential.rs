@@ -178,6 +178,8 @@ fn quantile_edges_are_total() {
         hist: LatencyHistogram::new(),
         served: 0,
         rejected: 0,
+        shed: 0,
+        slo_met: 0,
         batches: 0,
         injected: 0,
         outcomes: [0; 5],
@@ -186,6 +188,14 @@ fn quantile_edges_are_total() {
         replay_cycles: 0,
         snapshots: 0,
         snapshot_cycles: 0,
+        scale_ups: 0,
+        scale_downs: 0,
+        migrated_slots: 0,
+        migration_replays: 0,
+        migration_cycles: 0,
+        peak_shards: 0,
+        final_shards: 0,
+        events: vec![],
         makespan_cycles: 0,
         table_digest: 0,
     };

@@ -1,0 +1,152 @@
+//! Property tests for deadline-aware admission (`ServeConfig::shed_slo`)
+//! and report totality at the shedding extremes:
+//!
+//! * across an `elzar_rng`-driven offered-load sweep, every *admitted*
+//!   request meets its SLO in virtual time (the predictor is
+//!   conservative: drain start and batch position are exact, the
+//!   per-request estimate is 1.5x the largest observed marginal);
+//! * at saturation, shedding beats drop-tail on *goodput* — the
+//!   deadline-aware gate spends capacity only on requests that can
+//!   still meet their deadline, while drop-tail admits requests that
+//!   are already doomed;
+//! * reports stay total and benign when everything is rejected or shed.
+
+use elzar::{Artifact, Mode};
+use elzar_apps::Scale;
+use elzar_rng::DetRng;
+use elzar_serve::{serve_program, ServeConfig, Service};
+
+const SLO_CYCLES: u64 = 60_000; // 30 us at the simulated 2 GHz
+
+fn shed_cfg(mean_gap_cycles: u64, seed: u64) -> ServeConfig {
+    ServeConfig {
+        shards: 2,
+        workers: 2,
+        batch_adaptive: true,
+        batch_max: 16,
+        snapshot_interval: 16,
+        requests: 240,
+        seed,
+        mean_gap_cycles,
+        fault_rate_ppm: 0, // SLO prediction covers service, not crash detours
+        queue_capacity: 1 << 20,
+        slo_cycles: SLO_CYCLES,
+        shed_slo: true,
+        ..Default::default()
+    }
+}
+
+/// The admission guarantee: with deadline-aware shedding on, no served
+/// request misses its SLO — at any offered load the sweep visits.
+#[test]
+fn every_admitted_request_meets_its_slo() {
+    let service = Service::KvA;
+    let app = service.app(Scale::Tiny);
+    let artifact = Artifact::build(&app.module, &Mode::elzar_default());
+    // Offered-load sweep: deterministic gaps from overload to idle,
+    // plus fresh stream seeds per point.
+    let mut rng = DetRng::seed_from_u64(0x510_5EED);
+    for point in 0..6 {
+        let gap = rng.range_inclusive(20, 2_500);
+        let seed = rng.next_u64();
+        let cfg = shed_cfg(gap, seed);
+        let r = serve_program(service, artifact.program(), &app, &cfg);
+        let tag = format!("point {point}: gap={gap}");
+        assert_eq!(r.served + r.shed + r.rejected, 240, "{tag}: every request accounted");
+        assert_eq!(
+            r.slo_met,
+            r.served,
+            "{tag}: {} of {} served requests missed the SLO",
+            r.served - r.slo_met,
+            r.served
+        );
+        assert!(r.hist.max() <= SLO_CYCLES, "{tag}: worst latency {} > SLO", r.hist.max());
+        assert!(r.served > 0, "{tag}: shedding must not starve the service");
+        if gap < 100 {
+            assert!(r.shed > 0, "{tag}: saturation must shed something");
+        }
+    }
+}
+
+/// At saturation, deadline-aware shedding yields at least the goodput
+/// of the bounded-queue drop-tail baseline: both admit a subset of the
+/// stream, but the SLO gate's subset is chosen to finish on time.
+#[test]
+fn shedding_goodput_dominates_drop_tail_at_saturation() {
+    let service = Service::Web;
+    let app = service.app(Scale::Tiny);
+    let artifact = Artifact::build(&app.module, &Mode::elzar_default());
+    let mut rng = DetRng::seed_from_u64(0xD07_7A11);
+    for point in 0..3 {
+        // Saturating arrivals: far denser than the service time.
+        let gap = rng.range_inclusive(10, 60);
+        let seed = rng.next_u64();
+        let shed = serve_program(service, artifact.program(), &app, &shed_cfg(gap, seed));
+        // Drop-tail baseline: same SLO accounting, admission by queue
+        // bound only — deep enough that admitted requests queue far
+        // past the deadline.
+        let drop_tail = ServeConfig { shed_slo: false, queue_capacity: 512, ..shed_cfg(gap, seed) };
+        let dt = serve_program(service, artifact.program(), &app, &drop_tail);
+        let tag = format!("point {point}: gap={gap}");
+        assert!(shed.shed > 0, "{tag}: saturation must shed");
+        assert!(dt.slo_met < dt.served, "{tag}: drop-tail must admit SLO-missing requests");
+        assert!(
+            shed.goodput_rps() >= dt.goodput_rps(),
+            "{tag}: shed goodput {:.0} < drop-tail goodput {:.0}",
+            shed.goodput_rps(),
+            dt.goodput_rps()
+        );
+        // Offered load is the same; drop-tail's raw throughput may be
+        // higher but its deadline-meeting throughput cannot be.
+        assert!(shed.goodput_rps() > 0.0, "{tag}");
+    }
+}
+
+/// Report totality when *everything* is refused: a zero-capacity queue
+/// rejects the entire stream; an unmeetable SLO sheds all but the
+/// cold-start probes. Every aggregate stays total and benign.
+#[test]
+fn all_shed_and_all_rejected_reports_are_total() {
+    let service = Service::KvA;
+    let app = service.app(Scale::Tiny);
+    let artifact = Artifact::build(&app.module, &Mode::elzar_default());
+
+    // Zero-capacity queue: nothing is ever admitted.
+    let cfg = ServeConfig { queue_capacity: 0, requests: 60, shards: 2, ..Default::default() };
+    let r = serve_program(service, artifact.program(), &app, &cfg);
+    assert_eq!(r.served, 0);
+    assert_eq!(r.rejected, 60);
+    assert_eq!(r.hist.count(), 0);
+    assert_eq!(r.makespan_cycles, 0);
+    assert_eq!(r.throughput_rps(), 0.0);
+    assert_eq!(r.goodput_rps(), 0.0);
+    for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+        assert_eq!(r.quantile_cycles(q), 0, "q={q}");
+        assert_eq!(r.quantile_us(q), 0.0, "q={q}");
+    }
+    assert_eq!(r.availability(), 1.0);
+    assert_eq!(r.sdc_rate(), 0.0);
+    assert_eq!(r.batches, 0);
+    // The resident tables still digest deterministically (preload
+    // state: no request ever committed).
+    let again = serve_program(service, artifact.program(), &app, &cfg);
+    assert_eq!(r.table_digest, again.table_digest);
+
+    // Unmeetable SLO: after the cold-start calibration request per
+    // shard, the predictor sheds everything (any completion takes more
+    // than 1 cycle).
+    let cfg = ServeConfig {
+        slo_cycles: 1,
+        shed_slo: true,
+        requests: 60,
+        shards: 2,
+        queue_capacity: 1 << 20,
+        ..Default::default()
+    };
+    let r = serve_program(service, artifact.program(), &app, &cfg);
+    assert!(r.served <= 2, "at most the per-shard cold-start probes serve: {}", r.served);
+    assert_eq!(r.served + r.shed, 60);
+    assert_eq!(r.slo_met, 0, "nothing can meet a 1-cycle SLO");
+    assert_eq!(r.goodput_rps(), 0.0);
+    assert_eq!(r.hist.count(), r.served);
+}

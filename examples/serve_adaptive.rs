@@ -1,0 +1,140 @@
+//! Adaptive serving example: one phased YCSB-A load (a dense burst,
+//! then a 30x-stretched lull) served three ways on the same artifact,
+//! plus a saturation study of deadline-aware admission.
+//!
+//! 1. **static 1 shard** — under-provisioned: the burst queues deeply;
+//! 2. **static 4 shards** — over-provisioned for the lull;
+//! 3. **adaptive** — starts at 1 shard; the controller watches
+//!    virtual-time queue occupancy, scales up through the burst (each
+//!    joiner boots from a donor's snapshot and replays only the key
+//!    range it takes over) and retires shards through the lull.
+//!
+//! Outcome counts and the final table digest are identical across all
+//! three — the scaling schedule is a pure timing lever — which is what
+//! lets one deterministic test suite pin the whole adaptive layer.
+//!
+//! The second half turns on SLO shedding at saturation: drop-tail keeps
+//! serving requests whose deadline already passed; the deadline-aware
+//! gate sheds them at admission and keeps goodput at capacity.
+//!
+//! ```sh
+//! cargo run --release --example serve_adaptive
+//! ```
+
+use elzar_suite::elzar::{Artifact, Mode};
+use elzar_suite::elzar_apps::Scale;
+use elzar_suite::elzar_serve::gen::rescale_gaps;
+use elzar_suite::elzar_serve::{serve_program, serve_stream, ServeConfig, ServeReport, Service};
+
+fn report_line(label: &str, r: &ServeReport) {
+    println!(
+        "{label:<10} {:>11.0} {:>9.1} {:>9.1} {:>5} {:>5} {:>5}/{:<5} {:>7}",
+        r.throughput_rps(),
+        r.quantile_us(0.50),
+        r.quantile_us(0.90),
+        r.peak_shards,
+        r.final_shards,
+        r.scale_ups,
+        r.scale_downs,
+        r.migration_replays,
+    );
+}
+
+fn main() {
+    let service = Service::KvA;
+    let app = service.app(Scale::Tiny);
+    let artifact = Artifact::build(&app.module, &Mode::elzar_default());
+
+    // Phased load: 2/3 of the stream arrives at a gap that saturates a
+    // single shard, then the tail thins out 30x. Only arrival times
+    // differ from the stock stream — identities, keys and payloads are
+    // untouched, so all three runs commit the same per-key sequences.
+    let base = ServeConfig {
+        shards: 1,
+        batch_size: 8,
+        requests: 360,
+        mean_gap_cycles: 300,
+        queue_capacity: 1 << 20,
+        ..Default::default()
+    };
+    let mut stream = service.stream(&app, &base);
+    let cut = stream.len() * 2 / 3;
+    rescale_gaps(&mut stream, cut, 30, 1);
+
+    let adaptive_cfg = ServeConfig {
+        adaptive_shards: true,
+        shards_max: 4,
+        control_interval: 32,
+        scale_up_backlog: 6,
+        scale_down_backlog: 1,
+        batch_adaptive: true,
+        ..base.clone()
+    };
+
+    println!("mini-memcached, phased YCSB-A load (dense 2/3, then a 30x lull), 360 requests\n");
+    println!(
+        "{:<10} {:>11} {:>9} {:>9} {:>5} {:>5} {:>11} {:>7}",
+        "fleet", "tput req/s", "p50 us", "p90 us", "peak", "final", "ups/downs", "replays"
+    );
+    let one = serve_stream(artifact.program(), &app, &stream, &base);
+    report_line("static-1", &one);
+    let four = serve_stream(artifact.program(), &app, &stream, &ServeConfig { shards: 4, ..base.clone() });
+    report_line("static-4", &four);
+    let elastic = serve_stream(artifact.program(), &app, &stream, &adaptive_cfg);
+    report_line("adaptive", &elastic);
+
+    // The scaling schedule never changes what was served.
+    assert_eq!(one.table_digest, elastic.table_digest);
+    assert_eq!(one.outcomes, elastic.outcomes);
+    assert!(elastic.scale_ups > 0 && elastic.scale_downs > 0);
+
+    println!();
+    for e in &elastic.events {
+        println!("  {e:?}");
+    }
+    println!(
+        "\nelastic fleet: p90 {:.1} -> {:.1} us vs the 1-shard start, finishing on {} shard(s); \
+         {} committed requests replayed across {} migrated slots",
+        one.quantile_us(0.90),
+        elastic.quantile_us(0.90),
+        elastic.final_shards,
+        elastic.migration_replays,
+        elastic.migrated_slots,
+    );
+
+    // --- Deadline-aware admission at saturation ------------------------
+    let slo = 60_000; // 30 us at the simulated 2 GHz
+    let saturated = ServeConfig {
+        shards: 2,
+        batch_adaptive: true,
+        requests: 400,
+        mean_gap_cycles: 30, // far denser than the service rate
+        slo_cycles: slo,
+        shed_slo: false,
+        queue_capacity: 512,
+        ..Default::default()
+    };
+    let drop_tail = serve_program(service, artifact.program(), &app, &saturated);
+    let shed = serve_program(
+        service,
+        artifact.program(),
+        &app,
+        &ServeConfig { shed_slo: true, queue_capacity: 1 << 20, ..saturated },
+    );
+    println!("\nsaturation, 30 us SLO: drop-tail vs deadline-aware shedding");
+    println!(
+        "  drop-tail: served {:>3}, met SLO {:>3}, goodput {:>9.0} req/s",
+        drop_tail.served,
+        drop_tail.slo_met,
+        drop_tail.goodput_rps()
+    );
+    println!(
+        "  slo-shed:  served {:>3} (+{} shed at admission), met SLO {:>3}, goodput {:>9.0} req/s",
+        shed.served,
+        shed.shed,
+        shed.slo_met,
+        shed.goodput_rps()
+    );
+    assert_eq!(shed.slo_met, shed.served, "every admitted request met its deadline");
+    assert!(shed.goodput_rps() >= drop_tail.goodput_rps());
+}
