@@ -4,7 +4,7 @@
 //! campaigns (fig13). Writes `BENCH_serve.json` in the current
 //! directory.
 //!
-//! Six sections:
+//! Eight sections:
 //!
 //! 1. **Scaling** — every service (memcached-A, memcached-D, apache)
 //!    served with 1 and 4 shards at a saturating offered load, so the
@@ -26,7 +26,15 @@
 //!    controller's scale-up/down schedule, with migration costs;
 //! 6. **Goodput curve** — offered-load sweep comparing drop-tail
 //!    admission against deadline-aware shedding: served vs
-//!    SLO-meeting throughput as the system saturates.
+//!    SLO-meeting throughput as the system saturates;
+//! 7. **Failover** — restart-only vs warm-replica recovery under an
+//!    SEU storm at equal snapshot interval: availability, MTTR and the
+//!    divergence detector's agreement with ELZAR's classification
+//!    (outcomes and the digest are bit-identical by construction — the
+//!    failover suite pins it);
+//! 8. **Availability curve** — fault-rate sweep × {restart,
+//!    warm-replica}: how each recovery mode's availability degrades as
+//!    crashes densify.
 //!
 //! Every configuration boots from *one* artifact per service — the
 //! hardened program is transformed and lowered exactly once. Outcome
@@ -435,6 +443,105 @@ fn main() {
         }
     }
 
+    // ---- 7. Warm-replica failover vs restart-only ----------------------
+    // Same storm, same snapshot interval, two recovery modes: the
+    // restart run stalls its queue for restart + replay per crash, the
+    // replica run pays only the promotion handoff and rebuilds the
+    // standby in background time. The replica run also runs the
+    // divergence detector against ELZAR's classification.
+    println!("\n== failover (memcached-A, 30% SEU storm, K=16) ==");
+    println!(
+        "{:>12} {:>12} {:>4} {:>7} {:>12} {:>10} {:>9}",
+        "recovery", "availability", "rst", "promos", "mttr cyc", "p99 us", "div agr"
+    );
+    let mut failover = Vec::new();
+    {
+        let service = Service::KvA;
+        let (app, artifact) = artifact_for(service);
+        let storm = ServeConfig {
+            shards: 2,
+            batch_size: 8,
+            snapshot_interval: 16,
+            fault_rate_ppm: 300_000,
+            mean_gap_cycles: 300,
+            ..saturating.clone()
+        };
+        for (name, cfg) in [
+            ("restart-only", storm.clone()),
+            ("warm-replica", ServeConfig { replicas: true, divergence_check_interval: 8, ..storm.clone() }),
+        ] {
+            let r = artifact.serve(service, &app, &cfg);
+            let mttr = r.downtime_cycles.checked_div(r.restarts).unwrap_or(0);
+            println!(
+                "{:>12} {:>12.6} {:>4} {:>7} {:>12} {:>10.1} {:>9.3}",
+                name,
+                r.availability(),
+                r.restarts,
+                r.promotions,
+                mttr,
+                r.quantile_us(0.99),
+                r.divergence_agreement(),
+            );
+            failover.push(
+                row(service, &cfg, &r)
+                    .field("recovery", Json::str(name))
+                    .field("promotions", Json::uint(r.promotions))
+                    .field("mttr_cycles", Json::uint(mttr))
+                    .field("downtime_cycles", Json::uint(r.downtime_cycles))
+                    .field("rebuild_cycles", Json::uint(r.rebuild_cycles))
+                    .field("replica_apply_cycles", Json::uint(r.replica_apply_cycles))
+                    .field("divergence_probes", Json::uint(r.div_probes()))
+                    .field("divergence_flagged_sdc", Json::uint(r.div_flagged[Outcome::Sdc.index()]))
+                    .field("divergence_checks", Json::uint(r.divergence_checks))
+                    .field("divergence_alarms", Json::uint(r.divergence_alarms))
+                    .field("divergence_agreement", Json::num(r.divergence_agreement(), 4)),
+            );
+        }
+    }
+
+    // ---- 8. Availability curve: fault-rate sweep × recovery mode -------
+    // The web parse crashes most readily, so it traces how availability
+    // degrades with the SEU rate: restart-only loses restart+replay per
+    // crash, warm replicas only the promotion handoff.
+    println!("\n== availability curve (apache, K=16, restart vs warm-replica) ==");
+    println!(
+        "{:>9} {:>14} {:>4} {:>14} {:>13} {:>12}",
+        "SEU ppm", "recovery", "rst", "downtime cyc", "availability", "tput req/s"
+    );
+    let mut availability_curve = Vec::new();
+    {
+        let service = Service::Web;
+        let (app, artifact) = artifact_for(service);
+        for ppm in [50_000u32, 100_000, 200_000, 400_000] {
+            for (name, replicas) in [("restart-only", false), ("warm-replica", true)] {
+                let cfg = ServeConfig {
+                    batch_size: 8,
+                    snapshot_interval: 16,
+                    fault_rate_ppm: ppm,
+                    replicas,
+                    ..saturating.clone()
+                };
+                let r = artifact.serve(service, &app, &cfg);
+                println!(
+                    "{:>9} {:>14} {:>4} {:>14} {:>13.6} {:>12.0}",
+                    ppm,
+                    name,
+                    r.restarts,
+                    r.downtime_cycles,
+                    r.availability(),
+                    r.throughput_rps(),
+                );
+                availability_curve.push(
+                    row(service, &cfg, &r)
+                        .field("recovery", Json::str(name))
+                        .field("fault_rate_ppm", Json::uint(u64::from(ppm)))
+                        .field("promotions", Json::uint(r.promotions))
+                        .field("downtime_cycles", Json::uint(r.downtime_cycles)),
+                );
+            }
+        }
+    }
+
     let json = Json::obj()
         .field("scale", Json::str(format!("{scale:?}")))
         .field("requests", Json::uint(requests))
@@ -446,7 +553,9 @@ fn main() {
         .field("restart_curve", Json::Arr(restart_curve))
         .field("adaptive_frontier", Json::Arr(adaptive_frontier))
         .field("elastic", Json::Arr(elastic))
-        .field("goodput_curve", Json::Arr(goodput_curve));
+        .field("goodput_curve", Json::Arr(goodput_curve))
+        .field("failover", Json::Arr(failover))
+        .field("availability_curve", Json::Arr(availability_curve));
     write_report("BENCH_serve.json", &json);
     println!("\nwrote BENCH_serve.json");
 }

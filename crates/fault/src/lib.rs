@@ -249,18 +249,41 @@ pub fn classify(golden: &GoldenRun, faulty: &RunResult) -> Outcome {
 /// [`RunResult`] (the serving runtime charges its cycles as the
 /// request's service time).
 pub fn inject_one(
-    mut m: Machine<'_>,
+    m: Machine<'_>,
     golden: &GoldenRun,
     index: u64,
     bit: u32,
     hang_factor: u64,
 ) -> (Outcome, RunResult) {
+    let (o, r, _) = inject_probe(m, golden, index, bit, hang_factor);
+    (o, r)
+}
+
+/// [`inject_one`] that additionally hands the *post-fault machine*
+/// back to the caller — the divergence-probe variant.
+///
+/// Classification per Table I compares observable *output*; a second,
+/// independent SDC detector can instead compare the machine's resident
+/// *state* after the faulty execution against the committed reference
+/// state (the serving runtime's primary/replica divergence checker does
+/// exactly this). That comparison needs the corrupted machine itself,
+/// which [`inject_one`] consumes — this variant returns it. The
+/// machine's memory is only meaningful for outcomes that exited; a
+/// hung or trapped machine was cut mid-flight and its state carries no
+/// committed semantics.
+pub fn inject_probe<'p>(
+    mut m: Machine<'p>,
+    golden: &GoldenRun,
+    index: u64,
+    bit: u32,
+    hang_factor: u64,
+) -> (Outcome, RunResult, Machine<'p>) {
     m.set_fault(Some(FaultPlan { index, bit }));
     m.set_step_limit(golden.steps.saturating_mul(hang_factor).saturating_add(100_000));
     let outcome = m.run_to_completion();
-    let r = m.finish(outcome);
+    let r = m.result(outcome);
     let o = classify(golden, &r);
-    (o, r)
+    (o, r, m)
 }
 
 /// Inject one fault at eligible instruction `index` (1-based), flipping
@@ -280,6 +303,38 @@ pub fn inject_once(
     inject_one(Machine::start(prog, "main", input, cfg), golden, index, bit, hang_factor).0
 }
 
+/// A committed-suffix replay failed: a payload that should have exited
+/// cleanly hung, trapped or otherwise diverged.
+///
+/// The suffix handed to [`replay_suffix`] consists of requests that
+/// already committed on the original machine, so a non-clean outcome
+/// means the machine being replayed onto is *not* the snapshot the
+/// suffix extends — a corrupted standby, a stale clone, a wrong entry.
+/// Callers with a fallback (the serving runtime's warm-replica rebuild
+/// degrades to cold restart-from-snapshot) match on this instead of
+/// aborting the whole run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReplayError {
+    /// Zero-based position of the failing payload among the *kept*
+    /// payloads (replay order, after any [`replay_suffix_where`]
+    /// filtering).
+    pub at: u64,
+    /// The outcome the failing payload actually produced.
+    pub outcome: RunOutcome,
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "suffix replay diverged at payload {}: expected a clean exit, got {:?}",
+            self.at, self.outcome
+        )
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
 /// Deterministically replay a committed request suffix on a machine
 /// restored from a snapshot: one [`Machine::reenter`] + run per
 /// payload, in order. Returns the total replayed virtual cycles.
@@ -295,13 +350,11 @@ pub fn inject_once(
 /// reached by serving those requests live, whatever batching produced
 /// it.
 ///
-/// # Panics
-/// Panics if a replayed request does not exit cleanly — the suffix
-/// consists of requests that already committed on the original
-/// machine, so any other outcome means `m` is not the snapshot the
-/// suffix extends.
-pub fn replay_suffix(m: &mut Machine<'_>, entry: &str, payloads: &[&[u8]]) -> u64 {
-    replay_suffix_where(m, entry, payloads, |_| true).0
+/// # Errors
+/// Returns a [`ReplayError`] if a replayed request does not exit
+/// cleanly; `m` is then left mid-divergence and must be discarded.
+pub fn replay_suffix(m: &mut Machine<'_>, entry: &str, payloads: &[&[u8]]) -> Result<u64, ReplayError> {
+    replay_suffix_where(m, entry, payloads, |_| true).map(|(cycles, _)| cycles)
 }
 
 /// [`replay_suffix`] restricted to the payloads a predicate keeps —
@@ -320,15 +373,16 @@ pub fn replay_suffix(m: &mut Machine<'_>, entry: &str, payloads: &[&[u8]]) -> u6
 ///
 /// Returns `(replayed virtual cycles, replayed request count)`.
 ///
-/// # Panics
-/// Panics if a kept payload does not exit cleanly (see
-/// [`replay_suffix`]).
+/// # Errors
+/// Returns a [`ReplayError`] if a kept payload does not exit cleanly
+/// (see [`replay_suffix`]); `at` indexes the failing payload among the
+/// kept ones.
 pub fn replay_suffix_where(
     m: &mut Machine<'_>,
     entry: &str,
     payloads: &[&[u8]],
     keep: impl Fn(&[u8]) -> bool,
-) -> (u64, u64) {
+) -> Result<(u64, u64), ReplayError> {
     let mut cycles = 0;
     let mut replayed = 0;
     for p in payloads {
@@ -337,11 +391,13 @@ pub fn replay_suffix_where(
         }
         m.reenter(entry, p);
         let o = m.run_to_completion();
-        assert!(matches!(o, RunOutcome::Exited(_)), "suffix replay must exit cleanly, got {o:?}");
+        if !matches!(o, RunOutcome::Exited(_)) {
+            return Err(ReplayError { at: replayed, outcome: o });
+        }
         cycles += m.cycles_so_far().max(1);
         replayed += 1;
     }
-    (cycles, replayed)
+    Ok((cycles, replayed))
 }
 
 /// Sample the campaign's fault plans: `runs` pairs of (eligible index,
@@ -670,7 +726,7 @@ mod tests {
         }
         // ...and a restored snapshot replays it deterministically.
         let mut restored = snapshot;
-        let replayed = replay_suffix(&mut restored, "bump", &suffix);
+        let replayed = replay_suffix(&mut restored, "bump", &suffix).expect("committed suffix replays");
         assert!(replayed > 0);
 
         // Both machines now serve the same next request bit-identically
@@ -729,13 +785,15 @@ mod tests {
         let snapshot = donor.clone();
         let payloads: Vec<[u8; 8]> = (0..24u64).map(|i| (i * 11 + 3).to_le_bytes()).collect();
         let suffix: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
-        let (all_cycles, all_count) = replay_suffix_where(&mut donor, "bump", &suffix, |_| true);
+        let (all_cycles, all_count) =
+            replay_suffix_where(&mut donor, "bump", &suffix, |_| true).expect("committed suffix replays");
         assert_eq!(all_count, 24);
 
         // Migration: a joiner boots from the donor's snapshot and
         // replays only the migrated range's committed requests.
         let mut joiner = snapshot.clone();
-        let (mig_cycles, mig_count) = replay_suffix_where(&mut joiner, "bump", &suffix, migrated);
+        let (mig_cycles, mig_count) =
+            replay_suffix_where(&mut joiner, "bump", &suffix, migrated).expect("filtered replay succeeds");
         assert!(0 < mig_count && mig_count < 24, "both key ranges must appear in the suffix");
         assert!(mig_cycles < all_cycles, "filtered replay must be cheaper than a full one");
 
@@ -786,6 +844,74 @@ mod tests {
                 .wrapping_add((slot + 8 * 200).wrapping_mul(5));
             let r = full.result(o);
             assert_eq!(u64::from_le_bytes(r.output[..8].try_into().unwrap()), expect);
+        }
+    }
+
+    #[test]
+    fn replay_errors_are_typed_not_panics() {
+        use elzar_vm::GLOBAL_BASE;
+        // `poke` stores 1 *at the address given by the input word* — a
+        // committed-looking payload that traps when the address is wild
+        // models a corrupted standby diverging mid-replay. Failover
+        // code must get a value it can match on (and fall back to cold
+        // restart), not a process abort.
+        let mut m = Module::new("replayerr");
+        let cell = GLOBAL_BASE + m.alloc_global(8) as u64;
+        let mut ib = FuncBuilder::new("main", vec![], Ty::I64);
+        ib.store(Ty::I64, c64(0), elzar_ir::Operand::Imm(elzar_ir::Const::Ptr(cell)));
+        ib.ret(c64(0));
+        m.add_func(ib.finish());
+        let mut bb = FuncBuilder::new("poke", vec![], Ty::I64);
+        let inp = bb.call_builtin(Builtin::InputPtr, vec![], Ty::Ptr).unwrap();
+        let w = bb.load(Ty::I64, inp);
+        let p = bb.gep(elzar_ir::Operand::Imm(elzar_ir::Const::Ptr(0)), w, 1);
+        bb.store(Ty::I64, c64(1), p);
+        bb.ret(c64(0));
+        m.add_func(bb.finish());
+        let prog = build(&m, &Mode::elzar_default());
+
+        let mut base = Machine::start(&prog, "main", &[], MachineConfig::default());
+        assert!(matches!(base.run_to_completion(), RunOutcome::Exited(_)));
+        let good = cell.to_le_bytes();
+        let bad = 8u64.to_le_bytes(); // far below any mapped segment
+        let suffix: Vec<&[u8]> = vec![&good, &bad, &good];
+
+        let err = replay_suffix(&mut base.clone(), "poke", &suffix).unwrap_err();
+        assert_eq!(err.at, 1, "failure position indexes kept payloads");
+        assert!(matches!(err.outcome, RunOutcome::Trapped(_)), "got {:?}", err.outcome);
+        let msg = err.to_string();
+        assert!(msg.contains("payload 1"), "{msg}");
+
+        // The filtered variant never executes the poisoned payload, so
+        // it succeeds — and `at` counts *kept* payloads, which is why
+        // the error above says 1, not its absolute stream position.
+        let keep = |p: &[u8]| u64::from_le_bytes(p[..8].try_into().unwrap()) == cell;
+        let (cycles, kept) =
+            replay_suffix_where(&mut base.clone(), "poke", &suffix, keep).expect("filter avoids the trap");
+        assert_eq!(kept, 2);
+        assert!(cycles > 0);
+    }
+
+    #[test]
+    fn inject_probe_returns_the_corrupted_machine() {
+        // The probe variant must (a) classify exactly like inject_one
+        // and (b) hand back the machine whose memory a state-digest
+        // detector can inspect.
+        let prog = build(&kernel(), &Mode::elzar_default());
+        let golden = golden_run(&prog, &[], &MachineConfig::default());
+        for (index, bit) in sample_plans(0xD1CE, golden.eligible, 8) {
+            let mk = || {
+                let mc = MachineConfig { fault: None, ..Default::default() };
+                Machine::start(&prog, "main", &[], mc)
+            };
+            let (o1, r1) = inject_one(mk(), &golden, index, bit, 20);
+            let (o2, r2, m) = inject_probe(mk(), &golden, index, bit, 20);
+            assert_eq!(o1, o2);
+            assert_eq!(r1.output, r2.output);
+            assert_eq!(r1.cycles, r2.cycles);
+            // The returned machine is the one that ran: its resident
+            // memory is readable post-fault.
+            assert!(m.memory().resident_bytes() > 0);
         }
     }
 

@@ -37,18 +37,27 @@
 //!    request predicted to miss [`ServeConfig::slo_cycles`] is shed at
 //!    admission, so goodput — served requests that met their deadline —
 //!    tracks offered load instead of collapsing;
-//! 7. shards drain on their own OS threads — workers pull shard ids
+//! 7. with [`ServeConfig::replicas`] every shard keeps a *warm
+//!    standby* mirroring the committed log in the background: a
+//!    Crashed-class outcome promotes it in
+//!    [`ServeConfig::failover_cycles`] instead of a restart+replay
+//!    queue stall; [`ServeConfig::compaction`] truncates the elastic
+//!    path's committed log at the fleet-minimum snapshot mark; and
+//!    [`ServeConfig::divergence_check_interval`] runs a state-digest
+//!    divergence detector beside ELZAR's own classification
+//!    ([`ServeReport::divergence_agreement`]);
+//! 8. shards drain on their own OS threads — workers pull shard ids
 //!    from a shared counter, so any worker count yields bit-identical
 //!    results;
-//! 8. an online fault-injection schedule flips destination-register
+//! 9. an online fault-injection schedule flips destination-register
 //!    bits mid-service and classifies every hit per Table I
 //!    (Masked / ElzarCorrected / Sdc / Crashed-with-restart-from-
 //!    snapshot), turning the batch campaign taxonomy into an
 //!    availability / SDC-rate-under-load metric;
-//! 9. the [`ServeReport`] aggregates per-shard throughput, a
-//!    log-bucketed latency histogram (p50/p90/p99/p999), outcome
-//!    counts, snapshot/replay/migration cost, controller events and the
-//!    final resident-table digest.
+//! 10. the [`ServeReport`] aggregates per-shard throughput, a
+//!     log-bucketed latency histogram (p50/p90/p99/p999), outcome
+//!     counts, snapshot/replay/migration/replication cost, controller
+//!     events and the final resident-table digest.
 //!
 //! Determinism contract: everything in the report — outcome counts,
 //! latency histogram, digests, cycle totals, scaling events — is a pure
@@ -171,6 +180,35 @@ pub struct ServeConfig {
     /// at admission and can push requests past the deadline — the SLO
     /// accounting reports such misses rather than hiding them.
     pub shed_slo: bool,
+    /// Keep a *warm standby* per shard: a second machine that mirrors
+    /// every committed operation in the background. A Crashed-class
+    /// outcome then promotes the standby in
+    /// [`ServeConfig::failover_cycles`] instead of stalling the queue
+    /// for `restart_cycles + suffix replay`; the restart+replay detour
+    /// still runs, but in background time, rebuilding the new standby
+    /// ([`ServeReport::rebuild_cycles`]). Changes
+    /// availability/latency, never outcome counts or the table digest.
+    pub replicas: bool,
+    /// Virtual-cycle cost of promoting the warm standby (failure
+    /// detection + queue handoff), paid as downtime on each promotion.
+    pub failover_cycles: u64,
+    /// Compact the elastic path's global committed log at every epoch
+    /// boundary: bring each active shard up to the full log (background
+    /// catch-up replay), then truncate each slot at the fleet-minimum
+    /// snapshot mark — no recovery, twin or migration can ever reach
+    /// below it. Bounds the retained per-slot log to under one
+    /// [`ServeConfig::snapshot_interval`] (fixing the otherwise
+    /// unbounded scale-down absorption replay). Changes timing only,
+    /// never outcome counts or the table digest.
+    pub compaction: bool,
+    /// Run the state-digest divergence detector: every N commits
+    /// compare primary and standby resident-table digests (a
+    /// replication-correctness check, alarms expected 0), and probe
+    /// every injected request's faulty state against the committed
+    /// reference — an SDC detector independent of ELZAR's
+    /// classification (see [`ServeReport::divergence_agreement`]).
+    /// `0` disables both.
+    pub divergence_check_interval: u32,
     /// Mean inter-arrival gap of the open-loop generator, in cycles.
     pub mean_gap_cycles: u64,
     /// Requests in the stream.
@@ -205,6 +243,12 @@ impl Default for ServeConfig {
             scale_down_backlog: 2,
             slo_cycles: 0,
             shed_slo: false,
+            replicas: false,
+            // Promotion is a local handoff, not a rebuild: ~1 us at the
+            // simulated 2 GHz.
+            failover_cycles: 2_000,
+            compaction: false,
+            divergence_check_interval: 0,
             mean_gap_cycles: 2_000,
             requests: 1_000,
             seed: 0x5E12_AE5E,
@@ -314,6 +358,46 @@ pub struct ServeReport {
     /// Virtual cycles spent on migration (snapshot clones + filtered
     /// replays).
     pub migration_cycles: u64,
+    /// Warm-replica promotions across all shards: crashes where the
+    /// standby took over instead of a restart-from-snapshot detour
+    /// ([`ServeConfig::replicas`]).
+    pub promotions: u64,
+    /// Background virtual cycles spent rebuilding standbys after
+    /// promotions (`restart_cycles` + suffix replay per promotion — the
+    /// detour that no longer stalls the queue).
+    pub rebuild_cycles: u64,
+    /// Background virtual cycles standbys spent applying the committed
+    /// log (the steady-state price of replication).
+    pub replica_apply_cycles: u64,
+    /// Background virtual cycles spent on compaction catch-up replays
+    /// ([`ServeConfig::compaction`]).
+    pub catchup_cycles: u64,
+    /// Compaction passes that removed at least one committed entry.
+    pub compactions: u64,
+    /// Committed log entries dropped by compaction.
+    pub compacted_entries: u64,
+    /// Largest per-slot committed-log length ever retained on the
+    /// elastic path (0 for static runs, which keep no global log). With
+    /// [`ServeConfig::compaction`] this stays under one
+    /// [`ServeConfig::snapshot_interval`]; without it the hottest
+    /// slot's log grows with the stream.
+    pub max_slot_log: u64,
+    /// Periodic primary-vs-standby divergence checks performed
+    /// ([`ServeConfig::divergence_check_interval`]).
+    pub divergence_checks: u64,
+    /// Periodic checks that found the standby diverged from the primary
+    /// (expected 0 — an alarm means the replication path itself broke).
+    pub divergence_alarms: u64,
+    /// Divergence probes of injected requests by Table-I outcome of the
+    /// injected run: each probe compares the faulty execution's
+    /// resident state against the committed reference.
+    pub div_probed: [u64; 5],
+    /// Probes (same indexing) where the faulty state diverged from the
+    /// committed reference — what a state-digest detector would flag.
+    pub div_flagged: [u64; 5],
+    /// Background virtual cycles charged for divergence scans (probes
+    /// and periodic checks).
+    pub divergence_cycles: u64,
     /// Largest number of simultaneously active shards.
     pub peak_shards: u32,
     /// Active shards when the stream ended.
@@ -374,18 +458,53 @@ impl ServeReport {
     }
 
     /// Fraction of total shard-time *not* lost to crash recovery:
-    /// `1 - downtime_cycles / (makespan_cycles * shards)`, where
-    /// downtime is `restart_cycles + suffix replay` per restart
-    /// (1.0 with no restarts or an empty report). With elastic scaling
-    /// the denominator counts every shard that ever served, so the
-    /// value is a conservative per-shard-lifetime approximation.
+    /// `1 - downtime / Σ per-shard lifetime`, where downtime is
+    /// `restart_cycles + suffix replay` per restart (or
+    /// [`ServeConfig::failover_cycles`] per warm-replica promotion) and
+    /// each shard's lifetime runs from the virtual time it came online
+    /// to the time it retired — clamped to the makespan — so elastic
+    /// runs integrate shard-cycles over the actual scaling schedule
+    /// instead of assuming a fixed fleet (1.0 with no restarts or an
+    /// empty report).
     pub fn availability(&self) -> f64 {
-        let span = self.makespan_cycles.saturating_mul(self.shards.len().max(1) as u64);
+        let span: u64 = self
+            .shards
+            .iter()
+            .map(|s| s.retired_at.min(self.makespan_cycles) - s.spawned_at.min(self.makespan_cycles))
+            .sum();
         if span == 0 {
             1.0
         } else {
-            1.0 - self.downtime_cycles as f64 / span as f64
+            (1.0 - self.downtime_cycles as f64 / span as f64).max(0.0)
         }
+    }
+
+    /// Agreement rate between the state-digest divergence detector and
+    /// ELZAR's Table-I classification, over probed injections: an `Sdc`
+    /// the probe flagged agrees, and a non-`Sdc` outcome the probe did
+    /// *not* flag agrees. Disagreements are the interesting residue —
+    /// a flagged `Masked` run is latent state corruption ELZAR's
+    /// output-based verdict cannot see, and an unflagged `Sdc` is
+    /// output-only corruption a state monitor cannot see. 1.0 when
+    /// nothing was probed.
+    pub fn divergence_agreement(&self) -> f64 {
+        let probed = self.div_probes();
+        if probed == 0 {
+            return 1.0;
+        }
+        let sdc = Outcome::Sdc.index();
+        let mut agree = self.div_flagged[sdc];
+        for i in 0..self.div_probed.len() {
+            if i != sdc {
+                agree += self.div_probed[i] - self.div_flagged[i];
+            }
+        }
+        agree as f64 / probed as f64
+    }
+
+    /// Total divergence probes of injected requests across outcomes.
+    pub fn div_probes(&self) -> u64 {
+        self.div_probed.iter().sum()
     }
 
     /// Observed SDC rate under load: silently corrupted replies over
@@ -420,6 +539,18 @@ impl ServeReport {
             migrated_slots: 0,
             migration_replays: 0,
             migration_cycles: 0,
+            promotions: 0,
+            rebuild_cycles: 0,
+            replica_apply_cycles: 0,
+            catchup_cycles: 0,
+            compactions: 0,
+            compacted_entries: 0,
+            max_slot_log: 0,
+            divergence_checks: 0,
+            divergence_alarms: 0,
+            div_probed: [0; 5],
+            div_flagged: [0; 5],
+            divergence_cycles: 0,
             peak_shards: 0,
             final_shards: 0,
             events: Vec::new(),
@@ -429,9 +560,9 @@ impl ServeReport {
     }
 }
 
-const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf29ce484222325;
 
-fn fnv_fold(h: u64, word: u64) -> u64 {
+pub(crate) fn fnv_fold(h: u64, word: u64) -> u64 {
     let mut h = h;
     for b in word.to_le_bytes() {
         h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
@@ -541,6 +672,13 @@ fn serve_adaptive(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &Serv
     // Global committed log per partition slot, in commit order — only
     // one shard owns a slot per epoch, so appends never interleave.
     let mut log: Vec<Vec<&Request>> = (0..PARTITION_SLOTS).map(|_| Vec::new()).collect();
+    // Compaction offset: `log[s]` holds the committed entries of slot
+    // `s` from absolute index `base[s]` onward (all zero until a
+    // compaction pass truncates).
+    let mut base = [0u32; PARTITION_SLOTS as usize];
+    let mut compactions = 0u64;
+    let mut compacted_entries = 0u64;
+    let mut max_slot_log = 0u64;
     let mut events: Vec<ScaleEvent> = Vec::new();
     let mut peak = start_shards;
 
@@ -637,7 +775,7 @@ fn serve_adaptive(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &Serv
                     let mut guard = runtimes[recipient as usize].lock().expect("shard lock");
                     let rt = guard.as_mut().expect("recipient is active");
                     replayed_before = rt.stats.migration_replays;
-                    rt.absorb(taken, &log, app, cfg);
+                    rt.absorb(taken, &log, &base, app, cfg);
                     events.push(ScaleEvent::Down {
                         epoch: epoch as u32,
                         leaver,
@@ -647,13 +785,47 @@ fn serve_adaptive(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &Serv
                     });
                 }
                 partition.assign(taken, recipient);
-                let rt =
+                let mut rt =
                     runtimes[leaver as usize].lock().expect("shard lock").take().expect("leaver is active");
+                rt.stats.retired_at = t_end;
                 banked[leaver as usize] = Some(rt.into_output(app, &|_| false));
                 active.retain(|&id| id != leaver);
             }
             Decision::Hold => {}
         }
+
+        // Compaction pass: bring every active shard up to the full
+        // committed log (background catch-up replay), then truncate
+        // each slot at the fleet-minimum snapshot mark — entries below
+        // it can never be replayed again (recovery, twins and
+        // migrations all start from a snapshot at or past the mark).
+        if cfg.compaction {
+            for &id in &active {
+                let mut guard = runtimes[id as usize].lock().expect("shard lock");
+                guard.as_mut().expect("active shard has a runtime").catch_up(&log, &base, app, cfg);
+            }
+            let removed_before = compacted_entries;
+            for (s, slot_log) in log.iter_mut().enumerate() {
+                let floor = active
+                    .iter()
+                    .map(|&id| {
+                        let guard = runtimes[id as usize].lock().expect("shard lock");
+                        guard.as_ref().expect("active shard has a runtime").snapshot_mark(s)
+                    })
+                    .min()
+                    .unwrap_or(base[s]);
+                let cut = (floor - base[s]) as usize;
+                if cut > 0 {
+                    slot_log.drain(..cut);
+                    base[s] = floor;
+                    compacted_entries += cut as u64;
+                }
+            }
+            if compacted_entries > removed_before {
+                compactions += 1;
+            }
+        }
+        max_slot_log = max_slot_log.max(log.iter().map(|l| l.len() as u64).max().unwrap_or(0));
     }
 
     // Finish: every still-active runtime reads the keys its final
@@ -679,6 +851,9 @@ fn serve_adaptive(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &Serv
             ScaleEvent::Up { slots, .. } | ScaleEvent::Down { slots, .. } => u64::from(*slots),
         })
         .sum();
+    report.compactions = compactions;
+    report.compacted_entries = compacted_entries;
+    report.max_slot_log = max_slot_log;
     report.peak_shards = peak;
     report.final_shards = final_shards;
     report.events = events;
@@ -709,6 +884,19 @@ fn merge_outputs(outputs: Vec<ShardOutput>) -> ServeReport {
         report.snapshot_cycles += out.stats.snapshot_cycles;
         report.migration_replays += out.stats.migration_replays;
         report.migration_cycles += out.stats.migration_cycles;
+        report.promotions += out.stats.promotions;
+        report.rebuild_cycles += out.stats.rebuild_cycles;
+        report.replica_apply_cycles += out.stats.replica_apply_cycles;
+        report.catchup_cycles += out.stats.catchup_cycles;
+        report.divergence_checks += out.stats.divergence_checks;
+        report.divergence_alarms += out.stats.divergence_alarms;
+        for (a, b) in report.div_probed.iter_mut().zip(out.stats.div_probed) {
+            *a += b;
+        }
+        for (a, b) in report.div_flagged.iter_mut().zip(out.stats.div_flagged) {
+            *a += b;
+        }
+        report.divergence_cycles += out.stats.divergence_cycles;
         report.makespan_cycles = report.makespan_cycles.max(out.stats.last_completion);
         table.extend(out.table.iter().copied());
         report.shards.push(out.stats);

@@ -92,16 +92,43 @@
 //! counts and final table digests are bit-identical across shard
 //! counts, worker counts, batch policies, snapshot intervals and
 //! scaling schedules.
+//!
+//! ## Warm replicas, failover and divergence checking
+//!
+//! With [`ServeConfig::replicas`] each shard keeps a *warm standby*: a
+//! second machine that mirrors every committed operation in the
+//! background (same solo re-entries, same batched entries), so its
+//! state is bit-identical to the primary's at every commit boundary.
+//! On a Crashed-class outcome the standby is promoted in
+//! [`ServeConfig::failover_cycles`] and re-runs the crashed request;
+//! the old primary becomes the new standby and the restart+replay
+//! detour moves to background time (`rebuild_cycles`). Because both
+//! machines apply the identical committed sequence, promotion changes
+//! *timing only* — outcome counts and digests stay bit-identical with
+//! replicas on or off.
+//!
+//! The replica also powers a second, independent SDC detector
+//! ([`ServeConfig::divergence_check_interval`]): every injected
+//! request's faulty twin is probed by comparing its resident-table
+//! digest against the committed reference state (what a state-digest
+//! monitor would flag, with no access to ELZAR's classification), and
+//! every N commits the primary and standby digests are compared as a
+//! replication-correctness check.
 
 use crate::controller::{slot_of, PARTITION_SLOTS};
 use crate::gen::{shard_of, Request};
 use crate::histogram::LatencyHistogram;
-use crate::ServeConfig;
+use crate::{fnv_fold, ServeConfig, FNV_OFFSET};
 use elzar_apps::{kv, ServeApp};
-use elzar_fault::{inject_one, replay_suffix, replay_suffix_where, GoldenRun, OutcomeClass};
+use elzar_fault::{inject_probe, replay_suffix, replay_suffix_where, GoldenRun, OutcomeClass};
 use elzar_rng::{splitmix64, DetRng};
 use elzar_vm::{Machine, Program, RunOutcome};
 use std::collections::VecDeque;
+
+/// Cost model of one resident-table divergence scan, in virtual cycles
+/// per key per machine: a cache-resident 16-byte entry probe plus the
+/// digest fold.
+const DIVERGENCE_CYCLES_PER_KEY: u64 = 4;
 
 /// Per-shard serving statistics.
 #[derive(Clone, Debug)]
@@ -153,6 +180,48 @@ pub struct ShardStats {
     pub busy_cycles: u64,
     /// Completion time of the shard's last request (0 if none).
     pub last_completion: u64,
+    /// Virtual time the shard came online (0 for boot shards, the
+    /// scale-up instant for joiners) — the start of its availability
+    /// denominator.
+    pub spawned_at: u64,
+    /// Virtual time the shard retired (elastic scale-down);
+    /// `u64::MAX` while it is still serving at stream end.
+    pub retired_at: u64,
+    /// Warm-replica promotions: crashes where the standby took over
+    /// instead of a restart-from-snapshot detour
+    /// ([`ServeConfig::replicas`]).
+    pub promotions: u64,
+    /// Background virtual cycles spent rebuilding the warm standby
+    /// after a promotion (`restart_cycles` + suffix replay per
+    /// promotion — the detour that no longer stalls the queue).
+    pub rebuild_cycles: u64,
+    /// Background virtual cycles the warm replica spent applying the
+    /// committed log (the steady-state price of replication).
+    pub replica_apply_cycles: u64,
+    /// Background virtual cycles spent applying other shards' committed
+    /// log entries at compaction boundaries
+    /// ([`ServeConfig::compaction`]).
+    pub catchup_cycles: u64,
+    /// Periodic primary-vs-replica state-digest comparisons performed
+    /// ([`ServeConfig::divergence_check_interval`]).
+    pub divergence_checks: u64,
+    /// Periodic checks that found the replica diverged from the
+    /// primary (expected 0: both apply the same committed sequence —
+    /// an alarm means the replication path itself is broken).
+    pub divergence_alarms: u64,
+    /// Per-injection divergence probes by Table-I outcome of the
+    /// injected run ([`elzar_fault::Outcome::all`] order): probes
+    /// compare the faulty execution's resident table against the
+    /// committed reference state. Only outcomes that exited are probed
+    /// (a hung/trapped machine has no committed state to compare), and
+    /// only for stateful services.
+    pub div_probed: [u64; 5],
+    /// Probes (same indexing) where the faulty state *diverged* from
+    /// the committed state — what a state-digest detector would flag.
+    pub div_flagged: [u64; 5],
+    /// Background virtual cycles charged for divergence scans (probes
+    /// and periodic checks).
+    pub divergence_cycles: u64,
     /// Request latency histogram (arrival → completion, cycles).
     pub hist: LatencyHistogram,
 }
@@ -178,6 +247,17 @@ impl ShardStats {
             migration_cycles: 0,
             busy_cycles: 0,
             last_completion: 0,
+            spawned_at: 0,
+            retired_at: u64::MAX,
+            promotions: 0,
+            rebuild_cycles: 0,
+            replica_apply_cycles: 0,
+            catchup_cycles: 0,
+            divergence_checks: 0,
+            divergence_alarms: 0,
+            div_probed: [0; 5],
+            div_flagged: [0; 5],
+            divergence_cycles: 0,
             hist: LatencyHistogram::new(),
         }
     }
@@ -204,6 +284,15 @@ fn fault_rng_for(cfg: &ServeConfig, id: u64) -> Option<DetRng> {
 /// schedule: boot once, feed the whole routed stream.
 pub(crate) struct ShardRuntime<'p, 'a> {
     m: Machine<'p>,
+    /// Warm standby ([`ServeConfig::replicas`]): a second machine that
+    /// applies every committed payload in the background (mirroring the
+    /// primary's exact operations, so its state — memory *and*
+    /// microarchitectural — is bit-identical to the primary's at every
+    /// commit boundary). On a Crashed-class outcome it is promoted in
+    /// `failover_cycles` instead of the restart+replay detour.
+    /// `None` when replicas are off, or after an apply failure degraded
+    /// the shard back to cold-restart recovery.
+    replica: Option<Machine<'p>>,
     /// Last periodic snapshot (boot state until the first one).
     snap: Machine<'p>,
     /// Per-slot applied counts at the time of `snap`.
@@ -224,8 +313,27 @@ pub(crate) struct ShardRuntime<'p, 'a> {
     /// Largest observed per-request marginal cost (cycles) — solo runs
     /// and in-batch heartbeat deltas. Drives SLO admission prediction.
     est_cycles: u64,
+    /// Commits since the last periodic primary/replica divergence
+    /// check.
+    since_div_check: u64,
     /// Serving statistics.
     pub stats: ShardStats,
+}
+
+/// FNV-1a digest of a machine's resident KV table — the state the
+/// divergence detector compares. Folds `(key, value)` in key order via
+/// the host-side [`kv::serve_lookup`] mirror; [`FNV_OFFSET`] for
+/// stateless services (which the detector therefore cannot see —
+/// output-only corruption leaves no resident state to diverge).
+fn table_digest_of(m: &Machine<'_>, app: &ServeApp) -> u64 {
+    let mut h = FNV_OFFSET;
+    if app.table_base != 0 {
+        for k in 0..app.n_keys {
+            let v = kv::serve_lookup(m.memory(), app.table_base, k).unwrap_or(0);
+            h = fnv_fold(fnv_fold(h, k), v);
+        }
+    }
+    h
 }
 
 impl<'p, 'a> ShardRuntime<'p, 'a> {
@@ -238,8 +346,12 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
         let outcome = m.run_to_completion();
         assert!(matches!(outcome, RunOutcome::Exited(_)), "shard init must exit cleanly, got {outcome:?}");
         let snap = m.clone();
+        // The boot standby is cloned before traffic, like the boot
+        // snapshot: free.
+        let replica = cfg.replicas.then(|| m.clone());
         ShardRuntime {
             m,
+            replica,
             snap,
             snap_applied: [0; PARTITION_SLOTS as usize],
             applied: [0; PARTITION_SLOTS as usize],
@@ -247,6 +359,7 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
             clock: 0,
             inflight: VecDeque::new(),
             est_cycles: 0,
+            since_div_check: 0,
             stats: ShardStats::new(shard),
         }
     }
@@ -271,7 +384,8 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
         let key_of = app.key_of;
         let (replay, replayed) = replay_suffix_where(&mut m, app.request_entry, &donor.suffix, |p| {
             taken >> slot_of(key_of(p)) & 1 == 1
-        });
+        })
+        .expect("donor's committed suffix replays cleanly on its snapshot");
         let mut applied = donor.snap_applied;
         for (s, a) in applied.iter_mut().enumerate() {
             if taken >> s & 1 == 1 {
@@ -279,12 +393,20 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
             }
         }
         let mut stats = ShardStats::new(shard);
+        stats.spawned_at = at;
         stats.migrated_in_slots = u64::from(taken.count_ones());
         stats.migration_replays = replayed;
         stats.migration_cycles = clone_cost + replay;
         let snap = m.clone();
+        // The joiner's standby is a second clone of the freshly built
+        // state, charged as background replication cost.
+        let replica = cfg.replicas.then(|| m.clone());
+        if replica.is_some() {
+            stats.replica_apply_cycles += clone_cost;
+        }
         ShardRuntime {
             m,
+            replica,
             snap,
             snap_applied: applied,
             applied,
@@ -292,6 +414,7 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
             clock: at + clone_cost + replay,
             inflight: VecDeque::new(),
             est_cycles: donor.est_cycles,
+            since_div_check: 0,
             stats,
         }
     }
@@ -301,25 +424,80 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
     /// slot's committed log past what this machine has already applied.
     /// Requests only touch state owned by their own key, so the replay
     /// reconstructs the migrated ranges without disturbing the slots
-    /// this shard already serves. Charged to the clock at virtual time
-    /// `at`.
-    pub fn absorb(&mut self, taken: u64, log: &[Vec<&'a Request>], app: &ServeApp, cfg: &ServeConfig) {
+    /// this shard already serves. `base` is the driver's per-slot
+    /// compaction offset: `log[s]` holds the committed entries from
+    /// absolute index `base[s]` onward (all-zero when compaction is
+    /// off). Charged to the serving clock.
+    pub fn absorb(
+        &mut self,
+        taken: u64,
+        log: &[Vec<&'a Request>],
+        base: &[u32; PARTITION_SLOTS as usize],
+        app: &ServeApp,
+        cfg: &ServeConfig,
+    ) {
         let mut delta: Vec<&'a [u8]> = Vec::new();
         for s in 0..PARTITION_SLOTS as usize {
             if taken >> s & 1 == 1 {
-                for req in &log[s][self.applied[s] as usize..] {
+                for req in &log[s][(self.applied[s] - base[s]) as usize..] {
                     delta.push(&req.payload);
                 }
-                self.applied[s] = log[s].len() as u32;
+                self.applied[s] = base[s] + log[s].len() as u32;
             }
         }
-        let cycles = replay_suffix(&mut self.m, app.request_entry, &delta);
+        let cycles = replay_suffix(&mut self.m, app.request_entry, &delta)
+            .expect("committed log entries replay cleanly during absorption");
         self.stats.migrated_in_slots += u64::from(taken.count_ones());
         self.stats.migration_replays += delta.len() as u64;
         self.stats.migration_cycles += cycles;
         self.clock += cycles;
+        self.mirror_replay(&delta, app);
         self.suffix.extend(delta);
         self.maybe_snapshot(cfg);
+    }
+
+    /// Catch this shard up to the *entire* committed log
+    /// ([`ServeConfig::compaction`]): replay, onto the live machine,
+    /// every slot's committed entries past what this machine has
+    /// already applied — scale-down absorption applied to all slots.
+    /// Once every active shard has caught up, no shard can ever need a
+    /// log entry below its snapshot mark again, so the driver truncates
+    /// each slot at the fleet-minimum mark. Requests only touch state
+    /// owned by their own key, so replaying non-owned slots never
+    /// disturbs the slots this shard serves. Charged to background time
+    /// (`catchup_cycles`) — production standbys stream the log
+    /// concurrently with serving.
+    pub fn catch_up(
+        &mut self,
+        log: &[Vec<&'a Request>],
+        base: &[u32; PARTITION_SLOTS as usize],
+        app: &ServeApp,
+        cfg: &ServeConfig,
+    ) {
+        let mut delta: Vec<&'a [u8]> = Vec::new();
+        for s in 0..PARTITION_SLOTS as usize {
+            for req in &log[s][(self.applied[s] - base[s]) as usize..] {
+                delta.push(&req.payload);
+            }
+            self.applied[s] = base[s] + log[s].len() as u32;
+        }
+        if delta.is_empty() {
+            return;
+        }
+        let cycles = replay_suffix(&mut self.m, app.request_entry, &delta)
+            .expect("committed log entries replay cleanly during catch-up");
+        self.stats.catchup_cycles += cycles;
+        self.mirror_replay(&delta, app);
+        self.suffix.extend(delta);
+        self.maybe_snapshot(cfg);
+    }
+
+    /// The absolute per-slot applied count captured by this shard's
+    /// last snapshot — the compaction floor: a committed entry below
+    /// every active shard's mark can never be replayed again (crash
+    /// recovery, fault twins and migrations all start from a snapshot).
+    pub fn snapshot_mark(&self, slot: usize) -> u32 {
+        self.snap_applied[slot]
     }
 
     /// Queue occupancy at virtual time `t`: admitted requests whose
@@ -386,6 +564,70 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
             let cost = ShardRuntime::snap_cost(&self.m, cfg);
             self.stats.snapshot_cycles += cost;
             self.clock += cost;
+        }
+    }
+
+    /// Apply one committed payload on the warm standby — the
+    /// background replication step that keeps the replica bit-identical
+    /// to the primary at every commit boundary. A standby that cannot
+    /// apply the committed log is useless: degrade the shard to
+    /// cold-restart recovery instead of aborting the run.
+    fn mirror_solo(&mut self, payload: &[u8], app: &ServeApp) {
+        let Some(replica) = self.replica.as_mut() else { return };
+        replica.reenter(app.request_entry, payload);
+        let outcome = replica.run_to_completion();
+        if matches!(outcome, RunOutcome::Exited(_)) {
+            self.stats.replica_apply_cycles += replica.result(outcome).cycles.max(1);
+        } else {
+            self.replica = None;
+        }
+    }
+
+    /// Mirror a committed batch segment on the warm standby via the
+    /// same batched entry the primary ran, so the standby's state —
+    /// cache included — tracks the primary exactly.
+    fn mirror_batch(&mut self, parts: &[&[u8]], app: &ServeApp) {
+        let Some(replica) = self.replica.as_mut() else { return };
+        replica.reenter_batch(app.batch_entry, parts);
+        let outcome = replica.run_to_completion();
+        if matches!(outcome, RunOutcome::Exited(_)) {
+            self.stats.replica_apply_cycles += replica.result(outcome).cycles.max(1);
+        } else {
+            self.replica = None;
+        }
+    }
+
+    /// Mirror a migration/catch-up replay delta on the warm standby.
+    /// This is where the typed [`elzar_fault::ReplayError`] earns its
+    /// keep: a failed standby apply degrades to cold-restart recovery
+    /// rather than panicking the whole run.
+    fn mirror_replay(&mut self, payloads: &[&[u8]], app: &ServeApp) {
+        let Some(replica) = self.replica.as_mut() else { return };
+        match replay_suffix(replica, app.request_entry, payloads) {
+            Ok(cycles) => self.stats.replica_apply_cycles += cycles,
+            Err(_) => self.replica = None,
+        }
+    }
+
+    /// Periodic primary-vs-replica divergence check
+    /// ([`ServeConfig::divergence_check_interval`]): every N commits,
+    /// compare both machines' resident-table digests. Agreement is the
+    /// expected steady state — both apply the same committed sequence —
+    /// so an alarm means the replication path itself broke.
+    fn maybe_divergence_check(&mut self, app: &ServeApp, cfg: &ServeConfig, committed_n: u64) {
+        if cfg.divergence_check_interval == 0 || app.table_base == 0 {
+            return;
+        }
+        self.since_div_check += committed_n;
+        if self.since_div_check >= u64::from(cfg.divergence_check_interval) {
+            self.since_div_check = 0;
+            if let Some(replica) = self.replica.as_ref() {
+                self.stats.divergence_checks += 1;
+                self.stats.divergence_cycles += 2 * app.n_keys * DIVERGENCE_CYCLES_PER_KEY;
+                if table_digest_of(&self.m, app) != table_digest_of(replica, app) {
+                    self.stats.divergence_alarms += 1;
+                }
+            }
         }
     }
 
@@ -473,6 +715,7 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                     self.observe_marginal(clean.cycles.max(1));
 
                     let mut service = clean.cycles.max(1);
+                    let mut mirrored = false;
                     // Degenerate requests that retire no eligible
                     // instruction (nothing to corrupt) let the schedule
                     // slot pass unfired.
@@ -491,21 +734,70 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                         // replay the applied suffix to the pre-request
                         // state.
                         let mut twin = self.snap.clone();
-                        let replay = replay_suffix(&mut twin, app.request_entry, &self.suffix);
+                        let replay = replay_suffix(&mut twin, app.request_entry, &self.suffix)
+                            .expect("committed suffix replays cleanly on the snapshot");
                         twin.reenter(app.request_entry, &req.payload);
-                        let (o, faulty) = inject_one(twin, &golden, index, bit, cfg.hang_factor);
+                        let (o, faulty, faulty_m) = inject_probe(twin, &golden, index, bit, cfg.hang_factor);
                         self.stats.injected += 1;
                         self.stats.outcomes[o.index()] += 1;
+                        // Second, independent SDC detector: compare the
+                        // faulty execution's resident state against the
+                        // committed reference — what a state-digest
+                        // divergence monitor would flag, with no access
+                        // to ELZAR's output/trap classification. Only
+                        // exited outcomes are probed (a hung or trapped
+                        // machine never reached a commit boundary), and
+                        // only for stateful services.
+                        if cfg.divergence_check_interval > 0
+                            && app.table_base != 0
+                            && o.class() != OutcomeClass::Crashed
+                        {
+                            self.stats.div_probed[o.index()] += 1;
+                            if table_digest_of(&faulty_m, app) != table_digest_of(&self.m, app) {
+                                self.stats.div_flagged[o.index()] += 1;
+                            }
+                            self.stats.divergence_cycles += 2 * app.n_keys * DIVERGENCE_CYCLES_PER_KEY;
+                        }
                         service = match o.class() {
-                            // Detected crash/hang: production restores
-                            // the snapshot, replays the suffix and
-                            // re-runs the request (the SEU does not
-                            // recur); the client waits out the detour.
                             OutcomeClass::Crashed => {
                                 self.stats.restarts += 1;
-                                self.stats.replay_cycles += replay;
-                                self.stats.downtime_cycles += cfg.restart_cycles + replay;
-                                faulty.cycles.max(1) + cfg.restart_cycles + replay + clean.cycles.max(1)
+                                if let Some(replica) = self.replica.as_mut() {
+                                    // Warm failover: the standby — at
+                                    // the pre-request commit boundary —
+                                    // is promoted in `failover_cycles`
+                                    // and re-runs the request (the SEU
+                                    // does not recur). The old primary,
+                                    // which already holds the committed
+                                    // request from the reference
+                                    // execution, becomes the new
+                                    // standby; the restart+replay
+                                    // detour still happens, but in the
+                                    // background, rebuilding state no
+                                    // client is waiting on.
+                                    replica.reenter(app.request_entry, &req.payload);
+                                    let ro = replica.run_to_completion();
+                                    assert!(
+                                        matches!(ro, RunOutcome::Exited(_)),
+                                        "request {} must exit cleanly on the promoted standby, got {ro:?}",
+                                        req.id
+                                    );
+                                    let rerun = replica.result(ro).cycles.max(1);
+                                    std::mem::swap(&mut self.m, replica);
+                                    mirrored = true;
+                                    self.stats.promotions += 1;
+                                    self.stats.downtime_cycles += cfg.failover_cycles;
+                                    self.stats.rebuild_cycles += cfg.restart_cycles + replay;
+                                    faulty.cycles.max(1) + cfg.failover_cycles + rerun
+                                } else {
+                                    // Detected crash/hang, no standby:
+                                    // production restores the snapshot,
+                                    // replays the suffix and re-runs
+                                    // the request; the client waits out
+                                    // the detour.
+                                    self.stats.replay_cycles += replay;
+                                    self.stats.downtime_cycles += cfg.restart_cycles + replay;
+                                    faulty.cycles.max(1) + cfg.restart_cycles + replay + clean.cycles.max(1)
+                                }
                             }
                             // Masked / corrected / SDC: the faulty
                             // execution is what production ran.
@@ -519,6 +811,10 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                     self.suffix.push(&req.payload);
                     self.applied[slot_of(req.key) as usize] += 1;
                     committed.push(req);
+                    if !mirrored {
+                        self.mirror_solo(&req.payload, app);
+                    }
+                    self.maybe_divergence_check(app, cfg, 1);
                     k += 1;
                 } else {
                     // Maximal fault-free segment, capped by the
@@ -559,6 +855,8 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                         self.applied[slot_of(req.key) as usize] += 1;
                         committed.push(req);
                     }
+                    self.mirror_batch(&parts, app);
+                    self.maybe_divergence_check(app, cfg, seg.len() as u64);
                     k = end;
                 }
                 self.clock = t;

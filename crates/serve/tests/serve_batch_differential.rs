@@ -193,6 +193,18 @@ fn quantile_edges_are_total() {
         migrated_slots: 0,
         migration_replays: 0,
         migration_cycles: 0,
+        promotions: 0,
+        rebuild_cycles: 0,
+        replica_apply_cycles: 0,
+        catchup_cycles: 0,
+        compactions: 0,
+        compacted_entries: 0,
+        max_slot_log: 0,
+        divergence_checks: 0,
+        divergence_alarms: 0,
+        div_probed: [0; 5],
+        div_flagged: [0; 5],
+        divergence_cycles: 0,
         peak_shards: 0,
         final_shards: 0,
         events: vec![],
