@@ -85,8 +85,8 @@ fn row(service: Service, cfg: &ServeConfig, r: &ServeReport) -> Json {
         )
         .field("restarts", Json::uint(r.restarts))
         .field("snapshots", Json::uint(r.snapshots))
-        .field("snapshot_cycles", Json::uint(r.snapshot_cycles))
-        .field("replay_cycles", Json::uint(r.replay_cycles))
+        .field("snapshot_cycles", Json::uint(r.snapshot_cycles()))
+        .field("replay_cycles", Json::uint(r.replay_cycles()))
         .field("availability", Json::num(r.availability(), 6))
         .field("sdc_rate", Json::num(r.sdc_rate(), 6))
         .field("table_digest", Json::str(format!("{:#018x}", r.table_digest)))
@@ -259,13 +259,13 @@ fn main() {
                 ..saturating.clone()
             };
             let r = artifact.serve(service, &app, &cfg);
-            let detour = r.downtime_cycles.checked_div(r.restarts).unwrap_or(0);
+            let detour = r.downtime_cycles().checked_div(r.restarts).unwrap_or(0);
             println!(
                 "{:>4} {:>10} {:>14} {:>14} {:>4} {:>14} {:>9.1} {:>12.0}",
                 k,
                 r.snapshots,
-                r.snapshot_cycles,
-                r.replay_cycles,
+                r.snapshot_cycles(),
+                r.replay_cycles(),
                 r.restarts,
                 detour,
                 r.quantile_us(0.99),
@@ -361,7 +361,7 @@ fn main() {
                 r.scale_downs,
                 r.migrated_slots,
                 r.migration_replays,
-                r.migration_cycles,
+                r.migration_cycles(),
             );
             elastic.push(
                 row(service, &cfg, &r)
@@ -372,7 +372,7 @@ fn main() {
                     .field("final_shards", Json::uint(u64::from(r.final_shards)))
                     .field("migrated_slots", Json::uint(r.migrated_slots))
                     .field("migration_replays", Json::uint(r.migration_replays))
-                    .field("migration_cycles", Json::uint(r.migration_cycles)),
+                    .field("migration_cycles", Json::uint(r.migration_cycles())),
             );
         }
     }
@@ -471,7 +471,7 @@ fn main() {
             ("warm-replica", ServeConfig { replicas: true, divergence_check_interval: 8, ..storm.clone() }),
         ] {
             let r = artifact.serve(service, &app, &cfg);
-            let mttr = r.downtime_cycles.checked_div(r.restarts).unwrap_or(0);
+            let mttr = r.downtime_cycles().checked_div(r.restarts).unwrap_or(0);
             println!(
                 "{:>12} {:>12.6} {:>4} {:>7} {:>12} {:>10.1} {:>9.3}",
                 name,
@@ -487,9 +487,9 @@ fn main() {
                     .field("recovery", Json::str(name))
                     .field("promotions", Json::uint(r.promotions))
                     .field("mttr_cycles", Json::uint(mttr))
-                    .field("downtime_cycles", Json::uint(r.downtime_cycles))
-                    .field("rebuild_cycles", Json::uint(r.rebuild_cycles))
-                    .field("replica_apply_cycles", Json::uint(r.replica_apply_cycles))
+                    .field("downtime_cycles", Json::uint(r.downtime_cycles()))
+                    .field("rebuild_cycles", Json::uint(r.rebuild_cycles()))
+                    .field("replica_apply_cycles", Json::uint(r.replica_apply_cycles()))
                     .field("divergence_probes", Json::uint(r.div_probes()))
                     .field("divergence_flagged_sdc", Json::uint(r.div_flagged[Outcome::Sdc.index()]))
                     .field("divergence_checks", Json::uint(r.divergence_checks))
@@ -527,7 +527,7 @@ fn main() {
                     ppm,
                     name,
                     r.restarts,
-                    r.downtime_cycles,
+                    r.downtime_cycles(),
                     r.availability(),
                     r.throughput_rps(),
                 );
@@ -536,7 +536,7 @@ fn main() {
                         .field("recovery", Json::str(name))
                         .field("fault_rate_ppm", Json::uint(u64::from(ppm)))
                         .field("promotions", Json::uint(r.promotions))
-                        .field("downtime_cycles", Json::uint(r.downtime_cycles)),
+                        .field("downtime_cycles", Json::uint(r.downtime_cycles())),
                 );
             }
         }

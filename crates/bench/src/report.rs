@@ -12,6 +12,7 @@
 //!   explicit decimal count, or [`Json::raw`]), so a report decides its
 //!   own precision per field exactly like the old `format!` strings.
 
+use elzar_obs::{Trace, DRIVER_TRACK};
 use std::fmt::Write as _;
 
 /// A JSON value with insertion-ordered object keys.
@@ -159,6 +160,53 @@ pub fn write_report(path: &str, json: &Json) {
     print!("{text}");
 }
 
+/// Render a canonical [`Trace`] as Chrome trace-event JSON — the
+/// `traceEvents` array format `chrome://tracing` and Perfetto load
+/// directly. Spans (`dur > 0`) become complete events (`ph: "X"`),
+/// instants become thread-scoped instant events (`ph: "i"`); virtual
+/// cycles convert to microseconds at `cycles_per_us` (pass
+/// `FREQ_HZ / 1_000_000`). Each producer track maps to one `tid` under
+/// `pid` 0 with a `thread_name` metadata record (`"shard N"` /
+/// `"driver"`), so tracks render as labeled rows.
+pub fn chrome_trace(trace: &Trace, cycles_per_us: u64) -> Json {
+    let cpu = cycles_per_us.max(1) as f64;
+    let mut events = Vec::with_capacity(trace.events.len());
+    let mut tracks: Vec<u32> = trace.events.iter().map(|e| e.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    for &t in &tracks {
+        let name = if t == DRIVER_TRACK { "driver".to_string() } else { format!("shard {t}") };
+        events.push(
+            Json::obj()
+                .field("name", Json::str("thread_name"))
+                .field("ph", Json::str("M"))
+                .field("pid", Json::uint(0))
+                .field("tid", Json::uint(u64::from(t)))
+                .field("args", Json::obj().field("name", Json::str(name))),
+        );
+    }
+    for e in &trace.events {
+        let mut j = Json::obj()
+            .field("name", Json::str(e.kind.label()))
+            .field("cat", Json::str("elzar"))
+            .field("ph", Json::str(if e.dur > 0 { "X" } else { "i" }))
+            .field("ts", Json::num(e.cycle as f64 / cpu, 3))
+            .field("pid", Json::uint(0))
+            .field("tid", Json::uint(u64::from(e.track)));
+        if e.dur > 0 {
+            j = j.field("dur", Json::num(e.dur as f64 / cpu, 3));
+        } else {
+            // Thread-scoped instant: renders as a marker on its row.
+            j = j.field("s", Json::str("t"));
+        }
+        events.push(j.field("args", Json::obj().field("a", Json::uint(e.a)).field("b", Json::uint(e.b))));
+    }
+    Json::obj()
+        .field("traceEvents", Json::Arr(events))
+        .field("displayTimeUnit", Json::str("ms"))
+        .field("droppedEvents", Json::uint(trace.dropped_events))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +254,23 @@ mod tests {
         assert_eq!(Json::num(1234.5678, 0).to_pretty(), "1235\n");
         assert_eq!(Json::num(0.5, 6).to_pretty(), "0.500000\n");
         assert_eq!(Json::raw("0x00ff").to_pretty(), "0x00ff\n");
+    }
+
+    #[test]
+    fn chrome_trace_emits_spans_instants_and_thread_names() {
+        use elzar_obs::{EventKind, Tracer};
+        let mut t = Tracer::new(3, 8);
+        t.record(EventKind::Execute, 4000, 2000, 7, 1);
+        t.record(EventKind::Commit, 6000, 0, 7, 6000);
+        let trace = Trace::merge([t]);
+        let text = chrome_trace(&trace, 2000).to_pretty();
+        // One metadata record naming the track, one X span, one i instant.
+        assert!(text.contains("\"thread_name\""), "{text}");
+        assert!(text.contains("\"name\": \"shard 3\""), "{text}");
+        assert!(text.contains("\"ph\": \"X\""), "{text}");
+        assert!(text.contains("\"ts\": 2.000, \"pid\": 0, \"tid\": 3, \"dur\": 1.000"), "{text}");
+        assert!(text.contains("\"ph\": \"i\""), "{text}");
+        assert!(text.contains("\"s\": \"t\""), "{text}");
+        assert!(text.contains("\"droppedEvents\": 0"), "{text}");
     }
 }

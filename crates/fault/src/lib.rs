@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+use elzar_obs::debug;
 use elzar_rng::DetRng;
 use elzar_vm::{run_program, FaultPlan, Machine, MachineConfig, Program, RunOutcome, RunResult};
 use std::fmt;
@@ -211,6 +212,9 @@ pub fn golden_run(prog: &Program, input: &[u8], machine: &MachineConfig) -> Gold
     let r = run_program(prog, "main", input, cfg);
     assert!(matches!(r.outcome, RunOutcome::Exited(_)), "golden run must exit cleanly, got {:?}", r.outcome);
     assert!(r.eligible > 0, "program has no fault-eligible instructions");
+    debug::emit("fault", || {
+        format!("golden run: {} steps, {} cycles, {} eligible instructions", r.steps, r.cycles, r.eligible)
+    });
     GoldenRun { output: r.output, outcome: r.outcome, eligible: r.eligible, steps: r.steps, cycles: r.cycles }
 }
 
@@ -446,9 +450,22 @@ pub fn run_campaign_with_golden(
     if plans.is_empty() {
         return result;
     }
+    debug::emit("fault", || {
+        format!(
+            "campaign start: {} plans over {} eligible instructions, {} workers, seed={:#x}",
+            plans.len(),
+            golden.eligible,
+            cfg.workers.max(1),
+            cfg.seed
+        )
+    });
     for o in run_plans(prog, input, golden, &plans, cfg) {
         result.record(o);
     }
+    debug::emit("fault", || {
+        let c = result.counts;
+        format!("campaign done: hang={} os={} corrected={} masked={} sdc={}", c[0], c[1], c[2], c[3], c[4])
+    });
     result
 }
 

@@ -38,6 +38,7 @@
 use crate::elzar::{harden_module as elzar_harden, ElzarConfig};
 use crate::{dce, decelerate_module, swiftr, vectorize_module};
 use elzar_ir::Module;
+use elzar_obs::debug;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -249,7 +250,11 @@ impl PassManager {
                     );
                 }
             }
-            stats.push(PassStat { name: pass.name(), micros, insts_after: module_insts(&cur) });
+            let insts_after = module_insts(&cur);
+            debug::emit("passes", || {
+                format!("{}: pass {} took {micros}us, {insts_after} insts after", m.name, pass.name())
+            });
+            stats.push(PassStat { name: pass.name(), micros, insts_after });
         }
         (cur, stats)
     }

@@ -173,6 +173,9 @@ pub(crate) fn decide(backlogs: &[(u32, usize)], up_at: usize, down_at: usize, sh
     }
     let deepest = backlogs.iter().fold(backlogs[0], |best, &b| if b.1 > best.1 { b } else { best });
     if deepest.1 >= up_at.max(1) && backlogs.len() < shards_max.max(1) as usize {
+        elzar_obs::debug::emit("controller", || {
+            format!("scale-up trigger: shard {} backlog {} >= {up_at} ({backlogs:?})", deepest.0, deepest.1)
+        });
         return Decision::Up { donor: deepest.0 };
     }
     if backlogs.len() > 1 && backlogs.iter().all(|&(_, d)| d <= down_at) {
@@ -185,6 +188,9 @@ pub(crate) fn decide(backlogs: &[(u32, usize)], up_at: usize, down_at: usize, sh
         });
         let rest: Vec<(u32, usize)> = backlogs.iter().copied().filter(|&(id, _)| id != leaver.0).collect();
         let recipient = rest.iter().fold(rest[0], |best, &b| if b.1 < best.1 { b } else { best });
+        elzar_obs::debug::emit("controller", || {
+            format!("scale-down trigger: all backlogs <= {down_at} ({backlogs:?})")
+        });
         return Decision::Down { leaver: leaver.0, recipient: recipient.0 };
     }
     Decision::Hold

@@ -100,6 +100,10 @@ use controller::{decide, Decision, Partition, ScaleEvent, PARTITION_SLOTS};
 use elzar_apps::ycsb::YcsbWorkload;
 use elzar_apps::{kv, web, Scale, ServeApp, FREQ_HZ};
 use elzar_fault::Outcome;
+use elzar_obs::{debug, DRIVER_TRACK};
+// Re-exported so report consumers can name the ledger/trace types
+// without a separate `elzar_obs` dependency.
+pub use elzar_obs::{Category, CycleLedger, EventKind, Trace, TraceEvent, Tracer};
 use elzar_vm::{MachineConfig, Program};
 use gen::{shard_of, Request};
 use histogram::LatencyHistogram;
@@ -209,6 +213,15 @@ pub struct ServeConfig {
     /// classification (see [`ServeReport::divergence_agreement`]).
     /// `0` disables both.
     pub divergence_check_interval: u32,
+    /// Per-shard event-trace ring capacity ([`elzar_obs::Tracer`]): the
+    /// runtime records admission, batch, execution, commit, snapshot,
+    /// recovery, migration and divergence events stamped in virtual
+    /// cycles, merged into [`ServeReport::trace`] in canonical
+    /// `(cycle, track, seq)` order. `0` (the default) disables tracing
+    /// entirely — recording never touches virtual time, so enabling it
+    /// changes *no* other report field, and the canonical trace itself
+    /// is bit-identical across worker counts.
+    pub trace_events: usize,
     /// Mean inter-arrival gap of the open-loop generator, in cycles.
     pub mean_gap_cycles: u64,
     /// Requests in the stream.
@@ -249,6 +262,7 @@ impl Default for ServeConfig {
             failover_cycles: 2_000,
             compaction: false,
             divergence_check_interval: 0,
+            trace_events: 0,
             mean_gap_cycles: 2_000,
             requests: 1_000,
             seed: 0x5E12_AE5E,
@@ -336,17 +350,8 @@ pub struct ServeReport {
     pub outcomes: [u64; 5],
     /// Shard restarts (crashed/hung requests).
     pub restarts: u64,
-    /// Virtual cycles shards were unavailable recovering from crashes:
-    /// `restart_cycles + suffix replay` per restart.
-    pub downtime_cycles: u64,
-    /// Crash-recovery suffix-replay cycles alone (grows with
-    /// [`ServeConfig::snapshot_interval`]).
-    pub replay_cycles: u64,
     /// Periodic machine snapshots taken across all shards.
     pub snapshots: u64,
-    /// Virtual cycles charged for periodic snapshot clones (shrinks as
-    /// [`ServeConfig::snapshot_interval`] grows).
-    pub snapshot_cycles: u64,
     /// Elastic scale-up events (a joiner booted from a donor snapshot).
     pub scale_ups: u64,
     /// Elastic scale-down events (a shard retired into a survivor).
@@ -355,23 +360,16 @@ pub struct ServeReport {
     pub migrated_slots: u64,
     /// Committed requests replayed to reconstruct migrated ranges.
     pub migration_replays: u64,
-    /// Virtual cycles spent on migration (snapshot clones + filtered
-    /// replays).
-    pub migration_cycles: u64,
     /// Warm-replica promotions across all shards: crashes where the
     /// standby took over instead of a restart-from-snapshot detour
     /// ([`ServeConfig::replicas`]).
     pub promotions: u64,
-    /// Background virtual cycles spent rebuilding standbys after
-    /// promotions (`restart_cycles` + suffix replay per promotion — the
-    /// detour that no longer stalls the queue).
-    pub rebuild_cycles: u64,
-    /// Background virtual cycles standbys spent applying the committed
-    /// log (the steady-state price of replication).
-    pub replica_apply_cycles: u64,
-    /// Background virtual cycles spent on compaction catch-up replays
-    /// ([`ServeConfig::compaction`]).
-    pub catchup_cycles: u64,
+    /// Where every shard cycle went: the per-shard
+    /// [`elzar_obs::CycleLedger`]s summed cell-wise. The foreground
+    /// categories conserve against the summed shard lifetimes (verified
+    /// when the report is assembled); the accessor methods
+    /// ([`ServeReport::downtime_cycles`] etc.) read this ledger.
+    pub ledger: CycleLedger,
     /// Compaction passes that removed at least one committed entry.
     pub compactions: u64,
     /// Committed log entries dropped by compaction.
@@ -395,9 +393,6 @@ pub struct ServeReport {
     /// Probes (same indexing) where the faulty state diverged from the
     /// committed reference — what a state-digest detector would flag.
     pub div_flagged: [u64; 5],
-    /// Background virtual cycles charged for divergence scans (probes
-    /// and periodic checks).
-    pub divergence_cycles: u64,
     /// Largest number of simultaneously active shards.
     pub peak_shards: u32,
     /// Active shards when the stream ended.
@@ -405,6 +400,11 @@ pub struct ServeReport {
     /// The controller's scaling schedule, in event order (empty for
     /// static runs).
     pub events: Vec<ScaleEvent>,
+    /// The canonical virtual-time event stream (empty unless
+    /// [`ServeConfig::trace_events`] > 0): every shard's ring plus the
+    /// driver's, merged in `(cycle, track, seq)` order — bit-identical
+    /// across worker counts.
+    pub trace: Trace,
     /// Virtual time from 0 to the last completion.
     pub makespan_cycles: u64,
     /// FNV-1a digest of the final resident tables — each key read from
@@ -475,8 +475,61 @@ impl ServeReport {
         if span == 0 {
             1.0
         } else {
-            (1.0 - self.downtime_cycles as f64 / span as f64).max(0.0)
+            (1.0 - self.downtime_cycles() as f64 / span as f64).max(0.0)
         }
+    }
+
+    /// Virtual cycles shards were unavailable recovering from crashes:
+    /// restart penalty + suffix replay per restart, or the promotion
+    /// handoff per failover
+    /// ([`Category::Downtime`] + [`Category::Replay`] of the ledger).
+    pub fn downtime_cycles(&self) -> u64 {
+        self.ledger.get(Category::Downtime) + self.ledger.get(Category::Replay)
+    }
+
+    /// Crash-recovery suffix-replay cycles alone ([`Category::Replay`]
+    /// — grows with [`ServeConfig::snapshot_interval`]).
+    pub fn replay_cycles(&self) -> u64 {
+        self.ledger.get(Category::Replay)
+    }
+
+    /// Virtual cycles charged for periodic snapshot clones
+    /// ([`Category::Snapshot`] — shrinks as
+    /// [`ServeConfig::snapshot_interval`] grows).
+    pub fn snapshot_cycles(&self) -> u64 {
+        self.ledger.get(Category::Snapshot)
+    }
+
+    /// Virtual cycles spent on migration (snapshot clones + filtered
+    /// replays; [`Category::Migration`]).
+    pub fn migration_cycles(&self) -> u64 {
+        self.ledger.get(Category::Migration)
+    }
+
+    /// Background virtual cycles spent rebuilding standbys after
+    /// promotions ([`Category::Rebuild`] — the detour that no longer
+    /// stalls the queue).
+    pub fn rebuild_cycles(&self) -> u64 {
+        self.ledger.get(Category::Rebuild)
+    }
+
+    /// Background virtual cycles standbys spent applying the committed
+    /// log ([`Category::Mirror`] — the steady-state price of
+    /// replication).
+    pub fn replica_apply_cycles(&self) -> u64 {
+        self.ledger.get(Category::Mirror)
+    }
+
+    /// Background virtual cycles spent on compaction catch-up replays
+    /// ([`Category::Catchup`]).
+    pub fn catchup_cycles(&self) -> u64 {
+        self.ledger.get(Category::Catchup)
+    }
+
+    /// Background virtual cycles charged for divergence scans
+    /// ([`Category::Divergence`] — probes and periodic checks).
+    pub fn divergence_cycles(&self) -> u64 {
+        self.ledger.get(Category::Divergence)
     }
 
     /// Agreement rate between the state-digest divergence detector and
@@ -530,19 +583,13 @@ impl ServeReport {
             injected: 0,
             outcomes: [0; 5],
             restarts: 0,
-            downtime_cycles: 0,
-            replay_cycles: 0,
             snapshots: 0,
-            snapshot_cycles: 0,
             scale_ups: 0,
             scale_downs: 0,
             migrated_slots: 0,
             migration_replays: 0,
-            migration_cycles: 0,
             promotions: 0,
-            rebuild_cycles: 0,
-            replica_apply_cycles: 0,
-            catchup_cycles: 0,
+            ledger: CycleLedger::new(),
             compactions: 0,
             compacted_entries: 0,
             max_slot_log: 0,
@@ -550,10 +597,10 @@ impl ServeReport {
             divergence_alarms: 0,
             div_probed: [0; 5],
             div_flagged: [0; 5],
-            divergence_cycles: 0,
             peak_shards: 0,
             final_shards: 0,
             events: Vec::new(),
+            trace: Trace::default(),
             makespan_cycles: 0,
             table_digest: FNV_OFFSET,
         }
@@ -647,7 +694,8 @@ fn serve_static(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &ServeC
     for (s, o) in tagged {
         outputs[s] = Some(o);
     }
-    let mut report = merge_outputs(outputs.into_iter().map(|o| o.expect("every shard drained")).collect());
+    let mut report =
+        merge_outputs(outputs.into_iter().map(|o| o.expect("every shard drained")).collect(), Tracer::off());
     report.peak_shards = shards;
     report.final_shards = shards;
     report
@@ -681,6 +729,10 @@ fn serve_adaptive(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &Serv
     let mut max_slot_log = 0u64;
     let mut events: Vec<ScaleEvent> = Vec::new();
     let mut peak = start_shards;
+    // The controller's own track: scaling decisions and compaction
+    // epochs happen between shard drains, single-threaded, so this
+    // ring sees the same sequence regardless of worker count.
+    let mut driver = Tracer::new(DRIVER_TRACK, cfg.trace_events);
 
     let interval = cfg.control_interval.max(1) as usize;
     for (epoch, chunk) in stream.chunks(interval).enumerate() {
@@ -761,6 +813,13 @@ fn serve_adaptive(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &Serv
                         slots: taken.count_ones(),
                         replayed: rt.stats.migration_replays,
                     });
+                    driver.record(EventKind::ScaleUp, t_end, 0, u64::from(donor), u64::from(joiner));
+                    debug::emit("serve", || {
+                        format!(
+                            "epoch {epoch}: scale-up donor={donor} joiner={joiner} slots={}",
+                            taken.count_ones()
+                        )
+                    });
                     runtimes.push(Mutex::new(Some(rt)));
                     banked.push(None);
                     partition.assign(taken, joiner);
@@ -784,6 +843,13 @@ fn serve_adaptive(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &Serv
                         replayed: rt.stats.migration_replays - replayed_before,
                     });
                 }
+                driver.record(EventKind::ScaleDown, t_end, 0, u64::from(leaver), u64::from(recipient));
+                debug::emit("serve", || {
+                    format!(
+                        "epoch {epoch}: scale-down leaver={leaver} recipient={recipient} slots={}",
+                        taken.count_ones()
+                    )
+                });
                 partition.assign(taken, recipient);
                 let mut rt =
                     runtimes[leaver as usize].lock().expect("shard lock").take().expect("leaver is active");
@@ -823,6 +889,19 @@ fn serve_adaptive(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &Serv
             }
             if compacted_entries > removed_before {
                 compactions += 1;
+                driver.record(
+                    EventKind::Compaction,
+                    t_end,
+                    0,
+                    compacted_entries - removed_before,
+                    compactions,
+                );
+                debug::emit("serve", || {
+                    format!(
+                        "epoch {epoch}: compaction #{compactions} removed {} log entries",
+                        compacted_entries - removed_before
+                    )
+                });
             }
         }
         max_slot_log = max_slot_log.max(log.iter().map(|l| l.len() as u64).max().unwrap_or(0));
@@ -842,7 +921,7 @@ fn serve_adaptive(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &Serv
             }
         })
         .collect();
-    let mut report = merge_outputs(outputs);
+    let mut report = merge_outputs(outputs, driver);
     report.scale_ups = events.iter().filter(|e| matches!(e, ScaleEvent::Up { .. })).count() as u64;
     report.scale_downs = events.iter().filter(|e| matches!(e, ScaleEvent::Down { .. })).count() as u64;
     report.migrated_slots = events
@@ -862,11 +941,20 @@ fn serve_adaptive(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &Serv
 
 /// Merge per-shard outputs (in shard-id order) into the aggregate
 /// report, folding the final table digest in global key order so it is
-/// comparable across partitions.
-fn merge_outputs(outputs: Vec<ShardOutput>) -> ServeReport {
+/// comparable across partitions. `driver` carries the controller's own
+/// events (scaling, compaction); the static path passes
+/// [`Tracer::off`]. Every shard's ledger is checked for cycle
+/// conservation before it is folded in — a leak here is a runtime bug,
+/// so it panics rather than producing a silently mis-attributed report.
+fn merge_outputs(outputs: Vec<ShardOutput>, driver: Tracer) -> ServeReport {
     let mut report = ServeReport::empty();
     let mut table: Vec<(u64, u64)> = Vec::new();
+    let mut tracers: Vec<Tracer> = Vec::with_capacity(outputs.len() + 1);
     for out in outputs {
+        out.stats
+            .ledger
+            .verify(out.stats.lifetime_cycles)
+            .unwrap_or_else(|e| panic!("shard {}: {e}", out.stats.shard));
         report.hist.merge(&out.stats.hist);
         report.served += out.stats.served;
         report.rejected += out.stats.rejected;
@@ -878,16 +966,10 @@ fn merge_outputs(outputs: Vec<ShardOutput>) -> ServeReport {
             *a += b;
         }
         report.restarts += out.stats.restarts;
-        report.downtime_cycles += out.stats.downtime_cycles;
-        report.replay_cycles += out.stats.replay_cycles;
         report.snapshots += out.stats.snapshots;
-        report.snapshot_cycles += out.stats.snapshot_cycles;
         report.migration_replays += out.stats.migration_replays;
-        report.migration_cycles += out.stats.migration_cycles;
         report.promotions += out.stats.promotions;
-        report.rebuild_cycles += out.stats.rebuild_cycles;
-        report.replica_apply_cycles += out.stats.replica_apply_cycles;
-        report.catchup_cycles += out.stats.catchup_cycles;
+        report.ledger.merge(&out.stats.ledger);
         report.divergence_checks += out.stats.divergence_checks;
         report.divergence_alarms += out.stats.divergence_alarms;
         for (a, b) in report.div_probed.iter_mut().zip(out.stats.div_probed) {
@@ -896,11 +978,13 @@ fn merge_outputs(outputs: Vec<ShardOutput>) -> ServeReport {
         for (a, b) in report.div_flagged.iter_mut().zip(out.stats.div_flagged) {
             *a += b;
         }
-        report.divergence_cycles += out.stats.divergence_cycles;
         report.makespan_cycles = report.makespan_cycles.max(out.stats.last_completion);
         table.extend(out.table.iter().copied());
+        tracers.push(out.tracer);
         report.shards.push(out.stats);
     }
+    tracers.push(driver);
+    report.trace = Trace::merge(tracers);
     // Global key order makes the digest independent of the partition.
     table.sort_unstable_by_key(|&(k, _)| k);
     for (k, v) in table {

@@ -121,6 +121,7 @@ use crate::histogram::LatencyHistogram;
 use crate::{fnv_fold, ServeConfig, FNV_OFFSET};
 use elzar_apps::{kv, ServeApp};
 use elzar_fault::{inject_probe, replay_suffix, replay_suffix_where, GoldenRun, OutcomeClass};
+use elzar_obs::{debug, Category, CycleLedger, EventKind, Tracer};
 use elzar_rng::{splitmix64, DetRng};
 use elzar_vm::{Machine, Program, RunOutcome};
 use std::collections::VecDeque;
@@ -155,29 +156,23 @@ pub struct ShardStats {
     pub outcomes: [u64; 5],
     /// Shard restarts from snapshot (crashed/hung requests).
     pub restarts: u64,
-    /// Virtual cycles spent restoring snapshots and replaying suffixes
-    /// after crashes (`restart_cycles + replay` per restart).
-    pub downtime_cycles: u64,
-    /// Virtual cycles of crash-recovery suffix replay alone (the part
-    /// of downtime that grows with `snapshot_interval`).
-    pub replay_cycles: u64,
     /// Periodic snapshots taken (the boot snapshot is free — it happens
     /// before traffic).
     pub snapshots: u64,
-    /// Virtual cycles charged for periodic snapshot clones
-    /// (`resident_bytes / snapshot_bytes_per_cycle` each — the cost
-    /// that grows as `snapshot_interval` shrinks).
-    pub snapshot_cycles: u64,
     /// Partition slots migrated *into* this shard (scale-up boot or
     /// scale-down absorption).
     pub migrated_in_slots: u64,
     /// Committed requests replayed to reconstruct migrated ranges.
     pub migration_replays: u64,
-    /// Virtual cycles spent on migration (snapshot clone + filtered
-    /// replay), charged to this shard's clock before it serves.
-    pub migration_cycles: u64,
-    /// Virtual cycles the shard spent executing requests.
-    pub busy_cycles: u64,
+    /// Where every virtual cycle of this shard's lifetime went, plus
+    /// background (overlapped) work — see [`elzar_obs::Category`]. The
+    /// foreground categories sum to [`ShardStats::lifetime_cycles`]
+    /// exactly (asserted when the report merges).
+    pub ledger: CycleLedger,
+    /// The shard's accounted lifetime in virtual cycles: from
+    /// `spawned_at` to its retirement instant (or its final clock,
+    /// whichever is later) — the conservation target of the ledger.
+    pub lifetime_cycles: u64,
     /// Completion time of the shard's last request (0 if none).
     pub last_completion: u64,
     /// Virtual time the shard came online (0 for boot shards, the
@@ -191,17 +186,6 @@ pub struct ShardStats {
     /// instead of a restart-from-snapshot detour
     /// ([`ServeConfig::replicas`]).
     pub promotions: u64,
-    /// Background virtual cycles spent rebuilding the warm standby
-    /// after a promotion (`restart_cycles` + suffix replay per
-    /// promotion — the detour that no longer stalls the queue).
-    pub rebuild_cycles: u64,
-    /// Background virtual cycles the warm replica spent applying the
-    /// committed log (the steady-state price of replication).
-    pub replica_apply_cycles: u64,
-    /// Background virtual cycles spent applying other shards' committed
-    /// log entries at compaction boundaries
-    /// ([`ServeConfig::compaction`]).
-    pub catchup_cycles: u64,
     /// Periodic primary-vs-replica state-digest comparisons performed
     /// ([`ServeConfig::divergence_check_interval`]).
     pub divergence_checks: u64,
@@ -219,9 +203,6 @@ pub struct ShardStats {
     /// Probes (same indexing) where the faulty state *diverged* from
     /// the committed state — what a state-digest detector would flag.
     pub div_flagged: [u64; 5],
-    /// Background virtual cycles charged for divergence scans (probes
-    /// and periodic checks).
-    pub divergence_cycles: u64,
     /// Request latency histogram (arrival → completion, cycles).
     pub hist: LatencyHistogram,
 }
@@ -238,35 +219,86 @@ impl ShardStats {
             injected: 0,
             outcomes: [0; 5],
             restarts: 0,
-            downtime_cycles: 0,
-            replay_cycles: 0,
             snapshots: 0,
-            snapshot_cycles: 0,
             migrated_in_slots: 0,
             migration_replays: 0,
-            migration_cycles: 0,
-            busy_cycles: 0,
+            ledger: CycleLedger::new(),
+            lifetime_cycles: 0,
             last_completion: 0,
             spawned_at: 0,
             retired_at: u64::MAX,
             promotions: 0,
-            rebuild_cycles: 0,
-            replica_apply_cycles: 0,
-            catchup_cycles: 0,
             divergence_checks: 0,
             divergence_alarms: 0,
             div_probed: [0; 5],
             div_flagged: [0; 5],
-            divergence_cycles: 0,
             hist: LatencyHistogram::new(),
         }
     }
+
+    /// Virtual cycles spent executing request payloads
+    /// ([`Category::Execute`] — crash detours excluded; those are
+    /// downtime/replay).
+    pub fn busy_cycles(&self) -> u64 {
+        self.ledger.get(Category::Execute)
+    }
+
+    /// Virtual cycles the shard was unavailable recovering from
+    /// crashes: restart penalty + suffix replay per restart, or the
+    /// promotion handoff per failover
+    /// ([`Category::Downtime`] + [`Category::Replay`]).
+    pub fn downtime_cycles(&self) -> u64 {
+        self.ledger.get(Category::Downtime) + self.ledger.get(Category::Replay)
+    }
+
+    /// Crash-recovery suffix-replay cycles alone
+    /// ([`Category::Replay`] — the part of downtime that grows with
+    /// `snapshot_interval`).
+    pub fn replay_cycles(&self) -> u64 {
+        self.ledger.get(Category::Replay)
+    }
+
+    /// Virtual cycles charged for periodic snapshot clones
+    /// ([`Category::Snapshot`]).
+    pub fn snapshot_cycles(&self) -> u64 {
+        self.ledger.get(Category::Snapshot)
+    }
+
+    /// Virtual cycles spent on migration clone + replay
+    /// ([`Category::Migration`]).
+    pub fn migration_cycles(&self) -> u64 {
+        self.ledger.get(Category::Migration)
+    }
+
+    /// Background cycles rebuilding the standby after promotions
+    /// ([`Category::Rebuild`]).
+    pub fn rebuild_cycles(&self) -> u64 {
+        self.ledger.get(Category::Rebuild)
+    }
+
+    /// Background cycles the warm replica spent applying the committed
+    /// log ([`Category::Mirror`]).
+    pub fn replica_apply_cycles(&self) -> u64 {
+        self.ledger.get(Category::Mirror)
+    }
+
+    /// Background compaction catch-up replay cycles
+    /// ([`Category::Catchup`]).
+    pub fn catchup_cycles(&self) -> u64 {
+        self.ledger.get(Category::Catchup)
+    }
+
+    /// Background divergence-scan cycles ([`Category::Divergence`]).
+    pub fn divergence_cycles(&self) -> u64 {
+        self.ledger.get(Category::Divergence)
+    }
 }
 
-/// A drained shard: stats plus the final values of the keys it owns
-/// (empty for stateless services).
+/// A drained shard: stats, its event ring, and the final values of the
+/// keys it owns (empty for stateless services).
 pub(crate) struct ShardOutput {
     pub stats: ShardStats,
+    pub tracer: Tracer,
     pub table: Vec<(u64, u64)>,
 }
 
@@ -316,6 +348,10 @@ pub(crate) struct ShardRuntime<'p, 'a> {
     /// Commits since the last periodic primary/replica divergence
     /// check.
     since_div_check: u64,
+    /// Virtual-time event ring ([`ServeConfig::trace_events`]; disabled
+    /// at capacity 0). Recording never reads or feeds back into the
+    /// clock, so tracing on/off cannot change any serving result.
+    tracer: Tracer,
     /// Serving statistics.
     pub stats: ShardStats,
 }
@@ -360,6 +396,7 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
             inflight: VecDeque::new(),
             est_cycles: 0,
             since_div_check: 0,
+            tracer: Tracer::new(shard, cfg.trace_events),
             stats: ShardStats::new(shard),
         }
     }
@@ -396,14 +433,16 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
         stats.spawned_at = at;
         stats.migrated_in_slots = u64::from(taken.count_ones());
         stats.migration_replays = replayed;
-        stats.migration_cycles = clone_cost + replay;
+        stats.ledger.charge(Category::Migration, clone_cost + replay);
         let snap = m.clone();
         // The joiner's standby is a second clone of the freshly built
         // state, charged as background replication cost.
         let replica = cfg.replicas.then(|| m.clone());
         if replica.is_some() {
-            stats.replica_apply_cycles += clone_cost;
+            stats.ledger.charge(Category::Mirror, clone_cost);
         }
+        let mut tracer = Tracer::new(shard, cfg.trace_events);
+        tracer.record(EventKind::Migration, at, clone_cost + replay, u64::from(donor.stats.shard), replayed);
         ShardRuntime {
             m,
             replica,
@@ -415,6 +454,7 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
             inflight: VecDeque::new(),
             est_cycles: donor.est_cycles,
             since_div_check: 0,
+            tracer,
             stats,
         }
     }
@@ -449,7 +489,14 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
             .expect("committed log entries replay cleanly during absorption");
         self.stats.migrated_in_slots += u64::from(taken.count_ones());
         self.stats.migration_replays += delta.len() as u64;
-        self.stats.migration_cycles += cycles;
+        self.stats.ledger.charge(Category::Migration, cycles);
+        self.tracer.record(
+            EventKind::Migration,
+            self.clock,
+            cycles,
+            u64::from(taken.count_ones()),
+            delta.len() as u64,
+        );
         self.clock += cycles;
         self.mirror_replay(&delta, app);
         self.suffix.extend(delta);
@@ -486,7 +533,8 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
         }
         let cycles = replay_suffix(&mut self.m, app.request_entry, &delta)
             .expect("committed log entries replay cleanly during catch-up");
-        self.stats.catchup_cycles += cycles;
+        self.stats.ledger.charge(Category::Catchup, cycles);
+        self.tracer.record(EventKind::Catchup, self.clock, cycles, delta.len() as u64, 0);
         self.mirror_replay(&delta, app);
         self.suffix.extend(delta);
         self.maybe_snapshot(cfg);
@@ -562,7 +610,8 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
             self.suffix.clear();
             self.stats.snapshots += 1;
             let cost = ShardRuntime::snap_cost(&self.m, cfg);
-            self.stats.snapshot_cycles += cost;
+            self.stats.ledger.charge(Category::Snapshot, cost);
+            self.tracer.record(EventKind::Snapshot, self.clock, cost, self.stats.snapshots, 0);
             self.clock += cost;
         }
     }
@@ -577,9 +626,12 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
         replica.reenter(app.request_entry, payload);
         let outcome = replica.run_to_completion();
         if matches!(outcome, RunOutcome::Exited(_)) {
-            self.stats.replica_apply_cycles += replica.result(outcome).cycles.max(1);
+            self.stats.ledger.charge(Category::Mirror, replica.result(outcome).cycles.max(1));
         } else {
             self.replica = None;
+            debug::emit("serve", || {
+                format!("shard {} degraded: standby solo apply failed", self.stats.shard)
+            });
         }
     }
 
@@ -591,9 +643,12 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
         replica.reenter_batch(app.batch_entry, parts);
         let outcome = replica.run_to_completion();
         if matches!(outcome, RunOutcome::Exited(_)) {
-            self.stats.replica_apply_cycles += replica.result(outcome).cycles.max(1);
+            self.stats.ledger.charge(Category::Mirror, replica.result(outcome).cycles.max(1));
         } else {
             self.replica = None;
+            debug::emit("serve", || {
+                format!("shard {} degraded: standby batch apply failed", self.stats.shard)
+            });
         }
     }
 
@@ -604,8 +659,13 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
     fn mirror_replay(&mut self, payloads: &[&[u8]], app: &ServeApp) {
         let Some(replica) = self.replica.as_mut() else { return };
         match replay_suffix(replica, app.request_entry, payloads) {
-            Ok(cycles) => self.stats.replica_apply_cycles += cycles,
-            Err(_) => self.replica = None,
+            Ok(cycles) => self.stats.ledger.charge(Category::Mirror, cycles),
+            Err(e) => {
+                self.replica = None;
+                debug::emit("serve", || {
+                    format!("shard {} degraded: standby replay failed ({e})", self.stats.shard)
+                });
+            }
         }
     }
 
@@ -623,10 +683,18 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
             self.since_div_check = 0;
             if let Some(replica) = self.replica.as_ref() {
                 self.stats.divergence_checks += 1;
-                self.stats.divergence_cycles += 2 * app.n_keys * DIVERGENCE_CYCLES_PER_KEY;
-                if table_digest_of(&self.m, app) != table_digest_of(replica, app) {
+                self.stats.ledger.charge(Category::Divergence, 2 * app.n_keys * DIVERGENCE_CYCLES_PER_KEY);
+                let alarm = table_digest_of(&self.m, app) != table_digest_of(replica, app);
+                if alarm {
                     self.stats.divergence_alarms += 1;
                 }
+                self.tracer.record(
+                    EventKind::DivergenceCheck,
+                    self.clock,
+                    0,
+                    self.stats.divergence_checks,
+                    u64::from(alarm),
+                );
             }
         }
     }
@@ -667,6 +735,7 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                 }
                 if self.inflight.len() + batch.len() >= cfg.queue_capacity {
                     self.stats.rejected += 1;
+                    self.tracer.record(EventKind::Reject, req.arrival, 0, req.id, 0);
                     i += 1;
                     continue;
                 }
@@ -681,16 +750,22 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                     let predicted = start + pos1 * self.est_margin() + snaps * snap_cost;
                     if predicted - req.arrival > cfg.slo_cycles {
                         self.stats.shed += 1;
+                        self.tracer.record(EventKind::Shed, req.arrival, 0, req.id, 0);
                         i += 1;
                         continue;
                     }
                 }
+                self.tracer.record(EventKind::Admit, req.arrival, 0, req.id, 0);
                 batch.push(req);
                 i += 1;
             }
             if batch.is_empty() {
                 continue;
             }
+            // The gap between the shard going free and this drain's
+            // start is the only place lifetime cycles pass unoccupied.
+            self.stats.ledger.charge(Category::Idle, start - self.clock);
+            self.tracer.record(EventKind::BatchForm, start, 0, batch[0].id, batch.len() as u64);
 
             // Execute the batch as segments: maximal fault-free runs go
             // through the batched entry; fault-scheduled requests run
@@ -716,6 +791,9 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
 
                     let mut service = clean.cycles.max(1);
                     let mut mirrored = false;
+                    // Recovery cycles inside `service` (charged to
+                    // downtime/replay, not execute).
+                    let mut detour = 0u64;
                     // Degenerate requests that retire no eligible
                     // instruction (nothing to corrupt) let the schedule
                     // slot pass unfired.
@@ -740,6 +818,7 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                         let (o, faulty, faulty_m) = inject_probe(twin, &golden, index, bit, cfg.hang_factor);
                         self.stats.injected += 1;
                         self.stats.outcomes[o.index()] += 1;
+                        self.tracer.record(EventKind::Injection, t, 0, req.id, o.index() as u64);
                         // Second, independent SDC detector: compare the
                         // faulty execution's resident state against the
                         // committed reference — what a state-digest
@@ -753,10 +832,14 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                             && o.class() != OutcomeClass::Crashed
                         {
                             self.stats.div_probed[o.index()] += 1;
-                            if table_digest_of(&faulty_m, app) != table_digest_of(&self.m, app) {
+                            let flagged = table_digest_of(&faulty_m, app) != table_digest_of(&self.m, app);
+                            if flagged {
                                 self.stats.div_flagged[o.index()] += 1;
                             }
-                            self.stats.divergence_cycles += 2 * app.n_keys * DIVERGENCE_CYCLES_PER_KEY;
+                            self.stats
+                                .ledger
+                                .charge(Category::Divergence, 2 * app.n_keys * DIVERGENCE_CYCLES_PER_KEY);
+                            self.tracer.record(EventKind::DivergenceProbe, t, 0, req.id, u64::from(flagged));
                         }
                         service = match o.class() {
                             OutcomeClass::Crashed => {
@@ -785,8 +868,24 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                                     std::mem::swap(&mut self.m, replica);
                                     mirrored = true;
                                     self.stats.promotions += 1;
-                                    self.stats.downtime_cycles += cfg.failover_cycles;
-                                    self.stats.rebuild_cycles += cfg.restart_cycles + replay;
+                                    self.stats.ledger.charge(Category::Downtime, cfg.failover_cycles);
+                                    self.stats.ledger.charge(Category::Rebuild, cfg.restart_cycles + replay);
+                                    detour = cfg.failover_cycles;
+                                    let at = t + faulty.cycles.max(1);
+                                    self.tracer.record(
+                                        EventKind::Failover,
+                                        at,
+                                        cfg.failover_cycles,
+                                        req.id,
+                                        0,
+                                    );
+                                    self.tracer.record(
+                                        EventKind::Rebuild,
+                                        at,
+                                        cfg.restart_cycles + replay,
+                                        req.id,
+                                        0,
+                                    );
                                     faulty.cycles.max(1) + cfg.failover_cycles + rerun
                                 } else {
                                     // Detected crash/hang, no standby:
@@ -794,8 +893,16 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                                     // replays the suffix and re-runs
                                     // the request; the client waits out
                                     // the detour.
-                                    self.stats.replay_cycles += replay;
-                                    self.stats.downtime_cycles += cfg.restart_cycles + replay;
+                                    self.stats.ledger.charge(Category::Replay, replay);
+                                    self.stats.ledger.charge(Category::Downtime, cfg.restart_cycles);
+                                    detour = cfg.restart_cycles + replay;
+                                    self.tracer.record(
+                                        EventKind::Restart,
+                                        t + faulty.cycles.max(1),
+                                        cfg.restart_cycles + replay,
+                                        req.id,
+                                        0,
+                                    );
                                     faulty.cycles.max(1) + cfg.restart_cycles + replay + clean.cycles.max(1)
                                 }
                             }
@@ -805,8 +912,10 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                         };
                     }
                     let completion = t + service;
+                    self.stats.ledger.charge(Category::Execute, service - detour);
+                    self.tracer.record(EventKind::Execute, t, service, req.id, 1);
                     self.account_completion(req, completion, cfg);
-                    self.stats.busy_cycles += service;
+                    self.tracer.record(EventKind::Commit, completion, 0, req.id, completion - req.arrival);
                     t = completion;
                     self.suffix.push(&req.payload);
                     self.applied[slot_of(req.key) as usize] += 1;
@@ -839,15 +948,23 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                         seg.len(),
                         "serve batch entries emit exactly one heartbeat per request"
                     );
+                    let cycles = r.cycles.max(1);
+                    self.tracer.record(EventKind::Execute, t, cycles, seg[0].id, seg.len() as u64);
                     let mut prev_hb = 0u64;
                     for (req, &hb) in seg.iter().zip(&r.heartbeat_cycles) {
                         let completion = t + hb.max(1);
                         self.account_completion(req, completion, cfg);
+                        self.tracer.record(
+                            EventKind::Commit,
+                            completion,
+                            0,
+                            req.id,
+                            completion - req.arrival,
+                        );
                         self.observe_marginal(hb.max(1) - prev_hb.min(hb));
                         prev_hb = hb;
                     }
-                    let cycles = r.cycles.max(1);
-                    self.stats.busy_cycles += cycles;
+                    self.stats.ledger.charge(Category::Execute, cycles);
                     self.stats.batches += 1;
                     t += cycles;
                     for req in seg {
@@ -868,9 +985,21 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
         committed
     }
 
-    /// Finish the shard: stats plus the final resident-table values of
-    /// the keys the `owns` predicate assigns to it.
-    pub fn into_output(self, app: &ServeApp, owns: &dyn Fn(u64) -> bool) -> ShardOutput {
+    /// Finish the shard: close the cycle ledger (the tail between the
+    /// last activity and the shard's end of life is idle), then emit
+    /// stats, the event ring and the final resident-table values of the
+    /// keys the `owns` predicate assigns to it.
+    pub fn into_output(mut self, app: &ServeApp, owns: &dyn Fn(u64) -> bool) -> ShardOutput {
+        // A retiree's life ends at its retirement instant (or its final
+        // clock if a trailing snapshot/migration ran past it); a shard
+        // alive at stream end ends at its final clock.
+        let end = if self.stats.retired_at == u64::MAX {
+            self.clock
+        } else {
+            self.stats.retired_at.max(self.clock)
+        };
+        self.stats.ledger.charge(Category::Idle, end - self.clock);
+        self.stats.lifetime_cycles = end - self.stats.spawned_at;
         let mut table = Vec::new();
         if app.table_base != 0 {
             for k in 0..app.n_keys {
@@ -879,7 +1008,7 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                 }
             }
         }
-        ShardOutput { stats: self.stats, table }
+        ShardOutput { stats: self.stats, tracer: self.tracer, table }
     }
 }
 

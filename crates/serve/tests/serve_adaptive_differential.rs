@@ -163,10 +163,10 @@ fn adaptive_worker_count_never_changes_anything() {
     assert_eq!(w1.events, w4.events, "scaling schedule diverged across workers");
     assert_eq!(w1.peak_shards, w4.peak_shards);
     assert_eq!(w1.migration_replays, w4.migration_replays);
-    assert_eq!(w1.migration_cycles, w4.migration_cycles);
+    assert_eq!(w1.migration_cycles(), w4.migration_cycles());
     assert!(w1.scale_ups >= 1 && w1.scale_downs >= 1, "the schedule must actually scale");
     for (sa, sb) in w1.shards.iter().zip(&w4.shards) {
-        assert_eq!(sa.busy_cycles, sb.busy_cycles);
+        assert_eq!(sa.busy_cycles(), sb.busy_cycles());
         assert_eq!(sa.last_completion, sb.last_completion);
         assert_eq!(sa.migration_replays, sb.migration_replays);
     }

@@ -17,7 +17,7 @@
 use elzar::{Artifact, Mode};
 use elzar_apps::Scale;
 use elzar_serve::histogram::LatencyHistogram;
-use elzar_serve::{serve_program, ServeConfig, ServeReport, Service};
+use elzar_serve::{serve_program, CycleLedger, ServeConfig, ServeReport, Service, Trace};
 
 fn grid_cfg(shards: u32, batch_size: u32, snapshot_interval: u32) -> ServeConfig {
     ServeConfig {
@@ -153,8 +153,8 @@ fn crashes_restore_snapshots_and_replay_the_suffix() {
     let r = serve_program(Service::Web, artifact.program(), &app, &cfg);
     assert!(r.injected > 20, "only {} injections", r.injected);
     assert!(r.restarts > 0, "the web parse must crash under a 20% SEU rate");
-    assert!(r.replay_cycles > 0, "a K=16 crash must replay committed suffix requests");
-    assert!(r.downtime_cycles >= r.restarts * cfg.restart_cycles + r.replay_cycles);
+    assert!(r.replay_cycles() > 0, "a K=16 crash must replay committed suffix requests");
+    assert!(r.downtime_cycles() >= r.restarts * cfg.restart_cycles + r.replay_cycles());
     assert!(r.availability() < 1.0);
     assert!(r.snapshots > 0);
     // Same config, snapshot every request: recovery never replays.
@@ -165,8 +165,8 @@ fn crashes_restore_snapshots_and_replay_the_suffix() {
         &ServeConfig { snapshot_interval: 1, ..cfg.clone() },
     );
     assert_eq!(tight.restarts, r.restarts, "outcomes are interval-invariant");
-    assert_eq!(tight.replay_cycles, 0, "K=1 snapshots leave no suffix to replay");
-    assert!(tight.snapshot_cycles > r.snapshot_cycles, "K=1 pays clone cost per request");
+    assert_eq!(tight.replay_cycles(), 0, "K=1 snapshots leave no suffix to replay");
+    assert!(tight.snapshot_cycles() > r.snapshot_cycles(), "K=1 pays clone cost per request");
 }
 
 /// `quantile_cycles`/`quantile_us` are total at the edges: an empty
@@ -184,19 +184,13 @@ fn quantile_edges_are_total() {
         injected: 0,
         outcomes: [0; 5],
         restarts: 0,
-        downtime_cycles: 0,
-        replay_cycles: 0,
         snapshots: 0,
-        snapshot_cycles: 0,
         scale_ups: 0,
         scale_downs: 0,
         migrated_slots: 0,
         migration_replays: 0,
-        migration_cycles: 0,
         promotions: 0,
-        rebuild_cycles: 0,
-        replica_apply_cycles: 0,
-        catchup_cycles: 0,
+        ledger: CycleLedger::new(),
         compactions: 0,
         compacted_entries: 0,
         max_slot_log: 0,
@@ -204,10 +198,10 @@ fn quantile_edges_are_total() {
         divergence_alarms: 0,
         div_probed: [0; 5],
         div_flagged: [0; 5],
-        divergence_cycles: 0,
         peak_shards: 0,
         final_shards: 0,
         events: vec![],
+        trace: Trace::default(),
         makespan_cycles: 0,
         table_digest: 0,
     };

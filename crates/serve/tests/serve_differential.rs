@@ -51,7 +51,7 @@ fn worker_count_never_changes_anything() {
         assert_eq!(a.hist, b.hist, "{}: latency histogram diverged", service.label());
         assert_eq!(a.table_digest, b.table_digest);
         for (sa, sb) in a.shards.iter().zip(&b.shards) {
-            assert_eq!(sa.busy_cycles, sb.busy_cycles);
+            assert_eq!(sa.busy_cycles(), sb.busy_cycles());
             assert_eq!(sa.last_completion, sb.last_completion);
         }
     }

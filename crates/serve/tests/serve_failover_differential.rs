@@ -99,14 +99,14 @@ fn warm_failover_raises_availability_never_changes_outcomes() {
         // promotion charges only the handoff.
         assert_eq!(off.promotions, 0, "{label}: restart-only run promoted");
         assert_eq!(on.promotions, on.restarts, "{label}: every crash must promote the standby");
-        assert_eq!(on.replay_cycles, 0, "{label}: failover pays no foreground replay");
-        assert!(on.rebuild_cycles > 0, "{label}: promotions must rebuild standbys in background");
-        assert!(on.replica_apply_cycles > 0, "{label}: the standby never applied the log");
+        assert_eq!(on.replay_cycles(), 0, "{label}: failover pays no foreground replay");
+        assert!(on.rebuild_cycles() > 0, "{label}: promotions must rebuild standbys in background");
+        assert!(on.replica_apply_cycles() > 0, "{label}: the standby never applied the log");
         assert!(
-            on.downtime_cycles < off.downtime_cycles,
+            on.downtime_cycles() < off.downtime_cycles(),
             "{label}: downtime {} !< {}",
-            on.downtime_cycles,
-            off.downtime_cycles
+            on.downtime_cycles(),
+            off.downtime_cycles()
         );
         assert!(
             on.availability() > off.availability(),
@@ -120,9 +120,9 @@ fn warm_failover_raises_availability_never_changes_outcomes() {
         assert_eq!(on.makespan_cycles, on_w1.makespan_cycles, "{label}");
         assert_eq!(on.hist, on_w1.hist, "{label}: histogram diverged across workers");
         assert_eq!(on.promotions, on_w1.promotions, "{label}");
-        assert_eq!(on.downtime_cycles, on_w1.downtime_cycles, "{label}");
-        assert_eq!(on.rebuild_cycles, on_w1.rebuild_cycles, "{label}");
-        assert_eq!(on.replica_apply_cycles, on_w1.replica_apply_cycles, "{label}");
+        assert_eq!(on.downtime_cycles(), on_w1.downtime_cycles(), "{label}");
+        assert_eq!(on.rebuild_cycles(), on_w1.rebuild_cycles(), "{label}");
+        assert_eq!(on.replica_apply_cycles(), on_w1.replica_apply_cycles(), "{label}");
     }
 }
 
@@ -167,7 +167,7 @@ fn compaction_bounds_the_committed_log_without_changing_state() {
 
     assert!(compacted.compactions > 0, "no compaction pass removed anything");
     assert!(compacted.compacted_entries > 0);
-    assert!(compacted.catchup_cycles > 0, "compaction catch-up never replayed");
+    assert!(compacted.catchup_cycles() > 0, "compaction catch-up never replayed");
     let k = u64::from(base.snapshot_interval);
     assert!(
         compacted.max_slot_log <= k,
@@ -220,7 +220,7 @@ fn divergence_detector_flags_injected_sdcs() {
 
     assert!(r.divergence_checks > 0, "periodic checks never ran");
     assert_eq!(r.divergence_alarms, 0, "primary and standby apply the same committed sequence");
-    assert!(r.divergence_cycles > 0, "divergence scans are not free");
+    assert!(r.divergence_cycles() > 0, "divergence scans are not free");
 
     // The detector is config-deterministic.
     let again = serve_stream(artifact.program(), &app, &stream, &cfg);
@@ -261,13 +261,13 @@ fn availability_integrates_shard_lifetimes() {
         .iter()
         .map(|s| s.retired_at.min(r.makespan_cycles) - s.spawned_at.min(r.makespan_cycles))
         .sum();
-    let expected = 1.0 - r.downtime_cycles as f64 / span as f64;
+    let expected = 1.0 - r.downtime_cycles() as f64 / span as f64;
     assert!((r.availability() - expected).abs() < 1e-12, "{} vs {expected}", r.availability());
 
     // The old fixed-fleet denominator overcounted shard-time, so it
     // could only overstate availability.
     let naive = r.makespan_cycles * r.shards.len() as u64;
     assert!(span < naive, "lifetimes must be shorter than makespan × all shards");
-    let old = 1.0 - r.downtime_cycles as f64 / naive as f64;
+    let old = 1.0 - r.downtime_cycles() as f64 / naive as f64;
     assert!(r.availability() <= old + 1e-12);
 }

@@ -86,7 +86,7 @@ fn main() {
             "{} crash(es) recovered by restoring the last snapshot and replaying \
              the committed suffix ({} replay cycles, availability {:.5})",
             fast.restarts,
-            fast.replay_cycles,
+            fast.replay_cycles(),
             fast.availability(),
         );
     }

@@ -26,7 +26,7 @@ use elzar_suite::elzar_apps::Scale;
 use elzar_suite::elzar_serve::{serve_stream, ServeConfig, ServeReport, Service};
 
 fn report_line(label: &str, r: &ServeReport) {
-    let mttr = if r.restarts == 0 { 0.0 } else { r.downtime_cycles as f64 / r.restarts as f64 };
+    let mttr = if r.restarts == 0 { 0.0 } else { r.downtime_cycles() as f64 / r.restarts as f64 };
     println!(
         "{label:<14} {:>12.6} {:>7} {:>7} {:>10.1} {:>9.1} {:>9.1}",
         r.availability(),
@@ -81,11 +81,11 @@ fn main() {
     println!(
         "\nwarm replicas: downtime {} -> {} cycles across {} crashes; \
          {} background cycles rebuilding standbys, {} mirroring the log",
-        restart.downtime_cycles,
-        replica.downtime_cycles,
+        restart.downtime_cycles(),
+        replica.downtime_cycles(),
         replica.restarts,
-        replica.rebuild_cycles,
-        replica.replica_apply_cycles,
+        replica.rebuild_cycles(),
+        replica.replica_apply_cycles(),
     );
     println!(
         "divergence detector: {} probes, flagged {:?} vs ELZAR outcomes {:?} \

@@ -10,9 +10,11 @@
 pub use elzar;
 pub use elzar_apps;
 pub use elzar_avx;
+pub use elzar_bench;
 pub use elzar_cpu;
 pub use elzar_fault;
 pub use elzar_ir;
+pub use elzar_obs;
 pub use elzar_passes;
 pub use elzar_serve;
 pub use elzar_vm;
