@@ -128,6 +128,32 @@ impl Ymm {
         self.limbs
     }
 
+    /// Borrow the raw limbs without copying — the view execution-engine
+    /// kernels operate on.
+    pub fn limbs_ref(&self) -> &[u64; 4] {
+        &self.limbs
+    }
+
+    /// Mutably borrow the raw limbs, for in-place kernel writes.
+    pub fn limbs_mut(&mut self) -> &mut [u64; 4] {
+        &mut self.limbs
+    }
+
+    /// Broadcast `value` (masked to the lane width) across the *whole*
+    /// register — [`Ymm::splat`] with `lanes == capacity`, but computed
+    /// with four limb writes instead of a per-lane loop. This is the
+    /// shape every ELZAR-hardened value has, so it is the fast path the
+    /// trace engine and the fault model share.
+    pub fn broadcast(width: LaneWidth, value: u64) -> Ymm {
+        let limb = match width {
+            LaneWidth::B64 => value,
+            LaneWidth::B32 => (value & 0xFFFF_FFFF).wrapping_mul(0x0000_0001_0000_0001),
+            LaneWidth::B16 => (value & 0xFFFF).wrapping_mul(0x0001_0001_0001_0001),
+            LaneWidth::B8 => (value & 0xFF).wrapping_mul(0x0101_0101_0101_0101),
+        };
+        Ymm { limbs: [limb; 4] }
+    }
+
     /// Broadcast `value` (masked to the lane width) into the first
     /// `lanes` lanes; upper lanes stay zero. This is `vbroadcast` when
     /// `lanes` equals the capacity.
@@ -215,6 +241,28 @@ impl Ymm {
         self.map2(other, width, lanes, |a, b| if f(a, b) { ones } else { 0 })
     }
 
+    /// In-place lane-wise unary map over the first `lanes` lanes —
+    /// [`Ymm::map`] without materializing a fresh register.
+    pub fn map_assign(&mut self, width: LaneWidth, lanes: usize, mut f: impl FnMut(u64) -> u64) {
+        for i in 0..lanes {
+            self.set_lane(width, i, f(self.lane(width, i)));
+        }
+    }
+
+    /// In-place lane-wise binary map over the first `lanes` lanes —
+    /// [`Ymm::map2`] updating `self` directly.
+    pub fn map2_assign(
+        &mut self,
+        other: &Ymm,
+        width: LaneWidth,
+        lanes: usize,
+        mut f: impl FnMut(u64, u64) -> u64,
+    ) {
+        for i in 0..lanes {
+            self.set_lane(width, i, f(self.lane(width, i), other.lane(width, i)));
+        }
+    }
+
     /// Whole-register xor.
     pub fn xor(&self, other: &Ymm) -> Ymm {
         let mut r = Ymm::ZERO;
@@ -222,6 +270,13 @@ impl Ymm {
             r.limbs[i] = self.limbs[i] ^ other.limbs[i];
         }
         r
+    }
+
+    /// In-place whole-register xor.
+    pub fn xor_assign(&mut self, other: &Ymm) {
+        for i in 0..4 {
+            self.limbs[i] ^= other.limbs[i];
+        }
     }
 
     /// Lane permutation: result lane `i` = source lane `mask[i]`
@@ -536,6 +591,34 @@ mod tests {
             assert_eq!(diff, 1);
             assert_eq!(f.flip_bit(bit), v, "double flip restores");
         }
+    }
+
+    #[test]
+    fn broadcast_equals_full_capacity_splat() {
+        for w in [LaneWidth::B8, LaneWidth::B16, LaneWidth::B32, LaneWidth::B64] {
+            for v in [0u64, 1, 0xAB, 0xDEAD_BEEF, u64::MAX, 0x8000_0000_0000_0001] {
+                assert_eq!(Ymm::broadcast(w, v), Ymm::splat(w, w.capacity(), v), "{w:?} {v:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_variants_match_copying_ops() {
+        let a = Ymm::from_limbs([0x0123, 0x4567, 0x89AB, 0xCDEF]);
+        let b = Ymm::from_limbs([u64::MAX, 0, 0x5555_5555, 0xAAAA_AAAA]);
+        let mut x = a;
+        x.xor_assign(&b);
+        assert_eq!(x, a.xor(&b));
+        let mut y = a;
+        y.map_assign(LaneWidth::B32, 8, |v| v.wrapping_mul(3));
+        assert_eq!(y, a.map(LaneWidth::B32, 8, |v| v.wrapping_mul(3)));
+        let mut z = a;
+        z.map2_assign(&b, LaneWidth::B64, 4, u64::wrapping_add);
+        assert_eq!(z, a.map2(&b, LaneWidth::B64, 4, u64::wrapping_add));
+        let mut w = a;
+        w.limbs_mut()[2] = 42;
+        assert_eq!(w.limbs_ref()[2], 42);
+        assert_eq!(w.lane(LaneWidth::B64, 2), 42);
     }
 
     #[test]

@@ -27,7 +27,7 @@ impl Default for CoreConfig {
 }
 
 /// Perf-stat style counters (the raw events behind Tables II and III).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Counters {
     /// Retired instructions (including legalization expansions).
     pub instrs: u64,
@@ -113,7 +113,11 @@ impl Core {
 
     #[inline]
     fn issue(&mut self, class: InstClass, ops: &[u64], mem_latency: u32) -> u64 {
-        let cost = class.cost();
+        self.issue_cost(class.cost(), class.is_avx(), ops, mem_latency)
+    }
+
+    #[inline]
+    fn issue_cost(&mut self, cost: crate::cost::Cost, avx: bool, ops: &[u64], mem_latency: u32) -> u64 {
         let fetch = self.fetch_cycle();
         self.seq += 1 + u64::from(cost.extra_instrs);
         let op_ready = ops.iter().copied().max().unwrap_or(0);
@@ -138,7 +142,7 @@ impl Core {
         }
         // Bookkeeping.
         self.counters.instrs += 1 + u64::from(cost.extra_instrs);
-        if class.is_avx() {
+        if avx {
             self.counters.avx_instrs += 1 + u64::from(cost.extra_instrs);
         }
         done
@@ -180,6 +184,43 @@ impl Core {
             _ => lat,
         };
         self.issue(class, ops, mem_lat)
+    }
+
+    /// Retire a non-memory, non-branch instruction from a precomputed
+    /// `(cost, avx)` pair — the trace engine's timing bridge. Identical
+    /// accounting to [`Core::retire`] when the pair came from the same
+    /// [`InstClass`].
+    #[inline]
+    pub fn retire_precosted(&mut self, cost: crate::cost::Cost, avx: bool, ops: &[u64]) -> u64 {
+        self.issue_cost(cost, avx, ops, 0)
+    }
+
+    /// Retire a memory instruction from a precomputed `(cost, avx)` pair
+    /// plus a `store` flag. Identical accounting to [`Core::retire_mem`]:
+    /// the cache is always accessed first, and stores complete into the
+    /// store buffer (data-cache latency hidden, only port pressure
+    /// counts). Traces never carry gathers, scatters or atomics, so the
+    /// flag fully determines the load/store counter split.
+    #[inline]
+    pub fn retire_mem_precosted(
+        &mut self,
+        cost: crate::cost::Cost,
+        avx: bool,
+        store: bool,
+        ops: &[u64],
+        addr: u64,
+        l3: &mut SharedL3,
+    ) -> u64 {
+        let lat = self.caches.access(addr, l3);
+        self.counters.mem_refs += 1;
+        let mem_lat = if store {
+            self.counters.stores += 1;
+            0
+        } else {
+            self.counters.loads += 1;
+            lat
+        };
+        self.issue_cost(cost, avx, ops, mem_lat)
     }
 
     /// Retire a branch instruction at `site` (a stable static id), with
@@ -380,6 +421,43 @@ mod tests {
         assert_eq!(k.avx_instrs, 1);
         assert_eq!(k.mem_refs, 2);
         assert_eq!(k.instrs, 4);
+    }
+
+    #[test]
+    fn precosted_retire_matches_class_based_retire() {
+        let mut a = Core::new();
+        let mut b = Core::new();
+        let mut l3a = SharedL3::haswell();
+        let mut l3b = SharedL3::haswell();
+        let mut ra = 0;
+        let mut rb = 0;
+        for i in 0..4_000u64 {
+            let class = match i % 5 {
+                0 => InstClass::ScalarAlu,
+                1 => InstClass::VecAlu,
+                2 => InstClass::Shuffle,
+                3 => InstClass::Load,
+                _ => InstClass::Store,
+            };
+            if class.is_mem() {
+                let addr = (i % 512) * 8;
+                let store = class == InstClass::Store;
+                ra = a.retire_mem(class, &[ra], addr, &mut l3a);
+                rb = b.retire_mem_precosted(class.cost(), class.is_avx(), store, &[rb], addr, &mut l3b);
+            } else {
+                ra = a.retire(class, &[ra]);
+                rb = b.retire_precosted(class.cost(), class.is_avx(), &[rb]);
+            }
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(a.cycles(), b.cycles());
+        let (ka, kb) = (a.counters(), b.counters());
+        assert_eq!(ka.instrs, kb.instrs);
+        assert_eq!(ka.avx_instrs, kb.avx_instrs);
+        assert_eq!(ka.loads, kb.loads);
+        assert_eq!(ka.stores, kb.stores);
+        assert_eq!(ka.mem_refs, kb.mem_refs);
+        assert_eq!(ka.l1_misses, kb.l1_misses);
     }
 
     #[test]

@@ -577,6 +577,8 @@ pub struct LFunc {
 pub struct Program {
     /// Functions (indices match the IR module's `FuncId`s).
     pub funcs: Vec<LFunc>,
+    /// Superblock traces, one per `(func, block)`, for the trace engine.
+    pub traces: Vec<Vec<crate::trace::Trace>>,
     /// Initial global segment contents.
     pub globals: Vec<u8>,
     /// Source module name.
@@ -586,11 +588,9 @@ pub struct Program {
 impl Program {
     /// Lower a whole module.
     pub fn lower(m: &Module) -> Program {
-        Program {
-            funcs: m.funcs.iter().map(lower_func).collect(),
-            globals: m.globals.clone(),
-            name: m.name.clone(),
-        }
+        let funcs: Vec<LFunc> = m.funcs.iter().map(lower_func).collect();
+        let traces = funcs.iter().enumerate().map(|(i, f)| crate::trace::build_traces(i as u32, f)).collect();
+        Program { funcs, traces, globals: m.globals.clone(), name: m.name.clone() }
     }
 
     /// Function index by name.

@@ -18,8 +18,11 @@
 
 use crate::lower::{DGroup, LInst, LKind, LOp, LPhi, LTerm, Program, VMeta, NO_DST};
 use crate::memory::{Memory, Trap, DEFAULT_MEM_SIZE, INPUT_BASE};
+use crate::trace::{TOp, Trace};
 use elzar_avx::{majority_extended, majority_simple, LaneWidth, MajorityOutcome, Ymm};
 use elzar_cpu::{Core, Counters, InstClass, SharedL3};
+use elzar_engine::kernels::{self, KernelTable};
+use elzar_engine::{Backend, Engine, EngineKind};
 use elzar_ir::{BinOp, Builtin, CastOp, CmpPred, RmwOp};
 use std::collections::VecDeque;
 
@@ -66,6 +69,9 @@ pub struct MachineConfig {
     pub fault: Option<FaultPlan>,
     /// Recovery routine selection.
     pub recovery: RecoveryPolicy,
+    /// Execution engine (resolved once per machine; the `ELZAR_ENGINE`
+    /// environment variable overrides it at resolution time).
+    pub engine: EngineKind,
 }
 
 impl Default for MachineConfig {
@@ -78,6 +84,7 @@ impl Default for MachineConfig {
             step_limit: u64::MAX,
             fault: None,
             recovery: RecoveryPolicy::Extended,
+            engine: EngineKind::default(),
         }
     }
 }
@@ -349,6 +356,8 @@ pub struct Machine<'p> {
     heartbeat_cycles: Vec<u64>,
     input_len: u64,
     phi_scratch: Vec<(u32, RtVal, u64)>,
+    backend: Backend,
+    kern: &'static KernelTable,
 }
 
 /// Run `entry` (a function taking no meaningful arguments) of `prog` over
@@ -364,6 +373,7 @@ pub fn run_program(prog: &Program, entry: &str, input: &[u8], cfg: MachineConfig
 
 impl<'p> Machine<'p> {
     fn new(prog: &'p Program, input: &[u8], cfg: MachineConfig) -> Machine<'p> {
+        let backend = cfg.engine.resolve();
         Machine {
             prog,
             cfg,
@@ -380,6 +390,8 @@ impl<'p> Machine<'p> {
             heartbeat_cycles: Vec::new(),
             input_len: input.len() as u64,
             phi_scratch: Vec::new(),
+            backend,
+            kern: kernels::table(backend == Backend::TraceSimd),
         }
     }
 
@@ -622,6 +634,14 @@ impl<'p> Machine<'p> {
     }
 
     fn step_quantum(&mut self, t: usize) -> Result<(), Trap> {
+        match self.backend {
+            Backend::Reference => self.step_quantum_ref(t),
+            Backend::TraceScalar | Backend::TraceSimd => self.step_quantum_trace_with(t, self.kern),
+        }
+    }
+
+    /// Reference engine: one pre-decoded instruction at a time.
+    pub(crate) fn step_quantum_ref(&mut self, t: usize) -> Result<(), Trap> {
         for _ in 0..self.cfg.quantum {
             if self.threads[t].state != TState::Ready {
                 break;
@@ -629,6 +649,554 @@ impl<'p> Machine<'p> {
             self.step_inst(t)?;
         }
         Ok(())
+    }
+
+    /// Trace engine: enter a superblock at every block head, fall back
+    /// to per-instruction stepping for untraceable ops and inside the
+    /// fault-injection window. The quantum budget is shared between the
+    /// two paths so the interleave with other threads is identical to
+    /// the reference engine's.
+    pub(crate) fn step_quantum_trace_with(
+        &mut self,
+        t: usize,
+        kern: &'static KernelTable,
+    ) -> Result<(), Trap> {
+        let prog = self.prog;
+        let mut budget = self.cfg.quantum as usize;
+        while budget > 0 {
+            if self.threads[t].state != TState::Ready {
+                break;
+            }
+            let (func, block, ip) = {
+                let fr = self.threads[t].frames.last().expect("live thread has a frame");
+                (fr.func, fr.block, fr.ip)
+            };
+            if ip == 0 {
+                let tr = &prog.traces[func as usize][block as usize];
+                if !tr.ops.is_empty() && self.trace_window_safe(tr) {
+                    let used = self.exec_trace(t, tr, budget, kern)?;
+                    // `used == 0` means the first op is a fused pattern
+                    // wider than the remaining budget: step through it
+                    // per-instruction instead of spinning.
+                    if used > 0 {
+                        budget -= used;
+                        continue;
+                    }
+                }
+            }
+            self.step_inst(t)?;
+            budget -= 1;
+        }
+        Ok(())
+    }
+
+    /// May this trace be entered without missing the planned fault?
+    /// The flip logic lives only in the per-instruction path
+    /// ([`Machine::commit`]), so the trace executor refuses to run while
+    /// the plan's index could fall inside the trace's write window.
+    #[inline]
+    fn trace_window_safe(&self, tr: &Trace) -> bool {
+        match self.cfg.fault {
+            None => true,
+            Some(plan) => {
+                !tr.hardened || plan.index <= self.eligible || plan.index > self.eligible + tr.writes
+            }
+        }
+    }
+
+    /// Execute up to `budget` reference-steps of `tr` on thread `t`.
+    /// Returns the number of steps retired (0 when the first op is a
+    /// fused pattern wider than the budget). Every op replays the
+    /// reference handler's exact retire and write-back sequence, so
+    /// cycles, counters and the eligible count stay bit-identical; the
+    /// only differences are pre-resolved costs ([`crate::trace::Pc`]),
+    /// whole-register kernels for full-width vector ops, and fused
+    /// multi-step patterns that keep intermediates in registers while
+    /// committing every intermediate slot exactly as the unfused
+    /// sequence would.
+    fn exec_trace(
+        &mut self,
+        t: usize,
+        tr: &Trace,
+        budget: usize,
+        kern: &'static KernelTable,
+    ) -> Result<usize, Trap> {
+        let Machine { threads, mem, l3, steps, eligible, corrections, phi_scratch, .. } = self;
+        let ThreadCtx { frames, core, sp, stack_limit, .. } = &mut threads[t];
+        let fr = frames.last_mut().expect("live thread has a frame");
+        let hardened = tr.hardened;
+        let mut used = 0usize;
+
+        // Write-back: advance the ip and commit the destination slot,
+        // mirroring `commit` minus the flip (the entry guard keeps the
+        // planned index outside this trace's window).
+        macro_rules! put {
+            ($dst:expr, $v:expr, $done:expr) => {{
+                let dst = $dst;
+                fr.ip += 1;
+                if dst != NO_DST {
+                    fr.slots[dst as usize] = $v;
+                    fr.ready[dst as usize] = $done;
+                    if hardened {
+                        *eligible += 1;
+                    }
+                }
+            }};
+        }
+
+        for op in &tr.ops {
+            // Never start an op that cannot finish inside the quantum:
+            // the per-instruction path picks up partial fused patterns.
+            let w = op.weight();
+            if used + w > budget {
+                break;
+            }
+            used += w;
+            // Counts the op's first reference-step; fused arms account
+            // their remaining steps at the matching commit points.
+            *steps += 1;
+            match op {
+                TOp::SBin { op, m, pc, dst, a, b } => {
+                    let (va, ra) = read_op(fr, a);
+                    let (vb, rb) = read_op(fr, b);
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[ra, rb]);
+                    let v = scalar_bin(*op, m, va.s(), vb.s())?;
+                    put!(*dst, RtVal::S(v), done);
+                }
+                TOp::SCmp { m, pred, pc, dst, a, b } => {
+                    let (va, ra) = read_op(fr, a);
+                    let (vb, rb) = read_op(fr, b);
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[ra, rb]);
+                    let v = u64::from(scalar_cmp(*pred, m, va.s(), vb.s()));
+                    put!(*dst, RtVal::S(v), done);
+                }
+                TOp::SCmpFused { m, pred, dst, a, b } => {
+                    let (va, ra) = read_op(fr, a);
+                    let (vb, rb) = read_op(fr, b);
+                    // Retires as half of the following jcc: free slot.
+                    let done = ra.max(rb);
+                    let v = u64::from(scalar_cmp(*pred, m, va.s(), vb.s()));
+                    put!(*dst, RtVal::S(v), done);
+                }
+                TOp::SCast { op, from, to, pc, dst, a } => {
+                    let (va, ra) = read_op(fr, a);
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[ra]);
+                    put!(*dst, RtVal::S(scalar_cast(*op, from, to, va.s())), done);
+                }
+                TOp::Gep { pc, dst, base, index, scale } => {
+                    let (vb, rb) = read_op(fr, base);
+                    let (vi, ri) = read_op(fr, index);
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[rb, ri]);
+                    let addr = vb.s().wrapping_add((vi.s() as i64).wrapping_mul(i64::from(*scale)) as u64);
+                    put!(*dst, RtVal::S(addr), done);
+                }
+                TOp::Sel { m, cond_scalar, pc, dst, cond, a, b } => {
+                    let (vc, rc) = read_op(fr, cond);
+                    let (va, ra) = read_op(fr, a);
+                    let (vb, rb) = read_op(fr, b);
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[rc, ra, rb]);
+                    let v = if *cond_scalar {
+                        if vc.s() & 1 != 0 {
+                            va
+                        } else {
+                            vb
+                        }
+                    } else {
+                        RtVal::V(Ymm::blend(&vc.v(m), &va.v(m), &vb.v(m), m.width, m.lanes as usize))
+                    };
+                    put!(*dst, v, done);
+                }
+                TOp::Load { m, pc, dst, addr } => {
+                    let (va, ra) = read_op(fr, addr);
+                    let a = va.s();
+                    let done = core.retire_mem_precosted(pc.cost, pc.avx, false, &[ra], a, l3);
+                    let v = if m.scalar {
+                        RtVal::S(mem.load(a, m.ebytes)? & m.fmask)
+                    } else {
+                        let eb = m.ebytes;
+                        let mut y = Ymm::ZERO;
+                        for i in 0..m.lanes as usize {
+                            y.set_lane(m.width, i, mem.load(a + (i as u64) * u64::from(eb), eb)?);
+                        }
+                        RtVal::V(y)
+                    };
+                    put!(*dst, v, done);
+                }
+                TOp::Store { m, pc, val, addr } => {
+                    let (vv, rv) = read_op(fr, val);
+                    let (va, ra) = read_op(fr, addr);
+                    let a = va.s();
+                    core.retire_mem_precosted(pc.cost, pc.avx, true, &[rv, ra], a, l3);
+                    if m.scalar {
+                        mem.store(a, m.ebytes, vv.s())?;
+                    } else {
+                        let eb = m.ebytes;
+                        let y = vv.v(m);
+                        for i in 0..m.lanes as usize {
+                            mem.store(a + (i as u64) * u64::from(eb), eb, y.lane(m.width, i))?;
+                        }
+                    }
+                    fr.ip += 1;
+                }
+                TOp::Gather { m, pc, dst, addrs } => {
+                    let (va, ra) = read_op(fr, addrs);
+                    // §VII-B: hardware majority-votes the replicated
+                    // address (pointers are always 4-way replicated).
+                    let am = VMeta::ptr4();
+                    let voted = match majority_extended(&va.v(&am), am.width, am.lanes as usize) {
+                        MajorityOutcome::Recovered { value, corrected } => {
+                            if corrected {
+                                *corrections += 1;
+                            }
+                            value
+                        }
+                        MajorityOutcome::Tie => return Err(Trap::Unrecoverable),
+                    };
+                    let done = core.retire_mem_precosted(pc.cost, pc.avx, false, &[ra], voted, l3);
+                    let loaded = mem.load(voted, m.ebytes)? & m.fmask;
+                    put!(*dst, RtVal::V(Ymm::splat(m.width, m.lanes as usize, loaded)), done);
+                }
+                TOp::Scatter { m, pc, val, addrs } => {
+                    let (vv, rv) = read_op(fr, val);
+                    let (va, ra) = read_op(fr, addrs);
+                    let am = VMeta::ptr4();
+                    let addr = match majority_extended(&va.v(&am), am.width, am.lanes as usize) {
+                        MajorityOutcome::Recovered { value, corrected } => {
+                            if corrected {
+                                *corrections += 1;
+                            }
+                            value
+                        }
+                        MajorityOutcome::Tie => return Err(Trap::Unrecoverable),
+                    };
+                    let value = match majority_extended(&vv.v(m), m.width, m.lanes as usize) {
+                        MajorityOutcome::Recovered { value, corrected } => {
+                            if corrected {
+                                *corrections += 1;
+                            }
+                            value
+                        }
+                        MajorityOutcome::Tie => return Err(Trap::Unrecoverable),
+                    };
+                    core.retire_mem_precosted(pc.cost, pc.avx, true, &[rv, ra], addr, l3);
+                    mem.store(addr, m.ebytes, value)?;
+                    fr.ip += 1;
+                }
+                TOp::Alloca { pc, dst, elem_bytes, count } => {
+                    let (vc, rc) = read_op(fr, count);
+                    let size = (vc.s().saturating_mul(u64::from(*elem_bytes)) + 31) & !31;
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[rc]);
+                    let new_sp = sp.checked_sub(size).ok_or(Trap::StackOverflow)?;
+                    if new_sp < *stack_limit {
+                        return Err(Trap::StackOverflow);
+                    }
+                    *sp = new_sp;
+                    put!(*dst, RtVal::S(new_sp), done);
+                }
+                TOp::VBinK { k, m, pc, dst, a, b } => {
+                    let (va, ra) = read_op(fr, a);
+                    let (vb, rb) = read_op(fr, b);
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[ra, rb]);
+                    let (ya, yb) = (va.v(m), vb.v(m));
+                    let out = (kern.bin[*k as usize])(ya.limbs_ref(), yb.limbs_ref());
+                    put!(*dst, RtVal::V(Ymm::from_limbs(out)), done);
+                }
+                TOp::VBinL { op, m, pc, dst, a, b } => {
+                    let (va, ra) = read_op(fr, a);
+                    let (vb, rb) = read_op(fr, b);
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[ra, rb]);
+                    let (ya, yb) = (va.v(m), vb.v(m));
+                    let mut r = Ymm::ZERO;
+                    for i in 0..m.lanes as usize {
+                        r.set_lane(m.width, i, scalar_bin(*op, m, ya.lane(m.width, i), yb.lane(m.width, i))?);
+                    }
+                    put!(*dst, RtVal::V(r), done);
+                }
+                TOp::VCmpK { k, m, pc, dst, a, b } => {
+                    let (va, ra) = read_op(fr, a);
+                    let (vb, rb) = read_op(fr, b);
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[ra, rb]);
+                    let (ya, yb) = (va.v(m), vb.v(m));
+                    let out = (kern.bin[*k as usize])(ya.limbs_ref(), yb.limbs_ref());
+                    put!(*dst, RtVal::V(Ymm::from_limbs(out)), done);
+                }
+                TOp::VCmpL { pred, m, pc, dst, a, b } => {
+                    let (va, ra) = read_op(fr, a);
+                    let (vb, rb) = read_op(fr, b);
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[ra, rb]);
+                    let (ya, yb) = (va.v(m), vb.v(m));
+                    let v = RtVal::V(
+                        ya.cmp_mask(&yb, m.width, m.lanes as usize, |x, y| scalar_cmp(*pred, m, x, y)),
+                    );
+                    put!(*dst, v, done);
+                }
+                TOp::VCast { op, from, to, pc, dst, a } => {
+                    let (va, ra) = read_op(fr, a);
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[ra]);
+                    put!(*dst, vec_cast(*op, from, to, va), done);
+                }
+                TOp::Extract { m, pc, dst, vec, idx } => {
+                    let (vv, rv) = read_op(fr, vec);
+                    let (vi, ri) = read_op(fr, idx);
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[rv, ri]);
+                    let lane = (vi.s() as usize) % (m.lanes as usize);
+                    put!(*dst, RtVal::S(vv.v(m).lane(m.width, lane)), done);
+                }
+                TOp::Insert { m, pc, dst, vec, val, idx } => {
+                    let (vv, rv) = read_op(fr, vec);
+                    let (vx, rx) = read_op(fr, val);
+                    let (vi, ri) = read_op(fr, idx);
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[rv, rx, ri]);
+                    let lane = (vi.s() as usize) % (m.lanes as usize);
+                    put!(*dst, RtVal::V(vv.v(m).with_lane(m.width, lane, vx.s())), done);
+                }
+                TOp::ShufRot { k, m, pc, dst, a } => {
+                    let (va, ra) = read_op(fr, a);
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[ra]);
+                    let out = (kern.un[*k as usize])(va.v(m).limbs_ref());
+                    put!(*dst, RtVal::V(Ymm::from_limbs(out)), done);
+                }
+                TOp::Shuf { m, pc, dst, a, mask } => {
+                    let (va, ra) = read_op(fr, a);
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[ra]);
+                    put!(*dst, RtVal::V(va.v(m).shuffle(m.width, mask)), done);
+                }
+                TOp::Splat { m, full, pc, dst, val } => {
+                    let (vv, rv) = read_op(fr, val);
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[rv]);
+                    let v = if *full {
+                        Ymm::broadcast(m.width, vv.s())
+                    } else {
+                        Ymm::splat(m.width, m.lanes as usize, vv.s())
+                    };
+                    put!(*dst, RtVal::V(v), done);
+                }
+                TOp::Ptest { m, full, pc, dst, mask } => {
+                    let (vmask, rm) = read_op(fr, mask);
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[rm]);
+                    let code = if *full {
+                        // Whole-register flags: every bit of the YMM is a
+                        // live mask bit, so two 256-bit folds suffice.
+                        let y = vmask.v(m);
+                        let l = y.limbs_ref();
+                        let or = l[0] | l[1] | l[2] | l[3];
+                        let and = l[0] & l[1] & l[2] & l[3];
+                        if or == 0 {
+                            0
+                        } else if and == u64::MAX {
+                            1
+                        } else {
+                            2
+                        }
+                    } else {
+                        vmask.v(m).ptest(m.width, m.lanes as usize).code()
+                    };
+                    put!(*dst, RtVal::S(code), done);
+                }
+                TOp::Check8Br {
+                    k,
+                    m,
+                    pc_shuf,
+                    pc_xor,
+                    pc_ptest,
+                    d_shuf,
+                    d_xor,
+                    d_code,
+                    a,
+                    site,
+                    bbs,
+                    cont,
+                } => {
+                    // One read of the checked register feeds all three
+                    // fused instructions; no intermediate slot reads.
+                    let ya = fr.slots[*a as usize].v(m);
+                    let ra = fr.ready[*a as usize];
+                    let r1 = core.retire_precosted(pc_shuf.cost, pc_shuf.avx, &[ra]);
+                    let rot = (kern.un[*k as usize])(ya.limbs_ref());
+                    put!(*d_shuf, RtVal::V(Ymm::from_limbs(rot)), r1);
+                    *steps += 1;
+                    let r2 = core.retire_precosted(pc_xor.cost, pc_xor.avx, &[ra, r1]);
+                    let x = (kern.bin[kernels::BinKernel::Xor as usize])(ya.limbs_ref(), &rot);
+                    put!(*d_xor, RtVal::V(Ymm::from_limbs(x)), r2);
+                    *steps += 1;
+                    let r3 = core.retire_precosted(pc_ptest.cost, pc_ptest.avx, &[r2]);
+                    let or = x[0] | x[1] | x[2] | x[3];
+                    let and = x[0] & x[1] & x[2] & x[3];
+                    let code: usize = if or == 0 {
+                        0
+                    } else if and == u64::MAX {
+                        1
+                    } else {
+                        2
+                    };
+                    put!(*d_code, RtVal::S(code as u64), r3);
+                    *steps += 1;
+                    core.retire_branch(site << 1, code == 0, &[r3]);
+                    if code != 0 && bbs[2] != bbs[1] && bbs[2] != bbs[0] {
+                        core.retire_branch((site << 1) | 1, code == 1, &[r3]);
+                    }
+                    apply_edge(fr, phi_scratch, bbs[code]);
+                    // The trace's remaining ops (if any) belong to the
+                    // `cont` target; any other exit leaves the trace.
+                    if bbs[code] != *cont {
+                        return Ok(used);
+                    }
+                }
+                TOp::CmpCheckBr { k, m, pc_cmp, pc_ptest, d_mask, d_code, a, b, site, bbs, cont } => {
+                    let (va, ra) = read_op(fr, a);
+                    let (vb, rb) = read_op(fr, b);
+                    let r1 = core.retire_precosted(pc_cmp.cost, pc_cmp.avx, &[ra, rb]);
+                    let mask = (kern.bin[*k as usize])(va.v(m).limbs_ref(), vb.v(m).limbs_ref());
+                    put!(*d_mask, RtVal::V(Ymm::from_limbs(mask)), r1);
+                    *steps += 1;
+                    let r2 = core.retire_precosted(pc_ptest.cost, pc_ptest.avx, &[r1]);
+                    let or = mask[0] | mask[1] | mask[2] | mask[3];
+                    let and = mask[0] & mask[1] & mask[2] & mask[3];
+                    let code: usize = if or == 0 {
+                        0
+                    } else if and == u64::MAX {
+                        1
+                    } else {
+                        2
+                    };
+                    put!(*d_code, RtVal::S(code as u64), r2);
+                    *steps += 1;
+                    core.retire_branch(site << 1, code == 0, &[r2]);
+                    if code != 0 && bbs[2] != bbs[1] && bbs[2] != bbs[0] {
+                        core.retire_branch((site << 1) | 1, code == 1, &[r2]);
+                    }
+                    apply_edge(fr, phi_scratch, bbs[code]);
+                    // The trace's remaining ops (if any) belong to the
+                    // `cont` target; any other exit leaves the trace.
+                    if bbs[code] != *cont {
+                        return Ok(used);
+                    }
+                }
+                TOp::ExtractLoadSplat {
+                    em,
+                    lm,
+                    sm,
+                    full,
+                    pc_ex,
+                    pc_ld,
+                    pc_sp,
+                    d_lane,
+                    d_val,
+                    d_vec,
+                    vec,
+                    idx,
+                } => {
+                    let (vv, rv) = read_op(fr, vec);
+                    let (vi, ri) = read_op(fr, idx);
+                    let r1 = core.retire_precosted(pc_ex.cost, pc_ex.avx, &[rv, ri]);
+                    let lane = (vi.s() as usize) % (em.lanes as usize);
+                    let addr = vv.v(em).lane(em.width, lane);
+                    put!(*d_lane, RtVal::S(addr), r1);
+                    *steps += 1;
+                    let r2 = core.retire_mem_precosted(pc_ld.cost, pc_ld.avx, false, &[r1], addr, l3);
+                    let loaded = mem.load(addr, lm.ebytes)? & lm.fmask;
+                    put!(*d_val, RtVal::S(loaded), r2);
+                    *steps += 1;
+                    let r3 = core.retire_precosted(pc_sp.cost, pc_sp.avx, &[r2]);
+                    let y = if *full {
+                        Ymm::broadcast(sm.width, loaded)
+                    } else {
+                        Ymm::splat(sm.width, sm.lanes as usize, loaded)
+                    };
+                    put!(*d_vec, RtVal::V(y), r3);
+                }
+                TOp::ExtractStore { em, sm, pc_ex, pc_st, d_lane, vec, idx, val } => {
+                    let (vv, rv) = read_op(fr, vec);
+                    let (vi, ri) = read_op(fr, idx);
+                    let r1 = core.retire_precosted(pc_ex.cost, pc_ex.avx, &[rv, ri]);
+                    let lane = (vi.s() as usize) % (em.lanes as usize);
+                    let addr = vv.v(em).lane(em.width, lane);
+                    put!(*d_lane, RtVal::S(addr), r1);
+                    *steps += 1;
+                    // The store may read the just-committed extract.
+                    let (vs, rs) = read_op(fr, val);
+                    core.retire_mem_precosted(pc_st.cost, pc_st.avx, true, &[rs, r1], addr, l3);
+                    mem.store(addr, sm.ebytes, vs.s())?;
+                    fr.ip += 1;
+                }
+                TOp::VBin2K { k1, k2, m1, m2, pc1, pc2, d1, d2, a, b, o, swapped } => {
+                    let (va, ra) = read_op(fr, a);
+                    let (vb, rb) = read_op(fr, b);
+                    let r1 = core.retire_precosted(pc1.cost, pc1.avx, &[ra, rb]);
+                    let out1 = (kern.bin[*k1 as usize])(va.v(m1).limbs_ref(), vb.v(m1).limbs_ref());
+                    put!(*d1, RtVal::V(Ymm::from_limbs(out1)), r1);
+                    *steps += 1;
+                    let (vo, ro) = read_op(fr, o);
+                    let r2 = core.retire_precosted(pc2.cost, pc2.avx, &[r1, ro]);
+                    let yo = vo.v(m2);
+                    let out2 = if *swapped {
+                        (kern.bin[*k2 as usize])(yo.limbs_ref(), &out1)
+                    } else {
+                        (kern.bin[*k2 as usize])(&out1, yo.limbs_ref())
+                    };
+                    put!(*d2, RtVal::V(Ymm::from_limbs(out2)), r2);
+                }
+                TOp::VCastId { m, pc, dst, a } => {
+                    let (va, ra) = read_op(fr, a);
+                    let done = core.retire_precosted(pc.cost, pc.avx, &[ra]);
+                    put!(*dst, RtVal::V(va.v(m)), done);
+                }
+                TOp::VCast2Id { m1, pc1, pc2, d1, d2, a, .. } => {
+                    let (va, ra) = read_op(fr, a);
+                    let r1 = core.retire_precosted(pc1.cost, pc1.avx, &[ra]);
+                    let y = va.v(m1);
+                    put!(*d1, RtVal::V(y), r1);
+                    *steps += 1;
+                    let r2 = core.retire_precosted(pc2.cost, pc2.avx, &[r1]);
+                    put!(*d2, RtVal::V(y), r2);
+                }
+                TOp::CastBinK { k, cm, bm, pc_c, pc_b, d1, d2, a, o, swapped } => {
+                    let (va, ra) = read_op(fr, a);
+                    let r1 = core.retire_precosted(pc_c.cost, pc_c.avx, &[ra]);
+                    let y = va.v(cm);
+                    put!(*d1, RtVal::V(y), r1);
+                    *steps += 1;
+                    let (vo, ro) = read_op(fr, o);
+                    let r2 = core.retire_precosted(pc_b.cost, pc_b.avx, &[r1, ro]);
+                    let yo = vo.v(bm);
+                    let out = if *swapped {
+                        (kern.bin[*k as usize])(yo.limbs_ref(), y.limbs_ref())
+                    } else {
+                        (kern.bin[*k as usize])(y.limbs_ref(), yo.limbs_ref())
+                    };
+                    put!(*d2, RtVal::V(Ymm::from_limbs(out)), r2);
+                }
+                TOp::Jump { target } => {
+                    core.retire_jump();
+                    apply_edge(fr, phi_scratch, *target);
+                }
+                TOp::CondBr { site, cond, t: tb, f: fb } => {
+                    let (v, r) = read_op(fr, cond);
+                    let taken = v.s() & 1 != 0;
+                    core.retire_branch(*site, taken, &[r]);
+                    apply_edge(fr, phi_scratch, if taken { *tb } else { *fb });
+                    return Ok(used);
+                }
+                TOp::PtestBr { site, flags, m, bbs, cont } => {
+                    let (v, r) = read_op(fr, flags);
+                    let code = match m {
+                        None => v.s().min(2) as usize,
+                        Some(m) => v.v(m).ptest(m.width, m.lanes as usize).code() as usize,
+                    };
+                    core.retire_branch(site << 1, code == 0, &[r]);
+                    if code != 0 && bbs[2] != bbs[1] && bbs[2] != bbs[0] {
+                        core.retire_branch((site << 1) | 1, code == 1, &[r]);
+                    }
+                    apply_edge(fr, phi_scratch, bbs[code]);
+                    // The trace's remaining ops (if any) belong to the
+                    // `cont` target; any other exit leaves the trace.
+                    if bbs[code] != *cont {
+                        return Ok(used);
+                    }
+                }
+            }
+        }
+        Ok(used)
     }
 
     #[inline]
@@ -650,30 +1218,7 @@ impl<'p> Machine<'p> {
 
     /// Transition the current frame to `target`, evaluating its phis.
     fn take_edge(&mut self, t: usize, target: u32) {
-        let th = &mut self.threads[t];
-        let fr = th.frames.last_mut().expect("frame");
-        let from = fr.block;
-        let lb = &fr.lf.blocks[target as usize];
-        fr.prev_block = from;
-        fr.block = target;
-        fr.ip = 0;
-        fr.insts = &lb.insts;
-        fr.term = &lb.term;
-        let phis: &[LPhi] = &lb.phis;
-        if phis.is_empty() {
-            return;
-        }
-        self.phi_scratch.clear();
-        for phi in phis {
-            if let Some((_, op)) = phi.incomings.iter().find(|(p, _)| *p == from) {
-                let (v, r) = read_op(fr, op);
-                self.phi_scratch.push((phi.dst, v, r));
-            }
-        }
-        for &(dst, v, r) in &self.phi_scratch {
-            fr.slots[dst as usize] = v;
-            fr.ready[dst as usize] = r;
-        }
+        apply_edge(self.threads[t].frames.last_mut().expect("frame"), &mut self.phi_scratch, target);
     }
 
     fn exec_term(&mut self, t: usize, func_idx: u32, block_idx: u32, term: &LTerm) -> Result<(), Trap> {
@@ -869,29 +1414,7 @@ impl<'p> Machine<'p> {
             LKind::Cast { op, from, to, dst, a } => {
                 let (va, ra) = read_op(fr, a);
                 let done = core.retire(inst.class, &[ra]);
-                let v = if to.scalar {
-                    RtVal::S(scalar_cast(*op, from, to, va.s()))
-                } else if matches!(op, CastOp::Bitcast | CastOp::PtrToInt | CastOp::IntToPtr) {
-                    // Pure reinterpretation: every lane's bits survive —
-                    // essential so a corrupted lane stays visible to the
-                    // shuffle-xor-ptest check after a float->int bitcast.
-                    RtVal::V(va.v(from))
-                } else if from.lanes == to.lanes {
-                    // Lane-preserving conversion (same replication count).
-                    let src = va.v(from);
-                    let mut y = Ymm::ZERO;
-                    for i in 0..to.lanes as usize {
-                        y.set_lane(to.width, i, scalar_cast(*op, from, to, src.lane(from.width, i)));
-                    }
-                    RtVal::V(y)
-                } else {
-                    // Replication width changes (§III-D): convert lane 0,
-                    // re-replicate across the destination register.
-                    let lane0 = va.v(from).lane(from.width, 0);
-                    let c = scalar_cast(*op, from, to, lane0);
-                    RtVal::V(Ymm::splat(to.width, to.lanes as usize, c))
-                };
-                Some((*dst, v, done, to.bound))
+                Some((*dst, vec_cast(*op, from, to, va), done, to.bound))
             }
             LKind::Select { m, cond_scalar, dst, cond, a, b } => {
                 let (vc, rc) = read_op(fr, cond);
@@ -1417,12 +1940,116 @@ impl<'p> Machine<'p> {
     }
 }
 
+/// The per-instruction reference interpreter as a pluggable
+/// [`Engine`] — the baseline every other engine must match bit-for-bit.
+pub struct ReferenceEngine;
+
+/// Trace execution pinned to the portable scalar kernel table.
+pub struct TraceScalarEngine;
+
+/// Trace execution using the AVX2 kernel table when the host has AVX2
+/// (bit-identical scalar fallback otherwise).
+pub struct TraceSimdEngine;
+
+impl<'p> Engine<Machine<'p>> for ReferenceEngine {
+    type Error = Trap;
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::Reference
+    }
+
+    fn step_quantum(&self, m: &mut Machine<'p>, thread: usize) -> Result<(), Trap> {
+        m.step_quantum_ref(thread)
+    }
+}
+
+impl<'p> Engine<Machine<'p>> for TraceScalarEngine {
+    type Error = Trap;
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::TraceScalar
+    }
+
+    fn step_quantum(&self, m: &mut Machine<'p>, thread: usize) -> Result<(), Trap> {
+        m.step_quantum_trace_with(thread, kernels::table(false))
+    }
+}
+
+impl<'p> Engine<Machine<'p>> for TraceSimdEngine {
+    type Error = Trap;
+
+    fn kind(&self) -> EngineKind {
+        EngineKind::TraceSimd
+    }
+
+    fn step_quantum(&self, m: &mut Machine<'p>, thread: usize) -> Result<(), Trap> {
+        m.step_quantum_trace_with(thread, kernels::table(elzar_engine::avx2_available()))
+    }
+}
+
 #[inline]
 fn read_op(fr: &Frame, op: &LOp) -> (RtVal, u64) {
     match op {
         LOp::Slot(s) => (fr.slots[*s as usize], fr.ready[*s as usize]),
         LOp::CS(v) => (RtVal::S(*v), 0),
         LOp::CV(y) => (RtVal::V(*y), 0),
+    }
+}
+
+/// Transition `fr` to `target`, evaluating the target's phis against the
+/// block being left. Shared by the per-instruction terminator path and
+/// the trace executor so both take edges identically. `scratch` breaks
+/// the read/write borrow on the frame (phi semantics: all incomings read
+/// before any destination is written).
+fn apply_edge<'p>(fr: &mut Frame<'p>, scratch: &mut Vec<(u32, RtVal, u64)>, target: u32) {
+    let from = fr.block;
+    let lb = &fr.lf.blocks[target as usize];
+    fr.prev_block = from;
+    fr.block = target;
+    fr.ip = 0;
+    fr.insts = &lb.insts;
+    fr.term = &lb.term;
+    let phis: &[LPhi] = &lb.phis;
+    if phis.is_empty() {
+        return;
+    }
+    scratch.clear();
+    for phi in phis {
+        if let Some((_, op)) = phi.incomings.iter().find(|(p, _)| *p == from) {
+            let (v, r) = read_op(fr, op);
+            scratch.push((phi.dst, v, r));
+        }
+    }
+    for &(dst, v, r) in scratch.iter() {
+        fr.slots[dst as usize] = v;
+        fr.ready[dst as usize] = r;
+    }
+}
+
+/// Vector-domain cast, shared by the reference interpreter and the trace
+/// executor (result-value semantics only; retire is the caller's).
+fn vec_cast(op: CastOp, from: &VMeta, to: &VMeta, va: RtVal) -> RtVal {
+    if to.scalar {
+        RtVal::S(scalar_cast(op, from, to, va.s()))
+    } else if matches!(op, CastOp::Bitcast | CastOp::PtrToInt | CastOp::IntToPtr) {
+        // Pure reinterpretation: every lane's bits survive — essential so
+        // a corrupted lane stays visible to the shuffle-xor-ptest check
+        // after a float->int bitcast.
+        RtVal::V(va.v(from))
+    } else if from.lanes == to.lanes {
+        // Lane-preserving conversion (same replication count).
+        let src = va.v(from);
+        let mut y = Ymm::ZERO;
+        for i in 0..to.lanes as usize {
+            y.set_lane(to.width, i, scalar_cast(op, from, to, src.lane(from.width, i)));
+        }
+        RtVal::V(y)
+    } else {
+        // Replication width changes (§III-D): convert lane 0,
+        // re-replicate across the destination register.
+        let lane0 = va.v(from).lane(from.width, 0);
+        let c = scalar_cast(op, from, to, lane0);
+        RtVal::V(Ymm::splat(to.width, to.lanes as usize, c))
     }
 }
 
@@ -2052,5 +2679,107 @@ mod tests {
         assert_eq!(r1.cycles, r2.cycles);
         assert_eq!(r1.steps, r2.steps);
         assert_eq!(r1.eligible, r2.eligible);
+    }
+
+    /// A mixed scalar/vector/control/memory program that exercises every
+    /// trace-op family, for cross-engine comparison.
+    fn engine_probe_module() -> Module {
+        let mut m = Module::new("probe");
+        let mut b = FuncBuilder::new("main", vec![], Ty::I64);
+        let acc = b.alloca(Ty::I64, c64(1));
+        b.store(Ty::I64, c64(0), acc);
+        b.counted_loop(c64(0), c64(200), |b, i| {
+            let v4 = b.splat(i, 4);
+            let m3 = b.splat(c64(3), 4);
+            let prod = b.bin(BinOp::Mul, Ty::vec(Ty::I64, 4), v4, m3);
+            let rot = b.shuffle(prod, vec![1, 2, 3, 0]);
+            let diff = b.bin(BinOp::Xor, Ty::vec(Ty::I64, 4), prod, rot);
+            let flags = b.ptest(diff);
+            let ok = b.block("ok");
+            let bad = b.block("bad");
+            b.ptest_br(flags, ok, bad, bad);
+            b.switch_to(bad);
+            b.ret(c64(-1));
+            b.switch_to(ok);
+            let lane = b.extract(prod, 2);
+            let acc_v = b.load(Ty::I64, acc);
+            let s = b.add(acc_v, lane);
+            b.store(Ty::I64, s, acc);
+        });
+        let fin = b.load(Ty::I64, acc);
+        b.call_builtin(Builtin::OutputI64, vec![fin.into()], Ty::Void);
+        b.ret(fin);
+        m.add_func(b.finish());
+        m
+    }
+
+    #[test]
+    fn engines_agree_bit_for_bit() {
+        let m = engine_probe_module();
+        let p = Program::lower(&m);
+        let runs: Vec<RunResult> =
+            [EngineKind::Reference, EngineKind::Trace, EngineKind::TraceScalar, EngineKind::TraceSimd]
+                .iter()
+                .map(|&engine| run_program(&p, "main", &[], MachineConfig { engine, ..Default::default() }))
+                .collect();
+        let base = &runs[0];
+        assert_eq!(base.outcome, RunOutcome::Exited(3 * 199 * 200 / 2));
+        for r in &runs[1..] {
+            assert_eq!(r.outcome, base.outcome);
+            assert_eq!(r.output, base.output);
+            assert_eq!(r.cycles, base.cycles);
+            assert_eq!(r.steps, base.steps);
+            assert_eq!(r.eligible, base.eligible);
+            assert_eq!(r.counters, base.counters);
+            assert_eq!(r.thread_cycles, base.thread_cycles);
+        }
+    }
+
+    #[test]
+    fn engine_trait_objects_drive_the_machine() {
+        let m = engine_probe_module();
+        let p = Program::lower(&m);
+        let reference = run_program(
+            &p,
+            "main",
+            &[],
+            MachineConfig { engine: EngineKind::Reference, ..Default::default() },
+        );
+        for eng in
+            [&ReferenceEngine as &dyn Engine<Machine, Error = Trap>, &TraceScalarEngine, &TraceSimdEngine]
+        {
+            let mut mach = Machine::start(&p, "main", &[], MachineConfig::default());
+            // Drive thread 0 manually through the trait; the probe is
+            // single-threaded so this is the whole schedule.
+            let outcome = loop {
+                match eng.step_quantum(&mut mach, 0) {
+                    Ok(()) => {}
+                    Err(t) => break RunOutcome::Trapped(t),
+                }
+                if let Some(o) = mach.run_round() {
+                    break o;
+                }
+            };
+            let r = mach.result(outcome);
+            assert_eq!(r.outcome, reference.outcome, "engine {:?}", eng.kind());
+            assert_eq!(r.output, reference.output);
+        }
+    }
+
+    #[test]
+    fn fault_campaign_is_engine_invariant() {
+        let m = engine_probe_module();
+        let p = Program::lower(&m);
+        for index in [1, 7, 50, 301, 1203] {
+            let fault = Some(FaultPlan { index, bit: 17 });
+            let mut outcomes = vec![];
+            for engine in [EngineKind::Reference, EngineKind::TraceScalar, EngineKind::TraceSimd] {
+                let cfg = MachineConfig { engine, fault, ..Default::default() };
+                let r = run_program(&p, "main", &[], cfg);
+                outcomes.push((r.outcome, r.output.clone(), r.cycles, r.steps, r.eligible));
+            }
+            assert_eq!(outcomes[0], outcomes[1], "fault @{index}: reference vs trace-scalar");
+            assert_eq!(outcomes[0], outcomes[2], "fault @{index}: reference vs trace-simd");
+        }
     }
 }
