@@ -4,7 +4,7 @@
 //! campaigns (fig13). Writes `BENCH_serve.json` in the current
 //! directory.
 //!
-//! Eight sections:
+//! Nine sections:
 //!
 //! 1. **Scaling** — every service (memcached-A, memcached-D, apache)
 //!    served with 1 and 4 shards at a saturating offered load, so the
@@ -34,7 +34,14 @@
 //!    failover suite pins it);
 //! 8. **Availability curve** — fault-rate sweep × {restart,
 //!    warm-replica}: how each recovery mode's availability degrades as
-//!    crashes densify.
+//!    crashes densify;
+//! 9. **Scenario suite** — every named scenario preset (diurnal,
+//!    flash-crowd, lull, skew-shift, fault-storm) served by the
+//!    adaptive fleet under both scaling policies (reactive vs
+//!    predictive): goodput at a fixed SLO, tail latency, shed rate and
+//!    migration spend per scenario, with a flash-crowd headline — the
+//!    Holt forecaster pre-boots shards during the onset ramp, so the
+//!    crowd lands on a fleet that is already scaled.
 //!
 //! Every configuration boots from *one* artifact per service — the
 //! hardened program is transformed and lowered exactly once. Outcome
@@ -51,7 +58,8 @@ use elzar::{Artifact, ArtifactSet, Mode};
 use elzar_bench::report::{write_report, Json};
 use elzar_bench::{banner, campaign_workers_from_env, scale_from_env};
 use elzar_fault::Outcome;
-use elzar_serve::{ServeConfig, ServeReport, Service};
+use elzar_serve::gen::ScenarioPreset;
+use elzar_serve::{serve_scenario, ScalingPolicy, ServeConfig, ServeReport, Service};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
@@ -542,6 +550,110 @@ fn main() {
         }
     }
 
+    // ---- 9. Scenario suite: reactive vs predictive scaling -------------
+    // Each preset compiles to a deterministic stream + fault-rate
+    // schedule (a pure function of the config seed); both policies
+    // serve the *same* bytes, so every delta below is the controller's
+    // doing. The SLO is accounting-only here (no shedding): outcomes
+    // and the KV digest stay bit-identical across policies — the
+    // scenario differential suite pins that — and goodput counts the
+    // served requests that met the deadline.
+    println!("\n== scenario suite (memcached-A, adaptive fleet, reactive vs predictive) ==");
+    println!(
+        "{:>12} {:>10} {:>7} {:>7} {:>9} {:>12} {:>5} {:>5} {:>4} {:>12}",
+        "scenario", "policy", "served", "shed", "p99 us", "goodput r/s", "ups", "downs", "peak", "migr cyc"
+    );
+    let scenario_requests = env_u64("ELZAR_SCENARIO_REQUESTS", scale.pick(320, 640, 1_280));
+    const SCENARIO_GAP: u64 = 12_000; // calm load well under 1-shard capacity
+    const SCENARIO_PPM: u32 = 50_000;
+    let mut scenario_rows = Vec::new();
+    let mut scenario_headline = Json::obj();
+    {
+        let service = Service::KvA;
+        let (app, artifact) = artifact_for(service);
+        let base = ServeConfig {
+            shards: 1,
+            workers,
+            batch_size: 4,
+            snapshot_interval: 16,
+            seed: 0x5CE2_A210,
+            queue_capacity: 1 << 20,
+            adaptive_shards: true,
+            shards_max: 4,
+            control_interval: 16,
+            scale_up_backlog: 6,
+            scale_down_backlog: 1,
+            slo_cycles: SLO_CYCLES,
+            ..Default::default()
+        };
+        for preset in ScenarioPreset::all() {
+            let scenario = preset.scenario(scenario_requests, SCENARIO_GAP, SCENARIO_PPM);
+            let mut p99 = [0.0f64; 2];
+            let mut goodput = [0.0f64; 2];
+            for (i, policy) in [ScalingPolicy::Reactive, ScalingPolicy::Predictive].into_iter().enumerate() {
+                let cfg = ServeConfig { scaling_policy: policy, ..base.clone() };
+                let r = serve_scenario(service, artifact.program(), &app, &scenario, &cfg);
+                let policy_label = match policy {
+                    ScalingPolicy::Reactive => "reactive",
+                    ScalingPolicy::Predictive => "predictive",
+                };
+                let dropped = r.shed + r.rejected;
+                let shed_rate = dropped as f64 / scenario.requests().max(1) as f64;
+                p99[i] = r.quantile_us(0.99);
+                goodput[i] = r.goodput_rps();
+                println!(
+                    "{:>12} {:>10} {:>7} {:>7} {:>9.1} {:>12.0} {:>5} {:>5} {:>4} {:>12}",
+                    preset.label(),
+                    policy_label,
+                    r.served,
+                    dropped,
+                    p99[i],
+                    goodput[i],
+                    r.scale_ups,
+                    r.scale_downs,
+                    r.peak_shards,
+                    r.migration_cycles(),
+                );
+                scenario_rows.push(
+                    row(service, &cfg, &r)
+                        .field("scenario", Json::str(preset.label()))
+                        .field("policy", Json::str(policy_label))
+                        .field("slo_cycles", Json::uint(SLO_CYCLES))
+                        .field("shed", Json::uint(r.shed))
+                        .field("shed_rate", Json::num(shed_rate, 4))
+                        .field("slo_met", Json::uint(r.slo_met))
+                        .field("goodput_rps", Json::num(r.goodput_rps(), 0))
+                        .field("scale_ups", Json::uint(r.scale_ups))
+                        .field("scale_downs", Json::uint(r.scale_downs))
+                        .field("peak_shards", Json::uint(u64::from(r.peak_shards)))
+                        .field("final_shards", Json::uint(u64::from(r.final_shards)))
+                        .field("migrated_slots", Json::uint(r.migrated_slots))
+                        .field("migration_cycles", Json::uint(r.migration_cycles())),
+                );
+            }
+            if preset == ScenarioPreset::FlashCrowd {
+                println!(
+                    "{:>12} predictive vs reactive: p99 {:.1} -> {:.1} us ({:.2}x), goodput {:.0} -> {:.0} r/s",
+                    preset.label(),
+                    p99[0],
+                    p99[1],
+                    p99[0] / p99[1].max(1e-9),
+                    goodput[0],
+                    goodput[1],
+                );
+                scenario_headline = scenario_headline.field(
+                    "flash_crowd",
+                    Json::obj()
+                        .field("reactive_p99_us", Json::num(p99[0], 2))
+                        .field("predictive_p99_us", Json::num(p99[1], 2))
+                        .field("p99_speedup", Json::num(p99[0] / p99[1].max(1e-9), 3))
+                        .field("reactive_goodput_rps", Json::num(goodput[0], 0))
+                        .field("predictive_goodput_rps", Json::num(goodput[1], 0)),
+                );
+            }
+        }
+    }
+
     let json = Json::obj()
         .field("scale", Json::str(format!("{scale:?}")))
         .field("requests", Json::uint(requests))
@@ -555,7 +667,9 @@ fn main() {
         .field("elastic", Json::Arr(elastic))
         .field("goodput_curve", Json::Arr(goodput_curve))
         .field("failover", Json::Arr(failover))
-        .field("availability_curve", Json::Arr(availability_curve));
+        .field("availability_curve", Json::Arr(availability_curve))
+        .field("scenario", Json::Arr(scenario_rows))
+        .field("scenario_headline", scenario_headline);
     write_report("BENCH_serve.json", &json);
     println!("\nwrote BENCH_serve.json");
 }

@@ -282,11 +282,16 @@ pub enum EventKind {
     /// A build-pipeline pass span (`a`/`b` producer-defined; used by
     /// the wall-clock debug sink, not the virtual-time serve trace).
     Pass,
+    /// The predictive controller's per-epoch arrival-rate forecast
+    /// (`a` = forecast, `b` = smoothed level, both in the controller's
+    /// fixed-point rate units) — the instant every predictive scale
+    /// decision is conditioned on.
+    Forecast,
 }
 
 impl EventKind {
     /// All kinds, in canonical-code order.
-    pub const ALL: [EventKind; 19] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::Admit,
         EventKind::Reject,
         EventKind::Shed,
@@ -306,6 +311,7 @@ impl EventKind {
         EventKind::ScaleDown,
         EventKind::Compaction,
         EventKind::Pass,
+        EventKind::Forecast,
     ];
 
     /// Stable byte code for [`Trace::canonical_bytes`].
@@ -335,6 +341,7 @@ impl EventKind {
             EventKind::ScaleDown => "scale_down",
             EventKind::Compaction => "compaction",
             EventKind::Pass => "pass",
+            EventKind::Forecast => "forecast",
         }
     }
 }

@@ -196,6 +196,135 @@ pub(crate) fn decide(backlogs: &[(u32, usize)], up_at: usize, down_at: usize, sh
     Decision::Hold
 }
 
+// ---------------------------------------------------------------------------
+// Predictive scaling
+// ---------------------------------------------------------------------------
+
+/// Which scaling policy `serve_adaptive` runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ScalingPolicy {
+    /// Queue-occupancy hysteresis only (the PR 5 controller): react to
+    /// backlog that has already built.
+    #[default]
+    Reactive,
+    /// Reactive triggers *plus* a Holt arrival-rate forecast: pre-boot
+    /// a joiner when the [`FORECAST_HORIZON`]-epoch-ahead forecast
+    /// exceeds the smoothed level by more than 3/2 (trading a snapshot
+    /// clone for tail latency before the queue builds), and hold
+    /// retirements while that forecast exceeds the level by more than
+    /// 5/4 (don't retire into a ramp).
+    /// At constant load the forecast converges exactly onto the level,
+    /// neither trigger can fire, and every decision matches
+    /// [`ScalingPolicy::Reactive`] bit-for-bit.
+    Predictive,
+}
+
+/// Fixed-point scale for arrival rates: rates are
+/// `admits * RATE_FP / cycles`, kept in integers so the forecast is a
+/// pure function of the stream (no floats, no host variance).
+pub const RATE_FP: u64 = 1 << 20;
+
+/// Epochs of lookahead the predictive triggers evaluate the Holt
+/// forecast at (`level + FORECAST_HORIZON * trend`). Four epochs turns
+/// a sustained ramp's trend into a fire signal while per-epoch arrival
+/// jitter (a few percent of the level after smoothing) stays far below
+/// the 1.5x trigger band.
+pub const FORECAST_HORIZON: u32 = 4;
+
+/// Holt linear (double-exponential) smoothing over the per-epoch
+/// arrival rate, in integer fixed point: `α = 1/2`, `β = 1/4`, both
+/// exact shifts. Deterministic and worker-independent because its only
+/// input is the admitted-arrival rate of each epoch's stream chunk —
+/// a property of the *stream*, not of batching or host scheduling.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Forecaster {
+    level: i64,
+    trend: i64,
+    seen: bool,
+}
+
+impl Forecaster {
+    /// Fold in one epoch's observed arrival rate (fixed-point,
+    /// [`RATE_FP`] units).
+    pub fn observe(&mut self, rate: u64) {
+        let x = rate.min(i64::MAX as u64) as i64;
+        if !self.seen {
+            self.level = x;
+            self.trend = 0;
+            self.seen = true;
+            return;
+        }
+        // level' = (x + level + trend) / 2       (α = 1/2)
+        // trend' = (level' - level) / 4 + 3*trend/4   (β = 1/4)
+        let prev = self.level;
+        self.level = (x + prev + self.trend) >> 1;
+        self.trend = (self.level - prev + 3 * self.trend) >> 2;
+    }
+
+    /// One-epoch-ahead rate forecast (never negative).
+    pub fn forecast(&self) -> u64 {
+        self.forecast_ahead(1)
+    }
+
+    /// `h`-epoch-ahead rate forecast, `level + h * trend` (never
+    /// negative). The predictive triggers use
+    /// [`FORECAST_HORIZON`] epochs: with `α = 1/2` the smoothed level
+    /// tracks a step almost as fast as the one-step forecast, so the
+    /// one-step ratio barely moves — the *trend* is the ramp signal,
+    /// and a multi-epoch horizon amplifies it above the steady-state
+    /// jitter floor. At constant input the trend is exactly 0, so every
+    /// horizon forecasts exactly the level.
+    pub fn forecast_ahead(&self, h: u32) -> u64 {
+        (self.level + i64::from(h) * self.trend).max(0) as u64
+    }
+
+    /// The smoothed current rate (never negative) — the baseline the
+    /// predictive triggers compare the forecast against.
+    pub fn level(&self) -> u64 {
+        self.level.max(0) as u64
+    }
+}
+
+/// Overlay the predictive triggers on a reactive decision. Pure
+/// function of `(reactive decision, forecast, level, backlogs)`:
+///
+/// * `Hold` becomes `Up` when the forecast exceeds the smoothed level
+///   by more than 3/2 and the fleet has headroom — the deepest shard
+///   donates (same tie-break as [`decide`]) so the pre-booted joiner
+///   lands where pressure will concentrate;
+/// * `Down` becomes `Hold` while the forecast exceeds the level by
+///   more than 5/4 — never retire into a predicted ramp;
+/// * everything else passes through unchanged, so at steady state
+///   (forecast == level) predictive is bit-identical to reactive.
+pub(crate) fn adjust_predictive(
+    reactive: Decision,
+    forecast: u64,
+    level: u64,
+    backlogs: &[(u32, usize)],
+    shards_max: u32,
+) -> Decision {
+    match reactive {
+        Decision::Hold
+            if forecast * 2 > level * 3
+                && !backlogs.is_empty()
+                && backlogs.len() < shards_max.max(1) as usize =>
+        {
+            let deepest = backlogs.iter().fold(backlogs[0], |best, &b| if b.1 > best.1 { b } else { best });
+            elzar_obs::debug::emit("controller", || {
+                format!("predictive pre-boot: forecast {forecast} > 1.5x level {level} ({backlogs:?})")
+            });
+            Decision::Up { donor: deepest.0 }
+        }
+        Decision::Down { .. } if forecast * 4 > level * 5 => {
+            elzar_obs::debug::emit("controller", || {
+                format!("predictive hold: forecast {forecast} > 1.25x level {level}, no retire")
+            });
+            Decision::Hold
+        }
+        other => other,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,5 +385,112 @@ mod tests {
         assert_eq!(decide(&[(0, 0)], 10, 1, 4), Decision::Hold);
         // Tie on depth for scale-up: lowest id donates.
         assert_eq!(decide(&[(0, 12), (1, 12)], 10, 1, 4), Decision::Up { donor: 0 });
+    }
+
+    #[test]
+    fn forecaster_converges_exactly_on_constant_input() {
+        // level = c, trend = 0 is a fixed point of the update, and the
+        // first observation initializes straight onto it — so constant
+        // input yields the constant *exactly*, from the first epoch.
+        // This is what makes predictive == reactive at steady state.
+        for c in [0u64, 1, 17, RATE_FP, 37 * RATE_FP + 1_234] {
+            let mut f = Forecaster::default();
+            for _ in 0..50 {
+                f.observe(c);
+                assert_eq!(f.forecast(), c, "constant {c} must be exact");
+                assert_eq!(f.forecast_ahead(FORECAST_HORIZON), c, "every horizon is exact");
+                assert_eq!(f.level(), c);
+            }
+        }
+    }
+
+    #[test]
+    fn forecaster_is_nonnegative_under_adversarial_input() {
+        // Violent swings including drops to zero: forecast() and
+        // level() never go negative (the trend can).
+        let mut f = Forecaster::default();
+        let mut s = 0xDEAD_BEEFu64;
+        for i in 0..2_000 {
+            let x = if i % 7 == 0 { 0 } else { elzar_rng::splitmix64(&mut s) % (100 * RATE_FP) };
+            f.observe(x);
+            let _ = f.forecast(); // max(0) cast would panic on negative
+            assert!(f.forecast() <= 400 * RATE_FP, "forecast stays bounded by the input range");
+        }
+        // A cliff to zero: forecast decays to 0 and stays there.
+        for _ in 0..80 {
+            f.observe(0);
+        }
+        assert_eq!(f.forecast(), 0);
+    }
+
+    #[test]
+    fn forecaster_step_response_is_bounded_and_fast() {
+        // Step 10 → 100 (in RATE_FP units): within 8 epochs the
+        // forecast is within 2% of the new plateau, and it never
+        // overshoots past 2x the step target (Holt overshoots by design
+        // — that's the early ramp detection — but boundedly).
+        let lo = 10 * RATE_FP;
+        let hi = 100 * RATE_FP;
+        let mut f = Forecaster::default();
+        for _ in 0..20 {
+            f.observe(lo);
+        }
+        let mut settled = None;
+        for e in 0..20 {
+            f.observe(hi);
+            assert!(f.forecast() < 2 * hi, "no unbounded overshoot at epoch {e}");
+            if settled.is_none() && f.forecast().abs_diff(hi) <= hi / 50 {
+                settled = Some(e);
+            }
+        }
+        assert!(settled.expect("must settle") <= 8, "settled at {settled:?}");
+        // After settling, floor rounding may leave a sticky few-unit
+        // offset (observed: 5 of ~104M) — bounded, never drifting.
+        for _ in 0..100 {
+            f.observe(hi);
+        }
+        assert!(f.forecast().abs_diff(hi) <= 8, "steady error {}", f.forecast().abs_diff(hi));
+    }
+
+    #[test]
+    fn forecaster_sees_a_ramp_before_it_peaks() {
+        // On a linear ramp the one-step-ahead forecast runs *above*
+        // the latest observation — the whole point of pre-booting.
+        let mut f = Forecaster::default();
+        for i in 0..30u64 {
+            f.observe((10 + i * 5) * RATE_FP);
+        }
+        assert!(f.forecast() > (10 + 29 * 5) * RATE_FP, "forecast leads the ramp");
+    }
+
+    #[test]
+    fn predictive_overlay_matches_reactive_at_steady_state() {
+        let backlogs = [(0u32, 3usize), (1, 4)];
+        // forecast == level: every reactive decision passes through.
+        for d in [Decision::Hold, Decision::Up { donor: 1 }, Decision::Down { leaver: 0, recipient: 1 }] {
+            assert_eq!(adjust_predictive(d, 700, 700, &backlogs, 4), d);
+        }
+        // Ramp predicted (forecast > 1.5x level): Hold becomes a
+        // pre-boot with the deepest shard donating.
+        assert_eq!(adjust_predictive(Decision::Hold, 1_600, 1_000, &backlogs, 4), Decision::Up { donor: 1 });
+        // ...but not at the fleet ceiling.
+        assert_eq!(adjust_predictive(Decision::Hold, 1_600, 1_000, &backlogs, 2), Decision::Hold);
+        // Mild ramp (1.25x < r <= 1.5x): retirement is vetoed, no pre-boot.
+        assert_eq!(
+            adjust_predictive(Decision::Down { leaver: 1, recipient: 0 }, 1_300, 1_000, &backlogs, 4),
+            Decision::Hold
+        );
+        assert_eq!(adjust_predictive(Decision::Hold, 1_300, 1_000, &backlogs, 4), Decision::Hold);
+        // Exactly at the thresholds: strict inequality, no fire.
+        assert_eq!(adjust_predictive(Decision::Hold, 1_500, 1_000, &backlogs, 4), Decision::Hold);
+        assert_eq!(
+            adjust_predictive(Decision::Down { leaver: 1, recipient: 0 }, 1_250, 1_000, &backlogs, 4),
+            Decision::Down { leaver: 1, recipient: 0 }
+        );
+        // A reactive Up is never second-guessed.
+        assert_eq!(
+            adjust_predictive(Decision::Up { donor: 0 }, 100, 1_000, &backlogs, 4),
+            Decision::Up { donor: 0 }
+        );
     }
 }

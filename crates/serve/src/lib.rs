@@ -96,7 +96,8 @@ pub mod gen;
 pub mod histogram;
 pub mod shard;
 
-use controller::{decide, Decision, Partition, ScaleEvent, PARTITION_SLOTS};
+use controller::{adjust_predictive, decide, Decision, Forecaster, Partition, ScaleEvent, PARTITION_SLOTS};
+pub use controller::{ScalingPolicy, RATE_FP};
 use elzar_apps::ycsb::YcsbWorkload;
 use elzar_apps::{kv, web, Scale, ServeApp, FREQ_HZ};
 use elzar_fault::Outcome;
@@ -230,6 +231,21 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Per-request SEU probability in parts per million (0 = off).
     pub fault_rate_ppm: u32,
+    /// Piecewise fault-rate schedule: `(first request id, ppm)` pairs
+    /// sorted by id, each in force from its id until the next entry —
+    /// what a compiled [`gen::Scenario`] plugs in for fault storms.
+    /// Empty (the default) means the uniform
+    /// [`ServeConfig::fault_rate_ppm`] everywhere. Keyed by *global
+    /// request id*, so the fault placement stays a pure function of the
+    /// stream — invariant across shard counts, batch policies, scaling
+    /// schedules and worker counts.
+    pub fault_phases: Vec<(u64, u32)>,
+    /// Which scaling policy the elastic path runs (reactive queue
+    /// hysteresis, or reactive + Holt arrival-rate forecast that
+    /// pre-boots joiners before the queue builds). Ignored unless
+    /// [`ServeConfig::adaptive_shards`] is on. Changes
+    /// latency/throughput, never outcome counts or the table digest.
+    pub scaling_policy: ScalingPolicy,
     /// Virtual-cycle penalty for a shard restart from snapshot.
     pub restart_cycles: u64,
     /// Hang budget multiple for faulty executions (see `elzar_fault`).
@@ -267,12 +283,32 @@ impl Default for ServeConfig {
             requests: 1_000,
             seed: 0x5E12_AE5E,
             fault_rate_ppm: 0,
+            fault_phases: Vec::new(),
+            scaling_policy: ScalingPolicy::Reactive,
             // Crash detection + swapping in the pre-request snapshot
             // (usage-proportional, a few MB): ~25 us at 2 GHz.
             restart_cycles: 50_000,
             hang_factor: 20,
             machine: MachineConfig { step_limit: 10_000_000_000, ..MachineConfig::default() },
         }
+    }
+}
+
+impl ServeConfig {
+    /// The SEU rate (ppm) in force for request `id`: the last
+    /// [`ServeConfig::fault_phases`] entry at or before it, or the
+    /// uniform [`ServeConfig::fault_rate_ppm`] when the schedule is
+    /// empty or starts after `id`.
+    pub fn fault_ppm_for(&self, id: u64) -> u32 {
+        let mut ppm = self.fault_rate_ppm;
+        for &(from, p) in &self.fault_phases {
+            if from <= id {
+                ppm = p;
+            } else {
+                break;
+            }
+        }
+        ppm
     }
 }
 
@@ -320,6 +356,16 @@ impl Service {
                 gen::kv_stream(YcsbWorkload::D, cfg.requests, app.n_keys, cfg.mean_gap_cycles, cfg.seed)
             }
             Service::Web => gen::web_stream(cfg.requests, app.request_bytes, cfg.mean_gap_cycles, cfg.seed),
+        }
+    }
+
+    /// The [`gen::StreamKind`] a [`gen::Scenario`] compiles against for
+    /// this service.
+    pub fn stream_kind(self, app: &ServeApp) -> gen::StreamKind {
+        match self {
+            Service::KvA => gen::StreamKind::Kv { workload: YcsbWorkload::A, n_keys: app.n_keys },
+            Service::KvD => gen::StreamKind::Kv { workload: YcsbWorkload::D, n_keys: app.n_keys },
+            Service::Web => gen::StreamKind::Web { request_bytes: app.request_bytes },
         }
     }
 }
@@ -647,6 +693,28 @@ pub fn serve_program(service: Service, prog: &Program, app: &ServeApp, cfg: &Ser
     serve_stream(prog, app, &stream, cfg)
 }
 
+/// Serve a compiled [`gen::Scenario`]: the scenario is compiled against
+/// the service's [`gen::StreamKind`] with `cfg.seed`, its per-phase
+/// fault-rate schedule installed as [`ServeConfig::fault_phases`]
+/// (overriding any uniform `fault_rate_ppm`), and the resulting stream
+/// served through the normal static/elastic path. Ignores
+/// `cfg.requests` and `cfg.mean_gap_cycles` — the scenario owns both.
+pub fn serve_scenario(
+    service: Service,
+    prog: &Program,
+    app: &ServeApp,
+    scenario: &gen::Scenario,
+    cfg: &ServeConfig,
+) -> ServeReport {
+    let compiled = scenario.compile(service.stream_kind(app), cfg.seed);
+    let cfg = ServeConfig {
+        requests: compiled.stream.len() as u64,
+        fault_phases: compiled.fault_phases,
+        ..cfg.clone()
+    };
+    serve_stream(prog, app, &compiled.stream, &cfg)
+}
+
 /// Serve an explicit stream on an already-built program. The static
 /// path routes by key hash up front and drains every shard to
 /// completion; with [`ServeConfig::adaptive_shards`] the elastic path
@@ -733,6 +801,13 @@ fn serve_adaptive(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &Serv
     // epochs happen between shard drains, single-threaded, so this
     // ring sees the same sequence regardless of worker count.
     let mut driver = Tracer::new(DRIVER_TRACK, cfg.trace_events);
+    // Predictive policy state: Holt smoothing over each epoch's
+    // admitted-arrival rate. The rate is `chunk len / arrival span` —
+    // a property of the stream alone, so the forecast (and therefore
+    // the scaling schedule) is identical across worker counts and
+    // batch policies.
+    let mut forecaster = Forecaster::default();
+    let mut prev_t_end = 0u64;
 
     let interval = cfg.control_interval.max(1) as usize;
     for (epoch, chunk) in stream.chunks(interval).enumerate() {
@@ -791,12 +866,18 @@ fn serve_adaptive(prog: &Program, app: &ServeApp, stream: &[Request], cfg: &Serv
                 (id, guard.as_ref().expect("active shard has a runtime").backlog_at(t_end))
             })
             .collect();
-        match decide(
-            &backlogs,
-            cfg.scale_up_backlog as usize,
-            cfg.scale_down_backlog as usize,
-            cfg.shards_max,
-        ) {
+        let mut decision =
+            decide(&backlogs, cfg.scale_up_backlog as usize, cfg.scale_down_backlog as usize, cfg.shards_max);
+        if cfg.scaling_policy == ScalingPolicy::Predictive {
+            let span = (t_end - prev_t_end).max(1);
+            forecaster.observe((chunk.len() as u64).saturating_mul(RATE_FP) / span);
+            let fc = forecaster.forecast_ahead(controller::FORECAST_HORIZON);
+            let lvl = forecaster.level();
+            driver.record(EventKind::Forecast, t_end, 0, fc, lvl);
+            decision = adjust_predictive(decision, fc, lvl, &backlogs, cfg.shards_max);
+        }
+        prev_t_end = t_end;
+        match decision {
             Decision::Up { donor } => {
                 let taken = controller::split_upper_half(partition.slots_of(donor));
                 if taken != 0 {

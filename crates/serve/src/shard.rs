@@ -303,11 +303,14 @@ pub(crate) struct ShardOutput {
 }
 
 /// Fault schedule: whether request `id` takes an SEU, and if so the RNG
-/// that samples its injection point. Depends only on `(seed, id)`.
+/// that samples its injection point. Depends only on `(seed, id)` and
+/// the rate in force at `id` (`ServeConfig::fault_ppm_for` — uniform,
+/// or a scenario's per-phase storm schedule), so fault placement is
+/// invariant across shard counts, batching, scaling and workers.
 fn fault_rng_for(cfg: &ServeConfig, id: u64) -> Option<DetRng> {
     let mut s = cfg.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let mut rng = DetRng::seed_from_u64(splitmix64(&mut s));
-    (rng.below(1_000_000) < u64::from(cfg.fault_rate_ppm)).then_some(rng)
+    (rng.below(1_000_000) < u64::from(cfg.fault_ppm_for(id))).then_some(rng)
 }
 
 /// A resident serving shard that can be fed incrementally (one

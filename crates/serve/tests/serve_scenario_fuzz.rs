@@ -1,0 +1,134 @@
+//! Deterministic fuzz over random scenario compositions: 32
+//! `elzar_rng`-seeded random phase sequences (random steady/ramp/burst
+//! loads, fault storms, key rotations, zero-length phases at random cut
+//! points) each served under a seed-derived random configuration
+//! (policy, batch policy, replicas, compaction, divergence checks,
+//! shedding) — run twice at w1 and once at w4, asserting:
+//!
+//! * rerun determinism: two identical runs produce bit-identical
+//!   reports, canonical trace bytes included;
+//! * worker invariance: w1 == w4 on everything;
+//! * totality + conservation: every request is served, rejected or
+//!   shed, and every shard's `CycleLedger` conserves against its
+//!   lifetime (verified inside report assembly — a violation panics);
+//! * no panic anywhere across scale-up/down, failover, compaction and
+//!   shedding interleavings.
+//!
+//! Failures do not stop the sweep: every failing seed is collected and
+//! printed, so a regression can be replayed as
+//! `Scenario::random(seed, ...)` with the config bits printed next to
+//! it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use elzar::{Artifact, Mode};
+use elzar_apps::Scale;
+use elzar_rng::DetRng;
+use elzar_serve::gen::Scenario;
+use elzar_serve::{serve_scenario, ScalingPolicy, ServeConfig, ServeReport, Service};
+
+const SEEDS: u64 = 32;
+const REQUESTS: u64 = 128;
+const BASE_GAP: u64 = 6_000; // phases land on both sides of 1-shard capacity
+const BASE_PPM: u32 = 60_000;
+
+/// A seed-derived random serving configuration exercising every
+/// orthogonal runtime feature the scenario can interleave with.
+fn fuzz_cfg(seed: u64) -> ServeConfig {
+    let mut rng = DetRng::seed_from_u64(seed ^ 0xC0F1_6BA5_EED5_EED5);
+    let shed = rng.below(2) == 1;
+    ServeConfig {
+        shards: 1,
+        workers: 1,
+        batch_size: 1 + rng.below(4) as u32,
+        batch_adaptive: rng.below(2) == 1,
+        batch_max: 16,
+        snapshot_interval: [4u32, 8, 16][rng.below(3) as usize],
+        snapshot_bytes_per_cycle: 1024, // keep clone charges inside the SLO
+        seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xF0CC_5EED,
+        queue_capacity: 1 << 20,
+        adaptive_shards: true,
+        shards_max: 2 + rng.below(3) as u32,
+        control_interval: [12u32, 16, 24][rng.below(3) as usize],
+        scale_up_backlog: 4 + rng.below(4) as u32,
+        scale_down_backlog: 1,
+        scaling_policy: if rng.below(2) == 1 { ScalingPolicy::Predictive } else { ScalingPolicy::Reactive },
+        slo_cycles: if shed { 60_000 } else { 0 },
+        shed_slo: shed,
+        replicas: rng.below(2) == 1,
+        compaction: rng.below(2) == 1,
+        divergence_check_interval: [0u32, 7][rng.below(2) as usize],
+        trace_events: 64,
+        ..Default::default()
+    }
+}
+
+fn bit_identical(tag: &str, a: &ServeReport, b: &ServeReport) {
+    assert_eq!(a.served, b.served, "{tag}: served");
+    assert_eq!(a.rejected, b.rejected, "{tag}: rejected");
+    assert_eq!(a.shed, b.shed, "{tag}: shed");
+    assert_eq!(a.injected, b.injected, "{tag}: injected");
+    assert_eq!(a.outcomes, b.outcomes, "{tag}: outcomes");
+    assert_eq!(a.restarts, b.restarts, "{tag}: restarts");
+    assert_eq!(a.promotions, b.promotions, "{tag}: promotions");
+    assert_eq!(a.compactions, b.compactions, "{tag}: compactions");
+    assert_eq!(a.divergence_alarms, b.divergence_alarms, "{tag}: divergence alarms");
+    assert_eq!(a.makespan_cycles, b.makespan_cycles, "{tag}: makespan");
+    assert_eq!(a.hist, b.hist, "{tag}: histogram");
+    assert_eq!(a.table_digest, b.table_digest, "{tag}: table digest");
+    assert_eq!(a.events, b.events, "{tag}: scaling events");
+    assert_eq!(a.ledger, b.ledger, "{tag}: cycle ledger");
+    assert_eq!(a.trace.canonical_bytes(), b.trace.canonical_bytes(), "{tag}: trace bytes");
+}
+
+#[test]
+fn random_compositions_are_deterministic_conserved_and_panic_free() {
+    let service = Service::KvA;
+    let app = service.app(Scale::Tiny);
+    let artifact = Artifact::build(&app.module, &Mode::elzar_default());
+    let mut failures: Vec<(u64, String)> = Vec::new();
+
+    for seed in 0..SEEDS {
+        let scenario = Scenario::random(seed, REQUESTS, BASE_GAP, BASE_PPM);
+        let cfg = fuzz_cfg(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Run twice at w1 (rerun determinism incl. ledger checks
+            // inside merge), once at w4 (worker invariance).
+            let a = serve_scenario(service, artifact.program(), &app, &scenario, &cfg);
+            let b = serve_scenario(service, artifact.program(), &app, &scenario, &cfg);
+            let c = serve_scenario(
+                service,
+                artifact.program(),
+                &app,
+                &scenario,
+                &ServeConfig { workers: 4, ..cfg.clone() },
+            );
+            assert_eq!(
+                a.served + a.rejected + a.shed,
+                REQUESTS,
+                "seed {seed}: report must account for every request"
+            );
+            bit_identical(&format!("seed {seed} rerun"), &a, &b);
+            bit_identical(&format!("seed {seed} w1-vs-w4"), &a, &c);
+        }));
+        if let Err(e) = outcome {
+            let msg = e
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "non-string panic".to_string());
+            eprintln!(
+                "FUZZ FAILURE seed={seed}: {msg}\n  replay: Scenario::random({seed}, {REQUESTS}, \
+                 {BASE_GAP}, {BASE_PPM}) with cfg {:?}",
+                cfg
+            );
+            failures.push((seed, msg));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {SEEDS} fuzz seeds failed: {:?}",
+        failures.len(),
+        failures.iter().map(|(s, _)| *s).collect::<Vec<_>>()
+    );
+}
