@@ -130,6 +130,12 @@ pub struct CampaignConfig {
     /// identical either way (execution is deterministic); this is a
     /// pure wall-clock optimization, on by default.
     pub share_prefixes: bool,
+    /// Advance checkpoint bases on the `elzar_sim` discrete-event core
+    /// (the default): each fault-free round is a scheduled wake-up at
+    /// the base machine's cycle count. `false` runs the legacy
+    /// hand-rolled while-loop — kept for one PR so the old-vs-new
+    /// equality test can pin both paths outcome-identical.
+    pub event_core: bool,
 }
 
 impl Default for CampaignConfig {
@@ -141,6 +147,7 @@ impl Default for CampaignConfig {
             hang_factor: 20,
             machine: MachineConfig::default(),
             share_prefixes: true,
+            event_core: true,
         }
     }
 }
@@ -523,7 +530,7 @@ pub fn run_plans(
                                 mc.fault = None;
                                 Machine::start(prog, "main", input, mc)
                             });
-                            inject_from_checkpoint(m, golden, index, bit, cfg.hang_factor)
+                            inject_from_checkpoint(m, golden, index, bit, cfg.hang_factor, cfg.event_core)
                         } else {
                             inject_once(prog, input, golden, index, bit, &cfg.machine, cfg.hang_factor)
                         };
@@ -555,14 +562,61 @@ fn inject_from_checkpoint(
     index: u64,
     bit: u32,
     hang_factor: u64,
+    event_core: bool,
 ) -> Outcome {
-    while base.eligible_so_far() + base.eligible_round_bound() < index {
-        if base.run_round().is_some() {
-            unreachable!("base finished with eligible < plan index <= golden.eligible");
+    if event_core {
+        // The event core: each fault-free round is a wake-up at the
+        // base machine's current cycle count; the component goes
+        // quiescent once the next round could reach the injection
+        // point. Round-for-round identical to the legacy loop below
+        // (pinned by `checkpoint_advancement_is_core_invariant`).
+        let mut sched = elzar_sim::Scheduler::new(elzar_sim::TieBreak::Canonical);
+        sched.add(CheckpointAdvance { base: &mut *base, target: index });
+        sched.run(&mut ());
+    } else {
+        while base.eligible_so_far() + base.eligible_round_bound() < index {
+            if base.run_round().is_some() {
+                unreachable!("base finished with eligible < plan index <= golden.eligible");
+            }
         }
     }
     debug_assert!(base.eligible_so_far() < index);
     inject_one(base.clone(), golden, index, bit, hang_factor).0
+}
+
+/// The campaign driver's checkpoint advancement as an `elzar_sim`
+/// component: virtual time is the base machine's own cycle count, one
+/// tick per fault-free interpreter round, quiescent as soon as the
+/// next round's eligible-instruction bound could cross the target
+/// injection index.
+struct CheckpointAdvance<'m, 'p> {
+    base: &'m mut Machine<'p>,
+    target: u64,
+}
+
+impl elzar_sim::Component<()> for CheckpointAdvance<'_, '_> {
+    fn label(&self) -> &'static str {
+        "campaign checkpoint advance"
+    }
+
+    fn next_tick(&self) -> u64 {
+        let bound = elzar_sim::vt_add(
+            "campaign checkpoint eligibility",
+            self.base.eligible_so_far(),
+            self.base.eligible_round_bound(),
+        );
+        if bound < self.target {
+            self.base.cycles_so_far()
+        } else {
+            elzar_sim::NEVER
+        }
+    }
+
+    fn tick(&mut self, _now: u64, _sys: &mut ()) {
+        if self.base.run_round().is_some() {
+            unreachable!("base finished with eligible < plan index <= golden.eligible");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -625,6 +679,29 @@ mod tests {
         let a = campaign(&Mode::elzar_default(), 40, 99);
         let b = campaign(&Mode::elzar_default(), 40, 99);
         assert_eq!(a.counts, b.counts);
+    }
+
+    /// Old-vs-new checkpoint advancement: the legacy while-loop and
+    /// the `elzar_sim` scheduled component must advance base machines
+    /// identically, so campaign outcomes are bit-identical across the
+    /// two cores (and across prefix sharing, which exercises both the
+    /// checkpoint and the from-scratch paths).
+    #[test]
+    fn checkpoint_advancement_is_core_invariant() {
+        let prog = build(&kernel(), &Mode::elzar_default());
+        let run = |event_core: bool, share_prefixes: bool| {
+            run_campaign(
+                &prog,
+                &[],
+                &CampaignConfig { runs: 40, seed: 11, event_core, share_prefixes, ..Default::default() },
+            )
+        };
+        let new = run(true, true);
+        let old = run(false, true);
+        assert_eq!(new.counts, old.counts, "event-core checkpoint advancement changed outcomes");
+        assert_eq!((new.eligible, new.golden_cycles), (old.eligible, old.golden_cycles));
+        let scratch = run(true, false);
+        assert_eq!(new.counts, scratch.counts, "prefix sharing changed outcomes");
     }
 
     #[test]

@@ -183,9 +183,15 @@ impl CycleLedger {
         CycleLedger::default()
     }
 
-    /// Attribute `cycles` to `cat`.
+    /// Attribute `cycles` to `cat`. A category sum that would wrap
+    /// `u64` is a virtual-time corruption (every downstream conservation
+    /// check would silently pass against garbage), so it panics loudly,
+    /// naming the category.
     pub fn charge(&mut self, cat: Category, cycles: u64) {
-        self.cells[cat.index()] += cycles;
+        let cell = &mut self.cells[cat.index()];
+        *cell = cell.checked_add(cycles).unwrap_or_else(|| {
+            panic!("virtual-time overflow in ledger category {}: {cell} + {cycles} wraps u64", cat.label())
+        });
     }
 
     /// Cycles attributed to `cat` so far.
@@ -205,10 +211,14 @@ impl CycleLedger {
         self.cells[Category::FOREGROUND..].iter().sum()
     }
 
-    /// Cell-wise sum with another ledger (report aggregation).
+    /// Cell-wise sum with another ledger (report aggregation). Panics
+    /// on `u64` wraparound, naming the overflowing category — same
+    /// rationale as [`CycleLedger::charge`].
     pub fn merge(&mut self, other: &CycleLedger) {
-        for (a, b) in self.cells.iter_mut().zip(other.cells) {
-            *a += b;
+        for (cat, (a, b)) in Category::ALL.iter().zip(self.cells.iter_mut().zip(other.cells)) {
+            *a = a.checked_add(b).unwrap_or_else(|| {
+                panic!("virtual-time overflow merging ledger category {}: {a} + {b} wraps u64", cat.label())
+            });
         }
     }
 
@@ -559,6 +569,34 @@ mod tests {
         assert_eq!(a.get(Category::Execute), 100);
         assert_eq!(a.get(Category::Snapshot), 5);
         assert!(a.verify(135).is_ok());
+    }
+
+    /// A shard whose life starts near `u64::MAX` drives every category
+    /// sum toward the wraparound edge — the regression the checked
+    /// ledger arithmetic exists for: the panic must fire (instead of a
+    /// silent wrap to ~0 that `verify` would then "conserve") and must
+    /// name the overflowing category.
+    #[test]
+    fn ledger_overflow_panics_naming_the_category() {
+        let msg_of =
+            |err: Box<dyn std::any::Any + Send>| err.downcast_ref::<String>().cloned().unwrap_or_default();
+
+        let mut a = CycleLedger::new();
+        a.charge(Category::Idle, u64::MAX - 5); // spawned_at near u64::MAX
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut a = a;
+            a.charge(Category::Idle, 6);
+        }))
+        .unwrap_err();
+        let msg = msg_of(err);
+        assert!(msg.contains("idle"), "charge panic must name the category: {msg}");
+        assert!(msg.contains("virtual-time overflow"), "{msg}");
+
+        let mut b = CycleLedger::new();
+        b.charge(Category::Idle, 6);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || a.merge(&b))).unwrap_err();
+        let msg = msg_of(err);
+        assert!(msg.contains("idle"), "merge panic must name the category: {msg}");
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use elzar_apps::ycsb::{self, YcsbWorkload};
 use elzar_rng::{splitmix64, DetRng};
+use elzar_sim::vt_add;
 
 /// One request: identity, arrival time, routing key and the encoded
 /// input-segment payload its serve entry consumes.
@@ -62,7 +63,7 @@ pub fn rescale_gaps(stream: &mut [Request], from: usize, num: u64, den: u64) {
     let gaps: Vec<u64> = (1..stream.len()).map(|i| stream[i].arrival - stream[i - 1].arrival).collect();
     for i in 1..stream.len() {
         let gap = if i >= from.max(1) { (gaps[i - 1] * num / den).max(1) } else { gaps[i - 1] };
-        stream[i].arrival = stream[i - 1].arrival + gap;
+        stream[i].arrival = vt_add("gen rescale arrival clock", stream[i - 1].arrival, gap);
     }
 }
 
@@ -81,7 +82,7 @@ pub fn kv_stream(w: YcsbWorkload, requests: u64, n_keys: u64, mean_gap: u64, see
     ops.iter()
         .enumerate()
         .map(|(i, op)| {
-            t += gap(&mut rng, mean_gap);
+            t = vt_add("gen kv arrival clock", t, gap(&mut rng, mean_gap));
             Request {
                 id: i as u64,
                 arrival: t,
@@ -99,7 +100,7 @@ pub fn web_stream(requests: u64, request_bytes: usize, mean_gap: u64, seed: u64)
     let mut t = 0u64;
     (0..requests)
         .map(|i| {
-            t += gap(&mut rng, mean_gap);
+            t = vt_add("gen web arrival clock", t, gap(&mut rng, mean_gap));
             let payload: Box<[u8]> = (0..request_bytes).map(|_| (rng.next_u64() >> 32) as u8).collect();
             // Route by the same hash the server's hardened parse
             // computes over the request prefix.
@@ -261,7 +262,7 @@ impl Scenario {
                         (from as i64 + (to as i64 - from as i64) * i.min(span) as i64 / span as i64) as u64
                     }
                 };
-                t += gap(&mut rng, mean);
+                t = vt_add("gen scenario arrival clock", t, gap(&mut rng, mean));
                 let (key, payload): (u64, Box<[u8]>) = match kind {
                     StreamKind::Kv { n_keys, .. } => {
                         let mut op = ops[id as usize];

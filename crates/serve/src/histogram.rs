@@ -245,6 +245,63 @@ mod tests {
         }
     }
 
+    /// The merge-semantics property: for any partition of a sample
+    /// set into `k` histograms (empty parts included), merging the
+    /// parts in any order is indistinguishable from recording the
+    /// concatenated samples into one histogram — every quantile on
+    /// the grid, the exact count/sum/max carries, and the
+    /// `bucket_upper(i).min(self.max)` tail clamp all agree.
+    #[test]
+    fn merged_quantiles_equal_concatenated_quantiles() {
+        use elzar_rng::DetRng;
+        let qs = [0.0, 0.5, 0.9, 0.99, 0.999, 1.0];
+        let mut rng = DetRng::seed_from_u64(0x3E26_E5EE_D001);
+        for round in 0..16 {
+            let parts = 1 + rng.below(6) as usize;
+            let n = rng.below(4_000);
+            let mut histograms = vec![LatencyHistogram::new(); parts];
+            let mut concat = LatencyHistogram::new();
+            for _ in 0..n {
+                // Heavy-tailed samples spanning every octave, with the
+                // extremes (0 and u64::MAX) mixed in so the tail clamp
+                // and the max carry are both exercised.
+                let v = match rng.below(64) {
+                    0 => 0,
+                    1 => u64::MAX,
+                    2 => u64::MAX - 1,
+                    _ => {
+                        let magnitude = rng.below(60);
+                        (1u64 << magnitude) + rng.below(1 + (1u64 << magnitude))
+                    }
+                };
+                histograms[rng.below(parts as u64) as usize].record(v);
+                concat.record(v);
+            }
+            // Merge in a seeded random order (merge must be
+            // order-insensitive: it is a sum of per-bucket counts).
+            let mut merged = LatencyHistogram::new();
+            while !histograms.is_empty() {
+                let part = histograms.swap_remove(rng.below(histograms.len() as u64) as usize);
+                merged.merge(&part);
+            }
+            assert_eq!(merged, concat, "round {round}: merged state != concatenated state");
+            assert_eq!(merged.count(), n, "round {round}: count carry");
+            assert_eq!(merged.max(), concat.max(), "round {round}: max carry");
+            assert_eq!(merged.mean(), concat.mean(), "round {round}: sum carry (via mean)");
+            for &q in &qs {
+                assert_eq!(
+                    merged.quantile(q),
+                    concat.quantile(q),
+                    "round {round}: quantile({q}) drifted after merge"
+                );
+            }
+            // The tail clamp survives the merge: no quantile may
+            // report past the true maximum, and q=1 reports it exactly.
+            assert!(merged.quantile(0.999) <= merged.max(), "round {round}: tail clamp");
+            assert_eq!(merged.quantile(1.0), merged.max(), "round {round}: q=1 is the exact max");
+        }
+    }
+
     #[test]
     fn empty_histogram_is_benign() {
         let h = LatencyHistogram::new();

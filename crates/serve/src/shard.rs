@@ -123,6 +123,7 @@ use elzar_apps::{kv, ServeApp};
 use elzar_fault::{inject_probe, replay_suffix, replay_suffix_where, GoldenRun, OutcomeClass};
 use elzar_obs::{debug, Category, CycleLedger, EventKind, Tracer};
 use elzar_rng::{splitmix64, DetRng};
+use elzar_sim::{vt_add, vt_mul, Component, NEVER};
 use elzar_vm::{Machine, Program, RunOutcome};
 use std::collections::VecDeque;
 
@@ -500,7 +501,7 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
             u64::from(taken.count_ones()),
             delta.len() as u64,
         );
-        self.clock += cycles;
+        self.clock = vt_add("shard migration clock", self.clock, cycles);
         self.mirror_replay(&delta, app);
         self.suffix.extend(delta);
         self.maybe_snapshot(cfg);
@@ -615,7 +616,7 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
             let cost = ShardRuntime::snap_cost(&self.m, cfg);
             self.stats.ledger.charge(Category::Snapshot, cost);
             self.tracer.record(EventKind::Snapshot, self.clock, cost, self.stats.snapshots, 0);
-            self.clock += cost;
+            self.clock = vt_add("shard snapshot clock", self.clock, cost);
         }
     }
 
@@ -706,12 +707,48 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
     /// order) to completion. Returns the requests that committed, in
     /// commit order — the driver appends them to the global per-slot
     /// committed log that scale-down migration replays.
+    ///
+    /// This is the legacy hand-rolled time loop; the event core drives
+    /// the identical [`ShardRuntime::drain_once`] body from a
+    /// scheduled [`ShardDrain`] wake-up per drain instead, so both
+    /// paths commit bit-identical state (pinned by the old-vs-new
+    /// differential suite).
     pub fn feed(&mut self, requests: &[&'a Request], app: &ServeApp, cfg: &ServeConfig) -> Vec<&'a Request> {
-        let interval = cfg.snapshot_interval.max(1) as usize;
         let mut committed: Vec<&'a Request> = Vec::new();
-
         let mut i = 0;
         while i < requests.len() {
+            self.drain_once(requests, &mut i, &mut committed, app, cfg);
+        }
+        committed
+    }
+
+    /// The instant this shard would start its next drain given the
+    /// remaining `requests[i..]`: it picks up work when free *and* the
+    /// next request has arrived. [`NEVER`](elzar_sim::NEVER) once the
+    /// queue is exhausted — this is the [`ShardDrain`] wake-up rule.
+    pub(crate) fn next_drain_at(&self, requests: &[&'a Request], i: usize) -> u64 {
+        match requests.get(i) {
+            Some(req) => self.clock.max(req.arrival),
+            None => NEVER,
+        }
+    }
+
+    /// One drain: form a single batch starting at `requests[*i]`,
+    /// execute it as fault-free/solo segments, commit, snapshot as the
+    /// interval dictates, and advance `*i` past every request consumed
+    /// (admitted, rejected or shed). One call is one scheduled event on
+    /// the event core; the legacy [`ShardRuntime::feed`] loop calls it
+    /// back-to-back until the queue drains.
+    pub(crate) fn drain_once(
+        &mut self,
+        requests: &[&'a Request],
+        i: &mut usize,
+        committed: &mut Vec<&'a Request>,
+        app: &ServeApp,
+        cfg: &ServeConfig,
+    ) {
+        let interval = cfg.snapshot_interval.max(1) as usize;
+        {
             // Batch formation: drain everything that has arrived by the
             // instant the shard picks up work, up to the per-drain cap.
             // Admission is checked at each request's own arrival
@@ -721,11 +758,11 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
             let mut start = 0u64;
             let mut cap = 1usize;
             let mut snap_cost = 0u64;
-            while i < requests.len() {
-                let req = requests[i];
+            while *i < requests.len() {
+                let req = requests[*i];
                 if batch.is_empty() {
                     start = self.clock.max(req.arrival);
-                    let depth = requests[i..].iter().take_while(|r| r.arrival <= start).count();
+                    let depth = requests[*i..].iter().take_while(|r| r.arrival <= start).count();
                     cap = self.batch_cap(cfg, depth);
                     // Resident bytes only change by executing, so the
                     // clone-cost term is constant across one formation.
@@ -739,7 +776,7 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                 if self.inflight.len() + batch.len() >= cfg.queue_capacity {
                     self.stats.rejected += 1;
                     self.tracer.record(EventKind::Reject, req.arrival, 0, req.id, 0);
-                    i += 1;
+                    *i += 1;
                     continue;
                 }
                 if cfg.shed_slo && cfg.slo_cycles > 0 {
@@ -750,20 +787,28 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                     // charges a worst-case clone pause.
                     let pos1 = batch.len() as u64 + 1;
                     let snaps = 1 + (self.suffix.len() as u64 + pos1) / interval as u64;
-                    let predicted = start + pos1 * self.est_margin() + snaps * snap_cost;
+                    let predicted = vt_add(
+                        "shard shed predictor",
+                        start,
+                        vt_add(
+                            "shard shed predictor",
+                            vt_mul("shard shed predictor", pos1, self.est_margin()),
+                            vt_mul("shard shed predictor", snaps, snap_cost),
+                        ),
+                    );
                     if predicted - req.arrival > cfg.slo_cycles {
                         self.stats.shed += 1;
                         self.tracer.record(EventKind::Shed, req.arrival, 0, req.id, 0);
-                        i += 1;
+                        *i += 1;
                         continue;
                     }
                 }
                 self.tracer.record(EventKind::Admit, req.arrival, 0, req.id, 0);
                 batch.push(req);
-                i += 1;
+                *i += 1;
             }
             if batch.is_empty() {
-                continue;
+                return;
             }
             // The gap between the shard going free and this drain's
             // start is the only place lifetime cycles pass unoccupied.
@@ -914,7 +959,7 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                             _ => faulty.cycles.max(1),
                         };
                     }
-                    let completion = t + service;
+                    let completion = vt_add("shard solo completion", t, service);
                     self.stats.ledger.charge(Category::Execute, service - detour);
                     self.tracer.record(EventKind::Execute, t, service, req.id, 1);
                     self.account_completion(req, completion, cfg);
@@ -955,7 +1000,7 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                     self.tracer.record(EventKind::Execute, t, cycles, seg[0].id, seg.len() as u64);
                     let mut prev_hb = 0u64;
                     for (req, &hb) in seg.iter().zip(&r.heartbeat_cycles) {
-                        let completion = t + hb.max(1);
+                        let completion = vt_add("shard heartbeat offset", t, hb.max(1));
                         self.account_completion(req, completion, cfg);
                         self.tracer.record(
                             EventKind::Commit,
@@ -969,7 +1014,7 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
                     }
                     self.stats.ledger.charge(Category::Execute, cycles);
                     self.stats.batches += 1;
-                    t += cycles;
+                    t = vt_add("shard batch clock", t, cycles);
                     for req in seg {
                         self.suffix.push(&req.payload);
                         self.applied[slot_of(req.key) as usize] += 1;
@@ -985,7 +1030,6 @@ impl<'p, 'a> ShardRuntime<'p, 'a> {
             }
             self.clock = t;
         }
-        committed
     }
 
     /// Finish the shard: close the cycle ledger (the tail between the
@@ -1028,4 +1072,56 @@ pub(crate) fn drain_shard(
     let mut rt = ShardRuntime::boot(prog, app, cfg, shard);
     rt.feed(requests, app, cfg);
     rt.into_output(app, &|key| shard_of(key, shards) == shard)
+}
+
+/// A shard on the `elzar_sim` event core: each wake-up is one drain
+/// ([`ShardRuntime::drain_once`]) at the instant the shard would pick
+/// up its next pending request ([`ShardRuntime::next_drain_at`]).
+///
+/// Arrivals, batch drains, snapshots, heartbeats and failover
+/// promotion all commit *inside* the drain event, in the same order
+/// the legacy [`ShardRuntime::feed`] loop commits them — which is why
+/// the old-vs-new differential holds bit-identically: the scheduler
+/// only decides *which shard* drains next, and shards share no state.
+pub(crate) struct ShardDrain<'p, 'a, 's> {
+    rt: &'s mut ShardRuntime<'p, 'a>,
+    requests: &'s [&'a Request],
+    i: usize,
+    /// Commits in commit order, handed back to the driver via
+    /// [`Scheduler::into_components`](elzar_sim::Scheduler::into_components).
+    pub committed: Vec<&'a Request>,
+    app: &'s ServeApp,
+    cfg: &'s ServeConfig,
+}
+
+impl<'p, 'a, 's> ShardDrain<'p, 'a, 's> {
+    pub fn new(
+        rt: &'s mut ShardRuntime<'p, 'a>,
+        requests: &'s [&'a Request],
+        app: &'s ServeApp,
+        cfg: &'s ServeConfig,
+    ) -> Self {
+        ShardDrain { rt, requests, i: 0, committed: Vec::new(), app, cfg }
+    }
+
+    /// The wrapped shard's id (for committed-log scatter in id order).
+    pub fn shard(&self) -> u32 {
+        self.rt.stats.shard
+    }
+}
+
+impl<'p, 'a, 's> Component<()> for ShardDrain<'p, 'a, 's> {
+    fn label(&self) -> &'static str {
+        "serve shard drain"
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.rt.next_drain_at(self.requests, self.i)
+    }
+
+    fn tick(&mut self, _now: u64, _sys: &mut ()) {
+        if self.i < self.requests.len() {
+            self.rt.drain_once(self.requests, &mut self.i, &mut self.committed, self.app, self.cfg);
+        }
+    }
 }

@@ -1,0 +1,196 @@
+//! Old-vs-new engine differential for the discrete-event core
+//! (`elzar_sim`):
+//!
+//! * the legacy hand-rolled serving loops (`event_core: false`) and the
+//!   `elzar_sim` scheduler (`event_core: true`) are *bit-identical* —
+//!   outcome counts, the KV digest, p50/p99/p999 latency quantiles,
+//!   ledger conservation and the canonical trace bytes — for every
+//!   scenario preset × scaling policy × worker count, and for the
+//!   static path across shard counts;
+//! * per-shard cycle ledgers conserve against shard lifetimes on both
+//!   engines (the event core charges through the exact same
+//!   `drain_once` body, so a leak on either side is a real bug);
+//! * virtual-time overflow dies loudly: a stream whose arrivals sit
+//!   near `u64::MAX` panics naming the shard component that would have
+//!   wrapped, instead of silently lapping the clock.
+
+use elzar::{Artifact, Mode};
+use elzar_apps::Scale;
+use elzar_serve::gen::ScenarioPreset;
+use elzar_serve::{
+    serve_program, serve_scenario, serve_stream, ScalingPolicy, ServeConfig, ServeReport, Service,
+};
+
+const REQUESTS: u64 = 320;
+const BASE_GAP: u64 = 12_000;
+const BASE_PPM: u32 = 50_000;
+
+/// Full-report equality, quantile grid included. `tag` names the run
+/// so a divergence points at the exact preset/policy/worker cell.
+fn bit_identical(tag: &str, legacy: &ServeReport, event: &ServeReport) {
+    assert_eq!(legacy.served, event.served, "{tag}: served");
+    assert_eq!(legacy.rejected, event.rejected, "{tag}: rejected");
+    assert_eq!(legacy.shed, event.shed, "{tag}: shed");
+    assert_eq!(legacy.injected, event.injected, "{tag}: injected");
+    assert_eq!(legacy.outcomes, event.outcomes, "{tag}: outcome counts");
+    assert_eq!(legacy.restarts, event.restarts, "{tag}: restarts");
+    assert_eq!(legacy.makespan_cycles, event.makespan_cycles, "{tag}: makespan");
+    for q in [0.5, 0.99, 0.999] {
+        assert_eq!(legacy.quantile_cycles(q), event.quantile_cycles(q), "{tag}: p{} quantile", q * 1000.0);
+    }
+    assert_eq!(legacy.hist, event.hist, "{tag}: latency histogram");
+    assert_eq!(legacy.table_digest, event.table_digest, "{tag}: KV table digest");
+    assert_eq!(legacy.events, event.events, "{tag}: scaling event log");
+    assert_eq!(legacy.ledger, event.ledger, "{tag}: cycle ledger");
+    assert_eq!(legacy.peak_shards, event.peak_shards, "{tag}: peak shards");
+    assert_eq!(legacy.final_shards, event.final_shards, "{tag}: final shards");
+    assert_eq!(legacy.trace.canonical_bytes(), event.trace.canonical_bytes(), "{tag}: canonical trace bytes");
+    for (report, engine) in [(legacy, "legacy"), (event, "event core")] {
+        for s in &report.shards {
+            s.ledger
+                .verify(s.lifetime_cycles)
+                .unwrap_or_else(|e| panic!("{tag}/{engine}: shard {} leaks cycles: {e}", s.shard));
+        }
+    }
+}
+
+/// The static serving path: same program, same stream, both engines —
+/// across shard and worker counts, with tracing on so the canonical
+/// byte streams are compared too.
+#[test]
+fn static_path_engines_are_bit_identical() {
+    for service in [Service::KvA, Service::Web] {
+        let app = service.app(Scale::Tiny);
+        let artifact = Artifact::build(&app.module, &Mode::elzar_default());
+        for shards in [1, 4] {
+            for workers in [1, 4] {
+                let cfg = ServeConfig {
+                    shards,
+                    workers,
+                    requests: 220,
+                    seed: 0xD5EE_D001,
+                    fault_rate_ppm: 120_000,
+                    queue_capacity: 1 << 20,
+                    mean_gap_cycles: 1_500,
+                    trace_events: 64,
+                    ..Default::default()
+                };
+                let legacy = serve_program(
+                    service,
+                    artifact.program(),
+                    &app,
+                    &ServeConfig { event_core: false, ..cfg.clone() },
+                );
+                let event = serve_program(
+                    service,
+                    artifact.program(),
+                    &app,
+                    &ServeConfig { event_core: true, ..cfg },
+                );
+                let tag = format!("{}/{shards}s/{workers}w", service.label());
+                assert_eq!(
+                    legacy.served + legacy.rejected + legacy.shed,
+                    220,
+                    "{tag}: report must account for every request"
+                );
+                bit_identical(&tag, &legacy, &event);
+            }
+        }
+    }
+}
+
+/// The adaptive path: every scenario preset × scaling policy × worker
+/// count runs bit-identical between the legacy epoch loop and the
+/// `EpochCadence` component on the event core.
+#[test]
+fn every_preset_and_policy_is_engine_invariant() {
+    let service = Service::KvA;
+    let app = service.app(Scale::Tiny);
+    let artifact = Artifact::build(&app.module, &Mode::elzar_default());
+    for preset in ScenarioPreset::all() {
+        let scenario = preset.scenario(REQUESTS, BASE_GAP, BASE_PPM);
+        for policy in [ScalingPolicy::Reactive, ScalingPolicy::Predictive] {
+            for workers in [1, 4] {
+                let cfg = ServeConfig {
+                    shards: 1,
+                    workers,
+                    batch_size: 4,
+                    snapshot_interval: 16,
+                    seed: 0x5CE2_A210,
+                    queue_capacity: 1 << 20,
+                    adaptive_shards: true,
+                    shards_max: 4,
+                    control_interval: 16,
+                    scale_up_backlog: 6,
+                    scale_down_backlog: 1,
+                    scaling_policy: policy,
+                    trace_events: 64,
+                    ..Default::default()
+                };
+                let legacy = serve_scenario(
+                    service,
+                    artifact.program(),
+                    &app,
+                    &scenario,
+                    &ServeConfig { event_core: false, ..cfg.clone() },
+                );
+                let event = serve_scenario(
+                    service,
+                    artifact.program(),
+                    &app,
+                    &scenario,
+                    &ServeConfig { event_core: true, ..cfg },
+                );
+                let tag = format!("{}/{policy:?}/{workers}w", preset.label());
+                assert_eq!(
+                    legacy.served + legacy.rejected + legacy.shed,
+                    REQUESTS,
+                    "{tag}: report must account for every request"
+                );
+                bit_identical(&tag, &legacy, &event);
+            }
+        }
+    }
+}
+
+/// A stream whose arrivals crowd `u64::MAX` must die loudly in the
+/// shard clock arithmetic — naming the component — not wrap and serve
+/// requests in a lapped past.
+#[test]
+fn near_max_arrivals_panic_naming_the_shard_component() {
+    let service = Service::KvA;
+    let app = service.app(Scale::Tiny);
+    let artifact = Artifact::build(&app.module, &Mode::elzar_default());
+    let cfg = ServeConfig {
+        shards: 2,
+        workers: 1,
+        requests: 16,
+        seed: 0xBADC_0FFE,
+        queue_capacity: 1 << 20,
+        mean_gap_cycles: 1_000,
+        ..Default::default()
+    };
+    let mut stream = service.stream(&app, &cfg);
+    // Shift the (monotone) arrivals so the last lands 8 cycles shy of
+    // the end of virtual time: the first completion estimate wraps.
+    let n = stream.len() as u64;
+    for (i, req) in stream.iter_mut().enumerate() {
+        req.arrival = u64::MAX - 8 - (n - i as u64);
+    }
+    for event_core in [false, true] {
+        let cfg = ServeConfig { event_core, ..cfg.clone() };
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve_stream(artifact.program(), &app, &stream, &cfg)
+        }))
+        .expect_err("near-MAX arrivals must panic, not wrap");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("virtual-time overflow") && msg.contains("shard"),
+            "event_core={event_core}: panic must name the shard component, got: {msg}"
+        );
+    }
+}

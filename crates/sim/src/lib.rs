@@ -1,0 +1,555 @@
+//! # elzar_sim — the discrete-event virtual-time core
+//!
+//! Every subsystem in this reproduction is evaluated in *virtual time*:
+//! cycles are data, not wall clock, so results are pure functions of
+//! their inputs. Until this crate existed each subsystem hand-rolled
+//! its own time loop (the serve shard drain, the elastic controller's
+//! epoch cadence, the campaign driver's checkpoint advancement) — and
+//! the seams between those loops are where ordering and overflow bugs
+//! hide. `elzar_sim` replaces them with one discrete-event scheduler:
+//!
+//! * a [`Component`] declares the absolute cycle of its next wake-up
+//!   ([`Component::next_tick`], [`NEVER`] when idle) and reacts to it
+//!   ([`Component::tick`]) against shared state `S`;
+//! * the [`Scheduler`] keeps a binary min-heap of wake-ups keyed
+//!   `(cycle, track, seq)` — `track` is the component's registration
+//!   index, `seq` a global monotone push counter — so same-cycle ties
+//!   are **totally ordered**: lower track first, then push order;
+//! * per-component *clock dividers* quantize wake-ups up to the next
+//!   multiple of the divider, modelling components clocked slower than
+//!   the master clock;
+//! * [`TieBreak::Fuzzed`] permutes each same-cycle ready set under an
+//!   `elzar_rng` seed — a determinism stress: a system whose committed
+//!   state changes under permutation has an order-dependence bug (or,
+//!   hunted deliberately via [`hunt_order_dependence`], an
+//!   order-dependent *fault* to study);
+//! * [`Scheduler::strike_timer`] / [`Scheduler::strike_divider`] model
+//!   device-struck SEUs in the timer fabric itself — a single bit flip
+//!   in a pending wake-up cycle or a clock divider, the fault class
+//!   that ALU/memory injection (crates `fault`, `serve`) cannot reach.
+//!
+//! All virtual-time arithmetic goes through [`vt_add`] / [`vt_mul`]:
+//! silent `u64` wraparound in a cycle counter is a corruption bug, so
+//! overflow panics loudly, naming the component that accumulated past
+//! `u64::MAX`.
+
+#![warn(missing_docs)]
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use elzar_rng::DetRng;
+
+/// Sentinel wake-up cycle meaning "no pending wake-up". A component
+/// returning [`NEVER`] from [`Component::next_tick`] is quiescent; the
+/// scheduler stops once every component is.
+pub const NEVER: u64 = u64::MAX;
+
+/// Checked virtual-time addition: `a + b`, panicking loudly — naming
+/// the accumulating `component` — instead of wrapping. Use for every
+/// cycle-counter accumulation; a wrapped virtual clock silently
+/// reorders all subsequent events.
+#[track_caller]
+pub fn vt_add(component: &str, a: u64, b: u64) -> u64 {
+    a.checked_add(b).unwrap_or_else(|| panic!("virtual-time overflow in {component}: {a} + {b} wraps u64"))
+}
+
+/// Checked virtual-time multiplication: `a * b`, panicking loudly —
+/// naming the `component` — instead of wrapping.
+#[track_caller]
+pub fn vt_mul(component: &str, a: u64, b: u64) -> u64 {
+    a.checked_mul(b).unwrap_or_else(|| panic!("virtual-time overflow in {component}: {a} * {b} wraps u64"))
+}
+
+/// A simulated component driven by the [`Scheduler`].
+///
+/// The contract mirrors a hardware block on a shared clock: between
+/// ticks the component is inert; [`Component::next_tick`] reports the
+/// absolute cycle at which it next wants control (or [`NEVER`]);
+/// [`Component::tick`] runs its reaction at that cycle against the
+/// shared system state `S`. A component asking to wake in the past
+/// (below the scheduler's current cycle) fires at the current cycle —
+/// virtual time never runs backwards.
+pub trait Component<S> {
+    /// Short stable name used in overflow panics and diagnostics.
+    fn label(&self) -> &'static str;
+    /// Absolute cycle of the next wake-up, or [`NEVER`] when quiescent.
+    fn next_tick(&self) -> u64;
+    /// React at cycle `now`. May mutate shared state and reschedule
+    /// (the scheduler re-polls [`Component::next_tick`] after every
+    /// same-cycle round).
+    fn tick(&mut self, now: u64, sys: &mut S);
+}
+
+impl<S> Component<S> for Box<dyn Component<S> + '_> {
+    fn label(&self) -> &'static str {
+        (**self).label()
+    }
+    fn next_tick(&self) -> u64 {
+        (**self).next_tick()
+    }
+    fn tick(&mut self, now: u64, sys: &mut S) {
+        (**self).tick(now, sys)
+    }
+}
+
+/// How the scheduler orders events that land on an identical cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TieBreak {
+    /// The canonical total order: `(cycle, track, seq)` — lower
+    /// registration index first, then push order. Every production
+    /// path uses this; it is what the trace byte streams pin.
+    Canonical,
+    /// Permute each same-cycle ready set with a Fisher–Yates shuffle
+    /// driven by a [`DetRng`] seeded from the payload. Deterministic
+    /// per seed; a correct (order-independent) system commits
+    /// bit-identical state under every seed.
+    Fuzzed(u64),
+}
+
+struct Slot<C> {
+    comp: C,
+    divider: u64,
+    /// Cycle of this component's live heap entry ([`NEVER`] = none).
+    /// Heap entries whose cycle disagrees are stale and skipped on pop.
+    scheduled: u64,
+    /// A struck timer keeps its corrupted wake-up until it fires; the
+    /// scheduler must not "helpfully" re-derive the honest schedule.
+    struck: bool,
+}
+
+/// Discrete-event scheduler over a homogeneous set of components
+/// sharing mutable state `S`. (Heterogeneous systems register
+/// `Box<dyn Component<S>>`.) Wake-ups live in a binary min-heap keyed
+/// `(cycle, track, seq)`; stale entries are invalidated lazily via the
+/// per-slot `scheduled` cycle.
+pub struct Scheduler<S, C: Component<S>> {
+    slots: Vec<Slot<C>>,
+    heap: BinaryHeap<Reverse<(u64, u32, u64)>>,
+    seq: u64,
+    now: u64,
+    ticks: u64,
+    tie: TieBreak,
+    _state: std::marker::PhantomData<fn(&mut S)>,
+}
+
+impl<S, C: Component<S>> Scheduler<S, C> {
+    /// An empty scheduler at cycle 0 with the given tie-break rule.
+    pub fn new(tie: TieBreak) -> Self {
+        Scheduler {
+            slots: Vec::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            ticks: 0,
+            tie,
+            _state: std::marker::PhantomData,
+        }
+    }
+
+    /// Register a component on the master clock (divider 1). Returns
+    /// its track id — its rank in the same-cycle tie order.
+    pub fn add(&mut self, comp: C) -> u32 {
+        self.add_with_divider(comp, 1)
+    }
+
+    /// Register a component clocked at `master / divider`: its
+    /// wake-ups are quantized **up** to the next multiple of `divider`
+    /// (a divider of 0 is treated as 1). Returns its track id.
+    pub fn add_with_divider(&mut self, comp: C, divider: u64) -> u32 {
+        let track = self.slots.len() as u32;
+        self.slots.push(Slot { comp, divider: divider.max(1), scheduled: NEVER, struck: false });
+        track
+    }
+
+    /// The current cycle (last cycle at which any component ticked).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Total ticks delivered so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The cycle at which `track` is currently scheduled to wake
+    /// ([`NEVER`] if quiescent). Visible for tests and fault probes.
+    pub fn scheduled_at(&self, track: u32) -> u64 {
+        self.slots[track as usize].scheduled
+    }
+
+    /// Device-struck SEU in the timer fabric: flip `bit` (0–63) of
+    /// `track`'s pending wake-up cycle. A strike into the past fires at
+    /// the current cycle; a strike to [`NEVER`] is a *lost wake-up* —
+    /// the component never fires again unless something else
+    /// reschedules it. The corrupted schedule persists until it fires
+    /// (the scheduler does not re-derive the honest one), after which
+    /// the component's own `next_tick` takes over — a transient SEU.
+    /// Returns the corrupted cycle, or `None` if the track had no
+    /// pending wake-up to corrupt.
+    pub fn strike_timer(&mut self, track: u32, bit: u32) -> Option<u64> {
+        let now = self.now;
+        let slot = &mut self.slots[track as usize];
+        if slot.scheduled == NEVER {
+            return None;
+        }
+        let corrupted = (slot.scheduled ^ (1u64 << (bit % 64))).max(now);
+        slot.scheduled = corrupted;
+        slot.struck = true;
+        if corrupted != NEVER {
+            self.heap.push(Reverse((corrupted, track, self.seq)));
+            self.seq += 1;
+        }
+        Some(corrupted)
+    }
+
+    /// Device-struck SEU in a clock divider: flip `bit` (0–63) of
+    /// `track`'s divider. Unlike [`Scheduler::strike_timer`] this is a
+    /// *permanent* fault — every future wake-up quantizes against the
+    /// corrupted divider. Returns the corrupted divider value.
+    pub fn strike_divider(&mut self, track: u32, bit: u32) -> u64 {
+        let slot = &mut self.slots[track as usize];
+        slot.divider ^= 1u64 << (bit % 64);
+        slot.divider
+    }
+
+    /// Tear down the scheduler and hand back the components in track
+    /// order (the shared-state pattern: callers reclaim their runtimes
+    /// after the simulation drains).
+    pub fn into_components(self) -> Vec<C> {
+        self.slots.into_iter().map(|s| s.comp).collect()
+    }
+
+    /// Re-derive `track`'s wake-up from its component and (if changed)
+    /// push a fresh heap entry; the old entry, if any, goes stale.
+    fn sync(&mut self, track: usize) {
+        let now = self.now;
+        let slot = &mut self.slots[track];
+        if slot.struck {
+            return;
+        }
+        let raw = slot.comp.next_tick();
+        let desired = quantize(slot.comp.label(), raw, slot.divider).max(now);
+        if desired == slot.scheduled {
+            return;
+        }
+        slot.scheduled = desired;
+        if desired != NEVER {
+            self.heap.push(Reverse((desired, track as u32, self.seq)));
+            self.seq += 1;
+        }
+    }
+
+    /// Derive every component's initial wake-up. [`Scheduler::run`]
+    /// does this implicitly; call it first when a timer strike must
+    /// land *before* the run starts.
+    pub fn prime(&mut self) {
+        for t in 0..self.slots.len() {
+            self.sync(t);
+        }
+    }
+
+    /// Run to quiescence: deliver ticks in `(cycle, track, seq)` order
+    /// until no component has a pending wake-up. Returns the final
+    /// cycle. Same-cycle rounds are collected wholesale so
+    /// [`TieBreak::Fuzzed`] can permute them; events pushed *at* the
+    /// current cycle during a round join the next round at that cycle.
+    pub fn run(&mut self, sys: &mut S) -> u64 {
+        self.prime();
+        let mut rng = match self.tie {
+            TieBreak::Fuzzed(seed) => Some(DetRng::seed_from_u64(seed)),
+            TieBreak::Canonical => None,
+        };
+        let mut ready: Vec<u32> = Vec::new();
+        loop {
+            // Skip stale heap entries until a live head (or empty).
+            let cycle = loop {
+                match self.heap.peek() {
+                    None => return self.now,
+                    Some(&Reverse((c, track, _))) => {
+                        if self.slots[track as usize].scheduled == c {
+                            break c;
+                        }
+                        self.heap.pop();
+                    }
+                }
+            };
+            debug_assert!(cycle >= self.now, "virtual time went backwards");
+            self.now = cycle;
+            // Collect the full same-cycle ready set in (track, seq)
+            // order; stale and duplicate entries drop out via the
+            // scheduled-cycle check.
+            ready.clear();
+            while let Some(&Reverse((c, track, _))) = self.heap.peek() {
+                if c != cycle {
+                    break;
+                }
+                self.heap.pop();
+                let slot = &mut self.slots[track as usize];
+                if slot.scheduled == cycle {
+                    slot.scheduled = NEVER;
+                    slot.struck = false;
+                    ready.push(track);
+                }
+            }
+            if let Some(rng) = rng.as_mut() {
+                shuffle(&mut ready, rng);
+            }
+            for &track in &ready {
+                self.slots[track as usize].comp.tick(cycle, sys);
+                self.ticks += 1;
+            }
+            for t in 0..self.slots.len() {
+                self.sync(t);
+            }
+        }
+    }
+}
+
+/// Quantize a wake-up **up** to the next multiple of `divider`
+/// (checked: a quantization past `u64::MAX` is a virtual-time
+/// overflow and panics naming the component).
+fn quantize(label: &str, t: u64, divider: u64) -> u64 {
+    if t == NEVER || divider <= 1 {
+        return t;
+    }
+    let rem = t % divider;
+    if rem == 0 {
+        t
+    } else {
+        vt_add(label, t, divider - rem)
+    }
+}
+
+/// Fisher–Yates under the deterministic rng.
+fn shuffle(v: &mut [u32], rng: &mut DetRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        v.swap(i, j);
+    }
+}
+
+/// The order-dependence hunt: run the system once under
+/// [`TieBreak::Canonical`] and once per seed under
+/// [`TieBreak::Fuzzed`], comparing a caller-supplied digest of the
+/// committed state. Returns the first seed whose digest diverges from
+/// canonical — an *order-dependent fault* (the new hunt mode) — or
+/// `None` if the system is order-independent across all seeds.
+pub fn hunt_order_dependence<D: PartialEq>(run: impl Fn(TieBreak) -> D, seeds: &[u64]) -> Option<u64> {
+    let canonical = run(TieBreak::Canonical);
+    seeds.iter().copied().find(|&seed| run(TieBreak::Fuzzed(seed)) != canonical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fires every `period` cycles starting at `period`, `count`
+    /// times; appends `(now, id)` to the shared journal.
+    struct Metronome {
+        id: u32,
+        period: u64,
+        fired: u64,
+        count: u64,
+        next: u64,
+    }
+
+    impl Metronome {
+        fn new(id: u32, period: u64, count: u64) -> Metronome {
+            Metronome { id, period, fired: 0, count, next: period }
+        }
+    }
+
+    impl Component<Vec<(u64, u32)>> for Metronome {
+        fn label(&self) -> &'static str {
+            "metronome"
+        }
+        fn next_tick(&self) -> u64 {
+            if self.fired < self.count {
+                self.next
+            } else {
+                NEVER
+            }
+        }
+        fn tick(&mut self, now: u64, journal: &mut Vec<(u64, u32)>) {
+            journal.push((now, self.id));
+            self.fired += 1;
+            self.next = vt_add("metronome", now, self.period);
+        }
+    }
+
+    #[test]
+    fn interleaves_by_cycle_and_breaks_ties_by_track() {
+        let mut sched = Scheduler::new(TieBreak::Canonical);
+        sched.add(Metronome::new(0, 3, 4)); // 3 6 9 12
+        sched.add(Metronome::new(1, 2, 6)); // 2 4 6 8 10 12
+        let mut journal = Vec::new();
+        let end = sched.run(&mut journal);
+        assert_eq!(end, 12);
+        assert_eq!(sched.ticks(), 10);
+        // Same-cycle ties (6 and 12) go to track 0 first.
+        let expect = [(2, 1), (3, 0), (4, 1), (6, 0), (6, 1), (8, 1), (9, 0), (10, 1), (12, 0), (12, 1)];
+        assert_eq!(journal, expect);
+    }
+
+    #[test]
+    fn divider_quantizes_wakeups_up() {
+        let mut sched = Scheduler::new(TieBreak::Canonical);
+        // Period 3 on a /4 divider: honest wake-ups 3,7,11 quantize to
+        // 4,8,12.
+        sched.add_with_divider(Metronome::new(0, 3, 3), 4);
+        let mut journal = Vec::new();
+        sched.run(&mut journal);
+        assert_eq!(journal, [(4, 0), (8, 0), (12, 0)]);
+    }
+
+    #[test]
+    fn same_cycle_pushes_join_the_next_round_at_that_cycle() {
+        /// Ticks once at cycle 5, then asks to tick again at 5.
+        struct Echo {
+            fired: u64,
+        }
+        impl Component<Vec<u64>> for Echo {
+            fn label(&self) -> &'static str {
+                "echo"
+            }
+            fn next_tick(&self) -> u64 {
+                match self.fired {
+                    0 | 1 => 5,
+                    _ => NEVER,
+                }
+            }
+            fn tick(&mut self, now: u64, journal: &mut Vec<u64>) {
+                journal.push(now + self.fired);
+                self.fired += 1;
+            }
+        }
+        let mut sched = Scheduler::new(TieBreak::Canonical);
+        sched.add(Echo { fired: 0 });
+        let mut journal = Vec::new();
+        let end = sched.run(&mut journal);
+        assert_eq!(end, 5);
+        assert_eq!(journal, [5, 6]);
+    }
+
+    fn journal_under(tie: TieBreak) -> Vec<(u64, u32)> {
+        let mut sched = Scheduler::new(tie);
+        for id in 0..4 {
+            sched.add(Metronome::new(id, 2, 5));
+        }
+        let mut journal = Vec::new();
+        sched.run(&mut journal);
+        journal
+    }
+
+    #[test]
+    fn fuzzed_tie_break_is_deterministic_per_seed_and_permutes() {
+        let canonical = journal_under(TieBreak::Canonical);
+        let a = journal_under(TieBreak::Fuzzed(7));
+        let b = journal_under(TieBreak::Fuzzed(7));
+        assert_eq!(a, b, "same seed, same schedule");
+        // Some seed must actually permute a 4-way tie.
+        let permuted = (0..16u64).any(|s| journal_under(TieBreak::Fuzzed(s)) != canonical);
+        assert!(permuted, "fuzz never permuted a 4-way same-cycle tie");
+        // Any order is a permutation: cycle multiset is invariant.
+        let mut cy_a: Vec<u64> = a.iter().map(|&(c, _)| c).collect();
+        let mut cy_c: Vec<u64> = canonical.iter().map(|&(c, _)| c).collect();
+        cy_a.sort_unstable();
+        cy_c.sort_unstable();
+        assert_eq!(cy_a, cy_c);
+    }
+
+    #[test]
+    fn hunt_flags_order_dependent_state_and_clears_independent_state() {
+        // Order-dependent digest: the exact journal sequence.
+        let dependent = hunt_order_dependence(journal_under, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert!(dependent.is_some(), "journal order must depend on tie order");
+        // Order-independent digest: the sorted journal.
+        let independent = hunt_order_dependence(
+            |tie| {
+                let mut j = journal_under(tie);
+                j.sort_unstable();
+                j
+            },
+            &[1, 2, 3, 4, 5, 6, 7, 8],
+        );
+        assert_eq!(independent, None);
+    }
+
+    #[test]
+    fn strike_timer_moves_a_pending_wakeup() {
+        let mut sched = Scheduler::new(TieBreak::Canonical);
+        let track = sched.add(Metronome::new(0, 8, 2)); // honest: 8, 16
+        let mut journal = Vec::new();
+        sched.prime();
+        assert_eq!(sched.scheduled_at(track), 8);
+        // Flip bit 2: 8 ^ 4 = 12 — the first fire slips to cycle 12.
+        assert_eq!(sched.strike_timer(track, 2), Some(12));
+        sched.run(&mut journal);
+        // First fire at the corrupted cycle, then honest cadence.
+        assert_eq!(journal, [(12, 0), (20, 0)]);
+    }
+
+    #[test]
+    fn strike_divider_is_a_permanent_fault() {
+        let mut sched = Scheduler::new(TieBreak::Canonical);
+        // Divider 4, period 6: honest fires 8, 16 (12→16? 6→8, 14→16).
+        let track = sched.add_with_divider(Metronome::new(0, 6, 2), 4);
+        // Flip bit 0: divider 4 → 5; wake-ups now quantize to 10, 20.
+        assert_eq!(sched.strike_divider(track, 0), 5);
+        let mut journal = Vec::new();
+        sched.run(&mut journal);
+        assert_eq!(journal, [(10, 0), (20, 0)]);
+    }
+
+    #[test]
+    fn vt_add_overflow_names_the_component() {
+        let err = std::panic::catch_unwind(|| vt_add("shard 3 heartbeat", u64::MAX - 1, 2)).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("shard 3 heartbeat"), "panic must name the component: {msg}");
+        assert!(msg.contains("virtual-time overflow"), "panic must say what happened: {msg}");
+    }
+
+    #[test]
+    fn vt_mul_overflow_names_the_component() {
+        let err = std::panic::catch_unwind(|| vt_mul("shed predictor", u64::MAX / 2, 3)).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("shed predictor"), "panic must name the component: {msg}");
+    }
+
+    #[test]
+    fn near_max_start_cycle_overflows_loudly_not_silently() {
+        // A metronome started near u64::MAX overflows its next wake-up
+        // accumulation — the regression the checked arithmetic exists
+        // for: the panic fires instead of a silent wrap to cycle ~0.
+        struct LateStarter;
+        impl Component<()> for LateStarter {
+            fn label(&self) -> &'static str {
+                "late-starter"
+            }
+            fn next_tick(&self) -> u64 {
+                u64::MAX - 2
+            }
+            fn tick(&mut self, now: u64, _: &mut ()) {
+                let _ = vt_add("late-starter", now, 100);
+            }
+        }
+        let err = std::panic::catch_unwind(|| {
+            let mut sched = Scheduler::new(TieBreak::Canonical);
+            sched.add(LateStarter);
+            sched.run(&mut ());
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("late-starter"), "panic must name the component: {msg}");
+    }
+
+    #[test]
+    fn into_components_returns_in_track_order() {
+        let mut sched: Scheduler<Vec<(u64, u32)>, Metronome> = Scheduler::new(TieBreak::Canonical);
+        sched.add(Metronome::new(10, 1, 0));
+        sched.add(Metronome::new(11, 1, 0));
+        let ids: Vec<u32> = sched.into_components().iter().map(|m| m.id).collect();
+        assert_eq!(ids, [10, 11]);
+    }
+}
